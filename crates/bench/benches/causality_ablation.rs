@@ -1,0 +1,135 @@
+//! Experiment A3 (ablation): what the scoreboard causality checks buy.
+//!
+//! Two findings, printed before measurement:
+//!
+//! * **single-clock windows**: within one chart window the pattern
+//!   elements already impose the event order, so arrow on/off changes
+//!   no verdict — causality is redundant there and costs ~1.4×
+//!   runtime (the measured groups below);
+//! * **multi-clock**: cross-domain ordering is *only* enforced by the
+//!   scoreboard — with cross arrows the out-of-order run of Fig 2 is
+//!   rejected, without them it is (wrongly) accepted.
+
+use cesc_bench::quick;
+use cesc_chart::parse_document;
+use cesc_core::{synthesize, SynthOptions};
+use cesc_protocols::faults::{inject, Fault};
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let doc = ocp::burst_read_doc();
+    let chart = doc.chart("ocp_burst_read").expect("chart");
+    let with_arrows = synthesize(chart, &SynthOptions::default()).unwrap();
+
+    let stripped_src: String = ocp::BURST_READ_SRC
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("cause"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let stripped_doc = parse_document(&stripped_src).unwrap();
+    let without_arrows = synthesize(
+        stripped_doc.chart("ocp_burst_read").unwrap(),
+        &SynthOptions::default(),
+    )
+    .unwrap();
+
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let compliant = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 1_000,
+            gap: 2,
+            ..Default::default()
+        },
+    );
+    // drop the Burst4 marker of every 5th burst: the remaining beats
+    // still shape a plausible window tail
+    let burst4 = doc.alphabet.lookup("Burst4").unwrap();
+    let mut faulty = compliant.clone();
+    for k in (0..1_000).step_by(5) {
+        faulty = inject(
+            &faulty,
+            Fault::DropEvent {
+                event: burst4,
+                occurrence: k,
+            },
+        );
+    }
+
+    let with_hits = with_arrows.scan(&faulty).matches.len();
+    let without_hits = without_arrows.scan(&faulty).matches.len();
+    eprintln!(
+        "causality_ablation[single-clock]: faulty traffic detections — with arrows: \
+         {with_hits}, without arrows: {without_hits} (compliant would be 1000; equal \
+         counts = causality is redundant within one window)"
+    );
+
+    // multi-clock: cross-domain arrows are NOT redundant
+    report_multiclock_difference();
+
+    let mut g = c.benchmark_group("causality_ablation/runtime");
+    g.throughput(Throughput::Elements(compliant.len() as u64));
+    g.bench_function("with_causality", |b| {
+        b.iter(|| with_arrows.scan(black_box(&compliant)).matches.len())
+    });
+    g.bench_function("without_causality", |b| {
+        b.iter(|| without_arrows.scan(black_box(&compliant)).matches.len())
+    });
+    g.finish();
+}
+
+/// Out-of-order Fig 2 run: remote request fires before the local one.
+/// With cross arrows the spec is rejected; with them stripped it is
+/// accepted — the detection difference the shared scoreboard buys.
+fn report_multiclock_difference() {
+    use cesc_core::synthesize_multiclock;
+    use cesc_expr::Valuation;
+    use cesc_protocols::readproto;
+    use cesc_trace::{ClockDomain, ClockSet, GlobalRun, Trace};
+
+    let doc = readproto::multi_clock_doc();
+    let spec = doc.multiclock_spec("read_multiclock").expect("spec");
+    let stripped = cesc_chart::MultiClockSpec::new(
+        "stripped",
+        spec.charts().to_vec(),
+        Vec::new(),
+    )
+    .expect("charts remain valid");
+
+    let with_arrows = synthesize_multiclock(spec, &SynthOptions::default()).unwrap();
+    let without_arrows = synthesize_multiclock(&stripped, &SynthOptions::default()).unwrap();
+
+    let mut clocks = ClockSet::new();
+    let c1 = clocks.add(ClockDomain::new("clk1", 3, 0)); // 0,3,6,9
+    let c2 = clocks.add(ClockDomain::new("clk2", 2, 1)); // 1,3,5,7,9
+    let ev = |n: &str| doc.alphabet.lookup(n).unwrap();
+    // remote transaction completes before the local one even starts
+    let t1 = Trace::from_elements([
+        Valuation::empty(),
+        Valuation::of([ev("req1"), ev("rd1"), ev("addr1"), ev("req2"), ev("rd2"), ev("addr2")]),
+        Valuation::of([ev("rdy1"), ev("rdy_done")]),
+        Valuation::of([ev("data1"), ev("data_done")]),
+    ]);
+    let t2 = Trace::from_elements([
+        Valuation::of([ev("req3"), ev("rd3"), ev("addr3")]),
+        Valuation::of([ev("rdy3"), ev("rdy2")]),
+        Valuation::of([ev("data3"), ev("data2")]),
+        Valuation::empty(),
+        Valuation::empty(),
+    ]);
+    let run = GlobalRun::interleave(&clocks, &[(c1, t1), (c2, t2)]).unwrap();
+    let ordered_hits = with_arrows.scan(&clocks, &run).len();
+    let stripped_hits = without_arrows.scan(&clocks, &run).len();
+    eprintln!(
+        "causality_ablation[multi-clock]: out-of-order run detections — with cross \
+         arrows: {ordered_hits}, without: {stripped_hits} (cross-domain ordering is \
+         enforced only by the shared scoreboard)"
+    );
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

@@ -1,0 +1,52 @@
+//! Experiment F1 (paper Figure 1): the single-clock read protocol.
+//!
+//! Regenerates: synthesis cost of the Fig 1 chart and online monitoring
+//! throughput over compliant read traffic (sweep over transaction
+//! count).
+
+use cesc_bench::{quick, synth};
+use cesc_core::{synthesize, SynthOptions};
+use cesc_protocols::readproto;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let doc = readproto::single_clock_doc();
+    let chart = doc.chart("read_protocol").expect("chart");
+
+    c.bench_function("fig1/synthesize", |b| {
+        b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+    });
+
+    let monitor = synth(chart);
+    let window = readproto::single_clock_window(&doc.alphabet);
+    let mut g = c.benchmark_group("fig1/monitor_throughput");
+    for transactions in [100usize, 1_000, 10_000] {
+        let trace = transaction_stream(
+            &doc.alphabet,
+            &window,
+            &TrafficConfig {
+                transactions,
+                gap: 3,
+                ..Default::default()
+            },
+        );
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(transactions),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let report = monitor.scan(black_box(trace));
+                    assert_eq!(report.matches.len(), transactions);
+                    report.ticks
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

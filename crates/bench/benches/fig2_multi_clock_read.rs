@@ -1,0 +1,70 @@
+//! Experiment F2 (paper Figure 2): the multi-clock read protocol.
+//!
+//! Regenerates: multi-clock synthesis cost (two local monitors + cross
+//! arrows) and GALS monitoring throughput, sweeping the clock-period
+//! ratio between the two domains.
+
+use cesc_bench::quick;
+use cesc_core::{synthesize_multiclock, SynthOptions};
+use cesc_expr::Valuation;
+use cesc_protocols::readproto;
+use cesc_trace::{ClockDomain, ClockSet, GlobalRun, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// One compliant multi-clock episode per `(p1, p2)` clock periods,
+/// repeated `reps` times back to back in each domain.
+fn build_run(reps: usize, p1: u64, p2: u64) -> (ClockSet, GlobalRun) {
+    let doc = readproto::multi_clock_doc();
+    let (w1, w2) = readproto::multi_clock_windows(&doc.alphabet);
+    let mut clocks = ClockSet::new();
+    let c1 = clocks.add(ClockDomain::new("clk1", p1, 0));
+    let c2 = clocks.add(ClockDomain::new("clk2", p2, 1));
+
+    // per episode: 3 busy ticks + idle padding so domains stay aligned
+    let episode1: Vec<Valuation> = w1.into_iter().chain([Valuation::empty()]).collect();
+    let len1 = episode1.len() * reps;
+    let t1: Trace = episode1.iter().cycle().take(len1).copied().collect();
+    // clk2 ticks (p1/p2 ×) more often; pad each episode accordingly
+    let ticks2_per_episode = (episode1.len() as u64 * p1).div_ceil(p2) as usize;
+    let episode2: Vec<Valuation> = w2
+        .into_iter()
+        .chain(std::iter::repeat(Valuation::empty()))
+        .take(ticks2_per_episode)
+        .collect();
+    let t2: Trace = episode2.iter().cycle().take(ticks2_per_episode * reps).copied().collect();
+
+    let run = GlobalRun::interleave(&clocks, &[(c1, t1), (c2, t2)])
+        .expect("episode lengths align with the schedule");
+    (clocks, run)
+}
+
+fn bench(c: &mut Criterion) {
+    let doc = readproto::multi_clock_doc();
+    let spec = doc.multiclock_spec("read_multiclock").expect("spec");
+
+    c.bench_function("fig2/synthesize_multiclock", |b| {
+        b.iter(|| synthesize_multiclock(black_box(spec), &SynthOptions::default()).unwrap())
+    });
+
+    let mm = synthesize_multiclock(spec, &SynthOptions::default()).unwrap();
+    let mut g = c.benchmark_group("fig2/gals_monitoring");
+    for (p1, p2) in [(5u64, 2u64), (3, 2), (7, 2)] {
+        let (clocks, run) = build_run(200, p1, p2);
+        g.throughput(Throughput::Elements(run.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("ratio_{p1}to{p2}")),
+            &(clocks, run),
+            |b, (clocks, run)| {
+                b.iter(|| {
+                    let hits = mm.scan(black_box(clocks), black_box(run));
+                    black_box(hits.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

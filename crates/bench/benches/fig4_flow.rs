@@ -1,0 +1,60 @@
+//! Experiment F4 (paper Figure 4): the automated verification flow.
+//!
+//! Regenerates: wall-clock cost of the grey-box path — parse the CESC
+//! verification plan, validate, synthesize monitors, simulate the
+//! design with online monitors, produce verdicts — the "cycle time"
+//! the paper argues the automation saves.
+
+use cesc_bench::quick;
+use cesc_core::SynthOptions;
+use cesc_protocols::ocp;
+use cesc_sim::{run_flow, FlowConfig, PeriodicTransactor};
+use cesc_trace::ClockDomain;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn flow_config(steps: usize) -> FlowConfig {
+    let doc = ocp::simple_read_doc();
+    let window = ocp::simple_read_window(&doc.alphabet);
+    FlowConfig {
+        document: ocp::SIMPLE_READ_SRC.to_owned(),
+        charts: vec![],
+        clocks: vec![ClockDomain::new("clk", 1, 0)],
+        transactors: vec![Box::new(PeriodicTransactor::new("clk", window, 3, 0))],
+        global_steps: steps,
+        synth: SynthOptions::default(),
+        dump_vcd_for: None,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/flow_end_to_end");
+    for steps in [1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(steps as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let report = run_flow(black_box(flow_config(steps))).unwrap();
+                assert!(report.all_passed());
+                report.run.len()
+            })
+        });
+    }
+    g.finish();
+
+    // parse + synthesize alone (the "development of checkers" box the
+    // flow automates away)
+    c.bench_function("fig4/plan_to_monitor", |b| {
+        b.iter(|| {
+            let doc = cesc_chart::parse_document(black_box(ocp::SIMPLE_READ_SRC)).unwrap();
+            let m = cesc_core::synthesize(
+                doc.chart("ocp_simple_read").unwrap(),
+                &SynthOptions::default(),
+            )
+            .unwrap();
+            m.state_count()
+        })
+    });
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

@@ -1,0 +1,79 @@
+//! Experiment F5 (paper Figure 5): the illustrative SCESC with a
+//! causality arrow.
+//!
+//! Regenerates: synthesis of the 4-state monitor and the runtime cost
+//! of its scoreboard bookkeeping (Add/Chk/Del) against the same chart
+//! with the arrow removed.
+
+use cesc_bench::quick;
+use cesc_chart::parse_document;
+use cesc_core::{synthesize, SynthOptions};
+use cesc_expr::Valuation;
+use cesc_trace::Trace;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const FIG5: &str = r#"
+scesc fig5 on clk {
+    instances { A, B }
+    events { e1, e2, e3 }
+    props { p1, p3 }
+    tick { A: e1 if p1; B: e2 }
+    tick ;
+    tick { B: e3 if p3 }
+    cause e1 -> e3;
+}
+"#;
+
+fn bench(c: &mut Criterion) {
+    let doc = parse_document(FIG5).unwrap();
+    let chart = doc.chart("fig5").unwrap();
+
+    c.bench_function("fig5/synthesize", |b| {
+        b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+    });
+
+    // traffic: repeated compliant episodes
+    let ab = &doc.alphabet;
+    let ev = |n: &str| ab.lookup(n).unwrap();
+    let episode = [
+        Valuation::of([ev("p1"), ev("e1"), ev("e2")]),
+        Valuation::empty(),
+        Valuation::of([ev("p3"), ev("e3")]),
+        Valuation::empty(),
+    ];
+    let trace: Trace = episode.iter().cycle().take(40_000).copied().collect();
+
+    let with_arrow = synthesize(chart, &SynthOptions::default()).unwrap();
+    let stripped_doc = parse_document(
+        &FIG5
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("cause"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .unwrap();
+    let without_arrow =
+        synthesize(stripped_doc.chart("fig5").unwrap(), &SynthOptions::default()).unwrap();
+
+    let mut g = c.benchmark_group("fig5/scoreboard_overhead");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("with_causality", |b| {
+        b.iter(|| {
+            let report = with_arrow.scan(black_box(&trace));
+            assert_eq!(report.matches.len(), 10_000);
+            report.underflows
+        })
+    });
+    g.bench_function("without_causality", |b| {
+        b.iter(|| {
+            let report = without_arrow.scan(black_box(&trace));
+            assert_eq!(report.matches.len(), 10_000);
+            report.underflows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

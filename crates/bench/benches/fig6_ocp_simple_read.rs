@@ -1,0 +1,53 @@
+//! Experiment F6 (paper Figure 6): the OCP simple read monitor.
+//!
+//! Regenerates: synthesis of the 3-state monitor and monitoring
+//! throughput over compliant OCP read traffic, sweeping transaction
+//! count and idle gap.
+
+use cesc_bench::{quick, synth};
+use cesc_core::{synthesize, SynthOptions};
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let doc = ocp::simple_read_doc();
+    let chart = doc.chart("ocp_simple_read").expect("chart");
+
+    c.bench_function("fig6/synthesize", |b| {
+        b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+    });
+
+    let monitor = synth(chart);
+    let window = ocp::simple_read_window(&doc.alphabet);
+
+    let mut g = c.benchmark_group("fig6/throughput");
+    for (transactions, gap) in [(1_000usize, 0usize), (1_000, 6), (10_000, 2)] {
+        let trace = transaction_stream(
+            &doc.alphabet,
+            &window,
+            &TrafficConfig {
+                transactions,
+                gap,
+                ..Default::default()
+            },
+        );
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("txn{transactions}_gap{gap}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let report = monitor.scan(black_box(trace));
+                    assert_eq!(report.matches.len(), transactions);
+                    report.ticks
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

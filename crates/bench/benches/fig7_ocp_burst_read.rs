@@ -1,0 +1,75 @@
+//! Experiment F7 (paper Figure 7): the OCP pipelined burst read.
+//!
+//! Regenerates: synthesis of the 7-state monitor with its `act1..act8`
+//! scoreboard program, and monitoring throughput under pipelined burst
+//! traffic — the heaviest scoreboard workload in the paper.
+
+use cesc_bench::{quick, synth};
+use cesc_core::{synthesize, SynthOptions};
+use cesc_protocols::faults::{inject, Fault};
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let doc = ocp::burst_read_doc();
+    let chart = doc.chart("ocp_burst_read").expect("chart");
+
+    c.bench_function("fig7/synthesize", |b| {
+        b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+    });
+
+    let monitor = synth(chart);
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let compliant = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 2_000,
+            gap: 2,
+            ..Default::default()
+        },
+    );
+    // faulty traffic: every 10th burst loses its third request beat
+    let mut faulty = compliant.clone();
+    let mcmd = doc.alphabet.lookup("MCmdRd").unwrap();
+    for k in (2..2_000).step_by(10) {
+        faulty = inject(
+            &faulty,
+            Fault::DropEvent {
+                event: mcmd,
+                occurrence: k * 4 + 2,
+            },
+        );
+    }
+
+    let mut g = c.benchmark_group("fig7/throughput");
+    g.throughput(Throughput::Elements(compliant.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("compliant"),
+        &compliant,
+        |b, trace| {
+            b.iter(|| {
+                let report = monitor.scan(black_box(trace));
+                assert_eq!(report.matches.len(), 2_000);
+                report.underflows
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("with_faults"),
+        &faulty,
+        |b, trace| {
+            b.iter(|| {
+                let report = monitor.scan(black_box(trace));
+                assert!(report.matches.len() < 2_000);
+                report.matches.len()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

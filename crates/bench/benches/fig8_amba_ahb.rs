@@ -1,0 +1,55 @@
+//! Experiment F8 (paper Figure 8): the AMBA AHB CLI transaction.
+//!
+//! Regenerates: synthesis of the 4-state master/bus monitor and
+//! monitoring throughput over AHB transaction traffic, plus the DOT
+//! and Verilog artifact generation cost for the same monitor.
+
+use cesc_bench::{quick, synth};
+use cesc_core::{synthesize, to_dot, SynthOptions};
+use cesc_hdl::{emit_verilog, VerilogOptions};
+use cesc_protocols::amba;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let doc = amba::ahb_transaction_doc();
+    let chart = doc.chart("ahb_transaction").expect("chart");
+
+    c.bench_function("fig8/synthesize", |b| {
+        b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+    });
+
+    let monitor = synth(chart);
+    let window = amba::ahb_transaction_window(&doc.alphabet);
+    let trace = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 5_000,
+            gap: 1,
+            ..Default::default()
+        },
+    );
+
+    let mut g = c.benchmark_group("fig8/throughput");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("monitor_scan", |b| {
+        b.iter(|| {
+            let report = monitor.scan(black_box(&trace));
+            assert_eq!(report.matches.len(), 5_000);
+            report.ticks
+        })
+    });
+    g.finish();
+
+    c.bench_function("fig8/emit_verilog", |b| {
+        b.iter(|| emit_verilog(black_box(&monitor), &doc.alphabet, &VerilogOptions::default()).len())
+    });
+    c.bench_function("fig8/emit_dot", |b| {
+        b.iter(|| to_dot(black_box(&monitor), &doc.alphabet).len())
+    });
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

@@ -1,0 +1,93 @@
+//! Experiment A1 (ablation): synthesis and engine scaling.
+//!
+//! The paper's `compute_transition_func` enumerates `e ∈ 2^Σ`; this
+//! sweep quantifies what that costs and what the alternatives save:
+//!
+//! * synthesis time vs chart length `n` (guard-interpreted monitor —
+//!   only the O(n²) compatibility matrix is precomputed);
+//! * dense-table construction vs `|Σ|` (the paper-literal exponential
+//!   enumeration);
+//! * lookup throughput: interpreted monitor vs dense table vs lazy δ.
+
+use cesc_bench::{chain_chart, chain_window, quick, synth};
+use cesc_core::engine::{DenseTableEngine, LazyEngine};
+use cesc_core::{synthesize, SynthOptions};
+use cesc_expr::Valuation;
+use cesc_trace::Trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // synthesis vs n
+    let mut g = c.benchmark_group("scaling/synthesize_vs_n");
+    for n in [2usize, 4, 8, 16, 32] {
+        let (_ab, chart) = chain_chart(n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &chart, |b, chart| {
+            b.iter(|| synthesize(black_box(chart), &SynthOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+
+    // dense table build vs |Σ| (exponential, the paper-literal loop);
+    // chart length = |Σ| so every symbol appears in the pattern
+    let mut g = c.benchmark_group("scaling/dense_table_build_vs_sigma");
+    for syms in [4usize, 8, 12, 14] {
+        let (_ab, chart) = chain_chart(syms, syms);
+        let pattern = chart.extract_pattern();
+        g.bench_with_input(BenchmarkId::from_parameter(syms), &pattern, |b, pattern| {
+            b.iter(|| DenseTableEngine::new(black_box(pattern)).unwrap().table_size())
+        });
+    }
+    g.finish();
+
+    // lookup throughput: interpreted vs dense vs lazy on one workload
+    let n = 8;
+    let syms = 8;
+    let (ab, chart) = chain_chart(n, syms);
+    let monitor = synth(&chart);
+    let pattern = chart.extract_pattern();
+    let window = chain_window(&ab, n, syms);
+    let trace: Trace = window
+        .iter()
+        .copied()
+        .chain([Valuation::empty(); 2])
+        .cycle()
+        .take(50_000)
+        .collect();
+
+    let mut g = c.benchmark_group("scaling/lookup_throughput");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("interpreted_monitor", |b| {
+        b.iter(|| monitor.scan(black_box(&trace)).matches.len())
+    });
+    g.bench_function("dense_table", |b| {
+        let mut engine = DenseTableEngine::new(&pattern).unwrap();
+        b.iter(|| {
+            engine.reset();
+            let mut hits = 0usize;
+            for v in trace.iter() {
+                if engine.step(black_box(v)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("lazy_memoised", |b| {
+        let mut engine = LazyEngine::new(&pattern).unwrap();
+        b.iter(|| {
+            engine.reset();
+            let mut hits = 0usize;
+            for v in trace.iter() {
+                if engine.step(black_box(v)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

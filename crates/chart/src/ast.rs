@@ -1,0 +1,531 @@
+//! Abstract syntax of CESC — Clocked Event Sequence Charts.
+//!
+//! Mirrors §3 of the paper. The basic chart is the [`Scesc`] (Single
+//! Clocked Event Sequence Chart): vertical *instances* (agents), horizontal
+//! *grid lines* (synchronizing clock ticks) carrying present/absent,
+//! possibly guarded, events, and *causality arrows* between events.
+//! Structural constructs ([`Cesc`]) build complex specifications:
+//! sequential/parallel composition, alternatives, loops, implication and
+//! asynchronous (multi-clock) parallel composition.
+
+use std::fmt;
+
+use cesc_expr::{Alphabet, Expr, SymbolId};
+
+/// Identifier of an instance (vertical line) within one [`Scesc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub(crate) u32);
+
+impl InstanceId {
+    /// Zero-based index of the instance in its chart.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// Where an event occurrence is drawn: on an instance's lifeline, or on
+/// the chart frame (an *environment event*, paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// On the lifeline of the given instance.
+    Instance(InstanceId),
+    /// On the chart frame — an event of the environment.
+    Environment,
+}
+
+/// One event occurrence (or required absence) on a grid line.
+///
+/// The paper's translation (§5 `extract_pattern`):
+/// * `e`   ⇒ the element requires `e`,
+/// * `p:e` ⇒ the element requires `(p ∧ e)`,
+/// * absence (drawn as a crossed event) ⇒ requires `¬e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSpec {
+    /// The event symbol.
+    pub event: SymbolId,
+    /// Optional guard proposition/condition (`p` in `p:e`).
+    pub guard: Option<Expr>,
+    /// `true` if the chart requires the *absence* of the event.
+    pub absent: bool,
+    /// Lifeline or environment frame.
+    pub location: Location,
+}
+
+impl EventSpec {
+    /// A plain present event on an instance.
+    pub fn present(event: SymbolId, instance: InstanceId) -> Self {
+        EventSpec {
+            event,
+            guard: None,
+            absent: false,
+            location: Location::Instance(instance),
+        }
+    }
+
+    /// The guard expression this occurrence contributes to its grid
+    /// line's pattern element.
+    pub fn to_expr(&self) -> Expr {
+        let atom = Expr::sym(self.event);
+        let base = if self.absent { !atom } else { atom };
+        match &self.guard {
+            Some(g) => Expr::and([g.clone(), base]),
+            None => base,
+        }
+    }
+}
+
+/// One grid line = one synchronizing clock tick of the chart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GridLine {
+    /// The event occurrences placed on this grid line.
+    pub events: Vec<EventSpec>,
+}
+
+impl GridLine {
+    /// The conjunction this grid line contributes as a pattern element;
+    /// an empty line yields `true` (any tick matches).
+    pub fn to_expr(&self) -> Expr {
+        Expr::and(self.events.iter().map(EventSpec::to_expr))
+    }
+}
+
+/// A causality arrow connecting two event *occurrences* of a chart
+/// (paper §3: "connecting arrows show the causality relationship between
+/// the events").
+///
+/// Arrows are drawn between occurrences, so when an event occurs on
+/// several grid lines (e.g. `MCmdRd` on every request beat of Figure 7's
+/// pipelined burst) the endpoints carry tick qualifiers; `None` means
+/// "every occurrence" (sufficient when the event occurs once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CausalityArrow {
+    /// The causing event `ex`.
+    pub from: SymbolId,
+    /// The caused event `ey`.
+    pub to: SymbolId,
+    /// Specific grid line of the causing occurrence, if qualified.
+    pub from_tick: Option<usize>,
+    /// Specific grid line of the caused occurrence, if qualified.
+    pub to_tick: Option<usize>,
+}
+
+impl CausalityArrow {
+    /// An arrow between (all occurrences of) two events.
+    pub fn new(from: SymbolId, to: SymbolId) -> Self {
+        CausalityArrow {
+            from,
+            to,
+            from_tick: None,
+            to_tick: None,
+        }
+    }
+
+    /// An arrow between specific occurrences: `from@from_tick →
+    /// to@to_tick`.
+    pub fn at(from: SymbolId, from_tick: usize, to: SymbolId, to_tick: usize) -> Self {
+        CausalityArrow {
+            from,
+            to,
+            from_tick: Some(from_tick),
+            to_tick: Some(to_tick),
+        }
+    }
+}
+
+/// A Single Clocked Event Sequence Chart: a finite event-sequence
+/// scenario within one clock domain (paper §3).
+///
+/// Build with [`crate::ScescBuilder`] or parse from text with
+/// [`crate::parse_document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scesc {
+    pub(crate) name: String,
+    pub(crate) clock: String,
+    pub(crate) instances: Vec<String>,
+    pub(crate) lines: Vec<GridLine>,
+    pub(crate) arrows: Vec<CausalityArrow>,
+}
+
+impl Scesc {
+    /// The chart's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the clock the chart is synchronous to.
+    pub fn clock(&self) -> &str {
+        &self.clock
+    }
+
+    /// Instance (lifeline) names, in declaration order.
+    pub fn instances(&self) -> &[String] {
+        &self.instances
+    }
+
+    /// Number of clock ticks (grid lines), the `n` of the synthesis
+    /// algorithm.
+    pub fn tick_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The grid lines in tick order.
+    pub fn lines(&self) -> &[GridLine] {
+        &self.lines
+    }
+
+    /// The causality arrows.
+    pub fn arrows(&self) -> &[CausalityArrow] {
+        &self.arrows
+    }
+
+    /// The pattern element for tick `i` — §5 `extract_pattern`, one
+    /// array slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= tick_count()`.
+    pub fn pattern_element(&self, i: usize) -> Expr {
+        self.lines[i].to_expr()
+    }
+
+    /// The full pattern `P` of §5 `extract_pattern`: one guard
+    /// expression per grid line.
+    pub fn extract_pattern(&self) -> Vec<Expr> {
+        self.lines.iter().map(GridLine::to_expr).collect()
+    }
+
+    /// Ticks at which `event` occurs positively (present, not absent).
+    pub fn ticks_of_event(&self, event: SymbolId) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.events
+                    .iter()
+                    .any(|e| e.event == event && !e.absent)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Every symbol (event or guard atom) the chart mentions — the
+    /// chart-local alphabet `Σ` used by monitor synthesis.
+    pub fn mentioned_symbols(&self) -> cesc_expr::Valuation {
+        let mut acc = cesc_expr::Valuation::empty();
+        for l in &self.lines {
+            for e in &l.events {
+                acc.insert(e.event);
+                if let Some(g) = &e.guard {
+                    acc = acc | g.symbols();
+                }
+            }
+        }
+        for a in &self.arrows {
+            acc.insert(a.from);
+            acc.insert(a.to);
+        }
+        acc
+    }
+
+    /// Renders the chart in the concrete textual syntax accepted by
+    /// [`crate::parse_document`].
+    pub fn to_text(&self, alphabet: &Alphabet) -> String {
+        crate::render::scesc_to_text(self, alphabet)
+    }
+}
+
+/// How many times a [`Cesc::Loop`] body repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopBound {
+    /// Exactly `n` repetitions (n ≥ 1).
+    Exactly(u32),
+}
+
+impl fmt::Display for LoopBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopBound::Exactly(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A CESC: an SCESC or a structural composition of CESCs (paper §3,
+/// "various structural constructs … sequential and parallel composition,
+/// loop, alternative, and implication … a special construct for
+/// asynchronous parallel composition").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cesc {
+    /// A basic single-clocked chart.
+    Basic(Scesc),
+    /// Sequential composition: scenarios one after another (same clock).
+    Seq(Vec<Cesc>),
+    /// Synchronous parallel composition: scenarios overlaid tick-by-tick
+    /// (same clock).
+    Par(Vec<Cesc>),
+    /// Alternative: any one of the scenarios.
+    Alt(Vec<Cesc>),
+    /// Bounded repetition of a scenario.
+    Loop(LoopBound, Box<Cesc>),
+    /// Implication: whenever the antecedent scenario is observed, the
+    /// consequent scenario must follow.
+    Implication(Box<Cesc>, Box<Cesc>),
+    /// Asynchronous parallel composition across *different* clock
+    /// domains (the multi-clock construct of Figure 2).
+    AsyncPar(Vec<Cesc>),
+}
+
+impl Cesc {
+    /// All clock names mentioned by the composition, deduplicated in
+    /// first-seen order.
+    pub fn clocks(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_clocks(&mut out);
+        out
+    }
+
+    fn collect_clocks(&self, out: &mut Vec<String>) {
+        match self {
+            Cesc::Basic(s) => {
+                if !out.iter().any(|c| c == &s.clock) {
+                    out.push(s.clock.clone());
+                }
+            }
+            Cesc::Seq(cs) | Cesc::Par(cs) | Cesc::Alt(cs) | Cesc::AsyncPar(cs) => {
+                for c in cs {
+                    c.collect_clocks(out);
+                }
+            }
+            Cesc::Loop(_, c) => c.collect_clocks(out),
+            Cesc::Implication(a, b) => {
+                a.collect_clocks(out);
+                b.collect_clocks(out);
+            }
+        }
+    }
+
+    /// All basic charts in the composition, left-to-right.
+    pub fn basic_charts(&self) -> Vec<&Scesc> {
+        let mut out = Vec::new();
+        self.collect_basic(&mut out);
+        out
+    }
+
+    fn collect_basic<'a>(&'a self, out: &mut Vec<&'a Scesc>) {
+        match self {
+            Cesc::Basic(s) => out.push(s),
+            Cesc::Seq(cs) | Cesc::Par(cs) | Cesc::Alt(cs) | Cesc::AsyncPar(cs) => {
+                for c in cs {
+                    c.collect_basic(out);
+                }
+            }
+            Cesc::Loop(_, c) => c.collect_basic(out),
+            Cesc::Implication(a, b) => {
+                a.collect_basic(out);
+                b.collect_basic(out);
+            }
+        }
+    }
+}
+
+/// A multi-clock specification: one chart per clock domain plus
+/// *cross-domain* causality arrows — Figure 2's CESC, where arrows
+/// connect events of the `clk1` chart (M1) to events of the `clk2` chart
+/// (M2).
+///
+/// Cross arrows are the construct the paper's distributed monitors exist
+/// for: "the monitors communicate and synchronize with each other
+/// exchanging the information about the local states using a
+/// scoreboard-like data structure" (§1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiClockSpec {
+    pub(crate) name: String,
+    pub(crate) charts: Vec<Scesc>,
+    pub(crate) cross_arrows: Vec<CausalityArrow>,
+}
+
+impl MultiClockSpec {
+    /// Assembles and validates a multi-clock spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ChartError`] if charts share a clock domain or a
+    /// cross-arrow endpoint occurs in no chart.
+    pub fn new(
+        name: &str,
+        charts: Vec<Scesc>,
+        cross_arrows: Vec<CausalityArrow>,
+    ) -> Result<Self, crate::validate::ChartError> {
+        let spec = MultiClockSpec {
+            name: name.to_owned(),
+            charts,
+            cross_arrows,
+        };
+        crate::validate::validate_multiclock(&spec)?;
+        Ok(spec)
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component charts, one per clock domain.
+    pub fn charts(&self) -> &[Scesc] {
+        &self.charts
+    }
+
+    /// The cross-domain causality arrows.
+    pub fn cross_arrows(&self) -> &[CausalityArrow] {
+        &self.cross_arrows
+    }
+
+    /// Index of the chart in which `event` occurs positively, if any.
+    pub fn chart_of_event(&self, event: SymbolId) -> Option<usize> {
+        self.charts
+            .iter()
+            .position(|c| !c.ticks_of_event(event).is_empty())
+    }
+}
+
+/// A parsed specification document: a shared alphabet plus named charts
+/// and named compositions.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Symbols shared by every chart in the document.
+    pub alphabet: Alphabet,
+    /// Named basic charts, in source order.
+    pub charts: Vec<Scesc>,
+    /// Named compositions, in source order.
+    pub compositions: Vec<(String, Cesc)>,
+    /// Named multi-clock specifications, in source order.
+    pub multiclock: Vec<MultiClockSpec>,
+}
+
+impl Document {
+    /// Finds a basic chart by name.
+    pub fn chart(&self, name: &str) -> Option<&Scesc> {
+        self.charts.iter().find(|c| c.name == name)
+    }
+
+    /// Finds a composition by name.
+    pub fn composition(&self, name: &str) -> Option<&Cesc> {
+        self.compositions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    /// Finds a multi-clock spec by name.
+    pub fn multiclock_spec(&self, name: &str) -> Option<&MultiClockSpec> {
+        self.multiclock.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScescBuilder;
+
+    fn simple_chart() -> (Alphabet, Scesc) {
+        let mut ab = Alphabet::new();
+        let req = ab.event("req");
+        let rsp = ab.event("rsp");
+        let p = ab.prop("p");
+        let mut b = ScescBuilder::new("t", "clk");
+        let m = b.instance("M");
+        let s = b.instance("S");
+        b.tick();
+        b.guarded_event(m, Expr::sym(p), req);
+        b.tick();
+        b.event(s, rsp);
+        b.arrow(req, rsp);
+        (ab, b.build().unwrap())
+    }
+
+    #[test]
+    fn pattern_extraction_matches_paper_rules() {
+        let (ab, c) = simple_chart();
+        let p = c.extract_pattern();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].display(&ab).to_string(), "(p & req)");
+        assert_eq!(p[1].display(&ab).to_string(), "rsp");
+    }
+
+    #[test]
+    fn absent_event_negates() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let spec = EventSpec {
+            event: e,
+            guard: None,
+            absent: true,
+            location: Location::Environment,
+        };
+        assert_eq!(spec.to_expr(), !Expr::sym(e));
+    }
+
+    #[test]
+    fn empty_grid_line_is_true() {
+        let line = GridLine::default();
+        assert_eq!(line.to_expr(), Expr::t());
+    }
+
+    #[test]
+    fn ticks_of_event_skips_absences() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let mut b = ScescBuilder::new("t", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        b.tick();
+        b.absent_event(m, e);
+        b.tick();
+        b.event(m, e);
+        let c = b.build().unwrap();
+        assert_eq!(c.ticks_of_event(e), vec![0, 2]);
+    }
+
+    #[test]
+    fn mentioned_symbols_includes_guards_and_arrows() {
+        let (ab, c) = simple_chart();
+        let m = c.mentioned_symbols();
+        for name in ["req", "rsp", "p"] {
+            assert!(m.contains(ab.lookup(name).unwrap()), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn cesc_clocks_deduplicate() {
+        let (_, c1) = simple_chart();
+        let mut c2 = c1.clone();
+        c2.clock = "clk2".to_owned();
+        let comp = Cesc::AsyncPar(vec![
+            Cesc::Basic(c1.clone()),
+            Cesc::Basic(c2),
+            Cesc::Basic(c1),
+        ]);
+        assert_eq!(comp.clocks(), vec!["clk".to_owned(), "clk2".to_owned()]);
+        assert_eq!(comp.basic_charts().len(), 3);
+    }
+
+    #[test]
+    fn document_lookup() {
+        let (ab, c) = simple_chart();
+        let doc = Document {
+            alphabet: ab,
+            charts: vec![c.clone()],
+            compositions: vec![("L".to_owned(), Cesc::Loop(LoopBound::Exactly(2), Box::new(Cesc::Basic(c))))],
+            multiclock: Vec::new(),
+        };
+        assert!(doc.chart("t").is_some());
+        assert!(doc.chart("nope").is_none());
+        assert!(doc.composition("L").is_some());
+    }
+}

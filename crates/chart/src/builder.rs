@@ -1,0 +1,266 @@
+//! Programmatic construction of SCESCs.
+//!
+//! [`ScescBuilder`] is the Rust-level equivalent of drawing a chart:
+//! declare instances, open grid lines ([`ScescBuilder::tick`]), place
+//! (guarded / absent / environment) events on the current line, connect
+//! causality arrows, and [`ScescBuilder::build`] — which validates the
+//! result (see [`crate::validate`]).
+
+use cesc_expr::{Expr, SymbolId};
+
+use crate::ast::{CausalityArrow, EventSpec, GridLine, InstanceId, Location, Scesc};
+use crate::validate::{validate_scesc, ChartError};
+
+/// Incremental builder for an [`Scesc`].
+///
+/// # Examples
+///
+/// Figure 6's OCP simple read scenario:
+///
+/// ```
+/// use cesc_expr::Alphabet;
+/// use cesc_chart::ScescBuilder;
+///
+/// let mut ab = Alphabet::new();
+/// let mcmd = ab.event("MCmd_rd");
+/// let addr = ab.event("Addr");
+/// let acc = ab.event("SCmd_accept");
+/// let sresp = ab.event("SResp");
+/// let sdata = ab.event("SData");
+///
+/// let mut b = ScescBuilder::new("ocp_simple_read", "clk");
+/// let master = b.instance("Master");
+/// let slave = b.instance("Slave");
+/// b.tick();
+/// b.event(master, mcmd);
+/// b.event(master, addr);
+/// b.event(slave, acc);
+/// b.tick();
+/// b.event(slave, sresp);
+/// b.event(slave, sdata);
+/// b.arrow(mcmd, sresp);
+/// let chart = b.build()?;
+/// assert_eq!(chart.tick_count(), 2);
+/// # Ok::<(), cesc_chart::ChartError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScescBuilder {
+    name: String,
+    clock: String,
+    instances: Vec<String>,
+    lines: Vec<GridLine>,
+    arrows: Vec<CausalityArrow>,
+}
+
+impl ScescBuilder {
+    /// Starts a chart named `name`, synchronous to clock `clock`.
+    pub fn new(name: &str, clock: &str) -> Self {
+        ScescBuilder {
+            name: name.to_owned(),
+            clock: clock.to_owned(),
+            instances: Vec::new(),
+            lines: Vec::new(),
+            arrows: Vec::new(),
+        }
+    }
+
+    /// Declares an instance (vertical lifeline), returning its id.
+    pub fn instance(&mut self, name: &str) -> InstanceId {
+        let id = InstanceId(self.instances.len() as u32);
+        self.instances.push(name.to_owned());
+        id
+    }
+
+    /// Opens a new grid line (clock tick). Subsequent event placements
+    /// land on this line.
+    pub fn tick(&mut self) -> &mut Self {
+        self.lines.push(GridLine::default());
+        self
+    }
+
+    fn current_line(&mut self) -> &mut GridLine {
+        if self.lines.is_empty() {
+            self.lines.push(GridLine::default());
+        }
+        self.lines.last_mut().expect("non-empty after push")
+    }
+
+    /// Places event `event` on `instance` at the current grid line.
+    pub fn event(&mut self, instance: InstanceId, event: SymbolId) -> &mut Self {
+        self.current_line().events.push(EventSpec {
+            event,
+            guard: None,
+            absent: false,
+            location: Location::Instance(instance),
+        });
+        self
+    }
+
+    /// Places guarded event `guard : event` (paper's `p:e`) on
+    /// `instance` at the current grid line.
+    pub fn guarded_event(
+        &mut self,
+        instance: InstanceId,
+        guard: Expr,
+        event: SymbolId,
+    ) -> &mut Self {
+        self.current_line().events.push(EventSpec {
+            event,
+            guard: Some(guard),
+            absent: false,
+            location: Location::Instance(instance),
+        });
+        self
+    }
+
+    /// Requires the *absence* of `event` on `instance` at the current
+    /// grid line.
+    pub fn absent_event(&mut self, instance: InstanceId, event: SymbolId) -> &mut Self {
+        self.current_line().events.push(EventSpec {
+            event,
+            guard: None,
+            absent: true,
+            location: Location::Instance(instance),
+        });
+        self
+    }
+
+    /// Places an environment event (drawn on the chart frame, paper §3)
+    /// at the current grid line.
+    pub fn env_event(&mut self, event: SymbolId) -> &mut Self {
+        self.current_line().events.push(EventSpec {
+            event,
+            guard: None,
+            absent: false,
+            location: Location::Environment,
+        });
+        self
+    }
+
+    /// Places a guarded environment event at the current grid line.
+    pub fn guarded_env_event(&mut self, guard: Expr, event: SymbolId) -> &mut Self {
+        self.current_line().events.push(EventSpec {
+            event,
+            guard: Some(guard),
+            absent: false,
+            location: Location::Environment,
+        });
+        self
+    }
+
+    /// Adds a causality arrow `from → to` (between all occurrences).
+    pub fn arrow(&mut self, from: SymbolId, to: SymbolId) -> &mut Self {
+        self.arrows.push(CausalityArrow::new(from, to));
+        self
+    }
+
+    /// Adds a causality arrow between specific occurrences:
+    /// `from@from_tick → to@to_tick`.
+    pub fn arrow_at(
+        &mut self,
+        from: SymbolId,
+        from_tick: usize,
+        to: SymbolId,
+        to_tick: usize,
+    ) -> &mut Self {
+        self.arrows.push(CausalityArrow::at(from, from_tick, to, to_tick));
+        self
+    }
+
+    /// Finishes and validates the chart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChartError`] found by
+    /// [`crate::validate::validate_scesc`] — e.g. a chart with no grid
+    /// lines, an arrow to an event that never occurs, or an arrow going
+    /// backwards in time.
+    pub fn build(self) -> Result<Scesc, ChartError> {
+        let chart = Scesc {
+            name: self.name,
+            clock: self.clock,
+            instances: self.instances,
+            lines: self.lines,
+            arrows: self.arrows,
+        };
+        validate_scesc(&chart)?;
+        Ok(chart)
+    }
+
+    /// Finishes without validation (for tests constructing deliberately
+    /// malformed charts).
+    pub fn build_unchecked(self) -> Scesc {
+        Scesc {
+            name: self.name,
+            clock: self.clock,
+            instances: self.instances,
+            lines: self.lines,
+            arrows: self.arrows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_expr::Alphabet;
+
+    #[test]
+    fn builds_a_minimal_chart() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let mut b = ScescBuilder::new("min", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        let c = b.build().unwrap();
+        assert_eq!(c.name(), "min");
+        assert_eq!(c.clock(), "clk");
+        assert_eq!(c.tick_count(), 1);
+        assert_eq!(c.instances(), ["M"]);
+    }
+
+    #[test]
+    fn event_without_tick_opens_first_line() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let mut b = ScescBuilder::new("x", "clk");
+        let m = b.instance("M");
+        b.event(m, e); // no explicit tick()
+        let c = b.build().unwrap();
+        assert_eq!(c.tick_count(), 1);
+    }
+
+    #[test]
+    fn empty_chart_fails_validation() {
+        let b = ScescBuilder::new("empty", "clk");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let b = ScescBuilder::new("empty", "clk");
+        let c = b.build_unchecked();
+        assert_eq!(c.tick_count(), 0);
+    }
+
+    #[test]
+    fn guards_and_absence_recorded() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let f = ab.event("f");
+        let p = ab.prop("p");
+        let mut b = ScescBuilder::new("g", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.guarded_event(m, Expr::sym(p), e);
+        b.absent_event(m, f);
+        b.env_event(f);
+        let c = b.build().unwrap();
+        let line = &c.lines()[0];
+        assert_eq!(line.events.len(), 3);
+        assert!(line.events[0].guard.is_some());
+        assert!(line.events[1].absent);
+        assert_eq!(line.events[2].location, Location::Environment);
+    }
+}

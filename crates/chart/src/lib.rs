@@ -1,0 +1,55 @@
+//! # cesc-chart — the CESC visual specification language
+//!
+//! The specification front-end of the CESC monitor-synthesis
+//! reproduction (Gadkari & Ramesh, DATE 2005). CESC (Clocked Event
+//! Sequence Chart) specifies interaction scenarios of clocked systems:
+//!
+//! * [`Scesc`] — a Single Clocked Event Sequence Chart: instances
+//!   (lifelines), grid lines (clock ticks) carrying guarded/absent
+//!   events, environment events on the frame, and causality arrows;
+//! * [`Cesc`] — structural compositions: `seq`, `par`, `alt`, `loop`,
+//!   `implication` and multi-clock `async` parallel;
+//! * [`ScescBuilder`] — programmatic chart construction;
+//! * [`parse_document`] — the concrete textual syntax;
+//! * [`render_ascii`] / [`Scesc::to_text`] — visual and textual output;
+//! * [`validate`] — well-formedness checks run before synthesis.
+//!
+//! # Example
+//!
+//! ```
+//! use cesc_chart::parse_document;
+//!
+//! let doc = parse_document(r#"
+//!     scesc handshake on clk {
+//!         instances { Master, Slave }
+//!         events { req, ack }
+//!         tick { Master: req }
+//!         tick { Slave: ack }
+//!         cause req -> ack;
+//!     }
+//! "#)?;
+//! let chart = doc.chart("handshake").unwrap();
+//! assert_eq!(chart.extract_pattern().len(), 2);
+//! # Ok::<(), cesc_chart::ParseChartError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod builder;
+mod parse;
+pub mod render;
+pub mod validate;
+pub mod wavedrom;
+
+pub use ast::{
+    CausalityArrow, Cesc, Document, EventSpec, GridLine, InstanceId, Location, LoopBound,
+    MultiClockSpec, Scesc,
+};
+pub use builder::ScescBuilder;
+pub use parse::{parse_document, ParseChartError};
+pub use render::{render_ascii, scesc_to_text};
+pub use validate::{
+    component_tick_count, validate_cesc, validate_multiclock, validate_scesc, ChartError,
+};

@@ -1,0 +1,852 @@
+//! Concrete textual syntax for CESC documents.
+//!
+//! The paper gives CESC "a precisely defined abstract textual syntax"
+//! (§1); this module fixes a concrete grammar for it:
+//!
+//! ```text
+//! document := item*
+//! item     := scesc | cesc
+//! scesc    := "scesc" IDENT "on" IDENT "{" decl* element* "}"
+//! decl     := ("instances" | "events" | "props") "{" IDENT ("," IDENT)* "}"
+//! element  := tick | arrow
+//! tick     := "tick" "{" [group (";" group)* [";"]] "}"
+//! group    := (IDENT | "env") ":" occ ("," occ)*
+//! occ      := ["!"] IDENT ["if" guard-expr]
+//! arrow    := "cause" IDENT "->" IDENT ";"
+//! cesc     := "cesc" IDENT "{" cexpr "}"
+//! cexpr    := IDENT
+//!           | ("seq"|"par"|"alt"|"async") "(" cexpr ("," cexpr)* ")"
+//!           | "loop" "(" INT "," cexpr ")"
+//!           | "implies" "(" cexpr "," cexpr ")"
+//! ```
+//!
+//! Guard expressions after `if` use the [`cesc_expr`] expression grammar
+//! (wrap them in parentheses when they contain `,` — the guard extends to
+//! the nearest top-level `,`, `;` or `}`).
+//!
+//! # Example
+//!
+//! ```
+//! use cesc_chart::parse_document;
+//! let doc = parse_document(r#"
+//!     scesc simple_read on clk {
+//!         instances { Master, Slave }
+//!         events { MCmd_rd, Addr, SCmd_accept, SResp, SData }
+//!         tick { Master: MCmd_rd, Addr; Slave: SCmd_accept }
+//!         tick { Slave: SResp, SData }
+//!         cause MCmd_rd -> SResp;
+//!     }
+//! "#)?;
+//! assert_eq!(doc.charts[0].tick_count(), 2);
+//! # Ok::<(), cesc_chart::ParseChartError>(())
+//! ```
+
+use std::fmt;
+
+use cesc_expr::{parse_expr, Alphabet, NameResolution, SymbolKind};
+
+use crate::ast::{
+    CausalityArrow, Cesc, Document, EventSpec, GridLine, InstanceId, Location, LoopBound, Scesc,
+};
+use crate::validate::{validate_cesc, validate_scesc, ChartError};
+
+/// Error produced when parsing a CESC document fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseChartError {
+    message: String,
+    /// 1-based line number of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+}
+
+impl ParseChartError {
+    fn at(message: impl Into<String>, src: &str, byte: usize) -> Self {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in src.char_indices() {
+            if i >= byte {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseChartError {
+            message: message.into(),
+            line,
+            column: col,
+        }
+    }
+}
+
+impl fmt::Display for ParseChartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.message, self.line, self.column)
+    }
+}
+
+impl std::error::Error for ParseChartError {}
+
+impl From<ChartError> for ParseChartError {
+    fn from(e: ChartError) -> Self {
+        ParseChartError {
+            message: e.to_string(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u32),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Colon,
+    Bang,
+    Arrow,
+    At,
+    Amp,
+    Pipe,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseChartError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, i));
+                i += 1;
+            }
+            ':' => {
+                toks.push((Tok::Colon, i));
+                i += 1;
+            }
+            '!' => {
+                toks.push((Tok::Bang, i));
+                i += 1;
+            }
+            '@' => {
+                toks.push((Tok::At, i));
+                i += 1;
+            }
+            '&' => {
+                toks.push((Tok::Amp, i));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1;
+                }
+            }
+            '|' => {
+                toks.push((Tok::Pipe, i));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push((Tok::Arrow, i));
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u32 = src[start..i].parse().map_err(|_| {
+                    ParseChartError::at("integer out of range", src, start)
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(ParseChartError::at(
+                    format!("unexpected character `{other}`"),
+                    src,
+                    i,
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    doc: Document,
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseChartError {
+        ParseChartError::at(msg, self.src, self.here())
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseChartError> {
+        if self.peek() == Some(want) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseChartError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                if let Some(Tok::Ident(s)) = self.bump() {
+                    Ok(s)
+                } else {
+                    unreachable!("peeked an identifier")
+                }
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseChartError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected keyword `{kw}`"))),
+        }
+    }
+
+    fn document(&mut self) -> Result<(), ParseChartError> {
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(s) if s == "scesc" => self.scesc()?,
+                Tok::Ident(s) if s == "cesc" => self.cesc_item()?,
+                Tok::Ident(s) if s == "multiclock" => self.multiclock_item()?,
+                _ => return Err(self.err("expected `scesc`, `cesc` or `multiclock` item")),
+            }
+        }
+        Ok(())
+    }
+
+    /// `multiclock NAME { charts { m1, m2 } cause e -> f; … }`
+    fn multiclock_item(&mut self) -> Result<(), ParseChartError> {
+        self.keyword("multiclock")?;
+        let name = self.ident("multiclock spec name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut charts: Vec<Scesc> = Vec::new();
+        let mut cross: Vec<CausalityArrow> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(kw)) if kw == "charts" => {
+                    self.bump();
+                    for n in self.ident_block()? {
+                        let c = self
+                            .doc
+                            .chart(&n)
+                            .cloned()
+                            .ok_or_else(|| self.err(format!("unknown chart `{n}`")))?;
+                        charts.push(c);
+                    }
+                }
+                Some(Tok::Ident(kw)) if kw == "cause" => {
+                    self.bump();
+                    let (from_name, from_tick) = self.arrow_endpoint()?;
+                    self.expect(&Tok::Arrow, "`->`")?;
+                    let (to_name, to_tick) = self.arrow_endpoint()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    let from = self.resolve_event(&from_name)?;
+                    let to = self.resolve_event(&to_name)?;
+                    cross.push(CausalityArrow {
+                        from,
+                        to,
+                        from_tick,
+                        to_tick,
+                    });
+                }
+                _ => return Err(self.err("expected `charts`, `cause` or `}` in multiclock body")),
+            }
+        }
+        let spec = crate::ast::MultiClockSpec::new(&name, charts, cross)?;
+        self.doc.multiclock.push(spec);
+        Ok(())
+    }
+
+    fn scesc(&mut self) -> Result<(), ParseChartError> {
+        self.keyword("scesc")?;
+        let name = self.ident("chart name")?;
+        self.keyword("on")?;
+        let clock = self.ident("clock name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+
+        let mut instances: Vec<String> = Vec::new();
+        let mut lines: Vec<GridLine> = Vec::new();
+        let mut arrows: Vec<CausalityArrow> = Vec::new();
+
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(kw)) => match kw.as_str() {
+                    "instances" => {
+                        self.bump();
+                        for n in self.ident_block()? {
+                            if !instances.contains(&n) {
+                                instances.push(n);
+                            }
+                        }
+                    }
+                    "events" => {
+                        self.bump();
+                        for n in self.ident_block()? {
+                            self.doc
+                                .alphabet
+                                .try_intern(&n, SymbolKind::Event)
+                                .map_err(|e| self.err(e.to_string()))?;
+                        }
+                    }
+                    "props" => {
+                        self.bump();
+                        for n in self.ident_block()? {
+                            self.doc
+                                .alphabet
+                                .try_intern(&n, SymbolKind::Prop)
+                                .map_err(|e| self.err(e.to_string()))?;
+                        }
+                    }
+                    "tick" => {
+                        self.bump();
+                        lines.push(self.tick_body(&instances)?);
+                    }
+                    "cause" => {
+                        self.bump();
+                        let (from_name, from_tick) = self.arrow_endpoint()?;
+                        self.expect(&Tok::Arrow, "`->`")?;
+                        let (to_name, to_tick) = self.arrow_endpoint()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        let from = self.resolve_event(&from_name)?;
+                        let to = self.resolve_event(&to_name)?;
+                        arrows.push(CausalityArrow {
+                            from,
+                            to,
+                            from_tick,
+                            to_tick,
+                        });
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "unexpected `{other}` in scesc body (want instances/events/props/tick/cause)"
+                        )))
+                    }
+                },
+                _ => return Err(self.err("unexpected token in scesc body")),
+            }
+        }
+
+        let chart = Scesc {
+            name,
+            clock,
+            instances,
+            lines,
+            arrows,
+        };
+        validate_scesc(&chart)?;
+        self.doc.charts.push(chart);
+        Ok(())
+    }
+
+    fn resolve_event(&mut self, name: &str) -> Result<cesc_expr::SymbolId, ParseChartError> {
+        self.doc
+            .alphabet
+            .try_intern(name, SymbolKind::Event)
+            .map_err(|e| self.err(e.to_string()))
+    }
+
+    /// `IDENT ["@" INT]` — an arrow endpoint, optionally qualified with
+    /// the grid-line (tick) of the intended occurrence.
+    fn arrow_endpoint(&mut self) -> Result<(String, Option<usize>), ParseChartError> {
+        let name = self.ident("event name")?;
+        if self.peek() == Some(&Tok::At) {
+            self.bump();
+            match self.bump() {
+                Some(Tok::Int(n)) => Ok((name, Some(n as usize))),
+                _ => Err(self.err("expected tick number after `@`")),
+            }
+        } else {
+            Ok((name, None))
+        }
+    }
+
+    fn ident_block(&mut self) -> Result<Vec<String>, ParseChartError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut names = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    names.push(self.ident("name")?);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    }
+                }
+                _ => return Err(self.err("expected name or `}`")),
+            }
+        }
+        Ok(names)
+    }
+
+    fn tick_body(&mut self, instances: &[String]) -> Result<GridLine, ParseChartError> {
+        // `tick ;` — an unconstrained tick
+        if self.peek() == Some(&Tok::Semi) {
+            self.bump();
+            return Ok(GridLine::default());
+        }
+        self.expect(&Tok::LBrace, "`{` or `;` after tick")?;
+        let mut line = GridLine::default();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let group_name = self.ident("instance name or `env`")?;
+                    let location = if group_name == "env" {
+                        Location::Environment
+                    } else {
+                        let idx = instances
+                            .iter()
+                            .position(|i| *i == group_name)
+                            .ok_or_else(|| {
+                                self.err(format!("undeclared instance `{group_name}`"))
+                            })?;
+                        Location::Instance(InstanceId(idx as u32))
+                    };
+                    self.expect(&Tok::Colon, "`:` after instance name")?;
+                    loop {
+                        line.events.push(self.occurrence(location)?);
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.bump();
+                            continue;
+                        }
+                        break;
+                    }
+                    if self.peek() == Some(&Tok::Semi) {
+                        self.bump();
+                    }
+                }
+                _ => return Err(self.err("expected instance group or `}` in tick")),
+            }
+        }
+        Ok(line)
+    }
+
+    fn occurrence(&mut self, location: Location) -> Result<EventSpec, ParseChartError> {
+        let absent = if self.peek() == Some(&Tok::Bang) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = self.ident("event name")?;
+        let event = self.resolve_event(&name)?;
+        let guard = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "if") {
+            self.bump();
+            Some(self.guard_expr()?)
+        } else {
+            None
+        };
+        Ok(EventSpec {
+            event,
+            guard,
+            absent,
+            location,
+        })
+    }
+
+    /// Consumes tokens forming a guard expression — up to the nearest
+    /// top-level `,`, `;` or `}` — and hands the source slice to the
+    /// expression parser.
+    fn guard_expr(&mut self) -> Result<cesc_expr::Expr, ParseChartError> {
+        let start = self.here();
+        let mut depth = 0usize;
+        let mut end = start;
+        loop {
+            match self.peek() {
+                None => break,
+                Some(Tok::LParen) => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(Tok::RParen) => {
+                    if depth == 0 {
+                        return Err(self.err("unbalanced `)` in guard"));
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                Some(Tok::Comma) | Some(Tok::Semi) | Some(Tok::RBrace) if depth == 0 => break,
+                Some(_) => {
+                    self.bump();
+                }
+            }
+            end = self.here();
+        }
+        let slice = &self.src[start..end];
+        parse_expr(
+            slice,
+            &mut self.doc.alphabet,
+            NameResolution::Intern(SymbolKind::Prop),
+        )
+        .map_err(|e| ParseChartError::at(e.to_string(), self.src, start + e.position))
+    }
+
+    fn cesc_item(&mut self) -> Result<(), ParseChartError> {
+        self.keyword("cesc")?;
+        let name = self.ident("composition name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let expr = self.cexpr()?;
+        self.expect(&Tok::RBrace, "`}`")?;
+        validate_cesc(&expr)?;
+        self.doc.compositions.push((name, expr));
+        Ok(())
+    }
+
+    fn cexpr(&mut self) -> Result<Cesc, ParseChartError> {
+        let head = self.ident("composition expression")?;
+        match head.as_str() {
+            "seq" | "par" | "alt" | "async" => {
+                let parts = self.cexpr_args()?;
+                Ok(match head.as_str() {
+                    "seq" => Cesc::Seq(parts),
+                    "par" => Cesc::Par(parts),
+                    "alt" => Cesc::Alt(parts),
+                    _ => Cesc::AsyncPar(parts),
+                })
+            }
+            "loop" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let n = match self.bump() {
+                    Some(Tok::Int(n)) => n,
+                    _ => return Err(self.err("expected loop count")),
+                };
+                self.expect(&Tok::Comma, "`,`")?;
+                let body = self.cexpr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Cesc::Loop(LoopBound::Exactly(n), Box::new(body)))
+            }
+            "implies" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let a = self.cexpr()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let b = self.cexpr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Cesc::Implication(Box::new(a), Box::new(b)))
+            }
+            chart_name => {
+                // reference to a previously defined chart or composition
+                if let Some(c) = self.doc.chart(chart_name) {
+                    Ok(Cesc::Basic(c.clone()))
+                } else if let Some(c) = self.doc.composition(chart_name) {
+                    Ok(c.clone())
+                } else {
+                    Err(self.err(format!("unknown chart or composition `{chart_name}`")))
+                }
+            }
+        }
+    }
+
+    fn cexpr_args(&mut self) -> Result<Vec<Cesc>, ParseChartError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut parts = vec![self.cexpr()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            parts.push(self.cexpr()?);
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(parts)
+    }
+}
+
+/// Parses a CESC specification document.
+///
+/// All charts in the document share one [`Alphabet`]; events and
+/// propositions are interned on first mention (`events {}` / `props {}`
+/// declarations fix kinds up front — guard identifiers not declared
+/// default to propositions).
+///
+/// # Errors
+///
+/// Returns [`ParseChartError`] with line/column on syntax errors, and on
+/// well-formedness violations detected by [`crate::validate`].
+pub fn parse_document(src: &str) -> Result<Document, ParseChartError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        src,
+        toks,
+        pos: 0,
+        doc: Document {
+            alphabet: Alphabet::new(),
+            charts: Vec::new(),
+            compositions: Vec::new(),
+            multiclock: Vec::new(),
+        },
+    };
+    p.document()?;
+    Ok(p.doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE_READ: &str = r#"
+        scesc simple_read on clk {
+            instances { Master, Slave }
+            events { MCmd_rd, Addr, SCmd_accept, SResp, SData }
+            tick { Master: MCmd_rd, Addr; Slave: SCmd_accept }
+            tick { Slave: SResp, SData }
+            cause MCmd_rd -> SResp;
+        }
+    "#;
+
+    #[test]
+    fn parses_figure6_chart() {
+        let doc = parse_document(SIMPLE_READ).unwrap();
+        assert_eq!(doc.charts.len(), 1);
+        let c = &doc.charts[0];
+        assert_eq!(c.name(), "simple_read");
+        assert_eq!(c.clock(), "clk");
+        assert_eq!(c.instances(), ["Master", "Slave"]);
+        assert_eq!(c.tick_count(), 2);
+        assert_eq!(c.lines()[0].events.len(), 3);
+        assert_eq!(c.arrows().len(), 1);
+        let p = c.extract_pattern();
+        assert_eq!(
+            p[0].display(&doc.alphabet).to_string(),
+            "(MCmd_rd & Addr & SCmd_accept)"
+        );
+    }
+
+    #[test]
+    fn guards_and_absence() {
+        let doc = parse_document(
+            r#"
+            scesc g on clk {
+                instances { A }
+                events { e1, e2 }
+                props { p1 }
+                tick { A: e1 if p1, !e2 }
+            }
+        "#,
+        )
+        .unwrap();
+        let c = &doc.charts[0];
+        let line = &c.lines()[0];
+        assert!(line.events[0].guard.is_some());
+        assert!(line.events[1].absent);
+        let p = c.pattern_element(0);
+        assert_eq!(p.display(&doc.alphabet).to_string(), "(p1 & e1 & !e2)");
+    }
+
+    #[test]
+    fn complex_guard_expressions() {
+        let doc = parse_document(
+            r#"
+            scesc g on clk {
+                instances { A }
+                events { e1 }
+                props { p1, p2 }
+                tick { A: e1 if (p1 & !p2) }
+            }
+        "#,
+        )
+        .unwrap();
+        let p = doc.charts[0].pattern_element(0);
+        // n-ary conjunctions flatten: (p1 & !p2) & e1 ⇒ (p1 & !p2 & e1)
+        assert_eq!(p.display(&doc.alphabet).to_string(), "(p1 & !p2 & e1)");
+    }
+
+    #[test]
+    fn env_events_and_empty_ticks() {
+        let doc = parse_document(
+            r#"
+            scesc g on clk {
+                instances { A }
+                events { e1, done }
+                tick { A: e1; env: done }
+                tick ;
+                tick { }
+            }
+        "#,
+        )
+        .unwrap();
+        let c = &doc.charts[0];
+        assert_eq!(c.tick_count(), 3);
+        assert_eq!(c.lines()[0].events[1].location, Location::Environment);
+        assert_eq!(c.pattern_element(1), cesc_expr::Expr::t());
+    }
+
+    #[test]
+    fn compositions_parse_and_resolve() {
+        let src = format!(
+            "{SIMPLE_READ}
+            scesc setup on clk {{
+                instances {{ Master }}
+                events {{ start }}
+                tick {{ Master: start }}
+            }}
+            cesc burst {{ seq(setup, loop(4, simple_read)) }}
+            cesc alt_or {{ alt(setup, simple_read) }}
+            cesc checked {{ implies(setup, simple_read) }}
+        "
+        );
+        let doc = parse_document(&src).unwrap();
+        assert_eq!(doc.compositions.len(), 3);
+        match doc.composition("burst").unwrap() {
+            Cesc::Seq(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Cesc::Loop(LoopBound::Exactly(4), _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(doc.composition("checked"), Some(Cesc::Implication(_, _))));
+    }
+
+    #[test]
+    fn multi_clock_async_composition() {
+        let doc = parse_document(
+            r#"
+            scesc m1 on clk1 {
+                instances { Master }
+                events { req }
+                tick { Master: req }
+            }
+            scesc m2 on clk2 {
+                instances { Slave }
+                events { rsp }
+                tick { Slave: rsp }
+            }
+            cesc multi { async(m1, m2) }
+        "#,
+        )
+        .unwrap();
+        let c = doc.composition("multi").unwrap();
+        assert_eq!(c.clocks(), vec!["clk1".to_owned(), "clk2".to_owned()]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_document("scesc x on clk { tick { Ghost: e } }").unwrap_err();
+        assert!(err.to_string().contains("undeclared instance"));
+        assert_eq!(err.line, 1);
+
+        let err = parse_document("scesc x on clk {\n  bogus\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let err = parse_document("cesc c { seq(ghost_chart) }").unwrap_err();
+        assert!(err.to_string().contains("unknown chart"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = parse_document(
+            "// a comment\nscesc x on clk { // inline\n instances { A }\n events { e }\n tick { A: e }\n}",
+        )
+        .unwrap();
+        assert_eq!(doc.charts.len(), 1);
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // arrow to event that never occurs
+        let err = parse_document(
+            r#"
+            scesc bad on clk {
+                instances { A }
+                events { e1, ghost }
+                tick { A: e1 }
+                cause e1 -> ghost;
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("never occurs"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Rendering charts: back to concrete text, and as ASCII timing-diagram
+//! art (the "visual" in *visual specifications*).
+
+use std::fmt::Write as _;
+
+use cesc_expr::{Alphabet, SymbolKind};
+
+use crate::ast::{Location, Scesc};
+
+/// Serialises a chart in the concrete textual syntax of
+/// [`crate::parse_document`] (round-trip property-tested).
+pub fn scesc_to_text(chart: &Scesc, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scesc {} on {} {{", chart.name(), chart.clock());
+    if !chart.instances().is_empty() {
+        let _ = writeln!(out, "    instances {{ {} }}", chart.instances().join(", "));
+    }
+    let mentioned = chart.mentioned_symbols();
+    let mut events = Vec::new();
+    let mut props = Vec::new();
+    for id in mentioned.iter() {
+        match alphabet.kind(id) {
+            SymbolKind::Event => events.push(alphabet.name(id).to_owned()),
+            SymbolKind::Prop => props.push(alphabet.name(id).to_owned()),
+        }
+    }
+    if !events.is_empty() {
+        let _ = writeln!(out, "    events {{ {} }}", events.join(", "));
+    }
+    if !props.is_empty() {
+        let _ = writeln!(out, "    props {{ {} }}", props.join(", "));
+    }
+    for line in chart.lines() {
+        if line.events.is_empty() {
+            let _ = writeln!(out, "    tick ;");
+            continue;
+        }
+        // group occurrences by location, in first-seen order
+        let mut groups: Vec<(Location, Vec<String>)> = Vec::new();
+        for ev in &line.events {
+            let mut text = String::new();
+            if ev.absent {
+                text.push('!');
+            }
+            text.push_str(alphabet.name(ev.event));
+            if let Some(g) = &ev.guard {
+                let _ = write!(text, " if {}", g.display(alphabet));
+            }
+            if let Some(entry) = groups.iter_mut().find(|(loc, _)| *loc == ev.location) {
+                entry.1.push(text);
+            } else {
+                groups.push((ev.location, vec![text]));
+            }
+        }
+        let rendered: Vec<String> = groups
+            .iter()
+            .map(|(loc, items)| {
+                let name = match loc {
+                    Location::Instance(id) => chart.instances()[id.index()].clone(),
+                    Location::Environment => "env".to_owned(),
+                };
+                format!("{name}: {}", items.join(", "))
+            })
+            .collect();
+        let _ = writeln!(out, "    tick {{ {} }}", rendered.join("; "));
+    }
+    for arrow in chart.arrows() {
+        let ep = |sym: cesc_expr::SymbolId, tick: Option<usize>| match tick {
+            Some(t) => format!("{}@{t}", alphabet.name(sym)),
+            None => alphabet.name(sym).to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "    cause {} -> {};",
+            ep(arrow.from, arrow.from_tick),
+            ep(arrow.to, arrow.to_tick)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a chart as ASCII art resembling the paper's figures:
+/// instance lifelines as columns, grid lines as horizontal rules, events
+/// listed under their lifeline, environment events on the frame,
+/// causality arrows listed below.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_chart::render_ascii;
+/// let doc = parse_document(
+///     "scesc t on clk { instances { M, S } events { req, rsp } \
+///      tick { M: req } tick { S: rsp } cause req -> rsp; }",
+/// ).unwrap();
+/// let art = render_ascii(&doc.charts[0], &doc.alphabet);
+/// assert!(art.contains("M"));
+/// assert!(art.contains("req"));
+/// ```
+pub fn render_ascii(chart: &Scesc, alphabet: &Alphabet) -> String {
+    const COL_WIDTH: usize = 18;
+    let n_inst = chart.instances().len().max(1);
+    let width = COL_WIDTH * (n_inst + 1);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{:^width$}", format!("({})", chart.clock()), width = width);
+
+    // instance header
+    let mut header = format!("{:^COL_WIDTH$}", "");
+    for name in chart.instances() {
+        let _ = write!(header, "{name:^COL_WIDTH$}");
+    }
+    out.push_str(header.trim_end());
+    out.push('\n');
+
+    for (tick, line) in chart.lines().iter().enumerate() {
+        // grid line
+        let rule = format!("tick {tick:<3}");
+        let _ = writeln!(out, "{rule}{}", "-".repeat(width.saturating_sub(rule.len())));
+        // events per column
+        let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_inst + 1];
+        for ev in &line.events {
+            let mut text = String::new();
+            if ev.absent {
+                text.push('~');
+            }
+            if let Some(g) = &ev.guard {
+                let _ = write!(text, "{}:", g.display(alphabet));
+            }
+            text.push_str(alphabet.name(ev.event));
+            match ev.location {
+                Location::Instance(id) => cells[id.index() + 1].push(text),
+                Location::Environment => cells[0].push(format!("[{text}]")),
+            }
+        }
+        let rows = cells.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        for r in 0..rows {
+            let mut row = String::new();
+            for cell in &cells {
+                let item = cell.get(r).map(String::as_str).unwrap_or(if row.is_empty() {
+                    ""
+                } else {
+                    "|"
+                });
+                let _ = write!(row, "{item:^COL_WIDTH$}");
+            }
+            out.push_str(row.trim_end());
+            out.push('\n');
+        }
+    }
+    if !chart.arrows().is_empty() {
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        for a in chart.arrows() {
+            let _ = writeln!(
+                out,
+                "  causality: {} --> {}",
+                alphabet.name(a.from),
+                alphabet.name(a.to)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    const SRC: &str = r#"
+        scesc simple_read on clk {
+            instances { Master, Slave }
+            events { MCmd_rd, Addr, SCmd_accept, SResp, SData, done }
+            props { ok }
+            tick { Master: MCmd_rd, Addr; Slave: SCmd_accept; env: done }
+            tick { Slave: SResp if ok, !SData }
+            cause MCmd_rd -> SResp;
+        }
+    "#;
+
+    #[test]
+    fn text_round_trips_through_parser() {
+        let doc = parse_document(SRC).unwrap();
+        let chart = &doc.charts[0];
+        let text = scesc_to_text(chart, &doc.alphabet);
+        let doc2 = parse_document(&text).unwrap();
+        let chart2 = &doc2.charts[0];
+        assert_eq!(chart.name(), chart2.name());
+        assert_eq!(chart.tick_count(), chart2.tick_count());
+        assert_eq!(chart.instances(), chart2.instances());
+        assert_eq!(chart.arrows().len(), chart2.arrows().len());
+        // pattern semantics preserved (displayed via each doc's alphabet)
+        for i in 0..chart.tick_count() {
+            assert_eq!(
+                chart.pattern_element(i).display(&doc.alphabet).to_string(),
+                chart2.pattern_element(i).display(&doc2.alphabet).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_contains_structure() {
+        let doc = parse_document(SRC).unwrap();
+        let art = render_ascii(&doc.charts[0], &doc.alphabet);
+        assert!(art.contains("(clk)"));
+        assert!(art.contains("Master"));
+        assert!(art.contains("Slave"));
+        assert!(art.contains("tick 0"));
+        assert!(art.contains("tick 1"));
+        assert!(art.contains("MCmd_rd"));
+        assert!(art.contains("[done]")); // environment event on frame
+        assert!(art.contains("~SData")); // absence marker
+        assert!(art.contains("causality: MCmd_rd --> SResp"));
+    }
+
+    #[test]
+    fn empty_tick_renders_and_round_trips() {
+        let doc = parse_document(
+            "scesc t on clk { instances { A } events { e } tick { A: e } tick ; }",
+        )
+        .unwrap();
+        let text = scesc_to_text(&doc.charts[0], &doc.alphabet);
+        assert!(text.contains("tick ;"));
+        let doc2 = parse_document(&text).unwrap();
+        assert_eq!(doc2.charts[0].tick_count(), 2);
+    }
+}

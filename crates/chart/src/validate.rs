@@ -1,0 +1,485 @@
+//! Well-formedness checks for charts and compositions.
+//!
+//! The paper relies on CESC's "well-defined graphical and textual syntax"
+//! to make specifications analysable; these checks are the machine
+//! enforcement of that well-formedness before synthesis:
+//!
+//! * a chart must have at least one grid line;
+//! * event placements must reference declared instances;
+//! * both endpoints of a causality arrow must occur (positively) in the
+//!   chart, and the cause must not occur strictly after its effect;
+//! * same-clock compositions (`seq`, `par`, `alt`, `loop`,
+//!   `implication`) must compose charts of one clock domain, while
+//!   `async` composition requires *distinct* domains;
+//! * synchronous `par` requires equal tick counts.
+
+use std::fmt;
+
+use crate::ast::{Cesc, Location, Scesc};
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChartError {
+    /// The chart has no grid lines (no clock ticks).
+    NoGridLines {
+        /// Offending chart name.
+        chart: String,
+    },
+    /// An event placement references an instance id never declared.
+    UnknownInstance {
+        /// Offending chart name.
+        chart: String,
+        /// The missing instance index.
+        index: usize,
+    },
+    /// A causality arrow endpoint never occurs (positively) in the chart.
+    ArrowEndpointMissing {
+        /// Offending chart name.
+        chart: String,
+        /// Which endpoint (`"from"` / `"to"`).
+        endpoint: &'static str,
+    },
+    /// A causality arrow's effect occurs strictly before its cause.
+    ArrowBackwards {
+        /// Offending chart name.
+        chart: String,
+    },
+    /// A same-clock structural construct mixes clock domains.
+    MixedClocks {
+        /// The construct (`"seq"`, `"par"`, …).
+        construct: &'static str,
+        /// The clock names found.
+        clocks: Vec<String>,
+    },
+    /// An `async` composition repeats a clock domain.
+    DuplicateAsyncClock {
+        /// The repeated clock name.
+        clock: String,
+    },
+    /// A synchronous `par` composes charts of different lengths.
+    ParLengthMismatch {
+        /// The distinct tick counts found.
+        lengths: Vec<usize>,
+    },
+    /// A structural construct has no components.
+    EmptyComposition {
+        /// The construct (`"seq"`, `"alt"`, …).
+        construct: &'static str,
+    },
+    /// A loop bound of zero repetitions.
+    ZeroLoopBound,
+}
+
+impl fmt::Display for ChartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChartError::NoGridLines { chart } => {
+                write!(f, "chart `{chart}` has no grid lines")
+            }
+            ChartError::UnknownInstance { chart, index } => {
+                write!(f, "chart `{chart}` places an event on undeclared instance {index}")
+            }
+            ChartError::ArrowEndpointMissing { chart, endpoint } => {
+                write!(
+                    f,
+                    "chart `{chart}` has a causality arrow whose `{endpoint}` event never occurs"
+                )
+            }
+            ChartError::ArrowBackwards { chart } => {
+                write!(f, "chart `{chart}` has a causality arrow going backwards in time")
+            }
+            ChartError::MixedClocks { construct, clocks } => {
+                write!(
+                    f,
+                    "`{construct}` composition mixes clock domains {clocks:?}; use `async` for multi-clock"
+                )
+            }
+            ChartError::DuplicateAsyncClock { clock } => {
+                write!(f, "`async` composition repeats clock domain `{clock}`")
+            }
+            ChartError::ParLengthMismatch { lengths } => {
+                write!(
+                    f,
+                    "`par` composition requires equal tick counts, found {lengths:?}"
+                )
+            }
+            ChartError::EmptyComposition { construct } => {
+                write!(f, "`{construct}` composition has no components")
+            }
+            ChartError::ZeroLoopBound => write!(f, "loop bound must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ChartError {}
+
+/// Validates a single basic chart.
+///
+/// # Errors
+///
+/// Returns the first violation found, in the order documented on
+/// [`ChartError`].
+pub fn validate_scesc(chart: &Scesc) -> Result<(), ChartError> {
+    if chart.lines.is_empty() {
+        return Err(ChartError::NoGridLines {
+            chart: chart.name.clone(),
+        });
+    }
+    for line in &chart.lines {
+        for ev in &line.events {
+            if let Location::Instance(id) = ev.location {
+                if id.index() >= chart.instances.len() {
+                    return Err(ChartError::UnknownInstance {
+                        chart: chart.name.clone(),
+                        index: id.index(),
+                    });
+                }
+            }
+        }
+    }
+    for arrow in &chart.arrows {
+        let from_ticks = chart.ticks_of_event(arrow.from);
+        let to_ticks = chart.ticks_of_event(arrow.to);
+        // a qualified endpoint must name an actual occurrence tick
+        let from_ok = match arrow.from_tick {
+            Some(t) => from_ticks.contains(&t),
+            None => !from_ticks.is_empty(),
+        };
+        if !from_ok {
+            return Err(ChartError::ArrowEndpointMissing {
+                chart: chart.name.clone(),
+                endpoint: "from",
+            });
+        }
+        let to_ok = match arrow.to_tick {
+            Some(t) => to_ticks.contains(&t),
+            None => !to_ticks.is_empty(),
+        };
+        if !to_ok {
+            return Err(ChartError::ArrowEndpointMissing {
+                chart: chart.name.clone(),
+                endpoint: "to",
+            });
+        }
+        let first_from = arrow.from_tick.unwrap_or(from_ticks[0]);
+        let last_to = arrow
+            .to_tick
+            .unwrap_or(*to_ticks.last().expect("non-empty"));
+        if last_to < first_from {
+            return Err(ChartError::ArrowBackwards {
+                chart: chart.name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a composition recursively, including every contained basic
+/// chart.
+///
+/// # Errors
+///
+/// Returns the first violation found (depth-first, components before
+/// construct-level checks).
+pub fn validate_cesc(cesc: &Cesc) -> Result<(), ChartError> {
+    match cesc {
+        Cesc::Basic(s) => validate_scesc(s),
+        Cesc::Seq(cs) => {
+            validate_same_clock("seq", cs)?;
+            Ok(())
+        }
+        Cesc::Alt(cs) => {
+            validate_same_clock("alt", cs)?;
+            Ok(())
+        }
+        Cesc::Par(cs) => {
+            validate_same_clock("par", cs)?;
+            let lengths: Vec<usize> = cs
+                .iter()
+                .map(component_tick_count)
+                .collect::<Option<Vec<_>>>()
+                .unwrap_or_default();
+            if !lengths.is_empty() {
+                let mut distinct = lengths.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() > 1 {
+                    return Err(ChartError::ParLengthMismatch { lengths });
+                }
+            }
+            Ok(())
+        }
+        Cesc::Loop(bound, body) => {
+            match bound {
+                crate::ast::LoopBound::Exactly(0) => return Err(ChartError::ZeroLoopBound),
+                crate::ast::LoopBound::Exactly(_) => {}
+            }
+            validate_cesc(body)
+        }
+        Cesc::Implication(a, b) => {
+            validate_cesc(a)?;
+            validate_cesc(b)?;
+            let mut clocks = a.clocks();
+            for c in b.clocks() {
+                if !clocks.contains(&c) {
+                    clocks.push(c);
+                }
+            }
+            if clocks.len() > 1 {
+                return Err(ChartError::MixedClocks {
+                    construct: "implication",
+                    clocks,
+                });
+            }
+            Ok(())
+        }
+        Cesc::AsyncPar(cs) => {
+            if cs.is_empty() {
+                return Err(ChartError::EmptyComposition { construct: "async" });
+            }
+            for c in cs {
+                validate_cesc(c)?;
+            }
+            let mut seen: Vec<String> = Vec::new();
+            for c in cs {
+                for clock in c.clocks() {
+                    if seen.contains(&clock) {
+                        return Err(ChartError::DuplicateAsyncClock { clock });
+                    }
+                    seen.push(clock);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validates a multi-clock specification: components must be
+/// individually well-formed and on pairwise-distinct clocks; every cross
+/// arrow endpoint must occur (positively) in some component chart.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_multiclock(spec: &crate::ast::MultiClockSpec) -> Result<(), ChartError> {
+    if spec.charts().is_empty() {
+        return Err(ChartError::EmptyComposition {
+            construct: "multiclock",
+        });
+    }
+    let mut clocks: Vec<&str> = Vec::new();
+    for c in spec.charts() {
+        validate_scesc(c)?;
+        if clocks.contains(&c.clock()) {
+            return Err(ChartError::DuplicateAsyncClock {
+                clock: c.clock().to_owned(),
+            });
+        }
+        clocks.push(c.clock());
+    }
+    for arrow in spec.cross_arrows() {
+        if spec.chart_of_event(arrow.from).is_none() {
+            return Err(ChartError::ArrowEndpointMissing {
+                chart: spec.name().to_owned(),
+                endpoint: "from",
+            });
+        }
+        if spec.chart_of_event(arrow.to).is_none() {
+            return Err(ChartError::ArrowEndpointMissing {
+                chart: spec.name().to_owned(),
+                endpoint: "to",
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_same_clock(construct: &'static str, cs: &[Cesc]) -> Result<(), ChartError> {
+    if cs.is_empty() {
+        return Err(ChartError::EmptyComposition { construct });
+    }
+    for c in cs {
+        validate_cesc(c)?;
+    }
+    let mut clocks: Vec<String> = Vec::new();
+    for c in cs {
+        for clock in c.clocks() {
+            if !clocks.contains(&clock) {
+                clocks.push(clock);
+            }
+        }
+    }
+    if clocks.len() > 1 {
+        return Err(ChartError::MixedClocks { construct, clocks });
+    }
+    Ok(())
+}
+
+/// Tick count of a composition when statically known (basic charts,
+/// seq/loop arithmetic, equal-length par/alt); `None` otherwise.
+pub fn component_tick_count(cesc: &Cesc) -> Option<usize> {
+    match cesc {
+        Cesc::Basic(s) => Some(s.tick_count()),
+        Cesc::Seq(cs) => cs.iter().map(component_tick_count).sum(),
+        Cesc::Par(cs) | Cesc::Alt(cs) => {
+            let lens: Option<Vec<usize>> = cs.iter().map(component_tick_count).collect();
+            let lens = lens?;
+            let first = *lens.first()?;
+            lens.iter().all(|&l| l == first).then_some(first)
+        }
+        Cesc::Loop(crate::ast::LoopBound::Exactly(n), body) => {
+            component_tick_count(body).map(|l| l * *n as usize)
+        }
+        Cesc::Implication(a, b) => {
+            Some(component_tick_count(a)? + component_tick_count(b)?)
+        }
+        Cesc::AsyncPar(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CausalityArrow, LoopBound};
+    use crate::builder::ScescBuilder;
+    use cesc_expr::Alphabet;
+
+    fn chart_on(clock: &str, name: &str) -> Scesc {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let mut b = ScescBuilder::new(name, clock);
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        b.tick();
+        b.event(m, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arrow_to_missing_event_rejected() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let ghost = ab.event("ghost");
+        let mut b = ScescBuilder::new("bad", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        b.arrow(e, ghost);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ChartError::ArrowEndpointMissing { endpoint: "to", .. }));
+    }
+
+    #[test]
+    fn backward_arrow_rejected() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let f = ab.event("f");
+        let mut b = ScescBuilder::new("bad", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, f);
+        b.tick();
+        b.event(m, e);
+        b.arrow(e, f); // e occurs at 1, f at 0
+        let err = b.build().unwrap_err();
+        assert_eq!(err, ChartError::ArrowBackwards { chart: "bad".into() });
+    }
+
+    #[test]
+    fn same_tick_arrow_allowed() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let f = ab.event("f");
+        let mut b = ScescBuilder::new("ok", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        b.event(m, f);
+        b.arrow(e, f);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn seq_rejects_mixed_clocks() {
+        let a = chart_on("clk1", "a");
+        let b = chart_on("clk2", "b");
+        let comp = Cesc::Seq(vec![Cesc::Basic(a), Cesc::Basic(b)]);
+        let err = validate_cesc(&comp).unwrap_err();
+        assert!(matches!(err, ChartError::MixedClocks { construct: "seq", .. }));
+    }
+
+    #[test]
+    fn async_requires_distinct_clocks() {
+        let a = chart_on("clk1", "a");
+        let b = chart_on("clk1", "b");
+        let comp = Cesc::AsyncPar(vec![Cesc::Basic(a.clone()), Cesc::Basic(b)]);
+        let err = validate_cesc(&comp).unwrap_err();
+        assert!(matches!(err, ChartError::DuplicateAsyncClock { .. }));
+        let c = chart_on("clk2", "c");
+        let ok = Cesc::AsyncPar(vec![Cesc::Basic(a), Cesc::Basic(c)]);
+        assert!(validate_cesc(&ok).is_ok());
+    }
+
+    #[test]
+    fn par_length_mismatch_rejected() {
+        let a = chart_on("clk", "a"); // 2 ticks
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let mut b = ScescBuilder::new("b", "clk");
+        let m = b.instance("M");
+        b.tick();
+        b.event(m, e);
+        let b1 = b.build().unwrap(); // 1 tick
+        let comp = Cesc::Par(vec![Cesc::Basic(a), Cesc::Basic(b1)]);
+        let err = validate_cesc(&comp).unwrap_err();
+        assert!(matches!(err, ChartError::ParLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_and_zero_loop_rejected() {
+        assert!(matches!(
+            validate_cesc(&Cesc::Seq(vec![])),
+            Err(ChartError::EmptyComposition { construct: "seq" })
+        ));
+        let a = chart_on("clk", "a");
+        assert_eq!(
+            validate_cesc(&Cesc::Loop(LoopBound::Exactly(0), Box::new(Cesc::Basic(a)))),
+            Err(ChartError::ZeroLoopBound)
+        );
+    }
+
+    #[test]
+    fn tick_counts_compose() {
+        let a = chart_on("clk", "a"); // 2 ticks
+        let seq = Cesc::Seq(vec![Cesc::Basic(a.clone()), Cesc::Basic(a.clone())]);
+        assert_eq!(component_tick_count(&seq), Some(4));
+        let looped = Cesc::Loop(LoopBound::Exactly(3), Box::new(Cesc::Basic(a.clone())));
+        assert_eq!(component_tick_count(&looped), Some(6));
+        let anp = Cesc::AsyncPar(vec![Cesc::Basic(a)]);
+        assert_eq!(component_tick_count(&anp), None);
+    }
+
+    #[test]
+    fn unknown_instance_rejected() {
+        use crate::ast::{EventSpec, GridLine, Location, InstanceId};
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let chart = Scesc {
+            name: "bad".into(),
+            clock: "clk".into(),
+            instances: vec![],
+            lines: vec![GridLine {
+                events: vec![EventSpec {
+                    event: e,
+                    guard: None,
+                    absent: false,
+                    location: Location::Instance(InstanceId(7)),
+                }],
+            }],
+            arrows: vec![CausalityArrow::new(e, e)],
+        };
+        let err = validate_scesc(&chart).unwrap_err();
+        assert!(matches!(err, ChartError::UnknownInstance { index: 7, .. }));
+    }
+}

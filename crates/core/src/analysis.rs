@@ -1,0 +1,263 @@
+//! Static analysis of synthesized monitors.
+//!
+//! The paper's flow reviews verification plans before simulation;
+//! these checks are the monitor-level equivalent: reachability, dead
+//! guards, scoreboard balance and size metrics — the numbers
+//! EXPERIMENTS.md tabulates per figure and the sanity gates the test
+//! suite runs over every synthesized monitor.
+
+use cesc_expr::sat;
+
+use crate::monitor::{Monitor, StateId, TransitionKind};
+use crate::scoreboard::Action;
+
+/// Metrics and findings from [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Number of states.
+    pub states: usize,
+    /// Total transitions.
+    pub transitions: usize,
+    /// Forward transitions (match progress).
+    pub forward_transitions: usize,
+    /// States unreachable from the initial state (should be empty for
+    /// synthesized monitors).
+    pub unreachable_states: Vec<StateId>,
+    /// Transitions whose *effective* guard is unsatisfiable (dead:
+    /// shadowed by higher-priority guards or self-contradictory).
+    pub dead_transitions: Vec<(StateId, usize)>,
+    /// Total `Add_evt` event slots across all transitions.
+    pub add_slots: usize,
+    /// Total `Del_evt` event slots across all transitions.
+    pub del_slots: usize,
+    /// Atom count of the largest guard (complexity of the widest
+    /// comparator the HDL back-end will emit).
+    pub max_guard_atoms: usize,
+}
+
+impl MonitorStats {
+    /// Whether the monitor passes all structural sanity checks.
+    pub fn is_clean(&self) -> bool {
+        self.unreachable_states.is_empty() && self.dead_transitions.is_empty()
+    }
+}
+
+fn guard_atoms(e: &cesc_expr::Expr) -> usize {
+    use cesc_expr::Expr;
+    match e {
+        Expr::Const(_) => 0,
+        Expr::Sym(_) | Expr::ChkEvt(_) => 1,
+        Expr::Not(inner) => guard_atoms(inner),
+        Expr::And(es) | Expr::Or(es) => es.iter().map(guard_atoms).sum(),
+    }
+}
+
+/// Analyses a monitor: reachability from the initial state, dead
+/// (never-enabled) transitions, scoreboard op counts and guard
+/// complexity.
+///
+/// Dead-transition detection treats `Chk_evt` atoms as free variables
+/// (a transition is dead only if no valuation *and* no scoreboard
+/// state enables it).
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{analyze, synthesize, SynthOptions};
+/// let doc = parse_document(
+///     "scesc t on clk { instances { M } events { a, b } \
+///      tick { M: a } tick { M: b } cause a -> b; }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("t").unwrap(), &SynthOptions::default())?;
+/// let stats = analyze(&m);
+/// assert!(stats.is_clean());
+/// assert_eq!(stats.states, 3);
+/// # Ok::<(), cesc_core::SynthError>(())
+/// ```
+pub fn analyze(monitor: &Monitor) -> MonitorStats {
+    let n = monitor.state_count();
+
+    // reachability over the transition graph
+    let mut reachable = vec![false; n];
+    let mut stack = vec![monitor.initial()];
+    reachable[monitor.initial().index()] = true;
+    while let Some(s) = stack.pop() {
+        for t in monitor.transitions_from(s) {
+            if !reachable[t.target.index()] {
+                reachable[t.target.index()] = true;
+                stack.push(t.target);
+            }
+        }
+    }
+    let unreachable_states: Vec<StateId> = (0..n)
+        .filter(|&i| !reachable[i])
+        .map(StateId::from_index)
+        .collect();
+
+    let mut transitions = 0;
+    let mut forward_transitions = 0;
+    let mut dead_transitions = Vec::new();
+    let mut add_slots = 0;
+    let mut del_slots = 0;
+    let mut max_guard_atoms = 0;
+
+    for s in 0..n {
+        let state = StateId::from_index(s);
+        let ts = monitor.transitions_from(state);
+        for (idx, t) in ts.iter().enumerate() {
+            transitions += 1;
+            if t.kind == TransitionKind::Forward {
+                forward_transitions += 1;
+            }
+            max_guard_atoms = max_guard_atoms.max(guard_atoms(&t.guard));
+            let effective = monitor.effective_guard(state, idx);
+            if !sat::is_satisfiable(&effective) {
+                dead_transitions.push((state, idx));
+            }
+            for a in &t.actions {
+                match a {
+                    Action::AddEvt(es) => add_slots += es.len(),
+                    Action::DelEvt(es) => del_slots += es.len(),
+                    Action::Null => {}
+                }
+            }
+        }
+    }
+
+    MonitorStats {
+        states: n,
+        transitions,
+        forward_transitions,
+        unreachable_states,
+        dead_transitions,
+        add_slots,
+        del_slots,
+        max_guard_atoms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Transition;
+    use crate::synth::{synthesize, SynthOptions};
+    use cesc_chart::parse_document;
+    use cesc_expr::Expr;
+
+    #[test]
+    fn paper_monitors_are_clean() {
+        for src in [
+            r#"scesc f6 on clk {
+                instances { M, S }
+                events { MCmd_rd, Addr, SCmd_accept, SResp, SData }
+                tick { M: MCmd_rd, Addr; S: SCmd_accept }
+                tick { S: SResp, SData }
+                cause MCmd_rd -> SResp;
+            }"#,
+            r#"scesc f5 on clk {
+                instances { A, B }
+                events { e1, e2, e3 }
+                props { p1, p3 }
+                tick { A: e1 if p1; B: e2 }
+                tick ;
+                tick { B: e3 if p3 }
+                cause e1 -> e3;
+            }"#,
+        ] {
+            let doc = parse_document(src).unwrap();
+            let m = synthesize(&doc.charts[0], &SynthOptions::default()).unwrap();
+            let stats = analyze(&m);
+            assert!(stats.is_clean(), "{}: {stats:?}", doc.charts[0].name());
+            assert_eq!(stats.forward_transitions, doc.charts[0].tick_count());
+            assert!(stats.max_guard_atoms >= 1);
+        }
+    }
+
+    #[test]
+    fn fig5_scoreboard_slots_balance() {
+        let doc = parse_document(
+            r#"scesc f5 on clk {
+                instances { A, B }
+                events { e1, e3 }
+                tick { A: e1 }
+                tick { B: e3 }
+                cause e1 -> e3;
+            }"#,
+        )
+        .unwrap();
+        let m = synthesize(&doc.charts[0], &SynthOptions::default()).unwrap();
+        let stats = analyze(&m);
+        assert!(stats.add_slots > 0);
+        assert!(stats.del_slots > 0);
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        let mut ab = cesc_expr::Alphabet::new();
+        let a = ab.event("a");
+        // state 1 unreachable: only self-loops on 0 and final 2
+        let m = Monitor {
+            name: "gap".into(),
+            clock: "clk".into(),
+            transitions: vec![
+                vec![Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(2),
+                    kind: TransitionKind::Forward,
+                }],
+                vec![Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                }],
+                vec![Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                }],
+            ],
+            initial: StateId::from_index(0),
+            final_state: StateId::from_index(2),
+            pattern: vec![Expr::sym(a)],
+            tracked_events: vec![],
+        };
+        let stats = analyze(&m);
+        assert_eq!(stats.unreachable_states, vec![StateId::from_index(1)]);
+        assert!(!stats.is_clean());
+    }
+
+    #[test]
+    fn shadowed_transition_is_dead() {
+        let mut ab = cesc_expr::Alphabet::new();
+        let a = ab.event("a");
+        // second transition guard `a` is shadowed by first `true`
+        let m = Monitor {
+            name: "shadow".into(),
+            clock: "clk".into(),
+            transitions: vec![vec![
+                Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+                Transition {
+                    guard: Expr::sym(a),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+            ]],
+            initial: StateId::from_index(0),
+            final_state: StateId::from_index(0),
+            pattern: vec![],
+            tracked_events: vec![],
+        };
+        let stats = analyze(&m);
+        assert_eq!(stats.dead_transitions, vec![(StateId::from_index(0), 1)]);
+    }
+}

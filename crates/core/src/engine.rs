@@ -1,0 +1,503 @@
+//! Alternative pattern-matching engines: ablations and baselines.
+//!
+//! The synthesized [`crate::Monitor`] evaluates guards on the fly. This
+//! module adds the engines the evaluation section compares against:
+//!
+//! * [`DenseTableEngine`] — the paper-literal `compute_transition_func`:
+//!   δ is precomputed for **every** valuation `e ∈ 2^Σ` (exponential
+//!   build, O(1) lookups). The `scaling` bench quantifies the build
+//!   cost against the lazy/interpreted alternatives.
+//! * [`LazyEngine`] — identical δ, computed on demand and memoised;
+//!   avoids the `2^Σ` enumeration entirely.
+//! * [`ExactEngine`] — subset construction over live prefix lengths; the
+//!   exact reference semantics used to cross-validate the KMP-style
+//!   approximation on self-overlapping patterns.
+//! * [`NaiveMatcher`] — the no-automaton baseline: re-checks the whole
+//!   window on every tick (O(n) per element).
+//!
+//! All engines operate on *pure* patterns (no scoreboard guards): they
+//! answer "does a window matching `P` end at this tick?".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cesc_expr::{Expr, SymbolId, Valuation};
+
+use crate::synth::{compat_matrix, slide_target};
+
+/// Error constructing a table-driven engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The pattern mentions more symbols than the dense table can
+    /// enumerate.
+    TooManySymbols {
+        /// Symbols mentioned by the pattern.
+        found: usize,
+        /// The enumeration cap.
+        max: usize,
+    },
+    /// The pattern contains `Chk_evt` scoreboard atoms, which pure
+    /// pattern engines cannot evaluate.
+    ScoreboardGuard,
+    /// The pattern is empty.
+    EmptyPattern,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TooManySymbols { found, max } => write!(
+                f,
+                "pattern mentions {found} symbols; dense tables support at most {max}"
+            ),
+            EngineError::ScoreboardGuard => {
+                f.write_str("pattern contains Chk_evt guards; use the synthesized Monitor")
+            }
+            EngineError::EmptyPattern => f.write_str("pattern is empty"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+fn pattern_symbols(pattern: &[Expr]) -> Result<Vec<SymbolId>, EngineError> {
+    if pattern.is_empty() {
+        return Err(EngineError::EmptyPattern);
+    }
+    let mut acc = Valuation::empty();
+    for p in pattern {
+        if p.uses_scoreboard() {
+            return Err(EngineError::ScoreboardGuard);
+        }
+        acc = acc | p.symbols();
+    }
+    Ok(acc.iter().collect())
+}
+
+fn compress(v: Valuation, symbols: &[SymbolId]) -> usize {
+    let mut idx = 0usize;
+    for (bit, &s) in symbols.iter().enumerate() {
+        if v.contains(s) {
+            idx |= 1 << bit;
+        }
+    }
+    idx
+}
+
+fn expand(idx: usize, symbols: &[SymbolId]) -> Valuation {
+    let mut v = Valuation::empty();
+    for (bit, &s) in symbols.iter().enumerate() {
+        if (idx >> bit) & 1 == 1 {
+            v.insert(s);
+        }
+    }
+    v
+}
+
+/// Paper-literal dense transition table: `δ(s, e)` precomputed for every
+/// valuation of the pattern's alphabet (§5 `compute_transition_func`,
+/// `for each valuation e ∈ 2^Σ`).
+#[derive(Debug, Clone)]
+pub struct DenseTableEngine {
+    symbols: Vec<SymbolId>,
+    /// `table[s * width + compress(e)]` = next state.
+    table: Vec<u16>,
+    width: usize,
+    n: usize,
+    state: usize,
+}
+
+impl DenseTableEngine {
+    /// Maximum number of distinct symbols the dense enumeration accepts
+    /// (`2^16` valuations per state).
+    pub const MAX_SYMBOLS: usize = 16;
+
+    /// Builds the table for `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TooManySymbols`] beyond
+    /// [`DenseTableEngine::MAX_SYMBOLS`]; [`EngineError::ScoreboardGuard`]
+    /// / [`EngineError::EmptyPattern`] for unsupported patterns.
+    pub fn new(pattern: &[Expr]) -> Result<Self, EngineError> {
+        let symbols = pattern_symbols(pattern)?;
+        if symbols.len() > Self::MAX_SYMBOLS {
+            return Err(EngineError::TooManySymbols {
+                found: symbols.len(),
+                max: Self::MAX_SYMBOLS,
+            });
+        }
+        let n = pattern.len();
+        let width = 1usize << symbols.len();
+        let compat = compat_matrix(pattern);
+        let mut table = vec![0u16; (n + 1) * width];
+        for s in 0..=n {
+            for idx in 0..width {
+                let v = expand(idx, &symbols);
+                let matches: Vec<bool> = pattern.iter().map(|p| p.eval_pure(v)).collect();
+                let k = slide_target(n, &compat, s, &|i| matches[i]);
+                table[s * width + idx] = k as u16;
+            }
+        }
+        Ok(DenseTableEngine {
+            symbols,
+            table,
+            width,
+            n,
+            state: 0,
+        })
+    }
+
+    /// Number of table entries (`(n+1) · 2^|Σ|`).
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Consumes one element; returns whether a matching window ends
+    /// here.
+    #[inline]
+    pub fn step(&mut self, v: Valuation) -> bool {
+        let idx = compress(v, &self.symbols);
+        self.state = self.table[self.state * self.width + idx] as usize;
+        self.state == self.n
+    }
+
+    /// Current automaton state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Resets to the initial state.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+/// Same δ as [`DenseTableEngine`], computed on demand and memoised —
+/// the ablation showing the `2^Σ` enumeration is avoidable.
+#[derive(Debug, Clone)]
+pub struct LazyEngine {
+    pattern: Vec<Expr>,
+    symbols: Vec<SymbolId>,
+    compat: Vec<Vec<bool>>,
+    memo: HashMap<(usize, usize), usize>,
+    n: usize,
+    state: usize,
+}
+
+impl LazyEngine {
+    /// Builds the engine (cheap: only the compatibility matrix is
+    /// precomputed).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ScoreboardGuard`] / [`EngineError::EmptyPattern`]
+    /// for unsupported patterns.
+    pub fn new(pattern: &[Expr]) -> Result<Self, EngineError> {
+        let symbols = pattern_symbols(pattern)?;
+        let compat = compat_matrix(pattern);
+        Ok(LazyEngine {
+            n: pattern.len(),
+            pattern: pattern.to_vec(),
+            symbols,
+            compat,
+            memo: HashMap::new(),
+            state: 0,
+        })
+    }
+
+    /// Consumes one element; returns whether a matching window ends
+    /// here.
+    pub fn step(&mut self, v: Valuation) -> bool {
+        let idx = compress(v, &self.symbols);
+        let key = (self.state, idx);
+        let next = match self.memo.get(&key) {
+            Some(&k) => k,
+            None => {
+                let matches: Vec<bool> = self.pattern.iter().map(|p| p.eval_pure(v)).collect();
+                let k = slide_target(self.n, &self.compat, self.state, &|i| matches[i]);
+                self.memo.insert(key, k);
+                k
+            }
+        };
+        self.state = next;
+        self.state == self.n
+    }
+
+    /// Number of memoised δ entries computed so far.
+    pub fn memo_size(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Current automaton state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Resets the state (memo retained).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+/// Exact online matcher: subset construction over live prefix lengths.
+///
+/// State is the set `{k : the last k elements match P_k}`, kept as a
+/// bitmask. This is the exact semantics of "a window matching `P` ends
+/// here", used as the reference in property tests (the KMP-style single
+/// -state approximation can differ only on self-overlapping patterns —
+/// see `crate::synth` docs).
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    pattern: Vec<Expr>,
+    /// bit k set ⇔ prefix length k is live (bit 0 always set).
+    live: u64,
+    n: usize,
+}
+
+impl ExactEngine {
+    /// Maximum pattern length (bitmask width minus the empty prefix).
+    pub const MAX_PATTERN: usize = 63;
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPattern`], [`EngineError::ScoreboardGuard`],
+    /// or [`EngineError::TooManySymbols`] when the pattern exceeds
+    /// [`ExactEngine::MAX_PATTERN`] elements.
+    pub fn new(pattern: &[Expr]) -> Result<Self, EngineError> {
+        pattern_symbols(pattern)?; // validates purity / non-emptiness
+        if pattern.len() > Self::MAX_PATTERN {
+            return Err(EngineError::TooManySymbols {
+                found: pattern.len(),
+                max: Self::MAX_PATTERN,
+            });
+        }
+        Ok(ExactEngine {
+            n: pattern.len(),
+            pattern: pattern.to_vec(),
+            live: 1,
+        })
+    }
+
+    /// Consumes one element; returns whether a matching window ends
+    /// here (exactly).
+    pub fn step(&mut self, v: Valuation) -> bool {
+        let mut next = 1u64; // empty prefix always live
+        for k in 1..=self.n {
+            if self.live & (1 << (k - 1)) != 0 && self.pattern[k - 1].eval_pure(v) {
+                next |= 1 << k;
+            }
+        }
+        self.live = next;
+        self.live & (1 << self.n) != 0
+    }
+
+    /// The longest currently-live prefix length.
+    pub fn longest_live(&self) -> usize {
+        (63 - self.live.leading_zeros()) as usize
+    }
+
+    /// Resets to only the empty prefix live.
+    pub fn reset(&mut self) {
+        self.live = 1;
+    }
+}
+
+/// Baseline without an automaton: buffers the last `n` elements and
+/// re-checks the whole window every tick — what a hand-rolled checker
+/// typically does, and what the string-matching automaton of [CLRS]
+/// (the paper's reference [19]) improves upon.
+#[derive(Debug, Clone)]
+pub struct NaiveMatcher {
+    pattern: Vec<Expr>,
+    buffer: Vec<Valuation>,
+    cursor: usize,
+    filled: usize,
+    n: usize,
+}
+
+impl NaiveMatcher {
+    /// Builds the matcher.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPattern`] or [`EngineError::ScoreboardGuard`].
+    pub fn new(pattern: &[Expr]) -> Result<Self, EngineError> {
+        pattern_symbols(pattern)?;
+        Ok(NaiveMatcher {
+            n: pattern.len(),
+            pattern: pattern.to_vec(),
+            buffer: vec![Valuation::empty(); pattern.len()],
+            cursor: 0,
+            filled: 0,
+        })
+    }
+
+    /// Consumes one element; returns whether a matching window ends
+    /// here (re-checking all `n` elements).
+    pub fn step(&mut self, v: Valuation) -> bool {
+        self.buffer[self.cursor] = v;
+        self.cursor = (self.cursor + 1) % self.n;
+        if self.filled < self.n {
+            self.filled += 1;
+            if self.filled < self.n {
+                return false;
+            }
+        }
+        // window in chronological order starts at cursor
+        (0..self.n).all(|i| {
+            let pos = (self.cursor + i) % self.n;
+            self.pattern[i].eval_pure(self.buffer[pos])
+        })
+    }
+
+    /// Resets the buffer.
+    pub fn reset(&mut self) {
+        self.filled = 0;
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_expr::Alphabet;
+
+    fn abc_pattern() -> (Alphabet, Vec<Expr>) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        let c = ab.event("c");
+        let pattern = vec![Expr::sym(a), Expr::sym(b), Expr::sym(c)];
+        (ab, pattern)
+    }
+
+    fn trace_of(ab: &Alphabet, names: &[&str]) -> Vec<Valuation> {
+        names
+            .iter()
+            .map(|n| {
+                if n.is_empty() {
+                    Valuation::empty()
+                } else {
+                    Valuation::of(n.split('+').map(|p| ab.lookup(p).unwrap()))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_engines_agree_on_plain_pattern() {
+        let (ab, pattern) = abc_pattern();
+        let trace = trace_of(&ab, &["a", "b", "c", "a", "a", "b", "c", ""]);
+        let mut dense = DenseTableEngine::new(&pattern).unwrap();
+        let mut lazy = LazyEngine::new(&pattern).unwrap();
+        let mut exact = ExactEngine::new(&pattern).unwrap();
+        let mut naive = NaiveMatcher::new(&pattern).unwrap();
+        for &v in &trace {
+            let d = dense.step(v);
+            let l = lazy.step(v);
+            let e = exact.step(v);
+            let n = naive.step(v);
+            assert_eq!(d, l);
+            assert_eq!(d, e);
+            assert_eq!(d, n);
+        }
+    }
+
+    #[test]
+    fn match_positions_are_correct() {
+        let (ab, pattern) = abc_pattern();
+        let trace = trace_of(&ab, &["a", "b", "c", "b", "a", "b", "c"]);
+        let mut exact = ExactEngine::new(&pattern).unwrap();
+        let hits: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| exact.step(v))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, vec![2, 6]);
+    }
+
+    #[test]
+    fn dense_table_size() {
+        let (_, pattern) = abc_pattern();
+        let dense = DenseTableEngine::new(&pattern).unwrap();
+        // 4 states × 2^3 valuations
+        assert_eq!(dense.table_size(), 32);
+    }
+
+    #[test]
+    fn lazy_memoises_only_whats_seen() {
+        let (ab, pattern) = abc_pattern();
+        let mut lazy = LazyEngine::new(&pattern).unwrap();
+        let trace = trace_of(&ab, &["a", "b"]);
+        for v in trace {
+            lazy.step(v);
+        }
+        assert!(lazy.memo_size() <= 2);
+    }
+
+    #[test]
+    fn exact_tracks_overlapping_windows() {
+        // pattern (a, a): input a,a,a has windows ending at 1 and 2
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let pattern = vec![Expr::sym(a), Expr::sym(a)];
+        let mut exact = ExactEngine::new(&pattern).unwrap();
+        let va = Valuation::of([a]);
+        assert!(!exact.step(va));
+        assert!(exact.step(va));
+        assert!(exact.step(va));
+        assert_eq!(exact.longest_live(), 2);
+        exact.reset();
+        assert_eq!(exact.longest_live(), 0);
+    }
+
+    #[test]
+    fn naive_matches_after_buffer_fills() {
+        let (ab, pattern) = abc_pattern();
+        let mut naive = NaiveMatcher::new(&pattern).unwrap();
+        let trace = trace_of(&ab, &["a", "b"]);
+        for v in trace {
+            assert!(!naive.step(v));
+        }
+        assert!(naive.step(Valuation::of([ab.lookup("c").unwrap()])));
+    }
+
+    #[test]
+    fn engine_errors() {
+        assert_eq!(
+            DenseTableEngine::new(&[]).unwrap_err(),
+            EngineError::EmptyPattern
+        );
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let chk_pattern = vec![Expr::chk(e)];
+        assert_eq!(
+            LazyEngine::new(&chk_pattern).unwrap_err(),
+            EngineError::ScoreboardGuard
+        );
+        // 17 symbols exceed the dense cap
+        let mut wide = Vec::new();
+        for i in 0..17 {
+            wide.push(Expr::sym(ab.event(&format!("w{i}"))));
+        }
+        let err = DenseTableEngine::new(&wide).unwrap_err();
+        assert!(matches!(err, EngineError::TooManySymbols { found: 17, .. }));
+        assert!(err.to_string().contains("17"));
+    }
+
+    #[test]
+    fn guarded_elements_work_in_engines() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("e");
+        let p = ab.prop("p");
+        let pattern = vec![Expr::sym(p) & Expr::sym(e), Expr::t()];
+        let mut exact = ExactEngine::new(&pattern).unwrap();
+        assert!(!exact.step(Valuation::of([e]))); // p missing
+        assert!(!exact.step(Valuation::of([p, e])));
+        assert!(exact.step(Valuation::empty())); // TRUE element
+    }
+}

@@ -1,0 +1,598 @@
+//! Guard expressions over events, propositions and scoreboard checks.
+//!
+//! §4 of the paper defines transition labels `exp / act` where `exp` ranges
+//! over "logical expressions formed over EVENTS and PROP using logical
+//! connectives ∧, ∨ and ¬". The case-study monitors additionally guard
+//! transitions with `Chk_evt(e)` — a query against the dynamic scoreboard —
+//! so `Chk_evt` is a first-class atom here ([`Expr::ChkEvt`]).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+use crate::symbol::{Alphabet, SymbolId};
+use crate::valuation::Valuation;
+
+/// Read-only view of a scoreboard, as needed to evaluate `Chk_evt` atoms.
+///
+/// The concrete scoreboard lives in `cesc-core`; expressions only need to
+/// ask whether at least one occurrence of an event is recorded (§4: the
+/// scoreboard "dynamically maintains the information about event
+/// occurrences, which is used in implementing the causality checks").
+pub trait ScoreboardView {
+    /// Whether at least one occurrence of `event` is currently recorded.
+    fn has_event(&self, event: SymbolId) -> bool;
+}
+
+/// A scoreboard view with no recorded occurrences; every `Chk_evt` is
+/// false. Useful for evaluating pure (scoreboard-free) expressions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyScoreboard;
+
+impl ScoreboardView for EmptyScoreboard {
+    fn has_event(&self, _event: SymbolId) -> bool {
+        false
+    }
+}
+
+impl ScoreboardView for Valuation {
+    /// Treats the valuation itself as the set of recorded events; used by
+    /// satisfiability search where `Chk_evt` atoms are free variables.
+    fn has_event(&self, event: SymbolId) -> bool {
+        self.contains(event)
+    }
+}
+
+/// A boolean expression over `EVENTS ∪ PROP` plus `Chk_evt` scoreboard
+/// atoms.
+///
+/// `And`/`Or` are n-ary so pattern elements extracted from a chart's grid
+/// lines (`e1 ∧ … ∧ ek`, §5 `extract_pattern`) print the way the paper
+/// writes them. [`Expr`] implements `&`, `|` and `!` for concise
+/// construction:
+///
+/// ```
+/// use cesc_expr::{Alphabet, Expr};
+/// let mut ab = Alphabet::new();
+/// let (req, rdy) = (ab.event("req"), ab.event("rdy"));
+/// let guard = Expr::sym(req) & !Expr::sym(rdy);
+/// assert_eq!(guard.display(&ab).to_string(), "(req & !rdy)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Constant truth value (`TRUE` appears as pattern element `b` in the
+    /// paper's Fig 5).
+    Const(bool),
+    /// The truth value of an event or proposition at the current tick.
+    Sym(SymbolId),
+    /// `Chk_evt(e)`: the scoreboard currently records an occurrence of `e`.
+    ChkEvt(SymbolId),
+    /// Negation.
+    Not(Box<Expr>),
+    /// N-ary conjunction; empty conjunction is `true`.
+    And(Vec<Expr>),
+    /// N-ary disjunction; empty disjunction is `false`.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// The constant `true`.
+    pub fn t() -> Self {
+        Expr::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn f() -> Self {
+        Expr::Const(false)
+    }
+
+    /// Atom for symbol `id`.
+    pub fn sym(id: SymbolId) -> Self {
+        Expr::Sym(id)
+    }
+
+    /// `Chk_evt(event)` scoreboard atom.
+    pub fn chk(event: SymbolId) -> Self {
+        Expr::ChkEvt(event)
+    }
+
+    /// Conjunction of `parts` (flattening nested conjunctions).
+    pub fn and(parts: impl IntoIterator<Item = Expr>) -> Self {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Expr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::t(),
+            1 => out.pop().expect("len checked"),
+            _ => Expr::And(out),
+        }
+    }
+
+    /// Disjunction of `parts` (flattening nested disjunctions).
+    pub fn or(parts: impl IntoIterator<Item = Expr>) -> Self {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Expr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::f(),
+            1 => out.pop().expect("len checked"),
+            _ => Expr::Or(out),
+        }
+    }
+
+    /// Conjunction of positive atoms for every symbol in `ids` — the
+    /// paper's `extract_pattern` translation for a grid line carrying
+    /// multiple events (`e1 … ek ⇒ (e1 ∧ … ∧ ek)`).
+    pub fn all_of(ids: impl IntoIterator<Item = SymbolId>) -> Self {
+        Expr::and(ids.into_iter().map(Expr::sym))
+    }
+
+    /// Evaluates the expression at one trace element.
+    ///
+    /// `v` supplies the truth values of `EVENTS ∪ PROP` for the current
+    /// tick, `sb` answers `Chk_evt` queries.
+    pub fn eval(&self, v: Valuation, sb: &dyn ScoreboardView) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Sym(id) => v.contains(*id),
+            Expr::ChkEvt(id) => sb.has_event(*id),
+            Expr::Not(e) => !e.eval(v, sb),
+            Expr::And(es) => es.iter().all(|e| e.eval(v, sb)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(v, sb)),
+        }
+    }
+
+    /// Evaluates an expression containing no `Chk_evt` atoms.
+    ///
+    /// Convenience for pure pattern elements; `Chk_evt` atoms evaluate as
+    /// false (empty scoreboard).
+    pub fn eval_pure(&self, v: Valuation) -> bool {
+        self.eval(v, &EmptyScoreboard)
+    }
+
+    /// Whether the expression mentions any `Chk_evt` atom.
+    pub fn uses_scoreboard(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Sym(_) => false,
+            Expr::ChkEvt(_) => true,
+            Expr::Not(e) => e.uses_scoreboard(),
+            Expr::And(es) | Expr::Or(es) => es.iter().any(Expr::uses_scoreboard),
+        }
+    }
+
+    /// All symbol atoms mentioned (excluding `Chk_evt` targets), as a
+    /// valuation-set.
+    pub fn symbols(&self) -> Valuation {
+        let mut acc = Valuation::empty();
+        self.collect_symbols(&mut acc, false);
+        acc
+    }
+
+    /// All events referenced by `Chk_evt` atoms.
+    pub fn chk_targets(&self) -> Valuation {
+        let mut acc = Valuation::empty();
+        self.collect_symbols(&mut acc, true);
+        acc
+    }
+
+    fn collect_symbols(&self, acc: &mut Valuation, chk: bool) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Sym(id) => {
+                if !chk {
+                    acc.insert(*id);
+                }
+            }
+            Expr::ChkEvt(id) => {
+                if chk {
+                    acc.insert(*id);
+                }
+            }
+            Expr::Not(e) => e.collect_symbols(acc, chk),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_symbols(acc, chk);
+                }
+            }
+        }
+    }
+
+    /// Symbols occurring with *positive* polarity (not under an odd number
+    /// of negations). §5's `add_causality_check` attaches `Add_evt(ex)` to
+    /// "every transition that depends on the occurrence of event ex" —
+    /// i.e. transitions whose pattern element mentions `ex` positively.
+    pub fn positive_symbols(&self) -> Valuation {
+        let mut acc = Valuation::empty();
+        self.collect_polarity(&mut acc, true);
+        acc
+    }
+
+    /// Symbols occurring with *negative* polarity.
+    pub fn negative_symbols(&self) -> Valuation {
+        let mut acc = Valuation::empty();
+        self.collect_polarity(&mut acc, false);
+        acc
+    }
+
+    fn collect_polarity(&self, acc: &mut Valuation, positive: bool) {
+        match self {
+            Expr::Const(_) | Expr::ChkEvt(_) => {}
+            Expr::Sym(id) => {
+                if positive {
+                    acc.insert(*id);
+                }
+            }
+            Expr::Not(e) => e.collect_polarity(acc, !positive),
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_polarity(acc, positive);
+                }
+            }
+        }
+    }
+
+    /// Structural simplification: constant folding, double-negation
+    /// elimination, flattening, idempotence and complement detection.
+    ///
+    /// The result evaluates identically on every valuation/scoreboard
+    /// (checked by property test).
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Sym(_) | Expr::ChkEvt(_) => self.clone(),
+            Expr::Not(e) => match e.simplify() {
+                Expr::Const(b) => Expr::Const(!b),
+                Expr::Not(inner) => *inner,
+                other => Expr::Not(Box::new(other)),
+            },
+            Expr::And(es) => {
+                let mut parts: Vec<Expr> = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(true) => {}
+                        Expr::Const(false) => return Expr::f(),
+                        Expr::And(inner) => {
+                            for i in inner {
+                                if !parts.contains(&i) {
+                                    parts.push(i);
+                                }
+                            }
+                        }
+                        other => {
+                            if !parts.contains(&other) {
+                                parts.push(other);
+                            }
+                        }
+                    }
+                }
+                if has_complement(&parts) {
+                    return Expr::f();
+                }
+                Expr::and(parts)
+            }
+            Expr::Or(es) => {
+                let mut parts: Vec<Expr> = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(false) => {}
+                        Expr::Const(true) => return Expr::t(),
+                        Expr::Or(inner) => {
+                            for i in inner {
+                                if !parts.contains(&i) {
+                                    parts.push(i);
+                                }
+                            }
+                        }
+                        other => {
+                            if !parts.contains(&other) {
+                                parts.push(other);
+                            }
+                        }
+                    }
+                }
+                if has_complement(&parts) {
+                    return Expr::t();
+                }
+                Expr::or(parts)
+            }
+        }
+    }
+
+    /// Negation-normal form: negations pushed down to atoms.
+    pub fn to_nnf(&self) -> Expr {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, negated: bool) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b != negated),
+            Expr::Sym(_) | Expr::ChkEvt(_) => {
+                if negated {
+                    Expr::Not(Box::new(self.clone()))
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Not(e) => e.nnf(!negated),
+            Expr::And(es) => {
+                let parts = es.iter().map(|e| e.nnf(negated));
+                if negated {
+                    Expr::or(parts)
+                } else {
+                    Expr::and(parts)
+                }
+            }
+            Expr::Or(es) => {
+                let parts = es.iter().map(|e| e.nnf(negated));
+                if negated {
+                    Expr::and(parts)
+                } else {
+                    Expr::or(parts)
+                }
+            }
+        }
+    }
+
+    /// Renders the expression with symbol names from `alphabet`.
+    ///
+    /// The output is re-parseable by [`crate::parse_expr`]:
+    /// `!` binds tightest, then `&`, then `|`; `Chk_evt(name)` for
+    /// scoreboard atoms.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayExpr {
+            expr: self,
+            alphabet,
+        }
+    }
+}
+
+fn has_complement(parts: &[Expr]) -> bool {
+    parts.iter().any(|p| {
+        let neg = match p {
+            Expr::Not(inner) => (**inner).clone(),
+            other => Expr::Not(Box::new(other.clone())),
+        };
+        parts.contains(&neg)
+    })
+}
+
+impl BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::and([self, rhs])
+    }
+}
+
+impl BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::or([self, rhs])
+    }
+}
+
+impl Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        match self {
+            Expr::Not(inner) => *inner,
+            other => Expr::Not(Box::new(other)),
+        }
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(b: bool) -> Expr {
+        Expr::Const(b)
+    }
+}
+
+struct DisplayExpr<'a> {
+    expr: &'a Expr,
+    alphabet: &'a Alphabet,
+}
+
+impl DisplayExpr<'_> {
+    fn fmt_prec(&self, e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match e {
+            Expr::Const(true) => f.write_str("true"),
+            Expr::Const(false) => f.write_str("false"),
+            Expr::Sym(id) => {
+                if id.index() < self.alphabet.len() {
+                    f.write_str(self.alphabet.name(*id))
+                } else {
+                    write!(f, "{id}")
+                }
+            }
+            Expr::ChkEvt(id) => {
+                if id.index() < self.alphabet.len() {
+                    write!(f, "Chk_evt({})", self.alphabet.name(*id))
+                } else {
+                    write!(f, "Chk_evt({id})")
+                }
+            }
+            Expr::Not(inner) => {
+                f.write_str("!")?;
+                match **inner {
+                    Expr::Sym(_) | Expr::ChkEvt(_) | Expr::Const(_) | Expr::Not(_) => {
+                        self.fmt_prec(inner, f)
+                    }
+                    _ => {
+                        f.write_str("(")?;
+                        self.fmt_prec(inner, f)?;
+                        f.write_str(")")
+                    }
+                }
+            }
+            Expr::And(es) => {
+                f.write_str("(")?;
+                for (i, part) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    match part {
+                        Expr::Or(_) => {
+                            f.write_str("(")?;
+                            self.fmt_prec(part, f)?;
+                            f.write_str(")")?;
+                        }
+                        _ => self.fmt_prec(part, f)?,
+                    }
+                }
+                f.write_str(")")
+            }
+            Expr::Or(es) => {
+                f.write_str("(")?;
+                for (i, part) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" | ")?;
+                    }
+                    self.fmt_prec(part, f)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(self.expr, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Alphabet;
+
+    fn setup() -> (Alphabet, SymbolId, SymbolId, SymbolId) {
+        let mut ab = Alphabet::new();
+        let e1 = ab.event("e1");
+        let e2 = ab.event("e2");
+        let p1 = ab.prop("p1");
+        (ab, e1, e2, p1)
+    }
+
+    #[test]
+    fn eval_atoms() {
+        let (_, e1, e2, p1) = setup();
+        let v = Valuation::of([e1, p1]);
+        assert!(Expr::sym(e1).eval_pure(v));
+        assert!(!Expr::sym(e2).eval_pure(v));
+        assert!(Expr::sym(p1).eval_pure(v));
+        assert!(Expr::t().eval_pure(v));
+        assert!(!Expr::f().eval_pure(v));
+    }
+
+    #[test]
+    fn eval_connectives_fig5_element() {
+        // Fig 5: a = ((p1 & e1) | e2)
+        let (_, e1, e2, p1) = setup();
+        let a = (Expr::sym(p1) & Expr::sym(e1)) | Expr::sym(e2);
+        assert!(a.eval_pure(Valuation::of([p1, e1])));
+        assert!(a.eval_pure(Valuation::of([e2])));
+        assert!(!a.eval_pure(Valuation::of([e1]))); // p1 missing
+        assert!(!a.eval_pure(Valuation::empty()));
+    }
+
+    #[test]
+    fn chk_evt_consults_scoreboard() {
+        let (_, e1, _, _) = setup();
+        let g = Expr::chk(e1);
+        assert!(!g.eval(Valuation::empty(), &EmptyScoreboard));
+        // a Valuation used as ScoreboardView: e1 recorded
+        let sb = Valuation::of([e1]);
+        assert!(g.eval(Valuation::empty(), &sb));
+        assert!(g.uses_scoreboard());
+        assert!(!Expr::sym(e1).uses_scoreboard());
+    }
+
+    #[test]
+    fn symbol_collection_and_polarity() {
+        let (_, e1, e2, p1) = setup();
+        let e = (Expr::sym(e1) & !Expr::sym(e2)) | Expr::chk(p1);
+        assert_eq!(e.symbols(), Valuation::of([e1, e2]));
+        assert_eq!(e.chk_targets(), Valuation::of([p1]));
+        assert_eq!(e.positive_symbols(), Valuation::of([e1]));
+        assert_eq!(e.negative_symbols(), Valuation::of([e2]));
+    }
+
+    #[test]
+    fn double_negation_collapses_via_not_operator() {
+        let (_, e1, _, _) = setup();
+        let e = !!Expr::sym(e1);
+        assert_eq!(e, Expr::sym(e1));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let (_, e1, e2, _) = setup();
+        let e = Expr::sym(e1) & Expr::t();
+        assert_eq!(e.simplify(), Expr::sym(e1));
+        let e = Expr::sym(e1) & Expr::f();
+        assert_eq!(e.simplify(), Expr::f());
+        let e = Expr::sym(e1) | Expr::t();
+        assert_eq!(e.simplify(), Expr::t());
+        let e = Expr::or([Expr::sym(e1), Expr::sym(e1), Expr::sym(e2)]);
+        assert_eq!(
+            e.simplify(),
+            Expr::or([Expr::sym(e1), Expr::sym(e2)])
+        );
+    }
+
+    #[test]
+    fn simplify_detects_complements() {
+        let (_, e1, _, _) = setup();
+        let e = Expr::sym(e1) & !Expr::sym(e1);
+        assert_eq!(e.simplify(), Expr::f());
+        let e = Expr::sym(e1) | !Expr::sym(e1);
+        assert_eq!(e.simplify(), Expr::t());
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let (ab, e1, e2, _) = setup();
+        let e = !(Expr::sym(e1) & Expr::sym(e2));
+        let nnf = e.to_nnf();
+        assert_eq!(nnf.display(&ab).to_string(), "(!e1 | !e2)");
+        // de Morgan the other way
+        let e = !(Expr::sym(e1) | Expr::sym(e2));
+        assert_eq!(e.to_nnf().display(&ab).to_string(), "(!e1 & !e2)");
+    }
+
+    #[test]
+    fn display_round_structure() {
+        let (ab, e1, e2, p1) = setup();
+        let a = (Expr::sym(p1) & Expr::sym(e1)) | Expr::sym(e2);
+        assert_eq!(a.display(&ab).to_string(), "((p1 & e1) | e2)");
+        let g = Expr::sym(e1) & Expr::chk(e2);
+        assert_eq!(g.display(&ab).to_string(), "(e1 & Chk_evt(e2))");
+    }
+
+    #[test]
+    fn all_of_builds_conjunction() {
+        let (ab, e1, e2, _) = setup();
+        let e = Expr::all_of([e1, e2]);
+        assert_eq!(e.display(&ab).to_string(), "(e1 & e2)");
+        assert_eq!(Expr::all_of([]), Expr::t());
+        assert_eq!(Expr::all_of([e1]), Expr::sym(e1));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let (_, e1, e2, p1) = setup();
+        let nested = Expr::and([Expr::and([Expr::sym(e1), Expr::sym(e2)]), Expr::sym(p1)]);
+        assert_eq!(
+            nested,
+            Expr::And(vec![Expr::sym(e1), Expr::sym(e2), Expr::sym(p1)])
+        );
+        let nested = Expr::or([Expr::or([Expr::sym(e1)]), Expr::sym(p1)]);
+        assert_eq!(nested, Expr::Or(vec![Expr::sym(e1), Expr::sym(p1)]));
+    }
+}

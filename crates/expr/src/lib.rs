@@ -1,0 +1,47 @@
+//! # cesc-expr — guard expressions for CESC assertion monitors
+//!
+//! Foundation crate of the CESC monitor-synthesis reproduction (Gadkari &
+//! Ramesh, *Automated Synthesis of Assertion Monitors using Visual
+//! Specifications*, DATE 2005). It provides the vocabulary every other
+//! crate builds on:
+//!
+//! * [`Alphabet`] / [`Symbol`] / [`SymbolId`] — the monitor input alphabet
+//!   `Σ = EVENTS ∪ PROP` (paper §4);
+//! * [`Valuation`] — one element of a clocked trace: the truth assignment
+//!   `{(f1, f2)}` for a tick, packed into a `Copy` bitset;
+//! * [`Expr`] — transition guards and pattern elements: boolean formulas
+//!   over symbols plus `Chk_evt` scoreboard atoms;
+//! * [`sat`] — exact satisfiability/compatibility queries used by the
+//!   synthesis-time `suffix_of` relation;
+//! * [`parse_expr`] — the concrete textual syntax (round-trips with
+//!   [`Expr::display`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cesc_expr::{Alphabet, Expr, Valuation, sat};
+//!
+//! let mut ab = Alphabet::new();
+//! let (req, rdy) = (ab.event("req"), ab.event("rdy"));
+//! let p = ab.prop("burst");
+//!
+//! // Fig 5-style pattern element: (burst & req) | rdy
+//! let guard = (Expr::sym(p) & Expr::sym(req)) | Expr::sym(rdy);
+//!
+//! assert!(guard.eval_pure(Valuation::of([p, req])));
+//! assert!(sat::compatible(&guard, &Expr::sym(req)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod expr;
+mod parse;
+pub mod sat;
+mod symbol;
+mod valuation;
+
+pub use expr::{EmptyScoreboard, Expr, ScoreboardView};
+pub use parse::{parse_expr, NameResolution, ParseExprError};
+pub use symbol::{Alphabet, AlphabetError, Symbol, SymbolId, SymbolKind};
+pub use valuation::{SetSymbols, Valuation};

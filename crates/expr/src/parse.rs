@@ -1,0 +1,381 @@
+//! Textual syntax for guard expressions.
+//!
+//! The concrete grammar (precedence low → high):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary | primary
+//! primary := "true" | "false" | IDENT | "Chk_evt" "(" IDENT ")" | "(" expr ")"
+//! IDENT   := [A-Za-z_][A-Za-z0-9_.]*
+//! ```
+//!
+//! [`Expr::display`](crate::Expr::display) emits exactly this syntax, so
+//! display/parse round-trips (property-tested in `cesc`'s integration
+//! suite).
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::symbol::{Alphabet, SymbolKind};
+
+/// Error produced when parsing a guard expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    message: String,
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+}
+
+impl ParseExprError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseExprError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+/// How the parser resolves identifiers against the alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameResolution {
+    /// Unknown names are an error; the alphabet is not modified.
+    Strict,
+    /// Unknown names are interned with the given kind.
+    Intern(SymbolKind),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    ChkEvt,
+    True,
+    False,
+    Bang,
+    Amp,
+    Pipe,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseExprError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '!' => {
+                toks.push((Tok::Bang, i));
+                i += 1;
+            }
+            '&' => {
+                toks.push((Tok::Amp, i));
+                i += 1;
+                // tolerate C-style `&&`
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1;
+                }
+            }
+            '|' => {
+                toks.push((Tok::Pipe, i));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "true" | "TRUE" => Tok::True,
+                    "false" | "FALSE" => Tok::False,
+                    "Chk_evt" | "chk_evt" => Tok::ChkEvt,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push((tok, start));
+            }
+            other => {
+                return Err(ParseExprError::new(
+                    format!("unexpected character `{other}`"),
+                    i,
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+    resolution: NameResolution,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok, desc: &str) -> Result<(), ParseExprError> {
+        let at = self.here();
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            _ => Err(ParseExprError::new(format!("expected {desc}"), at)),
+        }
+    }
+
+    fn resolve(&mut self, name: &str, at: usize) -> Result<crate::SymbolId, ParseExprError> {
+        match self.resolution {
+            NameResolution::Strict => self.alphabet.lookup(name).ok_or_else(|| {
+                ParseExprError::new(format!("unknown symbol `{name}`"), at)
+            }),
+            NameResolution::Intern(kind) => self
+                .alphabet
+                .try_intern(name, kind)
+                .map_err(|e| ParseExprError::new(e.to_string(), at)),
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut parts = vec![self.and()?];
+        while matches!(self.peek(), Some(Tok::Pipe)) {
+            self.bump();
+            parts.push(self.and()?);
+        }
+        Ok(Expr::or(parts))
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut parts = vec![self.unary()?];
+        while matches!(self.peek(), Some(Tok::Amp)) {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(Expr::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseExprError> {
+        if matches!(self.peek(), Some(Tok::Bang)) {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(!inner);
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseExprError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::True) => Ok(Expr::t()),
+            Some(Tok::False) => Ok(Expr::f()),
+            Some(Tok::Ident(name)) => {
+                let id = self.resolve(&name, at)?;
+                Ok(Expr::sym(id))
+            }
+            Some(Tok::ChkEvt) => {
+                self.expect(Tok::LParen, "`(` after Chk_evt")?;
+                let at = self.here();
+                let name = match self.bump() {
+                    Some(Tok::Ident(name)) => name,
+                    _ => {
+                        return Err(ParseExprError::new(
+                            "expected event name inside Chk_evt(..)",
+                            at,
+                        ))
+                    }
+                };
+                let id = self.resolve(&name, at)?;
+                self.expect(Tok::RParen, "`)` closing Chk_evt")?;
+                Ok(Expr::chk(id))
+            }
+            Some(Tok::LParen) => {
+                let inner = self.or()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            _ => Err(ParseExprError::new("expected expression", at)),
+        }
+    }
+}
+
+/// Parses a guard expression, resolving identifiers against `alphabet`.
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] on malformed syntax, and — under
+/// [`NameResolution::Strict`] — on identifiers absent from the alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{parse_expr, Alphabet, NameResolution, SymbolKind};
+/// let mut ab = Alphabet::new();
+/// let e = parse_expr(
+///     "(p1 & e1 | e2) & !Chk_evt(e1)",
+///     &mut ab,
+///     NameResolution::Intern(SymbolKind::Event),
+/// )?;
+/// assert!(e.uses_scoreboard());
+/// # Ok::<(), cesc_expr::ParseExprError>(())
+/// ```
+pub fn parse_expr(
+    input: &str,
+    alphabet: &mut Alphabet,
+    resolution: NameResolution,
+) -> Result<Expr, ParseExprError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        alphabet,
+        resolution,
+        input_len: input.len(),
+    };
+    let e = p.or()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseExprError::new("trailing input", p.here()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valuation::Valuation;
+
+    fn intern_events() -> NameResolution {
+        NameResolution::Intern(SymbolKind::Event)
+    }
+
+    #[test]
+    fn parses_atoms_and_constants() {
+        let mut ab = Alphabet::new();
+        assert_eq!(parse_expr("true", &mut ab, intern_events()).unwrap(), Expr::t());
+        assert_eq!(
+            parse_expr("false", &mut ab, intern_events()).unwrap(),
+            Expr::f()
+        );
+        let e = parse_expr("req", &mut ab, intern_events()).unwrap();
+        let req = ab.lookup("req").unwrap();
+        assert_eq!(e, Expr::sym(req));
+    }
+
+    #[test]
+    fn precedence_not_over_and_over_or() {
+        let mut ab = Alphabet::new();
+        let e = parse_expr("!a & b | c", &mut ab, intern_events()).unwrap();
+        let (a, b, c) = (
+            ab.lookup("a").unwrap(),
+            ab.lookup("b").unwrap(),
+            ab.lookup("c").unwrap(),
+        );
+        // (!a & b) | c
+        let want = (!Expr::sym(a) & Expr::sym(b)) | Expr::sym(c);
+        assert_eq!(e, want);
+    }
+
+    #[test]
+    fn parens_override() {
+        let mut ab = Alphabet::new();
+        let e = parse_expr("!(a | b)", &mut ab, intern_events()).unwrap();
+        let v = Valuation::empty();
+        assert!(e.eval_pure(v));
+    }
+
+    #[test]
+    fn chk_evt_syntax() {
+        let mut ab = Alphabet::new();
+        let e = parse_expr("Chk_evt(req) & rsp", &mut ab, intern_events()).unwrap();
+        assert!(e.uses_scoreboard());
+        let req = ab.lookup("req").unwrap();
+        assert_eq!(e.chk_targets(), Valuation::of([req]));
+    }
+
+    #[test]
+    fn cstyle_operators_tolerated() {
+        let mut ab = Alphabet::new();
+        let a = parse_expr("a && b || !c", &mut ab, intern_events()).unwrap();
+        let b = parse_expr("a & b | !c", &mut ab, intern_events()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknowns() {
+        let mut ab = Alphabet::new();
+        ab.event("known");
+        assert!(parse_expr("known", &mut ab, NameResolution::Strict).is_ok());
+        let err = parse_expr("unknown", &mut ab, NameResolution::Strict).unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut ab = Alphabet::new();
+        let err = parse_expr("a & ", &mut ab, intern_events()).unwrap_err();
+        assert_eq!(err.position, 4);
+        let err = parse_expr("a $ b", &mut ab, intern_events()).unwrap_err();
+        assert_eq!(err.position, 2);
+        let err = parse_expr("a b", &mut ab, intern_events()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let mut ab = Alphabet::new();
+        let src = "((p1 & e1) | e2)";
+        let e = parse_expr(src, &mut ab, intern_events()).unwrap();
+        let printed = e.display(&ab).to_string();
+        let e2 = parse_expr(&printed, &mut ab, NameResolution::Strict).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let mut ab = Alphabet::new();
+        let e = parse_expr("bus.req", &mut ab, intern_events()).unwrap();
+        assert_eq!(ab.lookup("bus.req").map(Expr::sym), Some(e));
+    }
+}

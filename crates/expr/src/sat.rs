@@ -1,0 +1,267 @@
+//! Satisfiability and compatibility queries over guard expressions.
+//!
+//! The synthesis algorithm's `suffix_of` test (§5) needs to decide, at
+//! synthesis time, whether a trace element that matched pattern element
+//! `P[i]` *could also* match pattern element `P[j]` — i.e. whether
+//! `P[i] ∧ P[j]` is satisfiable. Chart guards are tiny (≤ ~10 atoms), so a
+//! semantic-branching search over the atoms actually present in the
+//! expression is exact and fast; no external solver is needed.
+
+use crate::expr::Expr;
+use crate::symbol::SymbolId;
+use crate::valuation::Valuation;
+
+/// Partial assignment used during the satisfiability search: separate
+/// true/false sets for tick symbols and scoreboard (`Chk_evt`) atoms.
+#[derive(Debug, Clone, Copy, Default)]
+struct Partial {
+    sym_true: Valuation,
+    sym_false: Valuation,
+    chk_true: Valuation,
+    chk_false: Valuation,
+}
+
+/// A satisfying witness returned by [`satisfying_valuation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// Symbols that must be true at the tick.
+    pub valuation: Valuation,
+    /// Events the scoreboard must record (for `Chk_evt` atoms).
+    pub scoreboard: Valuation,
+}
+
+/// Evaluates `e` under a partial assignment; `None` means "not yet
+/// determined".
+fn eval_partial(e: &Expr, p: &Partial) -> Option<bool> {
+    match e {
+        Expr::Const(b) => Some(*b),
+        Expr::Sym(id) => {
+            if p.sym_true.contains(*id) {
+                Some(true)
+            } else if p.sym_false.contains(*id) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Expr::ChkEvt(id) => {
+            if p.chk_true.contains(*id) {
+                Some(true)
+            } else if p.chk_false.contains(*id) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Expr::Not(inner) => eval_partial(inner, p).map(|b| !b),
+        Expr::And(es) => {
+            let mut all_true = true;
+            for part in es {
+                match eval_partial(part, p) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => all_true = false,
+                }
+            }
+            if all_true {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Expr::Or(es) => {
+            let mut all_false = true;
+            for part in es {
+                match eval_partial(part, p) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => all_false = false,
+                }
+            }
+            if all_false {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Picks an unassigned atom of `e`, preferring tick symbols.
+fn pick_unassigned(e: &Expr, p: &Partial) -> Option<(SymbolId, bool)> {
+    // (id, is_chk)
+    match e {
+        Expr::Const(_) => None,
+        Expr::Sym(id) => {
+            if !p.sym_true.contains(*id) && !p.sym_false.contains(*id) {
+                Some((*id, false))
+            } else {
+                None
+            }
+        }
+        Expr::ChkEvt(id) => {
+            if !p.chk_true.contains(*id) && !p.chk_false.contains(*id) {
+                Some((*id, true))
+            } else {
+                None
+            }
+        }
+        Expr::Not(inner) => pick_unassigned(inner, p),
+        Expr::And(es) | Expr::Or(es) => es.iter().find_map(|part| pick_unassigned(part, p)),
+    }
+}
+
+fn search(e: &Expr, p: Partial) -> Option<Partial> {
+    match eval_partial(e, &p) {
+        Some(true) => return Some(p),
+        Some(false) => return None,
+        None => {}
+    }
+    let (id, is_chk) = pick_unassigned(e, &p)?;
+    for value in [true, false] {
+        let mut q = p;
+        match (is_chk, value) {
+            (false, true) => q.sym_true.insert(id),
+            (false, false) => q.sym_false.insert(id),
+            (true, true) => q.chk_true.insert(id),
+            (true, false) => q.chk_false.insert(id),
+        }
+        if let Some(done) = search(e, q) {
+            return Some(done);
+        }
+    }
+    None
+}
+
+/// Whether `e` is satisfiable by *some* tick valuation and scoreboard
+/// state.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Expr, sat};
+/// let mut ab = Alphabet::new();
+/// let a = ab.event("a");
+/// assert!(sat::is_satisfiable(&Expr::sym(a)));
+/// assert!(!sat::is_satisfiable(&(Expr::sym(a) & !Expr::sym(a))));
+/// ```
+pub fn is_satisfiable(e: &Expr) -> bool {
+    search(e, Partial::default()).is_some()
+}
+
+/// Whether `e` holds for *every* tick valuation and scoreboard state.
+pub fn is_tautology(e: &Expr) -> bool {
+    !is_satisfiable(&Expr::Not(Box::new(e.clone())))
+}
+
+/// Whether two guards can be matched by one and the same trace element —
+/// the compatibility predicate behind the synthesis-time `suffix_of`
+/// relation (see `cesc-core::synth`).
+pub fn compatible(a: &Expr, b: &Expr) -> bool {
+    is_satisfiable(&Expr::and([a.clone(), b.clone()]))
+}
+
+/// Whether `a` logically implies `b` (every element matching `a` also
+/// matches `b`).
+pub fn implies(a: &Expr, b: &Expr) -> bool {
+    !is_satisfiable(&Expr::and([a.clone(), Expr::Not(Box::new(b.clone()))]))
+}
+
+/// Whether `a` and `b` match exactly the same elements.
+pub fn equivalent(a: &Expr, b: &Expr) -> bool {
+    implies(a, b) && implies(b, a)
+}
+
+/// A witness (tick valuation + scoreboard contents) satisfying `e`, if
+/// any. Unmentioned symbols default to false, yielding the minimal
+/// witness the search finds first.
+pub fn satisfying_valuation(e: &Expr) -> Option<Witness> {
+    search(e, Partial::default()).map(|p| Witness {
+        valuation: p.sym_true,
+        scoreboard: p.chk_true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::EmptyScoreboard;
+    use crate::symbol::Alphabet;
+
+    fn setup() -> (Alphabet, SymbolId, SymbolId, SymbolId) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        let p = ab.prop("p");
+        (ab, a, b, p)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(is_satisfiable(&Expr::t()));
+        assert!(!is_satisfiable(&Expr::f()));
+        assert!(is_tautology(&Expr::t()));
+        assert!(!is_tautology(&Expr::f()));
+    }
+
+    #[test]
+    fn contradiction_and_tautology() {
+        let (_, a, _, _) = setup();
+        assert!(!is_satisfiable(&(Expr::sym(a) & !Expr::sym(a))));
+        assert!(is_tautology(&(Expr::sym(a) | !Expr::sym(a))));
+    }
+
+    #[test]
+    fn compatibility_of_pattern_elements() {
+        let (_, a, b, p) = setup();
+        // (a & p) compatible with (a): same element can match both
+        assert!(compatible(
+            &(Expr::sym(a) & Expr::sym(p)),
+            &Expr::sym(a)
+        ));
+        // (a & !b) incompatible with (b)
+        assert!(!compatible(&(Expr::sym(a) & !Expr::sym(b)), &Expr::sym(b)));
+        // disjoint positive atoms are compatible (both can be true at once)
+        assert!(compatible(&Expr::sym(a), &Expr::sym(b)));
+    }
+
+    #[test]
+    fn implication_and_equivalence() {
+        let (_, a, b, _) = setup();
+        assert!(implies(&(Expr::sym(a) & Expr::sym(b)), &Expr::sym(a)));
+        assert!(!implies(&Expr::sym(a), &(Expr::sym(a) & Expr::sym(b))));
+        let x = !(Expr::sym(a) & Expr::sym(b));
+        let y = !Expr::sym(a) | !Expr::sym(b);
+        assert!(equivalent(&x, &y));
+        assert!(!equivalent(&Expr::sym(a), &Expr::sym(b)));
+    }
+
+    #[test]
+    fn chk_atoms_are_independent_dimensions() {
+        let (_, a, _, _) = setup();
+        // a tick where event `a` is absent but scoreboard remembers it
+        let e = !Expr::sym(a) & Expr::chk(a);
+        assert!(is_satisfiable(&e));
+        let w = satisfying_valuation(&e).unwrap();
+        assert!(!w.valuation.contains(a));
+        assert!(w.scoreboard.contains(a));
+    }
+
+    #[test]
+    fn witness_satisfies() {
+        let (_, a, b, p) = setup();
+        let e = (Expr::sym(a) | Expr::sym(b)) & Expr::sym(p) & !Expr::sym(b);
+        let w = satisfying_valuation(&e).expect("satisfiable");
+        assert!(e.eval(w.valuation, &EmptyScoreboard) || {
+            // scoreboard part not needed here
+            false
+        });
+        assert!(e.eval_pure(w.valuation));
+    }
+
+    #[test]
+    fn unsat_has_no_witness() {
+        let (_, a, _, _) = setup();
+        assert_eq!(satisfying_valuation(&(Expr::sym(a) & !Expr::sym(a))), None);
+    }
+}

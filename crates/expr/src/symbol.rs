@@ -1,0 +1,380 @@
+//! Symbols and alphabets.
+//!
+//! The paper's monitor automaton operates over a finite input alphabet
+//! `Σ = EVENTS ∪ PROP` (§4, Definition *Monitor*). We represent each member
+//! of `Σ` as an interned [`Symbol`] owned by an [`Alphabet`]; the compact
+//! [`SymbolId`] index is what expressions, valuations, traces and monitors
+//! carry around.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of a symbol: an *event* (instantaneous occurrence on a clock
+/// tick) or a *proposition* (a condition over system variables).
+///
+/// Both kinds are boolean per clock tick — the distinction matters for
+/// causality arrows (which connect events, not propositions) and for the
+/// generated HDL (events map to pulses, propositions to levels).
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, SymbolKind};
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// assert_eq!(ab.kind(req), SymbolKind::Event);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymbolKind {
+    /// An instantaneous event occurrence (`EVENTS` in the paper).
+    Event,
+    /// A proposition over system variables (`PROP` in the paper).
+    Prop,
+}
+
+impl fmt::Display for SymbolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolKind::Event => f.write_str("event"),
+            SymbolKind::Prop => f.write_str("prop"),
+        }
+    }
+}
+
+/// Compact index of a symbol within its [`Alphabet`].
+///
+/// `SymbolId`s are only meaningful relative to the alphabet that issued
+/// them; mixing ids across alphabets is a logic error (checked where
+/// practical via [`Alphabet::len`] bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub(crate) u32);
+
+impl SymbolId {
+    /// Returns the zero-based index of this symbol in its alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SymbolId` from a raw index.
+    ///
+    /// Intended for deserialisation and table-driven code; the caller is
+    /// responsible for the index being in range for the target alphabet.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        SymbolId(index as u32)
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interned symbol: name plus kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    name: String,
+    kind: SymbolKind,
+}
+
+impl Symbol {
+    /// The symbol's name as written in specifications.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the symbol is an event or a proposition.
+    pub fn kind(&self) -> SymbolKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Error raised when an alphabet would exceed [`Alphabet::MAX_SYMBOLS`]
+/// symbols, or when the same name is re-declared with a different kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphabetError {
+    /// The 128-symbol capacity would be exceeded.
+    Full {
+        /// Name of the symbol that did not fit.
+        name: String,
+    },
+    /// `name` already exists with `existing` kind but was re-declared as
+    /// `requested`.
+    KindMismatch {
+        /// The conflicting name.
+        name: String,
+        /// Kind under which the name was first declared.
+        existing: SymbolKind,
+        /// Kind used in the conflicting declaration.
+        requested: SymbolKind,
+    },
+}
+
+impl fmt::Display for AlphabetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphabetError::Full { name } => write!(
+                f,
+                "alphabet is full ({} symbols max), cannot intern `{name}`",
+                Alphabet::MAX_SYMBOLS
+            ),
+            AlphabetError::KindMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "symbol `{name}` already declared as {existing}, cannot re-declare as {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlphabetError {}
+
+/// Ordered, interned set of symbols: the input alphabet `Σ` of a monitor.
+///
+/// Per-chart alphabets in practice hold a handful of symbols (the paper's
+/// largest example, Fig 7, uses 9); the capacity of 128 lets valuations be
+/// a single `Copy` bitset ([`crate::Valuation`]) which the monitoring hot
+/// path depends on.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::Alphabet;
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let p1 = ab.prop("p1");
+/// assert_eq!(ab.len(), 2);
+/// assert_eq!(ab.name(req), "req");
+/// assert_eq!(ab.lookup("p1"), Some(p1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    symbols: Vec<Symbol>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Alphabet {
+    /// Maximum number of symbols an alphabet can hold.
+    ///
+    /// Matches the fixed 128-bit capacity of [`crate::Valuation`].
+    pub const MAX_SYMBOLS: usize = 128;
+
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` as an event, returning its id.
+    ///
+    /// Idempotent for an existing event of the same name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet is full or `name` exists as a proposition.
+    /// Use [`Alphabet::try_intern`] for a fallible variant.
+    pub fn event(&mut self, name: &str) -> SymbolId {
+        self.try_intern(name, SymbolKind::Event)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Interns `name` as a proposition, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet is full or `name` exists as an event.
+    /// Use [`Alphabet::try_intern`] for a fallible variant.
+    pub fn prop(&mut self, name: &str) -> SymbolId {
+        self.try_intern(name, SymbolKind::Prop)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Interns `name` with the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlphabetError::Full`] when capacity is exhausted and
+    /// [`AlphabetError::KindMismatch`] when `name` exists with a
+    /// different kind.
+    pub fn try_intern(&mut self, name: &str, kind: SymbolKind) -> Result<SymbolId, AlphabetError> {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = self.symbols[id.index()].kind;
+            if existing != kind {
+                return Err(AlphabetError::KindMismatch {
+                    name: name.to_owned(),
+                    existing,
+                    requested: kind,
+                });
+            }
+            return Ok(id);
+        }
+        if self.symbols.len() >= Self::MAX_SYMBOLS {
+            return Err(AlphabetError::Full {
+                name: name.to_owned(),
+            });
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(Symbol {
+            name: name.to_owned(),
+            kind,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks a name up without interning.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of symbol `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this alphabet.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// The kind of symbol `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this alphabet.
+    pub fn kind(&self, id: SymbolId) -> SymbolKind {
+        self.symbols[id.index()].kind
+    }
+
+    /// The full [`Symbol`] record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this alphabet.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the alphabet holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over `(id, symbol)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId(i as u32), s))
+    }
+
+    /// Ids of all symbols of the given kind, in interning order.
+    pub fn ids_of_kind(&self, kind: SymbolKind) -> Vec<SymbolId> {
+        self.iter()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All event ids, in interning order.
+    pub fn events(&self) -> Vec<SymbolId> {
+        self.ids_of_kind(SymbolKind::Event)
+    }
+
+    /// All proposition ids, in interning order.
+    pub fn props(&self) -> Vec<SymbolId> {
+        self.ids_of_kind(SymbolKind::Prop)
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", s.name, s.kind)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("req");
+        let b = ab.event("req");
+        assert_eq!(a, b);
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn kinds_are_tracked() {
+        let mut ab = Alphabet::new();
+        let e = ab.event("x");
+        let p = ab.prop("y");
+        assert_eq!(ab.kind(e), SymbolKind::Event);
+        assert_eq!(ab.kind(p), SymbolKind::Prop);
+        assert_eq!(ab.events(), vec![e]);
+        assert_eq!(ab.props(), vec![p]);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let mut ab = Alphabet::new();
+        ab.event("x");
+        let err = ab.try_intern("x", SymbolKind::Prop).unwrap_err();
+        assert!(matches!(err, AlphabetError::KindMismatch { .. }));
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut ab = Alphabet::new();
+        for i in 0..Alphabet::MAX_SYMBOLS {
+            ab.event(&format!("e{i}"));
+        }
+        let err = ab.try_intern("overflow", SymbolKind::Event).unwrap_err();
+        assert!(matches!(err, AlphabetError::Full { .. }));
+    }
+
+    #[test]
+    fn lookup_and_iter() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.prop("b");
+        assert_eq!(ab.lookup("a"), Some(a));
+        assert_eq!(ab.lookup("b"), Some(b));
+        assert_eq!(ab.lookup("zzz"), None);
+        let names: Vec<_> = ab.iter().map(|(_, s)| s.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut ab = Alphabet::new();
+        ab.event("a");
+        ab.prop("b");
+        assert_eq!(ab.to_string(), "{a:event, b:prop}");
+        assert_eq!(SymbolId(3).to_string(), "#3");
+    }
+}

@@ -1,0 +1,296 @@
+//! Valuations: one element of a clocked trace.
+//!
+//! The paper (§4) defines each element of the input trace as a pair of
+//! assignments `{(f1, f2) | f1: PROP → Bool; f2: EVENTS → Bool}`. Since
+//! both components are boolean maps over one interned alphabet, a single
+//! 128-bit set suffices; bit *i* holds the truth value of the symbol with
+//! [`SymbolId`] index *i*.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+use crate::symbol::{Alphabet, SymbolId};
+
+/// Truth assignment for every symbol of an [`Alphabet`] at one clock tick.
+///
+/// `Valuation` is a `Copy` 128-bit set, which keeps the monitoring hot path
+/// allocation-free. A valuation only has meaning relative to the alphabet
+/// whose ids were used to build it.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let rdy = ab.event("rdy");
+/// let v = Valuation::empty().with(req);
+/// assert!(v.contains(req));
+/// assert!(!v.contains(rdy));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Valuation {
+    bits: u128,
+}
+
+impl Valuation {
+    /// The valuation in which every symbol is false.
+    #[inline]
+    pub fn empty() -> Self {
+        Valuation { bits: 0 }
+    }
+
+    /// Builds a valuation with exactly the given symbols true.
+    pub fn of(ids: impl IntoIterator<Item = SymbolId>) -> Self {
+        let mut v = Self::empty();
+        for id in ids {
+            v.insert(id);
+        }
+        v
+    }
+
+    /// Builds a valuation straight from raw bits (bit *i* ↔ symbol *i*).
+    #[inline]
+    pub fn from_bits(bits: u128) -> Self {
+        Valuation { bits }
+    }
+
+    /// The raw bits of the valuation.
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// Sets symbol `id` to true.
+    #[inline]
+    pub fn insert(&mut self, id: SymbolId) {
+        self.bits |= 1u128 << id.index();
+    }
+
+    /// Sets symbol `id` to false.
+    #[inline]
+    pub fn remove(&mut self, id: SymbolId) {
+        self.bits &= !(1u128 << id.index());
+    }
+
+    /// Returns `self` with `id` set to true (builder style).
+    #[inline]
+    #[must_use]
+    pub fn with(mut self, id: SymbolId) -> Self {
+        self.insert(id);
+        self
+    }
+
+    /// Returns `self` with `id` set to false (builder style).
+    #[inline]
+    #[must_use]
+    pub fn without(mut self, id: SymbolId) -> Self {
+        self.remove(id);
+        self
+    }
+
+    /// Truth value of symbol `id`.
+    #[inline]
+    pub fn contains(self, id: SymbolId) -> bool {
+        (self.bits >> id.index()) & 1 == 1
+    }
+
+    /// Number of true symbols.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether every symbol is false.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over the ids of all true symbols, ascending.
+    pub fn iter(self) -> SetSymbols {
+        SetSymbols { bits: self.bits }
+    }
+
+    /// Whether every symbol true in `self` is also true in `other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Valuation) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Renders the valuation using symbol names from `alphabet`,
+    /// e.g. `{req, rdy}`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayValuation {
+            valuation: *self,
+            alphabet,
+        }
+    }
+}
+
+impl FromIterator<SymbolId> for Valuation {
+    fn from_iter<T: IntoIterator<Item = SymbolId>>(iter: T) -> Self {
+        Valuation::of(iter)
+    }
+}
+
+impl Extend<SymbolId> for Valuation {
+    fn extend<T: IntoIterator<Item = SymbolId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl BitAnd for Valuation {
+    type Output = Valuation;
+    fn bitand(self, rhs: Valuation) -> Valuation {
+        Valuation {
+            bits: self.bits & rhs.bits,
+        }
+    }
+}
+
+impl BitOr for Valuation {
+    type Output = Valuation;
+    fn bitor(self, rhs: Valuation) -> Valuation {
+        Valuation {
+            bits: self.bits | rhs.bits,
+        }
+    }
+}
+
+impl Not for Valuation {
+    type Output = Valuation;
+    fn not(self) -> Valuation {
+        Valuation { bits: !self.bits }
+    }
+}
+
+/// Iterator over the true symbols of a [`Valuation`], produced by
+/// [`Valuation::iter`].
+#[derive(Debug, Clone)]
+pub struct SetSymbols {
+    bits: u128,
+}
+
+impl Iterator for SetSymbols {
+    type Item = SymbolId;
+
+    fn next(&mut self) -> Option<SymbolId> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(SymbolId::from_index(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetSymbols {}
+
+struct DisplayValuation<'a> {
+    valuation: Valuation,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayValuation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.valuation.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if id.index() < self.alphabet.len() {
+                f.write_str(self.alphabet.name(id))?;
+            } else {
+                write!(f, "{id}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Alphabet;
+
+    fn abc() -> (Alphabet, SymbolId, SymbolId, SymbolId) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        let c = ab.prop("c");
+        (ab, a, b, c)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let (_, a, b, _) = abc();
+        let mut v = Valuation::empty();
+        assert!(v.is_empty());
+        v.insert(a);
+        assert!(v.contains(a) && !v.contains(b));
+        v.remove(a);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn builder_style() {
+        let (_, a, b, c) = abc();
+        let v = Valuation::empty().with(a).with(c).without(a);
+        assert!(!v.contains(a) && !v.contains(b) && v.contains(c));
+        assert_eq!(v.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_ascending_ids() {
+        let (_, a, b, c) = abc();
+        let v = Valuation::of([c, a, b]);
+        let ids: Vec<_> = v.iter().collect();
+        assert_eq!(ids, vec![a, b, c]);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn set_operations() {
+        let (_, a, b, c) = abc();
+        let x = Valuation::of([a, b]);
+        let y = Valuation::of([b, c]);
+        assert_eq!(x & y, Valuation::of([b]));
+        assert_eq!(x | y, Valuation::of([a, b, c]));
+        assert!(Valuation::of([b]).is_subset_of(x));
+        assert!(!x.is_subset_of(y));
+        assert!((!x).contains(c));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (ab, a, _, c) = abc();
+        let v = Valuation::of([a, c]);
+        assert_eq!(v.display(&ab).to_string(), "{a, c}");
+        assert_eq!(Valuation::empty().display(&ab).to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let (_, a, b, c) = abc();
+        let v: Valuation = [a, c].into_iter().collect();
+        assert!(v.contains(a) && v.contains(c));
+        let mut w = Valuation::empty();
+        w.extend([b]);
+        assert!(w.contains(b));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let (_, a, _, c) = abc();
+        let v = Valuation::of([a, c]);
+        assert_eq!(Valuation::from_bits(v.bits()), v);
+    }
+}

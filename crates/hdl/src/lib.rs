@@ -1,0 +1,40 @@
+//! # cesc-hdl — HDL back-ends for synthesized CESC monitors
+//!
+//! The paper's monitors live inside a simulation environment (Fig 4);
+//! this crate emits them in the two forms an RTL verification flow
+//! consumes:
+//!
+//! * [`emit_verilog`] — a synthesizable Verilog-2001 module: the monitor
+//!   FSM plus the scoreboard as saturating counters, with a
+//!   `match_pulse` output (full `Add_evt`/`Del_evt`/`Chk_evt` support);
+//! * [`emit_sva_cover`] / [`emit_sva_implication`] — SystemVerilog
+//!   Assertions: charts as `sequence`s (one grid line per cycle),
+//!   detection as `cover property`, implication as
+//!   `assert property (a |=> c)`.
+//!
+//! # Example
+//!
+//! ```
+//! use cesc_chart::parse_document;
+//! use cesc_core::{synthesize, SynthOptions};
+//! use cesc_hdl::{emit_verilog, VerilogOptions};
+//!
+//! let doc = parse_document(
+//!     "scesc hs on clk { instances { M } events { req, ack } \
+//!      tick { M: req } tick { M: ack } cause req -> ack; }",
+//! ).unwrap();
+//! let monitor = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+//! let rtl = emit_verilog(&monitor, &doc.alphabet, &VerilogOptions::default());
+//! assert!(rtl.contains("endmodule"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod sva;
+mod testbench;
+mod verilog;
+
+pub use sva::{emit_sva_cover, emit_sva_implication, SvaOptions};
+pub use testbench::{emit_testbench, TestbenchOptions};
+pub use verilog::{emit_verilog, expr_to_verilog, VerilogOptions};

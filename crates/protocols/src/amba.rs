@@ -1,0 +1,159 @@
+//! AMBA AHB Cycle-Level-Interface scenarios — Figure 8 of the paper
+//! (AHB CLI spec p. 23: a master/bus write transaction sequence).
+//!
+//! The chart's ten events map to the CLI calls the figure numbers 1–10:
+//! `init_transaction`, `master_complete`, `get_slave`, `write`,
+//! `control_info`, `master_set_data`, `master_complete` (again),
+//! `bus_set_data`, `bus_response`, `master_response`. Arrows
+//! `init_transaction → master_set_data` and `master_set_data →
+//! master_response` give the monitor its `Add_evt(1)` / `Add_evt(6)` /
+//! `Chk_evt` bookkeeping exactly as printed.
+
+use cesc_chart::{parse_document, Document};
+use cesc_expr::{Alphabet, Valuation};
+
+/// Figure 8: the AMBA AHB CLI transaction chart, as a parsed document.
+pub fn ahb_transaction_doc() -> Document {
+    parse_document(AHB_TRANSACTION_SRC).expect("built-in AHB chart is well-formed")
+}
+
+/// Concrete textual source of the Figure 8 chart.
+pub const AHB_TRANSACTION_SRC: &str = r#"
+scesc ahb_transaction on clk {
+    instances { Master, Bus }
+    events { init_transaction, master_complete, get_slave, write, control_info,
+             master_set_data, bus_set_data, bus_response, master_response }
+    tick { Master: init_transaction, master_complete;
+           Bus: get_slave, write, control_info }
+    tick { Master: master_set_data, master_complete;
+           Bus: bus_set_data, bus_response }
+    tick { Master: master_response }
+    cause init_transaction -> master_set_data;
+    cause master_set_data -> master_response;
+}
+"#;
+
+/// The canonical compliant waveform of one AHB CLI write transaction.
+pub fn ahb_transaction_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("AHB symbol interned");
+    vec![
+        Valuation::of([
+            ev("init_transaction"),
+            ev("master_complete"),
+            ev("get_slave"),
+            ev("write"),
+            ev("control_info"),
+        ]),
+        Valuation::of([
+            ev("master_set_data"),
+            ev("master_complete"),
+            ev("bus_set_data"),
+            ev("bus_response"),
+        ]),
+        Valuation::of([ev("master_response")]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_core::{synthesize, Action, StateId, SynthOptions};
+    use cesc_semantics::window_matches;
+    use cesc_trace::Trace;
+
+    #[test]
+    fn fig8_chart_shape() {
+        let doc = ahb_transaction_doc();
+        let c = doc.chart("ahb_transaction").unwrap();
+        assert_eq!(c.tick_count(), 3);
+        assert_eq!(c.instances(), ["Master", "Bus"]);
+        assert_eq!(c.arrows().len(), 2);
+    }
+
+    #[test]
+    fn fig8_monitor_is_four_states() {
+        let doc = ahb_transaction_doc();
+        let m = synthesize(doc.chart("ahb_transaction").unwrap(), &SynthOptions::default())
+            .unwrap();
+        assert_eq!(m.state_count(), 4);
+        // transition 0→1 carries Add_evt(init_transaction) — the paper's
+        // `a / Add_evt(1)`
+        let init = doc.alphabet.lookup("init_transaction").unwrap();
+        let msd = doc.alphabet.lookup("master_set_data").unwrap();
+        let t01 = &m.transitions_from(StateId::from_index(0))[0];
+        assert!(t01
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::AddEvt(es) if es.contains(&init))));
+        // 1→2 carries Add_evt(master_set_data) and Chk_evt(init) —
+        // `b / Add_evt(6)` with `Chk_evt(1)`
+        let t12 = m
+            .transitions_from(StateId::from_index(1))
+            .iter()
+            .find(|t| t.target == StateId::from_index(2))
+            .unwrap();
+        assert!(t12.guard.chk_targets().contains(init));
+        assert!(t12
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::AddEvt(es) if es.contains(&msd))));
+        // 2→3 guarded by Chk_evt(master_set_data) — `d = (10 ∧ Chk(6))`
+        let t23 = m
+            .transitions_from(StateId::from_index(2))
+            .iter()
+            .find(|t| t.target == StateId::from_index(3))
+            .unwrap();
+        assert!(t23.guard.chk_targets().contains(msd));
+    }
+
+    #[test]
+    fn fig8_backward_transitions_delete_both_events() {
+        let doc = ahb_transaction_doc();
+        let m = synthesize(doc.chart("ahb_transaction").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let init = doc.alphabet.lookup("init_transaction").unwrap();
+        let msd = doc.alphabet.lookup("master_set_data").unwrap();
+        // the paper's `e / (Del_evt(1), Del_evt(6))` from state 2
+        let back = m
+            .transitions_from(StateId::from_index(2))
+            .iter()
+            .find(|t| t.target == StateId::from_index(0))
+            .unwrap();
+        let dels: Vec<_> = back
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::DelEvt(es) => Some(es.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert!(dels.contains(&init));
+        assert!(dels.contains(&msd));
+    }
+
+    #[test]
+    fn fig8_detects_compliant_transaction() {
+        let doc = ahb_transaction_doc();
+        let c = doc.chart("ahb_transaction").unwrap();
+        let m = synthesize(c, &SynthOptions::default()).unwrap();
+        let w = ahb_transaction_window(&doc.alphabet);
+        assert!(window_matches(c, &w));
+        let report = m.scan(w);
+        assert_eq!(report.matches, vec![2]);
+        assert_eq!(report.underflows, 0);
+    }
+
+    #[test]
+    fn fig8_missing_data_phase_rejected() {
+        let doc = ahb_transaction_doc();
+        let m = synthesize(doc.chart("ahb_transaction").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let mut w = ahb_transaction_window(&doc.alphabet);
+        // drop master_set_data from the data phase
+        let msd = doc.alphabet.lookup("master_set_data").unwrap();
+        w[1].remove(msd);
+        let report = m.scan(Trace::from_elements(w));
+        assert!(!report.detected());
+    }
+}

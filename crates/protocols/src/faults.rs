@@ -1,0 +1,201 @@
+//! Fault injection: turning compliant traffic into the non-compliant
+//! traffic a buggy DUT would produce.
+//!
+//! The paper motivates synthesized monitors by the error-proneness of
+//! manual checkers; these injectors are how the test-suite and the
+//! `causality_ablation` benchmark demonstrate that the synthesized
+//! monitors (and specifically their scoreboard causality checks) catch
+//! realistic protocol bugs: dropped events, delayed responses,
+//! responses without requests, reordered phases.
+
+use cesc_expr::{SymbolId, Valuation};
+use cesc_trace::Trace;
+
+/// A protocol fault to inject into a compliant trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Remove the `occurrence`-th occurrence of `event` (0-based).
+    DropEvent {
+        /// The event to drop.
+        event: SymbolId,
+        /// Which occurrence (0-based).
+        occurrence: usize,
+    },
+    /// Move the `occurrence`-th occurrence of `event` `by` ticks later
+    /// (clamped to the trace end).
+    DelayEvent {
+        /// The event to delay.
+        event: SymbolId,
+        /// Which occurrence (0-based).
+        occurrence: usize,
+        /// Delay in ticks.
+        by: usize,
+    },
+    /// Inject a spurious occurrence of `event` at `tick`.
+    SpuriousEvent {
+        /// The event to inject.
+        event: SymbolId,
+        /// Where to inject it.
+        tick: usize,
+    },
+    /// Swap the contents of two ticks (phase reordering).
+    SwapTicks {
+        /// First tick.
+        a: usize,
+        /// Second tick.
+        b: usize,
+    },
+}
+
+/// Applies a fault to a copy of `trace`.
+///
+/// Injectors are best-effort: faults referencing occurrences or ticks
+/// beyond the trace leave it unchanged (callers assert on the monitor
+/// verdict, not on the mutation).
+pub fn inject(trace: &Trace, fault: Fault) -> Trace {
+    let mut elems: Vec<Valuation> = trace.iter().collect();
+    match fault {
+        Fault::DropEvent { event, occurrence } => {
+            if let Some(tick) = nth_occurrence(trace, event, occurrence) {
+                elems[tick].remove(event);
+            }
+        }
+        Fault::DelayEvent {
+            event,
+            occurrence,
+            by,
+        } => {
+            if let Some(tick) = nth_occurrence(trace, event, occurrence) {
+                elems[tick].remove(event);
+                let target = (tick + by).min(elems.len().saturating_sub(1));
+                elems[target].insert(event);
+            }
+        }
+        Fault::SpuriousEvent { event, tick } => {
+            if tick < elems.len() {
+                elems[tick].insert(event);
+            }
+        }
+        Fault::SwapTicks { a, b } => {
+            if a < elems.len() && b < elems.len() {
+                elems.swap(a, b);
+            }
+        }
+    }
+    Trace::from_elements(elems)
+}
+
+fn nth_occurrence(trace: &Trace, event: SymbolId, occurrence: usize) -> Option<usize> {
+    trace.ticks_where(event).into_iter().nth(occurrence)
+}
+
+/// All single-event fault variants for a given trace: every occurrence
+/// of every listed event dropped, delayed by one, or duplicated one
+/// tick early — the mutation set used by exhaustive fault-coverage
+/// tests.
+pub fn fault_set(trace: &Trace, events: &[SymbolId]) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for &e in events {
+        for (occ, &tick) in trace.ticks_where(e).iter().enumerate() {
+            faults.push(Fault::DropEvent {
+                event: e,
+                occurrence: occ,
+            });
+            faults.push(Fault::DelayEvent {
+                event: e,
+                occurrence: occ,
+                by: 1,
+            });
+            if tick > 0 {
+                faults.push(Fault::SpuriousEvent {
+                    event: e,
+                    tick: tick - 1,
+                });
+            }
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_expr::Alphabet;
+
+    fn setup() -> (Alphabet, SymbolId, SymbolId, Trace) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        let t = Trace::from_elements([
+            Valuation::of([a]),
+            Valuation::of([b]),
+            Valuation::of([a, b]),
+        ]);
+        (ab, a, b, t)
+    }
+
+    #[test]
+    fn drop_removes_right_occurrence() {
+        let (_, a, _, t) = setup();
+        let t2 = inject(&t, Fault::DropEvent { event: a, occurrence: 1 });
+        assert!(t2[0].contains(a));
+        assert!(!t2[2].contains(a));
+    }
+
+    #[test]
+    fn delay_moves_event() {
+        let (_, a, b, t) = setup();
+        let t2 = inject(
+            &t,
+            Fault::DelayEvent {
+                event: a,
+                occurrence: 0,
+                by: 1,
+            },
+        );
+        assert!(!t2[0].contains(a));
+        assert!(t2[1].contains(a) && t2[1].contains(b));
+    }
+
+    #[test]
+    fn delay_clamps_to_end() {
+        let (_, a, _, t) = setup();
+        let t2 = inject(
+            &t,
+            Fault::DelayEvent {
+                event: a,
+                occurrence: 1,
+                by: 100,
+            },
+        );
+        assert!(t2[2].contains(a)); // clamped in place
+    }
+
+    #[test]
+    fn spurious_and_swap() {
+        let (_, a, b, t) = setup();
+        let t2 = inject(&t, Fault::SpuriousEvent { event: b, tick: 0 });
+        assert!(t2[0].contains(b));
+        let t3 = inject(&t, Fault::SwapTicks { a: 0, b: 1 });
+        assert!(t3[0].contains(b) && !t3[0].contains(a));
+        assert!(t3[1].contains(a));
+    }
+
+    #[test]
+    fn out_of_range_faults_are_noops() {
+        let (_, a, _, t) = setup();
+        assert_eq!(inject(&t, Fault::DropEvent { event: a, occurrence: 9 }), t);
+        assert_eq!(inject(&t, Fault::SpuriousEvent { event: a, tick: 99 }), t);
+        assert_eq!(inject(&t, Fault::SwapTicks { a: 0, b: 99 }), t);
+    }
+
+    #[test]
+    fn fault_set_enumerates_mutations() {
+        let (_, a, b, t) = setup();
+        let faults = fault_set(&t, &[a, b]);
+        // a: 2 occurrences × (drop, delay) + spurious@1 (tick2>0) = 5
+        // b: 2 occurrences × 2 + spurious@0? b occurs at 1,2 → spurious at 0 and 1 = 6
+        assert!(faults.len() >= 10);
+        assert!(faults.contains(&Fault::DropEvent { event: a, occurrence: 0 }));
+    }
+}

@@ -1,0 +1,36 @@
+//! # cesc-protocols — OCP and AMBA case studies, traffic and faults
+//!
+//! The paper's §6 evaluation substrate, rebuilt:
+//!
+//! * [`ocp`] — OCP-IP simple read (Figure 6) and pipelined 4-beat burst
+//!   read (Figure 7) charts with their canonical waveforms;
+//! * [`amba`] — the AMBA AHB CLI transaction of Figure 8;
+//! * [`readproto`] — the single- and multi-clock read protocols of
+//!   Figures 1 and 2;
+//! * [`traffic`] — compliant transaction streams (count / gap / noise
+//!   sweeps) and simulation transactors;
+//! * [`faults`] — drop / delay / spurious / reorder fault injection,
+//!   producing the non-compliant traces a buggy DUT would emit.
+//!
+//! # Example
+//!
+//! ```
+//! use cesc_core::{synthesize, SynthOptions};
+//! use cesc_protocols::{ocp, traffic::{transaction_stream, TrafficConfig}};
+//!
+//! let doc = ocp::simple_read_doc();
+//! let monitor = synthesize(doc.chart("ocp_simple_read").unwrap(), &SynthOptions::default())
+//!     .unwrap();
+//! let window = ocp::simple_read_window(&doc.alphabet);
+//! let trace = transaction_stream(&doc.alphabet, &window, &TrafficConfig::default());
+//! assert_eq!(monitor.scan(&trace).matches.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amba;
+pub mod faults;
+pub mod ocp;
+pub mod readproto;
+pub mod traffic;

@@ -1,0 +1,277 @@
+//! The automated verification flow — Figure 4 with the grey boxes.
+//!
+//! ```text
+//! informal specification
+//!   → CESC-based verification plan   (the document text)
+//!   → automated synthesis of monitors (cesc-core)
+//!   → simulation environment          (this crate)
+//!   → Verified / Failed
+//! ```
+//!
+//! [`run_flow`] performs the whole pipeline from document text to
+//! verdicts in one call — the cycle-time argument of the paper made
+//! executable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cesc_chart::{parse_document, ParseChartError};
+use cesc_core::{synthesize, Monitor, SynthError, SynthOptions, Verdict};
+use cesc_trace::{write_vcd, ClockDomain, GlobalRun, VcdWriteOptions};
+
+use crate::harness::OnlineHarness;
+use crate::kernel::{Simulation, Transactor};
+
+/// Configuration of one flow run.
+#[derive(Debug)]
+pub struct FlowConfig {
+    /// CESC document source (charts to verify).
+    pub document: String,
+    /// Names of the charts to synthesize monitors for (empty = all).
+    pub charts: Vec<String>,
+    /// Clock domains of the simulated design.
+    pub clocks: Vec<ClockDomain>,
+    /// Transactors modelling the design under test.
+    pub transactors: Vec<Box<dyn Transactor>>,
+    /// Number of merged-schedule steps to simulate.
+    pub global_steps: usize,
+    /// Synthesis options.
+    pub synth: SynthOptions,
+    /// When set, dump the named clock domain's trace as VCD into the
+    /// report (what an RTL simulator would have produced).
+    pub dump_vcd_for: Option<String>,
+}
+
+/// Error from [`run_flow`].
+#[derive(Debug)]
+pub enum FlowError {
+    /// The document failed to parse or validate.
+    Parse(ParseChartError),
+    /// A chart failed synthesis.
+    Synth(SynthError),
+    /// A requested chart name is absent from the document.
+    UnknownChart {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "{e}"),
+            FlowError::Synth(e) => write!(f, "{e}"),
+            FlowError::UnknownChart { name } => write!(f, "unknown chart `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ParseChartError> for FlowError {
+    fn from(e: ParseChartError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> Self {
+        FlowError::Synth(e)
+    }
+}
+
+/// Result of the automated flow.
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Synthesized monitors, by chart name.
+    pub monitors: Vec<Monitor>,
+    /// Completion (match) times per monitor, by chart name.
+    pub matches: BTreeMap<String, Vec<u64>>,
+    /// Verdict per chart: `Passed` if its scenario was observed.
+    pub verdicts: BTreeMap<String, Verdict>,
+    /// The recorded global run (for VCD export or debugging).
+    pub run: GlobalRun,
+    /// VCD text of the requested clock domain, if configured.
+    pub vcd: Option<String>,
+}
+
+impl FlowReport {
+    /// Whether every monitored scenario was observed.
+    pub fn all_passed(&self) -> bool {
+        self.verdicts.values().all(|v| *v == Verdict::Passed)
+    }
+}
+
+/// Runs the full automated verification flow.
+///
+/// # Errors
+///
+/// [`FlowError::Parse`] on bad document text, [`FlowError::Synth`] on
+/// unsynthesizable charts, [`FlowError::UnknownChart`] on a bad chart
+/// name in the config.
+pub fn run_flow(mut config: FlowConfig) -> Result<FlowReport, FlowError> {
+    // 1. verification plan: parse and validate the document
+    let doc = parse_document(&config.document)?;
+
+    // 2. automated monitor synthesis
+    let chart_names: Vec<String> = if config.charts.is_empty() {
+        doc.charts.iter().map(|c| c.name().to_owned()).collect()
+    } else {
+        config.charts.clone()
+    };
+    let mut monitors = Vec::new();
+    for name in &chart_names {
+        let chart = doc
+            .chart(name)
+            .ok_or_else(|| FlowError::UnknownChart { name: name.clone() })?;
+        monitors.push(synthesize(chart, &config.synth)?);
+    }
+
+    // 3. simulation with online monitors
+    let mut sim = Simulation::new();
+    for c in config.clocks.drain(..) {
+        sim.add_clock(c);
+    }
+    for t in config.transactors.drain(..) {
+        sim.add_transactor(t);
+    }
+    let clocks = sim.clocks().clone();
+    let mut harness = OnlineHarness::new();
+    for m in &monitors {
+        harness.attach(&clocks, m);
+    }
+    let run = sim.run_with(config.global_steps, |c, s| harness.observe(c, s));
+
+    // 4. verdicts
+    let mut matches = BTreeMap::new();
+    let mut verdicts = BTreeMap::new();
+    for (i, name) in chart_names.iter().enumerate() {
+        let hits = harness.hits(i).to_vec();
+        verdicts.insert(
+            name.clone(),
+            if hits.is_empty() {
+                Verdict::Idle
+            } else {
+                Verdict::Passed
+            },
+        );
+        matches.insert(name.clone(), hits);
+    }
+
+    let vcd = config.dump_vcd_for.as_ref().and_then(|clock_name| {
+        let clock = clocks.lookup(clock_name)?;
+        let trace = run.project(clock);
+        Some(write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default()))
+    });
+
+    Ok(FlowReport {
+        monitors,
+        matches,
+        verdicts,
+        run,
+        vcd,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::PeriodicTransactor;
+    use cesc_expr::{Alphabet, Valuation};
+
+    const DOC: &str = r#"
+        scesc hs on clk {
+            instances { M, S }
+            events { req, ack }
+            tick { M: req }
+            tick { S: ack }
+            cause req -> ack;
+        }
+    "#;
+
+    fn alphabet() -> Alphabet {
+        cesc_chart::parse_document(DOC).unwrap().alphabet
+    }
+
+    #[test]
+    fn flow_passes_on_compliant_design() {
+        let ab = alphabet();
+        let req = ab.lookup("req").unwrap();
+        let ack = ab.lookup("ack").unwrap();
+        let report = run_flow(FlowConfig {
+            document: DOC.to_owned(),
+            charts: vec![],
+            clocks: vec![ClockDomain::new("clk", 1, 0)],
+            transactors: vec![Box::new(PeriodicTransactor::new(
+                "clk",
+                vec![Valuation::of([req]), Valuation::of([ack])],
+                2,
+                0,
+            ))],
+            global_steps: 20,
+            synth: SynthOptions::default(),
+            dump_vcd_for: Some("clk".to_owned()),
+        })
+        .unwrap();
+        assert!(report.all_passed());
+        assert!(report.vcd.as_deref().unwrap().contains("$var wire 1"));
+        assert!(!report.matches["hs"].is_empty());
+        assert_eq!(report.monitors.len(), 1);
+        assert_eq!(report.run.len(), 20);
+    }
+
+    #[test]
+    fn flow_fails_on_broken_design() {
+        let ab = alphabet();
+        let req = ab.lookup("req").unwrap();
+        // design never acks
+        let report = run_flow(FlowConfig {
+            document: DOC.to_owned(),
+            charts: vec!["hs".to_owned()],
+            clocks: vec![ClockDomain::new("clk", 1, 0)],
+            transactors: vec![Box::new(PeriodicTransactor::new(
+                "clk",
+                vec![Valuation::of([req])],
+                3,
+                0,
+            ))],
+            global_steps: 20,
+            synth: SynthOptions::default(),
+            dump_vcd_for: None,
+        })
+        .unwrap();
+        assert!(!report.all_passed());
+        assert!(report.vcd.is_none());
+        assert_eq!(report.verdicts["hs"], Verdict::Idle);
+    }
+
+    #[test]
+    fn unknown_chart_is_an_error() {
+        let err = run_flow(FlowConfig {
+            document: DOC.to_owned(),
+            charts: vec!["ghost".to_owned()],
+            clocks: vec![ClockDomain::new("clk", 1, 0)],
+            transactors: vec![],
+            global_steps: 1,
+            synth: SynthOptions::default(),
+            dump_vcd_for: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let err = run_flow(FlowConfig {
+            document: "scesc broken {".to_owned(),
+            charts: vec![],
+            clocks: vec![],
+            transactors: vec![],
+            global_steps: 0,
+            synth: SynthOptions::default(),
+            dump_vcd_for: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, FlowError::Parse(_)));
+    }
+}

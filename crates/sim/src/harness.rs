@@ -1,0 +1,271 @@
+//! Online monitoring harnesses.
+//!
+//! Connects synthesized monitors to a running [`Simulation`]: either
+//! *inline* (monitors stepped in the simulation loop) or *decoupled*
+//! (simulation thread streams [`GlobalStep`]s over a channel to a
+//! monitor thread — how checkers attach to a live simulator in
+//! practice).
+
+use cesc_core::{Monitor, MonitorExec, MultiClockMonitor};
+use cesc_trace::{ClockSet, GlobalStep};
+use crossbeam::channel;
+
+/// Inline harness: single-clock monitors plus optional multi-clock
+/// monitors, all stepped synchronously with the simulation.
+#[derive(Debug)]
+pub struct OnlineHarness<'m> {
+    single: Vec<(usize, MonitorExec<'m>)>, // (clock index in ClockSet order, exec)
+    single_hits: Vec<Vec<u64>>,
+    multi: Vec<cesc_core::MultiClockExec<'m>>,
+    multi_hits: Vec<Vec<u64>>,
+}
+
+impl<'m> OnlineHarness<'m> {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        OnlineHarness {
+            single: Vec::new(),
+            single_hits: Vec::new(),
+            multi: Vec::new(),
+            multi_hits: Vec::new(),
+        }
+    }
+
+    /// Attaches a single-clock monitor; its [`Monitor::clock`] must name
+    /// a domain of `clocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor's clock is not in `clocks`.
+    pub fn attach(&mut self, clocks: &ClockSet, monitor: &'m Monitor) -> usize {
+        let clock = clocks
+            .lookup(monitor.clock())
+            .unwrap_or_else(|| panic!("monitor clock `{}` not in clock set", monitor.clock()));
+        self.single.push((clock.index(), MonitorExec::new(monitor)));
+        self.single_hits.push(Vec::new());
+        self.single.len() - 1
+    }
+
+    /// Attaches a multi-clock monitor.
+    pub fn attach_multiclock(&mut self, monitor: &'m MultiClockMonitor) -> usize {
+        self.multi.push(monitor.executor());
+        self.multi_hits.push(Vec::new());
+        self.multi.len() - 1
+    }
+
+    /// Feeds one global step to every attached monitor.
+    pub fn observe(&mut self, clocks: &ClockSet, step: &GlobalStep) {
+        for (i, (clock_idx, exec)) in self.single.iter_mut().enumerate() {
+            if let Some(v) = step
+                .ticks
+                .iter()
+                .find(|(c, _)| c.index() == *clock_idx)
+                .map(|&(_, v)| v)
+            {
+                if exec.step(v).matched {
+                    self.single_hits[i].push(step.time);
+                }
+            }
+        }
+        for (i, exec) in self.multi.iter_mut().enumerate() {
+            if exec.step_global(clocks, step) {
+                self.multi_hits[i].push(step.time);
+            }
+        }
+    }
+
+    /// Global times at which single-clock monitor `idx` completed.
+    pub fn hits(&self, idx: usize) -> &[u64] {
+        &self.single_hits[idx]
+    }
+
+    /// Global times at which multi-clock monitor `idx` completed.
+    pub fn multiclock_hits(&self, idx: usize) -> &[u64] {
+        &self.multi_hits[idx]
+    }
+}
+
+impl Default for OnlineHarness<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs monitors on a dedicated thread, receiving steps over a channel
+/// from the simulation thread — the decoupled deployment of Fig 4's
+/// "simulation environment" box.
+///
+/// Returns the completion times of each attached monitor once the
+/// stream closes.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_expr::Valuation;
+/// use cesc_sim::{run_decoupled, PeriodicTransactor, Simulation};
+/// use cesc_trace::ClockDomain;
+///
+/// let doc = parse_document(
+///     "scesc p on clk { instances { M } events { x } tick { M: x } }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("p").unwrap(), &SynthOptions::default()).unwrap();
+/// let x = doc.alphabet.lookup("x").unwrap();
+///
+/// let mut sim = Simulation::new();
+/// sim.add_clock(ClockDomain::new("clk", 1, 0));
+/// sim.add_transactor(Box::new(PeriodicTransactor::new(
+///     "clk", vec![Valuation::of([x])], 1, 0,
+/// )));
+/// let hits = run_decoupled(&mut sim, 6, &[&m]);
+/// assert_eq!(hits[0], vec![0, 2, 4]);
+/// ```
+pub fn run_decoupled(
+    sim: &mut crate::kernel::Simulation,
+    global_steps: usize,
+    monitors: &[&Monitor],
+) -> Vec<Vec<u64>> {
+    let (tx, rx) = channel::bounded::<(GlobalStep, ())>(1024);
+    let clocks = sim.clocks().clone();
+
+    std::thread::scope(|scope| {
+        let monitor_thread = scope.spawn(move || {
+            let mut harness = OnlineHarness::new();
+            for m in monitors {
+                harness.attach(&clocks, m);
+            }
+            while let Ok((step, ())) = rx.recv() {
+                harness.observe(&clocks, &step);
+            }
+            (0..monitors.len())
+                .map(|i| harness.hits(i).to_vec())
+                .collect::<Vec<_>>()
+        });
+
+        sim.run_with(global_steps, |_, step| {
+            tx.send((step.clone(), ())).expect("monitor thread alive");
+        });
+        drop(tx);
+        monitor_thread.join().expect("monitor thread panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{PeriodicTransactor, Simulation};
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, synthesize_multiclock, SynthOptions};
+    use cesc_expr::Valuation;
+    use cesc_trace::ClockDomain;
+
+    fn handshake_doc() -> cesc_chart::Document {
+        parse_document(
+            r#"
+            scesc hs on clk {
+                instances { M, S }
+                events { req, ack }
+                tick { M: req }
+                tick { S: ack }
+                cause req -> ack;
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inline_harness_detects_periodic_traffic() {
+        let doc = handshake_doc();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let mut sim = Simulation::new();
+        let clocks_owned;
+        sim.add_clock(ClockDomain::new("clk", 1, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk",
+            vec![Valuation::of([req]), Valuation::of([ack])],
+            1,
+            0,
+        )));
+        clocks_owned = sim.clocks().clone();
+        let mut harness = OnlineHarness::new();
+        let idx = harness.attach(&clocks_owned, &m);
+        sim.run_with(9, |clocks, step| harness.observe(clocks, step));
+        // windows complete at t=1, 4, 7
+        assert_eq!(harness.hits(idx), &[1, 4, 7]);
+    }
+
+    #[test]
+    fn decoupled_harness_agrees_with_inline() {
+        let doc = handshake_doc();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let build_sim = || {
+            let mut sim = Simulation::new();
+            sim.add_clock(ClockDomain::new("clk", 1, 0));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk",
+                vec![Valuation::of([req]), Valuation::of([ack])],
+                2,
+                1,
+            )));
+            sim
+        };
+
+        let mut sim = build_sim();
+        let clocks = sim.clocks().clone();
+        let mut harness = OnlineHarness::new();
+        harness.attach(&clocks, &m);
+        sim.run_with(20, |c, s| harness.observe(c, s));
+        let inline_hits = harness.hits(0).to_vec();
+
+        let mut sim2 = build_sim();
+        let decoupled_hits = run_decoupled(&mut sim2, 20, &[&m]);
+        assert_eq!(decoupled_hits[0], inline_hits);
+        assert!(!inline_hits.is_empty());
+    }
+
+    #[test]
+    fn multiclock_monitor_in_harness() {
+        let doc = parse_document(
+            r#"
+            scesc m1 on clk1 { instances { A } events { go } tick { A: go } }
+            scesc m2 on clk2 { instances { B } events { done } tick { B: done } }
+            multiclock pair { charts { m1, m2 } cause go -> done; }
+        "#,
+        )
+        .unwrap();
+        let mm = synthesize_multiclock(doc.multiclock_spec("pair").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let go = doc.alphabet.lookup("go").unwrap();
+        let done = doc.alphabet.lookup("done").unwrap();
+
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("clk1", 2, 0));
+        sim.add_clock(ClockDomain::new("clk2", 3, 1));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk1",
+            vec![Valuation::of([go])],
+            9,
+            0,
+        )));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk2",
+            vec![Valuation::of([done])],
+            9,
+            0,
+        )));
+        let mut harness = OnlineHarness::new();
+        let idx = harness.attach_multiclock(&mm);
+        sim.run_with(10, |c, s| harness.observe(c, s));
+        // go at t0 (clk1 tick0), done at t1 (clk2 tick0) → pair at t1
+        assert!(!harness.multiclock_hits(idx).is_empty());
+        assert_eq!(harness.multiclock_hits(idx)[0], 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! GALS simulation kernel.
+//!
+//! The paper's verification flow (Fig 4) runs monitors inside a
+//! simulation environment; SoCs are "Globally Asynchronous Locally
+//! Synchronous" (§2), so the kernel drives one or more [`Transactor`]s
+//! per clock domain over the merged tick schedule of a
+//! [`ClockSet`], producing a [`GlobalRun`] and streaming
+//! [`GlobalStep`]s to observers as they happen.
+
+use cesc_expr::{Alphabet, Valuation};
+use cesc_trace::{ClockDomain, ClockId, ClockSet, GlobalRun, GlobalStep, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A device driving signal activity in one clock domain: each local
+/// tick it contributes a valuation (multiple transactors on one domain
+/// are OR-combined, like multiple drivers on distinct wires).
+pub trait Transactor: std::fmt::Debug {
+    /// Name of the clock domain this transactor is synchronous to.
+    fn clock(&self) -> &str;
+    /// The activity driven at local tick `tick`.
+    fn tick(&mut self, tick: u64) -> Valuation;
+}
+
+/// Replays a pre-recorded trace, idle afterwards.
+#[derive(Debug, Clone)]
+pub struct ScriptedTransactor {
+    clock: String,
+    trace: Trace,
+}
+
+impl ScriptedTransactor {
+    /// Creates a transactor replaying `trace` on `clock`.
+    pub fn new(clock: &str, trace: Trace) -> Self {
+        ScriptedTransactor {
+            clock: clock.to_owned(),
+            trace,
+        }
+    }
+}
+
+impl Transactor for ScriptedTransactor {
+    fn clock(&self) -> &str {
+        &self.clock
+    }
+    fn tick(&mut self, tick: u64) -> Valuation {
+        self.trace
+            .get(tick as usize)
+            .unwrap_or_else(Valuation::empty)
+    }
+}
+
+/// Repeats a fixed window separated by idle gaps — back-to-back
+/// transactions.
+#[derive(Debug, Clone)]
+pub struct PeriodicTransactor {
+    clock: String,
+    window: Vec<Valuation>,
+    gap: u64,
+    start: u64,
+}
+
+impl PeriodicTransactor {
+    /// Creates a transactor replaying `window` every `window.len() +
+    /// gap` ticks, starting at local tick `start`.
+    pub fn new(clock: &str, window: Vec<Valuation>, gap: u64, start: u64) -> Self {
+        PeriodicTransactor {
+            clock: clock.to_owned(),
+            window,
+            gap,
+            start,
+        }
+    }
+}
+
+impl Transactor for PeriodicTransactor {
+    fn clock(&self) -> &str {
+        &self.clock
+    }
+    fn tick(&mut self, tick: u64) -> Valuation {
+        if tick < self.start || self.window.is_empty() {
+            return Valuation::empty();
+        }
+        let period = self.window.len() as u64 + self.gap;
+        let phase = (tick - self.start) % period;
+        if (phase as usize) < self.window.len() {
+            self.window[phase as usize]
+        } else {
+            Valuation::empty()
+        }
+    }
+}
+
+/// Drives random noise over a set of symbols (deterministic per seed).
+#[derive(Debug)]
+pub struct NoiseTransactor {
+    clock: String,
+    symbols: Vec<cesc_expr::SymbolId>,
+    density: f64,
+    rng: StdRng,
+}
+
+impl NoiseTransactor {
+    /// Creates a noise source over every symbol of `alphabet`.
+    pub fn new(clock: &str, alphabet: &Alphabet, density: f64, seed: u64) -> Self {
+        NoiseTransactor {
+            clock: clock.to_owned(),
+            symbols: alphabet.iter().map(|(id, _)| id).collect(),
+            density,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Transactor for NoiseTransactor {
+    fn clock(&self) -> &str {
+        &self.clock
+    }
+    fn tick(&mut self, _tick: u64) -> Valuation {
+        let mut v = Valuation::empty();
+        for &s in &self.symbols {
+            if self.rng.random_bool(self.density.clamp(0.0, 1.0)) {
+                v.insert(s);
+            }
+        }
+        v
+    }
+}
+
+/// The GALS simulation: clock domains plus transactors.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// use cesc_sim::{ScriptedTransactor, Simulation};
+/// use cesc_trace::{ClockDomain, Trace};
+///
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let mut sim = Simulation::new();
+/// sim.add_clock(ClockDomain::new("clk", 1, 0));
+/// sim.add_transactor(Box::new(ScriptedTransactor::new(
+///     "clk",
+///     Trace::from_elements([Valuation::of([req])]),
+/// )));
+/// let run = sim.run(3);
+/// assert_eq!(run.len(), 3);
+/// assert!(run.get(0).unwrap().ticks[0].1.contains(req));
+/// ```
+#[derive(Debug, Default)]
+pub struct Simulation {
+    clocks: ClockSet,
+    transactors: Vec<Box<dyn Transactor>>,
+    local_ticks: Vec<u64>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a clock domain.
+    pub fn add_clock(&mut self, domain: ClockDomain) -> ClockId {
+        self.clocks.add(domain)
+    }
+
+    /// The clock set.
+    pub fn clocks(&self) -> &ClockSet {
+        &self.clocks
+    }
+
+    /// Attaches a transactor (its clock must have been added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transactor's clock name is unknown.
+    pub fn add_transactor(&mut self, t: Box<dyn Transactor>) {
+        assert!(
+            self.clocks.lookup(t.clock()).is_some(),
+            "unknown clock `{}` — add_clock first",
+            t.clock()
+        );
+        self.transactors.push(t);
+    }
+
+    /// Runs for `global_steps` instants of the merged schedule,
+    /// invoking `on_step` after each instant, and returns the recorded
+    /// global run.
+    pub fn run_with(
+        &mut self,
+        global_steps: usize,
+        mut on_step: impl FnMut(&ClockSet, &GlobalStep),
+    ) -> GlobalRun {
+        self.local_ticks = vec![0; self.clocks.len()];
+        let mut run = GlobalRun::new();
+        let schedule: Vec<_> = self.clocks.schedule().take(global_steps).collect();
+        for instant in schedule {
+            let mut ticks = Vec::new();
+            for clock_id in instant.ticking {
+                let local = self.local_ticks[clock_id.index()];
+                self.local_ticks[clock_id.index()] += 1;
+                let clock_name = self.clocks.domain(clock_id).name().to_owned();
+                let mut v = Valuation::empty();
+                for t in &mut self.transactors {
+                    if t.clock() == clock_name {
+                        v = v | t.tick(local);
+                    }
+                }
+                ticks.push((clock_id, v));
+            }
+            let step = GlobalStep {
+                time: instant.time,
+                ticks,
+            };
+            on_step(&self.clocks, &step);
+            run.push(step);
+        }
+        run
+    }
+
+    /// Runs for `global_steps` instants with no observer.
+    pub fn run(&mut self, global_steps: usize) -> GlobalRun {
+        self.run_with(global_steps, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet() -> (Alphabet, cesc_expr::SymbolId, cesc_expr::SymbolId) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        (ab, a, b)
+    }
+
+    #[test]
+    fn scripted_replays_then_idles() {
+        let (_, a, _) = alphabet();
+        let mut t = ScriptedTransactor::new("clk", Trace::from_elements([Valuation::of([a])]));
+        assert!(t.tick(0).contains(a));
+        assert!(t.tick(1).is_empty());
+    }
+
+    #[test]
+    fn periodic_transactor_cycle() {
+        let (_, a, b) = alphabet();
+        let mut t =
+            PeriodicTransactor::new("clk", vec![Valuation::of([a]), Valuation::of([b])], 1, 2);
+        assert!(t.tick(0).is_empty()); // before start
+        assert!(t.tick(2).contains(a));
+        assert!(t.tick(3).contains(b));
+        assert!(t.tick(4).is_empty()); // gap
+        assert!(t.tick(5).contains(a)); // next period
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let (ab, _, _) = alphabet();
+        let mut t1 = NoiseTransactor::new("clk", &ab, 0.5, 9);
+        let mut t2 = NoiseTransactor::new("clk", &ab, 0.5, 9);
+        for i in 0..50 {
+            assert_eq!(t1.tick(i), t2.tick(i));
+        }
+    }
+
+    #[test]
+    fn multi_domain_simulation_produces_global_run() {
+        let (_, a, b) = alphabet();
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("fast", 1, 0));
+        sim.add_clock(ClockDomain::new("slow", 2, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "fast",
+            vec![Valuation::of([a])],
+            0,
+            0,
+        )));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "slow",
+            vec![Valuation::of([b])],
+            0,
+            0,
+        )));
+        let run = sim.run(4);
+        assert_eq!(run.len(), 4);
+        let fast = sim.clocks().lookup("fast").unwrap();
+        let slow = sim.clocks().lookup("slow").unwrap();
+        assert_eq!(run.project(fast).len(), 4);
+        assert_eq!(run.project(slow).len(), 2);
+        assert!(run.project(fast).iter().all(|v| v.contains(a)));
+        assert!(run.project(slow).iter().all(|v| v.contains(b)));
+    }
+
+    #[test]
+    fn transactors_on_same_domain_are_ored() {
+        let (_, a, b) = alphabet();
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("clk", 1, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk",
+            vec![Valuation::of([a])],
+            0,
+            0,
+        )));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk",
+            vec![Valuation::of([b])],
+            0,
+            0,
+        )));
+        let run = sim.run(1);
+        let v = run.get(0).unwrap().ticks[0].1;
+        assert!(v.contains(a) && v.contains(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown clock")]
+    fn unknown_clock_panics() {
+        let mut sim = Simulation::new();
+        sim.add_transactor(Box::new(ScriptedTransactor::new("ghost", Trace::new())));
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let (_, a, _) = alphabet();
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("clk", 1, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk",
+            vec![Valuation::of([a])],
+            0,
+            0,
+        )));
+        let mut seen = 0;
+        sim.run_with(5, |_, step| {
+            assert_eq!(step.ticks.len(), 1);
+            seen += 1;
+        });
+        assert_eq!(seen, 5);
+    }
+}

@@ -1,0 +1,300 @@
+//! Clock domains and tick schedules.
+//!
+//! CESC targets GALS (Globally Asynchronous Locally Synchronous) SoCs:
+//! each chart region is synchronous to one clock, and a multi-clock CESC's
+//! semantics is defined over a *global* clock "obtained as a union of
+//! clock ticks contributed by all the component clocks" (paper §3). A
+//! [`ClockDomain`] here is a periodic clock with a phase offset in global
+//! time units; [`ClockSet`] computes the merged tick schedule.
+
+use std::fmt;
+
+/// Identifier of a clock domain within a [`ClockSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub(crate) u32);
+
+impl ClockId {
+    /// Zero-based index of the clock within its [`ClockSet`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ClockId` from a raw index (for table-driven code).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ClockId(index as u32)
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A periodic clock: ticks at global times `phase, phase+period,
+/// phase+2·period, …`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    name: String,
+    period: u64,
+    phase: u64,
+}
+
+impl ClockDomain {
+    /// Creates a clock named `name` with the given period (> 0) and
+    /// phase offset, both in abstract global time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(name: &str, period: u64, phase: u64) -> Self {
+        assert!(period > 0, "clock period must be positive");
+        ClockDomain {
+            name: name.to_owned(),
+            period,
+            phase,
+        }
+    }
+
+    /// The clock's name (e.g. `clk1` in the paper's Figure 2).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tick period in global time units.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Phase offset of the first tick.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Whether this clock ticks at global time `t`.
+    #[inline]
+    pub fn ticks_at(&self, t: u64) -> bool {
+        t >= self.phase && (t - self.phase) % self.period == 0
+    }
+
+    /// The global time of this clock's `n`-th tick (zero-based).
+    #[inline]
+    pub fn tick_time(&self, n: u64) -> u64 {
+        self.phase + n * self.period
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (period {}, phase {})", self.name, self.period, self.phase)
+    }
+}
+
+/// An ordered collection of clock domains forming a GALS system.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_trace::{ClockDomain, ClockSet};
+/// let mut clocks = ClockSet::new();
+/// let clk1 = clocks.add(ClockDomain::new("clk1", 3, 0));
+/// let clk2 = clocks.add(ClockDomain::new("clk2", 5, 1));
+/// // global instants where at least one clock ticks:
+/// let sched: Vec<_> = clocks.schedule().take(4).collect();
+/// assert_eq!(sched[0].time, 0);
+/// assert!(sched[0].ticking.contains(&clk1));
+/// assert_eq!(sched[1].time, 1);
+/// assert!(sched[1].ticking.contains(&clk2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClockSet {
+    domains: Vec<ClockDomain>,
+}
+
+/// One instant of the merged (global) tick schedule: the global time and
+/// the clocks that tick there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalInstant {
+    /// Global time of the instant.
+    pub time: u64,
+    /// Clocks ticking at this instant (ascending id order).
+    pub ticking: Vec<ClockId>,
+}
+
+impl ClockSet {
+    /// Creates an empty clock set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding one clock of period 1 named `clk` — the
+    /// degenerate single-clock case used by SCESCs.
+    pub fn single() -> (Self, ClockId) {
+        let mut s = Self::new();
+        let id = s.add(ClockDomain::new("clk", 1, 0));
+        (s, id)
+    }
+
+    /// Adds a domain, returning its id.
+    pub fn add(&mut self, domain: ClockDomain) -> ClockId {
+        let id = ClockId(self.domains.len() as u32);
+        self.domains.push(domain);
+        id
+    }
+
+    /// The domain with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this set.
+    pub fn domain(&self, id: ClockId) -> &ClockDomain {
+        &self.domains[id.index()]
+    }
+
+    /// Looks up a clock by name.
+    pub fn lookup(&self, name: &str) -> Option<ClockId> {
+        self.domains
+            .iter()
+            .position(|d| d.name() == name)
+            .map(|i| ClockId(i as u32))
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterates over `(id, domain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClockId, &ClockDomain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClockId(i as u32), d))
+    }
+
+    /// The clocks ticking at global time `t` (ascending id order).
+    pub fn ticking_at(&self, t: u64) -> Vec<ClockId> {
+        self.iter()
+            .filter(|(_, d)| d.ticks_at(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Infinite iterator over the merged tick schedule — the paper's
+    /// "global clock obtained as a union of clock ticks".
+    ///
+    /// Instants where no clock ticks are skipped.
+    pub fn schedule(&self) -> Schedule<'_> {
+        Schedule {
+            clocks: self,
+            next_tick: self.domains.iter().map(|d| d.phase()).collect(),
+        }
+    }
+}
+
+/// Iterator over the merged global tick schedule, produced by
+/// [`ClockSet::schedule`].
+#[derive(Debug, Clone)]
+pub struct Schedule<'a> {
+    clocks: &'a ClockSet,
+    next_tick: Vec<u64>,
+}
+
+impl Iterator for Schedule<'_> {
+    type Item = GlobalInstant;
+
+    fn next(&mut self) -> Option<GlobalInstant> {
+        let t = *self.next_tick.iter().min()?;
+        let mut ticking = Vec::new();
+        for (i, nt) in self.next_tick.iter_mut().enumerate() {
+            if *nt == t {
+                ticking.push(ClockId(i as u32));
+                *nt += self.clocks.domains[i].period();
+            }
+        }
+        Some(GlobalInstant { time: t, ticking })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_at_respects_period_and_phase() {
+        let c = ClockDomain::new("c", 4, 2);
+        assert!(!c.ticks_at(0));
+        assert!(!c.ticks_at(1));
+        assert!(c.ticks_at(2));
+        assert!(!c.ticks_at(3));
+        assert!(c.ticks_at(6));
+        assert_eq!(c.tick_time(0), 2);
+        assert_eq!(c.tick_time(3), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        ClockDomain::new("bad", 0, 0);
+    }
+
+    #[test]
+    fn schedule_merges_union_of_ticks() {
+        let mut cs = ClockSet::new();
+        let a = cs.add(ClockDomain::new("a", 2, 0));
+        let b = cs.add(ClockDomain::new("b", 3, 0));
+        let sched: Vec<_> = cs.schedule().take(5).collect();
+        // times: 0 (a,b), 2 (a), 3 (b), 4 (a), 6 (a,b)
+        assert_eq!(sched[0].time, 0);
+        assert_eq!(sched[0].ticking, vec![a, b]);
+        assert_eq!(sched[1].time, 2);
+        assert_eq!(sched[1].ticking, vec![a]);
+        assert_eq!(sched[2].time, 3);
+        assert_eq!(sched[2].ticking, vec![b]);
+        assert_eq!(sched[3].time, 4);
+        assert_eq!(sched[4].time, 6);
+        assert_eq!(sched[4].ticking, vec![a, b]);
+    }
+
+    #[test]
+    fn coprime_periods_interleave() {
+        let mut cs = ClockSet::new();
+        cs.add(ClockDomain::new("clk1", 3, 0));
+        cs.add(ClockDomain::new("clk2", 5, 1));
+        let times: Vec<u64> = cs.schedule().take(7).map(|g| g.time).collect();
+        assert_eq!(times, vec![0, 1, 3, 6, 9, 11, 12]);
+    }
+
+    #[test]
+    fn single_clock_set() {
+        let (cs, id) = ClockSet::single();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.domain(id).period(), 1);
+        let times: Vec<u64> = cs.schedule().take(3).map(|g| g.time).collect();
+        assert_eq!(times, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut cs = ClockSet::new();
+        let c = cs.add(ClockDomain::new("core", 2, 0));
+        assert_eq!(cs.lookup("core"), Some(c));
+        assert_eq!(cs.lookup("nope"), None);
+        assert_eq!(cs.ticking_at(0), vec![c]);
+        assert_eq!(cs.ticking_at(1), Vec::<ClockId>::new());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ClockId(2).to_string(), "clk2");
+        let c = ClockDomain::new("bus", 7, 3);
+        assert_eq!(c.to_string(), "bus (period 7, phase 3)");
+    }
+}

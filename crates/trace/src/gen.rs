@@ -1,0 +1,202 @@
+//! Random and structured trace generation.
+//!
+//! Benchmarks and property tests need three kinds of traffic:
+//! *background noise* (random valuations with a tunable activity
+//! density), *planted scenarios* (a specific window embedded in noise,
+//! mirroring Fig 3's picture of a run containing the chart's interval),
+//! and *repetitions* (back-to-back transactions).
+
+use cesc_expr::{Alphabet, SymbolId, Valuation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::Trace;
+
+/// Deterministic random-trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::Alphabet;
+/// use cesc_trace::TraceGen;
+/// let mut ab = Alphabet::new();
+/// ab.event("a");
+/// ab.event("b");
+/// let mut g = TraceGen::new(42, &ab);
+/// let noise = g.noise(100, 0.3);
+/// assert_eq!(noise.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct TraceGen {
+    rng: StdRng,
+    symbols: Vec<SymbolId>,
+}
+
+impl TraceGen {
+    /// Creates a generator over all symbols of `alphabet`, seeded for
+    /// reproducibility.
+    pub fn new(seed: u64, alphabet: &Alphabet) -> Self {
+        TraceGen {
+            rng: StdRng::seed_from_u64(seed),
+            symbols: alphabet.iter().map(|(id, _)| id).collect(),
+        }
+    }
+
+    /// Creates a generator restricted to the given symbols.
+    pub fn with_symbols(seed: u64, symbols: impl IntoIterator<Item = SymbolId>) -> Self {
+        TraceGen {
+            rng: StdRng::seed_from_u64(seed),
+            symbols: symbols.into_iter().collect(),
+        }
+    }
+
+    /// One random valuation; each symbol is true with probability
+    /// `density`.
+    pub fn valuation(&mut self, density: f64) -> Valuation {
+        let mut v = Valuation::empty();
+        for &s in &self.symbols {
+            if self.rng.random_bool(density.clamp(0.0, 1.0)) {
+                v.insert(s);
+            }
+        }
+        v
+    }
+
+    /// `len` ticks of background noise with per-symbol activity
+    /// `density`.
+    pub fn noise(&mut self, len: usize, density: f64) -> Trace {
+        (0..len).map(|_| self.valuation(density)).collect()
+    }
+
+    /// Noise of length `len` with `window` planted at tick `at`
+    /// (overwriting the noise there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + window.len() > len`.
+    pub fn noise_with_window(
+        &mut self,
+        len: usize,
+        density: f64,
+        at: usize,
+        window: &[Valuation],
+    ) -> Trace {
+        assert!(
+            at + window.len() <= len,
+            "window [{at}, {}) exceeds trace length {len}",
+            at + window.len()
+        );
+        let mut t = self.noise(len, density);
+        let mut out = Trace::with_capacity(len);
+        for (i, v) in t.iter().enumerate() {
+            if i >= at && i < at + window.len() {
+                out.push(window[i - at]);
+            } else {
+                out.push(v);
+            }
+        }
+        t = out;
+        t
+    }
+
+    /// Concatenates `count` copies of `pattern`, separated by `gap` idle
+    /// (empty) ticks — back-to-back transaction traffic.
+    pub fn repeat(&mut self, pattern: &[Valuation], count: usize, gap: usize) -> Trace {
+        let mut t = Trace::with_capacity(count * (pattern.len() + gap));
+        for _ in 0..count {
+            t.extend(pattern.iter().copied());
+            t.extend(std::iter::repeat_n(Valuation::empty(), gap));
+        }
+        t
+    }
+
+    /// A uniformly random position for a window of `window_len` inside a
+    /// trace of `trace_len` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len > trace_len`.
+    pub fn window_position(&mut self, trace_len: usize, window_len: usize) -> usize {
+        assert!(window_len <= trace_len);
+        if window_len == trace_len {
+            0
+        } else {
+            self.rng.random_range(0..=trace_len - window_len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet() -> Alphabet {
+        let mut ab = Alphabet::new();
+        ab.event("a");
+        ab.event("b");
+        ab.prop("p");
+        ab
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let ab = alphabet();
+        let t1 = TraceGen::new(7, &ab).noise(50, 0.5);
+        let t2 = TraceGen::new(7, &ab).noise(50, 0.5);
+        assert_eq!(t1, t2);
+        let t3 = TraceGen::new(8, &ab).noise(50, 0.5);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn density_extremes() {
+        let ab = alphabet();
+        let mut g = TraceGen::new(1, &ab);
+        let empty = g.noise(20, 0.0);
+        assert!(empty.iter().all(|v| v.is_empty()));
+        let full = g.noise(20, 1.0);
+        assert!(full.iter().all(|v| v.count() == 3));
+    }
+
+    #[test]
+    fn planted_window_survives() {
+        let ab = alphabet();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let mut g = TraceGen::new(3, &ab);
+        let window = [Valuation::of([a]), Valuation::of([b])];
+        let t = g.noise_with_window(10, 0.9, 4, &window);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[4], window[0]);
+        assert_eq!(t[5], window[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds trace length")]
+    fn window_out_of_range_panics() {
+        let ab = alphabet();
+        let mut g = TraceGen::new(3, &ab);
+        g.noise_with_window(4, 0.1, 3, &[Valuation::empty(), Valuation::empty()]);
+    }
+
+    #[test]
+    fn repeat_layout() {
+        let ab = alphabet();
+        let a = ab.lookup("a").unwrap();
+        let mut g = TraceGen::new(3, &ab);
+        let t = g.repeat(&[Valuation::of([a])], 3, 2);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.ticks_where(a), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn window_position_in_bounds() {
+        let ab = alphabet();
+        let mut g = TraceGen::new(9, &ab);
+        for _ in 0..100 {
+            let p = g.window_position(50, 7);
+            assert!(p + 7 <= 50);
+        }
+        assert_eq!(g.window_position(5, 5), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Clocked event traces — the monitor's input.
+//!
+//! A [`Trace`] is a finite sequence of [`Valuation`]s, one per clock tick
+//! of a single domain; it is the concrete representation of the paper's
+//! "clocked event traces" (§4) and of finite prefixes of runs (§3,
+//! Definition *Run*: `r : N → STATES`).
+
+use std::fmt;
+use std::ops::Index;
+
+use cesc_expr::{Alphabet, Valuation};
+
+/// A finite clocked event trace over one clock domain.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// use cesc_trace::Trace;
+///
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let mut t = Trace::new();
+/// t.push(Valuation::of([req]));
+/// t.push(Valuation::empty());
+/// assert_eq!(t.len(), 2);
+/// assert!(t[0].contains(req));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Trace {
+    elements: Vec<Valuation>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            elements: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a trace from valuations.
+    pub fn from_elements(elements: impl IntoIterator<Item = Valuation>) -> Self {
+        Trace {
+            elements: elements.into_iter().collect(),
+        }
+    }
+
+    /// Appends one tick.
+    pub fn push(&mut self, v: Valuation) {
+        self.elements.push(v);
+    }
+
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the trace has no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The valuation at tick `n`, if in range.
+    pub fn get(&self, n: usize) -> Option<Valuation> {
+        self.elements.get(n).copied()
+    }
+
+    /// Iterates over the valuations in tick order.
+    pub fn iter(&self) -> impl Iterator<Item = Valuation> + '_ {
+        self.elements.iter().copied()
+    }
+
+    /// The underlying slice of valuations.
+    pub fn as_slice(&self) -> &[Valuation] {
+        &self.elements
+    }
+
+    /// The window `[start, start+len)` as a sub-trace, if in range.
+    pub fn window(&self, start: usize, len: usize) -> Option<&[Valuation]> {
+        let end = start.checked_add(len)?;
+        self.elements.get(start..end)
+    }
+
+    /// Concatenates another trace onto this one.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.elements.extend_from_slice(&other.elements);
+    }
+
+    /// All ticks at which `symbol`-bit is true.
+    pub fn ticks_where(&self, symbol: cesc_expr::SymbolId) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.contains(symbol))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the trace with symbol names, one tick per line:
+    /// `  3: {req, rdy}`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> impl fmt::Display + 'a {
+        DisplayTrace {
+            trace: self,
+            alphabet,
+        }
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Valuation;
+    fn index(&self, n: usize) -> &Valuation {
+        &self.elements[n]
+    }
+}
+
+impl FromIterator<Valuation> for Trace {
+    fn from_iter<T: IntoIterator<Item = Valuation>>(iter: T) -> Self {
+        Trace::from_elements(iter)
+    }
+}
+
+impl Extend<Valuation> for Trace {
+    fn extend<T: IntoIterator<Item = Valuation>>(&mut self, iter: T) {
+        self.elements.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = Valuation;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Valuation>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter().copied()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Valuation;
+    type IntoIter = std::vec::IntoIter<Valuation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.into_iter()
+    }
+}
+
+struct DisplayTrace<'a> {
+    trace: &'a Trace,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.trace.iter().enumerate() {
+            writeln!(f, "{i:>4}: {}", v.display(self.alphabet))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_expr::Alphabet;
+
+    fn setup() -> (Alphabet, cesc_expr::SymbolId, cesc_expr::SymbolId) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        (ab, a, b)
+    }
+
+    #[test]
+    fn push_len_get() {
+        let (_, a, _) = setup();
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(Valuation::of([a]));
+        t.push(Valuation::empty());
+        assert_eq!(t.len(), 2);
+        assert!(t.get(0).unwrap().contains(a));
+        assert!(t.get(1).unwrap().is_empty());
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn windows() {
+        let (_, a, b) = setup();
+        let t = Trace::from_elements([
+            Valuation::of([a]),
+            Valuation::of([b]),
+            Valuation::of([a, b]),
+        ]);
+        let w = t.window(1, 2).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(w[0].contains(b) && !w[0].contains(a));
+        assert!(t.window(2, 2).is_none());
+        assert_eq!(t.window(3, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn ticks_where_finds_occurrences() {
+        let (_, a, b) = setup();
+        let t = Trace::from_elements([
+            Valuation::of([a]),
+            Valuation::of([b]),
+            Valuation::of([a]),
+        ]);
+        assert_eq!(t.ticks_where(a), vec![0, 2]);
+        assert_eq!(t.ticks_where(b), vec![1]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let (_, a, b) = setup();
+        let t: Trace = [Valuation::of([a])].into_iter().collect();
+        let mut u = Trace::new();
+        u.extend([Valuation::of([b])]);
+        let mut joined = t.clone();
+        joined.extend_from(&u);
+        assert_eq!(joined.len(), 2);
+        assert!(joined[0].contains(a) && joined[1].contains(b));
+    }
+
+    #[test]
+    fn iteration_borrowed_and_owned() {
+        let (_, a, _) = setup();
+        let t = Trace::from_elements([Valuation::of([a]), Valuation::empty()]);
+        assert_eq!((&t).into_iter().count(), 2);
+        assert_eq!(t.clone().into_iter().count(), 2);
+        assert_eq!(t.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_ticks() {
+        let (ab, a, b) = setup();
+        let t = Trace::from_elements([Valuation::of([a]), Valuation::of([a, b])]);
+        let s = t.display(&ab).to_string();
+        assert!(s.contains("0: {a}"));
+        assert!(s.contains("1: {a, b}"));
+    }
+}

@@ -1,0 +1,412 @@
+//! VCD (Value Change Dump, IEEE 1364) import/export for clocked traces.
+//!
+//! The paper's monitors plug into a simulation environment (Fig 4); in
+//! practice simulator output reaches offline checkers as VCD waveforms.
+//! [`write_vcd`] dumps a [`Trace`] (events/props as 1-bit wires plus an
+//! explicit clock), and [`read_vcd`] samples a VCD back into a trace at
+//! each rising clock edge — so monitors synthesized by `cesc-core` can
+//! check waveforms from any HDL simulator.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cesc_expr::{Alphabet, SymbolId, Valuation};
+
+use crate::trace::Trace;
+
+/// Options for [`write_vcd`].
+#[derive(Debug, Clone)]
+pub struct VcdWriteOptions {
+    /// Name of the generated clock signal.
+    pub clock_name: String,
+    /// Half-period of the clock in timescale units (full period is
+    /// `2 * half_period`).
+    pub half_period: u64,
+    /// Timescale declaration, e.g. `"1ns"`.
+    pub timescale: String,
+    /// Module scope name in the VCD hierarchy.
+    pub scope: String,
+}
+
+impl Default for VcdWriteOptions {
+    fn default() -> Self {
+        VcdWriteOptions {
+            clock_name: "clk".to_owned(),
+            half_period: 5,
+            timescale: "1ns".to_owned(),
+            scope: "cesc_monitor".to_owned(),
+        }
+    }
+}
+
+fn id_code(mut n: usize) -> String {
+    // printable VCD identifier codes: '!'..'~'
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Serialises `trace` as VCD text. Tick `k` of the trace is sampled at
+/// the rising edge at time `2k * half_period`.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// use cesc_trace::{write_vcd, VcdWriteOptions, Trace};
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let t = Trace::from_elements([Valuation::of([req]), Valuation::empty()]);
+/// let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("req"));
+/// ```
+pub fn write_vcd(trace: &Trace, alphabet: &Alphabet, opts: &VcdWriteOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date\n    cesc generated\n$end");
+    let _ = writeln!(out, "$version\n    cesc-trace VCD writer\n$end");
+    let _ = writeln!(out, "$timescale {} $end", opts.timescale);
+    let _ = writeln!(out, "$scope module {} $end", opts.scope);
+    let clk_code = id_code(0);
+    let _ = writeln!(out, "$var wire 1 {clk_code} {} $end", opts.clock_name);
+    let codes: Vec<String> = alphabet
+        .iter()
+        .map(|(id, sym)| {
+            let code = id_code(id.index() + 1);
+            let _ = writeln!(out, "$var wire 1 {code} {} $end", sym.name());
+            code
+        })
+        .collect();
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // initial values
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    let first = trace.get(0).unwrap_or_else(Valuation::empty);
+    // no ticks → the clock never rises and nothing is sampled back
+    let clk0 = if trace.is_empty() { '0' } else { '1' };
+    let _ = writeln!(out, "{clk0}{clk_code}");
+    for (id, _) in alphabet.iter() {
+        let bit = if first.contains(id) { '1' } else { '0' };
+        let _ = writeln!(out, "{bit}{}", codes[id.index()]);
+    }
+    let _ = writeln!(out, "$end");
+
+    let mut prev = first;
+    for k in 0..trace.len() {
+        let rise = 2 * k as u64 * opts.half_period;
+        let fall = rise + opts.half_period;
+        if k > 0 {
+            let v = trace[k];
+            let _ = writeln!(out, "#{rise}");
+            for (id, _) in alphabet.iter() {
+                let now = v.contains(id);
+                if now != prev.contains(id) {
+                    let bit = if now { '1' } else { '0' };
+                    let _ = writeln!(out, "{bit}{}", codes[id.index()]);
+                }
+            }
+            let _ = writeln!(out, "1{clk_code}");
+            prev = v;
+        }
+        let _ = writeln!(out, "#{fall}");
+        let _ = writeln!(out, "0{clk_code}");
+    }
+    out
+}
+
+/// Error from [`read_vcd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcdReadError {
+    /// A `$var` declaration or value change could not be parsed.
+    Malformed {
+        /// Line number (1-based) of the offending input.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The requested clock signal is not declared in the VCD.
+    MissingClock {
+        /// The clock name that was looked for.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for VcdReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcdReadError::Malformed { line, message } => {
+                write!(f, "malformed VCD at line {line}: {message}")
+            }
+            VcdReadError::MissingClock { name } => {
+                write!(f, "clock signal `{name}` not found in VCD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VcdReadError {}
+
+/// Parses VCD text and samples the signals named in `alphabet` at each
+/// rising edge of `clock_name`, returning the reconstructed trace.
+///
+/// Signals present in the VCD but absent from `alphabet` are ignored;
+/// alphabet symbols absent from the VCD read as constant false.
+/// Multi-bit vector changes (`b... id`) are treated as true iff any bit
+/// is 1.
+///
+/// # Errors
+///
+/// Returns [`VcdReadError::MissingClock`] if `clock_name` is not
+/// declared, or [`VcdReadError::Malformed`] on unparseable content.
+pub fn read_vcd(
+    vcd: &str,
+    alphabet: &Alphabet,
+    clock_name: &str,
+) -> Result<Trace, VcdReadError> {
+    let mut code_to_symbol: HashMap<String, SymbolId> = HashMap::new();
+    let mut clock_code: Option<String> = None;
+
+    let mut lines = vcd.lines().enumerate();
+    // header
+    for (lineno, line) in lines.by_ref() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.first() == Some(&"$var") {
+            // $var wire 1 <code> <name> [$end]
+            if toks.len() < 5 {
+                return Err(VcdReadError::Malformed {
+                    line: lineno + 1,
+                    message: "short $var declaration".to_owned(),
+                });
+            }
+            let code = toks[3].to_owned();
+            let name = toks[4];
+            if name == clock_name {
+                clock_code = Some(code);
+            } else if let Some(id) = alphabet.lookup(name) {
+                code_to_symbol.insert(code, id);
+            }
+        } else if toks.first() == Some(&"$enddefinitions") {
+            break;
+        }
+    }
+    let clock_code = clock_code.ok_or_else(|| VcdReadError::MissingClock {
+        name: clock_name.to_owned(),
+    })?;
+
+    let mut current = Valuation::empty();
+    let mut clock_level = false;
+    let mut trace = Trace::new();
+    // All changes dumped at one `#time` are simultaneous: a rising clock
+    // edge samples the signal values *after* every change of that
+    // timestamp has been applied, so the sample is deferred until the
+    // timestamp advances.
+    let mut pending_sample = false;
+
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('$') {
+            continue; // directives ($dumpvars bodies are value changes)
+        }
+        if let Some(_ts) = line.strip_prefix('#') {
+            if pending_sample {
+                trace.push(current);
+                pending_sample = false;
+            }
+            continue;
+        }
+        let (value_part, code) = if let Some(rest) = line.strip_prefix('b') {
+            // vector: b<binary> <code>
+            let mut parts = rest.split_whitespace();
+            let bits = parts.next().unwrap_or("");
+            let code = parts.next().ok_or_else(|| VcdReadError::Malformed {
+                line: lineno + 1,
+                message: "vector change missing identifier".to_owned(),
+            })?;
+            (bits.contains('1'), code.to_owned())
+        } else {
+            let mut chars = line.chars();
+            let v = chars.next().ok_or_else(|| VcdReadError::Malformed {
+                line: lineno + 1,
+                message: "empty value change".to_owned(),
+            })?;
+            let value = match v {
+                '1' => true,
+                '0' | 'x' | 'X' | 'z' | 'Z' => false,
+                other => {
+                    return Err(VcdReadError::Malformed {
+                        line: lineno + 1,
+                        message: format!("unsupported value change `{other}`"),
+                    })
+                }
+            };
+            (value, chars.as_str().trim().to_owned())
+        };
+        if code == clock_code {
+            if value_part && !clock_level {
+                pending_sample = true; // rising edge: sample at block end
+            }
+            clock_level = value_part;
+        } else if let Some(&id) = code_to_symbol.get(&code) {
+            if value_part {
+                current.insert(id);
+            } else {
+                current.remove(id);
+            }
+        }
+    }
+    if pending_sample {
+        trace.push(current);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Alphabet, SymbolId, SymbolId) {
+        let mut ab = Alphabet::new();
+        let a = ab.event("req");
+        let b = ab.prop("burst");
+        (ab, a, b)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (ab, a, b) = setup();
+        let t = Trace::from_elements([
+            Valuation::of([a]),
+            Valuation::of([a, b]),
+            Valuation::empty(),
+            Valuation::of([b]),
+        ]);
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        let back = read_vcd(&vcd, &ab, "clk").unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let (ab, _, _) = setup();
+        let t = Trace::new();
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        let back = read_vcd(&vcd, &ab, "clk").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn missing_clock_is_an_error() {
+        let (ab, _, _) = setup();
+        let t = Trace::from_elements([Valuation::empty()]);
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        let err = read_vcd(&vcd, &ab, "not_a_clock").unwrap_err();
+        assert!(matches!(err, VcdReadError::MissingClock { .. }));
+    }
+
+    #[test]
+    fn unknown_signals_are_ignored() {
+        let (ab, a, _) = setup();
+        let vcd = "\
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var wire 1 \" req $end
+$var wire 1 # mystery $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+0\"
+1#
+#5
+1!
+1\"
+#10
+0!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].contains(a));
+    }
+
+    #[test]
+    fn x_and_z_values_read_as_false() {
+        let (ab, a, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$var wire 1 \" req $end
+$enddefinitions $end
+#0
+1\"
+1!
+#5
+0!
+x\"
+#10
+1!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].contains(a));
+        assert!(!t[1].contains(a));
+    }
+
+    #[test]
+    fn vector_changes_map_to_any_bit_set() {
+        let (ab, a, _) = setup();
+        let vcd = "\
+$var wire 4 ! clk $end
+$var wire 4 \" req $end
+$enddefinitions $end
+#0
+b0010 \"
+1!
+#5
+0!
+b0000 \"
+#10
+1!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].contains(a));
+        assert!(!t[1].contains(a));
+    }
+
+    #[test]
+    fn id_codes_are_printable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn malformed_input_reports_line() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$enddefinitions $end
+#0
+q!
+";
+        let err = read_vcd(vcd, &ab, "clk").unwrap_err();
+        match err {
+            VcdReadError::Malformed { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Command-line interface logic for the `cesc` binary.
+//!
+//! Thin, testable wrappers over the library: each subcommand is a pure
+//! function from arguments to output text, so the binary in
+//! `src/main.rs` only parses `std::env::args` and prints.
+//!
+//! ```text
+//! cesc render <spec.cesc> [--chart NAME]             ASCII + WaveDrom
+//! cesc synth  <spec.cesc> [--chart NAME] [--format summary|dot|verilog|sva]
+//! cesc check  <spec.cesc> --chart NAME --vcd FILE [--clock NAME]
+//! ```
+
+use std::fmt;
+
+use cesc_chart::{parse_document, render_ascii, Document, Scesc};
+use cesc_core::{analyze, synthesize, to_dot, SynthOptions};
+use cesc_hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
+use cesc_trace::read_vcd;
+
+/// Error from a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage; the string is the usage text to print.
+    Usage(String),
+    /// The spec failed to parse/validate, a chart was missing, or a
+    /// stage of the pipeline failed.
+    Pipeline(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "usage: {u}"),
+            CliError::Pipeline(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn load(source: &str) -> Result<Document, CliError> {
+    parse_document(source).map_err(|e| CliError::Pipeline(e.to_string()))
+}
+
+fn pick<'d>(doc: &'d Document, chart: Option<&str>) -> Result<&'d Scesc, CliError> {
+    match chart {
+        Some(name) => doc.chart(name).ok_or_else(|| {
+            CliError::Pipeline(format!(
+                "chart `{name}` not found; available: {}",
+                doc.charts
+                    .iter()
+                    .map(Scesc::name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }),
+        None => doc
+            .charts
+            .first()
+            .ok_or_else(|| CliError::Pipeline("document contains no charts".to_owned())),
+    }
+}
+
+/// `cesc render`: ASCII chart art plus WaveDrom JSON.
+pub fn render(source: &str, chart: Option<&str>) -> Result<String, CliError> {
+    let doc = load(source)?;
+    let chart = pick(&doc, chart)?;
+    let mut out = render_ascii(chart, &doc.alphabet);
+    out.push('\n');
+    out.push_str(&cesc_chart::wavedrom::to_wavedrom_json(chart, &doc.alphabet));
+    Ok(out)
+}
+
+/// Output format for `cesc synth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthFormat {
+    /// Human-readable monitor table plus analysis statistics.
+    #[default]
+    Summary,
+    /// Graphviz DOT.
+    Dot,
+    /// Verilog-2001 RTL module.
+    Verilog,
+    /// SystemVerilog assertions.
+    Sva,
+}
+
+impl SynthFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "summary" => Ok(SynthFormat::Summary),
+            "dot" => Ok(SynthFormat::Dot),
+            "verilog" => Ok(SynthFormat::Verilog),
+            "sva" => Ok(SynthFormat::Sva),
+            other => Err(CliError::Usage(format!(
+                "--format {other}: expected summary|dot|verilog|sva"
+            ))),
+        }
+    }
+}
+
+/// `cesc synth`: synthesize the monitor and emit the chosen artifact.
+pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<String, CliError> {
+    let doc = load(source)?;
+    let chart = pick(&doc, chart)?;
+    let monitor =
+        synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    Ok(match format {
+        SynthFormat::Summary => {
+            let stats = analyze(&monitor);
+            format!(
+                "{}\nanalysis: {} states, {} transitions ({} forward), max guard atoms {}, \
+                 scoreboard slots +{}/-{}, clean: {}\n",
+                monitor.display(&doc.alphabet),
+                stats.states,
+                stats.transitions,
+                stats.forward_transitions,
+                stats.max_guard_atoms,
+                stats.add_slots,
+                stats.del_slots,
+                stats.is_clean()
+            )
+        }
+        SynthFormat::Dot => to_dot(&monitor, &doc.alphabet),
+        SynthFormat::Verilog => emit_verilog(&monitor, &doc.alphabet, &VerilogOptions::default()),
+        SynthFormat::Sva => emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default()),
+    })
+}
+
+/// `cesc check`: run the chart's monitor over a VCD waveform.
+pub fn check(
+    source: &str,
+    chart_name: &str,
+    vcd_text: &str,
+    clock: &str,
+) -> Result<String, CliError> {
+    let doc = load(source)?;
+    let chart = pick(&doc, Some(chart_name))?;
+    let monitor =
+        synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let trace = read_vcd(vcd_text, &doc.alphabet, clock)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let report = monitor.scan(&trace);
+    let verdict = if report.detected() { "DETECTED" } else { "NOT OBSERVED" };
+    Ok(format!(
+        "chart `{}` over {} sampled cycles: {} — {} occurrence(s) at ticks {:?}, \
+         scoreboard underflows {}\n",
+        chart.name(),
+        report.ticks,
+        verdict,
+        report.matches.len(),
+        report.matches,
+        report.underflows
+    ))
+}
+
+/// The usage banner printed on bad invocations.
+pub fn usage() -> &'static str {
+    "cesc <render|synth|check> <spec.cesc> [options]\n\
+     \n\
+     render <spec> [--chart NAME]\n\
+     synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva]\n\
+     check  <spec> --chart NAME --vcd FILE [--clock NAME]\n"
+}
+

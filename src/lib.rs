@@ -1,0 +1,73 @@
+//! # cesc — automated synthesis of assertion monitors from visual specifications
+//!
+//! A complete Rust implementation of *"Automated Synthesis of Assertion
+//! Monitors using Visual Specifications"* (A. A. Gadkari and S. Ramesh,
+//! DATE 2005): the CESC visual specification language, the monitor
+//! synthesis algorithm `Tr`, the scoreboard-synchronised multi-clock
+//! monitors, and everything needed to evaluate them — a denotational
+//! semantics oracle, a GALS simulation kernel, OCP/AMBA protocol
+//! models, VCD I/O and HDL back-ends.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`expr`] | `cesc-expr` | alphabets, valuations, guard expressions, SAT |
+//! | [`trace`] | `cesc-trace` | clocked traces, global runs, VCD, generators |
+//! | [`chart`] | `cesc-chart` | the CESC language: AST, parser, renderer |
+//! | [`semantics`] | `cesc-semantics` | `[[C]]` run-window membership oracle |
+//! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
+//! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters |
+//! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
+//! | [`protocols`] | `cesc-protocols` | OCP & AMBA case studies, traffic, faults |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cesc::prelude::*;
+//!
+//! // 1. the verification plan: a chart in CESC textual syntax
+//! let doc = parse_document(r#"
+//!     scesc handshake on clk {
+//!         instances { Master, Slave }
+//!         events { req, ack }
+//!         tick { Master: req }
+//!         tick { Slave: ack }
+//!         cause req -> ack;
+//!     }
+//! "#).unwrap();
+//!
+//! // 2. automated monitor synthesis (the paper's Tr)
+//! let monitor = synthesize(doc.chart("handshake").unwrap(), &SynthOptions::default()).unwrap();
+//!
+//! // 3. check a trace
+//! let req = doc.alphabet.lookup("req").unwrap();
+//! let ack = doc.alphabet.lookup("ack").unwrap();
+//! let report = monitor.scan([Valuation::of([req]), Valuation::of([ack])]);
+//! assert!(report.detected());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use cesc_chart as chart;
+pub use cesc_core as core;
+pub use cesc_expr as expr;
+pub use cesc_hdl as hdl;
+pub use cesc_protocols as protocols;
+pub use cesc_semantics as semantics;
+pub use cesc_sim as sim;
+pub use cesc_trace as trace;
+
+/// One-stop imports for the common workflow: parse → synthesize → run.
+pub mod prelude {
+    pub use cesc_chart::{parse_document, render_ascii, Cesc, Document, Scesc, ScescBuilder};
+    pub use cesc_core::{
+        compile, synthesize, synthesize_multiclock, Checker, ImplicationChecker, Monitor,
+        MonitorExec, Scoreboard, SynthOptions, Verdict,
+    };
+    pub use cesc_expr::{parse_expr, Alphabet, Expr, NameResolution, SymbolKind, Valuation};
+    pub use cesc_sim::{run_flow, FlowConfig, Simulation};
+    pub use cesc_trace::{ClockDomain, ClockSet, GlobalRun, Trace, TraceGen};
+}

@@ -1,0 +1,95 @@
+//! `cesc` — command-line front end for the CESC monitor-synthesis
+//! library (Gadkari & Ramesh, DATE 2005).
+//!
+//! ```sh
+//! cesc render spec.cesc                        # ASCII chart + WaveDrom JSON
+//! cesc synth  spec.cesc --format verilog       # RTL monitor module
+//! cesc check  spec.cesc --chart hs --vcd dump.vcd --clock clk
+//! ```
+
+use std::process::ExitCode;
+
+use cesc::cli::{self, SynthFormat};
+
+fn run() -> Result<String, cli::CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let Some(command) = it.next() else {
+        return Err(cli::CliError::Usage(cli::usage().to_owned()));
+    };
+    let Some(spec_path) = it.next() else {
+        return Err(cli::CliError::Usage(cli::usage().to_owned()));
+    };
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| cli::CliError::Pipeline(format!("cannot read `{spec_path}`: {e}")))?;
+
+    let mut chart: Option<String> = None;
+    let mut format = SynthFormat::Summary;
+    let mut vcd_path: Option<String> = None;
+    let mut clock = "clk".to_owned();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--chart" => {
+                chart = Some(expect_value(&mut it, "--chart")?);
+            }
+            "--format" => {
+                format = SynthFormat::parse(&expect_value(&mut it, "--format")?)?;
+            }
+            "--vcd" => {
+                vcd_path = Some(expect_value(&mut it, "--vcd")?);
+            }
+            "--clock" => {
+                clock = expect_value(&mut it, "--clock")?;
+            }
+            other => {
+                return Err(cli::CliError::Usage(format!(
+                    "unknown option `{other}`\n{}",
+                    cli::usage()
+                )))
+            }
+        }
+    }
+
+    match command {
+        "render" => cli::render(&source, chart.as_deref()),
+        "synth" => cli::synth(&source, chart.as_deref(), format),
+        "check" => {
+            let chart = chart.ok_or_else(|| {
+                cli::CliError::Usage("check requires --chart NAME".to_owned())
+            })?;
+            let vcd_path = vcd_path.ok_or_else(|| {
+                cli::CliError::Usage("check requires --vcd FILE".to_owned())
+            })?;
+            let vcd = std::fs::read_to_string(&vcd_path).map_err(|e| {
+                cli::CliError::Pipeline(format!("cannot read `{vcd_path}`: {e}"))
+            })?;
+            cli::check(&source, &chart, &vcd, &clock)
+        }
+        other => Err(cli::CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            cli::usage()
+        ))),
+    }
+}
+
+fn expect_value<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<String, cli::CliError> {
+    it.next()
+        .map(str::to_owned)
+        .ok_or_else(|| cli::CliError::Usage(format!("{flag} requires a value")))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cesc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

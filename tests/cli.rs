@@ -1,0 +1,103 @@
+//! Tests for the `cesc` command-line front end (the pure command
+//! functions in `cesc::cli`; `src/main.rs` only parses argv).
+
+use cesc::cli::{check, render, synth, CliError, SynthFormat};
+use cesc::core::{synthesize, SynthOptions};
+use cesc::trace::{write_vcd, VcdWriteOptions};
+
+const SPEC: &str = r#"
+scesc hs on clk {
+    instances { M, S }
+    events { req, ack }
+    tick { M: req }
+    tick { S: ack }
+    cause req -> ack;
+}
+scesc pulse on clk {
+    instances { M }
+    events { p }
+    tick { M: p }
+}
+"#;
+
+#[test]
+fn render_produces_art_and_wavedrom() {
+    let out = render(SPEC, None).unwrap();
+    assert!(out.contains("(clk)"));
+    assert!(out.contains("tick 0"));
+    assert!(out.contains("\"signal\""));
+    // explicit chart selection
+    let out = render(SPEC, Some("pulse")).unwrap();
+    assert!(out.contains("\"name\": \"p\""));
+}
+
+#[test]
+fn synth_formats() {
+    let summary = synth(SPEC, Some("hs"), SynthFormat::Summary).unwrap();
+    assert!(summary.contains("monitor hs"));
+    assert!(summary.contains("clean: true"));
+
+    let dot = synth(SPEC, Some("hs"), SynthFormat::Dot).unwrap();
+    assert!(dot.starts_with("digraph"));
+
+    let verilog = synth(SPEC, Some("hs"), SynthFormat::Verilog).unwrap();
+    assert!(verilog.contains("module cesc_monitor_hs"));
+
+    let sva = synth(SPEC, Some("hs"), SynthFormat::Sva).unwrap();
+    assert!(sva.contains("sequence seq_hs;"));
+}
+
+#[test]
+fn synth_format_parsing() {
+    assert_eq!(SynthFormat::parse("dot").unwrap(), SynthFormat::Dot);
+    assert!(matches!(
+        SynthFormat::parse("nope"),
+        Err(CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn check_against_vcd() {
+    // produce a VCD with one compliant handshake using the library
+    let doc = cesc::chart::parse_document(SPEC).unwrap();
+    let req = doc.alphabet.lookup("req").unwrap();
+    let ack = doc.alphabet.lookup("ack").unwrap();
+    let chart = doc.chart("hs").unwrap();
+    let monitor = synthesize(chart, &SynthOptions::default()).unwrap();
+    let trace: cesc::trace::Trace = [
+        cesc::expr::Valuation::of([req]),
+        cesc::expr::Valuation::of([ack]),
+        cesc::expr::Valuation::empty(),
+    ]
+    .into_iter()
+    .collect();
+    assert!(monitor.scan(&trace).detected());
+    let vcd = write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default());
+
+    let out = check(SPEC, "hs", &vcd, "clk").unwrap();
+    assert!(out.contains("DETECTED"));
+    assert!(out.contains("1 occurrence(s)"));
+
+    // a waveform with the ack missing
+    let broken: cesc::trace::Trace = [
+        cesc::expr::Valuation::of([req]),
+        cesc::expr::Valuation::empty(),
+    ]
+    .into_iter()
+    .collect();
+    let vcd = write_vcd(&broken, &doc.alphabet, &VcdWriteOptions::default());
+    let out = check(SPEC, "hs", &vcd, "clk").unwrap();
+    assert!(out.contains("NOT OBSERVED"));
+}
+
+#[test]
+fn errors_are_reported() {
+    assert!(matches!(
+        render("scesc broken {", None),
+        Err(CliError::Pipeline(_))
+    ));
+    let err = synth(SPEC, Some("ghost"), SynthFormat::Summary).unwrap_err();
+    assert!(err.to_string().contains("available: hs, pulse"));
+    let err = check(SPEC, "hs", "not a vcd", "clk").unwrap_err();
+    assert!(err.to_string().contains("clk"));
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the extension modules: monitor analysis,
+//! exact determinization, wave-string import and testbench emission —
+//! all driven through the facade over the paper's case studies.
+
+use cesc::chart::wavedrom::{chart_from_waves, chart_to_waves, to_wavedrom_json};
+use cesc::core::{analyze, synthesize, Determinized, SynthOptions};
+use cesc::expr::{Alphabet, Valuation};
+use cesc::hdl::{emit_testbench, TestbenchOptions};
+use cesc::protocols::{amba, ocp, readproto};
+
+/// Every synthesized paper monitor is structurally clean: all states
+/// reachable, no dead transitions, forward spine of length n.
+#[test]
+fn all_paper_monitors_analyze_clean() {
+    let cases: Vec<(cesc::chart::Document, &str)> = vec![
+        (ocp::simple_read_doc(), "ocp_simple_read"),
+        (ocp::burst_read_doc(), "ocp_burst_read"),
+        (ocp::simple_write_doc(), "ocp_simple_write"),
+        (ocp::read_with_wait_states_doc(), "ocp_read_wait"),
+        (amba::ahb_transaction_doc(), "ahb_transaction"),
+        (readproto::single_clock_doc(), "read_protocol"),
+    ];
+    for (doc, name) in cases {
+        let chart = doc.chart(name).unwrap();
+        let m = synthesize(chart, &SynthOptions::default()).unwrap();
+        let stats = analyze(&m);
+        assert!(stats.is_clean(), "{name}: {stats:?}");
+        assert_eq!(
+            stats.forward_transitions,
+            chart.tick_count(),
+            "{name}: one forward transition per tick"
+        );
+        assert_eq!(stats.states, chart.tick_count() + 1);
+    }
+}
+
+/// Scoreboard adds equal dels across the non-final states (underflow-
+/// freedom is separately checked at runtime by every scan test).
+#[test]
+fn scoreboard_footprint_reported() {
+    let doc = ocp::burst_read_doc();
+    let m = synthesize(doc.chart("ocp_burst_read").unwrap(), &SynthOptions::default()).unwrap();
+    let stats = analyze(&m);
+    assert!(stats.add_slots >= 8, "act1..act4 contribute 8 add slots");
+    assert!(stats.del_slots >= stats.add_slots, "every add is undoable");
+    assert!(stats.max_guard_atoms >= 5);
+}
+
+/// Determinization of every paper chart agrees with the greedy monitor
+/// on its own canonical traffic, and reports its exactness cost.
+#[test]
+fn determinization_of_paper_charts() {
+    let doc = ocp::burst_read_doc();
+    let chart = doc.chart("ocp_burst_read").unwrap();
+    let pattern = chart.extract_pattern();
+    let det = Determinized::build(&pattern).unwrap();
+    // exactness is affordable here — the burst's identical response
+    // elements alias, so the subset DFA is larger than greedy's n+1,
+    // but far from the 2^n worst case
+    assert!(
+        det.state_count() > pattern.len() + 1,
+        "burst aliases: subset DFA strictly larger than greedy"
+    );
+    assert!(
+        det.state_count() <= 64,
+        "but bounded: got {}",
+        det.state_count()
+    );
+
+    let mut det = det;
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let mut hits = Vec::new();
+    for (i, v) in window.iter().enumerate() {
+        if det.step(*v) {
+            hits.push(i);
+        }
+    }
+    assert_eq!(hits, vec![5], "exact DFA detects the canonical burst");
+}
+
+/// Wave-string import round-trips through the chart renderer and
+/// synthesizes into a working monitor.
+#[test]
+fn wave_import_to_monitor() {
+    let mut ab = Alphabet::new();
+    let chart = chart_from_waves(
+        "pulse",
+        "clk",
+        &[("trig", "10"), ("out", "01")],
+        &mut ab,
+    )
+    .unwrap();
+    let rows = chart_to_waves(&chart, &ab);
+    assert_eq!(rows.len(), 2);
+    assert!(to_wavedrom_json(&chart, &ab).contains("\"wave\""));
+
+    let m = synthesize(&chart, &SynthOptions::default()).unwrap();
+    let trig = ab.lookup("trig").unwrap();
+    let out = ab.lookup("out").unwrap();
+    // trig alone, then out alone — matches
+    let report = m.scan([Valuation::of([trig]), Valuation::of([out])]);
+    assert!(report.detected());
+    // trig still high during out phase — wave says out-phase has
+    // trig=0 → rejected
+    let report = m.scan([Valuation::of([trig]), Valuation::of([trig, out])]);
+    assert!(!report.detected());
+}
+
+/// The testbench emitter produces a TB whose expected count comes from
+/// the Rust executor, for each paper chart's canonical window.
+#[test]
+fn testbenches_for_paper_charts() {
+    let cases: Vec<(cesc::chart::Document, &str, Vec<Valuation>)> = {
+        let d1 = ocp::simple_read_doc();
+        let w1 = ocp::simple_read_window(&d1.alphabet);
+        let d2 = amba::ahb_transaction_doc();
+        let w2 = amba::ahb_transaction_window(&d2.alphabet);
+        vec![(d1, "ocp_simple_read", w1), (d2, "ahb_transaction", w2)]
+    };
+    for (doc, name, window) in cases {
+        let m = synthesize(doc.chart(name).unwrap(), &SynthOptions::default()).unwrap();
+        let expected = m.scan(window.iter().copied()).matches.len() as u64;
+        assert_eq!(expected, 1);
+        let tb = emit_testbench(&m, &doc.alphabet, &window, expected, &TestbenchOptions::default());
+        assert!(tb.contains(&format!("module cesc_monitor_{name}_tb;")));
+        assert!(tb.contains("if (matches == 1)"));
+        // drives exactly window.len() elements
+        assert_eq!(tb.matches("@(negedge clk); ").count(), window.len());
+    }
+}
+
+/// The OverlapPolicy choice is visible end to end: Satisfiability
+/// reports the extra back-to-back response match, Witness does not.
+#[test]
+fn overlap_policy_end_to_end() {
+    use cesc::core::OverlapPolicy;
+    let doc = ocp::simple_read_doc();
+    let chart = doc.chart("ocp_simple_read").unwrap();
+    let window = ocp::simple_read_window(&doc.alphabet);
+    let mut trace = window.clone();
+    trace.push(window[1]); // repeated response element
+
+    let witness = synthesize(chart, &SynthOptions::default()).unwrap();
+    assert_eq!(witness.scan(trace.iter().copied()).matches, vec![1]);
+
+    let sat = synthesize(
+        chart,
+        &SynthOptions {
+            overlap: OverlapPolicy::Satisfiability,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sat.scan(trace.iter().copied()).matches, vec![1, 2]);
+}

@@ -1,0 +1,246 @@
+//! Golden tests: the synthesized monitors must reproduce the structure
+//! the paper prints in Figures 5–8 (state counts, scoreboard actions,
+//! causality guards) and behave per the figures' narratives.
+
+use cesc::core::{synthesize, Action, StateId, SynthOptions, TransitionKind};
+use cesc::expr::Valuation;
+use cesc::prelude::parse_document;
+use cesc::protocols::{amba, ocp, readproto};
+
+/// Figure 5: the illustrative SCESC with one causality arrow.
+#[test]
+fn fig5_monitor_matches_paper_structure() {
+    let doc = parse_document(
+        r#"
+        scesc fig5 on clk {
+            instances { A, B }
+            events { e1, e2, e3 }
+            props { p1, p3 }
+            tick { A: e1 if p1; B: e2 }
+            tick ;
+            tick { B: e3 if p3 }
+            cause e1 -> e3;
+        }
+    "#,
+    )
+    .unwrap();
+    let chart = doc.chart("fig5").unwrap();
+    let m = synthesize(chart, &SynthOptions::default()).unwrap();
+    let ab = &doc.alphabet;
+    let e1 = ab.lookup("e1").unwrap();
+
+    // paper: states {0,1,2,3}, initial 0, final 3
+    assert_eq!(m.state_count(), 4);
+    assert_eq!(m.initial(), StateId::from_index(0));
+    assert_eq!(m.final_state(), StateId::from_index(3));
+
+    // paper pattern: a = ((p1 & e1) | e2)?? — the figure overlays both
+    // events on the first grid line, so our faithful reading is the
+    // conjunction of the placed occurrences; b = TRUE; c = (p3 & e3)
+    assert_eq!(m.pattern()[1], cesc::expr::Expr::t());
+
+    // a / Add_evt(e1) on 0→1
+    let t01 = &m.transitions_from(StateId::from_index(0))[0];
+    assert_eq!(t01.target, StateId::from_index(1));
+    assert!(t01
+        .actions
+        .iter()
+        .any(|a| matches!(a, Action::AddEvt(es) if es.contains(&e1))));
+
+    // c = (p3 & e3) & Chk_evt(e1) on 2→3
+    let t23 = m
+        .transitions_from(StateId::from_index(2))
+        .iter()
+        .find(|t| t.target == StateId::from_index(3))
+        .unwrap();
+    assert!(t23.guard.chk_targets().contains(e1));
+
+    // d / Del_evt(e1) on the abort transition 2→0
+    let t20 = m
+        .transitions_from(StateId::from_index(2))
+        .iter()
+        .find(|t| t.target == StateId::from_index(0))
+        .unwrap();
+    assert!(t20
+        .actions
+        .iter()
+        .any(|a| matches!(a, Action::DelEvt(es) if es.contains(&e1))));
+}
+
+/// Figure 6: OCP simple read — 3-state monitor, request/response
+/// scoreboard bookkeeping.
+#[test]
+fn fig6_monitor_matches_paper_structure() {
+    let doc = ocp::simple_read_doc();
+    let m = synthesize(doc.chart("ocp_simple_read").unwrap(), &SynthOptions::default()).unwrap();
+    let ab = &doc.alphabet;
+    let mcmd = ab.lookup("MCmd_rd").unwrap();
+
+    assert_eq!(m.state_count(), 3);
+    // a / Add_evt(MCmd_rd)
+    let t01 = &m.transitions_from(StateId::from_index(0))[0];
+    assert_eq!(
+        t01.actions,
+        vec![Action::AddEvt(vec![mcmd])],
+        "0→1 must add the request"
+    );
+    // b = (SResp & SData & Chk_evt(MCmd_rd))
+    let t12 = m
+        .transitions_from(StateId::from_index(1))
+        .iter()
+        .find(|t| t.target == StateId::from_index(2))
+        .unwrap();
+    assert!(t12.guard.chk_targets().contains(mcmd));
+    // c / Del_evt(MCmd_rd) on the abort 1→0
+    let t10 = m
+        .transitions_from(StateId::from_index(1))
+        .iter()
+        .find(|t| t.target == StateId::from_index(0) && t.guard == cesc::expr::Expr::t())
+        .unwrap();
+    assert!(t10
+        .actions
+        .iter()
+        .any(|a| matches!(a, Action::DelEvt(es) if es.contains(&mcmd))));
+}
+
+/// Figure 6 variant: with `fresh_add_guard` the printed `¬Chk_evt`
+/// atom inside label `a` is reproduced.
+#[test]
+fn fig6_fresh_add_guard_reproduces_printed_label() {
+    let doc = ocp::simple_read_doc();
+    let opts = SynthOptions {
+        fresh_add_guard: true,
+        ..Default::default()
+    };
+    let m = synthesize(doc.chart("ocp_simple_read").unwrap(), &opts).unwrap();
+    let shown = m.transitions_from(StateId::from_index(0))[0]
+        .guard
+        .display(&doc.alphabet)
+        .to_string();
+    assert!(
+        shown.contains("!Chk_evt(MCmd_rd)"),
+        "printed Fig 6 label has the Chk_evt atom: {shown}"
+    );
+}
+
+/// Figure 7: OCP pipelined burst read — 7 states, act1..act8.
+#[test]
+fn fig7_monitor_matches_paper_structure() {
+    let doc = ocp::burst_read_doc();
+    let m = synthesize(doc.chart("ocp_burst_read").unwrap(), &SynthOptions::default()).unwrap();
+    let ab = &doc.alphabet;
+    let ev = |n: &str| ab.lookup(n).unwrap();
+
+    assert_eq!(m.state_count(), 7);
+
+    // act1..act4: forward adds per request beat
+    let expected_adds = [
+        vec![ev("MCmdRd"), ev("Burst4")], // act1
+        vec![ev("MCmdRd"), ev("Burst3")], // act2
+        vec![ev("MCmdRd"), ev("Burst2")], // act3
+        vec![ev("MCmdRd"), ev("Burst1")], // act4
+    ];
+    for (s, adds) in expected_adds.iter().enumerate() {
+        let fwd = m
+            .transitions_from(StateId::from_index(s))
+            .iter()
+            .find(|t| t.kind == TransitionKind::Forward)
+            .unwrap();
+        let got: Vec<_> = fwd
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::AddEvt(es) => Some(es.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(&got, adds, "act{} mismatch", s + 1);
+    }
+
+    // response beats check the matching burst counter: c..f
+    let expected_chks = [
+        (2usize, "Burst4"),
+        (3, "Burst3"),
+        (4, "Burst2"),
+        (5, "Burst1"),
+    ];
+    for (s, burst) in expected_chks {
+        let fwd = m
+            .transitions_from(StateId::from_index(s))
+            .iter()
+            .find(|t| t.kind == TransitionKind::Forward)
+            .unwrap();
+        let chks = fwd.guard.chk_targets();
+        assert!(chks.contains(ev("MCmdRd")), "state {s} must Chk MCmdRd");
+        assert!(chks.contains(ev(burst)), "state {s} must Chk {burst}");
+    }
+
+    // act5..act8: backward Dels accumulate the forward adds
+    // (state s → 0 deletes adds of elements 0..s-1)
+    for s in 1..=5usize {
+        let back = m
+            .transitions_from(StateId::from_index(s))
+            .iter()
+            .find(|t| t.target == StateId::from_index(0) && t.guard == cesc::expr::Expr::t())
+            .unwrap();
+        let dels: usize = back
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::DelEvt(es) => Some(es.len()),
+                _ => None,
+            })
+            .sum();
+        let expected: usize = expected_adds.iter().take(s.min(4)).map(Vec::len).sum();
+        assert_eq!(dels, expected, "Del count from state {s}");
+    }
+
+    // the re-entry edges of Fig 7: from states 2..=6 a fresh burst
+    // start (element 0) leads back to state 1
+    for s in 2..=6usize {
+        assert!(
+            m.transitions_from(StateId::from_index(s))
+                .iter()
+                .any(|t| t.target == StateId::from_index(1)),
+            "state {s} must have the `a` re-entry edge"
+        );
+    }
+}
+
+/// Figure 8: AMBA AHB CLI transaction — 4 states, Add(1)/Add(6)/Chk.
+#[test]
+fn fig8_monitor_matches_paper_structure() {
+    let doc = amba::ahb_transaction_doc();
+    let m = synthesize(doc.chart("ahb_transaction").unwrap(), &SynthOptions::default()).unwrap();
+    assert_eq!(m.state_count(), 4);
+    // detailed structure checked in cesc-protocols unit tests; here the
+    // end-to-end behaviour of the printed narrative:
+    let w = amba::ahb_transaction_window(&doc.alphabet);
+    assert_eq!(m.scan(w.clone()).matches, vec![2]);
+
+    // paper's e-transition: abandoning after the data phase deletes
+    // both tracked events, leaving balanced bookkeeping
+    let mut aborted = w;
+    aborted[2] = Valuation::empty(); // master_response never comes
+    let report = m.scan(aborted);
+    assert!(!report.detected());
+    assert_eq!(report.underflows, 0);
+}
+
+/// Figures 1 and 2 charts synthesize into the documented shapes.
+#[test]
+fn fig1_fig2_monitor_shapes() {
+    let doc = readproto::single_clock_doc();
+    let m = synthesize(doc.chart("read_protocol").unwrap(), &SynthOptions::default()).unwrap();
+    assert_eq!(m.state_count(), 4); // 3 ticks
+
+    let doc = readproto::multi_clock_doc();
+    let spec = doc.multiclock_spec("read_multiclock").unwrap();
+    let mm = cesc::core::synthesize_multiclock(spec, &SynthOptions::default()).unwrap();
+    assert_eq!(mm.locals().len(), 2);
+    assert_eq!(mm.locals()[0].clock(), "clk1");
+    assert_eq!(mm.locals()[1].clock(), "clk2");
+    // each local is a 3-tick monitor
+    assert!(mm.locals().iter().all(|m| m.state_count() == 4));
+}

@@ -1,0 +1,203 @@
+//! Cross-crate integration: the full Figure 4 pipeline — textual spec →
+//! validation → synthesis → (VCD / simulation / HDL) → verdict — plus
+//! composition and implication checking end to end.
+
+use cesc::core::{
+    compile, scan_composition, synthesize, Compiled, SynthOptions, Verdict,
+};
+use cesc::expr::Valuation;
+use cesc::hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
+use cesc::prelude::parse_document;
+use cesc::protocols::ocp;
+use cesc::sim::{run_flow, FlowConfig, PeriodicTransactor};
+use cesc::trace::{read_vcd, write_vcd, ClockDomain, Trace, VcdWriteOptions};
+
+/// Text → synth → simulate → verdict, for the OCP simple read.
+#[test]
+fn ocp_flow_end_to_end() {
+    let doc = ocp::simple_read_doc();
+    let window = ocp::simple_read_window(&doc.alphabet);
+    let report = run_flow(FlowConfig {
+        document: ocp::SIMPLE_READ_SRC.to_owned(),
+        charts: vec![],
+        clocks: vec![ClockDomain::new("clk", 1, 0)],
+        transactors: vec![Box::new(PeriodicTransactor::new("clk", window, 3, 2))],
+        global_steps: 100,
+        synth: SynthOptions::default(),
+        dump_vcd_for: None,
+    })
+    .unwrap();
+    assert!(report.all_passed());
+    assert_eq!(report.matches["ocp_simple_read"].len(), 20);
+}
+
+/// The simulated run exported as VCD and re-read through the checker
+/// yields identical detections (simulator-artifact path).
+#[test]
+fn vcd_path_equals_direct_path() {
+    let doc = ocp::burst_read_doc();
+    let chart = doc.chart("ocp_burst_read").unwrap();
+    let monitor = synthesize(chart, &SynthOptions::default()).unwrap();
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let mut trace = Trace::new();
+    for _ in 0..20 {
+        trace.extend(window.iter().copied());
+        trace.extend([Valuation::empty(); 3]);
+    }
+    let direct = monitor.scan(&trace);
+
+    let vcd = write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default());
+    let recovered = read_vcd(&vcd, &doc.alphabet, "clk").unwrap();
+    let via_vcd = monitor.scan(&recovered);
+    assert_eq!(direct.matches, via_vcd.matches);
+    assert_eq!(direct.matches.len(), 20);
+}
+
+/// Structural composition pipeline: a burst modelled as
+/// `seq(setup, loop(4, beat))` detects 4-beat sequences.
+#[test]
+fn composed_loop_detects_beats() {
+    let doc = parse_document(
+        r#"
+        scesc setup on clk { instances { M } events { start } tick { M: start } }
+        scesc beat on clk { instances { M } events { data } tick { M: data } }
+        cesc burst { seq(setup, loop(4, beat)) }
+    "#,
+    )
+    .unwrap();
+    let burst = doc.composition("burst").unwrap();
+    let start = doc.alphabet.lookup("start").unwrap();
+    let data = doc.alphabet.lookup("data").unwrap();
+
+    let mut trace = vec![Valuation::of([start])];
+    trace.extend(vec![Valuation::of([data]); 4]);
+    let hits = scan_composition(burst, &SynthOptions::default(), trace.clone()).unwrap();
+    assert_eq!(hits, vec![4]);
+
+    // 3 beats only → no detection
+    let hits = scan_composition(burst, &SynthOptions::default(), trace[..4].to_vec()).unwrap();
+    assert!(hits.is_empty());
+}
+
+/// Implication pipeline: request ⇒ response produces pass/fail
+/// verdicts over simulated traffic.
+#[test]
+fn implication_verdicts() {
+    let doc = parse_document(
+        r#"
+        scesc request on clk {
+            instances { M, S }
+            events { MCmd_rd, Addr, SCmd_accept }
+            tick { M: MCmd_rd, Addr; S: SCmd_accept }
+        }
+        scesc response on clk {
+            instances { S }
+            events { SResp, SData }
+            tick { S: SResp, SData }
+        }
+        cesc protocol { implies(request, response) }
+    "#,
+    )
+    .unwrap();
+    let protocol = doc.composition("protocol").unwrap();
+    let ev = |n: &str| doc.alphabet.lookup(n).unwrap();
+    let req = Valuation::of([ev("MCmd_rd"), ev("Addr"), ev("SCmd_accept")]);
+    let rsp = Valuation::of([ev("SResp"), ev("SData")]);
+
+    let Compiled::Implication(mut good) = compile(protocol, &SynthOptions::default()).unwrap()
+    else {
+        panic!("implication expected");
+    };
+    assert_eq!(good.scan([req, rsp, req, rsp]), Verdict::Passed);
+    assert_eq!(good.fulfilled(), 2);
+
+    let Compiled::Implication(mut bad) = compile(protocol, &SynthOptions::default()).unwrap()
+    else {
+        panic!("implication expected");
+    };
+    // second request gets no response
+    assert_eq!(
+        bad.scan([req, rsp, req, Valuation::empty()]),
+        Verdict::Failed
+    );
+    assert_eq!(bad.violations().len(), 1);
+    assert_eq!(bad.violations()[0].antecedent_at, 2);
+}
+
+/// HDL artifacts generate for every paper chart without panicking and
+/// with consistent module naming.
+#[test]
+fn hdl_generation_for_all_paper_charts() {
+    let docs = [
+        ocp::simple_read_doc(),
+        ocp::burst_read_doc(),
+        cesc::protocols::amba::ahb_transaction_doc(),
+        cesc::protocols::readproto::single_clock_doc(),
+    ];
+    for doc in docs {
+        for chart in &doc.charts {
+            let monitor = synthesize(chart, &SynthOptions::default()).unwrap();
+            let rtl = emit_verilog(&monitor, &doc.alphabet, &VerilogOptions::default());
+            assert!(rtl.contains(&format!("module cesc_monitor_{}", chart.name())));
+            assert!(rtl.trim_end().ends_with("endmodule"));
+            let sva = emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default());
+            assert!(sva.contains(&format!("sequence seq_{};", chart.name())));
+        }
+    }
+}
+
+/// DOT export for all paper monitors is well-formed.
+#[test]
+fn dot_export_for_all_paper_charts() {
+    let doc = ocp::burst_read_doc();
+    let monitor = synthesize(doc.chart("ocp_burst_read").unwrap(), &SynthOptions::default())
+        .unwrap();
+    let dot = cesc::core::to_dot(&monitor, &doc.alphabet);
+    assert!(dot.starts_with("digraph"));
+    assert_eq!(dot.matches("doublecircle").count(), 1);
+    // 7 states all present
+    for s in 0..7 {
+        assert!(dot.contains(&format!("s{s} ->")));
+    }
+}
+
+/// The ASCII renderer and the monitor display produce output for the
+/// full Figure set without panicking (smoke test for docs generation).
+#[test]
+fn rendering_smoke() {
+    for doc in [
+        ocp::simple_read_doc(),
+        ocp::burst_read_doc(),
+        cesc::protocols::amba::ahb_transaction_doc(),
+        cesc::protocols::readproto::single_clock_doc(),
+        cesc::protocols::readproto::multi_clock_doc(),
+    ] {
+        for chart in &doc.charts {
+            let art = cesc::chart::render_ascii(chart, &doc.alphabet);
+            assert!(art.contains("tick 0"));
+            let m = synthesize(chart, &SynthOptions::default()).unwrap();
+            let shown = m.display(&doc.alphabet).to_string();
+            assert!(shown.contains("monitor"));
+        }
+    }
+}
+
+/// Monitors synthesized from a chart parsed out of its own rendered
+/// text behave identically (parse ∘ render = id at behaviour level).
+#[test]
+fn synthesis_invariant_under_text_round_trip() {
+    let doc = ocp::burst_read_doc();
+    let chart = doc.chart("ocp_burst_read").unwrap();
+    let text = chart.to_text(&doc.alphabet);
+    let doc2 = parse_document(&text).unwrap();
+    let chart2 = doc2.chart("ocp_burst_read").unwrap();
+
+    let m1 = synthesize(chart, &SynthOptions::default()).unwrap();
+    let m2 = synthesize(chart2, &SynthOptions::default()).unwrap();
+    assert_eq!(m1.state_count(), m2.state_count());
+    assert_eq!(m1.transition_count(), m2.transition_count());
+
+    let w = ocp::burst_read_window(&doc.alphabet);
+    let w2 = ocp::burst_read_window(&doc2.alphabet);
+    assert_eq!(m1.scan(w).matches, m2.scan(w2).matches);
+}

@@ -1,0 +1,196 @@
+//! Round-trip property tests: expression text, chart text and VCD
+//! serialisation all survive write → read unchanged.
+
+use cesc::expr::{parse_expr, Alphabet, Expr, NameResolution, SymbolKind, Valuation};
+use cesc::prelude::parse_document;
+use cesc::trace::{read_vcd, write_vcd, Trace, VcdWriteOptions};
+use proptest::prelude::*;
+
+const SYMS: usize = 5;
+
+fn arb_expr() -> impl Strategy<Value = ExprDesc> {
+    let leaf = prop_oneof![
+        (0..SYMS).prop_map(ExprDesc::Sym),
+        (0..SYMS).prop_map(ExprDesc::Chk),
+        Just(ExprDesc::True),
+        Just(ExprDesc::False),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| ExprDesc::Not(Box::new(e))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(ExprDesc::And),
+            prop::collection::vec(inner, 2..4).prop_map(ExprDesc::Or),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum ExprDesc {
+    Sym(usize),
+    Chk(usize),
+    True,
+    False,
+    Not(Box<ExprDesc>),
+    And(Vec<ExprDesc>),
+    Or(Vec<ExprDesc>),
+}
+
+fn realize(desc: &ExprDesc, ids: &[cesc::expr::SymbolId]) -> Expr {
+    match desc {
+        ExprDesc::Sym(i) => Expr::sym(ids[*i]),
+        ExprDesc::Chk(i) => Expr::chk(ids[*i]),
+        ExprDesc::True => Expr::t(),
+        ExprDesc::False => Expr::f(),
+        ExprDesc::Not(e) => !realize(e, ids),
+        ExprDesc::And(es) => Expr::and(es.iter().map(|e| realize(e, ids))),
+        ExprDesc::Or(es) => Expr::or(es.iter().map(|e| realize(e, ids))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// display → parse returns a semantically identical expression.
+    #[test]
+    fn expr_display_parse_round_trip(desc in arb_expr(), bits in 0u8..32, sb_bits in 0u8..32) {
+        let mut ab = Alphabet::new();
+        let ids: Vec<_> = (0..SYMS).map(|i| ab.event(&format!("e{i}"))).collect();
+        let e = realize(&desc, &ids);
+        let printed = e.display(&ab).to_string();
+        let parsed = parse_expr(&printed, &mut ab, NameResolution::Strict)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        // semantic equality on all valuations × scoreboard states we try
+        let v = Valuation::from_bits(bits as u128);
+        let sb = Valuation::from_bits(sb_bits as u128);
+        prop_assert_eq!(e.eval(v, &sb), parsed.eval(v, &sb), "mismatch on `{}`", printed);
+    }
+
+    /// VCD write → read reproduces the trace exactly.
+    #[test]
+    fn vcd_round_trip(raw in prop::collection::vec(0u8..32, 0..80)) {
+        let mut ab = Alphabet::new();
+        for i in 0..SYMS {
+            ab.event(&format!("sig{i}"));
+        }
+        let trace: Trace = raw
+            .iter()
+            .map(|&b| Valuation::from_bits(b as u128))
+            .collect();
+        let vcd = write_vcd(&trace, &ab, &VcdWriteOptions::default());
+        let back = read_vcd(&vcd, &ab, "clk").unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Chart text rendering reparses to the same pattern semantics.
+    #[test]
+    fn chart_text_round_trip(
+        elems in prop::collection::vec(prop::collection::vec((0..SYMS, any::<bool>()), 0..3), 1..5)
+    ) {
+        let mut events = String::new();
+        for i in 0..SYMS {
+            if i > 0 { events.push_str(", "); }
+            events.push_str(&format!("e{i}"));
+        }
+        let mut body = String::new();
+        for elem in &elems {
+            if elem.is_empty() {
+                body.push_str("    tick ;\n");
+            } else {
+                let occs: Vec<String> = elem
+                    .iter()
+                    .map(|(i, pos)| format!("{}e{i}", if *pos { "" } else { "!" }))
+                    .collect();
+                body.push_str(&format!("    tick {{ M: {} }}\n", occs.join(", ")));
+            }
+        }
+        let src = format!(
+            "scesc rt on clk {{\n    instances {{ M }}\n    events {{ {events} }}\n{body}}}\n"
+        );
+        let Ok(doc) = parse_document(&src) else {
+            // duplicate occurrences of one event in a tick are legal;
+            // parse failures here would be a bug
+            panic!("generated chart failed to parse:\n{src}");
+        };
+        let chart = doc.chart("rt").unwrap();
+        let text = chart.to_text(&doc.alphabet);
+        let doc2 = parse_document(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        let chart2 = doc2.chart("rt").unwrap();
+        prop_assert_eq!(chart.tick_count(), chart2.tick_count());
+        // symbol ids are renumbered on re-parse (only mentioned symbols
+        // are declared), so build each document's valuation by NAME
+        for i in 0..chart.tick_count() {
+            let p1 = chart.pattern_element(i);
+            let p2 = chart2.pattern_element(i);
+            for bits in 0u8..32 {
+                let mut v1 = Valuation::empty();
+                let mut v2 = Valuation::empty();
+                for s in 0..SYMS {
+                    if (bits >> s) & 1 == 1 {
+                        let name = format!("e{s}");
+                        if let Some(id) = doc.alphabet.lookup(&name) {
+                            v1.insert(id);
+                        }
+                        if let Some(id) = doc2.alphabet.lookup(&name) {
+                            v2.insert(id);
+                        }
+                    }
+                }
+                prop_assert_eq!(p1.eval_pure(v1), p2.eval_pure(v2));
+            }
+        }
+    }
+}
+
+/// Non-property round-trips of the built-in protocol documents.
+#[test]
+fn builtin_documents_round_trip() {
+    use cesc::protocols::{amba, ocp, readproto};
+    let docs = [
+        ocp::simple_read_doc(),
+        ocp::burst_read_doc(),
+        amba::ahb_transaction_doc(),
+        readproto::single_clock_doc(),
+        readproto::multi_clock_doc(),
+    ];
+    for doc in docs {
+        for chart in &doc.charts {
+            let text = chart.to_text(&doc.alphabet);
+            let doc2 = parse_document(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", chart.name()));
+            let chart2 = doc2.chart(chart.name()).unwrap();
+            assert_eq!(chart.tick_count(), chart2.tick_count());
+            assert_eq!(chart.arrows().len(), chart2.arrows().len());
+        }
+    }
+}
+
+/// Parsing a document twice yields identical symbol ids (determinism).
+#[test]
+fn parse_is_deterministic() {
+    let src = cesc::protocols::ocp::BURST_READ_SRC;
+    let d1 = parse_document(src).unwrap();
+    let d2 = parse_document(src).unwrap();
+    assert_eq!(d1.alphabet, d2.alphabet);
+    assert_eq!(d1.charts[0], d2.charts[0]);
+}
+
+/// Expressions with `SymbolKind::Prop` guards survive the chart text
+/// round trip with kinds preserved.
+#[test]
+fn prop_kinds_survive_round_trip() {
+    let doc = parse_document(
+        "scesc g on clk { instances { A } events { e } props { p } tick { A: e if p } }",
+    )
+    .unwrap();
+    let text = doc.charts[0].to_text(&doc.alphabet);
+    let doc2 = parse_document(&text).unwrap();
+    assert_eq!(
+        doc2.alphabet.kind(doc2.alphabet.lookup("p").unwrap()),
+        SymbolKind::Prop
+    );
+    assert_eq!(
+        doc2.alphabet.kind(doc2.alphabet.lookup("e").unwrap()),
+        SymbolKind::Event
+    );
+}
