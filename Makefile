@@ -1,0 +1,25 @@
+# Development entry points. `make verify` is the gate CI runs.
+
+CARGO ?= cargo
+
+.PHONY: verify build test doc bench clean
+
+verify: ## release build + full test suite + clean rustdoc
+	$(CARGO) build --release
+	$(CARGO) test -q
+	$(CARGO) doc --no-deps
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+doc:
+	$(CARGO) doc --no-deps
+
+bench: ## regenerate the evaluation numbers (criterion shim prints to stdout)
+	$(CARGO) bench -p cesc-bench
+
+clean:
+	$(CARGO) clean

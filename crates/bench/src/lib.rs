@@ -45,7 +45,7 @@ pub fn chain_window(ab: &Alphabet, n: usize, syms: usize) -> Vec<Valuation> {
 
 /// Adversarial near-miss traffic for the pattern `a a a b`: long runs
 /// of `a` with rare `b` — worst case for naive rescanning, the case
-/// the string-matching automaton (paper ref [19]) improves on.
+/// the string-matching automaton (paper ref \[19\]) improves on.
 pub fn adversarial_pattern_and_trace(len: usize) -> (Alphabet, Vec<Expr>, Trace) {
     let mut ab = Alphabet::new();
     let a = ab.event("a");

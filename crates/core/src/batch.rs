@@ -1,0 +1,965 @@
+//! Batched, zero-allocation monitor execution.
+//!
+//! [`crate::MonitorExec::step`] walks `Vec<Vec<Transition>>` and
+//! recursively interprets [`Expr`] guards against a trait-object
+//! scoreboard — flexible, but every step chases pointers and the
+//! scoreboard allocates per `Add_evt`. This module compiles a
+//! [`Monitor`] once into a flat, index-based form and executes it with
+//! no allocation on the hot path:
+//!
+//! * **flat transition table** — per-state transition slices live in
+//!   contiguous arrays ([`CompiledMonitor`]), indexed by offset, in the
+//!   same priority order the synthesis algorithm emitted;
+//! * **precompiled guards** — each guard is classified at compile
+//!   time: conjunctions of literals (the common case for patterns
+//!   extracted from chart grid lines) become four bitmasks evaluated
+//!   with a handful of `u128` ops; anything else becomes a small
+//!   postfix program run on a reused stack;
+//! * **counts-only scoreboard** — `Chk_evt` needs only "is the count
+//!   non-zero", so the executor keeps a `u128` presence bitmap plus a
+//!   flat count array instead of an occurrence log;
+//! * **batch APIs** — [`Monitor::scan_batch`] and
+//!   [`BatchExec::feed`] consume `&[Valuation]` chunks, and
+//!   [`MonitorBank`] drives many monitors over one shared trace feed,
+//!   so a single simulation stream serves a whole verification plan.
+//!
+//! Verdict equivalence with the step-wise path (same match ticks, same
+//! final state, same underflow count) is pinned by unit tests here and
+//! by the `batch_equivalence` property suite at the workspace root.
+
+use std::fmt;
+
+use cesc_expr::{Expr, SymbolId, Valuation};
+
+use crate::monitor::{Monitor, ScanReport, StateId};
+use crate::scoreboard::Action;
+
+/// Recommended chunk size for producers that stream valuations into
+/// [`BatchExec::feed`] / [`MonitorBank::feed`] (the VCD reader and the
+/// `cesc check` CLI use it): large enough to amortise per-chunk
+/// dispatch, small enough to keep the resident decode buffer a few
+/// tens of KiB.
+pub const BATCH_CHUNK: usize = 4096;
+
+/// A guard compiled to bitmask form: a conjunction of literals over
+/// trace symbols and scoreboard presence.
+///
+/// The guard holds iff
+/// `v ⊇ pos  ∧  v ∩ neg = ∅  ∧  sb ⊇ chk_pos  ∧  sb ∩ chk_neg = ∅`.
+/// A constant-false guard is encoded by setting one bit in both `pos`
+/// and `neg` (no valuation satisfies both), keeping the struct at
+/// exactly 64 bytes — one cache line — with no extra flag test on the
+/// hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct GuardMask {
+    pos: u128,
+    neg: u128,
+    chk_pos: u128,
+    chk_neg: u128,
+}
+
+impl GuardMask {
+    #[inline(always)]
+    fn eval(&self, v: u128, sb: u128) -> bool {
+        v & self.pos == self.pos
+            && v & self.neg == 0
+            && sb & self.chk_pos == self.chk_pos
+            && sb & self.chk_neg == 0
+    }
+
+    fn mark_false(&mut self) {
+        self.pos |= 1;
+        self.neg |= 1;
+    }
+
+    /// Tries to build a mask from `expr`; `negated` tracks parity under
+    /// `Not`. Returns `None` for guards that are not conjunctions of
+    /// literals.
+    fn build(expr: &Expr, negated: bool, acc: &mut GuardMask) -> Option<()> {
+        match expr {
+            Expr::Const(b) => {
+                if *b == negated {
+                    acc.mark_false();
+                }
+                Some(())
+            }
+            Expr::Sym(id) => {
+                let bit = 1u128 << id.index();
+                if negated {
+                    acc.neg |= bit;
+                } else {
+                    acc.pos |= bit;
+                }
+                Some(())
+            }
+            Expr::ChkEvt(id) => {
+                let bit = 1u128 << id.index();
+                if negated {
+                    acc.chk_neg |= bit;
+                } else {
+                    acc.chk_pos |= bit;
+                }
+                Some(())
+            }
+            Expr::Not(inner) => GuardMask::build(inner, !negated, acc),
+            Expr::And(parts) if !negated => {
+                for p in parts {
+                    GuardMask::build(p, false, acc)?;
+                }
+                Some(())
+            }
+            // ¬(a ∧ b), disjunctions: not a literal conjunction
+            _ => None,
+        }
+    }
+}
+
+/// One instruction of a postfix guard program (the general-guard slow
+/// path; still allocation-free at evaluation time).
+#[derive(Debug, Clone, Copy)]
+enum GuardOp {
+    /// Push the truth of a trace symbol.
+    Sym(u32),
+    /// Push the scoreboard presence of an event.
+    Chk(u32),
+    /// Push a constant.
+    Const(bool),
+    /// Negate the top of stack.
+    Not,
+    /// Replace the top `n` values with their conjunction.
+    And(u16),
+    /// Replace the top `n` values with their disjunction.
+    Or(u16),
+}
+
+fn compile_ops(expr: &Expr, out: &mut Vec<GuardOp>) {
+    match expr {
+        Expr::Const(b) => out.push(GuardOp::Const(*b)),
+        Expr::Sym(id) => out.push(GuardOp::Sym(id.index() as u32)),
+        Expr::ChkEvt(id) => out.push(GuardOp::Chk(id.index() as u32)),
+        Expr::Not(inner) => {
+            compile_ops(inner, out);
+            out.push(GuardOp::Not);
+        }
+        Expr::And(parts) => {
+            for p in parts {
+                compile_ops(p, out);
+            }
+            out.push(GuardOp::And(parts.len() as u16));
+        }
+        Expr::Or(parts) => {
+            for p in parts {
+                compile_ops(p, out);
+            }
+            out.push(GuardOp::Or(parts.len() as u16));
+        }
+    }
+}
+
+/// A scoreboard action in packed form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PackedAction {
+    Add(u32),
+    Del(u32),
+}
+
+/// How a compiled transition's guard is evaluated. The mask variant is
+/// stored inline so the common case costs one load and four `u128`
+/// tests, no further indirection.
+#[derive(Debug, Clone, Copy)]
+enum GuardKind {
+    /// Bitmask conjunction.
+    Mask(GuardMask),
+    /// Postfix program: `(offset, len)` into the op pool.
+    Program(u32, u32),
+}
+
+/// A [`Monitor`] compiled to flat, index-based tables.
+///
+/// Build once with [`CompiledMonitor::new`] (or
+/// [`Monitor::compiled`]), then execute with [`BatchExec`] or a
+/// [`MonitorBank`]. Compilation preserves transition priority order,
+/// action order and scoreboard semantics exactly, so verdicts match
+/// the step-wise executor.
+#[derive(Debug, Clone)]
+pub struct CompiledMonitor {
+    name: String,
+    clock: String,
+    /// Per-state range `state_off[s]..state_off[s+1]` into the
+    /// transition arrays.
+    state_off: Vec<u32>,
+    /// Transition targets, flat, priority order within each state.
+    targets: Vec<u32>,
+    guards: Vec<GuardKind>,
+    mask_guards: usize,
+    ops: Vec<GuardOp>,
+    /// Per-transition range `action_off[t]..action_off[t+1]` into
+    /// `actions`.
+    action_off: Vec<u32>,
+    actions: Vec<PackedAction>,
+    initial: u32,
+    final_state: u32,
+    /// Highest symbol index mentioned anywhere, for sizing the count
+    /// table (`usize::MAX` when no symbol occurs).
+    max_symbol: usize,
+}
+
+impl CompiledMonitor {
+    /// Compiles `monitor` into flat form.
+    pub fn new(monitor: &Monitor) -> Self {
+        let states = monitor.state_count();
+        let mut state_off = Vec::with_capacity(states + 1);
+        let mut targets = Vec::new();
+        let mut guards: Vec<GuardKind> = Vec::new();
+        let mut mask_guards = 0usize;
+        let mut ops = Vec::new();
+        let mut action_off = vec![0u32];
+        let mut actions = Vec::new();
+        let mut max_symbol = 0usize;
+        let mut saw_symbol = false;
+        let mut note = |id: SymbolId| {
+            max_symbol = max_symbol.max(id.index());
+            saw_symbol = true;
+        };
+
+        for s in 0..states {
+            state_off.push(targets.len() as u32);
+            for t in monitor.transitions_from(StateId::from_index(s)) {
+                targets.push(t.target.index() as u32);
+
+                for id in t.guard.symbols().iter().chain(t.guard.chk_targets().iter()) {
+                    note(id);
+                }
+                let mut mask = GuardMask::default();
+                match GuardMask::build(&t.guard, false, &mut mask) {
+                    Some(()) => {
+                        guards.push(GuardKind::Mask(mask));
+                        mask_guards += 1;
+                    }
+                    None => {
+                        let start = ops.len() as u32;
+                        compile_ops(&t.guard, &mut ops);
+                        guards.push(GuardKind::Program(start, ops.len() as u32 - start));
+                    }
+                }
+
+                for a in &t.actions {
+                    match a {
+                        Action::Null => {}
+                        Action::AddEvt(es) => {
+                            for &e in es {
+                                note(e);
+                                actions.push(PackedAction::Add(e.index() as u32));
+                            }
+                        }
+                        Action::DelEvt(es) => {
+                            for &e in es {
+                                note(e);
+                                actions.push(PackedAction::Del(e.index() as u32));
+                            }
+                        }
+                    }
+                }
+                action_off.push(actions.len() as u32);
+            }
+        }
+        state_off.push(targets.len() as u32);
+
+        CompiledMonitor {
+            name: monitor.name().to_owned(),
+            clock: monitor.clock().to_owned(),
+            state_off,
+            targets,
+            guards,
+            mask_guards,
+            ops,
+            action_off,
+            actions,
+            initial: monitor.initial().index() as u32,
+            final_state: monitor.final_state().index() as u32,
+            max_symbol: if saw_symbol { max_symbol } else { usize::MAX },
+        }
+    }
+
+    /// The source monitor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock domain the monitor is synchronous to.
+    pub fn clock(&self) -> &str {
+        &self.clock
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_off.len() - 1
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// How many transitions took the bitmask fast path (the rest run
+    /// postfix programs).
+    pub fn mask_guard_count(&self) -> usize {
+        self.mask_guards
+    }
+
+    /// Creates a fresh executor positioned at the initial state.
+    pub fn executor(&self) -> BatchExec<'_> {
+        BatchExec {
+            monitor: self,
+            state: ExecState::new(self),
+        }
+    }
+}
+
+/// The mutable runtime of one compiled monitor, separated from the
+/// table so banks can own many runtimes over shared compilation
+/// artifacts.
+#[derive(Debug, Clone)]
+struct ExecState {
+    state: u32,
+    /// Per-symbol occurrence counts (the scoreboard).
+    counts: Vec<u32>,
+    /// Bit `i` set iff `counts[i] > 0` — makes `Chk_evt` masks one
+    /// `u128` test.
+    sb_bits: u128,
+    underflows: u64,
+    ticks: u64,
+    /// Reused evaluation stack for program guards.
+    stack: Vec<bool>,
+}
+
+impl ExecState {
+    fn new(m: &CompiledMonitor) -> Self {
+        let slots = if m.max_symbol == usize::MAX {
+            0
+        } else {
+            m.max_symbol + 1
+        };
+        ExecState {
+            state: m.initial,
+            counts: vec![0; slots],
+            sb_bits: 0,
+            underflows: 0,
+            ticks: 0,
+            stack: Vec::with_capacity(8),
+        }
+    }
+
+    #[inline(always)]
+    fn eval_program(&mut self, m: &CompiledMonitor, start: u32, len: u32, v: u128) -> bool {
+        self.stack.clear();
+        for op in &m.ops[start as usize..(start + len) as usize] {
+            match *op {
+                GuardOp::Sym(i) => self.stack.push(v >> i & 1 == 1),
+                GuardOp::Chk(i) => self.stack.push(self.sb_bits >> i & 1 == 1),
+                GuardOp::Const(b) => self.stack.push(b),
+                GuardOp::Not => {
+                    let top = self.stack.last_mut().expect("well-formed program");
+                    *top = !*top;
+                }
+                GuardOp::And(n) => {
+                    let at = self.stack.len() - n as usize;
+                    let r = self.stack[at..].iter().all(|&b| b);
+                    self.stack.truncate(at);
+                    self.stack.push(r);
+                }
+                GuardOp::Or(n) => {
+                    let at = self.stack.len() - n as usize;
+                    let r = self.stack[at..].iter().any(|&b| b);
+                    self.stack.truncate(at);
+                    self.stack.push(r);
+                }
+            }
+        }
+        self.stack.pop().expect("program leaves one value")
+    }
+
+    /// Consumes one valuation; returns whether the final state was
+    /// entered.
+    #[inline(always)]
+    fn step(&mut self, m: &CompiledMonitor, v: Valuation) -> bool {
+        let bits = v.bits();
+        let lo = m.state_off[self.state as usize] as usize;
+        let hi = m.state_off[self.state as usize + 1] as usize;
+        let mut taken = usize::MAX;
+        for (i, guard) in m.guards[lo..hi].iter().enumerate() {
+            let holds = match *guard {
+                GuardKind::Mask(mask) => mask.eval(bits, self.sb_bits),
+                GuardKind::Program(start, len) => self.eval_program(m, start, len, bits),
+            };
+            if holds {
+                taken = lo + i;
+                break;
+            }
+        }
+        assert!(
+            taken != usize::MAX,
+            "monitor `{}` has no enabled transition from s{} — transition relation not total",
+            m.name,
+            self.state
+        );
+        for a in &m.actions[m.action_off[taken] as usize..m.action_off[taken + 1] as usize] {
+            match *a {
+                PackedAction::Add(i) => {
+                    let c = &mut self.counts[i as usize];
+                    *c += 1;
+                    self.sb_bits |= 1u128 << i;
+                }
+                PackedAction::Del(i) => {
+                    let c = &mut self.counts[i as usize];
+                    if *c > 0 {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.sb_bits &= !(1u128 << i);
+                        }
+                    } else {
+                        self.underflows += 1;
+                    }
+                }
+            }
+        }
+        self.state = m.targets[taken];
+        self.ticks += 1;
+        self.state == m.final_state
+    }
+
+    fn reset(&mut self, m: &CompiledMonitor) {
+        self.state = m.initial;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.sb_bits = 0;
+        self.underflows = 0;
+        self.ticks = 0;
+    }
+}
+
+/// Streaming executor over one [`CompiledMonitor`].
+///
+/// Feed valuation chunks with [`BatchExec::feed`]; state persists
+/// across chunks, so any chunking of a trace yields the same verdict
+/// as one pass (property-tested).
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_expr::Valuation;
+///
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default())?;
+/// let req = doc.alphabet.lookup("req").unwrap();
+/// let ack = doc.alphabet.lookup("ack").unwrap();
+///
+/// let compiled = m.compiled();
+/// let mut exec = compiled.executor();
+/// let mut hits = Vec::new();
+/// exec.feed(&[Valuation::of([req])], &mut hits);
+/// exec.feed(&[Valuation::of([ack])], &mut hits);
+/// assert_eq!(hits, vec![1]);
+/// # Ok::<(), cesc_core::SynthError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchExec<'m> {
+    monitor: &'m CompiledMonitor,
+    state: ExecState,
+}
+
+impl BatchExec<'_> {
+    /// Consumes one valuation; returns whether the final state was
+    /// entered (scenario detected at this tick).
+    #[inline]
+    pub fn step(&mut self, v: Valuation) -> bool {
+        self.state.step(self.monitor, v)
+    }
+
+    /// Consumes a chunk of valuations, appending the absolute tick
+    /// index of every detection to `hits`.
+    pub fn feed(&mut self, chunk: &[Valuation], hits: &mut Vec<u64>) {
+        for &v in chunk {
+            let tick = self.state.ticks;
+            if self.state.step(self.monitor, v) {
+                hits.push(tick);
+            }
+        }
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.state.ticks
+    }
+
+    /// Current state index.
+    pub fn state_index(&self) -> usize {
+        self.state.state as usize
+    }
+
+    /// `Del_evt` underflows observed so far.
+    pub fn underflows(&self) -> u64 {
+        self.state.underflows
+    }
+
+    /// Resets state, scoreboard and counters to the initial
+    /// configuration.
+    pub fn reset(&mut self) {
+        self.state.reset(self.monitor);
+    }
+
+    /// Closes the stream, producing a [`ScanReport`] consistent with
+    /// [`Monitor::scan`] on the same input. `hits` is the accumulator
+    /// passed to [`BatchExec::feed`].
+    pub fn finish(&self, hits: Vec<u64>) -> ScanReport {
+        ScanReport {
+            matches: hits,
+            ticks: self.state.ticks,
+            final_state: StateId::from_index(self.state.state as usize),
+            underflows: self.state.underflows,
+        }
+    }
+}
+
+impl Monitor {
+    /// Compiles this monitor for batched, allocation-free execution.
+    pub fn compiled(&self) -> CompiledMonitor {
+        CompiledMonitor::new(self)
+    }
+
+    /// Runs the monitor over `trace` through the compiled batch
+    /// engine. The slice is already resident, so it is fed in one
+    /// call; chunking earns its keep at the producers
+    /// ([`cesc_trace::VcdStream`], the `cesc-sim` harnesses), whose
+    /// chunks [`BatchExec::feed`] accepts incrementally.
+    ///
+    /// Produces a report identical to [`Monitor::scan`] on the same
+    /// input (same match ticks, final state and underflow count), at a
+    /// fraction of the cost — see the `bank_throughput` bench.
+    pub fn scan_batch(&self, trace: &[Valuation]) -> ScanReport {
+        let compiled = self.compiled();
+        let mut exec = compiled.executor();
+        let mut hits = Vec::new();
+        exec.feed(trace, &mut hits);
+        exec.finish(hits)
+    }
+}
+
+/// Many compiled monitors driven by one shared trace feed — the
+/// deployment where a single simulation stream serves a whole
+/// verification plan (e.g. the OCP, AMBA and handshake charts at
+/// once).
+///
+/// All monitors must be synchronous to the *same* clock as the feed;
+/// for multi-clock plans keep one bank per domain and split the global
+/// run with [`cesc_trace::GlobalRun::project`]. Each monitor keeps its
+/// private scoreboard, exactly as independent [`Monitor::scan`] calls
+/// would.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, MonitorBank, SynthOptions};
+/// use cesc_expr::Valuation;
+///
+/// let doc = parse_document(
+///     "scesc a on clk { instances { M } events { x, y } tick { M: x } }\
+///      scesc b on clk { instances { M } events { x, y } tick { M: x } tick { M: y } }",
+/// ).unwrap();
+/// let ma = synthesize(doc.chart("a").unwrap(), &SynthOptions::default()).unwrap();
+/// let mb = synthesize(doc.chart("b").unwrap(), &SynthOptions::default()).unwrap();
+///
+/// let mut bank = MonitorBank::new();
+/// bank.add(&ma);
+/// bank.add(&mb);
+///
+/// let x = doc.alphabet.lookup("x").unwrap();
+/// let y = doc.alphabet.lookup("y").unwrap();
+/// bank.feed(&[Valuation::of([x]), Valuation::of([y])]);
+/// let reports = bank.reports();
+/// assert_eq!(reports[0].matches, vec![0]); // `a` fires on x
+/// assert_eq!(reports[1].matches, vec![1]); // `b` fires on x→y
+/// ```
+#[derive(Debug, Default)]
+pub struct MonitorBank {
+    monitors: Vec<CompiledMonitor>,
+    states: Vec<ExecState>,
+    hits: Vec<Vec<u64>>,
+}
+
+impl MonitorBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles and attaches `monitor`; returns its index.
+    pub fn add(&mut self, monitor: &Monitor) -> usize {
+        self.add_compiled(monitor.compiled())
+    }
+
+    /// Attaches an already-compiled monitor; returns its index.
+    pub fn add_compiled(&mut self, compiled: CompiledMonitor) -> usize {
+        self.states.push(ExecState::new(&compiled));
+        self.monitors.push(compiled);
+        self.hits.push(Vec::new());
+        self.monitors.len() - 1
+    }
+
+    /// Number of attached monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether the bank has no monitors.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// The compiled form of monitor `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn monitor(&self, idx: usize) -> &CompiledMonitor {
+        &self.monitors[idx]
+    }
+
+    /// Monitor-major feed with caller-owned hit handling: each
+    /// attached monitor runs the whole chunk in turn (tables staying
+    /// hot), and every detection invokes `on_hit(monitor, offset)`
+    /// with the detecting monitor's index and the position *within
+    /// `chunk`*. Unlike [`MonitorBank::feed`] nothing is recorded
+    /// internally — callers that need their own timestamping (e.g.
+    /// the global-time harness in `cesc-sim`) own the hit log.
+    pub fn feed_with(&mut self, chunk: &[Valuation], mut on_hit: impl FnMut(usize, usize)) {
+        for (idx, (m, st)) in self.monitors.iter().zip(&mut self.states).enumerate() {
+            for (off, &v) in chunk.iter().enumerate() {
+                if st.step(m, v) {
+                    on_hit(idx, off);
+                }
+            }
+        }
+    }
+
+    /// Feeds one shared chunk to every monitor (each visits the chunk
+    /// once, tables staying hot per monitor).
+    pub fn feed(&mut self, chunk: &[Valuation]) {
+        for ((m, st), hits) in self
+            .monitors
+            .iter()
+            .zip(&mut self.states)
+            .zip(&mut self.hits)
+        {
+            for &v in chunk {
+                let tick = st.ticks;
+                if st.step(m, v) {
+                    hits.push(tick);
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole resident trace in one pass (see
+    /// [`Monitor::scan_batch`] on why no further chunking happens
+    /// here).
+    pub fn scan_batch(&mut self, trace: &[Valuation]) {
+        self.feed(trace);
+    }
+
+    /// Detection ticks of monitor `idx` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn hits(&self, idx: usize) -> &[u64] {
+        &self.hits[idx]
+    }
+
+    /// Per-monitor reports for everything fed through
+    /// [`MonitorBank::feed`] / [`MonitorBank::scan_batch`] so far (the
+    /// bank remains usable; reports snapshot current state).
+    ///
+    /// Detections delivered through [`MonitorBank::feed_with`] are
+    /// *not* in `matches` (their ticks still advance) — the caller
+    /// owns that hit log, so don't mix the two feeding styles on one
+    /// bank if you rely on `reports()`/`hits()`.
+    pub fn reports(&self) -> Vec<ScanReport> {
+        self.monitors
+            .iter()
+            .zip(&self.states)
+            .zip(&self.hits)
+            .map(|((_, st), hits)| ScanReport {
+                matches: hits.clone(),
+                ticks: st.ticks,
+                final_state: StateId::from_index(st.state as usize),
+                underflows: st.underflows,
+            })
+            .collect()
+    }
+
+    /// Resets every monitor to its initial configuration and clears
+    /// recorded hits.
+    pub fn reset(&mut self) {
+        for (m, st) in self.monitors.iter().zip(&mut self.states) {
+            st.reset(m);
+        }
+        for h in &mut self.hits {
+            h.clear();
+        }
+    }
+}
+
+impl fmt::Display for CompiledMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiled monitor {} (clock {}): {} states, {} transitions ({} mask guards, {} program ops)",
+            self.name,
+            self.clock,
+            self.state_count(),
+            self.transition_count(),
+            self.mask_guards,
+            self.ops.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use crate::synth::{synthesize, SynthOptions};
+    use cesc_expr::Alphabet;
+
+    fn fig5_doc() -> cesc_chart::Document {
+        parse_document(
+            r#"
+            scesc fig5 on clk {
+                instances { A, B }
+                events { e1, e2, e3 }
+                props { p1, p3 }
+                tick { A: e1 if p1; B: e2 }
+                tick ;
+                tick { B: e3 if p3 }
+                cause e1 -> e3;
+            }
+        "#,
+        )
+        .unwrap()
+    }
+
+    /// Every valuation over `n` symbols, cycled to length `len`.
+    fn exhaustive_trace(n: u32, len: usize) -> Vec<Valuation> {
+        (0..len)
+            .map(|i| Valuation::from_bits((i as u128) % (1 << n)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_stepwise_on_fig5() {
+        let doc = fig5_doc();
+        let m = synthesize(doc.chart("fig5").unwrap(), &SynthOptions::default()).unwrap();
+        let trace = exhaustive_trace(5, 200);
+        let step = m.scan(trace.iter().copied());
+        let batch = m.scan_batch(&trace);
+        assert_eq!(step, batch);
+    }
+
+    #[test]
+    fn batch_equals_stepwise_under_any_chunking() {
+        let doc = fig5_doc();
+        let m = synthesize(doc.chart("fig5").unwrap(), &SynthOptions::default()).unwrap();
+        let trace = exhaustive_trace(5, 100);
+        let reference = m.scan(trace.iter().copied());
+        for chunk_size in [1usize, 2, 3, 7, 50, 100, 1000] {
+            let compiled = m.compiled();
+            let mut exec = compiled.executor();
+            let mut hits = Vec::new();
+            for chunk in trace.chunks(chunk_size) {
+                exec.feed(chunk, &mut hits);
+            }
+            assert_eq!(exec.finish(hits), reference, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn disjunctive_guards_use_program_path_and_agree() {
+        // a disjunctive `if` guard cannot be a literal conjunction, so
+        // its transitions must compile to postfix programs — and the
+        // program path must agree with the step-wise Expr::eval.
+        let doc = parse_document(
+            r#"
+            scesc dj on clk {
+                instances { A }
+                events { e1, e2 }
+                props { p1, p2 }
+                tick { A: e1 if (p1 | p2) }
+                tick { A: e2 if !(p1 & p2) }
+            }
+        "#,
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("dj").unwrap(), &SynthOptions::default()).unwrap();
+        let compiled = m.compiled();
+        assert!(
+            compiled.mask_guard_count() < compiled.transition_count(),
+            "{compiled}"
+        );
+        let trace = exhaustive_trace(4, 160);
+        assert_eq!(m.scan(trace.iter().copied()), m.scan_batch(&trace));
+    }
+
+    #[test]
+    fn pure_conjunction_chart_is_all_masks() {
+        let doc = parse_document(
+            "scesc c on clk { instances { M } events { a, b } tick { M: a, !b } tick { M: b } }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("c").unwrap(), &SynthOptions::default()).unwrap();
+        let compiled = m.compiled();
+        assert_eq!(compiled.mask_guard_count(), compiled.transition_count());
+    }
+
+    #[test]
+    fn underflows_match_stepwise() {
+        // A hand-built monitor that Dels without Adds, to exercise the
+        // saturation/underflow path.
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = Monitor {
+            name: "under".into(),
+            clock: "clk".into(),
+            transitions: vec![vec![crate::monitor::Transition {
+                guard: Expr::t(),
+                actions: vec![Action::DelEvt(vec![a])],
+                target: StateId::from_index(0),
+                kind: crate::monitor::TransitionKind::Backward,
+            }]],
+            initial: StateId::from_index(0),
+            final_state: StateId::from_index(0),
+            pattern: vec![Expr::t()],
+            tracked_events: vec![a],
+        };
+        let trace = vec![Valuation::empty(); 5];
+        let step = m.scan(trace.iter().copied());
+        let batch = m.scan_batch(&trace);
+        assert_eq!(step.underflows, 5);
+        assert_eq!(batch.underflows, 5);
+        assert_eq!(step, batch);
+    }
+
+    #[test]
+    fn bank_runs_many_monitors_over_shared_feed() {
+        let doc = parse_document(
+            r#"
+            scesc hs on clk {
+                instances { M, S }
+                events { req, ack }
+                tick { M: req }
+                tick { S: ack }
+                cause req -> ack;
+            }
+            scesc pulse on clk {
+                instances { M }
+                events { req, ack }
+                tick { M: req }
+            }
+        "#,
+        )
+        .unwrap();
+        let hs = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let pulse = synthesize(doc.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let trace = vec![
+            Valuation::of([req]),
+            Valuation::of([ack]),
+            Valuation::empty(),
+            Valuation::of([req]),
+            Valuation::of([ack]),
+        ];
+
+        let mut bank = MonitorBank::new();
+        let i_hs = bank.add(&hs);
+        let i_p = bank.add(&pulse);
+        assert_eq!(bank.len(), 2);
+        // feed in two uneven chunks: state must carry across
+        bank.feed(&trace[..2]);
+        bank.feed(&trace[2..]);
+
+        assert_eq!(bank.hits(i_hs), hs.scan(trace.iter().copied()).matches);
+        assert_eq!(bank.hits(i_p), pulse.scan(trace.iter().copied()).matches);
+
+        let reports = bank.reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[i_hs].ticks, 5);
+
+        bank.reset();
+        assert!(bank.hits(i_hs).is_empty());
+        bank.scan_batch(&trace);
+        assert_eq!(bank.hits(i_hs), hs.scan(trace.iter().copied()).matches);
+    }
+
+    #[test]
+    fn compiled_display_and_accessors() {
+        let doc = fig5_doc();
+        let m = synthesize(doc.chart("fig5").unwrap(), &SynthOptions::default()).unwrap();
+        let compiled = m.compiled();
+        assert_eq!(compiled.name(), "fig5");
+        assert_eq!(compiled.clock(), "clk");
+        assert_eq!(compiled.state_count(), m.state_count());
+        assert_eq!(compiled.transition_count(), m.transition_count());
+        let shown = compiled.to_string();
+        assert!(shown.contains("compiled monitor fig5"), "{shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not total")]
+    fn non_total_compiled_monitor_panics() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = Monitor {
+            name: "broken".into(),
+            clock: "clk".into(),
+            transitions: vec![vec![crate::monitor::Transition {
+                guard: Expr::sym(a),
+                actions: vec![],
+                target: StateId::from_index(0),
+                kind: crate::monitor::TransitionKind::Backward,
+            }]],
+            initial: StateId::from_index(0),
+            final_state: StateId::from_index(0),
+            pattern: vec![],
+            tracked_events: vec![],
+        };
+        let compiled = m.compiled();
+        let mut exec = compiled.executor();
+        exec.step(Valuation::empty());
+    }
+
+    #[test]
+    fn exec_reset_and_accessors() {
+        let doc = fig5_doc();
+        let m = synthesize(doc.chart("fig5").unwrap(), &SynthOptions::default()).unwrap();
+        let compiled = m.compiled();
+        let mut exec = compiled.executor();
+        let trace = exhaustive_trace(5, 40);
+        let mut hits = Vec::new();
+        exec.feed(&trace, &mut hits);
+        assert_eq!(exec.ticks(), 40);
+        exec.reset();
+        assert_eq!(exec.ticks(), 0);
+        assert_eq!(exec.state_index(), 0);
+        assert_eq!(exec.underflows(), 0);
+        let mut hits2 = Vec::new();
+        exec.feed(&trace, &mut hits2);
+        assert_eq!(hits, hits2, "reset restores initial configuration");
+    }
+}

@@ -17,6 +17,11 @@
 //!
 //! All engines operate on *pure* patterns (no scoreboard guards): they
 //! answer "does a window matching `P` end at this tick?".
+//!
+//! None of these is the production hot path: full monitors (scoreboard
+//! guards included) run batched through [`crate::CompiledMonitor`] —
+//! the flat-table engine behind [`crate::Monitor::scan_batch`] and
+//! [`crate::MonitorBank`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -307,8 +312,8 @@ impl ExactEngine {
 
 /// Baseline without an automaton: buffers the last `n` elements and
 /// re-checks the whole window every tick — what a hand-rolled checker
-/// typically does, and what the string-matching automaton of [CLRS]
-/// (the paper's reference [19]) improves upon.
+/// typically does, and what the string-matching automaton of CLRS
+/// (the paper's reference \[19\]) improves upon.
 #[derive(Debug, Clone)]
 pub struct NaiveMatcher {
     pattern: Vec<Expr>,

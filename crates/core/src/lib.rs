@@ -20,6 +20,9 @@
 //!   synchronising through the shared scoreboard (§1, Figure 2);
 //! * [`Checker`] / [`ImplicationChecker`] — verdict-producing wrappers
 //!   for the Fig 4 verification flow;
+//! * [`CompiledMonitor`] / [`BatchExec`] / [`MonitorBank`] — the
+//!   batched, zero-allocation production engine: flat transition
+//!   tables, precompiled guards, many monitors per shared trace feed;
 //! * [`engine`] — paper-literal dense δ tables, lazy δ, the exact
 //!   subset-construction reference, and the naive re-scan baseline;
 //! * [`to_dot`] — Graphviz export of the synthesized automata.
@@ -57,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod batch;
 mod checker;
 mod compose;
 mod determinize;
@@ -68,6 +72,7 @@ mod scoreboard;
 mod synth;
 
 pub use analysis::{analyze, MonitorStats};
+pub use batch::{BatchExec, CompiledMonitor, MonitorBank, BATCH_CHUNK};
 pub use checker::{Checker, ImplicationChecker, Verdict, Violation};
 pub use determinize::Determinized;
 pub use compose::{compile, flatten_chart, scan_composition, Compiled, CompiledExec, CompileError};

@@ -153,6 +153,12 @@ impl Monitor {
 
     /// Runs the monitor over a whole trace with a fresh scoreboard,
     /// returning the report.
+    ///
+    /// This is the step-wise reference path (one guard interpretation
+    /// per transition per tick). For bulk checking prefer
+    /// [`Monitor::scan_batch`], which compiles the monitor to a flat
+    /// table first and produces an identical report at a fraction of
+    /// the cost.
     pub fn scan(&self, trace: impl IntoIterator<Item = Valuation>) -> ScanReport {
         let mut exec = MonitorExec::new(self);
         let mut matches = Vec::new();

@@ -6,9 +6,13 @@
 //! monitor thread — how checkers attach to a live simulator in
 //! practice).
 
-use cesc_core::{Monitor, MonitorExec, MultiClockMonitor};
+use cesc_core::{Monitor, MonitorBank, MonitorExec, MultiClockMonitor};
 use cesc_trace::{ClockSet, GlobalStep};
 use crossbeam::channel;
+
+/// Number of [`GlobalStep`]s per chunk on the batched decoupled
+/// channel ([`run_decoupled_batched`]).
+pub const HARNESS_CHUNK: usize = 1024;
 
 /// Inline harness: single-clock monitors plus optional multi-clock
 /// monitors, all stepped synchronously with the simulation.
@@ -74,6 +78,13 @@ impl<'m> OnlineHarness<'m> {
         }
     }
 
+    /// Feeds a chunk of global steps to every attached monitor.
+    pub fn observe_batch(&mut self, clocks: &ClockSet, steps: &[GlobalStep]) {
+        for step in steps {
+            self.observe(clocks, step);
+        }
+    }
+
     /// Global times at which single-clock monitor `idx` completed.
     pub fn hits(&self, idx: usize) -> &[u64] {
         &self.single_hits[idx]
@@ -88,6 +99,151 @@ impl<'m> OnlineHarness<'m> {
 impl Default for OnlineHarness<'_> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Batched single-clock harness: monitors are compiled once and
+/// grouped into one [`MonitorBank`] per clock domain, so a chunk of
+/// global steps drives every monitor through the flat batch engine —
+/// the production configuration for high-rate simulation feeds.
+///
+/// Hits are recorded as *global times* (like [`OnlineHarness`]), not
+/// local tick indices. Multi-clock monitors need the shared-scoreboard
+/// step-wise path; attach those to an [`OnlineHarness`] instead.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_expr::Valuation;
+/// use cesc_sim::{BatchHarness, PeriodicTransactor, Simulation};
+/// use cesc_trace::ClockDomain;
+///
+/// let doc = parse_document(
+///     "scesc p on clk { instances { M } events { x } tick { M: x } }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("p").unwrap(), &SynthOptions::default()).unwrap();
+/// let x = doc.alphabet.lookup("x").unwrap();
+///
+/// let mut sim = Simulation::new();
+/// sim.add_clock(ClockDomain::new("clk", 1, 0));
+/// sim.add_transactor(Box::new(PeriodicTransactor::new(
+///     "clk", vec![Valuation::of([x])], 1, 0,
+/// )));
+/// let clocks = sim.clocks().clone();
+/// let mut harness = BatchHarness::new();
+/// let idx = harness.attach(&clocks, &m);
+/// let run = sim.run(6);
+/// let steps: Vec<_> = run.iter().cloned().collect();
+/// harness.observe_batch(&clocks, &steps);
+/// assert_eq!(harness.hits(idx), &[0, 2, 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchHarness {
+    /// One bank per clock domain.
+    banks: Vec<DomainBank>,
+    /// Global times per attached monitor, attach order.
+    hits: Vec<Vec<u64>>,
+    /// Reused projection buffers (one domain's valuations / times for
+    /// the current chunk).
+    vals: Vec<cesc_expr::Valuation>,
+    times: Vec<u64>,
+}
+
+/// One clock domain's monitors plus the slot → attach-order map.
+#[derive(Debug)]
+struct DomainBank {
+    clock: cesc_trace::ClockId,
+    bank: MonitorBank,
+    /// bank slot → index into [`BatchHarness::hits`] (attach order).
+    attach_order: Vec<usize>,
+}
+
+impl BatchHarness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles and attaches a single-clock monitor; its
+    /// [`Monitor::clock`] must name a domain of `clocks`. Returns the
+    /// monitor's index for [`BatchHarness::hits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor's clock is not in `clocks`.
+    pub fn attach(&mut self, clocks: &ClockSet, monitor: &Monitor) -> usize {
+        let clock = clocks
+            .lookup(monitor.clock())
+            .unwrap_or_else(|| panic!("monitor clock `{}` not in clock set", monitor.clock()));
+        let bank = match self.banks.iter_mut().find(|b| b.clock == clock) {
+            Some(b) => b,
+            None => {
+                self.banks.push(DomainBank {
+                    clock,
+                    bank: MonitorBank::new(),
+                    attach_order: Vec::new(),
+                });
+                self.banks.last_mut().expect("just pushed")
+            }
+        };
+        let idx = self.hits.len();
+        bank.bank.add(monitor);
+        bank.attach_order.push(idx);
+        self.hits.push(Vec::new());
+        idx
+    }
+
+    /// Number of attached monitors.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether no monitor is attached.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Feeds a chunk of global steps: each domain's ticks are
+    /// projected out of the chunk into a contiguous buffer, then the
+    /// domain's bank runs monitor-major over it (each monitor's
+    /// tables stay hot for the whole chunk). Detections are logged at
+    /// the originating step's global time.
+    pub fn observe_batch(&mut self, _clocks: &ClockSet, steps: &[GlobalStep]) {
+        let BatchHarness {
+            banks,
+            hits,
+            vals,
+            times,
+        } = self;
+        for DomainBank {
+            clock,
+            bank,
+            attach_order,
+        } in banks.iter_mut()
+        {
+            vals.clear();
+            times.clear();
+            for step in steps {
+                if let Some(v) = step.tick_of(*clock) {
+                    vals.push(v);
+                    times.push(step.time);
+                }
+            }
+            bank.feed_with(vals, |slot, off| {
+                hits[attach_order[slot]].push(times[off]);
+            });
+        }
+    }
+
+    /// Global times at which monitor `idx` completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn hits(&self, idx: usize) -> &[u64] {
+        &self.hits[idx]
     }
 }
 
@@ -146,6 +302,52 @@ pub fn run_decoupled(
         sim.run_with(global_steps, |_, step| {
             tx.send((step.clone(), ())).expect("monitor thread alive");
         });
+        drop(tx);
+        monitor_thread.join().expect("monitor thread panicked")
+    })
+}
+
+/// Batched variant of [`run_decoupled`]: the simulation thread sends
+/// [`HARNESS_CHUNK`]-sized chunks of steps over the channel and the
+/// monitor thread drives a [`BatchHarness`], so per-message overhead
+/// and per-step guard interpretation are both amortised.
+///
+/// Produces exactly the hit times [`run_decoupled`] would for the
+/// same simulation (property: chunking never changes verdicts).
+pub fn run_decoupled_batched(
+    sim: &mut crate::kernel::Simulation,
+    global_steps: usize,
+    monitors: &[&Monitor],
+) -> Vec<Vec<u64>> {
+    let (tx, rx) = channel::bounded::<Vec<GlobalStep>>(64);
+    let clocks = sim.clocks().clone();
+
+    std::thread::scope(|scope| {
+        let monitor_clocks = clocks.clone();
+        let monitor_thread = scope.spawn(move || {
+            let mut harness = BatchHarness::new();
+            for m in monitors {
+                harness.attach(&monitor_clocks, m);
+            }
+            while let Ok(chunk) = rx.recv() {
+                harness.observe_batch(&monitor_clocks, &chunk);
+            }
+            (0..monitors.len())
+                .map(|i| harness.hits(i).to_vec())
+                .collect::<Vec<_>>()
+        });
+
+        let mut pending: Vec<GlobalStep> = Vec::with_capacity(HARNESS_CHUNK);
+        sim.run_with(global_steps, |_, step| {
+            pending.push(step.clone());
+            if pending.len() >= HARNESS_CHUNK {
+                tx.send(std::mem::take(&mut pending))
+                    .expect("monitor thread alive");
+            }
+        });
+        if !pending.is_empty() {
+            tx.send(pending).expect("monitor thread alive");
+        }
         drop(tx);
         monitor_thread.join().expect("monitor thread panicked")
     })
@@ -229,6 +431,118 @@ mod tests {
         let decoupled_hits = run_decoupled(&mut sim2, 20, &[&m]);
         assert_eq!(decoupled_hits[0], inline_hits);
         assert!(!inline_hits.is_empty());
+    }
+
+    #[test]
+    fn batch_harness_agrees_with_online_harness() {
+        let doc = handshake_doc();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let build_sim = || {
+            let mut sim = Simulation::new();
+            sim.add_clock(ClockDomain::new("clk", 1, 0));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk",
+                vec![Valuation::of([req]), Valuation::of([ack])],
+                1,
+                0,
+            )));
+            sim
+        };
+
+        let mut sim = build_sim();
+        let clocks = sim.clocks().clone();
+        let mut online = OnlineHarness::new();
+        online.attach(&clocks, &m);
+        let run = sim.run(30);
+        let steps: Vec<GlobalStep> = run.iter().cloned().collect();
+        online.observe_batch(&clocks, &steps);
+
+        let mut batch = BatchHarness::new();
+        let idx = batch.attach(&clocks, &m);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        // feed in uneven chunks: state must carry across chunk borders
+        for chunk in steps.chunks(7) {
+            batch.observe_batch(&clocks, chunk);
+        }
+        assert_eq!(batch.hits(idx), online.hits(0));
+        assert!(!batch.hits(idx).is_empty());
+    }
+
+    #[test]
+    fn batch_harness_multiple_domains() {
+        let doc = parse_document(
+            r#"
+            scesc fastp on fast { instances { A } events { go } tick { A: go } }
+            scesc slowp on slow { instances { B } events { done } tick { B: done } }
+        "#,
+        )
+        .unwrap();
+        let mf = synthesize(doc.chart("fastp").unwrap(), &SynthOptions::default()).unwrap();
+        let ms = synthesize(doc.chart("slowp").unwrap(), &SynthOptions::default()).unwrap();
+        let go = doc.alphabet.lookup("go").unwrap();
+        let done = doc.alphabet.lookup("done").unwrap();
+
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("fast", 1, 0));
+        sim.add_clock(ClockDomain::new("slow", 2, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "fast",
+            vec![Valuation::of([go])],
+            0,
+            0,
+        )));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "slow",
+            vec![Valuation::of([done])],
+            0,
+            0,
+        )));
+        let clocks = sim.clocks().clone();
+        let mut online = OnlineHarness::new();
+        online.attach(&clocks, &mf);
+        online.attach(&clocks, &ms);
+        let mut batch = BatchHarness::new();
+        let bf = batch.attach(&clocks, &mf);
+        let bs = batch.attach(&clocks, &ms);
+
+        let run = sim.run(12);
+        let steps: Vec<GlobalStep> = run.iter().cloned().collect();
+        online.observe_batch(&clocks, &steps);
+        batch.observe_batch(&clocks, &steps);
+        assert_eq!(batch.hits(bf), online.hits(0));
+        assert_eq!(batch.hits(bs), online.hits(1));
+        assert!(!batch.hits(bs).is_empty());
+    }
+
+    #[test]
+    fn decoupled_batched_agrees_with_decoupled() {
+        let doc = handshake_doc();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let build_sim = || {
+            let mut sim = Simulation::new();
+            sim.add_clock(ClockDomain::new("clk", 1, 0));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk",
+                vec![Valuation::of([req]), Valuation::of([ack])],
+                2,
+                1,
+            )));
+            sim
+        };
+
+        let mut sim1 = build_sim();
+        let reference = run_decoupled(&mut sim1, 40, &[&m]);
+        let mut sim2 = build_sim();
+        let batched = run_decoupled_batched(&mut sim2, 40, &[&m]);
+        assert_eq!(batched, reference);
+        assert!(!batched[0].is_empty());
     }
 
     #[test]

@@ -46,5 +46,7 @@ mod harness;
 mod kernel;
 
 pub use flow::{run_flow, FlowConfig, FlowError, FlowReport};
-pub use harness::{run_decoupled, OnlineHarness};
+pub use harness::{
+    run_decoupled, run_decoupled_batched, BatchHarness, OnlineHarness, HARNESS_CHUNK,
+};
 pub use kernel::{NoiseTransactor, PeriodicTransactor, ScriptedTransactor, Simulation, Transactor};

@@ -43,4 +43,4 @@ pub use clock::{ClockDomain, ClockId, ClockSet, GlobalInstant, Schedule};
 pub use gen::TraceGen;
 pub use global::{GlobalRun, GlobalStep, InterleaveError};
 pub use trace::Trace;
-pub use vcd::{read_vcd, write_vcd, VcdReadError, VcdWriteOptions};
+pub use vcd::{read_vcd, write_vcd, VcdReadError, VcdStream, VcdWriteOptions};

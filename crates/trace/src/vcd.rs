@@ -154,13 +154,214 @@ impl std::fmt::Display for VcdReadError {
 
 impl std::error::Error for VcdReadError {}
 
+/// Streaming VCD reader: parses the header eagerly, then yields
+/// sampled valuations in caller-sized chunks instead of materialising
+/// the whole trace.
+///
+/// This is the input side of the batched monitoring path: the decoded
+/// trace stays bounded (one chunk resident at a time) no matter how
+/// many ticks the dump holds. The VCD *text* itself is borrowed as
+/// one `&str`, so the caller still pays for the raw dump bytes — the
+/// stream removes the whole-`Trace` copy, not the text. [`read_vcd`]
+/// is the convenience wrapper that drains the stream into one
+/// [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// use cesc_trace::{write_vcd, VcdStream, VcdWriteOptions, Trace};
+///
+/// let mut ab = Alphabet::new();
+/// let req = ab.event("req");
+/// let t = Trace::from_elements(vec![Valuation::of([req]); 10]);
+/// let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+///
+/// let mut stream = VcdStream::new(&vcd, &ab, "clk")?;
+/// let mut chunk = Vec::new();
+/// let mut total = 0;
+/// while stream.next_chunk(&mut chunk, 4)? > 0 {
+///     total += chunk.len(); // at most 4 ticks resident at a time
+/// }
+/// assert_eq!(total, 10);
+/// # Ok::<(), cesc_trace::VcdReadError>(())
+/// ```
+#[derive(Debug)]
+pub struct VcdStream<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    code_to_symbol: HashMap<String, SymbolId>,
+    clock_code: String,
+    current: Valuation,
+    clock_level: bool,
+    /// All changes dumped at one `#time` are simultaneous: a rising
+    /// clock edge samples the signal values *after* every change of
+    /// that timestamp has been applied, so the sample is deferred
+    /// until the timestamp advances (or input ends).
+    pending_sample: bool,
+    done: bool,
+}
+
+impl<'a> VcdStream<'a> {
+    /// Parses the VCD header and positions the stream at the first
+    /// value change.
+    ///
+    /// Signals present in the VCD but absent from `alphabet` are
+    /// ignored; alphabet symbols absent from the VCD read as constant
+    /// false. Multi-bit vector changes (`b... id`) are treated as true
+    /// iff any bit is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcdReadError::MissingClock`] if `clock_name` is not
+    /// declared, or [`VcdReadError::Malformed`] on an unparseable
+    /// `$var` declaration.
+    pub fn new(
+        vcd: &'a str,
+        alphabet: &Alphabet,
+        clock_name: &str,
+    ) -> Result<Self, VcdReadError> {
+        let mut code_to_symbol: HashMap<String, SymbolId> = HashMap::new();
+        let mut clock_code: Option<String> = None;
+
+        let mut lines = vcd.lines().enumerate();
+        for (lineno, line) in lines.by_ref() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.first() == Some(&"$var") {
+                // $var wire 1 <code> <name> [$end]
+                if toks.len() < 5 {
+                    return Err(VcdReadError::Malformed {
+                        line: lineno + 1,
+                        message: "short $var declaration".to_owned(),
+                    });
+                }
+                let code = toks[3].to_owned();
+                let name = toks[4];
+                if name == clock_name {
+                    clock_code = Some(code);
+                } else if let Some(id) = alphabet.lookup(name) {
+                    code_to_symbol.insert(code, id);
+                }
+            } else if toks.first() == Some(&"$enddefinitions") {
+                break;
+            }
+        }
+        let clock_code = clock_code.ok_or_else(|| VcdReadError::MissingClock {
+            name: clock_name.to_owned(),
+        })?;
+
+        Ok(VcdStream {
+            lines,
+            code_to_symbol,
+            clock_code,
+            current: Valuation::empty(),
+            clock_level: false,
+            pending_sample: false,
+            done: false,
+        })
+    }
+
+    /// Clears `buf` and refills it with up to `max` sampled
+    /// valuations, returning how many were produced. `Ok(0)` signals
+    /// end of input — except that `max == 0` also returns `Ok(0)`
+    /// without consuming anything (like `Read::read` with an empty
+    /// buffer), so never poll for end of input with a zero chunk
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcdReadError::Malformed`] on unparseable value
+    /// changes. An error poisons the stream: every subsequent call
+    /// returns `Ok(0)`, so a caller that retries cannot silently
+    /// resume past corrupt input.
+    pub fn next_chunk(
+        &mut self,
+        buf: &mut Vec<Valuation>,
+        max: usize,
+    ) -> Result<usize, VcdReadError> {
+        buf.clear();
+        if self.done || max == 0 {
+            return Ok(0);
+        }
+        while buf.len() < max {
+            let Some((lineno, raw)) = self.lines.next() else {
+                self.done = true;
+                if self.pending_sample {
+                    self.pending_sample = false;
+                    buf.push(self.current);
+                }
+                break;
+            };
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('$') {
+                continue; // directives ($dumpvars bodies are value changes)
+            }
+            if line.strip_prefix('#').is_some() {
+                if self.pending_sample {
+                    self.pending_sample = false;
+                    buf.push(self.current);
+                }
+                continue;
+            }
+            let (value, code) = match parse_change(line, lineno) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            if code == self.clock_code {
+                if value && !self.clock_level {
+                    self.pending_sample = true; // rising edge: sample at block end
+                }
+                self.clock_level = value;
+            } else if let Some(&id) = self.code_to_symbol.get(code) {
+                if value {
+                    self.current.insert(id);
+                } else {
+                    self.current.remove(id);
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+}
+
+/// Parses one VCD value-change line into `(value, identifier code)`.
+fn parse_change(line: &str, lineno: usize) -> Result<(bool, &str), VcdReadError> {
+    if let Some(rest) = line.strip_prefix('b') {
+        // vector: b<binary> <code>
+        let mut parts = rest.split_whitespace();
+        let bits = parts.next().unwrap_or("");
+        let code = parts.next().ok_or_else(|| VcdReadError::Malformed {
+            line: lineno + 1,
+            message: "vector change missing identifier".to_owned(),
+        })?;
+        Ok((bits.contains('1'), code))
+    } else {
+        let mut chars = line.chars();
+        let v = chars.next().ok_or_else(|| VcdReadError::Malformed {
+            line: lineno + 1,
+            message: "empty value change".to_owned(),
+        })?;
+        let value = match v {
+            '1' => true,
+            '0' | 'x' | 'X' | 'z' | 'Z' => false,
+            other => {
+                return Err(VcdReadError::Malformed {
+                    line: lineno + 1,
+                    message: format!("unsupported value change `{other}`"),
+                })
+            }
+        };
+        Ok((value, chars.as_str().trim()))
+    }
+}
+
 /// Parses VCD text and samples the signals named in `alphabet` at each
 /// rising edge of `clock_name`, returning the reconstructed trace.
 ///
-/// Signals present in the VCD but absent from `alphabet` are ignored;
-/// alphabet symbols absent from the VCD read as constant false.
-/// Multi-bit vector changes (`b... id`) are treated as true iff any bit
-/// is 1.
+/// Convenience wrapper draining a [`VcdStream`] — use the stream
+/// directly to check long waveforms in bounded memory.
 ///
 /// # Errors
 ///
@@ -171,102 +372,11 @@ pub fn read_vcd(
     alphabet: &Alphabet,
     clock_name: &str,
 ) -> Result<Trace, VcdReadError> {
-    let mut code_to_symbol: HashMap<String, SymbolId> = HashMap::new();
-    let mut clock_code: Option<String> = None;
-
-    let mut lines = vcd.lines().enumerate();
-    // header
-    for (lineno, line) in lines.by_ref() {
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        if toks.first() == Some(&"$var") {
-            // $var wire 1 <code> <name> [$end]
-            if toks.len() < 5 {
-                return Err(VcdReadError::Malformed {
-                    line: lineno + 1,
-                    message: "short $var declaration".to_owned(),
-                });
-            }
-            let code = toks[3].to_owned();
-            let name = toks[4];
-            if name == clock_name {
-                clock_code = Some(code);
-            } else if let Some(id) = alphabet.lookup(name) {
-                code_to_symbol.insert(code, id);
-            }
-        } else if toks.first() == Some(&"$enddefinitions") {
-            break;
-        }
-    }
-    let clock_code = clock_code.ok_or_else(|| VcdReadError::MissingClock {
-        name: clock_name.to_owned(),
-    })?;
-
-    let mut current = Valuation::empty();
-    let mut clock_level = false;
+    let mut stream = VcdStream::new(vcd, alphabet, clock_name)?;
     let mut trace = Trace::new();
-    // All changes dumped at one `#time` are simultaneous: a rising clock
-    // edge samples the signal values *after* every change of that
-    // timestamp has been applied, so the sample is deferred until the
-    // timestamp advances.
-    let mut pending_sample = false;
-
-    for (lineno, raw) in lines {
-        let line = raw.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line.starts_with('$') {
-            continue; // directives ($dumpvars bodies are value changes)
-        }
-        if let Some(_ts) = line.strip_prefix('#') {
-            if pending_sample {
-                trace.push(current);
-                pending_sample = false;
-            }
-            continue;
-        }
-        let (value_part, code) = if let Some(rest) = line.strip_prefix('b') {
-            // vector: b<binary> <code>
-            let mut parts = rest.split_whitespace();
-            let bits = parts.next().unwrap_or("");
-            let code = parts.next().ok_or_else(|| VcdReadError::Malformed {
-                line: lineno + 1,
-                message: "vector change missing identifier".to_owned(),
-            })?;
-            (bits.contains('1'), code.to_owned())
-        } else {
-            let mut chars = line.chars();
-            let v = chars.next().ok_or_else(|| VcdReadError::Malformed {
-                line: lineno + 1,
-                message: "empty value change".to_owned(),
-            })?;
-            let value = match v {
-                '1' => true,
-                '0' | 'x' | 'X' | 'z' | 'Z' => false,
-                other => {
-                    return Err(VcdReadError::Malformed {
-                        line: lineno + 1,
-                        message: format!("unsupported value change `{other}`"),
-                    })
-                }
-            };
-            (value, chars.as_str().trim().to_owned())
-        };
-        if code == clock_code {
-            if value_part && !clock_level {
-                pending_sample = true; // rising edge: sample at block end
-            }
-            clock_level = value_part;
-        } else if let Some(&id) = code_to_symbol.get(&code) {
-            if value_part {
-                current.insert(id);
-            } else {
-                current.remove(id);
-            }
-        }
-    }
-    if pending_sample {
-        trace.push(current);
+    let mut chunk = Vec::new();
+    while stream.next_chunk(&mut chunk, 4096)? > 0 {
+        trace.extend(chunk.iter().copied());
     }
     Ok(trace)
 }
@@ -382,6 +492,79 @@ b0000 \"
         assert_eq!(t.len(), 2);
         assert!(t[0].contains(a));
         assert!(!t[1].contains(a));
+    }
+
+    #[test]
+    fn streaming_chunks_equal_whole_file_read() {
+        let (ab, a, b) = setup();
+        // 100 ticks of varied activity
+        let t: Trace = (0..100u32)
+            .map(|i| {
+                let mut v = Valuation::empty();
+                if i % 2 == 0 {
+                    v.insert(a);
+                }
+                if i % 3 == 0 {
+                    v.insert(b);
+                }
+                v
+            })
+            .collect();
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        let whole = read_vcd(&vcd, &ab, "clk").unwrap();
+        assert_eq!(whole, t);
+        for chunk_size in [1usize, 3, 7, 64, 1000] {
+            let mut stream = VcdStream::new(&vcd, &ab, "clk").unwrap();
+            let mut got = Trace::new();
+            let mut chunk = Vec::new();
+            loop {
+                let n = stream.next_chunk(&mut chunk, chunk_size).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(chunk.len() <= chunk_size);
+                got.extend(chunk.iter().copied());
+            }
+            assert_eq!(got, t, "chunk size {chunk_size}");
+            // drained stream stays at EOF
+            assert_eq!(stream.next_chunk(&mut chunk, chunk_size).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn error_poisons_stream() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$var wire 1 \" req $end
+$enddefinitions $end
+#0
+1!
+#5
+0!
+q\"
+#10
+1!
+";
+        let mut stream = VcdStream::new(vcd, &ab, "clk").unwrap();
+        let mut chunk = Vec::new();
+        assert!(matches!(
+            stream.next_chunk(&mut chunk, 100),
+            Err(VcdReadError::Malformed { line: 8, .. })
+        ));
+        // a retry must NOT resume past the corrupt line
+        assert_eq!(stream.next_chunk(&mut chunk, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn stream_reports_missing_clock() {
+        let (ab, _, _) = setup();
+        let t = Trace::from_elements([Valuation::empty()]);
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        assert!(matches!(
+            VcdStream::new(&vcd, &ab, "ghost"),
+            Err(VcdReadError::MissingClock { .. })
+        ));
     }
 
     #[test]

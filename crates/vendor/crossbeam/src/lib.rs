@@ -1,0 +1,148 @@
+//! Offline shim for `crossbeam`: the [`channel`] module, backed by
+//! `std::sync::mpsc`. Only the MPSC subset is provided (senders clone,
+//! receivers do not), which is what this workspace's decoupled
+//! monitoring harness uses.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels with crossbeam's constructor/return-type
+/// shapes (`bounded`, `unbounded`, `Result`-returning `send`/`recv`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: SenderKind<T>,
+    }
+
+    #[derive(Debug)]
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: match &self.inner {
+                    SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                    SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+                },
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiving side disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SenderKind::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                SenderKind::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking until one is available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    /// A channel buffering at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// A channel with an unbounded buffer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn unbounded_and_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        h.join().unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline shim for `proptest`: the strategy combinators and the
+//! `proptest!` macro used by this workspace's property tests.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports the generated inputs'
+//!   `Debug` form and the case number, not a minimal counterexample;
+//! * generation is deterministic: case `k` of test `t` derives its RNG
+//!   seed from `hash(t) ⊕ k`, so failures reproduce across runs;
+//! * only the combinators this workspace uses are provided
+//!   ([`strategy::Strategy::prop_map`],
+//!   [`strategy::Strategy::prop_recursive`],
+//!   [`strategy::Strategy::boxed`], [`collection::vec`], tuples,
+//!   ranges, [`strategy::Just`], [`strategy::any`], `prop_oneof!`).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Value-collection strategies ([`collection::vec`]).
+pub mod collection {
+    use std::fmt;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by [`vec()`]: a fixed length or a half-open
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` built by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing vectors of `element` with a length drawn
+    /// from `size` (a `usize` or `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec` works as in the real
+    /// crate.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Disjunction of strategies: `prop_oneof![a, b, c]` picks one arm
+/// uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test failure assertion: like `assert!` but returns a
+/// [`test_runner::TestCaseError`] so the runner can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                    l, r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Property-test inequality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left != right`\n  both: {:?}", l),
+            ));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` random
+/// cases, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::Runner::new(config, stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)+
+                    let inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, b in 0u8..32) {
+            prop_assert!(x < 10);
+            prop_assert!(b < 32);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0usize..5, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4, "len {}", v.len());
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0usize..3, any::<bool>())) {
+            prop_assert!(pair.0 < 3);
+            let _: bool = pair.1;
+        }
+
+        #[test]
+        fn map_and_oneof(x in prop_oneof![Just(1usize), (5usize..7).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || x == 50 || x == 60, "{x}");
+        }
+
+        #[test]
+        fn early_return_ok(x in 0usize..2) {
+            if x == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(x, 1);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(usize),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_respects_depth(
+            t in (0usize..4).prop_map(Tree::Leaf).prop_recursive(3, 24, 3, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3, "depth {} of {:?}", depth(&t), t);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, Runner};
+        let collect = || {
+            let mut out = Vec::new();
+            let mut r = Runner::new(ProptestConfig::with_cases(16), "determinism");
+            r.run(|rng| {
+                out.push((0usize..1000).generate(rng));
+                (String::new(), Ok(()))
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

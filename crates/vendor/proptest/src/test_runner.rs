@@ -1,0 +1,155 @@
+//! The case runner behind the `proptest!` macro.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure of one test case, produced by the `prop_assert*` macros or
+/// an explicit `Err` return.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the string explains why.
+    Fail(String),
+    /// The case was rejected (inputs outside the property's domain).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per (test name, case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_hash: u64, case: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(test_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `u64` below `n` (`n > 0`).
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        self.u64_below(den) < num
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Executes the per-case closure `cases` times, panicking with the
+/// generated inputs on the first failure.
+#[derive(Debug)]
+pub struct Runner {
+    config: ProptestConfig,
+    test_hash: u64,
+    name: &'static str,
+}
+
+impl Runner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Runner {
+            config,
+            test_hash: fnv1a(name),
+            name,
+        }
+    }
+
+    /// Runs all cases. `case` returns the inputs' rendered form plus
+    /// the outcome; panics inside the case body are caught and
+    /// re-raised with the inputs attached via stderr.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        for k in 0..self.config.cases {
+            let mut rng = TestRng::for_case(self.test_hash, k as u64);
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+            match outcome {
+                Ok((_, Ok(()))) => {}
+                Ok((_, Err(TestCaseError::Reject(_)))) => {}
+                Ok((inputs, Err(TestCaseError::Fail(msg)))) => {
+                    panic!(
+                        "proptest `{}` failed at case {k}/{}: {msg}\n  inputs: {inputs}",
+                        self.name, self.config.cases
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest `{}` panicked at case {k}/{} (inputs unavailable: generated before panic)",
+                        self.name, self.config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the slice of the rand 0.9 API this workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_bool`] and [`Rng::random_range`]. The generator is
+//! xoshiro256** seeded via splitmix64 — deterministic per seed, which
+//! is all the trace generators and noise transactors require.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator: the core sampling interface.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53-bit uniform in [0,1)
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A uniformly random value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Seedable construction of a generator.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types [`Rng::random_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u64` relative to `lo` (the range's start).
+    fn offset_from(self, lo: Self) -> u64;
+    /// Inverse of [`UniformInt::offset_from`].
+    fn offset_to(lo: Self, delta: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn offset_from(self, lo: Self) -> u64 {
+                self.wrapping_sub(lo) as u64
+            }
+            fn offset_to(lo: Self, delta: u64) -> Self {
+                lo.wrapping_add(delta as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Ranges that can be sampled by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+fn uniform_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    // Lemire's rejection-free-ish multiply-shift with a retry loop to
+    // remove modulo bias.
+    assert!(n > 0, "cannot sample an empty range");
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let span = self.end.offset_from(self.start);
+        assert!(span > 0, "cannot sample empty range");
+        T::offset_to(self.start, uniform_below(rng, span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        let span = hi.offset_from(lo);
+        if span == u64::MAX {
+            return T::offset_to(lo, rng.next_u64());
+        }
+        T::offset_to(lo, uniform_below(rng, span + 1))
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// splitmix64 (not the real `StdRng`'s ChaCha12, but the same
+    /// reproducibility contract: identical seeds give identical
+    /// streams).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn random_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x: usize = r.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: usize = r.random_range(0..=5);
+            assert!(y <= 5);
+        }
+        assert_eq!(r.random_range(4..=4usize), 4);
+    }
+
+    #[test]
+    fn random_bool_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+}

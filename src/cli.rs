@@ -13,9 +13,9 @@
 use std::fmt;
 
 use cesc_chart::{parse_document, render_ascii, Document, Scesc};
-use cesc_core::{analyze, synthesize, to_dot, SynthOptions};
+use cesc_core::{analyze, synthesize, to_dot, SynthOptions, BATCH_CHUNK};
 use cesc_hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
-use cesc_trace::read_vcd;
+use cesc_trace::VcdStream;
 
 /// Error from a CLI command.
 #[derive(Debug)]
@@ -129,6 +129,11 @@ pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<S
 }
 
 /// `cesc check`: run the chart's monitor over a VCD waveform.
+///
+/// The waveform is streamed: VCD samples are pulled in
+/// [`BATCH_CHUNK`]-sized chunks and fed to the compiled batch engine,
+/// so the decoded trace never materialises in full — resident memory
+/// is the VCD text plus one chunk, not text plus a whole-trace copy.
 pub fn check(
     source: &str,
     chart_name: &str,
@@ -139,9 +144,22 @@ pub fn check(
     let chart = pick(&doc, Some(chart_name))?;
     let monitor =
         synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let trace = read_vcd(vcd_text, &doc.alphabet, clock)
+    let mut stream = VcdStream::new(vcd_text, &doc.alphabet, clock)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let report = monitor.scan(&trace);
+    let compiled = monitor.compiled();
+    let mut exec = compiled.executor();
+    let mut hits = Vec::new();
+    let mut chunk = Vec::new();
+    loop {
+        let n = stream
+            .next_chunk(&mut chunk, BATCH_CHUNK)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        exec.feed(&chunk, &mut hits);
+    }
+    let report = exec.finish(hits);
     let verdict = if report.detected() { "DETECTED" } else { "NOT OBSERVED" };
     Ok(format!(
         "chart `{}` over {} sampled cycles: {} — {} occurrence(s) at ticks {:?}, \

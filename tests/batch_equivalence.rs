@@ -1,0 +1,186 @@
+//! Property tests for the batched engine: over any trace and any
+//! chunking, `scan_batch` / `BatchExec::feed` / `MonitorBank` produce
+//! exactly the verdicts of the step-wise `Monitor::scan` — same
+//! detection ticks, same final state, same underflow count.
+
+use cesc::core::{synthesize, MonitorBank, OverlapPolicy, SynthOptions};
+use cesc::expr::{SymbolId, Valuation};
+use cesc::prelude::{parse_document, Alphabet, ScescBuilder};
+use cesc::trace::Trace;
+use proptest::prelude::*;
+
+const SYMS: usize = 4;
+
+/// A random pattern element: up to 3 literals over a 4-symbol
+/// alphabet.
+fn arb_element() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..SYMS, any::<bool>()), 0..3)
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
+    prop::collection::vec(arb_element(), 1..5)
+}
+
+fn arb_trace(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..(1 << SYMS) as u8, len)
+}
+
+/// Successive chunk lengths; the tail of the trace rides in one final
+/// chunk.
+fn arb_chunking() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..9, 0..8)
+}
+
+fn build_chart(pattern: &[Vec<(usize, bool)>]) -> Option<(Alphabet, cesc::chart::Scesc)> {
+    let mut ab = Alphabet::new();
+    let ids: Vec<SymbolId> = (0..SYMS).map(|i| ab.event(&format!("s{i}"))).collect();
+    let mut b = ScescBuilder::new("prop", "clk");
+    let m = b.instance("M");
+    for elem in pattern {
+        b.tick();
+        for &(sym, positive) in elem {
+            if positive {
+                b.event(m, ids[sym]);
+            } else {
+                b.absent_event(m, ids[sym]);
+            }
+        }
+    }
+    let chart = b.build().ok()?;
+    for p in chart.extract_pattern() {
+        if !cesc::expr::sat::is_satisfiable(&p) {
+            return None;
+        }
+    }
+    Some((ab, chart))
+}
+
+fn decode_trace(raw: &[u8]) -> Trace {
+    raw.iter()
+        .map(|&bits| Valuation::from_bits(bits as u128))
+        .collect()
+}
+
+/// A chart with a causality arrow, so the scoreboard (`Add`/`Del`/
+/// `Chk`) paths are exercised, not just pure pattern matching.
+fn causality_doc() -> cesc::chart::Document {
+    parse_document(
+        r#"
+        scesc cz on clk {
+            instances { A, B }
+            events { s0, s1, s2, s3 }
+            tick { A: s0 }
+            tick ;
+            tick { B: s2 }
+            cause s0 -> s2;
+        }
+    "#,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `scan_batch` equals step-wise `scan` on arbitrary charts and
+    /// traces, under both overlap policies.
+    #[test]
+    fn scan_batch_equals_scan(
+        pattern in arb_pattern(),
+        raw in arb_trace(32),
+    ) {
+        let Some((_ab, chart)) = build_chart(&pattern) else {
+            return Ok(());
+        };
+        let trace = decode_trace(&raw);
+        for policy in [OverlapPolicy::Satisfiability, OverlapPolicy::Witness] {
+            let opts = SynthOptions { overlap: policy, ..Default::default() };
+            let monitor = synthesize(&chart, &opts).unwrap();
+            let stepwise = monitor.scan(&trace);
+            let batched = monitor.scan_batch(trace.as_slice());
+            prop_assert_eq!(&stepwise, &batched, "policy {:?}", policy);
+        }
+    }
+
+    /// Feeding the trace through `BatchExec` in ANY chunking yields the
+    /// same verdict and the same detection indices as one step-wise
+    /// pass — chunk borders are semantically invisible.
+    #[test]
+    fn any_chunking_equals_stepwise(
+        pattern in arb_pattern(),
+        raw in arb_trace(32),
+        chunking in arb_chunking(),
+    ) {
+        let Some((_ab, chart)) = build_chart(&pattern) else {
+            return Ok(());
+        };
+        let trace = decode_trace(&raw);
+        let monitor = synthesize(&chart, &SynthOptions::default()).unwrap();
+        let reference = monitor.scan(&trace);
+
+        let compiled = monitor.compiled();
+        let mut exec = compiled.executor();
+        let mut hits = Vec::new();
+        let elements = trace.as_slice();
+        let mut at = 0usize;
+        for &len in &chunking {
+            let end = (at + len).min(elements.len());
+            exec.feed(&elements[at..end], &mut hits);
+            at = end;
+        }
+        exec.feed(&elements[at..], &mut hits);
+        let report = exec.finish(hits);
+        prop_assert_eq!(&report, &reference, "chunking {:?}", chunking);
+    }
+
+    /// A causality chart (scoreboard actions live) under random traffic:
+    /// batch and step-wise agree on matches AND underflow accounting.
+    #[test]
+    fn causality_chart_batch_equals_scan(raw in arb_trace(48)) {
+        let doc = causality_doc();
+        let monitor = synthesize(doc.chart("cz").unwrap(), &SynthOptions::default()).unwrap();
+        let trace = decode_trace(&raw);
+        let stepwise = monitor.scan(&trace);
+        let batched = monitor.scan_batch(trace.as_slice());
+        prop_assert_eq!(stepwise, batched);
+    }
+
+    /// A bank over several monitors equals independent step-wise scans
+    /// of each, for any chunking of the shared feed.
+    #[test]
+    fn bank_equals_independent_scans(
+        p1 in arb_pattern(),
+        p2 in arb_pattern(),
+        raw in arb_trace(32),
+        chunking in arb_chunking(),
+    ) {
+        let Some((_a1, c1)) = build_chart(&p1) else { return Ok(()); };
+        let Some((_a2, c2)) = build_chart(&p2) else { return Ok(()); };
+        let trace = decode_trace(&raw);
+        let doc = causality_doc();
+        let monitors = vec![
+            synthesize(&c1, &SynthOptions::default()).unwrap(),
+            synthesize(&c2, &SynthOptions::default()).unwrap(),
+            synthesize(doc.chart("cz").unwrap(), &SynthOptions::default()).unwrap(),
+        ];
+
+        let mut bank = MonitorBank::new();
+        for m in &monitors {
+            bank.add(m);
+        }
+        let elements = trace.as_slice();
+        let mut at = 0usize;
+        for &len in &chunking {
+            let end = (at + len).min(elements.len());
+            bank.feed(&elements[at..end]);
+            at = end;
+        }
+        bank.feed(&elements[at..]);
+
+        let reports = bank.reports();
+        for (i, m) in monitors.iter().enumerate() {
+            let reference = m.scan(&trace);
+            prop_assert_eq!(&reports[i], &reference, "monitor {}", i);
+        }
+    }
+}
