@@ -2,12 +2,16 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test doc bench clean
+.PHONY: verify verify-bench build test doc bench clean
 
-verify: ## release build + full test suite + clean rustdoc
+verify: ## release build + full test suite + clean rustdoc + benches compile
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(CARGO) doc --no-deps
+	$(MAKE) verify-bench
+
+verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
+	$(CARGO) bench -p cesc-bench --no-run
 
 build:
 	$(CARGO) build --release

@@ -202,6 +202,12 @@ pub struct CompiledMonitor {
     /// Highest symbol index mentioned anywhere, for sizing the count
     /// table (`usize::MAX` when no symbol occurs).
     max_symbol: usize,
+    /// Symbols this monitor reads from or writes to the scoreboard
+    /// (`Chk_evt` targets plus `Add_evt`/`Del_evt` targets). Two
+    /// monitors with disjoint touched sets cannot observe each other
+    /// through a shared scoreboard — `CompiledMultiClock` uses this to
+    /// pick its clock-major fast path.
+    touched: u128,
 }
 
 impl CompiledMonitor {
@@ -217,6 +223,7 @@ impl CompiledMonitor {
         let mut actions = Vec::new();
         let mut max_symbol = 0usize;
         let mut saw_symbol = false;
+        let mut touched = 0u128;
         let mut note = |id: SymbolId| {
             max_symbol = max_symbol.max(id.index());
             saw_symbol = true;
@@ -230,6 +237,7 @@ impl CompiledMonitor {
                 for id in t.guard.symbols().iter().chain(t.guard.chk_targets().iter()) {
                     note(id);
                 }
+                touched |= t.guard.chk_targets().bits();
                 let mut mask = GuardMask::default();
                 match GuardMask::build(&t.guard, false, &mut mask) {
                     Some(()) => {
@@ -249,12 +257,14 @@ impl CompiledMonitor {
                         Action::AddEvt(es) => {
                             for &e in es {
                                 note(e);
+                                touched |= 1u128 << e.index();
                                 actions.push(PackedAction::Add(e.index() as u32));
                             }
                         }
                         Action::DelEvt(es) => {
                             for &e in es {
                                 note(e);
+                                touched |= 1u128 << e.index();
                                 actions.push(PackedAction::Del(e.index() as u32));
                             }
                         }
@@ -278,7 +288,23 @@ impl CompiledMonitor {
             initial: monitor.initial().index() as u32,
             final_state: monitor.final_state().index() as u32,
             max_symbol: if saw_symbol { max_symbol } else { usize::MAX },
+            touched,
         }
+    }
+
+    /// Number of count slots a scoreboard for this monitor needs.
+    pub(crate) fn count_slots(&self) -> usize {
+        if self.max_symbol == usize::MAX {
+            0
+        } else {
+            self.max_symbol + 1
+        }
+    }
+
+    /// Bitmask of symbols with scoreboard traffic (`Chk_evt` reads plus
+    /// `Add_evt`/`Del_evt` writes).
+    pub(crate) fn touched_symbols(&self) -> u128 {
+        self.touched
     }
 
     /// The source monitor's name.
@@ -312,51 +338,75 @@ impl CompiledMonitor {
         BatchExec {
             monitor: self,
             state: ExecState::new(self),
+            board: BatchBoard::sized(self.count_slots()),
         }
     }
 }
 
-/// The mutable runtime of one compiled monitor, separated from the
-/// table so banks can own many runtimes over shared compilation
-/// artifacts.
-#[derive(Debug, Clone)]
-struct ExecState {
-    state: u32,
-    /// Per-symbol occurrence counts (the scoreboard).
+/// The counts-only scoreboard of the batch engine: a flat count array
+/// plus a presence bitmap so `Chk_evt` masks cost one `u128` test.
+///
+/// Separated from [`ExecState`] so it can be *shared*: single-clock
+/// executors own one board each, while [`crate::CompiledMultiClock`]
+/// threads one board through every local monitor — the batched form of
+/// the paper's shared scoreboard.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchBoard {
+    /// Per-symbol occurrence counts.
     counts: Vec<u32>,
-    /// Bit `i` set iff `counts[i] > 0` — makes `Chk_evt` masks one
-    /// `u128` test.
+    /// Bit `i` set iff `counts[i] > 0`.
     sb_bits: u128,
     underflows: u64,
+}
+
+impl BatchBoard {
+    pub(crate) fn sized(slots: usize) -> Self {
+        BatchBoard {
+            counts: vec![0; slots],
+            sb_bits: 0,
+            underflows: 0,
+        }
+    }
+
+    pub(crate) fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.sb_bits = 0;
+        self.underflows = 0;
+    }
+}
+
+/// The mutable control state of one compiled monitor, separated from
+/// the table (so banks own many runtimes over shared compilation
+/// artifacts) and from the scoreboard (so multi-clock locals can share
+/// one board).
+#[derive(Debug, Clone)]
+pub(crate) struct ExecState {
+    state: u32,
     ticks: u64,
     /// Reused evaluation stack for program guards.
     stack: Vec<bool>,
 }
 
 impl ExecState {
-    fn new(m: &CompiledMonitor) -> Self {
-        let slots = if m.max_symbol == usize::MAX {
-            0
-        } else {
-            m.max_symbol + 1
-        };
+    pub(crate) fn new(m: &CompiledMonitor) -> Self {
         ExecState {
             state: m.initial,
-            counts: vec![0; slots],
-            sb_bits: 0,
-            underflows: 0,
             ticks: 0,
             stack: Vec::with_capacity(8),
         }
     }
 
     #[inline(always)]
-    fn eval_program(&mut self, m: &CompiledMonitor, start: u32, len: u32, v: u128) -> bool {
+    fn eval_program(&mut self, m: &CompiledMonitor, start: u32, len: u32, v: u128, sb: u128) -> bool {
         self.stack.clear();
         for op in &m.ops[start as usize..(start + len) as usize] {
             match *op {
                 GuardOp::Sym(i) => self.stack.push(v >> i & 1 == 1),
-                GuardOp::Chk(i) => self.stack.push(self.sb_bits >> i & 1 == 1),
+                GuardOp::Chk(i) => self.stack.push(sb >> i & 1 == 1),
                 GuardOp::Const(b) => self.stack.push(b),
                 GuardOp::Not => {
                     let top = self.stack.last_mut().expect("well-formed program");
@@ -379,18 +429,20 @@ impl ExecState {
         self.stack.pop().expect("program leaves one value")
     }
 
-    /// Consumes one valuation; returns whether the final state was
-    /// entered.
+    /// Consumes one valuation against `board`; returns whether the
+    /// final state was entered.
     #[inline(always)]
-    fn step(&mut self, m: &CompiledMonitor, v: Valuation) -> bool {
+    pub(crate) fn step(&mut self, m: &CompiledMonitor, v: Valuation, board: &mut BatchBoard) -> bool {
         let bits = v.bits();
         let lo = m.state_off[self.state as usize] as usize;
         let hi = m.state_off[self.state as usize + 1] as usize;
         let mut taken = usize::MAX;
         for (i, guard) in m.guards[lo..hi].iter().enumerate() {
             let holds = match *guard {
-                GuardKind::Mask(mask) => mask.eval(bits, self.sb_bits),
-                GuardKind::Program(start, len) => self.eval_program(m, start, len, bits),
+                GuardKind::Mask(mask) => mask.eval(bits, board.sb_bits),
+                GuardKind::Program(start, len) => {
+                    self.eval_program(m, start, len, bits, board.sb_bits)
+                }
             };
             if holds {
                 taken = lo + i;
@@ -406,19 +458,19 @@ impl ExecState {
         for a in &m.actions[m.action_off[taken] as usize..m.action_off[taken + 1] as usize] {
             match *a {
                 PackedAction::Add(i) => {
-                    let c = &mut self.counts[i as usize];
+                    let c = &mut board.counts[i as usize];
                     *c += 1;
-                    self.sb_bits |= 1u128 << i;
+                    board.sb_bits |= 1u128 << i;
                 }
                 PackedAction::Del(i) => {
-                    let c = &mut self.counts[i as usize];
+                    let c = &mut board.counts[i as usize];
                     if *c > 0 {
                         *c -= 1;
                         if *c == 0 {
-                            self.sb_bits &= !(1u128 << i);
+                            board.sb_bits &= !(1u128 << i);
                         }
                     } else {
-                        self.underflows += 1;
+                        board.underflows += 1;
                     }
                 }
             }
@@ -428,12 +480,13 @@ impl ExecState {
         self.state == m.final_state
     }
 
-    fn reset(&mut self, m: &CompiledMonitor) {
+    pub(crate) fn reset(&mut self, m: &CompiledMonitor) {
         self.state = m.initial;
-        self.counts.iter_mut().for_each(|c| *c = 0);
-        self.sb_bits = 0;
-        self.underflows = 0;
         self.ticks = 0;
+    }
+
+    pub(crate) fn ticks(&self) -> u64 {
+        self.ticks
     }
 }
 
@@ -470,6 +523,7 @@ impl ExecState {
 pub struct BatchExec<'m> {
     monitor: &'m CompiledMonitor,
     state: ExecState,
+    board: BatchBoard,
 }
 
 impl BatchExec<'_> {
@@ -477,7 +531,7 @@ impl BatchExec<'_> {
     /// entered (scenario detected at this tick).
     #[inline]
     pub fn step(&mut self, v: Valuation) -> bool {
-        self.state.step(self.monitor, v)
+        self.state.step(self.monitor, v, &mut self.board)
     }
 
     /// Consumes a chunk of valuations, appending the absolute tick
@@ -485,7 +539,7 @@ impl BatchExec<'_> {
     pub fn feed(&mut self, chunk: &[Valuation], hits: &mut Vec<u64>) {
         for &v in chunk {
             let tick = self.state.ticks;
-            if self.state.step(self.monitor, v) {
+            if self.state.step(self.monitor, v, &mut self.board) {
                 hits.push(tick);
             }
         }
@@ -503,13 +557,14 @@ impl BatchExec<'_> {
 
     /// `Del_evt` underflows observed so far.
     pub fn underflows(&self) -> u64 {
-        self.state.underflows
+        self.board.underflows
     }
 
     /// Resets state, scoreboard and counters to the initial
     /// configuration.
     pub fn reset(&mut self) {
         self.state.reset(self.monitor);
+        self.board.reset();
     }
 
     /// Closes the stream, producing a [`ScanReport`] consistent with
@@ -520,7 +575,7 @@ impl BatchExec<'_> {
             matches: hits,
             ticks: self.state.ticks,
             final_state: StateId::from_index(self.state.state as usize),
-            underflows: self.state.underflows,
+            underflows: self.board.underflows,
         }
     }
 }
@@ -587,9 +642,29 @@ impl Monitor {
 /// ```
 #[derive(Debug, Default)]
 pub struct MonitorBank {
-    monitors: Vec<CompiledMonitor>,
-    states: Vec<ExecState>,
-    hits: Vec<Vec<u64>>,
+    pub(crate) monitors: Vec<CompiledMonitor>,
+    pub(crate) states: Vec<ExecState>,
+    pub(crate) boards: Vec<BatchBoard>,
+    pub(crate) hits: Vec<Vec<u64>>,
+    /// Multi-clock members (compiled table + runtime); advanced only by
+    /// [`MonitorBank::feed_global`].
+    pub(crate) multis: Vec<(
+        crate::multibatch::CompiledMultiClock,
+        crate::multibatch::MultiClockBatchState,
+    )>,
+    pub(crate) multi_hits: Vec<Vec<u64>>,
+    /// Reused per-domain projection buffers for `feed_global`.
+    pub(crate) proj_vals: Vec<Valuation>,
+    pub(crate) proj_times: Vec<u64>,
+    /// The [`cesc_trace::ClockSet`] the members are currently bound to
+    /// (cleared when a member is added): name resolution runs once per
+    /// clock set, not once per chunk.
+    pub(crate) bound_clocks: Option<cesc_trace::ClockSet>,
+    /// Single-clock monitors grouped by resolved domain, so
+    /// `feed_global` projects each chunk once per *distinct* clock
+    /// (monitors whose clock is absent from the set appear in no group
+    /// and see no ticks).
+    pub(crate) clock_groups: Vec<(cesc_trace::ClockId, Vec<usize>)>,
 }
 
 impl MonitorBank {
@@ -606,19 +681,22 @@ impl MonitorBank {
     /// Attaches an already-compiled monitor; returns its index.
     pub fn add_compiled(&mut self, compiled: CompiledMonitor) -> usize {
         self.states.push(ExecState::new(&compiled));
+        self.boards.push(BatchBoard::sized(compiled.count_slots()));
         self.monitors.push(compiled);
         self.hits.push(Vec::new());
+        self.bound_clocks = None; // new member: feed_global must rebind
         self.monitors.len() - 1
     }
 
-    /// Number of attached monitors.
+    /// Number of attached single-clock monitors (multi-clock members
+    /// are counted by [`MonitorBank::multiclock_len`]).
     pub fn len(&self) -> usize {
         self.monitors.len()
     }
 
-    /// Whether the bank has no monitors.
+    /// Whether the bank has no monitors of either kind.
     pub fn is_empty(&self) -> bool {
-        self.monitors.is_empty()
+        self.monitors.is_empty() && self.multis.is_empty()
     }
 
     /// The compiled form of monitor `idx`.
@@ -638,9 +716,15 @@ impl MonitorBank {
     /// internally — callers that need their own timestamping (e.g.
     /// the global-time harness in `cesc-sim`) own the hit log.
     pub fn feed_with(&mut self, chunk: &[Valuation], mut on_hit: impl FnMut(usize, usize)) {
-        for (idx, (m, st)) in self.monitors.iter().zip(&mut self.states).enumerate() {
+        for (idx, ((m, st), board)) in self
+            .monitors
+            .iter()
+            .zip(&mut self.states)
+            .zip(&mut self.boards)
+            .enumerate()
+        {
             for (off, &v) in chunk.iter().enumerate() {
-                if st.step(m, v) {
+                if st.step(m, v, board) {
                     on_hit(idx, off);
                 }
             }
@@ -650,15 +734,16 @@ impl MonitorBank {
     /// Feeds one shared chunk to every monitor (each visits the chunk
     /// once, tables staying hot per monitor).
     pub fn feed(&mut self, chunk: &[Valuation]) {
-        for ((m, st), hits) in self
+        for (((m, st), board), hits) in self
             .monitors
             .iter()
             .zip(&mut self.states)
+            .zip(&mut self.boards)
             .zip(&mut self.hits)
         {
             for &v in chunk {
                 let tick = st.ticks;
-                if st.step(m, v) {
+                if st.step(m, v, board) {
                     hits.push(tick);
                 }
             }
@@ -690,15 +775,15 @@ impl MonitorBank {
     /// owns that hit log, so don't mix the two feeding styles on one
     /// bank if you rely on `reports()`/`hits()`.
     pub fn reports(&self) -> Vec<ScanReport> {
-        self.monitors
+        self.states
             .iter()
-            .zip(&self.states)
+            .zip(&self.boards)
             .zip(&self.hits)
-            .map(|((_, st), hits)| ScanReport {
+            .map(|((st, board), hits)| ScanReport {
                 matches: hits.clone(),
                 ticks: st.ticks,
                 final_state: StateId::from_index(st.state as usize),
-                underflows: st.underflows,
+                underflows: board.underflows,
             })
             .collect()
     }
@@ -706,10 +791,17 @@ impl MonitorBank {
     /// Resets every monitor to its initial configuration and clears
     /// recorded hits.
     pub fn reset(&mut self) {
-        for (m, st) in self.monitors.iter().zip(&mut self.states) {
+        for ((m, st), board) in self.monitors.iter().zip(&mut self.states).zip(&mut self.boards) {
             st.reset(m);
+            board.reset();
         }
         for h in &mut self.hits {
+            h.clear();
+        }
+        for (cm, st) in &mut self.multis {
+            st.reset(cm);
+        }
+        for h in &mut self.multi_hits {
             h.clear();
         }
     }

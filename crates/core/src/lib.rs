@@ -23,6 +23,10 @@
 //! * [`CompiledMonitor`] / [`BatchExec`] / [`MonitorBank`] — the
 //!   batched, zero-allocation production engine: flat transition
 //!   tables, precompiled guards, many monitors per shared trace feed;
+//! * [`CompiledMultiClock`] / [`MultiClockBatchExec`] — the batched
+//!   multi-clock engine: per-domain flat tables over one shared
+//!   counts-only scoreboard, clock-major chunk execution where the
+//!   domains' scoreboard footprints permit;
 //! * [`engine`] — paper-literal dense δ tables, lazy δ, the exact
 //!   subset-construction reference, and the naive re-scan baseline;
 //! * [`to_dot`] — Graphviz export of the synthesized automata.
@@ -67,6 +71,7 @@ mod determinize;
 mod dot;
 pub mod engine;
 mod monitor;
+mod multibatch;
 mod multiclock;
 mod scoreboard;
 mod synth;
@@ -81,6 +86,7 @@ pub use monitor::{
     Monitor, MonitorExec, ScanReport, ScoreboardOps, StateId, StepOutcome, Transition,
     TransitionKind,
 };
+pub use multibatch::{CompiledMultiClock, MultiClockBatchExec, MultiClockBatchState};
 pub use multiclock::{synthesize_multiclock, MultiClockExec, MultiClockMonitor};
 pub use scoreboard::{Action, Occurrence, Scoreboard, SharedScoreboard};
 pub use synth::{synthesize, OverlapPolicy, SynthError, SynthOptions};

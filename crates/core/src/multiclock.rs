@@ -81,6 +81,12 @@ impl MultiClockMonitor {
 /// # Errors
 ///
 /// Propagates [`SynthError`] from any component chart.
+///
+/// Every execution path dispatches ticks to locals by clock name
+/// (first match), which is sound because [`MultiClockSpec`] rejects
+/// charts sharing a clock domain at construction — both the parser and
+/// `MultiClockSpec::new` validate it (pinned by the
+/// `duplicate_local_clocks_rejected_upstream` test here).
 pub fn synthesize_multiclock(
     spec: &MultiClockSpec,
     opts: &SynthOptions,
@@ -231,6 +237,31 @@ mod tests {
 
     fn ev(d: &cesc_chart::Document, n: &str) -> cesc_expr::SymbolId {
         d.alphabet.lookup(n).unwrap()
+    }
+
+    /// The by-clock-name tick dispatch in every execution path assumes
+    /// one chart per clock — pinned here: both spec construction
+    /// routes refuse charts sharing a clock domain.
+    #[test]
+    fn duplicate_local_clocks_rejected_upstream() {
+        let err = parse_document(
+            r#"
+            scesc a on clk { instances { A } events { x } tick { A: x } }
+            scesc b on clk { instances { B } events { y } tick { B: y } }
+            multiclock dup { charts { a, b } }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("repeats clock domain"), "{err}");
+
+        let ok = parse_document(
+            "scesc a on clk { instances { A } events { x } tick { A: x } }",
+        )
+        .unwrap();
+        let chart = ok.chart("a").unwrap().clone();
+        let err = cesc_chart::MultiClockSpec::new("dup", vec![chart.clone(), chart], vec![])
+            .unwrap_err();
+        assert!(err.to_string().contains("clock"), "{err}");
     }
 
     #[test]

@@ -108,8 +108,11 @@ impl Default for OnlineHarness<'_> {
 /// the production configuration for high-rate simulation feeds.
 ///
 /// Hits are recorded as *global times* (like [`OnlineHarness`]), not
-/// local tick indices. Multi-clock monitors need the shared-scoreboard
-/// step-wise path; attach those to an [`OnlineHarness`] instead.
+/// local tick indices. Multi-clock monitors ride the same chunks
+/// through the compiled shared-scoreboard engine
+/// ([`cesc_core::CompiledMultiClock`]) — attach them with
+/// [`BatchHarness::attach_multiclock`], so one verification plan may
+/// mix single- and multi-clock charts.
 ///
 /// # Examples
 ///
@@ -141,23 +144,11 @@ impl Default for OnlineHarness<'_> {
 /// ```
 #[derive(Debug, Default)]
 pub struct BatchHarness {
-    /// One bank per clock domain.
-    banks: Vec<DomainBank>,
-    /// Global times per attached monitor, attach order.
-    hits: Vec<Vec<u64>>,
-    /// Reused projection buffers (one domain's valuations / times for
-    /// the current chunk).
-    vals: Vec<cesc_expr::Valuation>,
-    times: Vec<u64>,
-}
-
-/// One clock domain's monitors plus the slot → attach-order map.
-#[derive(Debug)]
-struct DomainBank {
-    clock: cesc_trace::ClockId,
+    /// The mixed plan: single- and multi-clock members, fed globally.
+    /// Attach order equals bank index in each slot space, so the
+    /// harness is a thin simulation-facing veneer over
+    /// [`MonitorBank::feed_global`].
     bank: MonitorBank,
-    /// bank slot → index into [`BatchHarness::hits`] (attach order).
-    attach_order: Vec<usize>,
 }
 
 impl BatchHarness {
@@ -174,67 +165,56 @@ impl BatchHarness {
     ///
     /// Panics if the monitor's clock is not in `clocks`.
     pub fn attach(&mut self, clocks: &ClockSet, monitor: &Monitor) -> usize {
-        let clock = clocks
-            .lookup(monitor.clock())
-            .unwrap_or_else(|| panic!("monitor clock `{}` not in clock set", monitor.clock()));
-        let bank = match self.banks.iter_mut().find(|b| b.clock == clock) {
-            Some(b) => b,
-            None => {
-                self.banks.push(DomainBank {
-                    clock,
-                    bank: MonitorBank::new(),
-                    attach_order: Vec::new(),
-                });
-                self.banks.last_mut().expect("just pushed")
-            }
-        };
-        let idx = self.hits.len();
-        bank.bank.add(monitor);
-        bank.attach_order.push(idx);
-        self.hits.push(Vec::new());
-        idx
+        assert!(
+            clocks.lookup(monitor.clock()).is_some(),
+            "monitor clock `{}` not in clock set",
+            monitor.clock()
+        );
+        self.bank.add(monitor)
     }
 
-    /// Number of attached monitors.
-    pub fn len(&self) -> usize {
-        self.hits.len()
-    }
-
-    /// Whether no monitor is attached.
-    pub fn is_empty(&self) -> bool {
-        self.hits.is_empty()
-    }
-
-    /// Feeds a chunk of global steps: each domain's ticks are
-    /// projected out of the chunk into a contiguous buffer, then the
-    /// domain's bank runs monitor-major over it (each monitor's
-    /// tables stay hot for the whole chunk). Detections are logged at
-    /// the originating step's global time.
-    pub fn observe_batch(&mut self, _clocks: &ClockSet, steps: &[GlobalStep]) {
-        let BatchHarness {
-            banks,
-            hits,
-            vals,
-            times,
-        } = self;
-        for DomainBank {
-            clock,
-            bank,
-            attach_order,
-        } in banks.iter_mut()
-        {
-            vals.clear();
-            times.clear();
-            for step in steps {
-                if let Some(v) = step.tick_of(*clock) {
-                    vals.push(v);
-                    times.push(step.time);
-                }
-            }
-            bank.feed_with(vals, |slot, off| {
-                hits[attach_order[slot]].push(times[off]);
-            });
+    /// Compiles and attaches a multi-clock monitor; its locals bind to
+    /// the domains of `clocks` by clock name on the first feed.
+    /// Returns the monitor's index for
+    /// [`BatchHarness::multiclock_hits`] (a slot space separate from
+    /// single-clock indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local monitor's clock is not in `clocks` — an
+    /// unbound local never advances, which would silently make the
+    /// full spec unmatchable.
+    pub fn attach_multiclock(&mut self, clocks: &ClockSet, monitor: &MultiClockMonitor) -> usize {
+        for local in monitor.locals() {
+            assert!(
+                clocks.lookup(local.clock()).is_some(),
+                "multi-clock local `{}`'s clock `{}` not in clock set",
+                local.name(),
+                local.clock()
+            );
         }
+        self.bank.add_multiclock(monitor)
+    }
+
+    /// Number of attached single-clock monitors.
+    pub fn len(&self) -> usize {
+        self.bank.len()
+    }
+
+    /// Whether no monitor of either kind is attached.
+    pub fn is_empty(&self) -> bool {
+        self.bank.is_empty()
+    }
+
+    /// Feeds a chunk of global steps through
+    /// [`MonitorBank::feed_global`]: each distinct domain's ticks are
+    /// projected out of the chunk once, every monitor of that domain
+    /// runs monitor-major over the projection (tables staying hot),
+    /// and multi-clock members run the batched shared-scoreboard
+    /// engine. Detections are logged at the originating step's global
+    /// time.
+    pub fn observe_batch(&mut self, clocks: &ClockSet, steps: &[GlobalStep]) {
+        self.bank.feed_global(clocks, steps);
     }
 
     /// Global times at which monitor `idx` completed.
@@ -243,7 +223,17 @@ impl BatchHarness {
     ///
     /// Panics if `idx` is out of range.
     pub fn hits(&self, idx: usize) -> &[u64] {
-        &self.hits[idx]
+        self.bank.hits(idx)
+    }
+
+    /// Global times at which multi-clock monitor `idx` completed its
+    /// full specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn multiclock_hits(&self, idx: usize) -> &[u64] {
+        self.bank.multiclock_hits(idx)
     }
 }
 
@@ -319,6 +309,22 @@ pub fn run_decoupled_batched(
     global_steps: usize,
     monitors: &[&Monitor],
 ) -> Vec<Vec<u64>> {
+    run_decoupled_batched_plan(sim, global_steps, monitors, &[]).0
+}
+
+/// Mixed-plan variant of [`run_decoupled_batched`]: single-clock *and*
+/// multi-clock monitors share the chunked channel and one
+/// [`BatchHarness`] on the monitor thread. Returns `(single_hits,
+/// multiclock_hits)` in the argument orders.
+///
+/// Verdicts equal the step-wise [`run_decoupled`] /
+/// [`OnlineHarness`] combination on the same simulation.
+pub fn run_decoupled_batched_plan(
+    sim: &mut crate::kernel::Simulation,
+    global_steps: usize,
+    monitors: &[&Monitor],
+    multis: &[&MultiClockMonitor],
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
     let (tx, rx) = channel::bounded::<Vec<GlobalStep>>(64);
     let clocks = sim.clocks().clone();
 
@@ -329,12 +335,20 @@ pub fn run_decoupled_batched(
             for m in monitors {
                 harness.attach(&monitor_clocks, m);
             }
+            for mm in multis {
+                harness.attach_multiclock(&monitor_clocks, mm);
+            }
             while let Ok(chunk) = rx.recv() {
                 harness.observe_batch(&monitor_clocks, &chunk);
             }
-            (0..monitors.len())
-                .map(|i| harness.hits(i).to_vec())
-                .collect::<Vec<_>>()
+            (
+                (0..monitors.len())
+                    .map(|i| harness.hits(i).to_vec())
+                    .collect::<Vec<_>>(),
+                (0..multis.len())
+                    .map(|i| harness.multiclock_hits(i).to_vec())
+                    .collect::<Vec<_>>(),
+            )
         });
 
         let mut pending: Vec<GlobalStep> = Vec::with_capacity(HARNESS_CHUNK);
@@ -543,6 +557,119 @@ mod tests {
         let batched = run_decoupled_batched(&mut sim2, 40, &[&m]);
         assert_eq!(batched, reference);
         assert!(!batched[0].is_empty());
+    }
+
+    /// Two-domain spec with cross causality plus a single-clock chart:
+    /// the mixed-plan workloads below pin batch == step-wise.
+    fn mixed_plan_doc() -> cesc_chart::Document {
+        parse_document(
+            r#"
+            scesc m1 on clk1 { instances { A } events { go } tick { A: go } }
+            scesc m2 on clk2 { instances { B } events { done } tick { B: done } }
+            scesc pulse on clk1 { instances { A } events { go } tick { A: go } }
+            multiclock pair { charts { m1, m2 } cause go -> done; }
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_harness_multiclock_agrees_with_online() {
+        let doc = mixed_plan_doc();
+        let mm = synthesize_multiclock(doc.multiclock_spec("pair").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let pulse = synthesize(doc.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let go = doc.alphabet.lookup("go").unwrap();
+        let done = doc.alphabet.lookup("done").unwrap();
+
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("clk1", 2, 0));
+        sim.add_clock(ClockDomain::new("clk2", 3, 1));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk1",
+            vec![Valuation::of([go])],
+            4,
+            0,
+        )));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk2",
+            vec![Valuation::of([done])],
+            4,
+            1,
+        )));
+        let clocks = sim.clocks().clone();
+        let run = sim.run(60);
+        let steps: Vec<GlobalStep> = run.iter().cloned().collect();
+
+        let mut online = OnlineHarness::new();
+        let oi = online.attach_multiclock(&mm);
+        let op = online.attach(&clocks, &pulse);
+        online.observe_batch(&clocks, &steps);
+
+        let mut batch = BatchHarness::new();
+        let bi = batch.attach_multiclock(&clocks, &mm);
+        let bp = batch.attach(&clocks, &pulse);
+        assert!(!batch.is_empty());
+        // uneven chunking: state must carry across chunk borders
+        for chunk in steps.chunks(7) {
+            batch.observe_batch(&clocks, chunk);
+        }
+        assert_eq!(batch.multiclock_hits(bi), online.multiclock_hits(oi));
+        assert_eq!(batch.hits(bp), online.hits(op));
+        assert!(!batch.multiclock_hits(bi).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in clock set")]
+    fn attach_multiclock_rejects_unknown_clock() {
+        let doc = mixed_plan_doc();
+        let mm = synthesize_multiclock(doc.multiclock_spec("pair").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let mut clocks = ClockSet::new();
+        clocks.add(ClockDomain::new("clk1", 1, 0)); // clk2 missing
+        BatchHarness::new().attach_multiclock(&clocks, &mm);
+    }
+
+    #[test]
+    fn decoupled_batched_plan_agrees_with_stepwise() {
+        let doc = mixed_plan_doc();
+        let mm = synthesize_multiclock(doc.multiclock_spec("pair").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let pulse = synthesize(doc.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let go = doc.alphabet.lookup("go").unwrap();
+        let done = doc.alphabet.lookup("done").unwrap();
+
+        let build_sim = || {
+            let mut sim = Simulation::new();
+            sim.add_clock(ClockDomain::new("clk1", 2, 0));
+            sim.add_clock(ClockDomain::new("clk2", 3, 1));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk1",
+                vec![Valuation::of([go])],
+                3,
+                0,
+            )));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk2",
+                vec![Valuation::of([done])],
+                3,
+                1,
+            )));
+            sim
+        };
+
+        let mut sim = build_sim();
+        let clocks = sim.clocks().clone();
+        let mut online = OnlineHarness::new();
+        let oi = online.attach_multiclock(&mm);
+        online.attach(&clocks, &pulse);
+        sim.run_with(50, |c, s| online.observe(c, s));
+
+        let mut sim2 = build_sim();
+        let (single, multi) = run_decoupled_batched_plan(&mut sim2, 50, &[&pulse], &[&mm]);
+        assert_eq!(multi[0], online.multiclock_hits(oi));
+        assert_eq!(single[0], online.hits(0));
+        assert!(!multi[0].is_empty());
     }
 
     #[test]

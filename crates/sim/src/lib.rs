@@ -47,6 +47,7 @@ mod kernel;
 
 pub use flow::{run_flow, FlowConfig, FlowError, FlowReport};
 pub use harness::{
-    run_decoupled, run_decoupled_batched, BatchHarness, OnlineHarness, HARNESS_CHUNK,
+    run_decoupled, run_decoupled_batched, run_decoupled_batched_plan, BatchHarness, OnlineHarness,
+    HARNESS_CHUNK,
 };
 pub use kernel::{NoiseTransactor, PeriodicTransactor, ScriptedTransactor, Simulation, Transactor};

@@ -197,6 +197,12 @@ impl GlobalRun {
         self.steps.iter()
     }
 
+    /// The underlying slice of steps — the form the batched multi-clock
+    /// engine consumes in chunks.
+    pub fn as_slice(&self) -> &[GlobalStep] {
+        &self.steps
+    }
+
     /// Projects the run onto one clock domain, recovering its local trace.
     pub fn project(&self, clock: ClockId) -> Trace {
         self.steps

@@ -8,8 +8,12 @@
 //! * [`ClockDomain`] / [`ClockSet`] — periodic clocks of a GALS system
 //!   and their merged ("union") tick schedule (paper §3);
 //! * [`GlobalRun`] — a multi-clock run interleaving per-domain traces;
-//! * [`write_vcd`] / [`read_vcd`] — Value Change Dump export/import so
-//!   monitors can check waveforms from real HDL simulators;
+//! * [`write_vcd`] / [`read_vcd`] / [`write_vcd_global`] — Value
+//!   Change Dump export/import so monitors can check waveforms from
+//!   real HDL simulators;
+//! * [`VcdStream`] / [`GlobalVcdStream`] — streaming VCD readers over
+//!   any [`std::io::BufRead`]: single-clock valuation chunks or
+//!   multi-clock [`GlobalStep`] chunks, in constant memory;
 //! * [`TraceGen`] — deterministic noise / planted-scenario / repeated
 //!   transaction generators for benchmarks and property tests.
 //!
@@ -43,4 +47,7 @@ pub use clock::{ClockDomain, ClockId, ClockSet, GlobalInstant, Schedule};
 pub use gen::TraceGen;
 pub use global::{GlobalRun, GlobalStep, InterleaveError};
 pub use trace::Trace;
-pub use vcd::{read_vcd, write_vcd, VcdReadError, VcdStream, VcdWriteOptions};
+pub use vcd::{
+    read_vcd, write_vcd, write_vcd_global, write_vcd_global_to, GlobalVcdStream, VcdClockSpec,
+    VcdReadError, VcdStream, VcdWriteOptions,
+};

@@ -6,18 +6,29 @@
 //! explicit clock), and [`read_vcd`] samples a VCD back into a trace at
 //! each rising clock edge — so monitors synthesized by `cesc-core` can
 //! check waveforms from any HDL simulator.
+//!
+//! Reading is *streaming*: both [`VcdStream`] (single clock, yields
+//! [`Valuation`] chunks) and [`GlobalVcdStream`] (many clocks, yields
+//! [`GlobalStep`] chunks) pull lines from any [`io::BufRead`], so a
+//! multi-GB dump is checked in constant memory — neither the VCD text
+//! nor the decoded trace is ever resident in full. The `&str`
+//! constructors remain as thin wrappers over the byte-slice reader.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::{self, BufRead};
 
 use cesc_expr::{Alphabet, SymbolId, Valuation};
 
+use crate::clock::{ClockId, ClockSet};
+use crate::global::{GlobalRun, GlobalStep};
 use crate::trace::Trace;
 
-/// Options for [`write_vcd`].
+/// Options for [`write_vcd`] / [`write_vcd_global`].
 #[derive(Debug, Clone)]
 pub struct VcdWriteOptions {
-    /// Name of the generated clock signal.
+    /// Name of the generated clock signal ([`write_vcd`] only;
+    /// [`write_vcd_global`] names clocks after the [`ClockSet`]).
     pub clock_name: String,
     /// Half-period of the clock in timescale units (full period is
     /// `2 * half_period`).
@@ -122,20 +133,128 @@ pub fn write_vcd(trace: &Trace, alphabet: &Alphabet, opts: &VcdWriteOptions) -> 
     out
 }
 
-/// Error from [`read_vcd`].
+/// Serialises a multi-clock [`GlobalRun`] as VCD text: one 1-bit wire
+/// per clock domain of `clocks` (named after the domains) plus one per
+/// alphabet symbol. The tick of domain `c` at global time `t` becomes
+/// a rising edge of `c`'s wire at VCD time `2t * half_period`, with
+/// that domain's *owned* symbols (mask `owners[c]`) driven to the
+/// tick's valuation just before the edge.
+///
+/// Owner masks say which symbols each domain drives; they should be
+/// pairwise disjoint (when two domains tick the same instant, the
+/// later-listed domain wins on shared symbols). Symbols owned by no
+/// domain stay constant `0`.
+///
+/// Round-trip: [`GlobalVcdStream`] over the produced text with the
+/// domains' names (and the same masks) recovers exactly the run's
+/// ticks, at VCD times `2t * half_period`.
+///
+/// # Panics
+///
+/// Panics if `owners.len() != clocks.len()` or `half_period == 0` —
+/// both are programming errors in the caller, not data errors.
+pub fn write_vcd_global_to<W: io::Write>(
+    w: &mut W,
+    run: &GlobalRun,
+    clocks: &ClockSet,
+    alphabet: &Alphabet,
+    owners: &[Valuation],
+    opts: &VcdWriteOptions,
+) -> io::Result<()> {
+    assert_eq!(
+        owners.len(),
+        clocks.len(),
+        "one owner mask per clock domain"
+    );
+    assert!(opts.half_period > 0, "half_period must be positive");
+    writeln!(w, "$date\n    cesc generated\n$end")?;
+    writeln!(w, "$version\n    cesc-trace VCD writer (global)\n$end")?;
+    writeln!(w, "$timescale {} $end", opts.timescale)?;
+    writeln!(w, "$scope module {} $end", opts.scope)?;
+    let clock_codes: Vec<String> = clocks.iter().map(|(id, _)| id_code(id.index())).collect();
+    for (id, d) in clocks.iter() {
+        writeln!(w, "$var wire 1 {} {} $end", clock_codes[id.index()], d.name())?;
+    }
+    let sym_codes: Vec<String> = alphabet
+        .iter()
+        .map(|(id, _)| id_code(clocks.len() + id.index()))
+        .collect();
+    for (id, sym) in alphabet.iter() {
+        writeln!(w, "$var wire 1 {} {} $end", sym_codes[id.index()], sym.name())?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+
+    writeln!(w, "#0")?;
+    writeln!(w, "$dumpvars")?;
+    for code in &clock_codes {
+        writeln!(w, "0{code}")?;
+    }
+    for code in &sym_codes {
+        writeln!(w, "0{code}")?;
+    }
+    writeln!(w, "$end")?;
+
+    let mut prev_bits = 0u128;
+    for step in run.iter() {
+        let rise = 2 * step.time * opts.half_period;
+        writeln!(w, "#{rise}")?;
+        for &(clock, v) in &step.ticks {
+            let own = owners[clock.index()].bits();
+            let desired = v.bits() & own;
+            let mut diff = (prev_bits ^ desired) & own;
+            while diff != 0 {
+                let i = diff.trailing_zeros() as usize;
+                let bit = if desired >> i & 1 == 1 { '1' } else { '0' };
+                writeln!(w, "{bit}{}", sym_codes[i])?;
+                diff &= diff - 1;
+            }
+            prev_bits = (prev_bits & !own) | desired;
+            writeln!(w, "1{}", clock_codes[clock.index()])?;
+        }
+        writeln!(w, "#{}", rise + opts.half_period)?;
+        for &(clock, _) in &step.ticks {
+            writeln!(w, "0{}", clock_codes[clock.index()])?;
+        }
+    }
+    Ok(())
+}
+
+/// [`write_vcd_global_to`] into a `String` (convenience for tests and
+/// small runs; prefer the writer form for bulk dumps).
+pub fn write_vcd_global(
+    run: &GlobalRun,
+    clocks: &ClockSet,
+    alphabet: &Alphabet,
+    owners: &[Valuation],
+    opts: &VcdWriteOptions,
+) -> String {
+    let mut out = Vec::new();
+    write_vcd_global_to(&mut out, run, clocks, alphabet, owners, opts)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("VCD output is ASCII")
+}
+
+/// Error from the VCD readers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VcdReadError {
-    /// A `$var` declaration or value change could not be parsed.
+    /// A `$var` declaration, timestamp or value change could not be
+    /// parsed.
     Malformed {
         /// Line number (1-based) of the offending input.
         line: usize,
         /// Explanation.
         message: String,
     },
-    /// The requested clock signal is not declared in the VCD.
+    /// A requested clock signal is not declared in the VCD.
     MissingClock {
         /// The clock name that was looked for.
         name: String,
+    },
+    /// The underlying reader failed (I/O error or non-UTF-8 input).
+    Io {
+        /// The I/O error's message.
+        message: String,
     },
 }
 
@@ -148,23 +267,154 @@ impl std::fmt::Display for VcdReadError {
             VcdReadError::MissingClock { name } => {
                 write!(f, "clock signal `{name}` not found in VCD")
             }
+            VcdReadError::Io { message } => write!(f, "VCD read failed: {message}"),
         }
     }
 }
 
 impl std::error::Error for VcdReadError {}
 
+/// Reads one line (without trailing newline handling — callers trim)
+/// into `buf`, bumping the 1-based line counter. `Ok(false)` is EOF.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut String,
+    lineno: &mut usize,
+) -> Result<bool, VcdReadError> {
+    buf.clear();
+    match reader.read_line(buf) {
+        Ok(0) => Ok(false),
+        Ok(_) => {
+            *lineno += 1;
+            Ok(true)
+        }
+        Err(e) => Err(VcdReadError::Io {
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Parses the text after `#` as a timestamp.
+fn parse_timestamp(rest: &str, lineno: usize) -> Result<u64, VcdReadError> {
+    rest.trim()
+        .parse::<u64>()
+        .map_err(|_| VcdReadError::Malformed {
+            line: lineno,
+            message: format!("bad timestamp `#{}`", rest.trim()),
+        })
+}
+
+/// One classified line of the VCD value-change section — the parsing
+/// both streaming readers share, so their accepted syntax cannot
+/// drift. (The sampling loops themselves stay separate: the
+/// single-clock reader emits plain [`Valuation`]s with no per-step
+/// allocation, which a shared `GlobalStep`-shaped engine would lose.)
+#[derive(Clone, Copy)]
+enum BodyLine<'a> {
+    /// Blank line or `$...` directive — no effect on sampling.
+    Skip,
+    /// `#t` timestamp marker.
+    Time(u64),
+    /// Scalar or vector value change.
+    Change(bool, &'a str),
+}
+
+fn classify_body_line(line: &str, lineno: usize) -> Result<BodyLine<'_>, VcdReadError> {
+    if line.is_empty() || line.starts_with('$') {
+        return Ok(BodyLine::Skip); // directives ($dumpvars bodies are value changes)
+    }
+    if let Some(rest) = line.strip_prefix('#') {
+        return parse_timestamp(rest, lineno).map(BodyLine::Time);
+    }
+    parse_change(line, lineno).map(|(value, code)| BodyLine::Change(value, code))
+}
+
+/// Applies a parsed timestamp: `Ok(true)` means time advanced (pending
+/// samples must be flushed), `Ok(false)` means the same instant
+/// continues; a decreasing timestamp is malformed input.
+fn advance_time(cur_time: &mut u64, t: u64, lineno: usize) -> Result<bool, VcdReadError> {
+    if t < *cur_time {
+        return Err(VcdReadError::Malformed {
+            line: lineno,
+            message: format!("timestamp #{t} goes backwards (after #{cur_time})"),
+        });
+    }
+    let advanced = t > *cur_time;
+    *cur_time = t;
+    Ok(advanced)
+}
+
+/// Parsed `$var` section: identifier codes of the requested clocks and
+/// of every alphabet symbol present in the dump.
+struct VcdHeader {
+    code_to_symbol: HashMap<String, SymbolId>,
+    /// Per requested clock (argument order): its identifier code.
+    clock_codes: Vec<Option<String>>,
+}
+
+/// Reads `$var` declarations up to `$enddefinitions`.
+///
+/// A declared name matches a clock or symbol either exactly or with a
+/// vector range stripped — both `data[7:0]` and the separate-token
+/// form `$var wire 8 ! data [7:0] $end` resolve to `data`.
+fn parse_header<R: BufRead>(
+    reader: &mut R,
+    buf: &mut String,
+    lineno: &mut usize,
+    alphabet: &Alphabet,
+    clock_names: &[&str],
+) -> Result<VcdHeader, VcdReadError> {
+    let mut header = VcdHeader {
+        code_to_symbol: HashMap::new(),
+        clock_codes: vec![None; clock_names.len()],
+    };
+    while read_line(reader, buf, lineno)? {
+        let toks: Vec<&str> = buf.split_whitespace().collect();
+        if toks.first() == Some(&"$var") {
+            // $var var_type size code reference [range] $end
+            if toks.len() < 5 || toks[3] == "$end" || toks[4] == "$end" {
+                return Err(VcdReadError::Malformed {
+                    line: *lineno,
+                    message: "short $var declaration".to_owned(),
+                });
+            }
+            let code = toks[3];
+            let name = toks[4];
+            let base = match name.find('[') {
+                Some(i) => &name[..i],
+                None => name,
+            };
+            let mut is_clock = false;
+            for (ci, &cn) in clock_names.iter().enumerate() {
+                if cn == name || cn == base {
+                    is_clock = true;
+                    if header.clock_codes[ci].is_none() {
+                        header.clock_codes[ci] = Some(code.to_owned());
+                    }
+                }
+            }
+            if !is_clock {
+                if let Some(id) = alphabet.lookup(name).or_else(|| alphabet.lookup(base)) {
+                    header.code_to_symbol.insert(code.to_owned(), id);
+                }
+            }
+        } else if toks.first() == Some(&"$enddefinitions") {
+            break;
+        }
+    }
+    Ok(header)
+}
+
 /// Streaming VCD reader: parses the header eagerly, then yields
 /// sampled valuations in caller-sized chunks instead of materialising
 /// the whole trace.
 ///
-/// This is the input side of the batched monitoring path: the decoded
-/// trace stays bounded (one chunk resident at a time) no matter how
-/// many ticks the dump holds. The VCD *text* itself is borrowed as
-/// one `&str`, so the caller still pays for the raw dump bytes — the
-/// stream removes the whole-`Trace` copy, not the text. [`read_vcd`]
-/// is the convenience wrapper that drains the stream into one
-/// [`Trace`].
+/// This is the input side of the batched monitoring path. The reader
+/// pulls lines from any [`io::BufRead`] — a `BufReader<File>` for
+/// dumps on disk, a byte slice for in-memory text — so resident memory
+/// is one line plus one decoded chunk, regardless of dump size.
+/// [`read_vcd`] is the convenience wrapper that drains the stream into
+/// one [`Trace`].
 ///
 /// # Examples
 ///
@@ -177,6 +427,7 @@ impl std::error::Error for VcdReadError {}
 /// let t = Trace::from_elements(vec![Valuation::of([req]); 10]);
 /// let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
 ///
+/// // `new` borrows a &str; `from_reader` accepts any io::BufRead
 /// let mut stream = VcdStream::new(&vcd, &ab, "clk")?;
 /// let mut chunk = Vec::new();
 /// let mut total = 0;
@@ -187,8 +438,12 @@ impl std::error::Error for VcdReadError {}
 /// # Ok::<(), cesc_trace::VcdReadError>(())
 /// ```
 #[derive(Debug)]
-pub struct VcdStream<'a> {
-    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+pub struct VcdStream<R> {
+    reader: R,
+    /// Reused line buffer.
+    line: String,
+    /// 1-based number of the last line read.
+    lineno: usize,
     code_to_symbol: HashMap<String, SymbolId>,
     clock_code: String,
     current: Valuation,
@@ -198,64 +453,63 @@ pub struct VcdStream<'a> {
     /// that timestamp has been applied, so the sample is deferred
     /// until the timestamp advances (or input ends).
     pending_sample: bool,
+    cur_time: u64,
     done: bool,
 }
 
-impl<'a> VcdStream<'a> {
-    /// Parses the VCD header and positions the stream at the first
-    /// value change.
+impl<'a> VcdStream<&'a [u8]> {
+    /// Parses the VCD header of in-memory text and positions the
+    /// stream at the first value change — a thin wrapper over
+    /// [`VcdStream::from_reader`] on the string's bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`VcdStream::from_reader`].
+    pub fn new(vcd: &'a str, alphabet: &Alphabet, clock_name: &str) -> Result<Self, VcdReadError> {
+        Self::from_reader(vcd.as_bytes(), alphabet, clock_name)
+    }
+}
+
+impl<R: BufRead> VcdStream<R> {
+    /// Parses the VCD header from `reader` and positions the stream at
+    /// the first value change. The reader is consumed line by line —
+    /// the dump is never resident in full.
     ///
     /// Signals present in the VCD but absent from `alphabet` are
     /// ignored; alphabet symbols absent from the VCD read as constant
-    /// false. Multi-bit vector changes (`b... id`) are treated as true
-    /// iff any bit is 1.
+    /// false. Vector declarations may carry a range (`data[7:0]`, or
+    /// `data [7:0]` as a separate token) — both resolve to the base
+    /// name. Multi-bit vector changes (`b... id`) are treated as true
+    /// iff any bit is `1`; `x`/`z` bits read as false.
     ///
     /// # Errors
     ///
     /// Returns [`VcdReadError::MissingClock`] if `clock_name` is not
-    /// declared, or [`VcdReadError::Malformed`] on an unparseable
-    /// `$var` declaration.
-    pub fn new(
-        vcd: &'a str,
+    /// declared, [`VcdReadError::Malformed`] on an unparseable `$var`
+    /// declaration, or [`VcdReadError::Io`] if the reader fails.
+    pub fn from_reader(
+        mut reader: R,
         alphabet: &Alphabet,
         clock_name: &str,
     ) -> Result<Self, VcdReadError> {
-        let mut code_to_symbol: HashMap<String, SymbolId> = HashMap::new();
-        let mut clock_code: Option<String> = None;
-
-        let mut lines = vcd.lines().enumerate();
-        for (lineno, line) in lines.by_ref() {
-            let toks: Vec<&str> = line.split_whitespace().collect();
-            if toks.first() == Some(&"$var") {
-                // $var wire 1 <code> <name> [$end]
-                if toks.len() < 5 {
-                    return Err(VcdReadError::Malformed {
-                        line: lineno + 1,
-                        message: "short $var declaration".to_owned(),
-                    });
-                }
-                let code = toks[3].to_owned();
-                let name = toks[4];
-                if name == clock_name {
-                    clock_code = Some(code);
-                } else if let Some(id) = alphabet.lookup(name) {
-                    code_to_symbol.insert(code, id);
-                }
-            } else if toks.first() == Some(&"$enddefinitions") {
-                break;
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let header = parse_header(&mut reader, &mut line, &mut lineno, alphabet, &[clock_name])?;
+        let clock_code = header.clock_codes.into_iter().next().flatten().ok_or_else(|| {
+            VcdReadError::MissingClock {
+                name: clock_name.to_owned(),
             }
-        }
-        let clock_code = clock_code.ok_or_else(|| VcdReadError::MissingClock {
-            name: clock_name.to_owned(),
         })?;
-
         Ok(VcdStream {
-            lines,
-            code_to_symbol,
+            reader,
+            line,
+            lineno,
+            code_to_symbol: header.code_to_symbol,
             clock_code,
             current: Valuation::empty(),
             clock_level: false,
             pending_sample: false,
+            cur_time: 0,
             done: false,
         })
     }
@@ -270,7 +524,8 @@ impl<'a> VcdStream<'a> {
     /// # Errors
     ///
     /// Returns [`VcdReadError::Malformed`] on unparseable value
-    /// changes. An error poisons the stream: every subsequent call
+    /// changes or timestamps, [`VcdReadError::Io`] if the reader
+    /// fails. An error poisons the stream: every subsequent call
     /// returns `Ok(0)`, so a caller that retries cannot silently
     /// resume past corrupt input.
     pub fn next_chunk(
@@ -283,42 +538,316 @@ impl<'a> VcdStream<'a> {
             return Ok(0);
         }
         while buf.len() < max {
-            let Some((lineno, raw)) = self.lines.next() else {
+            let more = match read_line(&mut self.reader, &mut self.line, &mut self.lineno) {
+                Ok(m) => m,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            if !more {
                 self.done = true;
                 if self.pending_sample {
                     self.pending_sample = false;
                     buf.push(self.current);
                 }
                 break;
-            };
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('$') {
-                continue; // directives ($dumpvars bodies are value changes)
             }
-            if line.strip_prefix('#').is_some() {
-                if self.pending_sample {
-                    self.pending_sample = false;
-                    buf.push(self.current);
+            let classified = classify_body_line(self.line.trim(), self.lineno)
+                .and_then(|parsed| match parsed {
+                    // Time survives only when the instant advanced, so
+                    // the arm below is exactly "flush the sample"
+                    BodyLine::Time(t) => advance_time(&mut self.cur_time, t, self.lineno)
+                        .map(|advanced| if advanced { parsed } else { BodyLine::Skip }),
+                    other => Ok(other),
+                });
+            match classified {
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
                 }
-                continue;
+                Ok(BodyLine::Skip) => {}
+                Ok(BodyLine::Time(_)) => {
+                    // time advanced: emit the deferred sample
+                    if self.pending_sample {
+                        self.pending_sample = false;
+                        buf.push(self.current);
+                    }
+                }
+                Ok(BodyLine::Change(value, code)) => {
+                    if code == self.clock_code {
+                        if value && !self.clock_level {
+                            self.pending_sample = true; // rising edge: sample at block end
+                        }
+                        self.clock_level = value;
+                    } else if let Some(&id) = self.code_to_symbol.get(code) {
+                        if value {
+                            self.current.insert(id);
+                        } else {
+                            self.current.remove(id);
+                        }
+                    }
+                }
             }
-            let (value, code) = match parse_change(line, lineno) {
-                Ok(parsed) => parsed,
+        }
+        Ok(buf.len())
+    }
+}
+
+/// One clock a [`GlobalVcdStream`] samples on, optionally with a mask
+/// restricting which symbols its ticks carry (a multi-clock chart's
+/// local monitor should only see its own chart's signals).
+#[derive(Debug, Clone)]
+pub struct VcdClockSpec {
+    name: String,
+    mask: Option<Valuation>,
+}
+
+impl VcdClockSpec {
+    /// A clock whose ticks sample every alphabet symbol.
+    pub fn new(name: &str) -> Self {
+        VcdClockSpec {
+            name: name.to_owned(),
+            mask: None,
+        }
+    }
+
+    /// A clock whose ticks carry only the symbols in `mask`.
+    pub fn masked(name: &str, mask: Valuation) -> Self {
+        VcdClockSpec {
+            name: name.to_owned(),
+            mask: Some(mask),
+        }
+    }
+
+    /// The clock signal's name in the VCD.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol mask, if any.
+    pub fn mask(&self) -> Option<Valuation> {
+        self.mask
+    }
+}
+
+/// Streaming multi-clock VCD reader: samples every requested clock's
+/// rising edges and yields [`GlobalStep`] chunks — the input side of
+/// the batched multi-clock monitoring path (`cesc check` on a
+/// `multiclock` spec).
+///
+/// Clock `i` of the constructor's list becomes [`ClockId`] index `i`
+/// in the produced steps, so a consumer whose locals are listed in the
+/// same order can use an identity binding. Step times are VCD
+/// timestamps. Clocks rising at the same timestamp share one step
+/// (ticks ascending by clock index); each tick's valuation is the
+/// signal state after all changes of that timestamp, restricted to the
+/// clock's mask.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::{Alphabet, Valuation};
+/// use cesc_trace::{
+///     write_vcd_global, ClockDomain, ClockSet, GlobalRun, GlobalVcdStream, Trace,
+///     VcdClockSpec, VcdWriteOptions,
+/// };
+///
+/// let mut ab = Alphabet::new();
+/// let go = ab.event("go");
+/// let done = ab.event("done");
+/// let mut clocks = ClockSet::new();
+/// let c1 = clocks.add(ClockDomain::new("clk1", 2, 0));
+/// let c2 = clocks.add(ClockDomain::new("clk2", 2, 1));
+/// let run = GlobalRun::interleave(&clocks, &[
+///     (c1, Trace::from_elements([Valuation::of([go])])),
+///     (c2, Trace::from_elements([Valuation::of([done])])),
+/// ]).unwrap();
+///
+/// let owners = [Valuation::of([go]), Valuation::of([done])];
+/// let vcd = write_vcd_global(&run, &clocks, &ab, &owners, &VcdWriteOptions::default());
+///
+/// let specs = [
+///     VcdClockSpec::masked("clk1", owners[0]),
+///     VcdClockSpec::masked("clk2", owners[1]),
+/// ];
+/// let mut stream = GlobalVcdStream::new(&vcd, &ab, &specs)?;
+/// let mut steps = Vec::new();
+/// stream.next_chunk(&mut steps, 16)?;
+/// assert_eq!(steps.len(), run.len());
+/// assert_eq!(steps[0].ticks, run.get(0).unwrap().ticks);
+/// # Ok::<(), cesc_trace::VcdReadError>(())
+/// ```
+#[derive(Debug)]
+pub struct GlobalVcdStream<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    code_to_symbol: HashMap<String, SymbolId>,
+    /// Identifier code → indices of the clocks it drives (several when
+    /// two requested clocks share one VCD signal).
+    clock_codes: HashMap<String, Vec<u32>>,
+    /// Per clock: symbol mask its ticks carry (`u128::MAX` = all).
+    masks: Vec<u128>,
+    current: Valuation,
+    levels: Vec<bool>,
+    /// Clocks that rose at the current timestamp; their shared step is
+    /// emitted when the timestamp advances (or input ends).
+    pending: Vec<bool>,
+    any_pending: bool,
+    cur_time: u64,
+    done: bool,
+}
+
+impl<'a> GlobalVcdStream<&'a [u8]> {
+    /// In-memory wrapper over [`GlobalVcdStream::from_reader`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GlobalVcdStream::from_reader`].
+    pub fn new(
+        vcd: &'a str,
+        alphabet: &Alphabet,
+        clocks: &[VcdClockSpec],
+    ) -> Result<Self, VcdReadError> {
+        Self::from_reader(vcd.as_bytes(), alphabet, clocks)
+    }
+}
+
+impl<R: BufRead> GlobalVcdStream<R> {
+    /// Parses the VCD header from `reader` and positions the stream at
+    /// the first value change. Every clock in `clocks` must be
+    /// declared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcdReadError::MissingClock`] naming the first
+    /// undeclared clock, [`VcdReadError::Malformed`] on an unparseable
+    /// `$var` declaration, or [`VcdReadError::Io`] if the reader
+    /// fails.
+    pub fn from_reader(
+        mut reader: R,
+        alphabet: &Alphabet,
+        clocks: &[VcdClockSpec],
+    ) -> Result<Self, VcdReadError> {
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let names: Vec<&str> = clocks.iter().map(VcdClockSpec::name).collect();
+        let header = parse_header(&mut reader, &mut line, &mut lineno, alphabet, &names)?;
+        let mut clock_codes: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, (spec, code)) in clocks.iter().zip(header.clock_codes).enumerate() {
+            let code = code.ok_or_else(|| VcdReadError::MissingClock {
+                name: spec.name.clone(),
+            })?;
+            clock_codes.entry(code).or_default().push(i as u32);
+        }
+        Ok(GlobalVcdStream {
+            reader,
+            line,
+            lineno,
+            code_to_symbol: header.code_to_symbol,
+            clock_codes,
+            masks: clocks
+                .iter()
+                .map(|s| s.mask.map_or(u128::MAX, Valuation::bits))
+                .collect(),
+            current: Valuation::empty(),
+            levels: vec![false; clocks.len()],
+            pending: vec![false; clocks.len()],
+            any_pending: false,
+            cur_time: 0,
+            done: false,
+        })
+    }
+
+    /// Emits the clocks that rose at instant `time` as one step.
+    fn flush_at(&mut self, time: u64, buf: &mut Vec<GlobalStep>) {
+        if !self.any_pending {
+            return;
+        }
+        let ticks = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p)
+            .map(|(i, _)| {
+                (
+                    ClockId::from_index(i),
+                    Valuation::from_bits(self.current.bits() & self.masks[i]),
+                )
+            })
+            .collect();
+        buf.push(GlobalStep { time, ticks });
+        self.pending.iter_mut().for_each(|p| *p = false);
+        self.any_pending = false;
+    }
+
+    /// Clears `buf` and refills it with up to `max` global steps,
+    /// returning how many were produced. `Ok(0)` signals end of input
+    /// (`max == 0` also returns `Ok(0)` without consuming anything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcdReadError::Malformed`] on unparseable value
+    /// changes, unparseable or decreasing timestamps, or
+    /// [`VcdReadError::Io`] if the reader fails. Errors poison the
+    /// stream (subsequent calls return `Ok(0)`).
+    pub fn next_chunk(
+        &mut self,
+        buf: &mut Vec<GlobalStep>,
+        max: usize,
+    ) -> Result<usize, VcdReadError> {
+        buf.clear();
+        if self.done || max == 0 {
+            return Ok(0);
+        }
+        while buf.len() < max {
+            let more = match read_line(&mut self.reader, &mut self.line, &mut self.lineno) {
+                Ok(m) => m,
                 Err(e) => {
                     self.done = true;
                     return Err(e);
                 }
             };
-            if code == self.clock_code {
-                if value && !self.clock_level {
-                    self.pending_sample = true; // rising edge: sample at block end
+            if !more {
+                self.done = true;
+                let t = self.cur_time;
+                self.flush_at(t, buf);
+                break;
+            }
+            // a pending step belongs to the instant it was sampled at,
+            // so the flush uses the time *before* the advance
+            let prev_time = self.cur_time;
+            let classified = classify_body_line(self.line.trim(), self.lineno)
+                .and_then(|parsed| match parsed {
+                    BodyLine::Time(t) => advance_time(&mut self.cur_time, t, self.lineno)
+                        .map(|advanced| if advanced { parsed } else { BodyLine::Skip }),
+                    other => Ok(other),
+                });
+            match classified {
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
                 }
-                self.clock_level = value;
-            } else if let Some(&id) = self.code_to_symbol.get(code) {
-                if value {
-                    self.current.insert(id);
-                } else {
-                    self.current.remove(id);
+                Ok(BodyLine::Skip) => {}
+                Ok(BodyLine::Time(_)) => self.flush_at(prev_time, buf),
+                Ok(BodyLine::Change(value, code)) => {
+                    if let Some(indices) = self.clock_codes.get(code) {
+                        for &ci in indices {
+                            let ci = ci as usize;
+                            if value && !self.levels[ci] {
+                                self.pending[ci] = true;
+                                self.any_pending = true;
+                            }
+                            self.levels[ci] = value;
+                        }
+                    } else if let Some(&id) = self.code_to_symbol.get(code) {
+                        if value {
+                            self.current.insert(id);
+                        } else {
+                            self.current.remove(id);
+                        }
+                    }
                 }
             }
         }
@@ -327,20 +856,27 @@ impl<'a> VcdStream<'a> {
 }
 
 /// Parses one VCD value-change line into `(value, identifier code)`.
+/// `lineno` is 1-based.
 fn parse_change(line: &str, lineno: usize) -> Result<(bool, &str), VcdReadError> {
-    if let Some(rest) = line.strip_prefix('b') {
-        // vector: b<binary> <code>
+    if let Some(rest) = line.strip_prefix('b').or_else(|| line.strip_prefix('B')) {
+        // vector: b<binary> <code>; x/z bits are "not 1", i.e. false
         let mut parts = rest.split_whitespace();
         let bits = parts.next().unwrap_or("");
+        if let Some(bad) = bits.chars().find(|c| !matches!(c, '0' | '1' | 'x' | 'X' | 'z' | 'Z')) {
+            return Err(VcdReadError::Malformed {
+                line: lineno,
+                message: format!("invalid bit `{bad}` in vector change"),
+            });
+        }
         let code = parts.next().ok_or_else(|| VcdReadError::Malformed {
-            line: lineno + 1,
+            line: lineno,
             message: "vector change missing identifier".to_owned(),
         })?;
         Ok((bits.contains('1'), code))
     } else {
         let mut chars = line.chars();
         let v = chars.next().ok_or_else(|| VcdReadError::Malformed {
-            line: lineno + 1,
+            line: lineno,
             message: "empty value change".to_owned(),
         })?;
         let value = match v {
@@ -348,7 +884,7 @@ fn parse_change(line: &str, lineno: usize) -> Result<(bool, &str), VcdReadError>
             '0' | 'x' | 'X' | 'z' | 'Z' => false,
             other => {
                 return Err(VcdReadError::Malformed {
-                    line: lineno + 1,
+                    line: lineno,
                     message: format!("unsupported value change `{other}`"),
                 })
             }
@@ -361,7 +897,8 @@ fn parse_change(line: &str, lineno: usize) -> Result<(bool, &str), VcdReadError>
 /// rising edge of `clock_name`, returning the reconstructed trace.
 ///
 /// Convenience wrapper draining a [`VcdStream`] — use the stream
-/// directly to check long waveforms in bounded memory.
+/// directly (over a `BufReader<File>`) to check long waveforms in
+/// bounded memory.
 ///
 /// # Errors
 ///
@@ -384,6 +921,7 @@ pub fn read_vcd(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ClockDomain;
 
     fn setup() -> (Alphabet, SymbolId, SymbolId) {
         let mut ab = Alphabet::new();
@@ -495,6 +1033,139 @@ b0000 \"
     }
 
     #[test]
+    fn vector_x_z_bits_read_as_false() {
+        // a vector of only x/z bits is false; any 1 bit wins; an x
+        // *alongside* a 1 does not mask it
+        let (ab, a, _) = setup();
+        let vcd = "\
+$var wire 4 ! clk $end
+$var wire 4 \" req $end
+$enddefinitions $end
+#0
+bxxzZ \"
+1!
+#5
+0!
+bx1z0 \"
+#10
+1!
+#15
+0!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t[0].contains(a), "all-x/z vector reads as false");
+        assert!(t[1].contains(a), "a 1 bit among x/z still reads true");
+    }
+
+    #[test]
+    fn vector_with_invalid_bits_errors() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$var wire 4 \" req $end
+$enddefinitions $end
+#0
+bq010 \"
+1!
+";
+        let err = read_vcd(vcd, &ab, "clk").unwrap_err();
+        assert!(matches!(err, VcdReadError::Malformed { line: 5, .. }), "{err}");
+    }
+
+    #[test]
+    fn var_with_separate_range_token_resolves_base_name() {
+        // `$var wire 8 ! data [7:0] $end` — the name is `data`, the
+        // range rides as its own token
+        let mut ab = Alphabet::new();
+        let data = ab.event("data");
+        let vcd = "\
+$var wire 1 ! clk $end
+$var wire 8 \" data [7:0] $end
+$enddefinitions $end
+#0
+b00000001 \"
+1!
+#5
+0!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].contains(data));
+    }
+
+    #[test]
+    fn var_with_attached_range_resolves_base_name() {
+        let mut ab = Alphabet::new();
+        let data = ab.event("data");
+        let vcd = "\
+$var wire 1 ! clk $end
+$var wire 8 \" data[7:0] $end
+$enddefinitions $end
+#0
+b10000000 \"
+1!
+#5
+0!
+";
+        let t = read_vcd(vcd, &ab, "clk").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].contains(data));
+    }
+
+    #[test]
+    fn short_var_declaration_errors() {
+        let (ab, _, _) = setup();
+        for vcd in [
+            "$var wire 1 ! $end\n$enddefinitions $end\n",
+            "$var wire 1 $end\n$enddefinitions $end\n",
+        ] {
+            let err = VcdStream::new(vcd, &ab, "clk").unwrap_err();
+            assert!(matches!(err, VcdReadError::Malformed { line: 1, .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_timestamp_errors_instead_of_panicking() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$enddefinitions $end
+#zero
+1!
+";
+        let err = read_vcd(vcd, &ab, "clk").unwrap_err();
+        match err {
+            VcdReadError::Malformed { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("timestamp"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backwards_timestamp_errors_on_single_clock_stream_too() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk $end
+$enddefinitions $end
+#10
+1!
+#3
+0!
+";
+        let err = read_vcd(vcd, &ab, "clk").unwrap_err();
+        match err {
+            VcdReadError::Malformed { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("backwards"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn streaming_chunks_equal_whole_file_read() {
         let (ab, a, b) = setup();
         // 100 ticks of varied activity
@@ -529,6 +1200,36 @@ b0000 \"
             // drained stream stays at EOF
             assert_eq!(stream.next_chunk(&mut chunk, chunk_size).unwrap(), 0);
         }
+    }
+
+    #[test]
+    fn buffered_reader_parse_equals_whole_string_parse() {
+        // same bytes through a tiny-capacity BufReader — the streamed
+        // path must be byte-for-byte equivalent to the &str path
+        let (ab, a, b) = setup();
+        let t: Trace = (0..50u32)
+            .map(|i| {
+                let mut v = Valuation::empty();
+                if i % 5 == 0 {
+                    v.insert(a);
+                }
+                if i % 7 == 0 {
+                    v.insert(b);
+                }
+                v
+            })
+            .collect();
+        let vcd = write_vcd(&t, &ab, &VcdWriteOptions::default());
+        let whole = read_vcd(&vcd, &ab, "clk").unwrap();
+
+        let reader = io::BufReader::with_capacity(7, vcd.as_bytes());
+        let mut stream = VcdStream::from_reader(reader, &ab, "clk").unwrap();
+        let mut got = Trace::new();
+        let mut chunk = Vec::new();
+        while stream.next_chunk(&mut chunk, 16).unwrap() > 0 {
+            got.extend(chunk.iter().copied());
+        }
+        assert_eq!(got, whole);
     }
 
     #[test]
@@ -590,6 +1291,143 @@ q!
         match err {
             VcdReadError::Malformed { line, .. } => assert_eq!(line, 4),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // ---- multi-clock global stream ---------------------------------
+
+    fn global_setup() -> (Alphabet, SymbolId, SymbolId, ClockSet, GlobalRun) {
+        let mut ab = Alphabet::new();
+        let go = ab.event("go");
+        let done = ab.event("done");
+        let mut clocks = ClockSet::new();
+        let c1 = clocks.add(ClockDomain::new("clk1", 2, 0)); // 0,2,4
+        let c2 = clocks.add(ClockDomain::new("clk2", 3, 1)); // 1,4
+        let t1 = Trace::from_elements([
+            Valuation::of([go]),
+            Valuation::empty(),
+            Valuation::of([go]),
+        ]);
+        let t2 = Trace::from_elements([Valuation::of([done]), Valuation::of([done])]);
+        let run = GlobalRun::interleave(&clocks, &[(c1, t1), (c2, t2)]).unwrap();
+        (ab, go, done, clocks, run)
+    }
+
+    #[test]
+    fn global_write_read_round_trips() {
+        let (ab, go, done, clocks, run) = global_setup();
+        let owners = [Valuation::of([go]), Valuation::of([done])];
+        let opts = VcdWriteOptions {
+            half_period: 1,
+            ..Default::default()
+        };
+        let vcd = write_vcd_global(&run, &clocks, &ab, &owners, &opts);
+        let specs = [
+            VcdClockSpec::masked("clk1", owners[0]),
+            VcdClockSpec::masked("clk2", owners[1]),
+        ];
+        let mut stream = GlobalVcdStream::new(&vcd, &ab, &specs).unwrap();
+        let mut steps = Vec::new();
+        let mut got: Vec<GlobalStep> = Vec::new();
+        while stream.next_chunk(&mut steps, 3).unwrap() > 0 {
+            got.extend(steps.iter().cloned());
+        }
+        assert_eq!(got.len(), run.len());
+        for (read, orig) in got.iter().zip(run.iter()) {
+            // VCD time = 2 * global time * half_period (half_period=1)
+            assert_eq!(read.time, 2 * orig.time);
+            assert_eq!(read.ticks, orig.ticks);
+        }
+    }
+
+    #[test]
+    fn global_shared_instants_merge_into_one_step() {
+        let (ab, go, done, clocks, run) = global_setup();
+        // global time 4 has both clocks ticking
+        let shared = run.iter().find(|s| s.ticks.len() == 2).expect("shared instant");
+        assert_eq!(shared.time, 4);
+        let owners = [Valuation::of([go]), Valuation::of([done])];
+        let vcd = write_vcd_global(
+            &run,
+            &clocks,
+            &ab,
+            &owners,
+            &VcdWriteOptions {
+                half_period: 1,
+                ..Default::default()
+            },
+        );
+        let specs = [VcdClockSpec::new("clk1"), VcdClockSpec::new("clk2")];
+        let mut stream = GlobalVcdStream::new(&vcd, &ab, &specs).unwrap();
+        let mut steps = Vec::new();
+        stream.next_chunk(&mut steps, 64).unwrap();
+        let read_shared = steps.iter().find(|s| s.time == 8).expect("shared step");
+        assert_eq!(read_shared.ticks.len(), 2);
+    }
+
+    #[test]
+    fn global_missing_clock_names_the_culprit() {
+        let (ab, _, _, clocks, run) = global_setup();
+        let owners = [Valuation::empty(), Valuation::empty()];
+        let vcd = write_vcd_global(&run, &clocks, &ab, &owners, &VcdWriteOptions::default());
+        let specs = [VcdClockSpec::new("clk1"), VcdClockSpec::new("ghost")];
+        match GlobalVcdStream::new(&vcd, &ab, &specs) {
+            Err(VcdReadError::MissingClock { name }) => assert_eq!(name, "ghost"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_backwards_timestamp_errors() {
+        let (ab, _, _) = setup();
+        let vcd = "\
+$var wire 1 ! clk1 $end
+$enddefinitions $end
+#5
+1!
+#3
+0!
+";
+        let mut stream = GlobalVcdStream::new(vcd, &ab, &[VcdClockSpec::new("clk1")]).unwrap();
+        let mut steps = Vec::new();
+        let err = stream.next_chunk(&mut steps, 16).unwrap_err();
+        assert!(matches!(err, VcdReadError::Malformed { line: 5, .. }), "{err}");
+        // poisoned
+        assert_eq!(stream.next_chunk(&mut steps, 16).unwrap(), 0);
+    }
+
+    #[test]
+    fn global_stream_masks_restrict_tick_valuations() {
+        let (ab, go, done, clocks, run) = global_setup();
+        // write WITHOUT ownership separation (both clocks own all
+        // symbols), then read back masked: each tick carries only its
+        // own chart's signals even though the wires are shared
+        let all = Valuation::of([go, done]);
+        let vcd = write_vcd_global(
+            &run,
+            &clocks,
+            &ab,
+            &[all, all],
+            &VcdWriteOptions {
+                half_period: 1,
+                ..Default::default()
+            },
+        );
+        let specs = [
+            VcdClockSpec::masked("clk1", Valuation::of([go])),
+            VcdClockSpec::masked("clk2", Valuation::of([done])),
+        ];
+        let mut stream = GlobalVcdStream::new(&vcd, &ab, &specs).unwrap();
+        let mut steps = Vec::new();
+        stream.next_chunk(&mut steps, 64).unwrap();
+        for step in &steps {
+            for &(clock, v) in &step.ticks {
+                if clock.index() == 0 {
+                    assert!(!v.contains(done), "clk1 tick must not carry done");
+                } else {
+                    assert!(!v.contains(go), "clk2 tick must not carry go");
+                }
+            }
         }
     }
 }

@@ -11,11 +11,14 @@
 //! ```
 
 use std::fmt;
+use std::io::BufRead;
 
 use cesc_chart::{parse_document, render_ascii, Document, Scesc};
-use cesc_core::{analyze, synthesize, to_dot, SynthOptions, BATCH_CHUNK};
+use cesc_core::{
+    analyze, synthesize, synthesize_multiclock, to_dot, SynthOptions, BATCH_CHUNK,
+};
 use cesc_hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
-use cesc_trace::VcdStream;
+use cesc_trace::{GlobalVcdStream, VcdClockSpec, VcdStream};
 
 /// Error from a CLI command.
 #[derive(Debug)]
@@ -128,27 +131,140 @@ pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<S
     })
 }
 
+/// Options for [`check`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Print every match tick/time instead of the default summary
+    /// (count plus first/last [`MATCH_EDGE`] entries) — the
+    /// `--all-matches` flag.
+    pub all_matches: bool,
+}
+
+/// How many leading and trailing matches the default [`check`] summary
+/// prints; everything in between is elided as a count.
+pub const MATCH_EDGE: usize = 5;
+
+/// Streaming match accumulator: in summary mode it keeps only the
+/// count plus the first/last [`MATCH_EDGE`] match times, so `check`'s
+/// resident memory stays constant no matter how many matches bulk
+/// traffic produces. Only `--all-matches` retains (and prints) the
+/// full list.
+struct MatchTally {
+    count: u64,
+    first: Vec<u64>,
+    last: std::collections::VecDeque<u64>,
+    all: Option<Vec<u64>>,
+}
+
+impl MatchTally {
+    fn new(keep_all: bool) -> Self {
+        MatchTally {
+            count: 0,
+            first: Vec::with_capacity(MATCH_EDGE),
+            last: std::collections::VecDeque::with_capacity(MATCH_EDGE),
+            all: keep_all.then(Vec::new),
+        }
+    }
+
+    fn absorb(&mut self, hits: &[u64]) {
+        for &t in hits {
+            self.count += 1;
+            if self.first.len() < MATCH_EDGE {
+                self.first.push(t);
+            } else {
+                if self.last.len() == MATCH_EDGE {
+                    self.last.pop_front();
+                }
+                self.last.push_back(t);
+            }
+            if let Some(all) = &mut self.all {
+                all.push(t);
+            }
+        }
+    }
+
+    fn detected(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Renders the matches: the complete list under `--all-matches` or
+    /// when short, otherwise first/last [`MATCH_EDGE`] entries with an
+    /// elision count — bulk traffic produces millions of matches, and
+    /// dumping them all turns `cesc check` output into MBs of tick
+    /// numbers.
+    fn render(&self) -> String {
+        if let Some(all) = &self.all {
+            return format!("{all:?}");
+        }
+        let join = |ts: &mut dyn Iterator<Item = &u64>| {
+            ts.map(u64::to_string).collect::<Vec<_>>().join(", ")
+        };
+        let head = join(&mut self.first.iter());
+        if self.last.is_empty() {
+            return format!("[{head}]");
+        }
+        let tail = join(&mut self.last.iter());
+        let elided = self.count - (self.first.len() + self.last.len()) as u64;
+        if elided == 0 {
+            format!("[{head}, {tail}]")
+        } else {
+            format!("[{head}, ... {elided} more ..., {tail}]")
+        }
+    }
+}
+
 /// `cesc check`: run the chart's monitor over a VCD waveform.
 ///
-/// The waveform is streamed: VCD samples are pulled in
-/// [`BATCH_CHUNK`]-sized chunks and fed to the compiled batch engine,
-/// so the decoded trace never materialises in full — resident memory
-/// is the VCD text plus one chunk, not text plus a whole-trace copy.
+/// `chart_name` may name a basic chart (checked on `clock`) or a
+/// `multiclock` spec (each local chart is checked on its own declared
+/// clock; `clock` is ignored).
+///
+/// The waveform is streamed end to end: lines are pulled from the
+/// [`BufRead`] and samples are decoded in [`BATCH_CHUNK`]-sized chunks
+/// for the compiled batch engine, so neither the VCD text, the decoded
+/// trace, nor the match list ever materialises in full — a multi-GB
+/// dump is checked in constant memory. (Only
+/// [`CheckOptions::all_matches`] retains the complete match list, for
+/// output.)
 pub fn check(
     source: &str,
     chart_name: &str,
-    vcd_text: &str,
+    vcd: impl BufRead,
     clock: &str,
+    opts: &CheckOptions,
 ) -> Result<String, CliError> {
     let doc = load(source)?;
-    let chart = pick(&doc, Some(chart_name))?;
+    if doc.chart(chart_name).is_some() {
+        check_single(&doc, chart_name, vcd, clock, opts)
+    } else if doc.multiclock_spec(chart_name).is_some() {
+        check_multiclock(&doc, chart_name, vcd, opts)
+    } else {
+        let charts: Vec<&str> = doc.charts.iter().map(Scesc::name).collect();
+        let multis: Vec<&str> = doc.multiclock.iter().map(|m| m.name()).collect();
+        Err(CliError::Pipeline(format!(
+            "chart `{chart_name}` not found; available charts: {}; multiclock specs: {}",
+            if charts.is_empty() { "(none)".to_owned() } else { charts.join(", ") },
+            if multis.is_empty() { "(none)".to_owned() } else { multis.join(", ") },
+        )))
+    }
+}
+
+fn check_single(
+    doc: &Document,
+    chart_name: &str,
+    vcd: impl BufRead,
+    clock: &str,
+    opts: &CheckOptions,
+) -> Result<String, CliError> {
+    let chart = pick(doc, Some(chart_name))?;
     let monitor =
         synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let mut stream = VcdStream::new(vcd_text, &doc.alphabet, clock)
+    let mut stream = VcdStream::from_reader(vcd, &doc.alphabet, clock)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let compiled = monitor.compiled();
     let mut exec = compiled.executor();
-    let mut hits = Vec::new();
+    let mut tally = MatchTally::new(opts.all_matches);
+    let mut chunk_hits = Vec::new();
     let mut chunk = Vec::new();
     loop {
         let n = stream
@@ -157,19 +273,75 @@ pub fn check(
         if n == 0 {
             break;
         }
-        exec.feed(&chunk, &mut hits);
+        chunk_hits.clear();
+        exec.feed(&chunk, &mut chunk_hits);
+        tally.absorb(&chunk_hits);
     }
-    let report = exec.finish(hits);
-    let verdict = if report.detected() { "DETECTED" } else { "NOT OBSERVED" };
+    let verdict = if tally.detected() { "DETECTED" } else { "NOT OBSERVED" };
     Ok(format!(
-        "chart `{}` over {} sampled cycles: {} — {} occurrence(s) at ticks {:?}, \
+        "chart `{}` over {} sampled cycles: {} — {} occurrence(s) at ticks {}, \
          scoreboard underflows {}\n",
         chart.name(),
-        report.ticks,
+        exec.ticks(),
         verdict,
-        report.matches.len(),
-        report.matches,
-        report.underflows
+        tally.count,
+        tally.render(),
+        exec.underflows()
+    ))
+}
+
+fn check_multiclock(
+    doc: &Document,
+    spec_name: &str,
+    vcd: impl BufRead,
+    opts: &CheckOptions,
+) -> Result<String, CliError> {
+    let spec = doc
+        .multiclock_spec(spec_name)
+        .expect("caller checked presence");
+    let monitor = synthesize_multiclock(spec, &SynthOptions::default())
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    // one VCD clock per local chart, in chart order — ClockId index i
+    // then drives local i, the compiled engine's identity binding;
+    // each tick carries only its own chart's signals
+    let clock_specs: Vec<VcdClockSpec> = monitor
+        .locals()
+        .iter()
+        .zip(spec.charts())
+        .map(|(local, chart)| VcdClockSpec::masked(local.clock(), chart.mentioned_symbols()))
+        .collect();
+    let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let compiled = monitor.compiled();
+    let mut state = compiled.state();
+    let mut tally = MatchTally::new(opts.all_matches);
+    let mut chunk_hits = Vec::new();
+    let mut chunk = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        let n = stream
+            .next_chunk(&mut chunk, BATCH_CHUNK)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        steps += n as u64;
+        chunk_hits.clear();
+        compiled.feed(&mut state, &chunk, &mut chunk_hits);
+        tally.absorb(&chunk_hits);
+    }
+    let verdict = if tally.detected() { "DETECTED" } else { "NOT OBSERVED" };
+    let clock_list: Vec<&str> = clock_specs.iter().map(VcdClockSpec::name).collect();
+    Ok(format!(
+        "multiclock `{}` over {} global steps (clocks {}): {} — {} occurrence(s) at times {}, \
+         scoreboard underflows {}\n",
+        spec.name(),
+        steps,
+        clock_list.join(", "),
+        verdict,
+        tally.count,
+        tally.render(),
+        state.underflows()
     ))
 }
 
@@ -179,6 +351,10 @@ pub fn usage() -> &'static str {
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva]\n\
-     check  <spec> --chart NAME --vcd FILE [--clock NAME]\n"
+     check  <spec> --chart NAME --vcd FILE [--clock NAME] [--all-matches]\n\
+     \n\
+     check's NAME may be a basic chart (sampled on --clock, default `clk`)\n\
+     or a multiclock spec (each local chart sampled on its own clock).\n\
+     Matches are summarised (count + first/last 5); --all-matches lists every one.\n"
 }
 

@@ -27,6 +27,7 @@ fn run() -> Result<String, cli::CliError> {
     let mut format = SynthFormat::Summary;
     let mut vcd_path: Option<String> = None;
     let mut clock = "clk".to_owned();
+    let mut check_opts = cli::CheckOptions::default();
     while let Some(flag) = it.next() {
         match flag {
             "--chart" => {
@@ -40,6 +41,9 @@ fn run() -> Result<String, cli::CliError> {
             }
             "--clock" => {
                 clock = expect_value(&mut it, "--clock")?;
+            }
+            "--all-matches" => {
+                check_opts.all_matches = true;
             }
             other => {
                 return Err(cli::CliError::Usage(format!(
@@ -60,10 +64,18 @@ fn run() -> Result<String, cli::CliError> {
             let vcd_path = vcd_path.ok_or_else(|| {
                 cli::CliError::Usage("check requires --vcd FILE".to_owned())
             })?;
-            let vcd = std::fs::read_to_string(&vcd_path).map_err(|e| {
+            // stream the dump instead of reading it into memory: a
+            // multi-GB waveform is checked line by line
+            let file = std::fs::File::open(&vcd_path).map_err(|e| {
                 cli::CliError::Pipeline(format!("cannot read `{vcd_path}`: {e}"))
             })?;
-            cli::check(&source, &chart, &vcd, &clock)
+            cli::check(
+                &source,
+                &chart,
+                std::io::BufReader::new(file),
+                &clock,
+                &check_opts,
+            )
         }
         other => Err(cli::CliError::Usage(format!(
             "unknown command `{other}`\n{}",
@@ -84,8 +96,17 @@ fn expect_value<'a>(
 fn main() -> ExitCode {
     match run() {
         Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
+            use std::io::Write as _;
+            // `--all-matches | head` closes the pipe early; that is a
+            // normal exit, not a panic
+            match std::io::stdout().lock().write_all(out.as_bytes()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("cesc: cannot write output: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Err(e) => {
             eprintln!("cesc: {e}");

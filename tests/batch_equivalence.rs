@@ -1,12 +1,19 @@
 //! Property tests for the batched engine: over any trace and any
 //! chunking, `scan_batch` / `BatchExec::feed` / `MonitorBank` produce
 //! exactly the verdicts of the step-wise `Monitor::scan` — same
-//! detection ticks, same final state, same underflow count.
+//! detection ticks, same final state, same underflow count. The
+//! multi-clock section extends the pin to `MultiClockMonitor::scan` vs
+//! `scan_batch` under arbitrary clock interleavings and chunkings, and
+//! the VCD section pins `BufRead`-streamed parsing against
+//! whole-string parsing on the same bytes.
 
-use cesc::core::{synthesize, MonitorBank, OverlapPolicy, SynthOptions};
+use cesc::core::{synthesize, synthesize_multiclock, MonitorBank, OverlapPolicy, SynthOptions};
 use cesc::expr::{SymbolId, Valuation};
 use cesc::prelude::{parse_document, Alphabet, ScescBuilder};
-use cesc::trace::Trace;
+use cesc::trace::{
+    read_vcd, write_vcd, ClockDomain, ClockId, ClockSet, GlobalRun, GlobalStep, Trace, VcdStream,
+    VcdWriteOptions,
+};
 use proptest::prelude::*;
 
 const SYMS: usize = 4;
@@ -79,8 +86,207 @@ fn causality_doc() -> cesc::chart::Document {
     .unwrap()
 }
 
+/// Fig 2 style multi-clock spec with cross-domain causality — the
+/// *coupled* case, forcing interleaved batch execution.
+const MC_COUPLED: &str = r#"
+    scesc m1 on clk1 {
+        instances { Master, S_CNT }
+        events { req1, rdy1, data1 }
+        tick { Master: req1 }
+        tick { S_CNT: rdy1 }
+        tick { S_CNT: data1 }
+        cause req1 -> rdy1;
+    }
+    scesc m2 on clk2 {
+        instances { M_CNT, Slave }
+        events { req3, rdy3, data3 }
+        tick { M_CNT: req3 }
+        tick { Slave: rdy3 }
+        tick { Slave: data3 }
+        cause req3 -> rdy3;
+    }
+    multiclock mc { charts { m1, m2 } cause req1 -> req3; cause data3 -> data1; }
+"#;
+
+/// Intra-chart causality only — disjoint scoreboard footprints, the
+/// clock-major fast path.
+const MC_UNCOUPLED: &str = r#"
+    scesc m1 on clk1 {
+        instances { A, B }
+        events { a1, b1 }
+        tick { A: a1 }
+        tick { B: b1 }
+        cause a1 -> b1;
+    }
+    scesc m2 on clk2 {
+        instances { C, D }
+        events { c2, d2 }
+        tick { C: c2 }
+        tick { D: d2 }
+        cause c2 -> d2;
+    }
+    multiclock mc { charts { m1, m2 } }
+"#;
+
+/// An arbitrary two-clock interleaving: per global step, a time gap
+/// plus each clock's tick encoding — values `>= 64` mean "this clock
+/// does not tick", values `< 64` are the tick's valuation bits (over
+/// the document's 6-symbol alphabet).
+fn arb_global_steps(len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((0u8..3, 0u8..128, 0u8..128), 0..len)
+}
+
+fn build_run(steps: &[(u8, u8, u8)]) -> GlobalRun {
+    let decode = |raw: u8| (raw < 64).then(|| Valuation::from_bits(raw as u128));
+    let mut run = GlobalRun::new();
+    let mut t = 0u64;
+    for &(gap, a, b) in steps {
+        t += u64::from(gap) + 1;
+        let mut ticks = Vec::new();
+        if let Some(v) = decode(a) {
+            ticks.push((ClockId::from_index(0), v));
+        }
+        if let Some(v) = decode(b) {
+            ticks.push((ClockId::from_index(1), v));
+        }
+        if !ticks.is_empty() {
+            run.push(GlobalStep { time: t, ticks });
+        }
+    }
+    run
+}
+
+fn two_clock_set() -> ClockSet {
+    let mut clocks = ClockSet::new();
+    clocks.add(ClockDomain::new("clk1", 1, 0));
+    clocks.add(ClockDomain::new("clk2", 1, 0));
+    clocks
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Multi-clock `scan_batch` equals step-wise `scan` over arbitrary
+    /// clock interleavings, for both the coupled (interleaved) and
+    /// uncoupled (clock-major) execution strategies.
+    #[test]
+    fn multiclock_scan_batch_equals_scan(steps in arb_global_steps(40)) {
+        let clocks = two_clock_set();
+        let run = build_run(&steps);
+        for src in [MC_COUPLED, MC_UNCOUPLED] {
+            let doc = parse_document(src).unwrap();
+            let mm = synthesize_multiclock(doc.multiclock_spec("mc").unwrap(), &SynthOptions::default())
+                .unwrap();
+            let reference = mm.scan(&clocks, &run);
+            let batched = mm.scan_batch(&clocks, &run);
+            prop_assert_eq!(&batched, &reference, "coupled={}", mm.compiled().coupled());
+        }
+    }
+
+    /// Feeding a global run through the compiled multi-clock executor
+    /// in ANY chunking yields the verdicts of one step-wise pass.
+    #[test]
+    fn multiclock_any_chunking_equals_stepwise(
+        steps in arb_global_steps(40),
+        chunking in arb_chunking(),
+    ) {
+        let clocks = two_clock_set();
+        let run = build_run(&steps);
+        for src in [MC_COUPLED, MC_UNCOUPLED] {
+            let doc = parse_document(src).unwrap();
+            let mm = synthesize_multiclock(doc.multiclock_spec("mc").unwrap(), &SynthOptions::default())
+                .unwrap();
+            let reference = mm.scan(&clocks, &run);
+
+            let compiled = mm.compiled();
+            let mut exec = compiled.executor(&clocks);
+            let mut hits = Vec::new();
+            let elements = run.as_slice();
+            let mut at = 0usize;
+            for &len in &chunking {
+                let end = (at + len).min(elements.len());
+                exec.feed(&elements[at..end], &mut hits);
+                at = end;
+            }
+            exec.feed(&elements[at..], &mut hits);
+            prop_assert_eq!(&hits, &reference, "chunking {:?}", &chunking);
+            prop_assert_eq!(exec.match_count(), reference.len() as u64);
+        }
+    }
+
+    /// A bank fed globally (the mixed-plan path) agrees with
+    /// independent step-wise scans of each member.
+    #[test]
+    fn bank_feed_global_equals_independent_scans(
+        steps in arb_global_steps(32),
+        chunking in arb_chunking(),
+    ) {
+        let clocks = two_clock_set();
+        let run = build_run(&steps);
+        let doc = parse_document(MC_COUPLED).unwrap();
+        let mm = synthesize_multiclock(doc.multiclock_spec("mc").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let m1 = synthesize(doc.chart("m1").unwrap(), &SynthOptions::default()).unwrap();
+
+        let mut bank = MonitorBank::new();
+        let si = bank.add(&m1);
+        let mi = bank.add_multiclock(&mm);
+
+        let elements = run.as_slice();
+        let mut at = 0usize;
+        for &len in &chunking {
+            let end = (at + len).min(elements.len());
+            bank.feed_global(&clocks, &elements[at..end]);
+            at = end;
+        }
+        bank.feed_global(&clocks, &elements[at..]);
+
+        // single-clock reference: m1 over its own domain's projection,
+        // hits at global times
+        let c1 = clocks.lookup("clk1").unwrap();
+        let local = run.project(c1);
+        let local_times: Vec<u64> = run
+            .iter()
+            .filter(|s| s.tick_of(c1).is_some())
+            .map(|s| s.time)
+            .collect();
+        let reference: Vec<u64> = m1
+            .scan(&local)
+            .matches
+            .iter()
+            .map(|&k| local_times[k as usize])
+            .collect();
+        prop_assert_eq!(bank.hits(si), &reference[..]);
+        prop_assert_eq!(bank.multiclock_hits(mi), &mm.scan(&clocks, &run)[..]);
+    }
+
+    /// Streaming a VCD through a small-capacity `BufRead` yields
+    /// exactly the whole-string parse of the same bytes, for any
+    /// trace, buffer capacity and chunk size.
+    #[test]
+    fn buffered_vcd_parse_equals_whole_string_parse(
+        raw in arb_trace(48),
+        cap in 1usize..48,
+        chunk_size in 1usize..32,
+    ) {
+        let mut ab = Alphabet::new();
+        for i in 0..SYMS {
+            ab.event(&format!("s{i}"));
+        }
+        let trace = decode_trace(&raw);
+        let vcd = write_vcd(&trace, &ab, &VcdWriteOptions::default());
+        let whole = read_vcd(&vcd, &ab, "clk").unwrap();
+        prop_assert_eq!(&whole, &trace);
+
+        let reader = std::io::BufReader::with_capacity(cap, vcd.as_bytes());
+        let mut stream = VcdStream::from_reader(reader, &ab, "clk").unwrap();
+        let mut got = Trace::new();
+        let mut chunk = Vec::new();
+        while stream.next_chunk(&mut chunk, chunk_size).unwrap() > 0 {
+            got.extend(chunk.iter().copied());
+        }
+        prop_assert_eq!(got, whole);
+    }
 
     /// `scan_batch` equals step-wise `scan` on arbitrary charts and
     /// traces, under both overlap policies.

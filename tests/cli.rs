@@ -1,7 +1,7 @@
 //! Tests for the `cesc` command-line front end (the pure command
 //! functions in `cesc::cli`; `src/main.rs` only parses argv).
 
-use cesc::cli::{check, render, synth, CliError, SynthFormat};
+use cesc::cli::{check, render, synth, CheckOptions, CliError, SynthFormat};
 use cesc::core::{synthesize, SynthOptions};
 use cesc::trace::{write_vcd, VcdWriteOptions};
 
@@ -74,7 +74,7 @@ fn check_against_vcd() {
     assert!(monitor.scan(&trace).detected());
     let vcd = write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default());
 
-    let out = check(SPEC, "hs", &vcd, "clk").unwrap();
+    let out = check(SPEC, "hs", vcd.as_bytes(), "clk", &CheckOptions::default()).unwrap();
     assert!(out.contains("DETECTED"));
     assert!(out.contains("1 occurrence(s)"));
 
@@ -86,8 +86,109 @@ fn check_against_vcd() {
     .into_iter()
     .collect();
     let vcd = write_vcd(&broken, &doc.alphabet, &VcdWriteOptions::default());
-    let out = check(SPEC, "hs", &vcd, "clk").unwrap();
+    let out = check(SPEC, "hs", vcd.as_bytes(), "clk", &CheckOptions::default()).unwrap();
     assert!(out.contains("NOT OBSERVED"));
+}
+
+#[test]
+fn check_summarizes_bulk_matches_unless_asked() {
+    // 40 back-to-back pulses → 40 matches; default output elides the
+    // middle, --all-matches lists every tick
+    let doc = cesc::chart::parse_document(SPEC).unwrap();
+    let p = doc.alphabet.lookup("p").unwrap();
+    let trace: cesc::trace::Trace =
+        std::iter::repeat_n(cesc::expr::Valuation::of([p]), 40).collect();
+    let vcd = write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default());
+
+    let out = check(SPEC, "pulse", vcd.as_bytes(), "clk", &CheckOptions::default()).unwrap();
+    assert!(out.contains("40 occurrence(s)"), "{out}");
+    assert!(out.contains("... 30 more ..."), "{out}");
+    assert!(!out.contains("17"), "middle ticks elided: {out}");
+
+    let all = check(
+        SPEC,
+        "pulse",
+        vcd.as_bytes(),
+        "clk",
+        &CheckOptions { all_matches: true },
+    )
+    .unwrap();
+    assert!(all.contains("17"), "{all}");
+    assert!(!all.contains("more"), "{all}");
+}
+
+const MULTI_SPEC: &str = r#"
+scesc m1 on clk1 { instances { A } events { go } tick { A: go } }
+scesc m2 on clk2 { instances { B } events { done } tick { B: done } }
+multiclock pair { charts { m1, m2 } cause go -> done; }
+"#;
+
+#[test]
+fn check_multiclock_spec_against_global_vcd() {
+    use cesc::expr::Valuation;
+    use cesc::trace::{write_vcd_global, ClockDomain, ClockSet, GlobalRun, Trace};
+
+    let doc = cesc::chart::parse_document(MULTI_SPEC).unwrap();
+    let go = doc.alphabet.lookup("go").unwrap();
+    let done = doc.alphabet.lookup("done").unwrap();
+    let mut clocks = ClockSet::new();
+    let c1 = clocks.add(ClockDomain::new("clk1", 2, 0));
+    let c2 = clocks.add(ClockDomain::new("clk2", 2, 1));
+    let run = GlobalRun::interleave(
+        &clocks,
+        &[
+            (c1, Trace::from_elements([Valuation::of([go]); 2])),
+            (c2, Trace::from_elements([Valuation::of([done]); 2])),
+        ],
+    )
+    .unwrap();
+    let owners = [Valuation::of([go]), Valuation::of([done])];
+    let vcd = write_vcd_global(&run, &clocks, &doc.alphabet, &owners, &VcdWriteOptions::default());
+
+    let out = check(MULTI_SPEC, "pair", vcd.as_bytes(), "clk", &CheckOptions::default()).unwrap();
+    assert!(out.contains("multiclock `pair`"), "{out}");
+    assert!(out.contains("DETECTED"), "{out}");
+    assert!(out.contains("clk1, clk2"), "{out}");
+    assert!(out.contains("2 occurrence(s)"), "{out}");
+
+    // out-of-order traffic (done before any go) never matches
+    let run = GlobalRun::interleave(
+        &clocks,
+        &[
+            (c1, Trace::from_elements([Valuation::empty(); 2])),
+            (c2, Trace::from_elements([Valuation::of([done]); 2])),
+        ],
+    )
+    .unwrap();
+    let vcd = write_vcd_global(&run, &clocks, &doc.alphabet, &owners, &VcdWriteOptions::default());
+    let out = check(MULTI_SPEC, "pair", vcd.as_bytes(), "clk", &CheckOptions::default()).unwrap();
+    assert!(out.contains("NOT OBSERVED"), "{out}");
+}
+
+#[test]
+fn check_survives_hostile_vcd_input() {
+    // binary junk (invalid UTF-8), truncated dumps and malformed
+    // timestamps must come back as pipeline errors, never panics
+    let junk: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+    let err = check(SPEC, "hs", junk.as_slice(), "clk", &CheckOptions::default()).unwrap_err();
+    assert!(matches!(err, CliError::Pipeline(_)));
+
+    let truncated = "$var wire 1 ! clk $end\n$enddefinitions $end\n#0\n1!\n#z";
+    let err = check(SPEC, "hs", truncated.as_bytes(), "clk", &CheckOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("timestamp"), "{err}");
+
+    let short_var = "$var wire 1 $end\n";
+    let err = check(SPEC, "hs", short_var.as_bytes(), "clk", &CheckOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("$var"), "{err}");
+}
+
+#[test]
+fn check_unknown_name_lists_charts_and_multiclock_specs() {
+    let err = check(MULTI_SPEC, "ghost", b"".as_slice(), "clk", &CheckOptions::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("m1, m2"), "{msg}");
+    assert!(msg.contains("pair"), "{msg}");
 }
 
 #[test]
@@ -98,6 +199,7 @@ fn errors_are_reported() {
     ));
     let err = synth(SPEC, Some("ghost"), SynthFormat::Summary).unwrap_err();
     assert!(err.to_string().contains("available: hs, pulse"));
-    let err = check(SPEC, "hs", "not a vcd", "clk").unwrap_err();
+    let err = check(SPEC, "hs", b"not a vcd".as_slice(), "clk", &CheckOptions::default())
+        .unwrap_err();
     assert!(err.to_string().contains("clk"));
 }
