@@ -2,16 +2,24 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench build test doc bench clean
+.PHONY: verify verify-bench verify-par build test doc bench clean
 
-verify: ## release build + full test suite + clean rustdoc + benches compile
+verify: ## release build + full test suite + clean rustdoc + benches compile + parallel equivalence
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(CARGO) doc --no-deps
 	$(MAKE) verify-bench
+	$(MAKE) verify-par
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run
+
+verify-par: ## parallel==serial: cesc-par unit tests + the sharded equivalence/CLI/streaming suites (multi-shard execution forced by every test) + the parallel bench compiles
+	$(CARGO) test -q -p cesc-par
+	$(CARGO) test -q --test batch_equivalence
+	$(CARGO) test -q --test cli fleet_
+	$(CARGO) test -q --test streaming_check fleet_mode
+	$(CARGO) bench -p cesc-bench --bench parallel_throughput --no-run
 
 build:
 	$(CARGO) build --release

@@ -1,0 +1,130 @@
+//! Experiment P1: the sharded fleet executor (`cesc-par`) against the
+//! serial `MonitorBank` on a 16-monitor verification fleet.
+//!
+//! Workload: 8 copies of the OCP pipelined burst read (the heaviest
+//! scoreboard program) plus 8 copies of the OCP simple read, all
+//! sharing one alphabet, checked over back-to-back compliant burst
+//! traffic. The serial baseline feeds every monitor from one
+//! `MonitorBank::feed`; the fleet variants broadcast the same
+//! `BATCH_CHUNK`-sized chunks to 1, 2 and 4 shard workers planned by
+//! the cost-model LPT planner.
+//!
+//! Verdict equivalence between the serial and sharded paths is
+//! asserted inline here and property-tested in
+//! `tests/batch_equivalence.rs`; this bench produces the measured
+//! speedup (acceptance bar: ≥ 2× over the serial bank at 4 workers on
+//! a host with ≥ 4 cores — the 1-worker fleet also quantifies the
+//! channel/broadcast overhead, and single-core hosts measure only that
+//! overhead, not the speedup).
+
+use cesc_bench::quick;
+use cesc_core::{synthesize, MonitorBank, SynthOptions, BATCH_CHUNK};
+use cesc_par::{plan_shards, scan_sharded, Fleet, ParOptions};
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const FLEET_COPIES: usize = 8; // 8 burst + 8 simple = 16 monitors
+
+/// 16 protocol charts in one shared-alphabet document: `FLEET_COPIES`
+/// renamed copies each of the OCP burst read and the OCP simple read.
+fn fleet_sources() -> String {
+    let mut src = String::new();
+    for k in 0..FLEET_COPIES {
+        src.push_str(&ocp::BURST_READ_SRC.replace("ocp_burst_read", &format!("burst_{k}")));
+        src.push_str(&ocp::SIMPLE_READ_SRC.replace("ocp_simple_read", &format!("simple_{k}")));
+    }
+    src
+}
+
+fn bench(c: &mut Criterion) {
+    let src = fleet_sources();
+    let doc = cesc_chart::parse_document(&src).expect("fleet document parses");
+    assert_eq!(doc.charts.len(), 2 * FLEET_COPIES);
+    let monitors: Vec<_> = doc
+        .charts
+        .iter()
+        .map(|chart| synthesize(chart, &SynthOptions::default()).expect("synthesizable"))
+        .collect();
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let trace = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 4_000,
+            gap: 2,
+            ..Default::default()
+        },
+    );
+
+    // serial reference + cross-check: every fleet shard count must
+    // reproduce the bank's verdicts exactly
+    let mut bank = MonitorBank::new();
+    for m in &monitors {
+        bank.add(m);
+    }
+    bank.feed(trace.as_slice());
+    let mut fleet = Fleet::new();
+    for m in &monitors {
+        fleet.add(m);
+    }
+    for jobs in [1usize, 2, 4] {
+        let plan = plan_shards(&fleet, jobs);
+        let report = scan_sharded(
+            &fleet,
+            &plan,
+            &ParOptions::default(),
+            trace.as_slice(),
+            BATCH_CHUNK,
+        );
+        for i in 0..monitors.len() {
+            assert_eq!(
+                report.singles[i].log.all().expect("exact logs"),
+                bank.hits(i),
+                "jobs={jobs} monitor={i}"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("parallel_throughput/fleet_16_monitors");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("serial_bank"),
+        &trace,
+        |b, t| {
+            b.iter(|| {
+                bank.reset();
+                bank.feed(black_box(t.as_slice()));
+                (0..bank.len()).map(|i| bank.hits(i).len()).sum::<usize>()
+            })
+        },
+    );
+    // summary-mode logs: the deployment configuration (bounded memory)
+    let opts = ParOptions {
+        keep_all_hits: false,
+        ..Default::default()
+    };
+    for jobs in [1usize, 2, 4] {
+        let plan = plan_shards(&fleet, jobs);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("fleet_jobs_{jobs}")),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    let report =
+                        scan_sharded(&fleet, &plan, &opts, black_box(t.as_slice()), BATCH_CHUNK);
+                    report
+                        .singles
+                        .iter()
+                        .map(|r| r.log.count() as usize)
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

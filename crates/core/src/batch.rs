@@ -303,8 +303,32 @@ impl CompiledMonitor {
 
     /// Bitmask of symbols with scoreboard traffic (`Chk_evt` reads plus
     /// `Add_evt`/`Del_evt` writes).
-    pub(crate) fn touched_symbols(&self) -> u128 {
+    ///
+    /// Two monitors with disjoint touched sets cannot observe each
+    /// other through a shared scoreboard; besides selecting
+    /// [`crate::CompiledMultiClock`]'s clock-major fast path, the mask
+    /// is the coupling signal `cesc-par`'s shard planner uses to
+    /// co-locate scoreboard-coupled monitors on one shard.
+    pub fn touched_symbols(&self) -> u128 {
         self.touched
+    }
+
+    /// Footprint-derived per-tick cost weight, the unit `cesc-par`'s
+    /// shard planner balances across workers.
+    ///
+    /// Models the dominant hot-path work of one execution step: the
+    /// priority scan evaluates up to the state's transition guards
+    /// (mask guards ≈ one cache line of `u128` tests, program guards ≈
+    /// their op count), plus scoreboard action traffic. The estimate
+    /// is a *relative* weight — twice the cost means roughly twice the
+    /// per-tick work — never a latency in any absolute unit.
+    pub fn step_cost(&self) -> u64 {
+        let states = self.state_count().max(1) as u64;
+        // guards scanned per tick, averaged over states (priority scan
+        // stops early, so the average over states upper-bounds it)
+        let guard_scan = self.transition_count() as u64 + self.ops.len() as u64;
+        let action_traffic = self.actions.len() as u64;
+        (guard_scan + action_traffic).div_ceil(states).max(1)
     }
 
     /// The source monitor's name.
@@ -764,6 +788,31 @@ impl MonitorBank {
     /// Panics if `idx` is out of range.
     pub fn hits(&self, idx: usize) -> &[u64] {
         &self.hits[idx]
+    }
+
+    /// Hands every single-clock monitor's accumulated hits to `sink`
+    /// (as `(monitor index, hit times)`) and clears the internal logs,
+    /// keeping the bank's residency bounded between drains — the hook
+    /// `cesc-par`'s shard workers use to fold hits into bounded
+    /// tallies chunk by chunk instead of growing one `Vec` per monitor
+    /// for the whole run.
+    pub fn drain_hits(&mut self, mut sink: impl FnMut(usize, &[u64])) {
+        for (idx, hits) in self.hits.iter_mut().enumerate() {
+            if !hits.is_empty() {
+                sink(idx, hits);
+                hits.clear();
+            }
+        }
+    }
+
+    /// [`MonitorBank::drain_hits`] for the multi-clock slot space.
+    pub fn drain_multiclock_hits(&mut self, mut sink: impl FnMut(usize, &[u64])) {
+        for (idx, hits) in self.multi_hits.iter_mut().enumerate() {
+            if !hits.is_empty() {
+                sink(idx, hits);
+                hits.clear();
+            }
+        }
     }
 
     /// Per-monitor reports for everything fed through

@@ -92,6 +92,9 @@ pub struct ImplicationChecker {
     antecedent_state: StateId,
     obligations: Vec<(StateId, u64)>, // (consequent state, antecedent tick)
     violations: Vec<Violation>,
+    /// Lifetime violation count — survives [`ImplicationChecker::take_violations`],
+    /// so the verdict stays `Failed` after records are drained.
+    violation_count: u64,
     fulfilled: u64,
     tick: u64,
 }
@@ -106,6 +109,7 @@ impl ImplicationChecker {
             antecedent_state: init,
             obligations: Vec::new(),
             violations: Vec::new(),
+            violation_count: 0,
             fulfilled: 0,
             tick: 0,
         }
@@ -136,6 +140,7 @@ impl ImplicationChecker {
                     }
                 }
                 ForwardStep::Stuck => {
+                    self.violation_count += 1;
                     self.violations.push(Violation {
                         antecedent_at: started,
                         failed_at: self.tick,
@@ -169,7 +174,7 @@ impl ImplicationChecker {
 
     /// The current verdict.
     pub fn verdict(&self) -> Verdict {
-        if !self.violations.is_empty() {
+        if self.violation_count > 0 {
             Verdict::Failed
         } else if !self.obligations.is_empty() {
             Verdict::Tracking
@@ -180,9 +185,26 @@ impl ImplicationChecker {
         }
     }
 
-    /// All recorded violations.
+    /// Violations recorded and not yet drained by
+    /// [`ImplicationChecker::take_violations`].
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Lifetime violation count (not reduced by
+    /// [`ImplicationChecker::take_violations`]).
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// Hands over the violations recorded since the last drain,
+    /// leaving the checker's log empty — a non-compliant bulk trace
+    /// otherwise accumulates one record per failing obligation, and
+    /// streaming callers (`cesc-par`'s shard workers) must keep their
+    /// residency bounded. The verdict and
+    /// [`ImplicationChecker::violation_count`] are unaffected.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
     }
 
     /// Number of fulfilled obligations.

@@ -95,6 +95,32 @@ impl CompiledMultiClock {
         self.coupled
     }
 
+    /// Union of the locals' scoreboard footprints
+    /// ([`CompiledMonitor::touched_symbols`]) — the coupling signal the
+    /// `cesc-par` shard planner reads.
+    pub fn touched_symbols(&self) -> u128 {
+        self.locals
+            .iter()
+            .map(CompiledMonitor::touched_symbols)
+            .fold(0, |acc, t| acc | t)
+    }
+
+    /// Footprint-derived per-step cost weight for shard balancing: the
+    /// sum of the locals' [`CompiledMonitor::step_cost`], surcharged
+    /// when coupling forces the interleaved (per-tick dispatch) path
+    /// instead of the clock-major chunk path.
+    pub fn step_cost(&self) -> u64 {
+        let locals: u64 = self.locals.iter().map(CompiledMonitor::step_cost).sum();
+        // completion-merge bookkeeping rides on top of the locals; the
+        // interleaved path additionally loses the monitor-major cache
+        // locality, worth roughly half the locals' work again
+        if self.coupled {
+            locals + locals / 2 + 1
+        } else {
+            locals + 1
+        }
+    }
+
     /// Creates a fresh runtime state with the *identity* clock
     /// binding: [`cesc_trace::ClockId`] index `i` drives local monitor `i` (the
     /// layout [`cesc_trace::GlobalVcdStream`] produces when its clock
@@ -408,6 +434,16 @@ impl crate::MonitorBank {
     /// Panics if `idx` is out of range.
     pub fn multiclock_hits(&self, idx: usize) -> &[u64] {
         &self.multi_hits[idx]
+    }
+
+    /// Shared-scoreboard `Del_evt` underflows of multi-clock monitor
+    /// `idx` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn multiclock_underflows(&self, idx: usize) -> u64 {
+        self.multis[idx].1.underflows()
     }
 
     /// Feeds a chunk of global steps to *every* member — the mixed

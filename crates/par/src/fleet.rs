@@ -1,0 +1,621 @@
+//! The monitor fleet and its sharded executor.
+//!
+//! A [`Fleet`] is the compiled verification plan: single-clock
+//! monitors, multi-clock monitors and `implies(...)` assertion
+//! checkers. [`run_sharded`] executes it across worker threads:
+//!
+//! ```text
+//!                        ┌────────────────────┐
+//!   VCD / simulation ──▶ │ FleetFeeder        │  one bounded channel
+//!   (decoded chunks)     │ (Arc<chunk> clone  │  per shard; the chunk
+//!                        │  per shard)        │  itself is shared
+//!                        └───┬────┬────┬──────┘
+//!                            ▼    ▼    ▼
+//!                        shard0 shard1 shard2   each: own MonitorBank
+//!                            │    │    │        + assert checkers, no
+//!                            ▼    ▼    ▼        cross-shard state
+//!                        ┌────────────────────┐
+//!                        │ merge (at join)    │ → FleetReport
+//!                        └────────────────────┘
+//! ```
+//!
+//! Every shard owns its monitors' complete mutable state (control
+//! states, scoreboards, tallies), so the hot path takes **no lock and
+//! shares no cache line** with other shards; the only synchronisation
+//! is the bounded channel hand-off of reference-counted chunks, and the
+//! per-shard results merge once, at join time. Verdicts are
+//! bit-identical to a serial [`MonitorBank`] run over the same chunks
+//! (pinned by the workspace `batch_equivalence` property suite).
+
+use std::sync::Arc;
+
+use cesc_core::{
+    CompiledMonitor, CompiledMultiClock, ImplicationChecker, Monitor, MonitorBank,
+    MultiClockMonitor, Verdict, Violation,
+};
+use cesc_expr::Valuation;
+use cesc_trace::{ClockId, ClockSet, GlobalStep};
+use crossbeam::channel;
+
+use crate::plan::{FleetItem, ShardPlan};
+use crate::tally::MatchLog;
+
+/// An `implies(antecedent, consequent)` assertion attached to a fleet:
+/// the two synthesized monitors plus the clock domain whose ticks
+/// drive the checker.
+#[derive(Debug, Clone)]
+pub struct AssertSpec {
+    pub(crate) name: String,
+    pub(crate) clock: String,
+    pub(crate) antecedent: Monitor,
+    pub(crate) consequent: Monitor,
+}
+
+impl AssertSpec {
+    /// Assembles an assertion item. `clock` names the domain whose
+    /// ticks the checker consumes when the fleet is fed globally (a
+    /// locally-fed fleet steps it on every valuation).
+    pub fn new(name: &str, clock: &str, antecedent: Monitor, consequent: Monitor) -> Self {
+        AssertSpec {
+            name: name.to_owned(),
+            clock: clock.to_owned(),
+            antecedent,
+            consequent,
+        }
+    }
+
+    /// The assertion's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock domain driving the checker.
+    pub fn clock(&self) -> &str {
+        &self.clock
+    }
+}
+
+/// A compiled monitor fleet — the unit the shard planner partitions
+/// and [`run_sharded`] executes.
+///
+/// Indices are per kind and stable: the `usize` returned by each
+/// `add_*` addresses the matching slot of the final [`FleetReport`].
+#[derive(Debug, Default)]
+pub struct Fleet {
+    pub(crate) singles: Vec<CompiledMonitor>,
+    pub(crate) multis: Vec<CompiledMultiClock>,
+    pub(crate) asserts: Vec<AssertSpec>,
+}
+
+impl Fleet {
+    /// Creates an empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles and adds a single-clock monitor; returns its index.
+    pub fn add(&mut self, monitor: &Monitor) -> usize {
+        self.add_compiled(monitor.compiled())
+    }
+
+    /// Adds an already-compiled single-clock monitor; returns its
+    /// index.
+    pub fn add_compiled(&mut self, compiled: CompiledMonitor) -> usize {
+        self.singles.push(compiled);
+        self.singles.len() - 1
+    }
+
+    /// Compiles and adds a multi-clock monitor; returns its index (a
+    /// slot space separate from single-clock indices).
+    pub fn add_multiclock(&mut self, monitor: &MultiClockMonitor) -> usize {
+        self.add_compiled_multiclock(monitor.compiled())
+    }
+
+    /// Adds an already-compiled multi-clock monitor; returns its
+    /// index.
+    pub fn add_compiled_multiclock(&mut self, compiled: CompiledMultiClock) -> usize {
+        self.multis.push(compiled);
+        self.multis.len() - 1
+    }
+
+    /// Adds an assertion checker; returns its index (its own slot
+    /// space).
+    pub fn add_assert(&mut self, assert: AssertSpec) -> usize {
+        self.asserts.push(assert);
+        self.asserts.len() - 1
+    }
+
+    /// Number of single-clock monitors.
+    pub fn single_len(&self) -> usize {
+        self.singles.len()
+    }
+
+    /// Number of multi-clock monitors.
+    pub fn multiclock_len(&self) -> usize {
+        self.multis.len()
+    }
+
+    /// Number of assertion checkers.
+    pub fn assert_len(&self) -> usize {
+        self.asserts.len()
+    }
+
+    /// Total number of fleet members of all kinds.
+    pub fn len(&self) -> usize {
+        self.singles.len() + self.multis.len() + self.asserts.len()
+    }
+
+    /// Whether the fleet has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Execution knobs for [`run_sharded`].
+#[derive(Debug, Clone)]
+pub struct ParOptions {
+    /// In-flight chunks buffered per shard channel. Bounds the
+    /// producer's lead over the slowest shard, and with it the
+    /// executor's peak chunk residency.
+    pub channel_depth: usize,
+    /// Retain every hit time in the [`MatchLog`]s (exact but
+    /// unbounded — what the equivalence suite and the `cesc-sim`
+    /// harnesses want). `false` keeps the logs bounded to
+    /// [`ParOptions::edge`] head/tail entries plus the count — the CLI
+    /// summary mode.
+    pub keep_all_hits: bool,
+    /// Head/tail entries each [`MatchLog`] retains.
+    pub edge: usize,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions {
+            channel_depth: 8,
+            keep_all_hits: true,
+            edge: 5,
+        }
+    }
+}
+
+/// Final state of one single-clock fleet member.
+#[derive(Debug, Clone)]
+pub struct SingleReport {
+    /// Detection times (tick indices under [`FleetFeeder::feed`],
+    /// global times under [`FleetFeeder::feed_global`]).
+    pub log: MatchLog,
+    /// Ticks the monitor consumed.
+    pub ticks: u64,
+    /// `Del_evt` scoreboard underflows.
+    pub underflows: u64,
+}
+
+/// Final state of one multi-clock fleet member.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Global times of full-spec matches.
+    pub log: MatchLog,
+    /// Shared-scoreboard `Del_evt` underflows.
+    pub underflows: u64,
+}
+
+/// How many violation records each assert member retains
+/// ([`AssertReport::violations`]); the exact total is always in
+/// [`AssertReport::violation_count`]. Keeps a non-compliant bulk trace
+/// (one violation per tick, potentially) from growing shard residency
+/// with trace length.
+pub const ASSERT_VIOLATION_KEEP: usize = 100;
+
+/// Final state of one assertion checker.
+#[derive(Debug, Clone)]
+pub struct AssertReport {
+    /// The assertion's name (copied from its [`AssertSpec`]).
+    pub name: String,
+    /// The closing verdict.
+    pub verdict: Verdict,
+    /// Obligations fulfilled.
+    pub fulfilled: u64,
+    /// Obligations still open when the stream closed.
+    pub outstanding: usize,
+    /// The earliest violations, up to [`ASSERT_VIOLATION_KEEP`].
+    pub violations: Vec<Violation>,
+    /// Total violations recorded (may exceed `violations.len()`).
+    pub violation_count: u64,
+    /// Ticks the checker consumed.
+    pub ticks: u64,
+}
+
+/// Merged per-member results of a sharded run, indexed exactly as the
+/// members were added to the [`Fleet`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// One report per single-clock monitor.
+    pub singles: Vec<SingleReport>,
+    /// One report per multi-clock monitor.
+    pub multis: Vec<MultiReport>,
+    /// One report per assertion checker.
+    pub asserts: Vec<AssertReport>,
+}
+
+impl FleetReport {
+    /// Whether any assertion checker finished with
+    /// [`Verdict::Failed`].
+    pub fn any_failed(&self) -> bool {
+        self.asserts.iter().any(|a| a.verdict == Verdict::Failed)
+    }
+}
+
+/// One broadcast unit: a reference-counted decoded chunk. Cloning per
+/// shard copies the `Arc`, not the samples.
+#[derive(Debug, Clone)]
+enum Msg {
+    Local(Arc<Vec<Valuation>>),
+    Global(Arc<Vec<GlobalStep>>),
+}
+
+/// The producer half of a sharded run: broadcasts decoded chunks to
+/// every shard. Handed to `drive` by [`run_sharded`].
+#[derive(Debug)]
+pub struct FleetFeeder {
+    txs: Vec<channel::Sender<Msg>>,
+}
+
+impl FleetFeeder {
+    fn broadcast(&self, msg: Msg) {
+        for tx in &self.txs {
+            tx.send(msg.clone()).expect("shard worker alive");
+        }
+    }
+
+    /// Broadcasts one chunk of same-clock valuations; every
+    /// single-clock monitor sees each element as one tick (the sharded
+    /// form of [`MonitorBank::feed`]). Assertion checkers step on
+    /// every element; multi-clock members ignore locally-fed chunks.
+    pub fn feed(&self, chunk: &[Valuation]) {
+        if !chunk.is_empty() {
+            self.broadcast(Msg::Local(Arc::new(chunk.to_vec())));
+        }
+    }
+
+    /// Broadcasts one chunk of global steps (the sharded form of
+    /// [`MonitorBank::feed_global`]); requires the run to have been
+    /// started with a clock set.
+    pub fn feed_global(&self, chunk: &[GlobalStep]) {
+        if !chunk.is_empty() {
+            self.broadcast(Msg::Global(Arc::new(chunk.to_vec())));
+        }
+    }
+}
+
+/// Per-shard runtime: the shard's own bank plus assertion checkers,
+/// built once per worker from the fleet's compiled artifacts.
+struct ShardWorker {
+    bank: MonitorBank,
+    /// Bank single-clock slot → fleet single index.
+    single_map: Vec<usize>,
+    /// Bank multi-clock slot → fleet multi index.
+    multi_map: Vec<usize>,
+    single_logs: Vec<MatchLog>,
+    multi_logs: Vec<MatchLog>,
+    asserts: Vec<AssertRunner>,
+    clocks: Option<ClockSet>,
+}
+
+struct AssertRunner {
+    fleet_idx: usize,
+    name: String,
+    clock: String,
+    /// Resolved against the run's clock set on first global chunk.
+    clock_id: Option<Option<ClockId>>,
+    checker: ImplicationChecker,
+    /// The earliest [`ASSERT_VIOLATION_KEEP`] violations, drained out
+    /// of the checker chunk by chunk so its log stays empty.
+    kept_violations: Vec<Violation>,
+    ticks: u64,
+}
+
+impl AssertRunner {
+    /// Folds this chunk's violation records into the bounded sample.
+    fn drain_violations(&mut self) {
+        if self.checker.violations().is_empty() {
+            return;
+        }
+        for v in self.checker.take_violations() {
+            if self.kept_violations.len() < ASSERT_VIOLATION_KEEP {
+                self.kept_violations.push(v);
+            }
+        }
+    }
+}
+
+struct ShardResult {
+    singles: Vec<(usize, SingleReport)>,
+    multis: Vec<(usize, MultiReport)>,
+    asserts: Vec<(usize, AssertReport)>,
+}
+
+impl ShardWorker {
+    fn build(fleet: &Fleet, items: &[FleetItem], clocks: Option<&ClockSet>, opts: &ParOptions) -> Self {
+        let mut w = ShardWorker {
+            bank: MonitorBank::new(),
+            single_map: Vec::new(),
+            multi_map: Vec::new(),
+            single_logs: Vec::new(),
+            multi_logs: Vec::new(),
+            asserts: Vec::new(),
+            clocks: clocks.cloned(),
+        };
+        for item in items {
+            match *item {
+                FleetItem::Single(i) => {
+                    w.bank.add_compiled(fleet.singles[i].clone());
+                    w.single_map.push(i);
+                    w.single_logs.push(MatchLog::new(opts.edge, opts.keep_all_hits));
+                }
+                FleetItem::Multi(i) => {
+                    w.bank.add_compiled_multiclock(fleet.multis[i].clone());
+                    w.multi_map.push(i);
+                    w.multi_logs.push(MatchLog::new(opts.edge, opts.keep_all_hits));
+                }
+                FleetItem::Assert(i) => {
+                    let spec = &fleet.asserts[i];
+                    w.asserts.push(AssertRunner {
+                        fleet_idx: i,
+                        name: spec.name.clone(),
+                        clock: spec.clock.clone(),
+                        clock_id: None,
+                        checker: ImplicationChecker::new(
+                            spec.antecedent.clone(),
+                            spec.consequent.clone(),
+                        ),
+                        kept_violations: Vec::new(),
+                        ticks: 0,
+                    });
+                }
+            }
+        }
+        w
+    }
+
+    fn consume(&mut self, msg: Msg) {
+        match msg {
+            Msg::Local(chunk) => {
+                self.bank.feed(&chunk);
+                for a in &mut self.asserts {
+                    for &v in chunk.iter() {
+                        a.checker.step(v);
+                        a.ticks += 1;
+                    }
+                    a.drain_violations();
+                }
+            }
+            Msg::Global(chunk) => {
+                let clocks = self
+                    .clocks
+                    .as_ref()
+                    .expect("feed_global requires run_sharded to be given a ClockSet");
+                self.bank.feed_global(clocks, &chunk);
+                for a in &mut self.asserts {
+                    let id = *a
+                        .clock_id
+                        .get_or_insert_with(|| clocks.lookup(&a.clock));
+                    // an assert whose clock is absent from the set sees
+                    // no ticks — mirroring MonitorBank::feed_global's
+                    // treatment of unresolvable single-clock members
+                    let Some(id) = id else { continue };
+                    for step in chunk.iter() {
+                        if let Some(v) = step.tick_of(id) {
+                            a.checker.step(v);
+                            a.ticks += 1;
+                        }
+                    }
+                    a.drain_violations();
+                }
+            }
+        }
+        // fold this chunk's hits into the bounded tallies so shard
+        // residency never grows with the match count
+        let logs = &mut self.single_logs;
+        self.bank.drain_hits(|slot, hits| logs[slot].absorb(hits));
+        let logs = &mut self.multi_logs;
+        self.bank.drain_multiclock_hits(|slot, hits| logs[slot].absorb(hits));
+    }
+
+    fn finish(mut self) -> ShardResult {
+        let bank_reports = self.bank.reports();
+        let singles = self
+            .single_map
+            .iter()
+            .zip(self.single_logs)
+            .zip(bank_reports)
+            .map(|((&fleet_idx, log), report)| {
+                (
+                    fleet_idx,
+                    SingleReport {
+                        log,
+                        ticks: report.ticks,
+                        underflows: report.underflows,
+                    },
+                )
+            })
+            .collect();
+        let multis = self
+            .multi_map
+            .iter()
+            .zip(self.multi_logs)
+            .enumerate()
+            .map(|(slot, (&fleet_idx, log))| {
+                (
+                    fleet_idx,
+                    MultiReport {
+                        log,
+                        underflows: self.bank.multiclock_underflows(slot),
+                    },
+                )
+            })
+            .collect();
+        let asserts = self
+            .asserts
+            .drain(..)
+            .map(|mut a| {
+                a.drain_violations();
+                (
+                    a.fleet_idx,
+                    AssertReport {
+                        name: a.name,
+                        verdict: a.checker.verdict(),
+                        fulfilled: a.checker.fulfilled(),
+                        outstanding: a.checker.outstanding(),
+                        violation_count: a.checker.violation_count(),
+                        violations: a.kept_violations,
+                        ticks: a.ticks,
+                    },
+                )
+            })
+            .collect();
+        ShardResult {
+            singles,
+            multis,
+            asserts,
+        }
+    }
+}
+
+/// Runs `fleet` sharded per `plan`: one worker thread per shard, each
+/// owning its members' complete mutable state, fed by `drive` through
+/// a [`FleetFeeder`] over bounded channels.
+///
+/// `clocks` is required when `drive` uses
+/// [`FleetFeeder::feed_global`]; locally-fed (single-clock) runs may
+/// pass `None`. Returns the merged [`FleetReport`] plus `drive`'s own
+/// result once every shard has drained.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_expr::Valuation;
+/// use cesc_par::{plan_shards, run_sharded, Fleet, ParOptions};
+///
+/// let doc = parse_document(
+///     "scesc a on clk { instances { M } events { x, y } tick { M: x } }\
+///      scesc b on clk { instances { M } events { x, y } tick { M: x } tick { M: y } }",
+/// ).unwrap();
+/// let mut fleet = Fleet::new();
+/// for chart in &doc.charts {
+///     fleet.add(&synthesize(chart, &SynthOptions::default()).unwrap());
+/// }
+/// let plan = plan_shards(&fleet, 2);
+/// let x = doc.alphabet.lookup("x").unwrap();
+/// let y = doc.alphabet.lookup("y").unwrap();
+///
+/// let (report, ()) = run_sharded(&fleet, &plan, None, &ParOptions::default(), |feeder| {
+///     feeder.feed(&[Valuation::of([x]), Valuation::of([y])]);
+/// });
+/// assert_eq!(report.singles[0].log.all(), Some(&[0][..])); // `a` fires on x
+/// assert_eq!(report.singles[1].log.all(), Some(&[1][..])); // `b` fires on x→y
+/// ```
+pub fn run_sharded<R>(
+    fleet: &Fleet,
+    plan: &ShardPlan,
+    clocks: Option<&ClockSet>,
+    opts: &ParOptions,
+    drive: impl FnOnce(&FleetFeeder) -> R,
+) -> (FleetReport, R) {
+    let depth = plan_depth(opts);
+    std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(plan.jobs());
+        let mut workers = Vec::with_capacity(plan.jobs());
+        for shard in plan.shards() {
+            let (tx, rx) = channel::bounded::<Msg>(depth);
+            txs.push(tx);
+            workers.push(scope.spawn(move || {
+                let mut worker = ShardWorker::build(fleet, shard, clocks, opts);
+                while let Ok(msg) = rx.recv() {
+                    worker.consume(msg);
+                }
+                worker.finish()
+            }));
+        }
+        let feeder = FleetFeeder { txs };
+        let driven = drive(&feeder);
+        drop(feeder); // close every channel: workers drain and return
+
+        let mut report = FleetReport {
+            singles: Vec::with_capacity(fleet.single_len()),
+            multis: Vec::with_capacity(fleet.multiclock_len()),
+            asserts: Vec::with_capacity(fleet.assert_len()),
+        };
+        let mut singles: Vec<Option<SingleReport>> = vec![None; fleet.single_len()];
+        let mut multis: Vec<Option<MultiReport>> = vec![None; fleet.multiclock_len()];
+        let mut asserts: Vec<Option<AssertReport>> = vec![None; fleet.assert_len()];
+        for worker in workers {
+            let result = worker.join().expect("shard worker panicked");
+            for (i, r) in result.singles {
+                singles[i] = Some(r);
+            }
+            for (i, r) in result.multis {
+                multis[i] = Some(r);
+            }
+            for (i, r) in result.asserts {
+                asserts[i] = Some(r);
+            }
+        }
+        report.singles = singles
+            .into_iter()
+            .map(|r| r.expect("plan covers every single-clock member"))
+            .collect();
+        report.multis = multis
+            .into_iter()
+            .map(|r| r.expect("plan covers every multi-clock member"))
+            .collect();
+        report.asserts = asserts
+            .into_iter()
+            .map(|r| r.expect("plan covers every assert member"))
+            .collect();
+        (report, driven)
+    })
+}
+
+fn plan_depth(opts: &ParOptions) -> usize {
+    opts.channel_depth.max(1)
+}
+
+/// One-call sharded scan of a resident single-clock trace, chunked at
+/// `chunk` elements — the parallel counterpart of
+/// [`MonitorBank::feed`] over one resident slice.
+pub fn scan_sharded(
+    fleet: &Fleet,
+    plan: &ShardPlan,
+    opts: &ParOptions,
+    trace: &[Valuation],
+    chunk: usize,
+) -> FleetReport {
+    let chunk = chunk.max(1);
+    run_sharded(fleet, plan, None, opts, |feeder| {
+        for c in trace.chunks(chunk) {
+            feeder.feed(c);
+        }
+    })
+    .0
+}
+
+/// One-call sharded scan of a resident global run, chunked at `chunk`
+/// steps — the parallel counterpart of [`MonitorBank::feed_global`].
+pub fn scan_sharded_global(
+    fleet: &Fleet,
+    plan: &ShardPlan,
+    clocks: &ClockSet,
+    opts: &ParOptions,
+    steps: &[GlobalStep],
+    chunk: usize,
+) -> FleetReport {
+    let chunk = chunk.max(1);
+    run_sharded(fleet, plan, Some(clocks), opts, |feeder| {
+        for c in steps.chunks(chunk) {
+            feeder.feed_global(c);
+        }
+    })
+    .0
+}

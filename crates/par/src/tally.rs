@@ -1,0 +1,186 @@
+//! Bounded match accounting.
+//!
+//! A fleet run over bulk traffic produces millions of detections;
+//! retaining every hit time in every shard would make the executor's
+//! residency proportional to the match count, defeating the streaming
+//! pipeline's constant-memory guarantee. [`MatchLog`] is the shared
+//! accumulator: it always keeps the exact count plus the first/last
+//! `edge` hit times (enough for the CLI's elided summary), and only
+//! optionally the complete list (the equivalence test suite and the
+//! `cesc-sim` harnesses, whose callers own the memory trade-off).
+
+use std::collections::VecDeque;
+
+/// Streaming accumulator of detection times: exact count, the first
+/// and last `edge` entries, and — only when requested — the full list.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_par::MatchLog;
+///
+/// let mut log = MatchLog::new(2, false);
+/// log.absorb(&[1, 4, 9, 16, 25]);
+/// assert_eq!(log.count(), 5);
+/// assert_eq!(log.first(), &[1, 4]);
+/// assert_eq!(log.last(), vec![16, 25]);
+/// assert_eq!(log.render(), "[1, 4, ... 1 more ..., 16, 25]");
+/// assert!(log.all().is_none()); // bounded mode retains no full list
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchLog {
+    edge: usize,
+    count: u64,
+    first: Vec<u64>,
+    last: VecDeque<u64>,
+    all: Option<Vec<u64>>,
+}
+
+impl MatchLog {
+    /// Creates a log keeping the first/last `edge` entries; with
+    /// `keep_all` the complete hit list is retained too (unbounded).
+    pub fn new(edge: usize, keep_all: bool) -> Self {
+        MatchLog {
+            edge,
+            count: 0,
+            first: Vec::with_capacity(edge),
+            last: VecDeque::with_capacity(edge),
+            all: keep_all.then(Vec::new),
+        }
+    }
+
+    /// Records one detection time.
+    pub fn push(&mut self, t: u64) {
+        self.count += 1;
+        if self.first.len() < self.edge {
+            self.first.push(t);
+        } else if self.edge > 0 {
+            // `>=` (not `==`): the deque must never outgrow `edge`,
+            // including the degenerate edge-0 log (count-only)
+            if self.last.len() >= self.edge {
+                self.last.pop_front();
+            }
+            self.last.push_back(t);
+        }
+        if let Some(all) = &mut self.all {
+            all.push(t);
+        }
+    }
+
+    /// Records a batch of detection times (ascending within the batch,
+    /// as the batch engines emit them).
+    pub fn absorb(&mut self, hits: &[u64]) {
+        for &t in hits {
+            self.push(t);
+        }
+    }
+
+    /// Total number of detections.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether at least one detection was recorded.
+    pub fn detected(&self) -> bool {
+        self.count > 0
+    }
+
+    /// The earliest retained detection times (up to `edge`).
+    pub fn first(&self) -> &[u64] {
+        &self.first
+    }
+
+    /// The latest retained detection times (up to `edge`), oldest
+    /// first.
+    pub fn last(&self) -> Vec<u64> {
+        self.last.iter().copied().collect()
+    }
+
+    /// The complete hit list, if the log was created with `keep_all`.
+    pub fn all(&self) -> Option<&[u64]> {
+        self.all.as_deref()
+    }
+
+    /// How many detections fall between the retained head and tail.
+    pub fn elided(&self) -> u64 {
+        self.count - (self.first.len() + self.last.len()) as u64
+    }
+
+    /// Renders the hits: the complete list when retained (or when
+    /// everything fits in the head), otherwise head/tail entries with
+    /// an elision count — bulk traffic must not turn a summary into
+    /// MBs of tick numbers.
+    pub fn render(&self) -> String {
+        if let Some(all) = &self.all {
+            return format!("{all:?}");
+        }
+        let join =
+            |ts: &mut dyn Iterator<Item = u64>| ts.map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let head = join(&mut self.first.iter().copied());
+        if self.last.is_empty() {
+            return format!("[{head}]");
+        }
+        let tail = join(&mut self.last.iter().copied());
+        let elided = self.elided();
+        if elided == 0 {
+            format!("[{head}, {tail}]")
+        } else {
+            format!("[{head}, ... {elided} more ..., {tail}]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_logs_render_whole() {
+        let mut log = MatchLog::new(5, false);
+        log.absorb(&[3, 7]);
+        assert_eq!(log.render(), "[3, 7]");
+        assert_eq!(log.elided(), 0);
+        assert!(log.detected());
+    }
+
+    #[test]
+    fn exact_fit_has_no_elision_marker() {
+        let mut log = MatchLog::new(2, false);
+        log.absorb(&[1, 2, 3, 4]);
+        assert_eq!(log.render(), "[1, 2, 3, 4]");
+    }
+
+    #[test]
+    fn keep_all_retains_everything() {
+        let mut log = MatchLog::new(1, true);
+        log.absorb(&[10, 20, 30]);
+        assert_eq!(log.all(), Some(&[10, 20, 30][..]));
+        assert_eq!(log.render(), "[10, 20, 30]");
+        assert_eq!(log.count(), 3);
+    }
+
+    #[test]
+    fn edge_zero_log_is_count_only() {
+        let mut log = MatchLog::new(0, false);
+        for t in 0..1000u64 {
+            log.push(t);
+        }
+        assert_eq!(log.count(), 1000);
+        assert!(log.first().is_empty());
+        assert!(log.last().is_empty(), "edge-0 retains nothing");
+        assert_eq!(log.render(), "[]");
+    }
+
+    #[test]
+    fn bounded_memory_over_bulk_hits() {
+        let mut log = MatchLog::new(5, false);
+        for t in 0..100_000u64 {
+            log.push(t);
+        }
+        assert_eq!(log.count(), 100_000);
+        assert_eq!(log.first(), &[0, 1, 2, 3, 4]);
+        assert_eq!(log.last(), vec![99_995, 99_996, 99_997, 99_998, 99_999]);
+        assert_eq!(log.elided(), 99_990);
+        assert!(log.render().contains("... 99990 more ..."));
+    }
+}

@@ -367,6 +367,75 @@ pub fn run_decoupled_batched_plan(
     })
 }
 
+/// Sharded-parallel variant of [`run_decoupled_batched_plan`]: the
+/// simulation thread streams [`HARNESS_CHUNK`]-sized chunks into a
+/// `cesc-par` fleet, whose shard planner partitions the monitors
+/// across `jobs` worker threads (cost-balanced, scoreboard-coupled
+/// members co-located). Each worker owns its shard's complete mutable
+/// state, so the monitor hot path runs without cross-shard locking;
+/// per-shard results merge at join.
+///
+/// Returns `(single_hits, multiclock_hits)` in the argument orders —
+/// bit-identical to [`run_decoupled_batched_plan`] (and therefore to
+/// the step-wise [`run_decoupled`]) on the same simulation, for any
+/// `jobs` (property-tested in the workspace `batch_equivalence`
+/// suite). `jobs == 0` or `1` still runs the fleet machinery on a
+/// single worker.
+pub fn run_decoupled_parallel(
+    sim: &mut crate::kernel::Simulation,
+    global_steps: usize,
+    monitors: &[&Monitor],
+    multis: &[&MultiClockMonitor],
+    jobs: usize,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let clocks = sim.clocks().clone();
+    let mut fleet = cesc_par::Fleet::new();
+    for m in monitors {
+        assert!(
+            clocks.lookup(m.clock()).is_some(),
+            "monitor clock `{}` not in clock set",
+            m.clock()
+        );
+        fleet.add(m);
+    }
+    for mm in multis {
+        for local in mm.locals() {
+            assert!(
+                clocks.lookup(local.clock()).is_some(),
+                "multi-clock local `{}`'s clock `{}` not in clock set",
+                local.name(),
+                local.clock()
+            );
+        }
+        fleet.add_multiclock(mm);
+    }
+    let plan = cesc_par::plan_shards(&fleet, jobs);
+    let opts = cesc_par::ParOptions::default(); // keep_all_hits: exact logs
+    let (report, ()) = cesc_par::run_sharded(&fleet, &plan, Some(&clocks), &opts, |feeder| {
+        let mut pending: Vec<GlobalStep> = Vec::with_capacity(HARNESS_CHUNK);
+        sim.run_with(global_steps, |_, step| {
+            pending.push(step.clone());
+            if pending.len() >= HARNESS_CHUNK {
+                feeder.feed_global(&pending);
+                pending.clear();
+            }
+        });
+        feeder.feed_global(&pending);
+    });
+    (
+        report
+            .singles
+            .into_iter()
+            .map(|r| r.log.all().expect("keep_all_hits").to_vec())
+            .collect(),
+        report
+            .multis
+            .into_iter()
+            .map(|r| r.log.all().expect("keep_all_hits").to_vec())
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +739,54 @@ mod tests {
         assert_eq!(multi[0], online.multiclock_hits(oi));
         assert_eq!(single[0], online.hits(0));
         assert!(!multi[0].is_empty());
+    }
+
+    #[test]
+    fn decoupled_parallel_agrees_with_batched_plan_for_any_jobs() {
+        let doc = mixed_plan_doc();
+        let mm = synthesize_multiclock(doc.multiclock_spec("pair").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let pulse = synthesize(doc.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let go = doc.alphabet.lookup("go").unwrap();
+        let done = doc.alphabet.lookup("done").unwrap();
+
+        let build_sim = || {
+            let mut sim = Simulation::new();
+            sim.add_clock(ClockDomain::new("clk1", 2, 0));
+            sim.add_clock(ClockDomain::new("clk2", 3, 1));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk1",
+                vec![Valuation::of([go])],
+                3,
+                0,
+            )));
+            sim.add_transactor(Box::new(PeriodicTransactor::new(
+                "clk2",
+                vec![Valuation::of([done])],
+                3,
+                1,
+            )));
+            sim
+        };
+
+        let mut sim = build_sim();
+        let reference = run_decoupled_batched_plan(&mut sim, 50, &[&pulse], &[&mm]);
+        assert!(!reference.1[0].is_empty());
+        for jobs in [0, 1, 2, 4] {
+            let mut sim = build_sim();
+            let parallel = run_decoupled_parallel(&mut sim, 50, &[&pulse], &[&mm], jobs);
+            assert_eq!(parallel, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in clock set")]
+    fn decoupled_parallel_rejects_unknown_clock() {
+        let doc = mixed_plan_doc();
+        let pulse = synthesize(doc.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("other", 1, 0));
+        run_decoupled_parallel(&mut sim, 1, &[&pulse], &[], 2);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`OnlineHarness`] — monitors stepped inline with the simulation;
 //! * [`run_decoupled`] — monitors on their own thread, fed over a
 //!   channel;
+//! * [`run_decoupled_parallel`] — the monitor fleet sharded across
+//!   worker threads via `cesc-par`'s cost-balanced planner;
 //! * [`run_flow`] — the complete automated pipeline: parse → validate →
 //!   synthesize → simulate → verdict.
 //!
@@ -47,7 +49,7 @@ mod kernel;
 
 pub use flow::{run_flow, FlowConfig, FlowError, FlowReport};
 pub use harness::{
-    run_decoupled, run_decoupled_batched, run_decoupled_batched_plan, BatchHarness, OnlineHarness,
-    HARNESS_CHUNK,
+    run_decoupled, run_decoupled_batched, run_decoupled_batched_plan, run_decoupled_parallel,
+    BatchHarness, OnlineHarness, HARNESS_CHUNK,
 };
 pub use kernel::{NoiseTransactor, PeriodicTransactor, ScriptedTransactor, Simulation, Transactor};

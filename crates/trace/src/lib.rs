@@ -51,3 +51,19 @@ pub use vcd::{
     read_vcd, write_vcd, write_vcd_global, write_vcd_global_to, GlobalVcdStream, VcdClockSpec,
     VcdReadError, VcdStream, VcdWriteOptions,
 };
+
+// Chunk hand-off contract: the decoupled harnesses in `cesc-sim` and
+// the sharded fleet executor in `cesc-par` move decoded chunks
+// (`Vec<Valuation>`, `Vec<GlobalStep>`) and clock sets across threads.
+// Pin thread-safety at compile time so an accidental `Rc`/`RefCell`/
+// raw-pointer field in any of these types fails this crate's build
+// instead of surfacing as a distant trait-bound error in a consumer.
+const _: () = {
+    const fn chunk_handoff_is_thread_safe<T: Send + Sync>() {}
+    chunk_handoff_is_thread_safe::<cesc_expr::Valuation>();
+    chunk_handoff_is_thread_safe::<Trace>();
+    chunk_handoff_is_thread_safe::<GlobalStep>();
+    chunk_handoff_is_thread_safe::<GlobalRun>();
+    chunk_handoff_is_thread_safe::<ClockId>();
+    chunk_handoff_is_thread_safe::<ClockSet>();
+};

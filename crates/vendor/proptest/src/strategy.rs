@@ -246,6 +246,63 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(usize, u64, u32, u16, u8);
 
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                // u128 arithmetic: a full-domain u64/usize range has a
+                // span of 2^64, which overflows the u64 the bounded
+                // sampler takes — fall back to raw 64-bit draws there
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                let offset = if span > u64::MAX as u128 {
+                    rng.next_u64()
+                } else {
+                    rng.u64_below(span as u64)
+                };
+                self.start() + (offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(usize, u64, u32, u16, u8);
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_ranges_cover_both_endpoints() {
+        let mut rng = TestRng::for_case(7, 0);
+        let strat = 1usize..=4;
+        let mut seen = [false; 5];
+        for _ in 0..256 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=4).contains(&v), "{v}");
+            seen[v] = true;
+        }
+        assert!(seen[1] && seen[4], "endpoints reachable: {seen:?}");
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = TestRng::for_case(3, 1);
+        assert_eq!((9u32..=9).generate(&mut rng), 9);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = TestRng::for_case(11, 0);
+        for _ in 0..64 {
+            let _ = (0u64..=u64::MAX).generate(&mut rng);
+            let _ = (0usize..=usize::MAX).generate(&mut rng);
+            let _ = (0u8..=u8::MAX).generate(&mut rng);
+        }
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+);)*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {

@@ -64,7 +64,7 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    fn for_case(test_hash: u64, case: u64) -> Self {
+    pub(crate) fn for_case(test_hash: u64, case: u64) -> Self {
         TestRng {
             inner: StdRng::seed_from_u64(test_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         }

@@ -7,18 +7,31 @@
 //! ```text
 //! cesc render <spec.cesc> [--chart NAME]             ASCII + WaveDrom
 //! cesc synth  <spec.cesc> [--chart NAME] [--format summary|dot|verilog|sva]
-//! cesc check  <spec.cesc> --chart NAME --vcd FILE [--clock NAME]
+//! cesc check  <spec.cesc> (--chart NAME)... | --all-charts  --vcd FILE
+//!             [--clock NAME] [--jobs N] [--json] [--all-matches]
 //! ```
+//!
+//! `check` has two library entry points: the single-target streaming
+//! [`check`] (one basic chart or multiclock spec, kept for its
+//! tick-indexed report) and the fleet-mode [`check_fleet`] the binary
+//! uses — every selected chart, multiclock spec and `implies(...)`
+//! assertion is verified in **one pass** over the dump, optionally
+//! sharded across worker threads (`--jobs`), with text or JSON
+//! ([`CHECK_JSON_SCHEMA`]) output and a CI-gating `failed` flag.
 
 use std::fmt;
 use std::io::BufRead;
 
-use cesc_chart::{parse_document, render_ascii, Document, Scesc};
+use cesc_chart::{parse_document, render_ascii, Cesc, Document, Scesc};
 use cesc_core::{
-    analyze, synthesize, synthesize_multiclock, to_dot, SynthOptions, BATCH_CHUNK,
+    analyze, compile, synthesize, synthesize_multiclock, to_dot, Compiled, Monitor, SynthOptions,
+    Verdict, BATCH_CHUNK,
 };
 use cesc_hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
-use cesc_trace::{GlobalVcdStream, VcdClockSpec, VcdStream};
+use cesc_par::{plan_shards, run_sharded, AssertSpec, Fleet, MatchLog, ParOptions};
+use cesc_trace::{
+    ClockDomain, ClockSet, GlobalVcdStream, VcdClockSpec, VcdStream,
+};
 
 /// Error from a CLI command.
 #[derive(Debug)]
@@ -131,93 +144,47 @@ pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<S
     })
 }
 
-/// Options for [`check`].
-#[derive(Debug, Clone, Default)]
+/// Options for [`check`] / [`check_fleet`].
+#[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// Print every match tick/time instead of the default summary
     /// (count plus first/last [`MATCH_EDGE`] entries) — the
     /// `--all-matches` flag.
     pub all_matches: bool,
+    /// Worker threads the fleet is sharded across (`--jobs N`; 1 runs
+    /// a single worker).
+    pub jobs: usize,
+    /// Emit the machine-readable JSON report ([`CHECK_JSON_SCHEMA`])
+    /// instead of text — the `--json` flag ([`check_fleet`] only).
+    pub json: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            all_matches: false,
+            jobs: 1,
+            json: false,
+        }
+    }
 }
 
 /// How many leading and trailing matches the default [`check`] summary
 /// prints; everything in between is elided as a count.
 pub const MATCH_EDGE: usize = 5;
 
-/// Streaming match accumulator: in summary mode it keeps only the
-/// count plus the first/last [`MATCH_EDGE`] match times, so `check`'s
-/// resident memory stays constant no matter how many matches bulk
-/// traffic produces. Only `--all-matches` retains (and prints) the
-/// full list.
-struct MatchTally {
-    count: u64,
-    first: Vec<u64>,
-    last: std::collections::VecDeque<u64>,
-    all: Option<Vec<u64>>,
+fn tally(opts: &CheckOptions) -> MatchLog {
+    MatchLog::new(MATCH_EDGE, opts.all_matches)
 }
 
-impl MatchTally {
-    fn new(keep_all: bool) -> Self {
-        MatchTally {
-            count: 0,
-            first: Vec::with_capacity(MATCH_EDGE),
-            last: std::collections::VecDeque::with_capacity(MATCH_EDGE),
-            all: keep_all.then(Vec::new),
-        }
-    }
-
-    fn absorb(&mut self, hits: &[u64]) {
-        for &t in hits {
-            self.count += 1;
-            if self.first.len() < MATCH_EDGE {
-                self.first.push(t);
-            } else {
-                if self.last.len() == MATCH_EDGE {
-                    self.last.pop_front();
-                }
-                self.last.push_back(t);
-            }
-            if let Some(all) = &mut self.all {
-                all.push(t);
-            }
-        }
-    }
-
-    fn detected(&self) -> bool {
-        self.count > 0
-    }
-
-    /// Renders the matches: the complete list under `--all-matches` or
-    /// when short, otherwise first/last [`MATCH_EDGE`] entries with an
-    /// elision count — bulk traffic produces millions of matches, and
-    /// dumping them all turns `cesc check` output into MBs of tick
-    /// numbers.
-    fn render(&self) -> String {
-        if let Some(all) = &self.all {
-            return format!("{all:?}");
-        }
-        let join = |ts: &mut dyn Iterator<Item = &u64>| {
-            ts.map(u64::to_string).collect::<Vec<_>>().join(", ")
-        };
-        let head = join(&mut self.first.iter());
-        if self.last.is_empty() {
-            return format!("[{head}]");
-        }
-        let tail = join(&mut self.last.iter());
-        let elided = self.count - (self.first.len() + self.last.len()) as u64;
-        if elided == 0 {
-            format!("[{head}, {tail}]")
-        } else {
-            format!("[{head}, ... {elided} more ..., {tail}]")
-        }
-    }
-}
-
-/// `cesc check`: run the chart's monitor over a VCD waveform.
+/// `cesc check`, single-target form: run one chart's monitor over a
+/// VCD waveform.
 ///
 /// `chart_name` may name a basic chart (checked on `clock`) or a
 /// `multiclock` spec (each local chart is checked on its own declared
-/// clock; `clock` is ignored).
+/// clock; `clock` is ignored). For several charts in one pass,
+/// `implies(...)` assertion gating, `--jobs` sharding or JSON output,
+/// use [`check_fleet`].
 ///
 /// The waveform is streamed end to end: lines are pulled from the
 /// [`BufRead`] and samples are decoded in [`BATCH_CHUNK`]-sized chunks
@@ -263,7 +230,7 @@ fn check_single(
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let compiled = monitor.compiled();
     let mut exec = compiled.executor();
-    let mut tally = MatchTally::new(opts.all_matches);
+    let mut tally = tally(opts);
     let mut chunk_hits = Vec::new();
     let mut chunk = Vec::new();
     loop {
@@ -284,7 +251,7 @@ fn check_single(
         chart.name(),
         exec.ticks(),
         verdict,
-        tally.count,
+        tally.count(),
         tally.render(),
         exec.underflows()
     ))
@@ -314,7 +281,7 @@ fn check_multiclock(
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let compiled = monitor.compiled();
     let mut state = compiled.state();
-    let mut tally = MatchTally::new(opts.all_matches);
+    let mut tally = tally(opts);
     let mut chunk_hits = Vec::new();
     let mut chunk = Vec::new();
     let mut steps = 0u64;
@@ -339,10 +306,550 @@ fn check_multiclock(
         steps,
         clock_list.join(", "),
         verdict,
-        tally.count,
+        tally.count(),
         tally.render(),
         state.underflows()
     ))
+}
+
+/// Result of a fleet-mode check: the rendered report plus the CI-gate
+/// flag (`true` when any `implies(...)` assertion recorded a
+/// violation — the binary exits nonzero).
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The rendered report (text, or JSON under
+    /// [`CheckOptions::json`]).
+    pub output: String,
+    /// Whether any assertion target finished with a violation.
+    pub failed: bool,
+}
+
+/// Identifier of the JSON report layout emitted by [`check_fleet`]
+/// under [`CheckOptions::json`] (the report's `schema` field).
+///
+/// Layout (one object):
+///
+/// ```json
+/// {
+///   "schema": "cesc-check/1",
+///   "global_steps": 120000,      // VCD instants at which any clock ticked
+///   "jobs": 4,                   // shard workers used
+///   "failed": false,             // true iff any assert target failed
+///   "targets": [
+///     { "kind": "chart", "name": "hs", "clocks": ["clk"],
+///       "verdict": "detected",   // "detected" | "not observed"
+///       "matches": 12,           // total detections
+///       "first": [0, 2],         // earliest detection times (≤ 5)
+///       "last": [96, 98],        // latest detection times (≤ 5)
+///       "all": [0, 2, 96, 98],   // only with --all-matches
+///       "ticks": 60000,          // cycles the monitor consumed
+///       "underflows": 0 },       // Del_evt scoreboard underflows
+///     { "kind": "multiclock", "name": "pair", "clocks": ["clk1", "clk2"],
+///       "verdict": "detected", "matches": 3, "first": [5], "last": [5],
+///       "underflows": 0 },
+///     { "kind": "assert", "name": "gate", "clocks": ["clk"],
+///       "verdict": "failed",     // idle | tracking | passed | failed
+///       "fulfilled": 9,          // obligations fulfilled
+///       "outstanding": 0,        // obligations open at stream end
+///       "ticks": 60000,
+///       "violation_count": 3,
+///       "violations": [          // first 100, local tick indices
+///         { "antecedent_at": 4, "failed_at": 7, "progress": 1 } ] }
+///   ]
+/// }
+/// ```
+///
+/// Detection `first`/`last`/`all` entries are VCD times for every
+/// target kind; assertion `*_at` fields are tick indices local to the
+/// assertion's clock.
+pub const CHECK_JSON_SCHEMA: &str = "cesc-check/1";
+
+/// Violations listed per assert target in the JSON report; the total
+/// is always in `violation_count`.
+const JSON_VIOLATION_CAP: usize = 100;
+
+/// One resolved `--chart` target.
+enum Target {
+    /// Basic chart: fleet single index.
+    Chart { chart: usize, fleet: usize },
+    /// Multiclock spec: fleet multi index.
+    Multi { spec: usize, fleet: usize },
+    /// `implies(...)` composition: fleet assert index.
+    Assert { name: String, clock: String, fleet: usize },
+}
+
+/// Names a composition only if it is checkable (an `implies(...)`).
+fn assert_capable(c: &Cesc) -> bool {
+    matches!(c, Cesc::Implication(_, _))
+}
+
+fn unknown_target_error(doc: &Document, name: &str) -> CliError {
+    let list = |items: Vec<&str>| {
+        if items.is_empty() {
+            "(none)".to_owned()
+        } else {
+            items.join(", ")
+        }
+    };
+    let charts = list(doc.charts.iter().map(Scesc::name).collect());
+    let multis = list(doc.multiclock.iter().map(|m| m.name()).collect());
+    let asserts = list(
+        doc.compositions
+            .iter()
+            .filter(|(_, c)| assert_capable(c))
+            .map(|(n, _)| n.as_str())
+            .collect(),
+    );
+    CliError::Pipeline(format!(
+        "chart `{name}` not found; available charts: {charts}; multiclock specs: {multis}; \
+         assert compositions: {asserts}"
+    ))
+}
+
+/// Synthesizes the two monitors of an `implies(...)` composition and
+/// its (single) clock domain.
+fn compile_assert(name: &str, cesc: &Cesc) -> Result<(String, Monitor, Monitor), CliError> {
+    if !assert_capable(cesc) {
+        return Err(CliError::Pipeline(format!(
+            "composition `{name}` is not an implies(...) chart; `check` verifies basic charts, \
+             multiclock specs and implication compositions"
+        )));
+    }
+    let clocks = cesc.clocks();
+    let [clock] = clocks.as_slice() else {
+        return Err(CliError::Pipeline(format!(
+            "assert composition `{name}` spans clocks {}; implication checking is single-clock",
+            clocks.join(", ")
+        )));
+    };
+    let compiled = compile(cesc, &SynthOptions::default())
+        .map_err(|e| CliError::Pipeline(format!("assert `{name}`: {e}")))?;
+    let Compiled::Implication(checker) = compiled else {
+        unreachable!("assert_capable guarantees an implication compilation");
+    };
+    Ok((
+        clock.clone(),
+        checker.antecedent().clone(),
+        checker.consequent().clone(),
+    ))
+}
+
+/// `cesc check`, fleet form: verify several charts — basic, multiclock
+/// and `implies(...)` assertions — in **one pass** over the dump,
+/// sharded across [`CheckOptions::jobs`] worker threads.
+///
+/// `names` selects targets by name (repeated `--chart`; duplicates are
+/// deduplicated, order preserved); `all_charts` selects every basic
+/// chart, multiclock spec and implication composition in the document.
+/// Each basic chart and assertion is sampled on its chart's *declared*
+/// clock; `clock_override` (the `--clock` flag) renames the sampled
+/// VCD signal when the single-clock targets all share one declared
+/// clock (it never applies to multiclock specs).
+///
+/// The dump is streamed in [`BATCH_CHUNK`]-sized [`cesc_trace::GlobalStep`]
+/// chunks broadcast to the shard workers, and match accounting is
+/// bounded ([`MatchLog`]) unless [`CheckOptions::all_matches`] asks
+/// for every hit — memory stays constant in dump length and match
+/// count.
+///
+/// The returned [`CheckOutcome::failed`] is the CI gate: `true` iff
+/// any assertion target recorded a violation.
+pub fn check_fleet(
+    source: &str,
+    names: &[String],
+    all_charts: bool,
+    vcd: impl BufRead,
+    clock_override: Option<&str>,
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, CliError> {
+    let doc = load(source)?;
+
+    // -- resolve the target selection (dedupe, validate) -------------
+    let mut selected: Vec<String> = Vec::new();
+    if all_charts {
+        selected.extend(doc.charts.iter().map(|c| c.name().to_owned()));
+        selected.extend(doc.multiclock.iter().map(|m| m.name().to_owned()));
+        selected.extend(
+            doc.compositions
+                .iter()
+                .filter(|(_, c)| assert_capable(c))
+                .map(|(n, _)| n.clone()),
+        );
+        if selected.is_empty() {
+            return Err(CliError::Pipeline(
+                "document contains no checkable charts".to_owned(),
+            ));
+        }
+    }
+    for name in names {
+        if !selected.iter().any(|s| s == name) {
+            selected.push(name.clone());
+        }
+    }
+
+    // -- build the fleet and the per-target metadata -----------------
+    let mut fleet = Fleet::new();
+    let mut targets: Vec<Target> = Vec::new();
+    for name in &selected {
+        if let Some(idx) = doc.charts.iter().position(|c| c.name() == name) {
+            let monitor = synthesize(&doc.charts[idx], &SynthOptions::default())
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            targets.push(Target::Chart {
+                chart: idx,
+                fleet: fleet.add(&monitor),
+            });
+        } else if let Some(idx) = doc.multiclock.iter().position(|m| m.name() == name) {
+            let monitor = synthesize_multiclock(&doc.multiclock[idx], &SynthOptions::default())
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            targets.push(Target::Multi {
+                spec: idx,
+                fleet: fleet.add_multiclock(&monitor),
+            });
+        } else if let Some((_, cesc)) = doc.compositions.iter().find(|(n, _)| n == name) {
+            let (clock, ante, cons) = compile_assert(name, cesc)?;
+            targets.push(Target::Assert {
+                name: name.clone(),
+                clock: clock.clone(),
+                fleet: fleet.add_assert(AssertSpec::new(name, &clock, ante, cons)),
+            });
+        } else {
+            return Err(unknown_target_error(&doc, name));
+        }
+    }
+    if targets.is_empty() {
+        return Err(CliError::Usage(
+            "check requires --chart NAME (repeatable) or --all-charts".to_owned(),
+        ));
+    }
+
+    // -- assemble the sampled clocks ---------------------------------
+    // one entry per *declared* clock name, in first-seen order; the
+    // VCD signal sampled for it may be renamed by --clock
+    if clock_override.is_some() {
+        let mut declared: Vec<&str> = Vec::new();
+        for t in &targets {
+            match t {
+                Target::Chart { chart, .. } => {
+                    let c = doc.charts[*chart].clock();
+                    if !declared.contains(&c) {
+                        declared.push(c);
+                    }
+                }
+                Target::Assert { clock, .. } => {
+                    if !declared.contains(&clock.as_str()) {
+                        declared.push(clock);
+                    }
+                }
+                Target::Multi { spec, .. } => {
+                    return Err(CliError::Usage(format!(
+                        "--clock cannot rename the clocks of multiclock spec `{}`; its local \
+                         charts sample their declared clocks",
+                        doc.multiclock[*spec].name()
+                    )));
+                }
+            }
+        }
+        if declared.len() > 1 {
+            return Err(CliError::Usage(format!(
+                "--clock cannot rename charts on different declared clocks ({})",
+                declared.join(", ")
+            )));
+        }
+    }
+    let mut clock_names: Vec<String> = Vec::new(); // declared names
+    let mut clock_masks: Vec<cesc_expr::Valuation> = Vec::new();
+    let mut note_clock = |declared: &str, mask: cesc_expr::Valuation| {
+        match clock_names.iter().position(|n| n == declared) {
+            Some(i) => clock_masks[i] = clock_masks[i] | mask,
+            None => {
+                clock_names.push(declared.to_owned());
+                clock_masks.push(mask);
+            }
+        }
+    };
+    for t in &targets {
+        match t {
+            Target::Chart { chart, .. } => {
+                let c = &doc.charts[*chart];
+                note_clock(c.clock(), c.mentioned_symbols());
+            }
+            Target::Multi { spec, .. } => {
+                for c in doc.multiclock[*spec].charts() {
+                    note_clock(c.clock(), c.mentioned_symbols());
+                }
+            }
+            Target::Assert { name, clock, .. } => {
+                let (_, cesc) = doc
+                    .compositions
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("resolved above");
+                let mut mask = cesc_expr::Valuation::empty();
+                for chart in cesc.basic_charts() {
+                    mask = mask | chart.mentioned_symbols();
+                }
+                note_clock(clock, mask);
+            }
+        }
+    }
+    let clock_specs: Vec<VcdClockSpec> = clock_names
+        .iter()
+        .zip(&clock_masks)
+        .map(|(declared, mask)| {
+            // the override (validated above to cover exactly one
+            // declared clock with no multiclock targets) renames the
+            // sampled signal; ClockSet keeps the declared name, which
+            // is what the monitors bind against
+            VcdClockSpec::masked(clock_override.unwrap_or(declared), *mask)
+        })
+        .collect();
+    let mut clock_set = ClockSet::new();
+    for declared in &clock_names {
+        clock_set.add(ClockDomain::new(declared, 1, 0));
+    }
+
+    // -- stream the dump through the sharded fleet -------------------
+    let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let plan = plan_shards(&fleet, opts.jobs.max(1));
+    let par_opts = ParOptions {
+        keep_all_hits: opts.all_matches,
+        edge: MATCH_EDGE,
+        ..Default::default()
+    };
+    let (report, driven) = run_sharded(&fleet, &plan, Some(&clock_set), &par_opts, |feeder| {
+        let mut chunk = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            let n = stream
+                .next_chunk(&mut chunk, BATCH_CHUNK)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            if n == 0 {
+                return Ok(steps);
+            }
+            steps += n as u64;
+            feeder.feed_global(&chunk);
+        }
+    });
+    let steps: u64 = driven?;
+    let failed = report.any_failed();
+
+    // -- render ------------------------------------------------------
+    let output = if opts.json {
+        render_json(&doc, &targets, &report, steps, plan.jobs(), failed)
+    } else {
+        render_text(&doc, &targets, &report, steps, plan.jobs())
+    };
+    Ok(CheckOutcome { output, failed })
+}
+
+fn verdict_word(detected: bool) -> &'static str {
+    if detected {
+        "DETECTED"
+    } else {
+        "NOT OBSERVED"
+    }
+}
+
+fn render_text(
+    doc: &Document,
+    targets: &[Target],
+    report: &cesc_par::FleetReport,
+    steps: u64,
+    jobs: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} target(s) over {} global steps with {} worker(s)",
+        targets.len(),
+        steps,
+        jobs
+    );
+    for t in targets {
+        match t {
+            Target::Chart { chart, fleet } => {
+                let c = &doc.charts[*chart];
+                let r = &report.singles[*fleet];
+                let _ = writeln!(
+                    out,
+                    "chart `{}` (clock {}) over {} sampled cycles: {} — {} occurrence(s) at \
+                     times {}, scoreboard underflows {}",
+                    c.name(),
+                    c.clock(),
+                    r.ticks,
+                    verdict_word(r.log.detected()),
+                    r.log.count(),
+                    r.log.render(),
+                    r.underflows
+                );
+            }
+            Target::Multi { spec, fleet } => {
+                let m = &doc.multiclock[*spec];
+                let r = &report.multis[*fleet];
+                let clocks: Vec<&str> = m.charts().iter().map(Scesc::clock).collect();
+                let _ = writeln!(
+                    out,
+                    "multiclock `{}` (clocks {}): {} — {} occurrence(s) at times {}, \
+                     scoreboard underflows {}",
+                    m.name(),
+                    clocks.join(", "),
+                    verdict_word(r.log.detected()),
+                    r.log.count(),
+                    r.log.render(),
+                    r.underflows
+                );
+            }
+            Target::Assert { name, clock, fleet } => {
+                let r = &report.asserts[*fleet];
+                let _ = write!(
+                    out,
+                    "assert `{}` (clock {}) over {} ticks: {} — {} fulfilled, {} outstanding",
+                    name, clock, r.ticks, r.verdict, r.fulfilled, r.outstanding
+                );
+                if let Some(first) = r.violations.first() {
+                    let _ = write!(
+                        out,
+                        ", {} violation(s); first: antecedent at tick {}, stuck at tick {}",
+                        r.violation_count,
+                        first.antecedent_at,
+                        first.failed_at
+                    );
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_times(ts: &[u64]) -> String {
+    let inner: Vec<String> = ts.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn json_clocks(clocks: &[&str]) -> String {
+    let inner: Vec<String> = clocks.iter().map(|c| json_str(c)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn json_log(log: &MatchLog) -> String {
+    let mut fields = format!(
+        "\"matches\":{},\"first\":{},\"last\":{}",
+        log.count(),
+        json_times(log.first()),
+        json_times(&log.last())
+    );
+    if let Some(all) = log.all() {
+        fields.push_str(&format!(",\"all\":{}", json_times(all)));
+    }
+    fields
+}
+
+fn render_json(
+    doc: &Document,
+    targets: &[Target],
+    report: &cesc_par::FleetReport,
+    steps: u64,
+    jobs: usize,
+    failed: bool,
+) -> String {
+    let mut items: Vec<String> = Vec::with_capacity(targets.len());
+    for t in targets {
+        match t {
+            Target::Chart { chart, fleet } => {
+                let c = &doc.charts[*chart];
+                let r = &report.singles[*fleet];
+                items.push(format!(
+                    "{{\"kind\":\"chart\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
+                     \"ticks\":{},\"underflows\":{}}}",
+                    json_str(c.name()),
+                    json_clocks(&[c.clock()]),
+                    json_str(if r.log.detected() { "detected" } else { "not observed" }),
+                    json_log(&r.log),
+                    r.ticks,
+                    r.underflows
+                ));
+            }
+            Target::Multi { spec, fleet } => {
+                let m = &doc.multiclock[*spec];
+                let r = &report.multis[*fleet];
+                let clocks: Vec<&str> = m.charts().iter().map(Scesc::clock).collect();
+                items.push(format!(
+                    "{{\"kind\":\"multiclock\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
+                     \"underflows\":{}}}",
+                    json_str(m.name()),
+                    json_clocks(&clocks),
+                    json_str(if r.log.detected() { "detected" } else { "not observed" }),
+                    json_log(&r.log),
+                    r.underflows
+                ));
+            }
+            Target::Assert { name, clock, fleet } => {
+                let r = &report.asserts[*fleet];
+                let verdict = match r.verdict {
+                    Verdict::Idle => "idle",
+                    Verdict::Tracking => "tracking",
+                    Verdict::Passed => "passed",
+                    Verdict::Failed => "failed",
+                };
+                let violations: Vec<String> = r
+                    .violations
+                    .iter()
+                    .take(JSON_VIOLATION_CAP)
+                    .map(|v| {
+                        format!(
+                            "{{\"antecedent_at\":{},\"failed_at\":{},\"progress\":{}}}",
+                            v.antecedent_at, v.failed_at, v.progress
+                        )
+                    })
+                    .collect();
+                items.push(format!(
+                    "{{\"kind\":\"assert\",\"name\":{},\"clocks\":{},\"verdict\":{},\
+                     \"fulfilled\":{},\"outstanding\":{},\"ticks\":{},\
+                     \"violation_count\":{},\"violations\":[{}]}}",
+                    json_str(name),
+                    json_clocks(&[clock.as_str()]),
+                    json_str(verdict),
+                    r.fulfilled,
+                    r.outstanding,
+                    r.ticks,
+                    r.violation_count,
+                    violations.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"schema\":{},\"global_steps\":{},\"jobs\":{},\"failed\":{},\"targets\":[{}]}}\n",
+        json_str(CHECK_JSON_SCHEMA),
+        steps,
+        jobs,
+        failed,
+        items.join(",")
+    )
 }
 
 /// The usage banner printed on bad invocations.
@@ -351,10 +858,17 @@ pub fn usage() -> &'static str {
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva]\n\
-     check  <spec> --chart NAME --vcd FILE [--clock NAME] [--all-matches]\n\
+     check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
+            [--clock NAME] [--jobs N] [--json] [--all-matches]\n\
      \n\
-     check's NAME may be a basic chart (sampled on --clock, default `clk`)\n\
-     or a multiclock spec (each local chart sampled on its own clock).\n\
-     Matches are summarised (count + first/last 5); --all-matches lists every one.\n"
+     check targets may be basic charts, multiclock specs (each local chart\n\
+     sampled on its own declared clock) and implies(...) compositions —\n\
+     assert-style charts whose violations make cesc exit with status 2.\n\
+     --chart may repeat (duplicates are deduplicated); --all-charts checks\n\
+     every chart, spec and implication in one pass over the dump.\n\
+     --jobs N      shard the monitor fleet across N worker threads\n\
+     --json        machine-readable report (schema cesc-check/1)\n\
+     --all-matches list every match tick; default summarises (count + first/last 5)\n\
+     --clock NAME  rename the sampled clock signal (single-clock charts only;\n\
+                   default: each chart's declared clock)\n"
 }
-

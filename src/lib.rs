@@ -19,6 +19,7 @@
 //! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
 //! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters |
 //! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
+//! | [`par`] | `cesc-par` | sharded parallel monitor-fleet executor |
 //! | [`protocols`] | `cesc-protocols` | OCP & AMBA case studies, traffic, faults |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use cesc_chart as chart;
 pub use cesc_core as core;
 pub use cesc_expr as expr;
 pub use cesc_hdl as hdl;
+pub use cesc_par as par;
 pub use cesc_protocols as protocols;
 pub use cesc_semantics as semantics;
 pub use cesc_sim as sim;

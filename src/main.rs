@@ -4,14 +4,21 @@
 //! ```sh
 //! cesc render spec.cesc                        # ASCII chart + WaveDrom JSON
 //! cesc synth  spec.cesc --format verilog       # RTL monitor module
-//! cesc check  spec.cesc --chart hs --vcd dump.vcd --clock clk
+//! cesc check  spec.cesc --all-charts --vcd dump.vcd --jobs 4 --json
 //! ```
+//!
+//! Exit status: `0` on success, `1` on usage/pipeline errors, `2` when
+//! `check` finds a violated `implies(...)` assertion — the CI-gate
+//! contract.
 
 use std::process::ExitCode;
 
 use cesc::cli::{self, SynthFormat};
 
-fn run() -> Result<String, cli::CliError> {
+/// Exit status when `check` reports a violated assertion.
+const EXIT_VIOLATION: u8 = 2;
+
+fn run() -> Result<(String, bool), cli::CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
     let Some(command) = it.next() else {
@@ -23,15 +30,19 @@ fn run() -> Result<String, cli::CliError> {
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| cli::CliError::Pipeline(format!("cannot read `{spec_path}`: {e}")))?;
 
-    let mut chart: Option<String> = None;
+    let mut charts: Vec<String> = Vec::new();
+    let mut all_charts = false;
     let mut format = SynthFormat::Summary;
     let mut vcd_path: Option<String> = None;
-    let mut clock = "clk".to_owned();
+    let mut clock: Option<String> = None;
     let mut check_opts = cli::CheckOptions::default();
     while let Some(flag) = it.next() {
         match flag {
             "--chart" => {
-                chart = Some(expect_value(&mut it, "--chart")?);
+                charts.push(expect_value(&mut it, "--chart")?);
+            }
+            "--all-charts" => {
+                all_charts = true;
             }
             "--format" => {
                 format = SynthFormat::parse(&expect_value(&mut it, "--format")?)?;
@@ -40,7 +51,16 @@ fn run() -> Result<String, cli::CliError> {
                 vcd_path = Some(expect_value(&mut it, "--vcd")?);
             }
             "--clock" => {
-                clock = expect_value(&mut it, "--clock")?;
+                clock = Some(expect_value(&mut it, "--clock")?);
+            }
+            "--jobs" => {
+                let raw = expect_value(&mut it, "--jobs")?;
+                check_opts.jobs = raw.parse::<usize>().ok().filter(|&j| j >= 1).ok_or_else(
+                    || cli::CliError::Usage(format!("--jobs {raw}: expected a positive integer")),
+                )?;
+            }
+            "--json" => {
+                check_opts.json = true;
             }
             "--all-matches" => {
                 check_opts.all_matches = true;
@@ -55,12 +75,23 @@ fn run() -> Result<String, cli::CliError> {
     }
 
     match command {
-        "render" => cli::render(&source, chart.as_deref()),
-        "synth" => cli::synth(&source, chart.as_deref(), format),
+        // render/synth operate on one chart: a silently-dropped second
+        // --chart would emit the wrong artifact, so reject it
+        "render" | "synth" if charts.len() > 1 => Err(cli::CliError::Usage(format!(
+            "{command} accepts a single --chart (got {}); only check takes several",
+            charts.len()
+        ))),
+        "render" => Ok((cli::render(&source, charts.first().map(String::as_str))?, false)),
+        "synth" => Ok((
+            cli::synth(&source, charts.first().map(String::as_str), format)?,
+            false,
+        )),
         "check" => {
-            let chart = chart.ok_or_else(|| {
-                cli::CliError::Usage("check requires --chart NAME".to_owned())
-            })?;
+            if charts.is_empty() && !all_charts {
+                return Err(cli::CliError::Usage(
+                    "check requires --chart NAME (repeatable) or --all-charts".to_owned(),
+                ));
+            }
             let vcd_path = vcd_path.ok_or_else(|| {
                 cli::CliError::Usage("check requires --vcd FILE".to_owned())
             })?;
@@ -69,13 +100,15 @@ fn run() -> Result<String, cli::CliError> {
             let file = std::fs::File::open(&vcd_path).map_err(|e| {
                 cli::CliError::Pipeline(format!("cannot read `{vcd_path}`: {e}"))
             })?;
-            cli::check(
+            let outcome = cli::check_fleet(
                 &source,
-                &chart,
+                &charts,
+                all_charts,
                 std::io::BufReader::new(file),
-                &clock,
+                clock.as_deref(),
                 &check_opts,
-            )
+            )?;
+            Ok((outcome.output, outcome.failed))
         }
         other => Err(cli::CliError::Usage(format!(
             "unknown command `{other}`\n{}",
@@ -95,13 +128,18 @@ fn expect_value<'a>(
 
 fn main() -> ExitCode {
     match run() {
-        Ok(out) => {
+        Ok((out, failed)) => {
             use std::io::Write as _;
             // `--all-matches | head` closes the pipe early; that is a
             // normal exit, not a panic
+            let ok = if failed {
+                ExitCode::from(EXIT_VIOLATION)
+            } else {
+                ExitCode::SUCCESS
+            };
             match std::io::stdout().lock().write_all(out.as_bytes()) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Ok(()) => ok,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ok,
                 Err(e) => {
                     eprintln!("cesc: cannot write output: {e}");
                     ExitCode::FAILURE

@@ -3,12 +3,16 @@
 //! exactly the verdicts of the step-wise `Monitor::scan` — same
 //! detection ticks, same final state, same underflow count. The
 //! multi-clock section extends the pin to `MultiClockMonitor::scan` vs
-//! `scan_batch` under arbitrary clock interleavings and chunkings, and
-//! the VCD section pins `BufRead`-streamed parsing against
-//! whole-string parsing on the same bytes.
+//! `scan_batch` under arbitrary clock interleavings and chunkings, the
+//! VCD section pins `BufRead`-streamed parsing against whole-string
+//! parsing on the same bytes, and the `cesc-par` section pins the
+//! sharded fleet executor against the serial bank: for any shard
+//! count, chunk size and mixed single/multi-clock fleet, parallel
+//! results are bit-identical to `MonitorBank::feed` / `feed_global`.
 
 use cesc::core::{synthesize, synthesize_multiclock, MonitorBank, OverlapPolicy, SynthOptions};
 use cesc::expr::{SymbolId, Valuation};
+use cesc::par::{plan_shards, scan_sharded, scan_sharded_global, Fleet, ParOptions};
 use cesc::prelude::{parse_document, Alphabet, ScescBuilder};
 use cesc::trace::{
     read_vcd, write_vcd, ClockDomain, ClockId, ClockSet, GlobalRun, GlobalStep, Trace, VcdStream,
@@ -349,6 +353,120 @@ proptest! {
         let stepwise = monitor.scan(&trace);
         let batched = monitor.scan_batch(trace.as_slice());
         prop_assert_eq!(stepwise, batched);
+    }
+
+    /// The sharded fleet executor over any single-clock fleet, shard
+    /// count and chunk size is bit-identical to the serial
+    /// `MonitorBank::feed` — same hit ticks, tick counts and underflow
+    /// accounting per monitor.
+    #[test]
+    fn sharded_fleet_equals_serial_bank(
+        p1 in arb_pattern(),
+        p2 in arb_pattern(),
+        p3 in arb_pattern(),
+        raw in arb_trace(48),
+        jobs in 1usize..=8,
+        chunk in 1usize..24,
+    ) {
+        let Some((_a1, c1)) = build_chart(&p1) else { return Ok(()); };
+        let Some((_a2, c2)) = build_chart(&p2) else { return Ok(()); };
+        let Some((_a3, c3)) = build_chart(&p3) else { return Ok(()); };
+        let trace = decode_trace(&raw);
+        let doc = causality_doc();
+        let monitors = vec![
+            synthesize(&c1, &SynthOptions::default()).unwrap(),
+            synthesize(&c2, &SynthOptions::default()).unwrap(),
+            synthesize(&c3, &SynthOptions::default()).unwrap(),
+            synthesize(doc.chart("cz").unwrap(), &SynthOptions::default()).unwrap(),
+        ];
+
+        let mut bank = MonitorBank::new();
+        let mut fleet = Fleet::new();
+        for m in &monitors {
+            bank.add(m);
+            fleet.add(m);
+        }
+        bank.feed(trace.as_slice());
+
+        let plan = plan_shards(&fleet, jobs);
+        prop_assert_eq!(plan.jobs(), jobs.min(monitors.len()));
+        let report = scan_sharded(&fleet, &plan, &ParOptions::default(), trace.as_slice(), chunk);
+        for (i, serial) in bank.reports().iter().enumerate() {
+            let sharded = &report.singles[i];
+            prop_assert_eq!(
+                sharded.log.all().unwrap(), &serial.matches[..],
+                "monitor {} jobs {} chunk {}", i, jobs, chunk
+            );
+            prop_assert_eq!(sharded.ticks, serial.ticks);
+            prop_assert_eq!(sharded.underflows, serial.underflows);
+        }
+    }
+
+    /// The sharded executor over a mixed single/multi-clock fleet fed
+    /// globally is bit-identical to the serial
+    /// `MonitorBank::feed_global`, for any shard count, chunk size,
+    /// clock interleaving and both multi-clock execution strategies.
+    #[test]
+    fn sharded_global_fleet_equals_serial_bank(
+        steps in arb_global_steps(32),
+        jobs in 1usize..=8,
+        chunk in 1usize..16,
+    ) {
+        let clocks = two_clock_set();
+        let run = build_run(&steps);
+        for src in [MC_COUPLED, MC_UNCOUPLED] {
+            let doc = parse_document(src).unwrap();
+            let mm = synthesize_multiclock(doc.multiclock_spec("mc").unwrap(), &SynthOptions::default())
+                .unwrap();
+            let m1 = synthesize(doc.chart("m1").unwrap(), &SynthOptions::default()).unwrap();
+            let m2 = synthesize(doc.chart("m2").unwrap(), &SynthOptions::default()).unwrap();
+
+            let mut bank = MonitorBank::new();
+            let b1 = bank.add(&m1);
+            let b2 = bank.add(&m2);
+            let bm = bank.add_multiclock(&mm);
+            bank.feed_global(&clocks, run.as_slice());
+
+            let mut fleet = Fleet::new();
+            let f1 = fleet.add(&m1);
+            let f2 = fleet.add(&m2);
+            let fm = fleet.add_multiclock(&mm);
+            let plan = plan_shards(&fleet, jobs);
+            let report = scan_sharded_global(
+                &fleet, &plan, &clocks, &ParOptions::default(), run.as_slice(), chunk,
+            );
+            prop_assert_eq!(report.singles[f1].log.all().unwrap(), bank.hits(b1));
+            prop_assert_eq!(report.singles[f2].log.all().unwrap(), bank.hits(b2));
+            prop_assert_eq!(
+                report.multis[fm].log.all().unwrap(), bank.multiclock_hits(bm),
+                "coupled={} jobs={} chunk={}", mm.compiled().coupled(), jobs, chunk
+            );
+            prop_assert_eq!(report.multis[fm].underflows, bank.multiclock_underflows(bm));
+        }
+    }
+
+    /// Bounded (summary-mode) tallies agree with the exact run on
+    /// count and head/tail entries for any shard count.
+    #[test]
+    fn bounded_tallies_match_exact_counts(
+        raw in arb_trace(64),
+        jobs in 1usize..=8,
+    ) {
+        let doc = causality_doc();
+        let monitor = synthesize(doc.chart("cz").unwrap(), &SynthOptions::default()).unwrap();
+        let trace = decode_trace(&raw);
+        let reference = monitor.scan(&trace);
+
+        let mut fleet = Fleet::new();
+        fleet.add(&monitor);
+        let plan = plan_shards(&fleet, jobs);
+        let opts = ParOptions { keep_all_hits: false, ..Default::default() };
+        let report = scan_sharded(&fleet, &plan, &opts, trace.as_slice(), 7);
+        let log = &report.singles[0].log;
+        prop_assert_eq!(log.count(), reference.matches.len() as u64);
+        prop_assert!(log.all().is_none());
+        let head: Vec<u64> = reference.matches.iter().copied().take(5).collect();
+        prop_assert_eq!(log.first(), &head[..]);
     }
 
     /// A bank over several monitors equals independent step-wise scans

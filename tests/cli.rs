@@ -1,7 +1,9 @@
 //! Tests for the `cesc` command-line front end (the pure command
 //! functions in `cesc::cli`; `src/main.rs` only parses argv).
 
-use cesc::cli::{check, render, synth, CheckOptions, CliError, SynthFormat};
+use cesc::cli::{
+    check, check_fleet, render, synth, usage, CheckOptions, CliError, SynthFormat,
+};
 use cesc::core::{synthesize, SynthOptions};
 use cesc::trace::{write_vcd, VcdWriteOptions};
 
@@ -110,7 +112,10 @@ fn check_summarizes_bulk_matches_unless_asked() {
         "pulse",
         vcd.as_bytes(),
         "clk",
-        &CheckOptions { all_matches: true },
+        &CheckOptions {
+            all_matches: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(all.contains("17"), "{all}");
@@ -189,6 +194,274 @@ fn check_unknown_name_lists_charts_and_multiclock_specs() {
     let msg = err.to_string();
     assert!(msg.contains("m1, m2"), "{msg}");
     assert!(msg.contains("pair"), "{msg}");
+}
+
+/// Basic charts, a multiclock spec and an implies(...) assertion in
+/// one document — the fleet-mode selection space.
+const FLEET_SPEC: &str = r#"
+scesc hs on clk {
+    instances { M, S }
+    events { req, ack }
+    tick { M: req }
+    tick { S: ack }
+    cause req -> ack;
+}
+scesc pulse on clk { instances { M } events { p } tick { M: p } }
+scesc rsp on clk { instances { S } events { p } tick { S: p } }
+scesc ping on clk { instances { M } events { req } tick { M: req } }
+cesc gate { implies(ping, rsp) }
+cesc boring { seq(pulse, pulse) }
+"#;
+
+/// One compliant handshake (req, then ack) — `gate` demands that every
+/// `ping` (a req tick) is followed by `rsp` (a p tick); `with_rsp`
+/// controls whether the consequent actually follows.
+fn fleet_vcd(with_rsp: bool) -> String {
+    let doc = cesc::chart::parse_document(FLEET_SPEC).unwrap();
+    let req = doc.alphabet.lookup("req").unwrap();
+    let ack = doc.alphabet.lookup("ack").unwrap();
+    let p = doc.alphabet.lookup("p").unwrap();
+    let trace: cesc::trace::Trace = [
+        cesc::expr::Valuation::of([req]),
+        if with_rsp {
+            cesc::expr::Valuation::of([ack, p])
+        } else {
+            cesc::expr::Valuation::of([ack])
+        },
+        cesc::expr::Valuation::empty(),
+        cesc::expr::Valuation::empty(),
+    ]
+    .into_iter()
+    .collect();
+    write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default())
+}
+
+#[test]
+fn fleet_checks_all_charts_in_one_pass() {
+    let vcd = fleet_vcd(true);
+    for jobs in [1, 4] {
+        let opts = CheckOptions {
+            jobs,
+            ..Default::default()
+        };
+        let outcome =
+            check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
+        assert!(!outcome.failed, "{}", outcome.output);
+        let out = &outcome.output;
+        assert!(out.contains("5 target(s)"), "{out}");
+        assert!(out.contains(&format!("with {jobs} worker(s)")), "{out}");
+        assert!(out.contains("chart `hs` (clock clk)"), "{out}");
+        assert!(out.contains("chart `pulse`"), "{out}");
+        assert!(out.contains("assert `gate` (clock clk)"), "{out}");
+        assert!(out.contains("passed"), "{out}");
+        // `boring` is seq(...), not an assert: --all-charts skips it
+        assert!(!out.contains("boring"), "{out}");
+    }
+}
+
+#[test]
+fn fleet_assert_violation_sets_failed_flag() {
+    let vcd = fleet_vcd(false); // consequent never follows
+    let outcome = check_fleet(
+        FLEET_SPEC,
+        &["gate".to_owned()],
+        false,
+        vcd.as_bytes(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(outcome.failed);
+    assert!(outcome.output.contains("failed"), "{}", outcome.output);
+    assert!(outcome.output.contains("1 violation(s)"), "{}", outcome.output);
+}
+
+#[test]
+fn fleet_json_report_is_machine_readable() {
+    let vcd = fleet_vcd(false);
+    let opts = CheckOptions {
+        json: true,
+        jobs: 2,
+        ..Default::default()
+    };
+    let outcome = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
+    let out = &outcome.output;
+    assert!(out.starts_with("{\"schema\":\"cesc-check/1\""), "{out}");
+    assert!(out.contains("\"jobs\":2"), "{out}");
+    assert!(out.contains("\"failed\":true"), "{out}");
+    assert!(out.contains("\"kind\":\"chart\""), "{out}");
+    assert!(out.contains("\"name\":\"hs\""), "{out}");
+    assert!(out.contains("\"verdict\":\"detected\""), "{out}");
+    assert!(out.contains("\"kind\":\"assert\""), "{out}");
+    assert!(out.contains("\"violation_count\":1"), "{out}");
+    assert!(out.contains("\"antecedent_at\":"), "{out}");
+    // bounded summary mode carries no full hit list
+    assert!(!out.contains("\"all\":"), "{out}");
+
+    let all = CheckOptions {
+        json: true,
+        all_matches: true,
+        ..Default::default()
+    };
+    let outcome = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &all).unwrap();
+    assert!(outcome.output.contains("\"all\":["), "{}", outcome.output);
+}
+
+#[test]
+fn fleet_deduplicates_repeated_chart_names() {
+    let vcd = fleet_vcd(true);
+    let names = vec!["pulse".to_owned(), "hs".to_owned(), "pulse".to_owned()];
+    let outcome = check_fleet(
+        FLEET_SPEC,
+        &names,
+        false,
+        vcd.as_bytes(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(outcome.output.contains("2 target(s)"), "{}", outcome.output);
+    assert_eq!(outcome.output.matches("chart `pulse`").count(), 1);
+}
+
+#[test]
+fn fleet_unknown_name_lists_all_target_kinds() {
+    let err = check_fleet(
+        FLEET_SPEC,
+        &["ghost".to_owned()],
+        false,
+        b"".as_slice(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("hs, pulse, rsp"), "{msg}");
+    assert!(msg.contains("assert compositions: gate"), "{msg}");
+}
+
+#[test]
+fn fleet_rejects_non_implication_compositions() {
+    let err = check_fleet(
+        FLEET_SPEC,
+        &["boring".to_owned()],
+        false,
+        b"".as_slice(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not an implies"), "{err}");
+}
+
+#[test]
+fn fleet_clock_override_renames_sampled_signal() {
+    // a chart declared on `sysclk` checked against a dump whose clock
+    // signal is `clk` — the override bridges the naming
+    const SPEC: &str = "scesc p on sysclk { instances { M } events { x } tick { M: x } }";
+    let doc = cesc::chart::parse_document(SPEC).unwrap();
+    let x = doc.alphabet.lookup("x").unwrap();
+    let trace: cesc::trace::Trace = [cesc::expr::Valuation::of([x])].into_iter().collect();
+    let vcd = write_vcd(&trace, &doc.alphabet, &VcdWriteOptions::default());
+
+    let named = check_fleet(
+        SPEC,
+        &["p".to_owned()],
+        false,
+        vcd.as_bytes(),
+        Some("clk"),
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(named.output.contains("DETECTED"), "{}", named.output);
+
+    // without the override the declared clock `sysclk` is absent from
+    // the dump: the stream reports it
+    let err = check_fleet(
+        SPEC,
+        &["p".to_owned()],
+        false,
+        vcd.as_bytes(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("sysclk"), "{err}");
+}
+
+#[test]
+fn fleet_clock_override_rejects_mixed_clocks() {
+    const SPEC: &str = "scesc a on c1 { instances { M } events { x } tick { M: x } }\
+                        scesc b on c2 { instances { M } events { x } tick { M: x } }";
+    let names = vec!["a".to_owned(), "b".to_owned()];
+    let err = check_fleet(
+        SPEC,
+        &names,
+        false,
+        b"".as_slice(),
+        Some("clk"),
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err}");
+    assert!(err.to_string().contains("different declared clocks"), "{err}");
+
+    let err = check_fleet(
+        MULTI_SPEC,
+        &["pair".to_owned()],
+        false,
+        b"".as_slice(),
+        Some("clk"),
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("multiclock"), "{err}");
+}
+
+#[test]
+fn fleet_checks_multiclock_specs_too() {
+    use cesc::expr::Valuation;
+    use cesc::trace::{write_vcd_global, ClockDomain, ClockSet, GlobalRun, Trace};
+
+    let doc = cesc::chart::parse_document(MULTI_SPEC).unwrap();
+    let go = doc.alphabet.lookup("go").unwrap();
+    let done = doc.alphabet.lookup("done").unwrap();
+    let mut clocks = ClockSet::new();
+    let c1 = clocks.add(ClockDomain::new("clk1", 2, 0));
+    let c2 = clocks.add(ClockDomain::new("clk2", 2, 1));
+    let run = GlobalRun::interleave(
+        &clocks,
+        &[
+            (c1, Trace::from_elements([Valuation::of([go]); 2])),
+            (c2, Trace::from_elements([Valuation::of([done]); 2])),
+        ],
+    )
+    .unwrap();
+    let owners = [Valuation::of([go]), Valuation::of([done])];
+    let vcd = write_vcd_global(&run, &clocks, &doc.alphabet, &owners, &VcdWriteOptions::default());
+
+    let opts = CheckOptions {
+        jobs: 3,
+        ..Default::default()
+    };
+    let outcome = check_fleet(MULTI_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
+    let out = &outcome.output;
+    assert!(out.contains("multiclock `pair` (clocks clk1, clk2)"), "{out}");
+    assert!(out.contains("2 occurrence(s)"), "{out}");
+    // the component charts ride the same pass
+    assert!(out.contains("chart `m1`"), "{out}");
+    assert!(!outcome.failed);
+}
+
+#[test]
+fn usage_covers_every_flag() {
+    let text = usage();
+    for flag in [
+        "--chart", "--format", "--vcd", "--clock", "--all-matches", "--jobs", "--json",
+        "--all-charts",
+    ] {
+        assert!(text.contains(flag), "usage misses {flag}: {text}");
+    }
 }
 
 #[test]

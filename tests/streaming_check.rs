@@ -2,11 +2,15 @@
 //! disk is verified by `cesc::cli::check` through a `BufReader` — the
 //! deployment where the dump never fits in memory. Exercises the full
 //! pipeline: `write_vcd_global_to` → file → `GlobalVcdStream` →
-//! `CompiledMultiClock` batch execution → summarised CLI report.
+//! `CompiledMultiClock` batch execution → summarised CLI report. The
+//! fleet-mode section drives `cesc::cli::check_fleet` (`cesc check
+//! --jobs 4 --all-charts`) over the same class of 100k+-tick dumps:
+//! every chart, multiclock spec and `implies(...)` assertion verified
+//! in one sharded pass.
 
 use std::io::{BufWriter, Write as _};
 
-use cesc::cli::{check, CheckOptions};
+use cesc::cli::{check, check_fleet, CheckOptions};
 use cesc::core::{synthesize_multiclock, SynthOptions};
 use cesc::expr::Valuation;
 use cesc::trace::{
@@ -76,6 +80,113 @@ fn large_multiclock_vcd_checks_via_streaming_reader() {
     // bulk traffic must come back summarised, not as 60k tick numbers
     assert!(out.contains(&format!("... {} more ...", PER_DOMAIN - 10)), "{out}");
     assert!(out.len() < 400, "summary stays short: {} bytes", out.len());
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// `MULTI_SPEC` plus a pure single-clock chart and an `implies(...)`
+/// assertion, so `--all-charts` exercises every target kind at once.
+const FLEET_SPEC: &str = r#"
+scesc m1 on clk1 { instances { A } events { go } tick { A: go } }
+scesc m2 on clk2 { instances { B } events { done } tick { B: done } }
+scesc ping on clk1 { instances { A } events { go } tick { A: go } }
+scesc pong on clk1 { instances { A } events { go } tick { A: go } }
+multiclock pair { charts { m1, m2 } cause go -> done; }
+cesc gate { implies(ping, pong) }
+"#;
+
+#[test]
+fn fleet_mode_checks_all_charts_over_100k_tick_dump_with_4_jobs() {
+    const PER_DOMAIN: usize = 60_000; // 120k global steps total
+
+    let doc = cesc::chart::parse_document(FLEET_SPEC).unwrap();
+    let go = doc.alphabet.lookup("go").unwrap();
+    let done = doc.alphabet.lookup("done").unwrap();
+    let (clocks, run) = big_run(Valuation::of([go]), Valuation::of([done]), PER_DOMAIN);
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("big_fleet.vcd");
+    let owners = [Valuation::of([go]), Valuation::of([done])];
+    {
+        let mut w = BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_vcd_global_to(&mut w, &run, &clocks, &doc.alphabet, &owners, &VcdWriteOptions::default())
+            .unwrap();
+        w.flush().unwrap();
+    }
+
+    // -- text report, 4 shard workers, every chart in one pass -------
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let opts = CheckOptions {
+        jobs: 4,
+        ..Default::default()
+    };
+    let outcome = check_fleet(FLEET_SPEC, &[], true, reader, None, &opts).unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    let out = &outcome.output;
+    // charts m1, m2, ping, pong + multiclock pair + assert gate
+    assert!(out.contains("6 target(s)"), "{out}");
+    assert!(out.contains(&format!("over {} global steps", 2 * PER_DOMAIN)), "{out}");
+    assert!(out.contains("with 4 worker(s)"), "{out}");
+    assert!(out.contains(&format!(
+        "chart `m1` (clock clk1) over {PER_DOMAIN} sampled cycles: DETECTED — {PER_DOMAIN} occurrence(s)"
+    )), "{out}");
+    assert!(out.contains(&format!(
+        "multiclock `pair` (clocks clk1, clk2): DETECTED — {PER_DOMAIN} occurrence(s)"
+    )), "{out}");
+    // the assert fulfils one obligation per tick; only the obligation
+    // spawned by the final tick is still open when the stream ends
+    assert!(out.contains(&format!(
+        "assert `gate` (clock clk1) over {PER_DOMAIN} ticks: tracking — {} fulfilled, 1 outstanding",
+        PER_DOMAIN - 1
+    )), "{out}");
+    // bulk matches stay summarised in fleet mode too
+    assert!(out.contains("more ..."), "{out}");
+    assert!(out.len() < 1200, "summary stays short: {} bytes", out.len());
+
+    // -- JSON report from the same dump ------------------------------
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let opts = CheckOptions {
+        jobs: 4,
+        json: true,
+        ..Default::default()
+    };
+    let outcome = check_fleet(FLEET_SPEC, &[], true, reader, None, &opts).unwrap();
+    let out = &outcome.output;
+    assert!(out.contains("\"schema\":\"cesc-check/1\""), "{out}");
+    assert!(out.contains(&format!("\"global_steps\":{}", 2 * PER_DOMAIN)), "{out}");
+    assert!(out.contains("\"jobs\":4"), "{out}");
+    assert!(out.contains("\"failed\":false"), "{out}");
+    assert!(out.contains(&format!("\"matches\":{PER_DOMAIN}")), "{out}");
+    assert!(out.contains("\"verdict\":\"tracking\""), "{out}");
+    assert!(out.contains(&format!("\"fulfilled\":{}", PER_DOMAIN - 1)), "{out}");
+    assert!(out.len() < 4000, "json stays bounded: {} bytes", out.len());
+
+    // -- verdicts are jobs-invariant ---------------------------------
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let serial = check_fleet(FLEET_SPEC, &[], true, reader, None, &CheckOptions::default());
+    let serial = serial.unwrap();
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let par = check_fleet(
+        FLEET_SPEC,
+        &[],
+        true,
+        reader,
+        None,
+        &CheckOptions {
+            jobs: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // identical reports modulo the worker count banner
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("checked "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&serial.output), strip(&par.output));
 
     std::fs::remove_file(&path).ok();
 }
