@@ -2,14 +2,22 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl build test doc bench clean
 
-verify: ## release build + full test suite + clean rustdoc + benches compile + parallel equivalence
+verify: ## release build + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(CARGO) doc --no-deps
 	$(MAKE) verify-bench
 	$(MAKE) verify-par
+	$(MAKE) verify-rtl
+
+verify-rtl: ## emitted RTL == engine: cesc-rtl unit tests + the co-simulation property suite + streaming --cosim + the rtl bench compiles
+	$(CARGO) test -q -p cesc-rtl
+	$(CARGO) test -q -p cesc-hdl
+	$(CARGO) test -q --test rtl_cosim
+	$(CARGO) test -q --test streaming_check cosim_mode
+	$(CARGO) bench -p cesc-bench --bench rtl_throughput --no-run
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run

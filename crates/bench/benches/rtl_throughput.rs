@@ -1,0 +1,111 @@
+//! Experiment R1: what does executing the *emitted RTL* cost relative
+//! to the batch engine?
+//!
+//! The `cesc-rtl` interpreter is an **oracle**, not a production scan
+//! path: it walks the IR arm by arm and re-evaluates `Expr` guards
+//! recursively, trading speed for being a faithful model of the
+//! rendered netlist (registered counters, bit-width truncation, state
+//! hold). This bench quantifies that trade on the OCP simple-read and
+//! burst-read workloads:
+//!
+//! * `engine_scan_batch` — the compiled flat-table engine (the
+//!   production path);
+//! * `rtl_interp` — the interpreted RTL module;
+//! * `cosim_lockstep` — both at once through [`cesc_rtl::CoSim`], the
+//!   cost a `cesc check --cosim` run pays per monitor.
+//!
+//! Verdict identity between all three paths is asserted inline before
+//! measuring (and property-tested in `tests/rtl_cosim.rs`).
+
+use cesc_bench::quick;
+use cesc_core::{synthesize, SynthOptions};
+use cesc_hdl::{lower_monitor, VerilogOptions};
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use cesc_rtl::{CoSim, RtlInterp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion, label: &str, doc: &cesc_chart::Document, chart: &str, window: Vec<cesc_expr::Valuation>) {
+    let monitor = synthesize(doc.chart(chart).expect("chart"), &SynthOptions::default())
+        .expect("synthesizable");
+    let trace = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 5_000,
+            gap: 2,
+            ..Default::default()
+        },
+    );
+    let module = lower_monitor(&monitor, &doc.alphabet, &VerilogOptions::default());
+    let compiled = monitor.compiled();
+
+    // verdict identity before measuring
+    let reference = monitor.scan_batch(trace.as_slice());
+    let mut rtl = RtlInterp::new(&module);
+    let mut rtl_hits = Vec::new();
+    rtl.feed(trace.as_slice(), &mut rtl_hits);
+    assert_eq!(rtl_hits, reference.matches, "{label}: RTL == engine");
+
+    let group_name = format!("rtl_throughput/{label}");
+    let mut g = c.benchmark_group(&group_name);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("engine_scan_batch"),
+        &trace,
+        |b, t| {
+            let mut hits = Vec::new();
+            b.iter(|| {
+                let mut exec = compiled.executor();
+                hits.clear();
+                exec.feed(black_box(t.as_slice()), &mut hits);
+                hits.len()
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("rtl_interp"),
+        &trace,
+        |b, t| {
+            let mut hits = Vec::new();
+            b.iter(|| {
+                let mut rtl = RtlInterp::new(&module);
+                hits.clear();
+                rtl.feed(black_box(t.as_slice()), &mut hits);
+                hits.len()
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("cosim_lockstep"),
+        &trace,
+        |b, t| {
+            b.iter(|| {
+                let mut cosim = CoSim::new(&module, &compiled);
+                cosim
+                    .feed(black_box(t.as_slice()))
+                    .expect("bit-identical");
+                cosim.matches()
+            })
+        },
+    );
+    g.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let doc = ocp::simple_read_doc();
+    let window = ocp::simple_read_window(&doc.alphabet);
+    bench_workload(c, "ocp_simple_read", &doc, "ocp_simple_read", window);
+
+    let doc = ocp::burst_read_doc();
+    let window = ocp::burst_read_window(&doc.alphabet);
+    bench_workload(c, "ocp_burst_read", &doc, "ocp_burst_read", window);
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

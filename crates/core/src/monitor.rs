@@ -88,6 +88,57 @@ pub struct Monitor {
 }
 
 impl Monitor {
+    /// Assembles a monitor from explicit parts — the escape hatch for
+    /// tests, fuzzers and downstream tooling (e.g. `cesc-rtl`'s
+    /// co-simulation suite) that need automata the synthesis algorithm
+    /// would never produce, such as degenerate 1-state monitors or
+    /// deliberately unbalanced scoreboard programs.
+    ///
+    /// No totality or reachability checks are performed: executing a
+    /// non-total monitor panics at the step with no enabled transition,
+    /// exactly as for any hand-built monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transitions` is empty, if `initial`/`final_state`
+    /// are out of range, or if any transition targets a state out of
+    /// range.
+    pub fn from_parts(
+        name: impl Into<String>,
+        clock: impl Into<String>,
+        transitions: Vec<Vec<Transition>>,
+        initial: StateId,
+        final_state: StateId,
+        pattern: Vec<Expr>,
+        tracked_events: Vec<SymbolId>,
+    ) -> Self {
+        let n = transitions.len();
+        assert!(n > 0, "a monitor needs at least one state");
+        assert!(initial.index() < n, "initial state {initial} out of range");
+        assert!(
+            final_state.index() < n,
+            "final state {final_state} out of range"
+        );
+        for (s, ts) in transitions.iter().enumerate() {
+            for t in ts {
+                assert!(
+                    t.target.index() < n,
+                    "transition s{s} -> {} targets a state out of range",
+                    t.target
+                );
+            }
+        }
+        Monitor {
+            name: name.into(),
+            clock: clock.into(),
+            transitions,
+            initial,
+            final_state,
+            pattern,
+            tracked_events,
+        }
+    }
+
     /// The monitor's name (from the source chart).
     pub fn name(&self) -> &str {
         &self.name
@@ -135,6 +186,58 @@ impl Monitor {
     /// Events subject to `Add_evt`/`Del_evt` bookkeeping.
     pub fn tracked_events(&self) -> &[SymbolId] {
         &self.tracked_events
+    }
+
+    /// Every trace symbol the monitor observes: the union of all guard
+    /// symbols and all pattern symbols (`Chk_evt` targets are *not*
+    /// included — they are scoreboard state, not trace inputs).
+    ///
+    /// This is the input-port set of the monitor's hardware form; the
+    /// HDL emitters and the RTL IR lowering derive module interfaces
+    /// from it.
+    pub fn observed_symbols(&self) -> Valuation {
+        let mut symbols = Valuation::empty();
+        for ts in &self.transitions {
+            for t in ts {
+                symbols = symbols | t.guard.symbols();
+            }
+        }
+        for p in &self.pattern {
+            symbols = symbols | p.symbols();
+        }
+        symbols
+    }
+
+    /// Every event with scoreboard traffic anywhere in the monitor:
+    /// [`Monitor::tracked_events`] (the `Add_evt` targets, in
+    /// synthesis order) extended with any `Del_evt` or `Chk_evt`
+    /// target that never receives an `Add_evt` (deduplicated,
+    /// ascending by symbol index). Synthesized monitors only delete
+    /// and check what they add, so the extension matters for
+    /// hand-built monitors — the HDL lowering sizes its counter bank
+    /// from this set so no guard or update ever references an
+    /// undeclared counter.
+    pub fn scoreboard_events(&self) -> Vec<SymbolId> {
+        let mut events = self.tracked_events.clone();
+        let mut extra = Valuation::empty();
+        for ts in &self.transitions {
+            for t in ts {
+                extra = extra | t.guard.chk_targets();
+                for a in &t.actions {
+                    if let Action::AddEvt(es) | Action::DelEvt(es) = a {
+                        for &e in es {
+                            extra = extra | Valuation::of([e]);
+                        }
+                    }
+                }
+            }
+        }
+        for id in extra.iter() {
+            if !events.contains(&id) {
+                events.push(id);
+            }
+        }
+        events
     }
 
     /// The *effective* guard of transition `idx` from `state`: its own

@@ -1,0 +1,589 @@
+//! The structured RTL intermediate representation behind
+//! [`crate::emit_verilog`].
+//!
+//! Lowering a [`Monitor`] to Verilog used to be one string-building
+//! pass, which meant the emitted semantics (counter widths, guard
+//! priority, name binding) existed *only* as text — nothing could
+//! execute it short of an external simulator. [`lower_monitor`] now
+//! produces an [`RtlModule`] first: ports, the state register, the
+//! scoreboard counter bank and the per-state priority guard cascade as
+//! data. Two consumers share it:
+//!
+//! * [`render_verilog`] (wrapped by [`crate::emit_verilog`]) prints the
+//!   module as Verilog-2001 text;
+//! * `cesc-rtl`'s `RtlInterp` executes the IR cycle-accurately —
+//!   including the counter bit-width truncation/saturation the rendered
+//!   registers would exhibit — so the emitted RTL can be co-simulated
+//!   against the engine without any external toolchain.
+//!
+//! Counter updates aggregate each transition's `Add_evt`/`Del_evt`
+//! actions into one *net* delta per event (the hardware applies all of
+//! a cycle's updates in a single nonblocking assignment). For
+//! synthesized monitors this is exact: the engine's sequential
+//! application only differs from the net form when a `Del_evt` precedes
+//! an `Add_evt` of the same event on one transition *and* the count is
+//! at the zero floor — a shape the synthesis algorithm never emits (it
+//! deletes only what an earlier tick added). The co-simulation harness
+//! in `cesc-rtl` is the oracle that would flush out any future
+//! violation of that invariant.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cesc_core::{Action, Monitor, StateId};
+use cesc_expr::{Alphabet, Expr, SymbolId};
+
+use crate::names::NameMap;
+use crate::verilog::VerilogOptions;
+
+/// One input port of an [`RtlModule`]: a 1-bit wire per observed
+/// alphabet symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlInput {
+    /// The alphabet symbol driven on this port.
+    pub symbol: SymbolId,
+    /// The (collision-free) Verilog port name.
+    pub port: String,
+}
+
+/// One scoreboard counter register (`reg [w-1:0] sb_<event>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlCounter {
+    /// The event the counter tracks.
+    pub event: SymbolId,
+    /// The (collision-free) register name.
+    pub reg: String,
+}
+
+/// A net counter update attached to one transition arm: counter slot
+/// `counter` changes by `delta` (never 0) when the arm fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtlUpdate {
+    /// Index into [`RtlModule::counters`].
+    pub counter: u32,
+    /// Net occurrence-count change; increments saturate or wrap at the
+    /// counter width ([`RtlModule::saturating`]), decrements floor at
+    /// zero.
+    pub delta: i64,
+}
+
+/// One arm of a state's priority cascade (`if` / `else if` / `else`).
+#[derive(Debug, Clone)]
+pub struct RtlArm {
+    guard: Expr,
+    target: u32,
+    pulse: bool,
+    updates: Vec<RtlUpdate>,
+}
+
+impl RtlArm {
+    /// The guard expression (over input symbols and `Chk_evt` counter
+    /// tests) that enables this arm.
+    pub fn guard(&self) -> &Expr {
+        &self.guard
+    }
+
+    /// Next-state index when the arm fires.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// Whether firing this arm raises `match_pulse` (the arm enters
+    /// the final state).
+    pub fn pulse(&self) -> bool {
+        self.pulse
+    }
+
+    /// Counter updates applied when the arm fires.
+    pub fn updates(&self) -> &[RtlUpdate] {
+        &self.updates
+    }
+}
+
+/// A synthesizable monitor module in structured form: what
+/// [`crate::emit_verilog`] renders and what `cesc-rtl` interprets.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_hdl::{lower_monitor, render_verilog, VerilogOptions};
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } cause req -> ack; }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+/// let module = lower_monitor(&m, &doc.alphabet, &VerilogOptions::default());
+/// assert_eq!(module.state_count(), m.state_count());
+/// assert!(render_verilog(&module).contains("module cesc_monitor_hs"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtlModule {
+    name: String,
+    chart: String,
+    clock: String,
+    reset: String,
+    counter_width: u32,
+    saturating: bool,
+    state_width: u32,
+    initial: u32,
+    final_state: u32,
+    inputs: Vec<RtlInput>,
+    counters: Vec<RtlCounter>,
+    states: Vec<Vec<RtlArm>>,
+    names: NameMap,
+}
+
+impl RtlModule {
+    /// The Verilog module name (`<prefix>_<chart>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source chart / monitor name.
+    pub fn chart(&self) -> &str {
+        &self.chart
+    }
+
+    /// The declared clock domain (documentation only; the module's
+    /// clock port is always `clk`).
+    pub fn clock(&self) -> &str {
+        &self.clock
+    }
+
+    /// The active-low asynchronous reset port name.
+    pub fn reset(&self) -> &str {
+        &self.reset
+    }
+
+    /// Bit width of every scoreboard counter register.
+    pub fn counter_width(&self) -> u32 {
+        self.counter_width
+    }
+
+    /// Whether counter increments saturate at `2^width - 1` (the
+    /// default) instead of wrapping like a bare `sb + d` adder.
+    pub fn saturating(&self) -> bool {
+        self.saturating
+    }
+
+    /// Bit width of the `state` output register (≥ 1 even for
+    /// degenerate 1-state monitors).
+    pub fn state_width(&self) -> u32 {
+        self.state_width
+    }
+
+    /// Initial state index (the reset state).
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Final (accepting) state index; entering it pulses
+    /// `match_pulse`.
+    pub fn final_state(&self) -> u32 {
+        self.final_state
+    }
+
+    /// Number of FSM states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The 1-bit input ports, ascending by symbol index.
+    pub fn inputs(&self) -> &[RtlInput] {
+        &self.inputs
+    }
+
+    /// The scoreboard counter bank.
+    pub fn counters(&self) -> &[RtlCounter] {
+        &self.counters
+    }
+
+    /// The priority cascade of state `s` (first enabled arm wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn arms(&self, s: usize) -> &[RtlArm] {
+        &self.states[s]
+    }
+
+    /// The symbol → identifier binding every consumer of this module
+    /// (renderer, testbench, interpreter diagnostics) must share.
+    pub fn names(&self) -> &NameMap {
+        &self.names
+    }
+
+    /// Largest value a counter register can hold (`2^width - 1`; the
+    /// lowering clamps widths to 1..=64, so this is always exact).
+    pub fn counter_max(&self) -> u64 {
+        if self.counter_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.counter_width) - 1
+        }
+    }
+}
+
+/// Net scoreboard-counter deltas of a transition's action list
+/// (`Add_evt` +1, `Del_evt` −1 per occurrence, same event aggregated).
+fn action_deltas(actions: &[Action]) -> HashMap<SymbolId, i64> {
+    let mut deltas: HashMap<SymbolId, i64> = HashMap::new();
+    for a in actions {
+        match a {
+            Action::Null => {}
+            Action::AddEvt(es) => {
+                for &e in es {
+                    *deltas.entry(e).or_insert(0) += 1;
+                }
+            }
+            Action::DelEvt(es) => {
+                for &e in es {
+                    *deltas.entry(e).or_insert(0) -= 1;
+                }
+            }
+        }
+    }
+    deltas
+}
+
+/// Lowers a synthesized [`Monitor`] into the structured RTL IR.
+///
+/// The module observes [`Monitor::observed_symbols`] as input ports and
+/// keeps one counter per [`Monitor::scoreboard_events`] entry, so every
+/// guard atom and counter update resolves inside the module. The state
+/// register width is clamped to ≥ 1 bit (a degenerate 1-state monitor
+/// would otherwise need a 0-bit register), and `opts.counter_width` is
+/// clamped to `1..=64` — the interpreter models counters in `u64`, and
+/// a register wider than 64 bits could not be executed bit-for-bit.
+pub fn lower_monitor(monitor: &Monitor, alphabet: &Alphabet, opts: &VerilogOptions) -> RtlModule {
+    let names = NameMap::new(alphabet, &[opts.reset_name.as_str()]);
+
+    let inputs: Vec<RtlInput> = monitor
+        .observed_symbols()
+        .iter()
+        .map(|id| RtlInput {
+            symbol: id,
+            port: names.name(id).to_owned(),
+        })
+        .collect();
+
+    let events = monitor.scoreboard_events();
+    let counters: Vec<RtlCounter> = events
+        .iter()
+        .map(|&id| RtlCounter {
+            event: id,
+            reg: names.counter(id).to_owned(),
+        })
+        .collect();
+    let slot_of = |id: SymbolId| -> u32 {
+        events
+            .iter()
+            .position(|&e| e == id)
+            .expect("scoreboard_events covers every action/chk target") as u32
+    };
+
+    let n_states = monitor.state_count();
+    // bits needed to hold the largest state index, never less than one
+    // (a 0-bit register is not Verilog, and `state_w - 1` must not
+    // underflow in the part-select)
+    let state_width = (usize::BITS - n_states.saturating_sub(1).leading_zeros()).max(1);
+
+    let mut states = Vec::with_capacity(n_states);
+    for s in 0..n_states {
+        let mut arms = Vec::new();
+        for t in monitor.transitions_from(StateId::from_index(s)) {
+            let mut updates: Vec<(SymbolId, i64)> = action_deltas(&t.actions)
+                .into_iter()
+                .filter(|&(_, d)| d != 0)
+                .collect();
+            updates.sort_by_key(|&(id, _)| id.index());
+            arms.push(RtlArm {
+                guard: t.guard.clone(),
+                target: t.target.index() as u32,
+                pulse: t.target == monitor.final_state(),
+                updates: updates
+                    .into_iter()
+                    .map(|(id, delta)| RtlUpdate {
+                        counter: slot_of(id),
+                        delta,
+                    })
+                    .collect(),
+            });
+        }
+        states.push(arms);
+    }
+
+    RtlModule {
+        name: format!(
+            "{}_{}",
+            opts.module_prefix,
+            crate::names::sanitize(monitor.name())
+        ),
+        chart: monitor.name().to_owned(),
+        clock: monitor.clock().to_owned(),
+        reset: opts.reset_name.clone(),
+        counter_width: opts.counter_width.clamp(1, 64),
+        saturating: opts.saturating,
+        state_width,
+        initial: monitor.initial().index() as u32,
+        final_state: monitor.final_state().index() as u32,
+        inputs,
+        counters,
+        states,
+        names,
+    }
+}
+
+/// Renders a guard expression against the module's name binding.
+/// `Chk_evt(e)` compiles to a non-zero test of the counter register.
+pub(crate) fn expr_to_verilog_named(e: &Expr, names: &NameMap) -> String {
+    match e {
+        Expr::Const(true) => "1'b1".to_owned(),
+        Expr::Const(false) => "1'b0".to_owned(),
+        Expr::Sym(id) => names.name(*id).to_owned(),
+        Expr::ChkEvt(id) => format!("({} != 0)", names.counter(*id)),
+        Expr::Not(inner) => format!("!({})", expr_to_verilog_named(inner, names)),
+        Expr::And(es) => {
+            let parts: Vec<String> = es.iter().map(|p| expr_to_verilog_named(p, names)).collect();
+            format!("({})", parts.join(" && "))
+        }
+        Expr::Or(es) => {
+            let parts: Vec<String> = es.iter().map(|p| expr_to_verilog_named(p, names)).collect();
+            format!("({})", parts.join(" || "))
+        }
+    }
+}
+
+/// Renders an [`RtlModule`] as Verilog-2001 text.
+///
+/// This is the text half of the IR contract: `cesc-rtl`'s interpreter
+/// executes the same [`RtlModule`] the renderer prints, so what the
+/// co-simulation validates is exactly what this function emits.
+pub fn render_verilog(module: &RtlModule) -> String {
+    let rst = module.reset();
+    let cw = module.counter_width;
+    let max = module.counter_max();
+
+    let mut v = String::new();
+    let _ = writeln!(
+        v,
+        "// Generated by cesc-hdl from chart `{}` (clock {})",
+        module.chart, module.clock
+    );
+    let _ = writeln!(
+        v,
+        "// Monitor: {} states, initial s{}, final s{}",
+        module.state_count(),
+        module.initial,
+        module.final_state
+    );
+    let _ = writeln!(v, "module {} (", module.name);
+    let _ = writeln!(v, "    input  wire clk,");
+    let _ = writeln!(v, "    input  wire {rst},");
+    for i in &module.inputs {
+        let _ = writeln!(v, "    input  wire {},", i.port);
+    }
+    let _ = writeln!(v, "    output reg  match_pulse,");
+    let _ = writeln!(v, "    output reg  [{}:0] state", module.state_width - 1);
+    let _ = writeln!(v, ");");
+    let _ = writeln!(v);
+    for s in 0..module.state_count() {
+        let _ = writeln!(v, "    localparam S{s} = {s};");
+    }
+    let _ = writeln!(v);
+    for c in &module.counters {
+        let _ = writeln!(v, "    reg [{}:0] {};", cw - 1, c.reg);
+    }
+    let _ = writeln!(v);
+    let _ = writeln!(v, "    always @(posedge clk or negedge {rst}) begin");
+    let _ = writeln!(v, "        if (!{rst}) begin");
+    let _ = writeln!(v, "            state <= S{};", module.initial);
+    let _ = writeln!(v, "            match_pulse <= 1'b0;");
+    for c in &module.counters {
+        let _ = writeln!(v, "            {} <= 0;", c.reg);
+    }
+    let _ = writeln!(v, "        end else begin");
+    let _ = writeln!(v, "            match_pulse <= 1'b0;");
+    let _ = writeln!(v, "            case (state)");
+    for (s, arms) in module.states.iter().enumerate() {
+        let _ = writeln!(v, "                S{s}: begin");
+        for (idx, arm) in arms.iter().enumerate() {
+            let cond = expr_to_verilog_named(&arm.guard, &module.names);
+            let kw = if idx == 0 {
+                format!("if ({cond})")
+            } else if idx == arms.len() - 1 && arm.guard == Expr::t() {
+                "else".to_owned()
+            } else {
+                format!("else if ({cond})")
+            };
+            let _ = writeln!(v, "                    {kw} begin");
+            let _ = writeln!(v, "                        state <= S{};", arm.target);
+            if arm.pulse {
+                let _ = writeln!(v, "                        match_pulse <= 1'b1;");
+            }
+            for u in &arm.updates {
+                let reg = &module.counters[u.counter as usize].reg;
+                if u.delta > 0 {
+                    let d = u.delta as u64;
+                    if module.saturating {
+                        if d > max {
+                            // the increment alone overflows the
+                            // register: pin at the ceiling
+                            let _ = writeln!(
+                                v,
+                                "                        {reg} <= {cw}'d{max};"
+                            );
+                        } else {
+                            let _ = writeln!(
+                                v,
+                                "                        {reg} <= ({reg} > {cw}'d{}) ? {cw}'d{max} : {reg} + {d};",
+                                max - d
+                            );
+                        }
+                    } else {
+                        let _ = writeln!(v, "                        {reg} <= {reg} + {d};");
+                    }
+                } else {
+                    let mag = -u.delta;
+                    let _ = writeln!(
+                        v,
+                        "                        {reg} <= ({reg} > {mag}) ? {reg} - {mag} : 0;"
+                    );
+                }
+            }
+            let _ = writeln!(v, "                    end");
+        }
+        let _ = writeln!(v, "                end");
+    }
+    let _ = writeln!(v, "                default: state <= S{};", module.initial);
+    let _ = writeln!(v, "            endcase");
+    let _ = writeln!(v, "        end");
+    let _ = writeln!(v, "    end");
+    let _ = writeln!(v);
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, SynthOptions};
+
+    fn hs() -> (cesc_chart::Document, Monitor) {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M, S } events { req, ack } \
+             tick { M: req } tick { S: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        (doc, m)
+    }
+
+    #[test]
+    fn lowering_mirrors_monitor_shape() {
+        let (doc, m) = hs();
+        let module = lower_monitor(&m, &doc.alphabet, &VerilogOptions::default());
+        assert_eq!(module.state_count(), m.state_count());
+        assert_eq!(module.initial(), m.initial().index() as u32);
+        assert_eq!(module.final_state(), m.final_state().index() as u32);
+        assert_eq!(module.inputs().len(), m.observed_symbols().count() as usize);
+        assert_eq!(module.counters().len(), m.scoreboard_events().len());
+        for s in 0..module.state_count() {
+            let ts = m.transitions_from(StateId::from_index(s));
+            assert_eq!(module.arms(s).len(), ts.len());
+            for (arm, t) in module.arms(s).iter().zip(ts) {
+                assert_eq!(arm.target(), t.target.index() as u32);
+                assert_eq!(arm.pulse(), t.target == m.final_state());
+            }
+        }
+    }
+
+    #[test]
+    fn state_width_clamped_for_degenerate_monitors() {
+        // hand-built 1-state monitor: `usize::BITS - lz(0)` is 0, which
+        // used to underflow the `[state_w - 1:0]` part-select
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = Monitor::from_parts(
+            "one",
+            "clk",
+            vec![vec![cesc_core::Transition {
+                guard: Expr::t(),
+                actions: vec![],
+                target: StateId::from_index(0),
+                kind: cesc_core::TransitionKind::Backward,
+            }]],
+            StateId::from_index(0),
+            StateId::from_index(0),
+            vec![Expr::sym(a)],
+            vec![],
+        );
+        let module = lower_monitor(&m, &ab, &VerilogOptions::default());
+        assert_eq!(module.state_width(), 1);
+        let v = render_verilog(&module);
+        assert!(v.contains("output reg  [0:0] state"), "{v}");
+        assert!(v.contains("localparam S0 = 0;"), "{v}");
+    }
+
+    #[test]
+    fn saturating_and_wrapping_increments_render_differently() {
+        let (doc, m) = hs();
+        let sat = render_verilog(&lower_monitor(&m, &doc.alphabet, &VerilogOptions::default()));
+        assert!(
+            sat.contains("sb_req <= (sb_req > 8'd254) ? 8'd255 : sb_req + 1;"),
+            "{sat}"
+        );
+        let wrap = render_verilog(&lower_monitor(
+            &m,
+            &doc.alphabet,
+            &VerilogOptions {
+                saturating: false,
+                ..Default::default()
+            },
+        ));
+        assert!(wrap.contains("sb_req <= sb_req + 1;"), "{wrap}");
+        // decrements floor at zero in both modes
+        for v in [&sat, &wrap] {
+            assert!(v.contains("sb_req <= (sb_req > 1) ? sb_req - 1 : 0;"), "{v}");
+        }
+    }
+
+    #[test]
+    fn counter_max_tracks_width() {
+        let (doc, m) = hs();
+        let module = lower_monitor(
+            &m,
+            &doc.alphabet,
+            &VerilogOptions {
+                counter_width: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(module.counter_max(), 7);
+        assert_eq!(module.counter_width(), 3);
+        // widths outside 1..=64 are clamped — the interpreter models
+        // counters in u64 and must stay exact
+        let wide = lower_monitor(
+            &m,
+            &doc.alphabet,
+            &VerilogOptions {
+                counter_width: 200,
+                ..Default::default()
+            },
+        );
+        assert_eq!(wide.counter_width(), 64);
+        assert_eq!(wide.counter_max(), u64::MAX);
+        let zero = lower_monitor(
+            &m,
+            &doc.alphabet,
+            &VerilogOptions {
+                counter_width: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(zero.counter_width(), 1);
+    }
+}

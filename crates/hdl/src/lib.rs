@@ -6,11 +6,21 @@
 //!
 //! * [`emit_verilog`] — a synthesizable Verilog-2001 module: the monitor
 //!   FSM plus the scoreboard as saturating counters, with a
-//!   `match_pulse` output (full `Add_evt`/`Del_evt`/`Chk_evt` support);
+//!   `match_pulse` output (full `Add_evt`/`Del_evt`/`Chk_evt` support).
+//!   Emission is structured: [`lower_monitor`] builds the [`RtlModule`]
+//!   IR, [`render_verilog`] prints it — and the `cesc-rtl` crate
+//!   *executes* the same IR cycle-accurately for co-simulation against
+//!   the engine;
 //! * [`emit_sva_cover`] / [`emit_sva_implication`] — SystemVerilog
 //!   Assertions: charts as `sequence`s (one grid line per cycle),
 //!   detection as `cover property`, implication as
-//!   `assert property (a |=> c)`.
+//!   `assert property (a |=> c)`;
+//! * [`emit_testbench`] — a self-checking Verilog testbench driving a
+//!   reference trace into the emitted module.
+//!
+//! All emitters share one collision-free identifier mangler
+//! ([`NameMap`]), so symbols like `req.a` and `req_a` never fold onto
+//! the same port.
 //!
 //! # Example
 //!
@@ -31,10 +41,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod ir;
+mod names;
 mod sva;
 mod testbench;
 mod verilog;
 
-pub use sva::{emit_sva_cover, emit_sva_implication, SvaOptions};
+pub use ir::{lower_monitor, render_verilog, RtlArm, RtlCounter, RtlInput, RtlModule, RtlUpdate};
+pub use names::{sanitize, NameMap};
+pub use sva::{emit_sva_cover, emit_sva_implication, sva_loses_scoreboard, SvaOptions};
 pub use testbench::{emit_testbench, TestbenchOptions};
 pub use verilog::{emit_verilog, expr_to_verilog, VerilogOptions};

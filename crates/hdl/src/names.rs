@@ -1,0 +1,196 @@
+//! Collision-free HDL identifier mangling, shared by every emitter.
+//!
+//! Chart symbols are free-form identifiers (the grammar allows `.` in
+//! dotted event names), but Verilog identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*`. A plain character substitution is not
+//! injective — `req.a` and `req_a` both map to `req_a` — and a module
+//! that declares the same port twice (with guards cross-wired between
+//! the two source symbols) is silently broken RTL. [`NameMap`] makes
+//! the mapping injective with deterministic suffixing, and hands every
+//! emitter (Verilog, SVA, testbench, the RTL IR lowering) the *same*
+//! symbol → identifier binding so generated modules, testbenches and
+//! interpreters always agree on port names.
+
+use std::collections::{HashMap, HashSet};
+
+use cesc_expr::{Alphabet, SymbolId};
+
+/// Verilog-2001 keywords (the subset that could plausibly collide with
+/// a chart symbol) plus the fixed nets every emitted module declares.
+/// Symbols landing on one of these are suffixed like any other
+/// collision.
+const RESERVED: &[&str] = &[
+    // fixed module interface nets
+    "clk", "match_pulse", "state", "matches", "dut",
+    // Verilog keywords
+    "always", "assign", "begin", "case", "default", "else", "end",
+    "endcase", "endmodule", "if", "initial", "input", "inout", "integer",
+    "localparam", "module", "negedge", "output", "posedge", "reg", "wire",
+];
+
+/// Maps one raw symbol name onto the Verilog identifier character set
+/// (every non-`[A-Za-z0-9_]` character becomes `_`).
+///
+/// This substitution alone is **not** injective — use [`NameMap`] when
+/// emitting anything that declares identifiers.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// An injective symbol → HDL identifier map over one [`Alphabet`].
+///
+/// Built once per emitted artifact: every symbol gets
+/// [`sanitize`]-mapped in `SymbolId` order, and a candidate that is
+/// already taken (by an earlier symbol, a scoreboard counter, a
+/// reserved net name or a Verilog keyword) is deterministically
+/// suffixed `_2`, `_3`, … until free. Scoreboard counter registers
+/// (`sb_<name>`) live in the same namespace, so an event named `sb_x`
+/// can never shadow the counter of an event named `x`.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_expr::Alphabet;
+/// use cesc_hdl::NameMap;
+/// let mut ab = Alphabet::new();
+/// let dotted = ab.event("req.a");
+/// let flat = ab.event("req_a");
+/// let map = NameMap::new(&ab, &["rst_n"]);
+/// assert_eq!(map.name(dotted), "req_a");
+/// assert_eq!(map.name(flat), "req_a_2"); // collision suffixed
+/// ```
+#[derive(Debug, Clone)]
+pub struct NameMap {
+    names: HashMap<SymbolId, String>,
+    counters: HashMap<SymbolId, String>,
+}
+
+impl NameMap {
+    /// Builds the map for `alphabet`. `extra_reserved` adds
+    /// artifact-specific taken identifiers (the configured reset or
+    /// clock net name) on top of the built-in reserved set (fixed
+    /// module nets plus common Verilog keywords).
+    pub fn new(alphabet: &Alphabet, extra_reserved: &[&str]) -> Self {
+        let mut used: HashSet<String> = RESERVED.iter().map(|s| (*s).to_owned()).collect();
+        used.extend(extra_reserved.iter().map(|s| (*s).to_owned()));
+
+        let claim = |candidate: String, used: &mut HashSet<String>| -> String {
+            if used.insert(candidate.clone()) {
+                return candidate;
+            }
+            for n in 2u32.. {
+                let suffixed = format!("{candidate}_{n}");
+                if used.insert(suffixed.clone()) {
+                    return suffixed;
+                }
+            }
+            unreachable!("u32 suffix space exhausted")
+        };
+
+        let mut names = HashMap::new();
+        for (id, symbol) in alphabet.iter() {
+            names.insert(id, claim(sanitize(symbol.name()), &mut used));
+        }
+        // counters second, so an event literally named `sb_x` keeps its
+        // sanitized name and the counter of `x` gets suffixed instead
+        let mut counters = HashMap::new();
+        for (id, _) in alphabet.iter() {
+            counters.insert(id, claim(format!("sb_{}", names[&id]), &mut used));
+        }
+        NameMap { names, counters }
+    }
+
+    /// The HDL identifier of symbol `id` (its input port / wire name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from the alphabet the map was built over.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[&id]
+    }
+
+    /// The scoreboard counter register name of event `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from the alphabet the map was built over.
+    pub fn counter(&self, id: SymbolId) -> &str {
+        &self.counters[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_hostile_chars() {
+        assert_eq!(sanitize("req.a"), "req_a");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("ok_name0"), "ok_name0");
+        // a leading digit is not a Verilog identifier
+        assert_eq!(sanitize("0bad"), "_0bad");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn collisions_get_deterministic_suffixes() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("req.a");
+        let b = ab.event("req_a");
+        let c = ab.event("req-a");
+        let map = NameMap::new(&ab, &[]);
+        assert_eq!(map.name(a), "req_a");
+        assert_eq!(map.name(b), "req_a_2");
+        assert_eq!(map.name(c), "req_a_3");
+        // counters are distinct too
+        assert_eq!(map.counter(a), "sb_req_a");
+        assert_eq!(map.counter(b), "sb_req_a_2");
+    }
+
+    #[test]
+    fn reserved_identifiers_are_avoided() {
+        let mut ab = Alphabet::new();
+        let s = ab.event("state");
+        let k = ab.event("begin");
+        let r = ab.event("rst_n");
+        let map = NameMap::new(&ab, &["rst_n"]);
+        assert_eq!(map.name(s), "state_2");
+        assert_eq!(map.name(k), "begin_2");
+        assert_eq!(map.name(r), "rst_n_2");
+    }
+
+    #[test]
+    fn counter_namespace_shared_with_symbols() {
+        // an event literally named `sb_x` must not shadow the counter
+        // register of event `x`
+        let mut ab = Alphabet::new();
+        let shadow = ab.event("sb_x");
+        let x = ab.event("x");
+        let map = NameMap::new(&ab, &[]);
+        assert_eq!(map.name(shadow), "sb_x");
+        assert_eq!(map.name(x), "x");
+        assert_eq!(map.counter(x), "sb_x_2");
+    }
+
+    #[test]
+    fn suffixed_name_colliding_with_later_symbol() {
+        // `a_2` is interned as a real event before the suffix machinery
+        // would invent it for the colliding `a:2`
+        let mut ab = Alphabet::new();
+        let a1 = ab.event("a");
+        let a2 = ab.event("a_2");
+        let a3 = ab.event("a:2");
+        let map = NameMap::new(&ab, &[]);
+        assert_eq!(map.name(a1), "a");
+        assert_eq!(map.name(a2), "a_2");
+        assert_eq!(map.name(a3), "a_2_2"); // sanitize("a:2") = "a_2", then suffix
+    }
+}

@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use cesc_core::Monitor;
 use cesc_expr::{Alphabet, Valuation};
 
+use crate::ir::lower_monitor;
 use crate::verilog::VerilogOptions;
 
 /// Options for the testbench emitter.
@@ -33,14 +34,13 @@ impl Default for TestbenchOptions {
     }
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
-}
-
 /// Emits a self-checking testbench driving `trace` into the monitor
 /// module and asserting `expected_matches` `match_pulse`s.
+///
+/// The testbench lowers the monitor through the same
+/// [`crate::lower_monitor`] pipeline as [`crate::emit_verilog`], so
+/// its wires bind to the DUT's (collision-free) port names by
+/// construction.
 ///
 /// # Examples
 ///
@@ -69,29 +69,17 @@ pub fn emit_testbench(
     expected_matches: u64,
     opts: &TestbenchOptions,
 ) -> String {
-    let mut symbols = cesc_expr::Valuation::empty();
-    for s in 0..monitor.state_count() {
-        for t in monitor.transitions_from(cesc_core::StateId::from_index(s)) {
-            symbols = symbols | t.guard.symbols();
-        }
-    }
-    for p in monitor.pattern() {
-        symbols = symbols | p.symbols();
-    }
-    let inputs: Vec<(cesc_expr::SymbolId, String)> = symbols
+    let module = lower_monitor(monitor, alphabet, &opts.verilog);
+    let inputs: Vec<(cesc_expr::SymbolId, &str)> = module
+        .inputs()
         .iter()
-        .map(|id| (id, sanitize(alphabet.name(id))))
+        .map(|i| (i.symbol, i.port.as_str()))
         .collect();
 
-    let dut = format!(
-        "{}_{}",
-        opts.verilog.module_prefix,
-        sanitize(monitor.name())
-    );
-    let rst = &opts.verilog.reset_name;
+    let dut = module.name();
+    let rst = module.reset();
     let hp = opts.half_period;
-    let state_w_src = monitor.state_count();
-    let state_w = usize::BITS - (state_w_src - 1).leading_zeros().max(1);
+    let state_w = module.state_width();
 
     let mut tb = String::new();
     let _ = writeln!(tb, "// Self-checking testbench for {dut}");

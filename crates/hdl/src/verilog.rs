@@ -2,26 +2,40 @@
 //!
 //! The emitted module is the hardware form of the paper's monitor: a
 //! state register holding `0..=n`, the priority-ordered guard chain as
-//! an `if`/`else if` cascade, and the scoreboard as per-event saturating
-//! counters (`Chk_evt(e)` ⇔ `sb_e != 0`). A 1-cycle `match_pulse`
-//! output fires on entry to the final state, so the module drops into
-//! any simulation environment as a checker (Fig 4's flow).
+//! an `if`/`else if` cascade, and the scoreboard as per-event
+//! saturating counters (`Chk_evt(e)` ⇔ `sb_e != 0`). A 1-cycle
+//! `match_pulse` output fires on entry to the final state, so the
+//! module drops into any simulation environment as a checker (Fig 4's
+//! flow).
+//!
+//! [`emit_verilog`] is a thin wrapper over the structured pipeline in
+//! [`crate::ir`]: [`crate::lower_monitor`] builds the [`crate::RtlModule`]
+//! IR, [`crate::render_verilog`] prints it. Lower once yourself when
+//! you also want to *execute* the RTL (through `cesc-rtl`'s
+//! interpreter) — the rendered text and the interpreted behaviour then
+//! come from the same object by construction.
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
+use cesc_core::Monitor;
+use cesc_expr::{Alphabet, Expr};
 
-use cesc_core::{Action, Monitor, StateId};
-use cesc_expr::{Alphabet, Expr, SymbolId};
+use crate::ir::{expr_to_verilog_named, lower_monitor, render_verilog};
+use crate::names::NameMap;
 
 /// Options for the Verilog emitter.
 #[derive(Debug, Clone)]
 pub struct VerilogOptions {
     /// Module name prefix (`<prefix>_<monitor name>`).
     pub module_prefix: String,
-    /// Bit width of the scoreboard counters.
+    /// Bit width of the scoreboard counters (clamped to `1..=64`).
     pub counter_width: u32,
     /// Active-low asynchronous reset name.
     pub reset_name: String,
+    /// Counter increments saturate at `2^counter_width - 1` (default)
+    /// instead of wrapping. A wrapping counter that overflows reads as
+    /// zero, silently turning `Chk_evt` guards false while the
+    /// engine's unbounded scoreboard still holds occurrences — set
+    /// this to `false` only to reproduce legacy netlists.
+    pub saturating: bool,
 }
 
 impl Default for VerilogOptions {
@@ -30,56 +44,20 @@ impl Default for VerilogOptions {
             module_prefix: "cesc_monitor".to_owned(),
             counter_width: 8,
             reset_name: "rst_n".to_owned(),
+            saturating: true,
         }
     }
-}
-
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
 }
 
 /// Renders a guard expression as a Verilog boolean expression.
 /// `Chk_evt(e)` compiles to a non-zero test of the scoreboard counter.
+///
+/// Convenience wrapper building a fresh collision-free [`NameMap`] over
+/// the whole alphabet; emitters render against their module's
+/// [`crate::RtlModule::names`] instead so declarations and uses always
+/// agree.
 pub fn expr_to_verilog(e: &Expr, alphabet: &Alphabet) -> String {
-    match e {
-        Expr::Const(true) => "1'b1".to_owned(),
-        Expr::Const(false) => "1'b0".to_owned(),
-        Expr::Sym(id) => sanitize(alphabet.name(*id)),
-        Expr::ChkEvt(id) => format!("(sb_{} != 0)", sanitize(alphabet.name(*id))),
-        Expr::Not(inner) => format!("!({})", expr_to_verilog(inner, alphabet)),
-        Expr::And(es) => {
-            let parts: Vec<String> = es.iter().map(|p| expr_to_verilog(p, alphabet)).collect();
-            format!("({})", parts.join(" && "))
-        }
-        Expr::Or(es) => {
-            let parts: Vec<String> = es.iter().map(|p| expr_to_verilog(p, alphabet)).collect();
-            format!("({})", parts.join(" || "))
-        }
-    }
-}
-
-/// Net scoreboard-counter deltas of a transition's action list
-/// (`Add_evt` +1, `Del_evt` −1 per occurrence, same event aggregated).
-fn action_deltas(actions: &[Action]) -> HashMap<SymbolId, i64> {
-    let mut deltas: HashMap<SymbolId, i64> = HashMap::new();
-    for a in actions {
-        match a {
-            Action::Null => {}
-            Action::AddEvt(es) => {
-                for &e in es {
-                    *deltas.entry(e).or_insert(0) += 1;
-                }
-            }
-            Action::DelEvt(es) => {
-                for &e in es {
-                    *deltas.entry(e).or_insert(0) -= 1;
-                }
-            }
-        }
-    }
-    deltas
+    expr_to_verilog_named(e, &NameMap::new(alphabet, &[]))
 }
 
 /// Emits a synthesizable Verilog-2001 monitor module.
@@ -87,6 +65,10 @@ fn action_deltas(actions: &[Action]) -> HashMap<SymbolId, i64> {
 /// Inputs: `clk`, the reset, and one 1-bit wire per alphabet symbol the
 /// monitor observes. Outputs: `match_pulse` (high for one cycle when
 /// the scenario completes) and the current `state`.
+///
+/// Equivalent to `render_verilog(&lower_monitor(monitor, alphabet,
+/// opts))`; the interpreted form of the same lowering is available in
+/// the `cesc-rtl` crate for co-simulation against the engine.
 ///
 /// # Examples
 ///
@@ -104,109 +86,7 @@ fn action_deltas(actions: &[Action]) -> HashMap<SymbolId, i64> {
 /// assert!(v.contains("sb_req"));
 /// ```
 pub fn emit_verilog(monitor: &Monitor, alphabet: &Alphabet, opts: &VerilogOptions) -> String {
-    let mut symbols = cesc_expr::Valuation::empty();
-    for s in 0..monitor.state_count() {
-        for t in monitor.transitions_from(StateId::from_index(s)) {
-            symbols = symbols | t.guard.symbols();
-        }
-    }
-    for p in monitor.pattern() {
-        symbols = symbols | p.symbols();
-    }
-    let inputs: Vec<String> = symbols
-        .iter()
-        .map(|id| sanitize(alphabet.name(id)))
-        .collect();
-    let tracked: Vec<String> = monitor
-        .tracked_events()
-        .iter()
-        .map(|&id| sanitize(alphabet.name(id)))
-        .collect();
-
-    let n_states = monitor.state_count();
-    let state_w = usize::BITS - (n_states - 1).leading_zeros().max(1);
-    let module = format!("{}_{}", opts.module_prefix, sanitize(monitor.name()));
-    let rst = &opts.reset_name;
-    let cw = opts.counter_width;
-
-    let mut v = String::new();
-    let _ = writeln!(v, "// Generated by cesc-hdl from chart `{}` (clock {})", monitor.name(), monitor.clock());
-    let _ = writeln!(v, "// Monitor: {} states, initial s{}, final s{}", n_states, monitor.initial().index(), monitor.final_state().index());
-    let _ = writeln!(v, "module {module} (");
-    let _ = writeln!(v, "    input  wire clk,");
-    let _ = writeln!(v, "    input  wire {rst},");
-    for i in &inputs {
-        let _ = writeln!(v, "    input  wire {i},");
-    }
-    let _ = writeln!(v, "    output reg  match_pulse,");
-    let _ = writeln!(v, "    output reg  [{}:0] state", state_w - 1);
-    let _ = writeln!(v, ");");
-    let _ = writeln!(v);
-    for (s, _) in (0..n_states).enumerate() {
-        let _ = writeln!(v, "    localparam S{s} = {s};");
-    }
-    let _ = writeln!(v);
-    for t in &tracked {
-        let _ = writeln!(v, "    reg [{}:0] sb_{t};", cw - 1);
-    }
-    let _ = writeln!(v);
-    let _ = writeln!(v, "    always @(posedge clk or negedge {rst}) begin");
-    let _ = writeln!(v, "        if (!{rst}) begin");
-    let _ = writeln!(v, "            state <= S{};", monitor.initial().index());
-    let _ = writeln!(v, "            match_pulse <= 1'b0;");
-    for t in &tracked {
-        let _ = writeln!(v, "            sb_{t} <= 0;");
-    }
-    let _ = writeln!(v, "        end else begin");
-    let _ = writeln!(v, "            match_pulse <= 1'b0;");
-    let _ = writeln!(v, "            case (state)");
-    for s in 0..n_states {
-        let state = StateId::from_index(s);
-        let _ = writeln!(v, "                S{s}: begin");
-        let ts = monitor.transitions_from(state);
-        for (idx, t) in ts.iter().enumerate() {
-            let cond = expr_to_verilog(&t.guard, alphabet);
-            let kw = if idx == 0 {
-                format!("if ({cond})")
-            } else if idx == ts.len() - 1 && t.guard == Expr::t() {
-                "else".to_owned()
-            } else {
-                format!("else if ({cond})")
-            };
-            let _ = writeln!(v, "                    {kw} begin");
-            let _ = writeln!(v, "                        state <= S{};", t.target.index());
-            if t.target == monitor.final_state() {
-                let _ = writeln!(v, "                        match_pulse <= 1'b1;");
-            }
-            let mut deltas: Vec<(SymbolId, i64)> = action_deltas(&t.actions).into_iter().collect();
-            deltas.sort_by_key(|&(id, _)| id.index());
-            for (id, d) in deltas {
-                let name = sanitize(alphabet.name(id));
-                match d.cmp(&0) {
-                    std::cmp::Ordering::Greater => {
-                        let _ = writeln!(v, "                        sb_{name} <= sb_{name} + {d};");
-                    }
-                    std::cmp::Ordering::Less => {
-                        let mag = -d;
-                        let _ = writeln!(
-                            v,
-                            "                        sb_{name} <= (sb_{name} > {mag}) ? sb_{name} - {mag} : 0;"
-                        );
-                    }
-                    std::cmp::Ordering::Equal => {}
-                }
-            }
-            let _ = writeln!(v, "                    end");
-        }
-        let _ = writeln!(v, "                end");
-    }
-    let _ = writeln!(v, "                default: state <= S{};", monitor.initial().index());
-    let _ = writeln!(v, "            endcase");
-    let _ = writeln!(v, "        end");
-    let _ = writeln!(v, "    end");
-    let _ = writeln!(v);
-    let _ = writeln!(v, "endmodule");
-    v
+    render_verilog(&lower_monitor(monitor, alphabet, opts))
 }
 
 #[cfg(test)]
@@ -256,9 +136,24 @@ mod tests {
         let (doc, m) = fig6_monitor();
         let v = emit_verilog(&m, &doc.alphabet, &VerilogOptions::default());
         assert!(v.contains("reg [7:0] sb_MCmd_rd;"));
-        assert!(v.contains("sb_MCmd_rd <= sb_MCmd_rd + 1;"));
+        // default increments saturate at the counter ceiling
+        assert!(
+            v.contains("sb_MCmd_rd <= (sb_MCmd_rd > 8'd254) ? 8'd255 : sb_MCmd_rd + 1;"),
+            "{v}"
+        );
         assert!(v.contains("(sb_MCmd_rd != 0)"));
         assert!(v.contains("sb_MCmd_rd <= (sb_MCmd_rd > 1) ? sb_MCmd_rd - 1 : 0;"));
+    }
+
+    #[test]
+    fn legacy_wrapping_increment_available() {
+        let (doc, m) = fig6_monitor();
+        let opts = VerilogOptions {
+            saturating: false,
+            ..Default::default()
+        };
+        let v = emit_verilog(&m, &doc.alphabet, &opts);
+        assert!(v.contains("sb_MCmd_rd <= sb_MCmd_rd + 1;"), "{v}");
     }
 
     #[test]
@@ -278,11 +173,13 @@ mod tests {
             module_prefix: "chk".to_owned(),
             counter_width: 4,
             reset_name: "resetn".to_owned(),
+            saturating: true,
         };
         let v = emit_verilog(&m, &doc.alphabet, &opts);
         assert!(v.contains("module chk_simple_read"));
         assert!(v.contains("reg [3:0] sb_"));
         assert!(v.contains("negedge resetn"));
+        assert!(v.contains("4'd15"), "width-4 ceiling: {v}");
     }
 
     #[test]
@@ -297,5 +194,29 @@ mod tests {
         );
         assert_eq!(expr_to_verilog(&Expr::t(), &ab), "1'b1");
         assert_eq!(expr_to_verilog(&Expr::f(), &ab), "1'b0");
+    }
+
+    #[test]
+    fn colliding_symbol_names_get_distinct_ports() {
+        // `req.a` and `req_a` used to both render as port `req_a`,
+        // producing a duplicate declaration with cross-wired guards
+        let doc = parse_document(
+            r#"
+            scesc twins on clk {
+                instances { M }
+                events { req.a, req_a }
+                tick { M: req.a }
+                tick { M: req_a }
+            }
+        "#,
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("twins").unwrap(), &SynthOptions::default()).unwrap();
+        let v = emit_verilog(&m, &doc.alphabet, &VerilogOptions::default());
+        assert_eq!(v.matches("input  wire req_a,").count(), 1, "{v}");
+        assert_eq!(v.matches("input  wire req_a_2,").count(), 1, "{v}");
+        // both distinct symbols appear in guards
+        assert!(v.contains("if (req_a)") || v.contains("(req_a &&"), "{v}");
+        assert!(v.contains("req_a_2"), "{v}");
     }
 }

@@ -1,0 +1,309 @@
+//! Differential co-simulation: interpreted RTL vs the batch engine.
+//!
+//! The [`CoSim`] harness drives one stimulus stream into both halves
+//! of the monitor's double life — the [`RtlInterp`] executing the
+//! lowered [`RtlModule`] and the [`cesc_core::BatchExec`] executing
+//! the [`cesc_core::CompiledMonitor`] — and checks after *every* cycle
+//! that the RTL `match_pulse` equals the engine's match verdict. Any
+//! disagreement surfaces as a [`Divergence`] carrying the cycle index
+//! and both sides' observations, which is exactly the evidence an
+//! emitter bug leaves behind (cross-wired ports, wrapped counters,
+//! weakened guards).
+//!
+//! Memory stays constant in stream length: the harness keeps counts
+//! and the current cycle only, so it rides the same chunked feeds as
+//! `cesc check` (the `--cosim` flag wraps this type).
+
+use std::fmt;
+
+use cesc_core::{BatchExec, CompiledMonitor, Monitor, ScanReport};
+use cesc_expr::{Alphabet, Valuation};
+use cesc_hdl::{lower_monitor, RtlModule, VerilogOptions};
+
+use crate::interp::RtlInterp;
+
+/// One cycle where the interpreted RTL and the engine disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based cycle index of the first disagreement.
+    pub tick: u64,
+    /// `match_pulse` of the interpreted RTL at that cycle.
+    pub rtl_pulse: bool,
+    /// The engine's match verdict at that cycle.
+    pub engine_pulse: bool,
+    /// RTL FSM state *after* the divergent cycle.
+    pub rtl_state: u32,
+    /// Engine state index after the divergent cycle.
+    pub engine_state: u32,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTL/engine divergence at tick {}: rtl match_pulse={} (state s{}), \
+             engine matched={} (state s{})",
+            self.tick, self.rtl_pulse, self.rtl_state, self.engine_pulse, self.engine_state
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Lock-step differential executor over one monitor's two forms.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_hdl::{lower_monitor, VerilogOptions};
+/// use cesc_rtl::CoSim;
+/// use cesc_expr::Valuation;
+///
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } cause req -> ack; }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+/// let module = lower_monitor(&m, &doc.alphabet, &VerilogOptions::default());
+/// let compiled = m.compiled();
+/// let req = doc.alphabet.lookup("req").unwrap();
+/// let ack = doc.alphabet.lookup("ack").unwrap();
+///
+/// let mut cosim = CoSim::new(&module, &compiled);
+/// cosim.feed(&[Valuation::of([req]), Valuation::of([ack])]).unwrap();
+/// assert_eq!(cosim.matches(), 1); // both sides agreed, one detection
+/// ```
+#[derive(Debug)]
+pub struct CoSim<'m> {
+    rtl: RtlInterp<'m>,
+    engine: BatchExec<'m>,
+    diverged: Option<Divergence>,
+}
+
+impl<'m> CoSim<'m> {
+    /// Pairs an interpreted module with a compiled engine. The two must
+    /// come from the *same* [`Monitor`] for the comparison to be
+    /// meaningful (use [`cosim_scan`] for the one-shot convenience
+    /// that guarantees it).
+    pub fn new(module: &'m RtlModule, compiled: &'m CompiledMonitor) -> Self {
+        CoSim {
+            rtl: RtlInterp::new(module),
+            engine: compiled.executor(),
+            diverged: None,
+        }
+    }
+
+    /// Steps both sides one cycle; `Err` on the first disagreement.
+    ///
+    /// After a divergence the harness is poisoned: further calls keep
+    /// returning the same error without advancing either side.
+    pub fn step(&mut self, v: Valuation) -> Result<bool, Divergence> {
+        if let Some(d) = self.diverged {
+            return Err(d);
+        }
+        let rtl_pulse = self.rtl.step(v);
+        let engine_pulse = self.engine.step(v);
+        if rtl_pulse != engine_pulse {
+            let d = Divergence {
+                tick: self.rtl.ticks() - 1,
+                rtl_pulse,
+                engine_pulse,
+                rtl_state: self.rtl.state(),
+                engine_state: self.engine.state_index() as u32,
+            };
+            self.diverged = Some(d);
+            return Err(d);
+        }
+        Ok(rtl_pulse)
+    }
+
+    /// Feeds a chunk through both sides; `Err` on the first
+    /// disagreement (earlier cycles of the chunk remain consumed).
+    pub fn feed(&mut self, chunk: &[Valuation]) -> Result<(), Divergence> {
+        for &v in chunk {
+            self.step(v)?;
+        }
+        Ok(())
+    }
+
+    /// Cycles both sides have agreed on so far.
+    pub fn ticks(&self) -> u64 {
+        self.rtl.ticks()
+    }
+
+    /// Agreed detections so far.
+    pub fn matches(&self) -> u64 {
+        self.rtl.match_count()
+    }
+
+    /// The recorded divergence, if any.
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.diverged
+    }
+}
+
+/// Result of a successful [`cosim_scan`]: both sides agreed on every
+/// cycle and produced this (shared) report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CosimReport {
+    /// Detection ticks both sides agreed on.
+    pub matches: Vec<u64>,
+    /// Cycles executed.
+    pub ticks: u64,
+}
+
+/// One-shot convenience: lowers `monitor`, compiles it, and
+/// co-simulates the two over `trace`.
+///
+/// This is the property-test oracle: `Ok` proves the emitted RTL's
+/// `match_pulse` tick sequence is bit-identical to the engine's match
+/// sequence on that stimulus.
+pub fn cosim_scan(
+    monitor: &Monitor,
+    alphabet: &Alphabet,
+    opts: &VerilogOptions,
+    trace: impl IntoIterator<Item = Valuation>,
+) -> Result<CosimReport, Divergence> {
+    let module = lower_monitor(monitor, alphabet, opts);
+    let compiled = monitor.compiled();
+    let mut cosim = CoSim::new(&module, &compiled);
+    let mut matches = Vec::new();
+    for v in trace {
+        let tick = cosim.ticks();
+        if cosim.step(v)? {
+            matches.push(tick);
+        }
+    }
+    Ok(CosimReport {
+        matches,
+        ticks: cosim.ticks(),
+    })
+}
+
+/// Checks a [`ScanReport`] from any engine path against a successful
+/// co-simulation report (same match ticks, same length).
+pub fn report_agrees(cosim: &CosimReport, engine: &ScanReport) -> bool {
+    cosim.matches == engine.matches && cosim.ticks == engine.ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, SynthOptions};
+
+    fn hs() -> (cesc_chart::Document, Monitor) {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M, S } events { req, ack } \
+             tick { M: req } tick { S: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        (doc, m)
+    }
+
+    #[test]
+    fn agreement_over_exhaustive_stimulus() {
+        let (doc, m) = hs();
+        let trace: Vec<Valuation> =
+            (0..256u32).map(|i| Valuation::from_bits((i % 4) as u128)).collect();
+        let report = cosim_scan(&m, &doc.alphabet, &VerilogOptions::default(), trace.clone())
+            .expect("no divergence");
+        assert!(report_agrees(&report, &m.scan(trace)));
+    }
+
+    /// Accumulating monitor: every return-to-idle adds one `a`
+    /// occurrence that is never deleted, so the scoreboard count grows
+    /// without bound — the shape that overflows a finite counter.
+    /// (Chart-synthesized monitors net-zero their slides; unbounded
+    /// accumulation needs the shared scoreboard of a multi-clock spec
+    /// or a hand-built program like this one.)
+    fn accumulator(ab: &mut cesc_expr::Alphabet) -> Monitor {
+        use cesc_core::{Action, StateId, Transition, TransitionKind};
+        use cesc_expr::Expr;
+        let a = ab.event("a");
+        Monitor::from_parts(
+            "accum",
+            "clk",
+            vec![
+                vec![
+                    Transition {
+                        guard: Expr::chk(a),
+                        actions: vec![],
+                        target: StateId::from_index(1),
+                        kind: TransitionKind::Forward,
+                    },
+                    Transition {
+                        guard: Expr::t(),
+                        actions: vec![Action::AddEvt(vec![a])],
+                        target: StateId::from_index(0),
+                        kind: TransitionKind::Backward,
+                    },
+                ],
+                vec![Transition {
+                    guard: Expr::t(),
+                    actions: vec![Action::AddEvt(vec![a])],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                }],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(1),
+            vec![Expr::chk(a)],
+            vec![a],
+        )
+    }
+
+    #[test]
+    fn wrapping_counter_diverges_and_poisons_the_harness() {
+        // pre-fix emitter semantics: `sb <= sb + 1` wraps at the
+        // counter width, so after 2^w adds the RTL reads `sb == 0`
+        // while the engine scoreboard still holds occurrences — the
+        // Chk_evt guard disagrees and the match streams split
+        let mut ab = cesc_expr::Alphabet::new();
+        let m = accumulator(&mut ab);
+        let opts = VerilogOptions {
+            counter_width: 2,
+            saturating: false,
+            ..Default::default()
+        };
+        let module = lower_monitor(&m, &ab, &opts);
+        let compiled = m.compiled();
+        let mut cosim = CoSim::new(&module, &compiled);
+        let mut err = None;
+        for _ in 0..32 {
+            if let Err(d) = cosim.step(Valuation::empty()) {
+                err = Some(d);
+                break;
+            }
+        }
+        let d = err.expect("wrapping counter must diverge");
+        assert!(d.engine_pulse && !d.rtl_pulse, "{d}");
+        // poisoned: same divergence returned, no progress
+        let ticks = cosim.ticks();
+        assert_eq!(cosim.step(Valuation::empty()), Err(d));
+        assert_eq!(cosim.ticks(), ticks);
+        assert_eq!(cosim.divergence(), Some(d));
+    }
+
+    #[test]
+    fn saturating_default_survives_counter_overflow() {
+        // same accumulating stimulus, default (saturating) emitter:
+        // the pinned counter keeps reading non-zero, so Chk_evt agrees
+        // with the engine for the whole stream
+        let mut ab = cesc_expr::Alphabet::new();
+        let m = accumulator(&mut ab);
+        let opts = VerilogOptions {
+            counter_width: 2,
+            saturating: true,
+            ..Default::default()
+        };
+        let trace = vec![Valuation::empty(); 64];
+        let report = cosim_scan(&m, &ab, &opts, trace.clone())
+            .unwrap_or_else(|d| panic!("saturating mode diverged: {d}"));
+        assert!(report_agrees(&report, &m.scan(trace)));
+        assert!(!report.matches.is_empty());
+    }
+}

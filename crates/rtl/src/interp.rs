@@ -1,0 +1,346 @@
+//! The cycle-accurate [`RtlModule`] interpreter.
+//!
+//! [`RtlInterp`] executes the exact IR object that
+//! [`cesc_hdl::render_verilog`] prints, mimicking the rendered
+//! netlist's register semantics bit for bit:
+//!
+//! * guards are evaluated against the *registered* (pre-update)
+//!   counter values, as nonblocking assignments would read them;
+//! * counter increments saturate at `2^width - 1` or wrap modulo the
+//!   width, matching the rendered saturating ternary / bare adder;
+//! * counter decrements floor at zero via the rendered
+//!   `(sb > m) ? sb - m : 0` ternary;
+//! * a state with no enabled arm *holds* (the cascade has no `else`),
+//!   whereas the engine executor panics on a non-total monitor — the
+//!   one place the hardware and the software reference intentionally
+//!   differ.
+//!
+//! One step corresponds to one rising clock edge with the inputs of
+//! the consumed [`Valuation`] applied; the returned flag is the value
+//! `match_pulse` holds *after* that edge, so step `t`'s flag aligns
+//! with the engine's match verdict for trace element `t`.
+
+use cesc_expr::{ScoreboardView, SymbolId, Valuation};
+use cesc_hdl::RtlModule;
+
+/// Marker for "symbol has no counter slot" in the lookup table.
+const NO_SLOT: u32 = u32::MAX;
+
+/// [`ScoreboardView`] over the interpreter's counter registers, so
+/// guard `Chk_evt` atoms read `sb != 0` exactly like the rendered
+/// comparison.
+struct CounterView<'a> {
+    slot_of: &'a [u32],
+    counters: &'a [u64],
+}
+
+impl ScoreboardView for CounterView<'_> {
+    fn has_event(&self, event: SymbolId) -> bool {
+        match self.slot_of.get(event.index()) {
+            Some(&slot) if slot != NO_SLOT => self.counters[slot as usize] != 0,
+            // an event with no counter register reads as an undeclared
+            // net; the lowering never emits this (scoreboard_events
+            // covers every Chk target), so default to "empty"
+            _ => false,
+        }
+    }
+}
+
+/// Cycle-accurate executor of one [`RtlModule`].
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{synthesize, SynthOptions};
+/// use cesc_hdl::{lower_monitor, VerilogOptions};
+/// use cesc_rtl::RtlInterp;
+/// use cesc_expr::Valuation;
+///
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+/// let module = lower_monitor(&m, &doc.alphabet, &VerilogOptions::default());
+/// let req = doc.alphabet.lookup("req").unwrap();
+/// let ack = doc.alphabet.lookup("ack").unwrap();
+///
+/// let mut rtl = RtlInterp::new(&module);
+/// assert!(!rtl.step(Valuation::of([req])));
+/// assert!(rtl.step(Valuation::of([ack]))); // match_pulse fires
+/// ```
+#[derive(Debug)]
+pub struct RtlInterp<'m> {
+    module: &'m RtlModule,
+    /// symbol index → counter slot (or [`NO_SLOT`]).
+    slot_of: Vec<u32>,
+    state: u32,
+    counters: Vec<u64>,
+    /// Scratch for the cycle's nonblocking counter updates.
+    pending: Vec<(u32, i64)>,
+    ticks: u64,
+    matches: u64,
+}
+
+impl<'m> RtlInterp<'m> {
+    /// Creates an interpreter positioned at the module's reset state
+    /// (initial FSM state, all counters zero).
+    pub fn new(module: &'m RtlModule) -> Self {
+        let max_symbol = module
+            .counters()
+            .iter()
+            .map(|c| c.event.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut slot_of = vec![NO_SLOT; max_symbol];
+        for (slot, c) in module.counters().iter().enumerate() {
+            slot_of[c.event.index()] = slot as u32;
+        }
+        RtlInterp {
+            module,
+            slot_of,
+            state: module.initial(),
+            counters: vec![0; module.counters().len()],
+            pending: Vec::new(),
+            ticks: 0,
+            matches: 0,
+        }
+    }
+
+    /// The module being interpreted.
+    pub fn module(&self) -> &'m RtlModule {
+        self.module
+    }
+
+    /// Current FSM state index (the `state` output register).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Current value of the counter register for slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn counter(&self, slot: usize) -> u64 {
+        self.counters[slot]
+    }
+
+    /// Rising clock edges consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Number of cycles `match_pulse` has been high so far.
+    pub fn match_count(&self) -> u64 {
+        self.matches
+    }
+
+    /// Applies reset: initial state, all counters zero, tick and match
+    /// counters cleared.
+    pub fn reset(&mut self) {
+        self.state = self.module.initial();
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.ticks = 0;
+        self.matches = 0;
+    }
+
+    /// One rising clock edge with inputs `v`; returns the resulting
+    /// `match_pulse` value.
+    pub fn step(&mut self, v: Valuation) -> bool {
+        let mut pulse = false;
+        let mut next = self.state;
+        self.pending.clear();
+        {
+            let view = CounterView {
+                slot_of: &self.slot_of,
+                counters: &self.counters,
+            };
+            let arms = self.module.arms(self.state as usize);
+            if let Some(arm) = arms.iter().find(|a| a.guard().eval(v, &view)) {
+                next = arm.target();
+                pulse = arm.pulse();
+                self.pending.extend(arm.updates().iter().map(|u| (u.counter, u.delta)));
+            }
+            // no enabled arm: the rendered cascade has no else branch,
+            // so every register holds its value
+        }
+        let max = self.module.counter_max();
+        let wrap_mask = max; // counter registers truncate to `width` bits
+        for &(slot, delta) in &self.pending {
+            let c = &mut self.counters[slot as usize];
+            if delta > 0 {
+                let d = delta as u64;
+                *c = if self.module.saturating() {
+                    c.saturating_add(d).min(max)
+                } else {
+                    c.wrapping_add(d) & wrap_mask
+                };
+            } else {
+                let mag = (-delta) as u64;
+                // the rendered `(sb > m) ? sb - m : 0` ternary
+                *c = if *c > mag { *c - mag } else { 0 };
+            }
+        }
+        self.state = next;
+        self.ticks += 1;
+        if pulse {
+            self.matches += 1;
+        }
+        pulse
+    }
+
+    /// Consumes a chunk of valuations, appending the absolute tick
+    /// index of every `match_pulse` to `hits` — the signature of
+    /// [`cesc_core::BatchExec::feed`], so the two engines slot into
+    /// the same harnesses.
+    pub fn feed(&mut self, chunk: &[Valuation], hits: &mut Vec<u64>) {
+        for &v in chunk {
+            let tick = self.ticks;
+            if self.step(v) {
+                hits.push(tick);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, StateId, SynthOptions, Transition, TransitionKind};
+    use cesc_expr::{Alphabet, Expr};
+    use cesc_hdl::{lower_monitor, VerilogOptions};
+
+    #[test]
+    fn interprets_causality_chart() {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M, S } events { req, ack } \
+             tick { M: req } tick { S: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        let module = lower_monitor(&m, &doc.alphabet, &VerilogOptions::default());
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+
+        let mut rtl = RtlInterp::new(&module);
+        let mut hits = Vec::new();
+        rtl.feed(
+            &[
+                Valuation::of([req]),
+                Valuation::of([ack]),
+                Valuation::empty(),
+                Valuation::of([req]),
+                Valuation::of([ack]),
+            ],
+            &mut hits,
+        );
+        assert_eq!(hits, m.scan([
+            Valuation::of([req]),
+            Valuation::of([ack]),
+            Valuation::empty(),
+            Valuation::of([req]),
+            Valuation::of([ack]),
+        ]).matches);
+        assert_eq!(rtl.match_count(), 2);
+        assert_eq!(rtl.ticks(), 5);
+        rtl.reset();
+        assert_eq!(rtl.ticks(), 0);
+        assert_eq!(rtl.state(), module.initial());
+    }
+
+    /// Monitor that Adds `a` every tick — the counter-overflow probe.
+    fn adder_monitor(ab: &mut Alphabet) -> cesc_core::Monitor {
+        let a = ab.event("a");
+        let guard_chk = Expr::chk(a);
+        cesc_core::Monitor::from_parts(
+            "adder",
+            "clk",
+            vec![vec![
+                Transition {
+                    guard: guard_chk,
+                    actions: vec![cesc_core::Action::AddEvt(vec![a])],
+                    target: StateId::from_index(1),
+                    kind: TransitionKind::Forward,
+                },
+                Transition {
+                    guard: Expr::t(),
+                    actions: vec![cesc_core::Action::AddEvt(vec![a])],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+            ], vec![Transition {
+                guard: Expr::t(),
+                actions: vec![cesc_core::Action::AddEvt(vec![a])],
+                target: StateId::from_index(0),
+                kind: TransitionKind::Backward,
+            }]],
+            StateId::from_index(0),
+            StateId::from_index(1),
+            vec![Expr::sym(a)],
+            vec![a],
+        )
+    }
+
+    #[test]
+    fn wrapping_counter_wraps_and_saturating_pins() {
+        let mut ab = Alphabet::new();
+        let m = adder_monitor(&mut ab);
+        let wrap_mod = lower_monitor(
+            &m,
+            &ab,
+            &VerilogOptions {
+                counter_width: 2, // wraps at 4 adds
+                saturating: false,
+                ..Default::default()
+            },
+        );
+        let mut rtl = RtlInterp::new(&wrap_mod);
+        for _ in 0..4 {
+            rtl.step(Valuation::empty());
+        }
+        assert_eq!(rtl.counter(0), 0, "2-bit counter wrapped");
+
+        let sat_mod = lower_monitor(
+            &m,
+            &ab,
+            &VerilogOptions {
+                counter_width: 2,
+                saturating: true,
+                ..Default::default()
+            },
+        );
+        let mut rtl = RtlInterp::new(&sat_mod);
+        for _ in 0..10 {
+            rtl.step(Valuation::empty());
+        }
+        assert_eq!(rtl.counter(0), 3, "2-bit counter saturated at 3");
+    }
+
+    #[test]
+    fn non_total_state_holds_instead_of_panicking() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = cesc_core::Monitor::from_parts(
+            "partial",
+            "clk",
+            vec![vec![Transition {
+                guard: Expr::sym(a),
+                actions: vec![],
+                target: StateId::from_index(0),
+                kind: TransitionKind::Backward,
+            }]],
+            StateId::from_index(0),
+            StateId::from_index(0),
+            vec![],
+            vec![],
+        );
+        let module = lower_monitor(&m, &ab, &VerilogOptions::default());
+        let mut rtl = RtlInterp::new(&module);
+        // `a` low: no arm fires; the hardware holds state
+        assert!(!rtl.step(Valuation::empty()));
+        assert_eq!(rtl.state(), 0);
+    }
+}

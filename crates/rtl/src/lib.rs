@@ -1,0 +1,62 @@
+//! # cesc-rtl — execute the emitted RTL, then hold it to the engine's
+//! verdict
+//!
+//! `cesc-hdl` lowers a synthesized monitor to an [`cesc_hdl::RtlModule`]
+//! and renders it as Verilog; until this crate existed, nothing in the
+//! workspace ever *executed* that RTL, so emitter bugs (cross-wired
+//! ports from name collisions, counters wrapping where the engine's
+//! scoreboard doesn't, weakened guards) shipped as silently broken
+//! text. This crate closes the loop:
+//!
+//! * [`RtlInterp`] — a cycle-accurate interpreter of the IR, matching
+//!   the rendered netlist's register semantics bit for bit (counter
+//!   bit-width truncation or saturation, zero-floored decrements,
+//!   guard evaluation against pre-update registers, state hold when no
+//!   arm fires);
+//! * [`CoSim`] / [`cosim_scan`] — the differential harness: one
+//!   stimulus stream drives the interpreted RTL and the
+//!   [`cesc_core::CompiledMonitor`] batch engine in lock step, and any
+//!   cycle where `match_pulse` disagrees with the engine's verdict is
+//!   reported as a [`Divergence`].
+//!
+//! ## What the co-simulation guarantees
+//!
+//! With the default **saturating** counters, the RTL agrees with the
+//! engine whenever the true occurrence count stays within
+//! `2^counter_width - 1`, *and* on pure-accumulation overflow (a
+//! saturated counter still reads non-zero). The remaining gap is
+//! fundamental to finite counters: a counter that saturated can be
+//! drained to zero by deletes while the engine's unbounded count is
+//! still positive. Legacy **wrapping** counters are strictly worse —
+//! `2^counter_width` net adds read as zero — which is exactly the
+//! divergence the harness demonstrates in its regression tests.
+//!
+//! ```
+//! use cesc_chart::parse_document;
+//! use cesc_core::{synthesize, SynthOptions};
+//! use cesc_hdl::VerilogOptions;
+//! use cesc_rtl::cosim_scan;
+//! use cesc_expr::Valuation;
+//!
+//! let doc = parse_document(
+//!     "scesc hs on clk { instances { M } events { req, ack } \
+//!      tick { M: req } tick { M: ack } cause req -> ack; }",
+//! ).unwrap();
+//! let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+//! let req = doc.alphabet.lookup("req").unwrap();
+//! let ack = doc.alphabet.lookup("ack").unwrap();
+//! let trace = vec![Valuation::of([req]), Valuation::of([ack])];
+//!
+//! let report = cosim_scan(&m, &doc.alphabet, &VerilogOptions::default(), trace.clone())
+//!     .expect("RTL and engine agree");
+//! assert_eq!(report.matches, m.scan(trace).matches);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cosim;
+mod interp;
+
+pub use cosim::{cosim_scan, report_agrees, CoSim, CosimReport, Divergence};
+pub use interp::RtlInterp;

@@ -6,31 +6,40 @@
 //!
 //! ```text
 //! cesc render <spec.cesc> [--chart NAME]             ASCII + WaveDrom
-//! cesc synth  <spec.cesc> [--chart NAME] [--format summary|dot|verilog|sva]
+//! cesc synth  <spec.cesc> [--chart NAME] [--format summary|dot|verilog|sva|testbench]
+//!             [--force] [--all-charts --out-dir DIR]
 //! cesc check  <spec.cesc> (--chart NAME)... | --all-charts  --vcd FILE
-//!             [--clock NAME] [--jobs N] [--json] [--all-matches]
+//!             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim]
 //! ```
 //!
-//! `check` has two library entry points: the single-target streaming
+//! `check` has three library entry points: the single-target streaming
 //! [`check`] (one basic chart or multiclock spec, kept for its
-//! tick-indexed report) and the fleet-mode [`check_fleet`] the binary
+//! tick-indexed report), the fleet-mode [`check_fleet`] the binary
 //! uses — every selected chart, multiclock spec and `implies(...)`
 //! assertion is verified in **one pass** over the dump, optionally
 //! sharded across worker threads (`--jobs`), with text or JSON
-//! ([`CHECK_JSON_SCHEMA`]) output and a CI-gating `failed` flag.
+//! ([`CHECK_JSON_SCHEMA`]) output and a CI-gating `failed` flag — and
+//! the differential [`check_cosim`] (`--cosim`), which drives the dump
+//! into both the *interpreted emitted RTL* (`cesc-rtl`) and the batch
+//! engine and fails when their `match_pulse` streams ever disagree.
 
 use std::fmt;
 use std::io::BufRead;
+use std::path::Path;
 
 use cesc_chart::{parse_document, render_ascii, Cesc, Document, Scesc};
 use cesc_core::{
     analyze, compile, synthesize, synthesize_multiclock, to_dot, Compiled, Monitor, SynthOptions,
     Verdict, BATCH_CHUNK,
 };
-use cesc_hdl::{emit_sva_cover, emit_verilog, SvaOptions, VerilogOptions};
+use cesc_hdl::{
+    emit_sva_cover, emit_testbench, emit_verilog, lower_monitor, sva_loses_scoreboard,
+    SvaOptions, TestbenchOptions, VerilogOptions,
+};
 use cesc_par::{plan_shards, run_sharded, AssertSpec, Fleet, MatchLog, ParOptions};
+use cesc_rtl::CoSim;
 use cesc_trace::{
-    ClockDomain, ClockSet, GlobalVcdStream, VcdClockSpec, VcdStream,
+    ClockDomain, ClockId, ClockSet, GlobalVcdStream, VcdClockSpec, VcdStream,
 };
 
 /// Error from a CLI command.
@@ -99,6 +108,9 @@ pub enum SynthFormat {
     Verilog,
     /// SystemVerilog assertions.
     Sva,
+    /// Self-checking Verilog testbench driving the chart's witness
+    /// trace into the emitted monitor module.
+    Testbench,
 }
 
 impl SynthFormat {
@@ -109,17 +121,56 @@ impl SynthFormat {
             "dot" => Ok(SynthFormat::Dot),
             "verilog" => Ok(SynthFormat::Verilog),
             "sva" => Ok(SynthFormat::Sva),
+            "testbench" => Ok(SynthFormat::Testbench),
             other => Err(CliError::Usage(format!(
-                "--format {other}: expected summary|dot|verilog|sva"
+                "--format {other}: expected summary|dot|verilog|sva|testbench"
             ))),
+        }
+    }
+
+    /// File extension used by `synth --all-charts --out-dir`.
+    fn extension(self) -> &'static str {
+        match self {
+            SynthFormat::Summary => "txt",
+            SynthFormat::Dot => "dot",
+            SynthFormat::Verilog => "v",
+            SynthFormat::Sva => "sv",
+            SynthFormat::Testbench => "tb.v",
         }
     }
 }
 
-/// `cesc synth`: synthesize the monitor and emit the chosen artifact.
-pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<String, CliError> {
-    let doc = load(source)?;
-    let chart = pick(&doc, chart)?;
+/// The chart's *witness trace*: one valuation per pattern element with
+/// exactly the element's positive symbols high, plus one idle settling
+/// tick — the canonical compliant run a testbench drives.
+fn witness_trace(chart: &Scesc) -> Vec<cesc_expr::Valuation> {
+    let mut trace: Vec<cesc_expr::Valuation> = chart
+        .extract_pattern()
+        .iter()
+        .map(|p| p.positive_symbols())
+        .collect();
+    trace.push(cesc_expr::Valuation::empty());
+    trace
+}
+
+/// Renders one chart in `format` (the shared body of [`synth`] and
+/// [`synth_all`]).
+fn synth_one(
+    doc: &Document,
+    chart: &Scesc,
+    format: SynthFormat,
+    force: bool,
+) -> Result<String, CliError> {
+    if format == SynthFormat::Sva && sva_loses_scoreboard(chart) && !force {
+        return Err(CliError::Pipeline(format!(
+            "chart `{}` uses the scoreboard ({} causality arrow(s)); SVA has no scoreboard, so \
+             the emitted property would be strictly weaker (Chk_evt guards rendered as 1'b1). \
+             Use --format verilog for the full monitor, or pass --force to emit the weakened \
+             SVA anyway.",
+            chart.name(),
+            chart.arrows().len()
+        )));
+    }
     let monitor =
         synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
     Ok(match format {
@@ -141,7 +192,121 @@ pub fn synth(source: &str, chart: Option<&str>, format: SynthFormat) -> Result<S
         SynthFormat::Dot => to_dot(&monitor, &doc.alphabet),
         SynthFormat::Verilog => emit_verilog(&monitor, &doc.alphabet, &VerilogOptions::default()),
         SynthFormat::Sva => emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default()),
+        SynthFormat::Testbench => {
+            let trace = witness_trace(chart);
+            let expected = monitor.scan(trace.iter().copied()).matches.len() as u64;
+            emit_testbench(
+                &monitor,
+                &doc.alphabet,
+                &trace,
+                expected,
+                &TestbenchOptions::default(),
+            )
+        }
     })
+}
+
+/// `cesc synth`: synthesize the monitor and emit the chosen artifact.
+///
+/// `force` overrides the hard error on `--format sva` for scoreboard
+/// charts (whose SVA form is strictly weaker than the specification —
+/// see [`cesc_hdl::sva_loses_scoreboard`]).
+pub fn synth(
+    source: &str,
+    chart: Option<&str>,
+    format: SynthFormat,
+    force: bool,
+) -> Result<String, CliError> {
+    let doc = load(source)?;
+    let chart = pick(&doc, chart)?;
+    synth_one(&doc, chart, format, force)
+}
+
+/// `cesc synth --all-charts --out-dir DIR`: emit one artifact file per
+/// basic chart (named `<chart>.<ext>`), and — for the Verilog format —
+/// one file per multiclock spec containing every local monitor module.
+/// Returns a listing of the files written.
+pub fn synth_all(
+    source: &str,
+    format: SynthFormat,
+    out_dir: &Path,
+    force: bool,
+) -> Result<String, CliError> {
+    let doc = load(source)?;
+    if doc.charts.is_empty() && doc.multiclock.is_empty() {
+        return Err(CliError::Pipeline(
+            "document contains no charts to synthesize".to_owned(),
+        ));
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| {
+        CliError::Pipeline(format!("cannot create `{}`: {e}", out_dir.display()))
+    })?;
+    let write = |path: &Path, content: &str| -> Result<(), CliError> {
+        std::fs::write(path, content)
+            .map_err(|e| CliError::Pipeline(format!("cannot write `{}`: {e}", path.display())))
+    };
+    // sanitize() is not injective (`a.b` and `a_b` both map to `a_b`),
+    // so filenames get the same deterministic suffixing as port names
+    // — a later chart must never overwrite an earlier chart's file
+    let mut used_stems: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut stem_for = move |name: &str| -> String {
+        let base = cesc_hdl::sanitize(name);
+        if used_stems.insert(base.clone()) {
+            return base;
+        }
+        (2u32..)
+            .map(|n| format!("{base}_{n}"))
+            .find(|s| used_stems.insert(s.clone()))
+            .expect("u32 suffix space exhausted")
+    };
+
+    use std::fmt::Write as _;
+    let mut listing = String::new();
+    for chart in &doc.charts {
+        // bulk emission skips weakened-SVA charts with a note instead
+        // of aborting the run halfway (single-chart synth still hard
+        // errors); --force emits them like everything else
+        if format == SynthFormat::Sva && sva_loses_scoreboard(chart) && !force {
+            let _ = writeln!(
+                listing,
+                "skipped chart `{}` (scoreboard chart; SVA would be weaker — pass --force or \
+                 use --format verilog)",
+                chart.name()
+            );
+            continue;
+        }
+        let content = synth_one(&doc, chart, format, force)?;
+        let path = out_dir.join(format!("{}.{}", stem_for(chart.name()), format.extension()));
+        write(&path, &content)?;
+        let _ = writeln!(listing, "wrote {} (chart `{}`)", path.display(), chart.name());
+    }
+    for spec in &doc.multiclock {
+        if format != SynthFormat::Verilog {
+            let _ = writeln!(
+                listing,
+                "skipped multiclock `{}` (only --format verilog emits multiclock specs)",
+                spec.name()
+            );
+            continue;
+        }
+        let mm = synthesize_multiclock(spec, &SynthOptions::default())
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let mut content = String::new();
+        for local in mm.locals() {
+            content.push_str(&emit_verilog(local, &doc.alphabet, &VerilogOptions::default()));
+            content.push('\n');
+        }
+        let path = out_dir.join(format!("{}.{}", stem_for(spec.name()), format.extension()));
+        write(&path, &content)?;
+        let _ = writeln!(
+            listing,
+            "wrote {} (multiclock `{}`, {} local module(s))",
+            path.display(),
+            spec.name(),
+            mm.locals().len()
+        );
+    }
+    Ok(listing)
 }
 
 /// Options for [`check`] / [`check_fleet`].
@@ -643,6 +808,209 @@ pub fn check_fleet(
     Ok(CheckOutcome { output, failed })
 }
 
+/// `cesc check --cosim`: differential co-simulation of the emitted RTL
+/// against the batch engine over a real dump.
+///
+/// Every selected *basic* chart is synthesized once and run in two
+/// forms — the interpreted [`cesc_hdl::RtlModule`] (exactly what
+/// `cesc synth --format verilog` renders, executed by `cesc-rtl`) and
+/// the [`cesc_core::CompiledMonitor`] batch engine — over the same
+/// VCD-derived stimulus, cycle by cycle. Any tick where the RTL
+/// `match_pulse` disagrees with the engine's verdict is reported and
+/// sets [`CheckOutcome::failed`] (the binary exits with status 2).
+///
+/// Multiclock specs and `implies(...)` assertions have no single
+/// emitted module to interpret; under `--all-charts` they are listed
+/// as skipped, and naming one explicitly is an error. The dump is
+/// streamed in [`BATCH_CHUNK`]-sized chunks, so memory stays constant
+/// in dump length.
+pub fn check_cosim(
+    source: &str,
+    names: &[String],
+    all_charts: bool,
+    vcd: impl BufRead,
+    clock_override: Option<&str>,
+    _opts: &CheckOptions,
+) -> Result<CheckOutcome, CliError> {
+    let doc = load(source)?;
+
+    // -- resolve the selection (basic charts only) -------------------
+    let mut selected: Vec<usize> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    if all_charts {
+        selected.extend(0..doc.charts.len());
+        skipped.extend(doc.multiclock.iter().map(|m| format!("multiclock `{}`", m.name())));
+        skipped.extend(
+            doc.compositions
+                .iter()
+                .filter(|(_, c)| assert_capable(c))
+                .map(|(n, _)| format!("assert `{n}`")),
+        );
+        if selected.is_empty() {
+            return Err(CliError::Pipeline(
+                "document contains no basic charts to co-simulate".to_owned(),
+            ));
+        }
+    }
+    for name in names {
+        match doc.charts.iter().position(|c| c.name() == name) {
+            Some(i) => {
+                if !selected.contains(&i) {
+                    selected.push(i);
+                }
+            }
+            None if doc.multiclock_spec(name).is_some()
+                || doc.compositions.iter().any(|(n, _)| n == name) =>
+            {
+                return Err(CliError::Pipeline(format!(
+                    "--cosim interprets the emitted RTL of basic charts; `{name}` is not a \
+                     basic chart (multiclock specs and compositions have no single module)"
+                )));
+            }
+            None => return Err(unknown_target_error(&doc, name)),
+        }
+    }
+    if selected.is_empty() {
+        return Err(CliError::Usage(
+            "check requires --chart NAME (repeatable) or --all-charts".to_owned(),
+        ));
+    }
+
+    // -- sampled clocks (one per declared clock, maskable rename) ----
+    if clock_override.is_some() {
+        let mut declared: Vec<&str> = Vec::new();
+        for &i in &selected {
+            let c = doc.charts[i].clock();
+            if !declared.contains(&c) {
+                declared.push(c);
+            }
+        }
+        if declared.len() > 1 {
+            return Err(CliError::Usage(format!(
+                "--clock cannot rename charts on different declared clocks ({})",
+                declared.join(", ")
+            )));
+        }
+    }
+    let mut clock_names: Vec<String> = Vec::new();
+    let mut clock_masks: Vec<cesc_expr::Valuation> = Vec::new();
+    for &i in &selected {
+        let c = &doc.charts[i];
+        match clock_names.iter().position(|n| n == c.clock()) {
+            Some(slot) => clock_masks[slot] = clock_masks[slot] | c.mentioned_symbols(),
+            None => {
+                clock_names.push(c.clock().to_owned());
+                clock_masks.push(c.mentioned_symbols());
+            }
+        }
+    }
+    let clock_specs: Vec<VcdClockSpec> = clock_names
+        .iter()
+        .zip(&clock_masks)
+        .map(|(declared, mask)| {
+            VcdClockSpec::masked(clock_override.unwrap_or(declared), *mask)
+        })
+        .collect();
+    let chart_clock: Vec<usize> = selected
+        .iter()
+        .map(|&i| {
+            clock_names
+                .iter()
+                .position(|n| n == doc.charts[i].clock())
+                .expect("every selected chart registered its clock")
+        })
+        .collect();
+
+    // -- synthesize every chart once, in both forms ------------------
+    let mut units: Vec<(usize, cesc_hdl::RtlModule, cesc_core::CompiledMonitor)> = Vec::new();
+    for &i in &selected {
+        let monitor = synthesize(&doc.charts[i], &SynthOptions::default())
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let module = lower_monitor(&monitor, &doc.alphabet, &VerilogOptions::default());
+        let compiled = monitor.compiled();
+        units.push((i, module, compiled));
+    }
+    let mut sims: Vec<CoSim<'_>> = units
+        .iter()
+        .map(|(_, module, compiled)| CoSim::new(module, compiled))
+        .collect();
+    let mut divergences: Vec<Option<cesc_rtl::Divergence>> = vec![None; sims.len()];
+
+    // -- stream the dump through every co-simulation pair ------------
+    let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut chunk = Vec::new();
+    let mut bufs: Vec<Vec<cesc_expr::Valuation>> = vec![Vec::new(); clock_names.len()];
+    let mut steps = 0u64;
+    loop {
+        let n = stream
+            .next_chunk(&mut chunk, BATCH_CHUNK)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        steps += n as u64;
+        for b in &mut bufs {
+            b.clear();
+        }
+        for step in &chunk {
+            for slot in 0..clock_names.len() {
+                if let Some(v) = step.tick_of(ClockId::from_index(slot)) {
+                    bufs[slot].push(v);
+                }
+            }
+        }
+        for (u, sim) in sims.iter_mut().enumerate() {
+            if divergences[u].is_none() {
+                if let Err(d) = sim.feed(&bufs[chart_clock[u]]) {
+                    divergences[u] = Some(d);
+                }
+            }
+        }
+    }
+
+    // -- render ------------------------------------------------------
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "co-simulated {} chart(s) over {} global steps",
+        sims.len(),
+        steps
+    );
+    let mut failed = false;
+    for (u, (i, _, _)) in units.iter().enumerate() {
+        let c = &doc.charts[*i];
+        match divergences[u] {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "cosim chart `{}` (clock {}) over {} cycles: OK — {} match(es), \
+                     interpreted RTL == engine",
+                    c.name(),
+                    c.clock(),
+                    sims[u].ticks(),
+                    sims[u].matches()
+                );
+            }
+            Some(d) => {
+                failed = true;
+                let _ = writeln!(
+                    out,
+                    "cosim chart `{}` (clock {}): FAILED — {}",
+                    c.name(),
+                    c.clock(),
+                    d
+                );
+            }
+        }
+    }
+    for s in &skipped {
+        let _ = writeln!(out, "skipped {s} (--cosim verifies basic charts)");
+    }
+    Ok(CheckOutcome { output: out, failed })
+}
+
 fn verdict_word(detected: bool) -> &'static str {
     if detected {
         "DETECTED"
@@ -857,9 +1225,17 @@ pub fn usage() -> &'static str {
     "cesc <render|synth|check> <spec.cesc> [options]\n\
      \n\
      render <spec> [--chart NAME]\n\
-     synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva]\n\
+     synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
+            [--force] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
-            [--clock NAME] [--jobs N] [--json] [--all-matches]\n\
+            [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim]\n\
+     \n\
+     synth emits one chart (--chart, default first) to stdout, or — with\n\
+     --all-charts --out-dir DIR — one file per chart (and, for verilog,\n\
+     per multiclock spec). --format sva refuses scoreboard (causality)\n\
+     charts because the emitted property would be weaker than the spec;\n\
+     --force emits the weakened SVA anyway. --format testbench emits a\n\
+     self-checking testbench driving the chart's witness trace.\n\
      \n\
      check targets may be basic charts, multiclock specs (each local chart\n\
      sampled on its own declared clock) and implies(...) compositions —\n\
@@ -870,5 +1246,8 @@ pub fn usage() -> &'static str {
      --json        machine-readable report (schema cesc-check/1)\n\
      --all-matches list every match tick; default summarises (count + first/last 5)\n\
      --clock NAME  rename the sampled clock signal (single-clock charts only;\n\
-                   default: each chart's declared clock)\n"
+                   default: each chart's declared clock)\n\
+     --cosim       differentially execute the emitted RTL (cesc-rtl\n\
+                   interpreter) against the engine over the dump; any\n\
+                   match_pulse disagreement exits with status 2\n"
 }

@@ -17,7 +17,8 @@
 //! | [`chart`] | `cesc-chart` | the CESC language: AST, parser, renderer |
 //! | [`semantics`] | `cesc-semantics` | `[[C]]` run-window membership oracle |
 //! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
-//! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters |
+//! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters over the structured RTL IR |
+//! | [`rtl`] | `cesc-rtl` | cycle-accurate RTL interpreter + engine co-simulation |
 //! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
 //! | [`par`] | `cesc-par` | sharded parallel monitor-fleet executor |
 //! | [`protocols`] | `cesc-protocols` | OCP & AMBA case studies, traffic, faults |
@@ -58,6 +59,7 @@ pub use cesc_expr as expr;
 pub use cesc_hdl as hdl;
 pub use cesc_par as par;
 pub use cesc_protocols as protocols;
+pub use cesc_rtl as rtl;
 pub use cesc_semantics as semantics;
 pub use cesc_sim as sim;
 pub use cesc_trace as trace;

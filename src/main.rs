@@ -35,6 +35,9 @@ fn run() -> Result<(String, bool), cli::CliError> {
     let mut format = SynthFormat::Summary;
     let mut vcd_path: Option<String> = None;
     let mut clock: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut force = false;
+    let mut cosim = false;
     let mut check_opts = cli::CheckOptions::default();
     while let Some(flag) = it.next() {
         match flag {
@@ -52,6 +55,15 @@ fn run() -> Result<(String, bool), cli::CliError> {
             }
             "--clock" => {
                 clock = Some(expect_value(&mut it, "--clock")?);
+            }
+            "--out-dir" => {
+                out_dir = Some(expect_value(&mut it, "--out-dir")?);
+            }
+            "--force" => {
+                force = true;
+            }
+            "--cosim" => {
+                cosim = true;
             }
             "--jobs" => {
                 let raw = expect_value(&mut it, "--jobs")?;
@@ -82,8 +94,17 @@ fn run() -> Result<(String, bool), cli::CliError> {
             charts.len()
         ))),
         "render" => Ok((cli::render(&source, charts.first().map(String::as_str))?, false)),
+        "synth" if all_charts => {
+            let out_dir = out_dir.ok_or_else(|| {
+                cli::CliError::Usage("synth --all-charts requires --out-dir DIR".to_owned())
+            })?;
+            Ok((
+                cli::synth_all(&source, format, std::path::Path::new(&out_dir), force)?,
+                false,
+            ))
+        }
         "synth" => Ok((
-            cli::synth(&source, charts.first().map(String::as_str), format)?,
+            cli::synth(&source, charts.first().map(String::as_str), format, force)?,
             false,
         )),
         "check" => {
@@ -100,14 +121,24 @@ fn run() -> Result<(String, bool), cli::CliError> {
             let file = std::fs::File::open(&vcd_path).map_err(|e| {
                 cli::CliError::Pipeline(format!("cannot read `{vcd_path}`: {e}"))
             })?;
-            let outcome = cli::check_fleet(
-                &source,
-                &charts,
-                all_charts,
-                std::io::BufReader::new(file),
-                clock.as_deref(),
-                &check_opts,
-            )?;
+            let reader = std::io::BufReader::new(file);
+            let outcome = if cosim {
+                if check_opts.json {
+                    return Err(cli::CliError::Usage(
+                        "--cosim emits a text report; drop --json".to_owned(),
+                    ));
+                }
+                if check_opts.jobs > 1 {
+                    return Err(cli::CliError::Usage(
+                        "--cosim runs serially (it is a differential oracle, not a scan \
+                         path); drop --jobs"
+                            .to_owned(),
+                    ));
+                }
+                cli::check_cosim(&source, &charts, all_charts, reader, clock.as_deref(), &check_opts)?
+            } else {
+                cli::check_fleet(&source, &charts, all_charts, reader, clock.as_deref(), &check_opts)?
+            };
             Ok((outcome.output, outcome.failed))
         }
         other => Err(cli::CliError::Usage(format!(

@@ -35,27 +35,153 @@ fn render_produces_art_and_wavedrom() {
 
 #[test]
 fn synth_formats() {
-    let summary = synth(SPEC, Some("hs"), SynthFormat::Summary).unwrap();
+    let summary = synth(SPEC, Some("hs"), SynthFormat::Summary, false).unwrap();
     assert!(summary.contains("monitor hs"));
     assert!(summary.contains("clean: true"));
 
-    let dot = synth(SPEC, Some("hs"), SynthFormat::Dot).unwrap();
+    let dot = synth(SPEC, Some("hs"), SynthFormat::Dot, false).unwrap();
     assert!(dot.starts_with("digraph"));
 
-    let verilog = synth(SPEC, Some("hs"), SynthFormat::Verilog).unwrap();
+    let verilog = synth(SPEC, Some("hs"), SynthFormat::Verilog, false).unwrap();
     assert!(verilog.contains("module cesc_monitor_hs"));
 
-    let sva = synth(SPEC, Some("hs"), SynthFormat::Sva).unwrap();
-    assert!(sva.contains("sequence seq_hs;"));
+    // `pulse` has no causality arrows, so SVA is faithful and allowed
+    let sva = synth(SPEC, Some("pulse"), SynthFormat::Sva, false).unwrap();
+    assert!(sva.contains("sequence seq_pulse;"));
+
+    let tb = synth(SPEC, Some("hs"), SynthFormat::Testbench, false).unwrap();
+    assert!(tb.contains("module cesc_monitor_hs_tb;"), "{tb}");
+    // the witness trace (req tick, ack tick, idle) completes once
+    assert!(tb.contains("if (matches == 1)"), "{tb}");
 }
 
 #[test]
 fn synth_format_parsing() {
     assert_eq!(SynthFormat::parse("dot").unwrap(), SynthFormat::Dot);
+    assert_eq!(SynthFormat::parse("testbench").unwrap(), SynthFormat::Testbench);
     assert!(matches!(
         SynthFormat::parse("nope"),
         Err(CliError::Usage(_))
     ));
+}
+
+#[test]
+fn synth_sva_refuses_scoreboard_charts_without_force() {
+    // `hs` carries `cause req -> ack`: its SVA form silently rewrites
+    // the Chk_evt guard to 1'b1, a strictly weaker property — that
+    // must be a hard error, not a comment
+    let err = synth(SPEC, Some("hs"), SynthFormat::Sva, false).unwrap_err();
+    assert!(matches!(err, CliError::Pipeline(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("weaker"), "{msg}");
+    assert!(msg.contains("--force"), "{msg}");
+
+    // the escape hatch emits the weakened SVA with its warning comment
+    let sva = synth(SPEC, Some("hs"), SynthFormat::Sva, true).unwrap();
+    assert!(sva.contains("sequence seq_hs;"), "{sva}");
+    assert!(sva.contains("use emit_verilog"), "{sva}");
+}
+
+#[test]
+fn synth_all_charts_writes_one_file_per_chart() {
+    use cesc::cli::synth_all;
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("synth_all_v");
+    std::fs::remove_dir_all(&dir).ok();
+    let listing = synth_all(SPEC, SynthFormat::Verilog, &dir, false).unwrap();
+    assert!(listing.contains("chart `hs`"), "{listing}");
+    assert!(listing.contains("chart `pulse`"), "{listing}");
+    let hs = std::fs::read_to_string(dir.join("hs.v")).unwrap();
+    assert!(hs.contains("module cesc_monitor_hs ("), "{hs}");
+    let pulse = std::fs::read_to_string(dir.join("pulse.v")).unwrap();
+    assert!(pulse.contains("module cesc_monitor_pulse ("), "{pulse}");
+
+    // multiclock specs get one file with every local module (verilog only)
+    let mdir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("synth_all_mc");
+    std::fs::remove_dir_all(&mdir).ok();
+    let listing = synth_all(MULTI_SPEC, SynthFormat::Verilog, &mdir, false).unwrap();
+    assert!(listing.contains("multiclock `pair`"), "{listing}");
+    let pair = std::fs::read_to_string(mdir.join("pair.v")).unwrap();
+    assert_eq!(pair.matches("module cesc_monitor_").count(), 2, "{pair}");
+
+    // sva format: scoreboard-free charts emitted, multiclock skipped,
+    // and scoreboard charts skipped with a note instead of aborting
+    // the whole run halfway (`hs` in SPEC has a causality arrow)
+    let sdir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("synth_all_sva");
+    std::fs::remove_dir_all(&sdir).ok();
+    let listing = synth_all(MULTI_SPEC, SynthFormat::Sva, &sdir, false).unwrap();
+    assert!(listing.contains("skipped multiclock `pair`"), "{listing}");
+    assert!(sdir.join("m1.sv").exists());
+    let listing = synth_all(SPEC, SynthFormat::Sva, &sdir, false).unwrap();
+    assert!(listing.contains("skipped chart `hs`"), "{listing}");
+    assert!(!sdir.join("hs.sv").exists());
+    assert!(sdir.join("pulse.sv").exists());
+    // --force emits the weakened SVA for `hs` too
+    let listing = synth_all(SPEC, SynthFormat::Sva, &sdir, true).unwrap();
+    assert!(listing.contains("wrote") && listing.contains("chart `hs`"), "{listing}");
+    assert!(sdir.join("hs.sv").exists());
+
+    // colliding sanitized chart names must not overwrite each other
+    const TWIN_SPEC: &str =
+        "scesc a.b on clk { instances { M } events { x } tick { M: x } }\
+         scesc a_b on clk { instances { M } events { x } tick { M: x } }";
+    let tdir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("synth_all_twins");
+    std::fs::remove_dir_all(&tdir).ok();
+    let listing = synth_all(TWIN_SPEC, SynthFormat::Verilog, &tdir, false).unwrap();
+    assert!(tdir.join("a_b.v").exists(), "{listing}");
+    assert!(tdir.join("a_b_2.v").exists(), "{listing}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&mdir).ok();
+    std::fs::remove_dir_all(&sdir).ok();
+    std::fs::remove_dir_all(&tdir).ok();
+}
+
+#[test]
+fn check_cosim_agrees_on_compliant_dump() {
+    use cesc::cli::check_cosim;
+    let vcd = fleet_vcd(true);
+    let outcome = check_cosim(
+        FLEET_SPEC,
+        &[],
+        true,
+        vcd.as_bytes(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    let out = &outcome.output;
+    assert!(out.contains("co-simulated 4 chart(s)"), "{out}");
+    assert!(out.contains("cosim chart `hs` (clock clk) over 4 cycles: OK — 1 match(es)"), "{out}");
+    assert!(out.contains("interpreted RTL == engine"), "{out}");
+    // the non-basic targets are skipped, not silently dropped
+    assert!(out.contains("skipped assert `gate`"), "{out}");
+}
+
+#[test]
+fn check_cosim_rejects_non_basic_targets_by_name() {
+    use cesc::cli::check_cosim;
+    let err = check_cosim(
+        MULTI_SPEC,
+        &["pair".to_owned()],
+        false,
+        b"".as_slice(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("basic chart"), "{err}");
+
+    let err = check_cosim(
+        MULTI_SPEC,
+        &["ghost".to_owned()],
+        false,
+        b"".as_slice(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not found"), "{err}");
 }
 
 #[test]
@@ -458,7 +584,7 @@ fn usage_covers_every_flag() {
     let text = usage();
     for flag in [
         "--chart", "--format", "--vcd", "--clock", "--all-matches", "--jobs", "--json",
-        "--all-charts",
+        "--all-charts", "--cosim", "--out-dir", "--force",
     ] {
         assert!(text.contains(flag), "usage misses {flag}: {text}");
     }
@@ -470,7 +596,7 @@ fn errors_are_reported() {
         render("scesc broken {", None),
         Err(CliError::Pipeline(_))
     ));
-    let err = synth(SPEC, Some("ghost"), SynthFormat::Summary).unwrap_err();
+    let err = synth(SPEC, Some("ghost"), SynthFormat::Summary, false).unwrap_err();
     assert!(err.to_string().contains("available: hs, pulse"));
     let err = check(SPEC, "hs", b"not a vcd".as_slice(), "clk", &CheckOptions::default())
         .unwrap_err();

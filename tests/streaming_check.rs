@@ -192,6 +192,57 @@ fn fleet_mode_checks_all_charts_over_100k_tick_dump_with_4_jobs() {
 }
 
 #[test]
+fn cosim_mode_validates_rtl_over_100k_tick_dump_on_disk() {
+    // `cesc check --cosim`: the emitted RTL of every basic chart is
+    // interpreted against the engine over a ≥100k-tick on-disk dump,
+    // streamed in constant memory.
+    const PER_DOMAIN: usize = 60_000; // 120k global steps total
+
+    let doc = cesc::chart::parse_document(FLEET_SPEC).unwrap();
+    let go = doc.alphabet.lookup("go").unwrap();
+    let done = doc.alphabet.lookup("done").unwrap();
+    let (clocks, run) = big_run(Valuation::of([go]), Valuation::of([done]), PER_DOMAIN);
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("big_cosim.vcd");
+    let owners = [Valuation::of([go]), Valuation::of([done])];
+    {
+        let mut w = BufWriter::new(std::fs::File::create(&path).unwrap());
+        write_vcd_global_to(&mut w, &run, &clocks, &doc.alphabet, &owners, &VcdWriteOptions::default())
+            .unwrap();
+        w.flush().unwrap();
+    }
+
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let outcome = cesc::cli::check_cosim(
+        FLEET_SPEC,
+        &[],
+        true,
+        reader,
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    let out = &outcome.output;
+    // basic charts m1, m2, ping, pong co-simulated; pair + gate skipped
+    assert!(out.contains("co-simulated 4 chart(s)"), "{out}");
+    assert!(out.contains(&format!("over {} global steps", 2 * PER_DOMAIN)), "{out}");
+    assert!(out.contains(&format!(
+        "cosim chart `m1` (clock clk1) over {PER_DOMAIN} cycles: OK — {PER_DOMAIN} match(es)"
+    )), "{out}");
+    assert!(out.contains(&format!(
+        "cosim chart `m2` (clock clk2) over {PER_DOMAIN} cycles: OK — {PER_DOMAIN} match(es)"
+    )), "{out}");
+    assert!(out.contains("skipped multiclock `pair`"), "{out}");
+    assert!(out.contains("skipped assert `gate`"), "{out}");
+    assert!(out.len() < 1000, "report stays short: {} bytes", out.len());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn large_single_clock_vcd_checks_via_streaming_reader() {
     const TICKS: usize = 100_000;
     const SPEC: &str =
