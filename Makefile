@@ -2,15 +2,22 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl verify-spec build test doc bench clean
 
-verify: ## release build + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim
+verify: ## release build + examples + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim + spec pipeline
 	$(CARGO) build --release
+	$(CARGO) build --examples
 	$(CARGO) test -q
 	$(CARGO) doc --no-deps
 	$(MAKE) verify-bench
 	$(MAKE) verify-par
 	$(MAKE) verify-rtl
+	$(MAKE) verify-spec
+
+verify-spec: ## optimized == unoptimized: cesc-spec unit suite + the opt-equivalence property suite + the opt bench compiles
+	$(CARGO) test -q -p cesc-spec
+	$(CARGO) test -q --test opt_equivalence
+	$(CARGO) bench -p cesc-bench --bench opt_throughput --no-run
 
 verify-rtl: ## emitted RTL == engine: cesc-rtl unit tests + the co-simulation property suite + streaming --cosim + the rtl bench compiles
 	$(CARGO) test -q -p cesc-rtl

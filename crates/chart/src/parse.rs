@@ -51,13 +51,18 @@ use crate::ast::{
 use crate::validate::{validate_cesc, validate_scesc, ChartError};
 
 /// Error produced when parsing a CESC document fails.
+///
+/// Errors raised while *lexing or parsing* carry the 1-based source
+/// position; errors lifted from post-parse validation
+/// ([`ChartError`]) concern a whole chart, so they carry none — and
+/// [`fmt::Display`] omits the position clause for them rather than
+/// rendering a bogus `line 0, column 0`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseChartError {
     message: String,
-    /// 1-based line number of the error.
-    pub line: usize,
-    /// 1-based column of the error.
-    pub column: usize,
+    /// 1-based `(line, column)` of the error, when it points at a
+    /// source location.
+    pub position: Option<(usize, usize)>,
 }
 
 impl ParseChartError {
@@ -77,15 +82,29 @@ impl ParseChartError {
         }
         ParseChartError {
             message: message.into(),
-            line,
-            column: col,
+            position: Some((line, col)),
         }
+    }
+
+    /// 1-based line of the error, if it has a source position.
+    pub fn line(&self) -> Option<usize> {
+        self.position.map(|(l, _)| l)
+    }
+
+    /// 1-based column of the error, if it has a source position.
+    pub fn column(&self) -> Option<usize> {
+        self.position.map(|(_, c)| c)
     }
 }
 
 impl fmt::Display for ParseChartError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.message, self.line, self.column)
+        match self.position {
+            Some((line, column)) => {
+                write!(f, "{} at line {line}, column {column}", self.message)
+            }
+            None => write!(f, "{}", self.message),
+        }
     }
 }
 
@@ -95,8 +114,7 @@ impl From<ChartError> for ParseChartError {
     fn from(e: ChartError) -> Self {
         ParseChartError {
             message: e.to_string(),
-            line: 0,
-            column: 0,
+            position: None,
         }
     }
 }
@@ -812,10 +830,28 @@ mod tests {
     fn errors_carry_position() {
         let err = parse_document("scesc x on clk { tick { Ghost: e } }").unwrap_err();
         assert!(err.to_string().contains("undeclared instance"));
-        assert_eq!(err.line, 1);
+        assert_eq!(err.line(), Some(1));
 
         let err = parse_document("scesc x on clk {\n  bogus\n}").unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn validation_errors_omit_the_position_clause() {
+        // an arrow whose endpoint never occurs parses fine but fails
+        // chart validation — the lifted ChartError has no source
+        // position, and Display must not invent a "line 0, column 0"
+        let err = parse_document(
+            "scesc x on clk { instances { A } events { e, g } tick { A: e } cause e -> g; }",
+        )
+        .unwrap_err();
+        assert_eq!(err.position, None);
+        assert_eq!(err.line(), None);
+        assert_eq!(err.column(), None);
+        let shown = err.to_string();
+        assert!(shown.contains("never occurs"), "{shown}");
+        assert!(!shown.contains("line 0"), "{shown}");
+        assert!(!shown.contains("at line"), "{shown}");
     }
 
     #[test]

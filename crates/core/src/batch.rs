@@ -114,9 +114,71 @@ impl GuardMask {
     }
 }
 
+/// Knobs for [`CompiledMonitor::with_options`] — the compile-level
+/// half of the optimization pass pipeline (the automaton-level half is
+/// [`crate::optimize`]).
+///
+/// [`CompiledMonitor::new`] / [`Monitor::compiled`] use
+/// [`CompileOptions::raw`], preserving the historical table layout;
+/// the `cesc-spec` front door compiles with
+/// [`CompileOptions::optimized`] unless `--no-opt` asks otherwise.
+/// Either way the executed semantics are identical (pinned by the
+/// `opt_equivalence` property suite) — the options only change table
+/// size and memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Deduplicate identical postfix guard programs into one shared
+    /// program pool entry (guard CSE). Synthesized monitors repeat the
+    /// same slide-back guard from many states, so the op pool — and
+    /// with it [`CompiledMonitor::step_cost`]'s program surcharge —
+    /// shrinks accordingly.
+    pub dedupe_programs: bool,
+    /// Renumber scoreboard symbols (the `Chk_evt`/`Add_evt`/`Del_evt`
+    /// targets) into a dense slot space, so the count table is sized
+    /// by the symbols with scoreboard traffic instead of by the
+    /// highest symbol index in the alphabet. Guard masks, program
+    /// `Chk` ops, packed actions and the presence bitmap all move to
+    /// the dense space together; [`CompiledMonitor::touched_symbols`]
+    /// keeps reporting the *global* footprint.
+    pub narrow_slots: bool,
+    /// Narrow guard bitmasks to the observed alphabet: when a guard's
+    /// trace and scoreboard masks all fit in 64 bits (every document
+    /// with ≤ 64 symbols — all the protocol case studies), it is
+    /// evaluated with `u64` operations instead of four `u128`
+    /// tests — the measurable hot-path win of the pass pipeline on
+    /// monitors the automaton passes cannot shrink.
+    pub narrow_masks: bool,
+}
+
+impl CompileOptions {
+    /// All passes on — what the `cesc-spec` pipeline compiles with.
+    pub fn optimized() -> Self {
+        CompileOptions {
+            dedupe_programs: true,
+            narrow_slots: true,
+            narrow_masks: true,
+        }
+    }
+
+    /// All passes off: the historical (and default) table layout.
+    pub fn raw() -> Self {
+        CompileOptions {
+            dedupe_programs: false,
+            narrow_slots: false,
+            narrow_masks: false,
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self::raw()
+    }
+}
+
 /// One instruction of a postfix guard program (the general-guard slow
 /// path; still allocation-free at evaluation time).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum GuardOp {
     /// Push the truth of a trace symbol.
     Sym(u32),
@@ -163,13 +225,54 @@ enum PackedAction {
     Del(u32),
 }
 
-/// How a compiled transition's guard is evaluated. The mask variant is
-/// stored inline so the common case costs one load and four `u128`
-/// tests, no further indirection.
+/// A [`GuardMask`] narrowed to the observed alphabet: all four masks
+/// fit in 64 bits, so the guard evaluates with half-width operations
+/// (see [`CompileOptions::narrow_masks`]). Bits of the valuation or
+/// scoreboard above 63 are unconstrained by construction — the masks
+/// never mention them — so truncating the inputs is exact.
+#[derive(Debug, Clone, Copy, Default)]
+struct GuardMask64 {
+    pos: u64,
+    neg: u64,
+    chk_pos: u64,
+    chk_neg: u64,
+}
+
+impl GuardMask64 {
+    #[inline(always)]
+    fn eval(&self, v: u128, sb: u128) -> bool {
+        let v = v as u64;
+        let sb = sb as u64;
+        v & self.pos == self.pos
+            && v & self.neg == 0
+            && sb & self.chk_pos == self.chk_pos
+            && sb & self.chk_neg == 0
+    }
+}
+
+impl GuardMask {
+    /// The half-width form, when every mask fits in 64 bits.
+    fn narrowed(&self) -> Option<GuardMask64> {
+        let fits = |m: u128| u64::try_from(m).ok();
+        Some(GuardMask64 {
+            pos: fits(self.pos)?,
+            neg: fits(self.neg)?,
+            chk_pos: fits(self.chk_pos)?,
+            chk_neg: fits(self.chk_neg)?,
+        })
+    }
+}
+
+/// How a compiled transition's guard is evaluated. The mask variants
+/// are stored inline so the common case costs one load and a handful
+/// of register tests, no further indirection.
 #[derive(Debug, Clone, Copy)]
 enum GuardKind {
-    /// Bitmask conjunction.
+    /// Bitmask conjunction over the full 128-bit symbol space.
     Mask(GuardMask),
+    /// Bitmask conjunction narrowed to the observed alphabet
+    /// ([`CompileOptions::narrow_masks`]).
+    Mask64(GuardMask64),
     /// Postfix program: `(offset, len)` into the op pool.
     Program(u32, u32),
 }
@@ -199,26 +302,102 @@ pub struct CompiledMonitor {
     actions: Vec<PackedAction>,
     initial: u32,
     final_state: u32,
-    /// Highest symbol index mentioned anywhere, for sizing the count
-    /// table (`usize::MAX` when no symbol occurs).
-    max_symbol: usize,
+    /// Count-table size (see [`CompileOptions::narrow_slots`] for the
+    /// two sizing regimes).
+    slots: usize,
     /// Symbols this monitor reads from or writes to the scoreboard
-    /// (`Chk_evt` targets plus `Add_evt`/`Del_evt` targets). Two
+    /// (`Chk_evt` targets plus `Add_evt`/`Del_evt` targets), always in
+    /// the *global* symbol space regardless of slot narrowing. Two
     /// monitors with disjoint touched sets cannot observe each other
     /// through a shared scoreboard — `CompiledMultiClock` uses this to
     /// pick its clock-major fast path.
     touched: u128,
 }
 
+/// Bitmask (global symbol space) of every symbol with scoreboard
+/// traffic in `monitor`: `Chk_evt` guard targets plus
+/// `Add_evt`/`Del_evt` action targets.
+pub(crate) fn sb_symbol_mask(monitor: &Monitor) -> u128 {
+    let mut mask = 0u128;
+    for s in 0..monitor.state_count() {
+        for t in monitor.transitions_from(StateId::from_index(s)) {
+            mask |= t.guard.chk_targets().bits();
+            for a in &t.actions {
+                if let Action::AddEvt(es) | Action::DelEvt(es) = a {
+                    for &e in es {
+                        mask |= 1u128 << e.index();
+                    }
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Rewrites each set bit `i` of `mask` to bit `rank(i)` in the dense
+/// slot space defined by `slot_mask` (which must contain `mask`).
+fn densify(mask: u128, slot_mask: u128) -> u128 {
+    debug_assert_eq!(mask & !slot_mask, 0, "mask outside the slot space");
+    let mut out = 0u128;
+    let mut rest = mask;
+    while rest != 0 {
+        let i = rest.trailing_zeros();
+        out |= 1u128 << (slot_mask & ((1u128 << i) - 1)).count_ones();
+        rest &= rest - 1;
+    }
+    out
+}
+
 impl CompiledMonitor {
-    /// Compiles `monitor` into flat form.
+    /// Compiles `monitor` into flat form with the default (raw) table
+    /// layout — see [`CompiledMonitor::with_options`] for the compile-
+    /// level optimization passes.
     pub fn new(monitor: &Monitor) -> Self {
+        Self::with_options(monitor, &CompileOptions::default())
+    }
+
+    /// Compiles `monitor` into flat form under `opts` (guard-program
+    /// deduplication, scoreboard-slot narrowing). Semantics are
+    /// identical for every option combination; only table sizes
+    /// change.
+    pub fn with_options(monitor: &Monitor, opts: &CompileOptions) -> Self {
+        Self::build(monitor, opts, None)
+    }
+
+    /// Full compile entry point. `shared_sb` widens the scoreboard
+    /// slot space to a superset mask (global symbol space) so several
+    /// monitors sharing one board — the locals of a
+    /// [`crate::CompiledMultiClock`] — agree on slot assignment.
+    pub(crate) fn build(
+        monitor: &Monitor,
+        opts: &CompileOptions,
+        shared_sb: Option<u128>,
+    ) -> Self {
+        let own_sb = sb_symbol_mask(monitor);
+        let sb_mask = match shared_sb {
+            Some(shared) => {
+                debug_assert_eq!(own_sb & !shared, 0, "shared slot space must cover the monitor");
+                shared
+            }
+            None => own_sb,
+        };
+        let slot_of = |i: usize| -> u32 {
+            if opts.narrow_slots {
+                (sb_mask & ((1u128 << i) - 1)).count_ones()
+            } else {
+                i as u32
+            }
+        };
+
         let states = monitor.state_count();
         let mut state_off = Vec::with_capacity(states + 1);
         let mut targets = Vec::new();
         let mut guards: Vec<GuardKind> = Vec::new();
         let mut mask_guards = 0usize;
-        let mut ops = Vec::new();
+        let mut ops: Vec<GuardOp> = Vec::new();
+        let mut pool: std::collections::HashMap<Vec<GuardOp>, (u32, u32)> =
+            std::collections::HashMap::new();
+        let mut program_buf: Vec<GuardOp> = Vec::new();
         let mut action_off = vec![0u32];
         let mut actions = Vec::new();
         let mut max_symbol = 0usize;
@@ -241,13 +420,43 @@ impl CompiledMonitor {
                 let mut mask = GuardMask::default();
                 match GuardMask::build(&t.guard, false, &mut mask) {
                     Some(()) => {
-                        guards.push(GuardKind::Mask(mask));
+                        if opts.narrow_slots {
+                            mask.chk_pos = densify(mask.chk_pos, sb_mask);
+                            mask.chk_neg = densify(mask.chk_neg, sb_mask);
+                        }
+                        match mask.narrowed().filter(|_| opts.narrow_masks) {
+                            Some(narrow) => guards.push(GuardKind::Mask64(narrow)),
+                            None => guards.push(GuardKind::Mask(mask)),
+                        }
                         mask_guards += 1;
                     }
                     None => {
-                        let start = ops.len() as u32;
-                        compile_ops(&t.guard, &mut ops);
-                        guards.push(GuardKind::Program(start, ops.len() as u32 - start));
+                        program_buf.clear();
+                        compile_ops(&t.guard, &mut program_buf);
+                        if opts.narrow_slots {
+                            for op in &mut program_buf {
+                                if let GuardOp::Chk(i) = op {
+                                    *i = slot_of(*i as usize);
+                                }
+                            }
+                        }
+                        let (start, len) = if opts.dedupe_programs {
+                            match pool.get(&program_buf) {
+                                Some(&cached) => cached,
+                                None => {
+                                    let start = ops.len() as u32;
+                                    ops.extend_from_slice(&program_buf);
+                                    let entry = (start, program_buf.len() as u32);
+                                    pool.insert(program_buf.clone(), entry);
+                                    entry
+                                }
+                            }
+                        } else {
+                            let start = ops.len() as u32;
+                            ops.extend_from_slice(&program_buf);
+                            (start, program_buf.len() as u32)
+                        };
+                        guards.push(GuardKind::Program(start, len));
                     }
                 }
 
@@ -258,14 +467,14 @@ impl CompiledMonitor {
                             for &e in es {
                                 note(e);
                                 touched |= 1u128 << e.index();
-                                actions.push(PackedAction::Add(e.index() as u32));
+                                actions.push(PackedAction::Add(slot_of(e.index())));
                             }
                         }
                         Action::DelEvt(es) => {
                             for &e in es {
                                 note(e);
                                 touched |= 1u128 << e.index();
-                                actions.push(PackedAction::Del(e.index() as u32));
+                                actions.push(PackedAction::Del(slot_of(e.index())));
                             }
                         }
                     }
@@ -274,6 +483,14 @@ impl CompiledMonitor {
             }
         }
         state_off.push(targets.len() as u32);
+
+        let slots = if opts.narrow_slots {
+            sb_mask.count_ones() as usize
+        } else if saw_symbol {
+            max_symbol + 1
+        } else {
+            0
+        };
 
         CompiledMonitor {
             name: monitor.name().to_owned(),
@@ -287,18 +504,28 @@ impl CompiledMonitor {
             actions,
             initial: monitor.initial().index() as u32,
             final_state: monitor.final_state().index() as u32,
-            max_symbol: if saw_symbol { max_symbol } else { usize::MAX },
+            slots,
             touched,
         }
     }
 
     /// Number of count slots a scoreboard for this monitor needs.
     pub(crate) fn count_slots(&self) -> usize {
-        if self.max_symbol == usize::MAX {
-            0
-        } else {
-            self.max_symbol + 1
-        }
+        self.slots
+    }
+
+    /// Size of the count table a scoreboard for this monitor
+    /// allocates: the dense scoreboard-symbol count under
+    /// [`CompileOptions::narrow_slots`], one slot per alphabet symbol
+    /// up to the highest mentioned index otherwise.
+    pub fn scoreboard_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total instructions in the postfix guard-program pool (shared
+    /// between transitions under [`CompileOptions::dedupe_programs`]).
+    pub fn program_op_count(&self) -> usize {
+        self.ops.len()
     }
 
     /// Bitmask of symbols with scoreboard traffic (`Chk_evt` reads plus
@@ -325,8 +552,18 @@ impl CompiledMonitor {
     pub fn step_cost(&self) -> u64 {
         let states = self.state_count().max(1) as u64;
         // guards scanned per tick, averaged over states (priority scan
-        // stops early, so the average over states upper-bounds it)
-        let guard_scan = self.transition_count() as u64 + self.ops.len() as u64;
+        // stops early, so the average over states upper-bounds it).
+        // Program work is summed per *guard*, not from the op pool —
+        // guard CSE shares storage, not evaluation time.
+        let program_work: u64 = self
+            .guards
+            .iter()
+            .map(|g| match g {
+                GuardKind::Program(_, len) => u64::from(*len),
+                GuardKind::Mask(_) | GuardKind::Mask64(_) => 0,
+            })
+            .sum();
+        let guard_scan = self.transition_count() as u64 + program_work;
         let action_traffic = self.actions.len() as u64;
         (guard_scan + action_traffic).div_ceil(states).max(1)
     }
@@ -463,6 +700,7 @@ impl ExecState {
         let mut taken = usize::MAX;
         for (i, guard) in m.guards[lo..hi].iter().enumerate() {
             let holds = match *guard {
+                GuardKind::Mask64(mask) => mask.eval(bits, board.sb_bits),
                 GuardKind::Mask(mask) => mask.eval(bits, board.sb_bits),
                 GuardKind::Program(start, len) => {
                     self.eval_program(m, start, len, bits, board.sb_bits)
@@ -608,6 +846,13 @@ impl Monitor {
     /// Compiles this monitor for batched, allocation-free execution.
     pub fn compiled(&self) -> CompiledMonitor {
         CompiledMonitor::new(self)
+    }
+
+    /// Compiles this monitor under explicit [`CompileOptions`] (the
+    /// `cesc-spec` pipeline compiles with
+    /// [`CompileOptions::optimized`]).
+    pub fn compiled_with(&self, opts: &CompileOptions) -> CompiledMonitor {
+        CompiledMonitor::with_options(self, opts)
     }
 
     /// Runs the monitor over `trace` through the compiled batch

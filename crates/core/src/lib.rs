@@ -27,6 +27,11 @@
 //!   multi-clock engine: per-domain flat tables over one shared
 //!   counts-only scoreboard, clock-major chunk execution where the
 //!   domains' scoreboard footprints permit;
+//! * [`optimize`] / [`CompileOptions`] — the optimization pass
+//!   pipeline: unreachable-state and dead-transition pruning with
+//!   state renumbering at the automaton level, guard-program
+//!   deduplication and scoreboard-slot narrowing at the table level
+//!   (consumed through the `cesc-spec` front door);
 //! * [`engine`] — paper-literal dense δ tables, lazy δ, the exact
 //!   subset-construction reference, and the naive re-scan baseline;
 //! * [`to_dot`] — Graphviz export of the synthesized automata.
@@ -73,11 +78,13 @@ pub mod engine;
 mod monitor;
 mod multibatch;
 mod multiclock;
+pub mod opt;
 mod scoreboard;
 mod synth;
 
 pub use analysis::{analyze, MonitorStats};
-pub use batch::{BatchExec, CompiledMonitor, MonitorBank, BATCH_CHUNK};
+pub use batch::{BatchExec, CompileOptions, CompiledMonitor, MonitorBank, BATCH_CHUNK};
+pub use opt::{optimize, OptReport};
 pub use checker::{Checker, ImplicationChecker, Verdict, Violation};
 pub use determinize::Determinized;
 pub use compose::{compile, flatten_chart, scan_composition, Compiled, CompiledExec, CompileError};

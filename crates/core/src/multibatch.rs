@@ -59,8 +59,25 @@ impl CompiledMultiClock {
     /// Compiles every local monitor of `monitor` into flat form and
     /// analyses scoreboard coupling between the domains.
     pub fn new(monitor: &MultiClockMonitor) -> Self {
-        let locals: Vec<CompiledMonitor> =
-            monitor.locals().iter().map(CompiledMonitor::new).collect();
+        Self::with_options(monitor, &crate::CompileOptions::default())
+    }
+
+    /// Compiles with explicit [`crate::CompileOptions`]. Because the
+    /// locals execute against **one shared scoreboard**, slot
+    /// narrowing computes a *joint* slot space — the union of every
+    /// local's scoreboard symbols — so cross-domain `Add_evt`/`Chk_evt`
+    /// traffic lands on the same slot in every local's tables.
+    pub fn with_options(monitor: &MultiClockMonitor, opts: &crate::CompileOptions) -> Self {
+        let joint: u128 = monitor
+            .locals()
+            .iter()
+            .map(crate::batch::sb_symbol_mask)
+            .fold(0, |acc, m| acc | m);
+        let locals: Vec<CompiledMonitor> = monitor
+            .locals()
+            .iter()
+            .map(|m| CompiledMonitor::build(m, opts, Some(joint)))
+            .collect();
         let coupled = locals
             .iter()
             .enumerate()

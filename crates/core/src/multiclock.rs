@@ -28,6 +28,34 @@ pub struct MultiClockMonitor {
 }
 
 impl MultiClockMonitor {
+    /// Assembles a multi-clock monitor from explicit local monitors —
+    /// the escape hatch the optimization pipeline (and tests) use to
+    /// rebuild a spec's monitor from transformed locals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locals` is empty or two locals share a clock domain
+    /// (every execution path dispatches ticks to locals by clock
+    /// name).
+    pub fn from_locals(name: impl Into<String>, locals: Vec<Monitor>) -> Self {
+        assert!(!locals.is_empty(), "a multi-clock monitor needs at least one local");
+        for (i, a) in locals.iter().enumerate() {
+            for b in &locals[i + 1..] {
+                assert!(
+                    a.clock() != b.clock(),
+                    "locals `{}` and `{}` share clock domain `{}`",
+                    a.name(),
+                    b.name(),
+                    a.clock()
+                );
+            }
+        }
+        MultiClockMonitor {
+            name: name.into(),
+            locals,
+        }
+    }
+
     /// The spec's name.
     pub fn name(&self) -> &str {
         &self.name

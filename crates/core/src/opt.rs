@@ -1,0 +1,426 @@
+//! Monitor optimization passes.
+//!
+//! [`crate::analyze`] has always *reported* unreachable states and dead
+//! transitions; until now the findings were diagnostic only — every
+//! backend (batch engine, fleet planner, HDL emitters) consumed the
+//! monitor exactly as synthesized. This module turns the analysis into
+//! a transformation: [`optimize`] prunes what the analysis proves
+//! unexecutable and renumbers the survivors into a compact automaton,
+//! so every downstream table, shard-cost estimate and emitted Verilog
+//! guard cascade shrinks with it. (The compile-level passes — guard
+//! program deduplication and scoreboard-slot narrowing — live in
+//! [`crate::CompileOptions`]; together with this module they form the
+//! `cesc-spec` pass pipeline.)
+//!
+//! The passes are verdict-preserving by construction:
+//!
+//! * **dead-transition pruning** — a transition whose *effective* guard
+//!   (own guard conjoined with the negations of all higher-priority
+//!   guards, `Chk_evt` atoms treated as free variables) is
+//!   unsatisfiable can never be the first enabled transition, so
+//!   removing it never changes which transition a step takes;
+//! * **unreachable-state pruning** — a state the transition graph
+//!   cannot reach from the initial state is never entered, so dropping
+//!   it (and renumbering the survivors) is invisible to execution. The
+//!   initial state is reachable by definition; a hand-built monitor's
+//!   *final* state may be unreachable, in which case it is kept (the
+//!   5-tuple needs it) but its outgoing transitions are cleared.
+//!
+//! The two passes feed each other — pruning a dead transition can
+//! disconnect a state, and clearing an unreachable final state's arms
+//! can disconnect more — so [`optimize`] runs them to a fixpoint.
+//! Verdict equivalence (same match ticks, same underflow accounting
+//! over any trace) and the exactness of the pruning (clean monitors
+//! are fixpoints; findings map one-to-one to removals) are pinned by
+//! the `opt_equivalence` property suite at the workspace root.
+
+use std::fmt;
+
+use cesc_expr::Valuation;
+
+use crate::analysis::analyze;
+use crate::monitor::{Monitor, StateId};
+
+/// What [`optimize`] did to a monitor at the automaton level (e.g.
+/// `states 4→3, transitions 9→7`). The reports `cesc synth` and
+/// `cesc check --json` surface are `cesc-spec`'s `PassReport`, which
+/// measures the *compiled artifacts* (baseline vs optimized tables)
+/// and so folds these prunes in together with the compile-level
+/// passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptReport {
+    /// States before optimization.
+    pub states_before: usize,
+    /// States after optimization.
+    pub states_after: usize,
+    /// Transitions before optimization.
+    pub transitions_before: usize,
+    /// Transitions after optimization.
+    pub transitions_after: usize,
+    /// Unreachable states removed (never the initial or final state).
+    pub pruned_states: usize,
+    /// Dead (never-enabled) transitions removed from surviving states.
+    /// Transitions that vanish *with* a pruned state are counted in
+    /// the before/after totals, not here.
+    pub pruned_transitions: usize,
+}
+
+impl OptReport {
+    /// Whether any pass changed the monitor.
+    pub fn changed(&self) -> bool {
+        self.pruned_states > 0
+            || self.pruned_transitions > 0
+            || self.transitions_before != self.transitions_after
+    }
+}
+
+impl fmt::Display for OptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "states {}→{}, transitions {}→{} ({} unreachable state(s), {} dead transition(s) pruned)",
+            self.states_before,
+            self.states_after,
+            self.transitions_before,
+            self.transitions_after,
+            self.pruned_states,
+            self.pruned_transitions
+        )
+    }
+}
+
+/// Every symbol with live scoreboard traffic: `Chk_evt` guard targets
+/// plus `Add_evt`/`Del_evt` action targets (the same sweep the batch
+/// compiler's slot narrowing uses).
+fn live_scoreboard_mask(m: &Monitor) -> Valuation {
+    Valuation::from_bits(crate::batch::sb_symbol_mask(m))
+}
+
+/// Prunes unreachable states and dead transitions to a fixpoint and
+/// renumbers the surviving states, returning the compacted monitor and
+/// the pass report.
+///
+/// The optimized monitor produces the verdicts of the input on every
+/// trace: same match ticks, same underflow count (state *indices* may
+/// differ after renumbering). A monitor [`crate::analyze`] reports
+/// clean is returned unchanged ([`OptReport::changed`] is `false`).
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{analyze, optimize, synthesize, SynthOptions};
+///
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+/// let (opt, report) = optimize(&m);
+/// assert!(analyze(&m).is_clean());
+/// assert!(!report.changed()); // clean monitors are fixpoints
+/// assert_eq!(opt.state_count(), m.state_count());
+/// ```
+pub fn optimize(monitor: &Monitor) -> (Monitor, OptReport) {
+    let mut m = monitor.clone();
+    let mut report = OptReport {
+        states_before: m.state_count(),
+        transitions_before: m.transition_count(),
+        ..OptReport::default()
+    };
+
+    loop {
+        let stats = analyze(&m);
+
+        // -- pass 1: dead transitions --------------------------------
+        // `dead_transitions` is sorted (state, priority index)
+        // ascending; removing in reverse keeps the remaining indices
+        // valid within each state
+        if !stats.dead_transitions.is_empty() {
+            for &(s, idx) in stats.dead_transitions.iter().rev() {
+                m.transitions[s.index()].remove(idx);
+            }
+            report.pruned_transitions += stats.dead_transitions.len();
+            continue; // re-analyze: pruning edges may disconnect states
+        }
+
+        // -- pass 2: unreachable states ------------------------------
+        let final_idx = m.final_state.index();
+        let prune: Vec<usize> = stats
+            .unreachable_states
+            .iter()
+            .map(|s| s.index())
+            .filter(|&i| i != final_idx)
+            .collect();
+        // an unreachable *final* state stays (the 5-tuple needs it)
+        // with its arms cleared — they can never execute, but their
+        // targets may be states this round removes
+        let clear_final = stats.unreachable_states.iter().any(|s| s.index() == final_idx)
+            && !m.transitions[final_idx].is_empty();
+        if clear_final {
+            m.transitions[final_idx].clear();
+        }
+        if prune.is_empty() {
+            if clear_final {
+                continue; // clearing arms may disconnect more states
+            }
+            break; // fixpoint
+        }
+
+        let n = m.state_count();
+        let mut keep = vec![true; n];
+        for &i in &prune {
+            keep[i] = false;
+        }
+        let mut map = vec![0u32; n];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        let old: Vec<_> = std::mem::take(&mut m.transitions);
+        m.transitions = old
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep[*i])
+            .map(|(_, ts)| {
+                ts.into_iter()
+                    .map(|mut t| {
+                        // kept states only target kept states: reachable
+                        // states reach only reachable ones, and a kept
+                        // unreachable final just had its arms cleared
+                        t.target = StateId::from_index(map[t.target.index()] as usize);
+                        t
+                    })
+                    .collect()
+            })
+            .collect();
+        m.initial = StateId::from_index(map[m.initial.index()] as usize);
+        m.final_state = StateId::from_index(map[m.final_state.index()] as usize);
+        report.pruned_states += prune.len();
+    }
+
+    // narrow the tracked-event set to symbols that still have
+    // scoreboard traffic, so the HDL counter bank (sized from
+    // `Monitor::scoreboard_events`) drops counters only dead
+    // transitions used
+    let live = live_scoreboard_mask(&m);
+    m.tracked_events.retain(|&e| live.contains(e));
+
+    report.states_after = m.state_count();
+    report.transitions_after = m.transition_count();
+    (m, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{Transition, TransitionKind};
+    use crate::scoreboard::Action;
+    use crate::synth::{synthesize, SynthOptions};
+    use cesc_chart::parse_document;
+    use cesc_expr::{Alphabet, Expr};
+
+    fn t(guard: Expr, target: usize, kind: TransitionKind) -> Transition {
+        Transition {
+            guard,
+            actions: vec![],
+            target: StateId::from_index(target),
+            kind,
+        }
+    }
+
+    #[test]
+    fn clean_synthesized_monitor_is_fixpoint() {
+        let doc = parse_document(
+            r#"scesc f6 on clk {
+                instances { M, S }
+                events { MCmd_rd, Addr, SCmd_accept, SResp, SData }
+                tick { M: MCmd_rd, Addr; S: SCmd_accept }
+                tick { S: SResp, SData }
+                cause MCmd_rd -> SResp;
+            }"#,
+        )
+        .unwrap();
+        let m = synthesize(&doc.charts[0], &SynthOptions::default()).unwrap();
+        assert!(analyze(&m).is_clean());
+        let (opt, report) = optimize(&m);
+        assert!(!report.changed(), "{report}");
+        assert_eq!(opt.state_count(), m.state_count());
+        assert_eq!(opt.transition_count(), m.transition_count());
+        assert_eq!(opt.tracked_events(), m.tracked_events());
+    }
+
+    #[test]
+    fn shadowed_transition_is_pruned_and_verdicts_survive() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        // s0: [true → s1], [a → s0 (dead: shadowed)]; s1: [true → s0]
+        let m = Monitor::from_parts(
+            "shadow",
+            "clk",
+            vec![
+                vec![
+                    t(Expr::t(), 1, TransitionKind::Forward),
+                    t(Expr::sym(a), 0, TransitionKind::Backward),
+                ],
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(1),
+            vec![Expr::t()],
+            vec![],
+        );
+        let (opt, report) = optimize(&m);
+        assert_eq!(report.pruned_transitions, 1);
+        assert_eq!(report.pruned_states, 0);
+        assert_eq!(opt.transition_count(), 2);
+        let trace = vec![Valuation::of([a]), Valuation::empty(), Valuation::of([a])];
+        let before = m.scan(trace.iter().copied());
+        let after = opt.scan(trace.iter().copied());
+        assert_eq!(before.matches, after.matches);
+        assert_eq!(before.underflows, after.underflows);
+    }
+
+    #[test]
+    fn unreachable_state_is_pruned_and_renumbered() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        // s1 unreachable; final is s2 → renumbers to s1
+        let m = Monitor::from_parts(
+            "gap",
+            "clk",
+            vec![
+                vec![
+                    t(Expr::sym(a), 2, TransitionKind::Forward),
+                    t(Expr::t(), 0, TransitionKind::Backward),
+                ],
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(2),
+            vec![Expr::sym(a)],
+            vec![],
+        );
+        let (opt, report) = optimize(&m);
+        assert_eq!(report.pruned_states, 1);
+        assert_eq!(opt.state_count(), 2);
+        assert_eq!(opt.final_state(), StateId::from_index(1));
+        let trace = vec![Valuation::of([a]), Valuation::empty()];
+        assert_eq!(
+            m.scan(trace.iter().copied()).matches,
+            opt.scan(trace.iter().copied()).matches
+        );
+    }
+
+    #[test]
+    fn dead_transition_pruning_cascades_into_state_pruning() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        // s0's only route to s1 is dead (shadowed by `true`), so s1
+        // becomes unreachable once the dead arm goes; final is s2 via a
+        // direct arm
+        let m = Monitor::from_parts(
+            "cascade",
+            "clk",
+            vec![
+                vec![
+                    t(Expr::sym(a), 2, TransitionKind::Forward),
+                    t(Expr::t(), 0, TransitionKind::Backward),
+                    t(Expr::sym(a), 1, TransitionKind::Forward),
+                ],
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(2),
+            vec![Expr::sym(a)],
+            vec![],
+        );
+        let (opt, report) = optimize(&m);
+        assert_eq!(report.pruned_transitions, 1, "{report}");
+        assert_eq!(report.pruned_states, 1, "{report}");
+        assert_eq!(opt.state_count(), 2);
+        assert_eq!(analyze(&opt).is_clean(), true);
+    }
+
+    #[test]
+    fn unreachable_final_state_is_kept_with_cleared_arms() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        // final s1 is unreachable (no inbound arc) but must survive
+        let m = Monitor::from_parts(
+            "nofinal",
+            "clk",
+            vec![
+                vec![t(Expr::t(), 0, TransitionKind::Backward)],
+                vec![t(Expr::sym(a), 0, TransitionKind::Backward)],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(1),
+            vec![Expr::sym(a)],
+            vec![],
+        );
+        let (opt, report) = optimize(&m);
+        assert_eq!(opt.state_count(), 2);
+        assert_eq!(report.pruned_states, 0);
+        assert!(opt.transitions_from(StateId::from_index(1)).is_empty());
+        let trace = vec![Valuation::of([a]); 4];
+        assert_eq!(
+            m.scan(trace.iter().copied()).matches,
+            opt.scan(trace.iter().copied()).matches
+        );
+    }
+
+    #[test]
+    fn tracked_events_narrow_with_pruned_scoreboard_traffic() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        // the only Add_evt(b) rides a dead (shadowed) transition
+        let m = Monitor::from_parts(
+            "narrow",
+            "clk",
+            vec![vec![
+                Transition {
+                    guard: Expr::t(),
+                    actions: vec![Action::AddEvt(vec![a]), Action::DelEvt(vec![a])],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+                Transition {
+                    guard: Expr::sym(a),
+                    actions: vec![Action::AddEvt(vec![b])],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+            ]],
+            StateId::from_index(0),
+            StateId::from_index(0),
+            vec![Expr::t()],
+            vec![a, b],
+        );
+        let (opt, report) = optimize(&m);
+        assert_eq!(report.pruned_transitions, 1);
+        assert_eq!(opt.tracked_events(), &[a]);
+    }
+
+    #[test]
+    fn report_displays_arrow_form() {
+        let report = OptReport {
+            states_before: 14,
+            states_after: 9,
+            transitions_before: 31,
+            transitions_after: 22,
+            pruned_states: 5,
+            pruned_transitions: 4,
+        };
+        let shown = report.to_string();
+        assert!(shown.contains("states 14→9"), "{shown}");
+        assert!(shown.contains("transitions 31→22"), "{shown}");
+        assert!(report.changed());
+    }
+}

@@ -173,6 +173,60 @@ impl BatchHarness {
         self.bank.add(monitor)
     }
 
+    /// Attaches an already-compiled single-clock monitor — the path
+    /// for artifacts that went through the `cesc-spec` pass pipeline
+    /// (see [`BatchHarness::attach_spec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor's clock is not in `clocks`.
+    pub fn attach_compiled(
+        &mut self,
+        clocks: &ClockSet,
+        compiled: cesc_core::CompiledMonitor,
+    ) -> usize {
+        assert!(
+            clocks.lookup(compiled.clock()).is_some(),
+            "monitor clock `{}` not in clock set",
+            compiled.clock()
+        );
+        self.bank.add_compiled(compiled)
+    }
+
+    /// Attaches the cached compiled artifact of a
+    /// [`cesc_spec::ChartSpec`], so a simulation harness runs exactly
+    /// the optimized tables `cesc check` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart's clock is not in `clocks`.
+    pub fn attach_spec(&mut self, clocks: &ClockSet, spec: &cesc_spec::ChartSpec) -> usize {
+        self.attach_compiled(clocks, spec.compiled().clone())
+    }
+
+    /// Attaches an already-compiled multi-clock monitor (the
+    /// `cesc-spec` counterpart of
+    /// [`BatchHarness::attach_multiclock`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local monitor's clock is not in `clocks`.
+    pub fn attach_compiled_multiclock(
+        &mut self,
+        clocks: &ClockSet,
+        compiled: cesc_core::CompiledMultiClock,
+    ) -> usize {
+        for local in compiled.locals() {
+            assert!(
+                clocks.lookup(local.clock()).is_some(),
+                "multi-clock local `{}`'s clock `{}` not in clock set",
+                local.name(),
+                local.clock()
+            );
+        }
+        self.bank.add_compiled_multiclock(compiled)
+    }
+
     /// Compiles and attaches a multi-clock monitor; its locals bind to
     /// the domains of `clocks` by clock name on the first feed.
     /// Returns the monitor's index for
@@ -787,6 +841,53 @@ mod tests {
         let mut sim = Simulation::new();
         sim.add_clock(ClockDomain::new("other", 1, 0));
         run_decoupled_parallel(&mut sim, 1, &[&pulse], &[], 2);
+    }
+
+    #[test]
+    fn attach_spec_runs_optimized_tables_with_identical_hits() {
+        // the cesc-spec compiled artifact (optimized tables) must see
+        // exactly the hits the plain attach path records
+        let src = r#"
+            scesc hs on clk {
+                instances { M, S }
+                events { req, ack }
+                tick { M: req }
+                tick { S: ack }
+                cause req -> ack;
+            }
+        "#;
+        let specs = cesc_spec::SpecSet::load(src).unwrap();
+        let m = synthesize(
+            specs.document().chart("hs").unwrap(),
+            &SynthOptions::default(),
+        )
+        .unwrap();
+        let req = specs.alphabet().lookup("req").unwrap();
+        let ack = specs.alphabet().lookup("ack").unwrap();
+
+        let mut sim = Simulation::new();
+        sim.add_clock(ClockDomain::new("clk", 1, 0));
+        sim.add_transactor(Box::new(PeriodicTransactor::new(
+            "clk",
+            vec![Valuation::of([req]), Valuation::of([ack])],
+            2,
+            0,
+        )));
+        let clocks = sim.clocks().clone();
+        let run = sim.run(40);
+        let steps: Vec<GlobalStep> = run.iter().cloned().collect();
+
+        let mut plain = BatchHarness::new();
+        let pi = plain.attach(&clocks, &m);
+        plain.observe_batch(&clocks, &steps);
+
+        let mut via_spec = BatchHarness::new();
+        let si = via_spec.attach_spec(&clocks, specs.chart_spec(0).unwrap());
+        for chunk in steps.chunks(3) {
+            via_spec.observe_batch(&clocks, chunk);
+        }
+        assert_eq!(via_spec.hits(si), plain.hits(pi));
+        assert!(!via_spec.hits(si).is_empty());
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //! ```text
 //! cesc render <spec.cesc> [--chart NAME]             ASCII + WaveDrom
 //! cesc synth  <spec.cesc> [--chart NAME] [--format summary|dot|verilog|sva|testbench]
-//!             [--force] [--all-charts --out-dir DIR]
+//!             [--force] [--no-opt] [--all-charts --out-dir DIR]
 //! cesc check  <spec.cesc> (--chart NAME)... | --all-charts  --vcd FILE
-//!             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim]
+//!             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]
 //! ```
+//!
+//! Every route goes through **one** compilation front door:
+//! [`cesc_spec::SpecSet`] parses and validates the document once,
+//! resolves targets by name and compiles each target once into cached
+//! artifacts — optimized by the pass pipeline (unreachable-state /
+//! dead-transition pruning, guard CSE, scoreboard-slot narrowing)
+//! unless `--no-opt` asks for the raw tables. The subcommands only
+//! pick targets, stream waveforms and render reports.
 //!
 //! `check` has three library entry points: the single-target streaming
 //! [`check`] (one basic chart or multiclock spec, kept for its
@@ -20,27 +28,28 @@
 //! sharded across worker threads (`--jobs`), with text or JSON
 //! ([`CHECK_JSON_SCHEMA`]) output and a CI-gating `failed` flag — and
 //! the differential [`check_cosim`] (`--cosim`), which drives the dump
-//! into both the *interpreted emitted RTL* (`cesc-rtl`) and the batch
-//! engine and fails when their `match_pulse` streams ever disagree.
+//! into both the *interpreted emitted RTL* (`cesc-rtl`, lowered from
+//! the **optimized** monitor) and the **unoptimized** batch engine
+//! ([`cesc_spec::ChartSpec::baseline`]) and fails when their
+//! `match_pulse` streams ever disagree — making every `--cosim` run an
+//! end-to-end oracle for the pass pipeline itself.
 
 use std::fmt;
 use std::io::BufRead;
 use std::path::Path;
 
-use cesc_chart::{parse_document, render_ascii, Cesc, Document, Scesc};
-use cesc_core::{
-    analyze, compile, synthesize, synthesize_multiclock, to_dot, Compiled, Monitor, SynthOptions,
-    Verdict, BATCH_CHUNK,
-};
+use cesc_chart::{render_ascii, Scesc};
+use cesc_core::{analyze, to_dot, Verdict, BATCH_CHUNK};
 use cesc_hdl::{
     emit_sva_cover, emit_testbench, emit_verilog, lower_monitor, sva_loses_scoreboard,
     SvaOptions, TestbenchOptions, VerilogOptions,
 };
 use cesc_par::{plan_shards, run_sharded, AssertSpec, Fleet, MatchLog, ParOptions};
 use cesc_rtl::CoSim;
-use cesc_trace::{
-    ClockDomain, ClockId, ClockSet, GlobalVcdStream, VcdClockSpec, VcdStream,
-};
+use cesc_spec::{SpecError, SpecOptions, SpecSet, TargetRef};
+use cesc_trace::{ClockId, GlobalVcdStream, VcdStream};
+
+use crate::json;
 
 /// Error from a CLI command.
 #[derive(Debug)]
@@ -63,36 +72,36 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn load(source: &str) -> Result<Document, CliError> {
-    parse_document(source).map_err(|e| CliError::Pipeline(e.to_string()))
+/// Maps a spec-layer error to the CLI error kind: `--clock` override
+/// misuse is a usage error, everything else a pipeline failure.
+fn lift(e: SpecError) -> CliError {
+    match e {
+        SpecError::ClockOverride(m) => CliError::Usage(m),
+        other => CliError::Pipeline(other.to_string()),
+    }
 }
 
-fn pick<'d>(doc: &'d Document, chart: Option<&str>) -> Result<&'d Scesc, CliError> {
-    match chart {
-        Some(name) => doc.chart(name).ok_or_else(|| {
-            CliError::Pipeline(format!(
-                "chart `{name}` not found; available: {}",
-                doc.charts
-                    .iter()
-                    .map(Scesc::name)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))
-        }),
-        None => doc
-            .charts
-            .first()
-            .ok_or_else(|| CliError::Pipeline("document contains no charts".to_owned())),
-    }
+/// Loads the unified spec set — the single parse→validate→compile
+/// front door every subcommand uses.
+fn load(source: &str, optimize: bool) -> Result<SpecSet, CliError> {
+    SpecSet::load_with(
+        source,
+        SpecOptions {
+            optimize,
+            ..SpecOptions::new()
+        },
+    )
+    .map_err(lift)
 }
 
 /// `cesc render`: ASCII chart art plus WaveDrom JSON.
 pub fn render(source: &str, chart: Option<&str>) -> Result<String, CliError> {
-    let doc = load(source)?;
-    let chart = pick(&doc, chart)?;
-    let mut out = render_ascii(chart, &doc.alphabet);
+    let specs = load(source, false)?;
+    let idx = specs.chart_index(chart).map_err(lift)?;
+    let chart = &specs.document().charts[idx];
+    let mut out = render_ascii(chart, specs.alphabet());
     out.push('\n');
-    out.push_str(&cesc_chart::wavedrom::to_wavedrom_json(chart, &doc.alphabet));
+    out.push_str(&cesc_chart::wavedrom::to_wavedrom_json(chart, specs.alphabet()));
     Ok(out)
 }
 
@@ -154,13 +163,15 @@ fn witness_trace(chart: &Scesc) -> Vec<cesc_expr::Valuation> {
 }
 
 /// Renders one chart in `format` (the shared body of [`synth`] and
-/// [`synth_all`]).
+/// [`synth_all`]), consuming the spec set's cached compiled artifact.
 fn synth_one(
-    doc: &Document,
-    chart: &Scesc,
+    specs: &SpecSet,
+    idx: usize,
     format: SynthFormat,
     force: bool,
 ) -> Result<String, CliError> {
+    let doc = specs.document();
+    let chart = &doc.charts[idx];
     if format == SynthFormat::Sva && sva_loses_scoreboard(chart) && !force {
         return Err(CliError::Pipeline(format!(
             "chart `{}` uses the scoreboard ({} causality arrow(s)); SVA has no scoreboard, so \
@@ -171,12 +182,17 @@ fn synth_one(
             chart.arrows().len()
         )));
     }
-    let monitor =
-        synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    // every format validates synthesizability first (SVA lowers the
+    // chart directly, but an unsynthesizable chart must still error)
+    let spec = specs.chart_spec(idx).map_err(lift)?;
+    if format == SynthFormat::Sva {
+        return Ok(emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default()));
+    }
+    let monitor = spec.monitor();
     Ok(match format {
         SynthFormat::Summary => {
-            let stats = analyze(&monitor);
-            format!(
+            let stats = analyze(monitor);
+            let mut out = format!(
                 "{}\nanalysis: {} states, {} transitions ({} forward), max guard atoms {}, \
                  scoreboard slots +{}/-{}, clean: {}\n",
                 monitor.display(&doc.alphabet),
@@ -187,16 +203,21 @@ fn synth_one(
                 stats.add_slots,
                 stats.del_slots,
                 stats.is_clean()
-            )
+            );
+            match spec.report() {
+                Some(report) => out.push_str(&format!("opt: {report}\n")),
+                None => out.push_str("opt: disabled (--no-opt)\n"),
+            }
+            out
         }
-        SynthFormat::Dot => to_dot(&monitor, &doc.alphabet),
-        SynthFormat::Verilog => emit_verilog(&monitor, &doc.alphabet, &VerilogOptions::default()),
-        SynthFormat::Sva => emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default()),
+        SynthFormat::Dot => to_dot(monitor, &doc.alphabet),
+        SynthFormat::Verilog => emit_verilog(monitor, &doc.alphabet, &VerilogOptions::default()),
+        SynthFormat::Sva => unreachable!("handled above"),
         SynthFormat::Testbench => {
             let trace = witness_trace(chart);
             let expected = monitor.scan(trace.iter().copied()).matches.len() as u64;
             emit_testbench(
-                &monitor,
+                monitor,
                 &doc.alphabet,
                 &trace,
                 expected,
@@ -206,7 +227,9 @@ fn synth_one(
     })
 }
 
-/// `cesc synth`: synthesize the monitor and emit the chosen artifact.
+/// `cesc synth`: synthesize the monitor and emit the chosen artifact
+/// (optimization pipeline on — see [`synth_with`] for the `--no-opt`
+/// form).
 ///
 /// `force` overrides the hard error on `--format sva` for scoreboard
 /// charts (whose SVA form is strictly weaker than the specification —
@@ -217,9 +240,21 @@ pub fn synth(
     format: SynthFormat,
     force: bool,
 ) -> Result<String, CliError> {
-    let doc = load(source)?;
-    let chart = pick(&doc, chart)?;
-    synth_one(&doc, chart, format, force)
+    synth_with(source, chart, format, force, true)
+}
+
+/// [`synth`] with an explicit optimization switch (`optimize: false`
+/// is the `--no-opt` flag: emit the monitor exactly as synthesized).
+pub fn synth_with(
+    source: &str,
+    chart: Option<&str>,
+    format: SynthFormat,
+    force: bool,
+    optimize: bool,
+) -> Result<String, CliError> {
+    let specs = load(source, optimize)?;
+    let idx = specs.chart_index(chart).map_err(lift)?;
+    synth_one(&specs, idx, format, force)
 }
 
 /// `cesc synth --all-charts --out-dir DIR`: emit one artifact file per
@@ -232,7 +267,19 @@ pub fn synth_all(
     out_dir: &Path,
     force: bool,
 ) -> Result<String, CliError> {
-    let doc = load(source)?;
+    synth_all_with(source, format, out_dir, force, true)
+}
+
+/// [`synth_all`] with an explicit optimization switch.
+pub fn synth_all_with(
+    source: &str,
+    format: SynthFormat,
+    out_dir: &Path,
+    force: bool,
+    optimize: bool,
+) -> Result<String, CliError> {
+    let specs = load(source, optimize)?;
+    let doc = specs.document();
     if doc.charts.is_empty() && doc.multiclock.is_empty() {
         return Err(CliError::Pipeline(
             "document contains no charts to synthesize".to_owned(),
@@ -262,7 +309,7 @@ pub fn synth_all(
 
     use std::fmt::Write as _;
     let mut listing = String::new();
-    for chart in &doc.charts {
+    for (idx, chart) in doc.charts.iter().enumerate() {
         // bulk emission skips weakened-SVA charts with a note instead
         // of aborting the run halfway (single-chart synth still hard
         // errors); --force emits them like everything else
@@ -275,12 +322,12 @@ pub fn synth_all(
             );
             continue;
         }
-        let content = synth_one(&doc, chart, format, force)?;
+        let content = synth_one(&specs, idx, format, force)?;
         let path = out_dir.join(format!("{}.{}", stem_for(chart.name()), format.extension()));
         write(&path, &content)?;
         let _ = writeln!(listing, "wrote {} (chart `{}`)", path.display(), chart.name());
     }
-    for spec in &doc.multiclock {
+    for (idx, spec) in doc.multiclock.iter().enumerate() {
         if format != SynthFormat::Verilog {
             let _ = writeln!(
                 listing,
@@ -289,10 +336,9 @@ pub fn synth_all(
             );
             continue;
         }
-        let mm = synthesize_multiclock(spec, &SynthOptions::default())
-            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let mm = specs.multi_spec(idx).map_err(lift)?;
         let mut content = String::new();
-        for local in mm.locals() {
+        for local in mm.monitor().locals() {
             content.push_str(&emit_verilog(local, &doc.alphabet, &VerilogOptions::default()));
             content.push('\n');
         }
@@ -303,7 +349,7 @@ pub fn synth_all(
             "wrote {} (multiclock `{}`, {} local module(s))",
             path.display(),
             spec.name(),
-            mm.locals().len()
+            mm.monitor().locals().len()
         );
     }
     Ok(listing)
@@ -322,6 +368,9 @@ pub struct CheckOptions {
     /// Emit the machine-readable JSON report ([`CHECK_JSON_SCHEMA`])
     /// instead of text — the `--json` flag ([`check_fleet`] only).
     pub json: bool,
+    /// Skip the optimization pass pipeline and run the monitors
+    /// exactly as synthesized — the `--no-opt` flag.
+    pub no_opt: bool,
 }
 
 impl Default for CheckOptions {
@@ -330,6 +379,7 @@ impl Default for CheckOptions {
             all_matches: false,
             jobs: 1,
             json: false,
+            no_opt: false,
         }
     }
 }
@@ -365,36 +415,31 @@ pub fn check(
     clock: &str,
     opts: &CheckOptions,
 ) -> Result<String, CliError> {
-    let doc = load(source)?;
-    if doc.chart(chart_name).is_some() {
-        check_single(&doc, chart_name, vcd, clock, opts)
-    } else if doc.multiclock_spec(chart_name).is_some() {
-        check_multiclock(&doc, chart_name, vcd, opts)
-    } else {
-        let charts: Vec<&str> = doc.charts.iter().map(Scesc::name).collect();
-        let multis: Vec<&str> = doc.multiclock.iter().map(|m| m.name()).collect();
-        Err(CliError::Pipeline(format!(
-            "chart `{chart_name}` not found; available charts: {}; multiclock specs: {}",
-            if charts.is_empty() { "(none)".to_owned() } else { charts.join(", ") },
-            if multis.is_empty() { "(none)".to_owned() } else { multis.join(", ") },
-        )))
+    let specs = load(source, !opts.no_opt)?;
+    match specs.resolve(chart_name) {
+        Ok(TargetRef::Chart(idx)) => check_single(&specs, idx, vcd, clock, opts),
+        Ok(TargetRef::Multi(idx)) => check_multiclock(&specs, idx, vcd, opts),
+        Ok(TargetRef::Assert(_)) => Err(CliError::Pipeline(format!(
+            "`{chart_name}` is an implies(...) assertion; the single-target check reports \
+             tick-indexed matches only — use the fleet form (the `cesc check` binary route) \
+             to verify assertions"
+        ))),
+        Err(e) => Err(lift(e)),
     }
 }
 
 fn check_single(
-    doc: &Document,
-    chart_name: &str,
+    specs: &SpecSet,
+    idx: usize,
     vcd: impl BufRead,
     clock: &str,
     opts: &CheckOptions,
 ) -> Result<String, CliError> {
-    let chart = pick(doc, Some(chart_name))?;
-    let monitor =
-        synthesize(chart, &SynthOptions::default()).map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let mut stream = VcdStream::from_reader(vcd, &doc.alphabet, clock)
+    let chart = &specs.document().charts[idx];
+    let spec = specs.chart_spec(idx).map_err(lift)?;
+    let mut stream = VcdStream::from_reader(vcd, specs.alphabet(), clock)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let compiled = monitor.compiled();
-    let mut exec = compiled.executor();
+    let mut exec = spec.compiled().executor();
     let mut tally = tally(opts);
     let mut chunk_hits = Vec::new();
     let mut chunk = Vec::new();
@@ -423,29 +468,22 @@ fn check_single(
 }
 
 fn check_multiclock(
-    doc: &Document,
-    spec_name: &str,
+    specs: &SpecSet,
+    idx: usize,
     vcd: impl BufRead,
     opts: &CheckOptions,
 ) -> Result<String, CliError> {
-    let spec = doc
-        .multiclock_spec(spec_name)
-        .expect("caller checked presence");
-    let monitor = synthesize_multiclock(spec, &SynthOptions::default())
+    let spec = specs.multi_spec(idx).map_err(lift)?;
+    // one VCD clock per local chart, in chart order; each tick carries
+    // only its own chart's signals
+    let plan = specs
+        .clock_plan(&[TargetRef::Multi(idx)], None)
+        .map_err(lift)?;
+    let mut stream = GlobalVcdStream::from_reader(vcd, specs.alphabet(), &plan.vcd_specs())
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    // one VCD clock per local chart, in chart order — ClockId index i
-    // then drives local i, the compiled engine's identity binding;
-    // each tick carries only its own chart's signals
-    let clock_specs: Vec<VcdClockSpec> = monitor
-        .locals()
-        .iter()
-        .zip(spec.charts())
-        .map(|(local, chart)| VcdClockSpec::masked(local.clock(), chart.mentioned_symbols()))
-        .collect();
-    let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let compiled = monitor.compiled();
+    let compiled = spec.compiled();
     let mut state = compiled.state();
+    state.bind(compiled, &plan.clock_set());
     let mut tally = tally(opts);
     let mut chunk_hits = Vec::new();
     let mut chunk = Vec::new();
@@ -463,11 +501,11 @@ fn check_multiclock(
         tally.absorb(&chunk_hits);
     }
     let verdict = if tally.detected() { "DETECTED" } else { "NOT OBSERVED" };
-    let clock_list: Vec<&str> = clock_specs.iter().map(VcdClockSpec::name).collect();
+    let clock_list: Vec<&str> = plan.declared().iter().map(String::as_str).collect();
     Ok(format!(
         "multiclock `{}` over {} global steps (clocks {}): {} — {} occurrence(s) at times {}, \
          scoreboard underflows {}\n",
-        spec.name(),
+        specs.document().multiclock[idx].name(),
         steps,
         clock_list.join(", "),
         verdict,
@@ -496,7 +534,7 @@ pub struct CheckOutcome {
 ///
 /// ```json
 /// {
-///   "schema": "cesc-check/1",
+///   "schema": "cesc-check/2",
 ///   "global_steps": 120000,      // VCD instants at which any clock ticked
 ///   "jobs": 4,                   // shard workers used
 ///   "failed": false,             // true iff any assert target failed
@@ -508,10 +546,16 @@ pub struct CheckOutcome {
 ///       "last": [96, 98],        // latest detection times (≤ 5)
 ///       "all": [0, 2, 96, 98],   // only with --all-matches
 ///       "ticks": 60000,          // cycles the monitor consumed
-///       "underflows": 0 },       // Del_evt scoreboard underflows
+///       "underflows": 0,         // Del_evt scoreboard underflows
+///       "opt": {                 // pass-pipeline report (absent with --no-opt)
+///         "states": [3, 3],      // each entry is [before, after]
+///         "transitions": [9, 7],
+///         "guard_ops": [12, 8],
+///         "slots": [6, 2],
+///         "step_cost": [7, 5] } },
 ///     { "kind": "multiclock", "name": "pair", "clocks": ["clk1", "clk2"],
 ///       "verdict": "detected", "matches": 3, "first": [5], "last": [5],
-///       "underflows": 0 },
+///       "underflows": 0, "opt": { ... } },
 ///     { "kind": "assert", "name": "gate", "clocks": ["clk"],
 ///       "verdict": "failed",     // idle | tracking | passed | failed
 ///       "fulfilled": 9,          // obligations fulfilled
@@ -526,77 +570,19 @@ pub struct CheckOutcome {
 ///
 /// Detection `first`/`last`/`all` entries are VCD times for every
 /// target kind; assertion `*_at` fields are tick indices local to the
-/// assertion's clock.
-pub const CHECK_JSON_SCHEMA: &str = "cesc-check/1";
+/// assertion's clock. (`cesc-check/2` added the per-target `opt`
+/// object to `cesc-check/1`.)
+pub const CHECK_JSON_SCHEMA: &str = "cesc-check/2";
 
 /// Violations listed per assert target in the JSON report; the total
 /// is always in `violation_count`.
 const JSON_VIOLATION_CAP: usize = 100;
 
-/// One resolved `--chart` target.
-enum Target {
-    /// Basic chart: fleet single index.
-    Chart { chart: usize, fleet: usize },
-    /// Multiclock spec: fleet multi index.
-    Multi { spec: usize, fleet: usize },
-    /// `implies(...)` composition: fleet assert index.
-    Assert { name: String, clock: String, fleet: usize },
-}
-
-/// Names a composition only if it is checkable (an `implies(...)`).
-fn assert_capable(c: &Cesc) -> bool {
-    matches!(c, Cesc::Implication(_, _))
-}
-
-fn unknown_target_error(doc: &Document, name: &str) -> CliError {
-    let list = |items: Vec<&str>| {
-        if items.is_empty() {
-            "(none)".to_owned()
-        } else {
-            items.join(", ")
-        }
-    };
-    let charts = list(doc.charts.iter().map(Scesc::name).collect());
-    let multis = list(doc.multiclock.iter().map(|m| m.name()).collect());
-    let asserts = list(
-        doc.compositions
-            .iter()
-            .filter(|(_, c)| assert_capable(c))
-            .map(|(n, _)| n.as_str())
-            .collect(),
-    );
-    CliError::Pipeline(format!(
-        "chart `{name}` not found; available charts: {charts}; multiclock specs: {multis}; \
-         assert compositions: {asserts}"
-    ))
-}
-
-/// Synthesizes the two monitors of an `implies(...)` composition and
-/// its (single) clock domain.
-fn compile_assert(name: &str, cesc: &Cesc) -> Result<(String, Monitor, Monitor), CliError> {
-    if !assert_capable(cesc) {
-        return Err(CliError::Pipeline(format!(
-            "composition `{name}` is not an implies(...) chart; `check` verifies basic charts, \
-             multiclock specs and implication compositions"
-        )));
-    }
-    let clocks = cesc.clocks();
-    let [clock] = clocks.as_slice() else {
-        return Err(CliError::Pipeline(format!(
-            "assert composition `{name}` spans clocks {}; implication checking is single-clock",
-            clocks.join(", ")
-        )));
-    };
-    let compiled = compile(cesc, &SynthOptions::default())
-        .map_err(|e| CliError::Pipeline(format!("assert `{name}`: {e}")))?;
-    let Compiled::Implication(checker) = compiled else {
-        unreachable!("assert_capable guarantees an implication compilation");
-    };
-    Ok((
-        clock.clone(),
-        checker.antecedent().clone(),
-        checker.consequent().clone(),
-    ))
+/// One selected check target: its document reference plus its slot in
+/// the fleet's per-kind report space.
+struct Slot {
+    target: TargetRef,
+    fleet: usize,
 }
 
 /// `cesc check`, fleet form: verify several charts — basic, multiclock
@@ -617,6 +603,11 @@ fn compile_assert(name: &str, cesc: &Cesc) -> Result<(String, Monitor, Monitor),
 /// for every hit — memory stays constant in dump length and match
 /// count.
 ///
+/// All monitors come from the [`SpecSet`] cache, so they execute the
+/// pass pipeline's compacted tables and the `cesc-par` planner shards
+/// on post-optimization `step_cost` weights (`--no-opt` restores the
+/// raw tables).
+///
 /// The returned [`CheckOutcome::failed`] is the CI gate: `true` iff
 /// any assertion target recorded a violation.
 pub fn check_fleet(
@@ -627,58 +618,22 @@ pub fn check_fleet(
     clock_override: Option<&str>,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, CliError> {
-    let doc = load(source)?;
+    let specs = load(source, !opts.no_opt)?;
 
     // -- resolve the target selection (dedupe, validate) -------------
-    let mut selected: Vec<String> = Vec::new();
+    let mut targets: Vec<TargetRef> = Vec::new();
     if all_charts {
-        selected.extend(doc.charts.iter().map(|c| c.name().to_owned()));
-        selected.extend(doc.multiclock.iter().map(|m| m.name().to_owned()));
-        selected.extend(
-            doc.compositions
-                .iter()
-                .filter(|(_, c)| assert_capable(c))
-                .map(|(n, _)| n.clone()),
-        );
-        if selected.is_empty() {
+        targets = specs.checkable_targets();
+        if targets.is_empty() {
             return Err(CliError::Pipeline(
                 "document contains no checkable charts".to_owned(),
             ));
         }
     }
     for name in names {
-        if !selected.iter().any(|s| s == name) {
-            selected.push(name.clone());
-        }
-    }
-
-    // -- build the fleet and the per-target metadata -----------------
-    let mut fleet = Fleet::new();
-    let mut targets: Vec<Target> = Vec::new();
-    for name in &selected {
-        if let Some(idx) = doc.charts.iter().position(|c| c.name() == name) {
-            let monitor = synthesize(&doc.charts[idx], &SynthOptions::default())
-                .map_err(|e| CliError::Pipeline(e.to_string()))?;
-            targets.push(Target::Chart {
-                chart: idx,
-                fleet: fleet.add(&monitor),
-            });
-        } else if let Some(idx) = doc.multiclock.iter().position(|m| m.name() == name) {
-            let monitor = synthesize_multiclock(&doc.multiclock[idx], &SynthOptions::default())
-                .map_err(|e| CliError::Pipeline(e.to_string()))?;
-            targets.push(Target::Multi {
-                spec: idx,
-                fleet: fleet.add_multiclock(&monitor),
-            });
-        } else if let Some((_, cesc)) = doc.compositions.iter().find(|(n, _)| n == name) {
-            let (clock, ante, cons) = compile_assert(name, cesc)?;
-            targets.push(Target::Assert {
-                name: name.clone(),
-                clock: clock.clone(),
-                fleet: fleet.add_assert(AssertSpec::new(name, &clock, ante, cons)),
-            });
-        } else {
-            return Err(unknown_target_error(&doc, name));
+        let t = specs.resolve(name).map_err(lift)?;
+        if !targets.contains(&t) {
+            targets.push(t);
         }
     }
     if targets.is_empty() {
@@ -687,123 +642,69 @@ pub fn check_fleet(
         ));
     }
 
-    // -- assemble the sampled clocks ---------------------------------
-    // one entry per *declared* clock name, in first-seen order; the
-    // VCD signal sampled for it may be renamed by --clock
-    if clock_override.is_some() {
-        let mut declared: Vec<&str> = Vec::new();
-        for t in &targets {
-            match t {
-                Target::Chart { chart, .. } => {
-                    let c = doc.charts[*chart].clock();
-                    if !declared.contains(&c) {
-                        declared.push(c);
-                    }
-                }
-                Target::Assert { clock, .. } => {
-                    if !declared.contains(&clock.as_str()) {
-                        declared.push(clock);
-                    }
-                }
-                Target::Multi { spec, .. } => {
-                    return Err(CliError::Usage(format!(
-                        "--clock cannot rename the clocks of multiclock spec `{}`; its local \
-                         charts sample their declared clocks",
-                        doc.multiclock[*spec].name()
-                    )));
-                }
+    // -- build the fleet from the cached compiled artifacts ----------
+    let mut fleet = Fleet::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(targets.len());
+    for &target in &targets {
+        let fleet_idx = match target {
+            TargetRef::Chart(i) => {
+                fleet.add_compiled(specs.chart_spec(i).map_err(lift)?.compiled().clone())
             }
-        }
-        if declared.len() > 1 {
-            return Err(CliError::Usage(format!(
-                "--clock cannot rename charts on different declared clocks ({})",
-                declared.join(", ")
-            )));
-        }
-    }
-    let mut clock_names: Vec<String> = Vec::new(); // declared names
-    let mut clock_masks: Vec<cesc_expr::Valuation> = Vec::new();
-    let mut note_clock = |declared: &str, mask: cesc_expr::Valuation| {
-        match clock_names.iter().position(|n| n == declared) {
-            Some(i) => clock_masks[i] = clock_masks[i] | mask,
-            None => {
-                clock_names.push(declared.to_owned());
-                clock_masks.push(mask);
+            TargetRef::Multi(i) => fleet
+                .add_compiled_multiclock(specs.multi_spec(i).map_err(lift)?.compiled().clone()),
+            TargetRef::Assert(i) => {
+                let spec = specs.assert_spec(i).map_err(lift)?;
+                fleet.add_assert(AssertSpec::new(
+                    spec.name(),
+                    spec.clock(),
+                    spec.antecedent().clone(),
+                    spec.consequent().clone(),
+                ))
             }
-        }
-    };
-    for t in &targets {
-        match t {
-            Target::Chart { chart, .. } => {
-                let c = &doc.charts[*chart];
-                note_clock(c.clock(), c.mentioned_symbols());
-            }
-            Target::Multi { spec, .. } => {
-                for c in doc.multiclock[*spec].charts() {
-                    note_clock(c.clock(), c.mentioned_symbols());
-                }
-            }
-            Target::Assert { name, clock, .. } => {
-                let (_, cesc) = doc
-                    .compositions
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .expect("resolved above");
-                let mut mask = cesc_expr::Valuation::empty();
-                for chart in cesc.basic_charts() {
-                    mask = mask | chart.mentioned_symbols();
-                }
-                note_clock(clock, mask);
-            }
-        }
-    }
-    let clock_specs: Vec<VcdClockSpec> = clock_names
-        .iter()
-        .zip(&clock_masks)
-        .map(|(declared, mask)| {
-            // the override (validated above to cover exactly one
-            // declared clock with no multiclock targets) renames the
-            // sampled signal; ClockSet keeps the declared name, which
-            // is what the monitors bind against
-            VcdClockSpec::masked(clock_override.unwrap_or(declared), *mask)
-        })
-        .collect();
-    let mut clock_set = ClockSet::new();
-    for declared in &clock_names {
-        clock_set.add(ClockDomain::new(declared, 1, 0));
+        };
+        slots.push(Slot {
+            target,
+            fleet: fleet_idx,
+        });
     }
 
+    // -- assemble the sampled clocks ---------------------------------
+    let plan = specs.clock_plan(&targets, clock_override).map_err(lift)?;
+    let clock_specs = plan.vcd_specs();
+    let clock_set = plan.clock_set();
+
     // -- stream the dump through the sharded fleet -------------------
-    let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
+    let mut stream = GlobalVcdStream::from_reader(vcd, specs.alphabet(), &clock_specs)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let plan = plan_shards(&fleet, opts.jobs.max(1));
+    let shard_plan = plan_shards(&fleet, opts.jobs.max(1));
     let par_opts = ParOptions {
         keep_all_hits: opts.all_matches,
         edge: MATCH_EDGE,
         ..Default::default()
     };
-    let (report, driven) = run_sharded(&fleet, &plan, Some(&clock_set), &par_opts, |feeder| {
-        let mut chunk = Vec::new();
-        let mut steps = 0u64;
-        loop {
-            let n = stream
-                .next_chunk(&mut chunk, BATCH_CHUNK)
-                .map_err(|e| CliError::Pipeline(e.to_string()))?;
-            if n == 0 {
-                return Ok(steps);
+    let (report, driven) =
+        run_sharded(&fleet, &shard_plan, Some(&clock_set), &par_opts, |feeder| {
+            let mut chunk = Vec::new();
+            let mut steps = 0u64;
+            loop {
+                let n = stream
+                    .next_chunk(&mut chunk, BATCH_CHUNK)
+                    .map_err(|e| CliError::Pipeline(e.to_string()))?;
+                if n == 0 {
+                    return Ok(steps);
+                }
+                steps += n as u64;
+                feeder.feed_global(&chunk);
             }
-            steps += n as u64;
-            feeder.feed_global(&chunk);
-        }
-    });
+        });
     let steps: u64 = driven?;
     let failed = report.any_failed();
 
     // -- render ------------------------------------------------------
     let output = if opts.json {
-        render_json(&doc, &targets, &report, steps, plan.jobs(), failed)
+        render_json(&specs, &slots, &report, steps, shard_plan.jobs(), failed)
     } else {
-        render_text(&doc, &targets, &report, steps, plan.jobs())
+        render_text(&specs, &slots, &report, steps, shard_plan.jobs())
     };
     Ok(CheckOutcome { output, failed })
 }
@@ -811,13 +712,18 @@ pub fn check_fleet(
 /// `cesc check --cosim`: differential co-simulation of the emitted RTL
 /// against the batch engine over a real dump.
 ///
-/// Every selected *basic* chart is synthesized once and run in two
-/// forms — the interpreted [`cesc_hdl::RtlModule`] (exactly what
-/// `cesc synth --format verilog` renders, executed by `cesc-rtl`) and
-/// the [`cesc_core::CompiledMonitor`] batch engine — over the same
+/// Every selected *basic* chart is compiled once through the
+/// [`SpecSet`] and run in two forms — the interpreted
+/// [`cesc_hdl::RtlModule`] lowered from the **optimized** monitor
+/// (exactly what `cesc synth --format verilog` renders, executed by
+/// `cesc-rtl`) and the **unoptimized**
+/// [`cesc_spec::ChartSpec::baseline`] batch engine — over the same
 /// VCD-derived stimulus, cycle by cycle. Any tick where the RTL
 /// `match_pulse` disagrees with the engine's verdict is reported and
 /// sets [`CheckOutcome::failed`] (the binary exits with status 2).
+/// Because the two sides sit on opposite ends of the pass pipeline,
+/// every `--cosim` run is also an end-to-end proof that optimized RTL
+/// ≡ unoptimized engine on that dump.
 ///
 /// Multiclock specs and `implies(...)` assertions have no single
 /// emitted module to interpret; under `--all-charts` they are listed
@@ -830,9 +736,10 @@ pub fn check_cosim(
     all_charts: bool,
     vcd: impl BufRead,
     clock_override: Option<&str>,
-    _opts: &CheckOptions,
+    opts: &CheckOptions,
 ) -> Result<CheckOutcome, CliError> {
-    let doc = load(source)?;
+    let specs = load(source, !opts.no_opt)?;
+    let doc = specs.document();
 
     // -- resolve the selection (basic charts only) -------------------
     let mut selected: Vec<usize> = Vec::new();
@@ -843,7 +750,7 @@ pub fn check_cosim(
         skipped.extend(
             doc.compositions
                 .iter()
-                .filter(|(_, c)| assert_capable(c))
+                .filter(|(_, c)| cesc_spec::assert_capable(c))
                 .map(|(n, _)| format!("assert `{n}`")),
         );
         if selected.is_empty() {
@@ -853,21 +760,18 @@ pub fn check_cosim(
         }
     }
     for name in names {
-        match doc.charts.iter().position(|c| c.name() == name) {
-            Some(i) => {
+        match specs.resolve(name).map_err(lift)? {
+            TargetRef::Chart(i) => {
                 if !selected.contains(&i) {
                     selected.push(i);
                 }
             }
-            None if doc.multiclock_spec(name).is_some()
-                || doc.compositions.iter().any(|(n, _)| n == name) =>
-            {
+            TargetRef::Multi(_) | TargetRef::Assert(_) => {
                 return Err(CliError::Pipeline(format!(
                     "--cosim interprets the emitted RTL of basic charts; `{name}` is not a \
                      basic chart (multiclock specs and compositions have no single module)"
                 )));
             }
-            None => return Err(unknown_target_error(&doc, name)),
         }
     }
     if selected.is_empty() {
@@ -877,62 +781,29 @@ pub fn check_cosim(
     }
 
     // -- sampled clocks (one per declared clock, maskable rename) ----
-    if clock_override.is_some() {
-        let mut declared: Vec<&str> = Vec::new();
-        for &i in &selected {
-            let c = doc.charts[i].clock();
-            if !declared.contains(&c) {
-                declared.push(c);
-            }
-        }
-        if declared.len() > 1 {
-            return Err(CliError::Usage(format!(
-                "--clock cannot rename charts on different declared clocks ({})",
-                declared.join(", ")
-            )));
-        }
-    }
-    let mut clock_names: Vec<String> = Vec::new();
-    let mut clock_masks: Vec<cesc_expr::Valuation> = Vec::new();
-    for &i in &selected {
-        let c = &doc.charts[i];
-        match clock_names.iter().position(|n| n == c.clock()) {
-            Some(slot) => clock_masks[slot] = clock_masks[slot] | c.mentioned_symbols(),
-            None => {
-                clock_names.push(c.clock().to_owned());
-                clock_masks.push(c.mentioned_symbols());
-            }
-        }
-    }
-    let clock_specs: Vec<VcdClockSpec> = clock_names
-        .iter()
-        .zip(&clock_masks)
-        .map(|(declared, mask)| {
-            VcdClockSpec::masked(clock_override.unwrap_or(declared), *mask)
-        })
-        .collect();
+    let chart_targets: Vec<TargetRef> = selected.iter().map(|&i| TargetRef::Chart(i)).collect();
+    let plan = specs.clock_plan(&chart_targets, clock_override).map_err(lift)?;
+    let clock_specs = plan.vcd_specs();
     let chart_clock: Vec<usize> = selected
         .iter()
         .map(|&i| {
-            clock_names
-                .iter()
-                .position(|n| n == doc.charts[i].clock())
+            plan.slot_of(doc.charts[i].clock())
                 .expect("every selected chart registered its clock")
         })
         .collect();
 
-    // -- synthesize every chart once, in both forms ------------------
+    // -- both forms from the one compilation front door --------------
+    // RTL lowers the optimized monitor; the engine side runs the raw
+    // baseline, so the diff spans the whole pass pipeline
     let mut units: Vec<(usize, cesc_hdl::RtlModule, cesc_core::CompiledMonitor)> = Vec::new();
     for &i in &selected {
-        let monitor = synthesize(&doc.charts[i], &SynthOptions::default())
-            .map_err(|e| CliError::Pipeline(e.to_string()))?;
-        let module = lower_monitor(&monitor, &doc.alphabet, &VerilogOptions::default());
-        let compiled = monitor.compiled();
-        units.push((i, module, compiled));
+        let spec = specs.chart_spec(i).map_err(lift)?;
+        let module = lower_monitor(spec.monitor(), &doc.alphabet, &VerilogOptions::default());
+        units.push((i, module, spec.baseline().clone()));
     }
     let mut sims: Vec<CoSim<'_>> = units
         .iter()
-        .map(|(_, module, compiled)| CoSim::new(module, compiled))
+        .map(|(_, module, engine)| CoSim::new(module, engine))
         .collect();
     let mut divergences: Vec<Option<cesc_rtl::Divergence>> = vec![None; sims.len()];
 
@@ -940,7 +811,7 @@ pub fn check_cosim(
     let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut chunk = Vec::new();
-    let mut bufs: Vec<Vec<cesc_expr::Valuation>> = vec![Vec::new(); clock_names.len()];
+    let mut bufs: Vec<Vec<cesc_expr::Valuation>> = vec![Vec::new(); plan.len()];
     let mut steps = 0u64;
     loop {
         let n = stream
@@ -954,7 +825,7 @@ pub fn check_cosim(
             b.clear();
         }
         for step in &chunk {
-            for slot in 0..clock_names.len() {
+            for slot in 0..bufs.len() {
                 if let Some(v) = step.tick_of(ClockId::from_index(slot)) {
                     bufs[slot].push(v);
                 }
@@ -1020,26 +891,27 @@ fn verdict_word(detected: bool) -> &'static str {
 }
 
 fn render_text(
-    doc: &Document,
-    targets: &[Target],
+    specs: &SpecSet,
+    slots: &[Slot],
     report: &cesc_par::FleetReport,
     steps: u64,
     jobs: usize,
 ) -> String {
     use std::fmt::Write as _;
+    let doc = specs.document();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "checked {} target(s) over {} global steps with {} worker(s)",
-        targets.len(),
+        slots.len(),
         steps,
         jobs
     );
-    for t in targets {
-        match t {
-            Target::Chart { chart, fleet } => {
-                let c = &doc.charts[*chart];
-                let r = &report.singles[*fleet];
+    for slot in slots {
+        match slot.target {
+            TargetRef::Chart(chart) => {
+                let c = &doc.charts[chart];
+                let r = &report.singles[slot.fleet];
                 let _ = writeln!(
                     out,
                     "chart `{}` (clock {}) over {} sampled cycles: {} — {} occurrence(s) at \
@@ -1053,9 +925,9 @@ fn render_text(
                     r.underflows
                 );
             }
-            Target::Multi { spec, fleet } => {
-                let m = &doc.multiclock[*spec];
-                let r = &report.multis[*fleet];
+            TargetRef::Multi(spec) => {
+                let m = &doc.multiclock[spec];
+                let r = &report.multis[slot.fleet];
                 let clocks: Vec<&str> = m.charts().iter().map(Scesc::clock).collect();
                 let _ = writeln!(
                     out,
@@ -1069,12 +941,18 @@ fn render_text(
                     r.underflows
                 );
             }
-            Target::Assert { name, clock, fleet } => {
-                let r = &report.asserts[*fleet];
+            TargetRef::Assert(assert) => {
+                let spec = specs.assert_spec(assert).expect("compiled during fleet build");
+                let r = &report.asserts[slot.fleet];
                 let _ = write!(
                     out,
                     "assert `{}` (clock {}) over {} ticks: {} — {} fulfilled, {} outstanding",
-                    name, clock, r.ticks, r.verdict, r.fulfilled, r.outstanding
+                    spec.name(),
+                    spec.clock(),
+                    r.ticks,
+                    r.verdict,
+                    r.fulfilled,
+                    r.outstanding
                 );
                 if let Some(first) = r.violations.first() {
                     let _ = write!(
@@ -1092,91 +970,80 @@ fn render_text(
     out
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
+/// Renders the pass-pipeline report of one target as the `"opt"` JSON
+/// field (empty string when the pipeline did not run).
+fn json_opt(report: Option<&cesc_spec::PassReport>) -> String {
+    match report {
+        Some(r) => format!(
+            ",\"opt\":{{\"states\":{},\"transitions\":{},\"guard_ops\":{},\"slots\":{},\
+             \"step_cost\":{}}}",
+            json::pair(r.states),
+            json::pair(r.transitions),
+            json::pair(r.guard_ops),
+            json::pair(r.slots),
+            format!("[{},{}]", r.step_cost.0, r.step_cost.1),
+        ),
+        None => String::new(),
     }
-    out.push('"');
-    out
-}
-
-fn json_times(ts: &[u64]) -> String {
-    let inner: Vec<String> = ts.iter().map(u64::to_string).collect();
-    format!("[{}]", inner.join(","))
-}
-
-fn json_clocks(clocks: &[&str]) -> String {
-    let inner: Vec<String> = clocks.iter().map(|c| json_str(c)).collect();
-    format!("[{}]", inner.join(","))
-}
-
-fn json_log(log: &MatchLog) -> String {
-    let mut fields = format!(
-        "\"matches\":{},\"first\":{},\"last\":{}",
-        log.count(),
-        json_times(log.first()),
-        json_times(&log.last())
-    );
-    if let Some(all) = log.all() {
-        fields.push_str(&format!(",\"all\":{}", json_times(all)));
-    }
-    fields
 }
 
 fn render_json(
-    doc: &Document,
-    targets: &[Target],
+    specs: &SpecSet,
+    slots: &[Slot],
     report: &cesc_par::FleetReport,
     steps: u64,
     jobs: usize,
     failed: bool,
 ) -> String {
-    let mut items: Vec<String> = Vec::with_capacity(targets.len());
-    for t in targets {
-        match t {
-            Target::Chart { chart, fleet } => {
-                let c = &doc.charts[*chart];
-                let r = &report.singles[*fleet];
+    let doc = specs.document();
+    let mut items: Vec<String> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.target {
+            TargetRef::Chart(chart) => {
+                let c = &doc.charts[chart];
+                let r = &report.singles[slot.fleet];
+                let opt = json_opt(
+                    specs
+                        .chart_spec(chart)
+                        .expect("compiled during fleet build")
+                        .report(),
+                );
                 items.push(format!(
                     "{{\"kind\":\"chart\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
-                     \"ticks\":{},\"underflows\":{}}}",
-                    json_str(c.name()),
-                    json_clocks(&[c.clock()]),
-                    json_str(if r.log.detected() { "detected" } else { "not observed" }),
-                    json_log(&r.log),
+                     \"ticks\":{},\"underflows\":{}{}}}",
+                    json::string(c.name()),
+                    json::strings(&[c.clock()]),
+                    json::string(if r.log.detected() { "detected" } else { "not observed" }),
+                    json::log(&r.log),
                     r.ticks,
-                    r.underflows
+                    r.underflows,
+                    opt
                 ));
             }
-            Target::Multi { spec, fleet } => {
-                let m = &doc.multiclock[*spec];
-                let r = &report.multis[*fleet];
+            TargetRef::Multi(spec) => {
+                let m = &doc.multiclock[spec];
+                let r = &report.multis[slot.fleet];
                 let clocks: Vec<&str> = m.charts().iter().map(Scesc::clock).collect();
+                let opt = json_opt(
+                    specs
+                        .multi_spec(spec)
+                        .expect("compiled during fleet build")
+                        .report(),
+                );
                 items.push(format!(
                     "{{\"kind\":\"multiclock\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
-                     \"underflows\":{}}}",
-                    json_str(m.name()),
-                    json_clocks(&clocks),
-                    json_str(if r.log.detected() { "detected" } else { "not observed" }),
-                    json_log(&r.log),
-                    r.underflows
+                     \"underflows\":{}{}}}",
+                    json::string(m.name()),
+                    json::strings(&clocks),
+                    json::string(if r.log.detected() { "detected" } else { "not observed" }),
+                    json::log(&r.log),
+                    r.underflows,
+                    opt
                 ));
             }
-            Target::Assert { name, clock, fleet } => {
-                let r = &report.asserts[*fleet];
+            TargetRef::Assert(assert) => {
+                let spec = specs.assert_spec(assert).expect("compiled during fleet build");
+                let r = &report.asserts[slot.fleet];
                 let verdict = match r.verdict {
                     Verdict::Idle => "idle",
                     Verdict::Tracking => "tracking",
@@ -1198,9 +1065,9 @@ fn render_json(
                     "{{\"kind\":\"assert\",\"name\":{},\"clocks\":{},\"verdict\":{},\
                      \"fulfilled\":{},\"outstanding\":{},\"ticks\":{},\
                      \"violation_count\":{},\"violations\":[{}]}}",
-                    json_str(name),
-                    json_clocks(&[clock.as_str()]),
-                    json_str(verdict),
+                    json::string(spec.name()),
+                    json::strings(&[spec.clock()]),
+                    json::string(verdict),
                     r.fulfilled,
                     r.outstanding,
                     r.ticks,
@@ -1212,7 +1079,7 @@ fn render_json(
     }
     format!(
         "{{\"schema\":{},\"global_steps\":{},\"jobs\":{},\"failed\":{},\"targets\":[{}]}}\n",
-        json_str(CHECK_JSON_SCHEMA),
+        json::string(CHECK_JSON_SCHEMA),
         steps,
         jobs,
         failed,
@@ -1226,9 +1093,9 @@ pub fn usage() -> &'static str {
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
-            [--force] [--all-charts --out-dir DIR]\n\
+            [--force] [--no-opt] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
-            [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim]\n\
+            [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]\n\
      \n\
      synth emits one chart (--chart, default first) to stdout, or — with\n\
      --all-charts --out-dir DIR — one file per chart (and, for verilog,\n\
@@ -1243,11 +1110,15 @@ pub fn usage() -> &'static str {
      --chart may repeat (duplicates are deduplicated); --all-charts checks\n\
      every chart, spec and implication in one pass over the dump.\n\
      --jobs N      shard the monitor fleet across N worker threads\n\
-     --json        machine-readable report (schema cesc-check/1)\n\
+     --json        machine-readable report (schema cesc-check/2)\n\
      --all-matches list every match tick; default summarises (count + first/last 5)\n\
      --clock NAME  rename the sampled clock signal (single-clock charts only;\n\
                    default: each chart's declared clock)\n\
+     --no-opt      skip the monitor optimization pass pipeline (dead-state/\n\
+                   dead-transition pruning, guard CSE, scoreboard narrowing);\n\
+                   monitors run exactly as synthesized\n\
      --cosim       differentially execute the emitted RTL (cesc-rtl\n\
-                   interpreter) against the engine over the dump; any\n\
-                   match_pulse disagreement exits with status 2\n"
+                   interpreter, lowered from the optimized monitor) against\n\
+                   the unoptimized engine over the dump; any match_pulse\n\
+                   disagreement exits with status 2\n"
 }

@@ -17,6 +17,7 @@
 //! | [`chart`] | `cesc-chart` | the CESC language: AST, parser, renderer |
 //! | [`semantics`] | `cesc-semantics` | `[[C]]` run-window membership oracle |
 //! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
+//! | [`spec`] | `cesc-spec` | unified spec-compilation front door, optimization pass pipeline |
 //! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters over the structured RTL IR |
 //! | [`rtl`] | `cesc-rtl` | cycle-accurate RTL interpreter + engine co-simulation |
 //! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
@@ -52,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod json;
 
 pub use cesc_chart as chart;
 pub use cesc_core as core;
@@ -62,6 +64,7 @@ pub use cesc_protocols as protocols;
 pub use cesc_rtl as rtl;
 pub use cesc_semantics as semantics;
 pub use cesc_sim as sim;
+pub use cesc_spec as spec;
 pub use cesc_trace as trace;
 
 /// One-stop imports for the common workflow: parse → synthesize → run.
@@ -73,5 +76,6 @@ pub mod prelude {
     };
     pub use cesc_expr::{parse_expr, Alphabet, Expr, NameResolution, SymbolKind, Valuation};
     pub use cesc_sim::{run_flow, FlowConfig, Simulation};
+    pub use cesc_spec::{SpecOptions, SpecSet, TargetRef};
     pub use cesc_trace::{ClockDomain, ClockSet, GlobalRun, Trace, TraceGen};
 }

@@ -62,6 +62,9 @@ fn run() -> Result<(String, bool), cli::CliError> {
             "--force" => {
                 force = true;
             }
+            "--no-opt" => {
+                check_opts.no_opt = true;
+            }
             "--cosim" => {
                 cosim = true;
             }
@@ -99,12 +102,24 @@ fn run() -> Result<(String, bool), cli::CliError> {
                 cli::CliError::Usage("synth --all-charts requires --out-dir DIR".to_owned())
             })?;
             Ok((
-                cli::synth_all(&source, format, std::path::Path::new(&out_dir), force)?,
+                cli::synth_all_with(
+                    &source,
+                    format,
+                    std::path::Path::new(&out_dir),
+                    force,
+                    !check_opts.no_opt,
+                )?,
                 false,
             ))
         }
         "synth" => Ok((
-            cli::synth(&source, charts.first().map(String::as_str), format, force)?,
+            cli::synth_with(
+                &source,
+                charts.first().map(String::as_str),
+                format,
+                force,
+                !check_opts.no_opt,
+            )?,
             false,
         )),
         "check" => {

@@ -412,7 +412,7 @@ fn fleet_json_report_is_machine_readable() {
     };
     let outcome = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
     let out = &outcome.output;
-    assert!(out.starts_with("{\"schema\":\"cesc-check/1\""), "{out}");
+    assert!(out.starts_with("{\"schema\":\"cesc-check/2\""), "{out}");
     assert!(out.contains("\"jobs\":2"), "{out}");
     assert!(out.contains("\"failed\":true"), "{out}");
     assert!(out.contains("\"kind\":\"chart\""), "{out}");
@@ -584,7 +584,7 @@ fn usage_covers_every_flag() {
     let text = usage();
     for flag in [
         "--chart", "--format", "--vcd", "--clock", "--all-matches", "--jobs", "--json",
-        "--all-charts", "--cosim", "--out-dir", "--force",
+        "--all-charts", "--cosim", "--out-dir", "--force", "--no-opt",
     ] {
         assert!(text.contains(flag), "usage misses {flag}: {text}");
     }
@@ -601,4 +601,75 @@ fn errors_are_reported() {
     let err = check(SPEC, "hs", b"not a vcd".as_slice(), "clk", &CheckOptions::default())
         .unwrap_err();
     assert!(err.to_string().contains("clk"));
+}
+
+#[test]
+fn synth_summary_reports_the_pass_pipeline() {
+    let summary = synth(SPEC, Some("hs"), SynthFormat::Summary, false).unwrap();
+    assert!(summary.contains("opt: states"), "{summary}");
+    assert!(summary.contains("scoreboard slots"), "{summary}");
+    // --no-opt: same monitor, explicit marker instead of a report
+    let raw = cesc::cli::synth_with(SPEC, Some("hs"), SynthFormat::Summary, false, false)
+        .unwrap();
+    assert!(raw.contains("opt: disabled (--no-opt)"), "{raw}");
+    assert!(raw.contains("analysis:"), "{raw}");
+}
+
+#[test]
+fn fleet_json_opt_report_follows_the_no_opt_flag() {
+    let vcd = fleet_vcd(true);
+    let opts = CheckOptions {
+        json: true,
+        ..Default::default()
+    };
+    let outcome = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
+    assert!(outcome.output.contains("\"opt\":{\"states\":["), "{}", outcome.output);
+    assert!(outcome.output.contains("\"slots\":["), "{}", outcome.output);
+
+    let no_opt = CheckOptions {
+        json: true,
+        no_opt: true,
+        ..Default::default()
+    };
+    let raw = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &no_opt).unwrap();
+    assert!(!raw.output.contains("\"opt\""), "{}", raw.output);
+    // verdicts are identical either way
+    let strip = |s: &str| {
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(i) = rest.find(",\"opt\":{") {
+            out.push_str(&rest[..i]);
+            let tail = &rest[i + 8..];
+            let end = tail.find('}').expect("opt object closes");
+            rest = &tail[end + 1..];
+        }
+        out.push_str(rest);
+        out
+    };
+    assert_eq!(strip(&outcome.output), raw.output);
+}
+
+#[test]
+fn no_opt_check_matches_optimized_verdicts() {
+    let vcd = fleet_vcd(true);
+    let optimized = check(
+        FLEET_SPEC,
+        "hs",
+        vcd.as_bytes(),
+        "clk",
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    let raw = check(
+        FLEET_SPEC,
+        "hs",
+        vcd.as_bytes(),
+        "clk",
+        &CheckOptions {
+            no_opt: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(optimized, raw);
 }
