@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl verify-spec build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz build test doc bench clean
 
-verify: ## release build + examples + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim + spec pipeline
+verify: ## release build + examples + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim + spec pipeline + fuzz campaign
 	$(CARGO) build --release
 	$(CARGO) build --examples
 	$(CARGO) test -q
@@ -13,6 +13,7 @@ verify: ## release build + examples + full test suite + clean rustdoc + benches 
 	$(MAKE) verify-par
 	$(MAKE) verify-rtl
 	$(MAKE) verify-spec
+	$(MAKE) verify-fuzz
 
 verify-spec: ## optimized == unoptimized: cesc-spec unit suite + the opt-equivalence property suite + the opt bench compiles
 	$(CARGO) test -q -p cesc-spec
@@ -25,6 +26,12 @@ verify-rtl: ## emitted RTL == engine: cesc-rtl unit tests + the co-simulation pr
 	$(CARGO) test -q --test rtl_cosim
 	$(CARGO) test -q --test streaming_check cosim_mode
 	$(CARGO) bench -p cesc-bench --bench rtl_throughput --no-run
+
+verify-fuzz: ## differential fuzzing gate: cesc-fuzz unit suite, corpus replay, CLI/bus end-to-end smoke, then a 1,000-case deterministic campaign + panic-freedom sweeps (fixed seed, replayable)
+	$(CARGO) test -q -p cesc-fuzz
+	$(CARGO) test -q --test corpus_replay
+	$(CARGO) test -q --test fuzz_campaign
+	$(CARGO) run --release --quiet -- fuzz --cases 1000 --sweep-cases 1000 --seed 0xCE5CF022
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run

@@ -1348,4 +1348,108 @@ mod tests {
         exec.feed(&trace, &mut hits2);
         assert_eq!(hits, hits2, "reset restores initial configuration");
     }
+
+    /// A conjunction-only chart over exactly `n` symbols whose guards
+    /// mention the first and last of them — the last symbol's bit is
+    /// the mask's high-water mark.
+    fn wide_monitor(n: usize) -> Monitor {
+        let events: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+        let last = &events[n - 1];
+        let src = format!(
+            "scesc wide on clk {{\n    instances {{ M }}\n    events {{ {} }}\n    \
+             tick {{ M: e0, {last} }}\n    tick {{ M: {last}, !e0 }}\n    \
+             cause e0@0 -> {last}@1;\n}}\n",
+            events.join(", ")
+        );
+        let doc = parse_document(&src).unwrap();
+        synthesize(doc.chart("wide").unwrap(), &SynthOptions::default()).unwrap()
+    }
+
+    /// Traces exercising the top symbol bit of an `n`-symbol alphabet:
+    /// the witness pattern interleaved with bit-soup valuations.
+    fn wide_trace(n: usize, len: usize) -> Vec<Valuation> {
+        let first: u128 = 1;
+        let last: u128 = 1 << (n - 1);
+        (0..len)
+            .map(|i| match i % 5 {
+                0 => Valuation::from_bits(first | last),
+                1 => Valuation::from_bits(last),
+                2 => Valuation::from_bits(first),
+                3 => Valuation::empty(),
+                _ => Valuation::from_bits(((i as u128) * 0x9E37_79B9_7F4A_7C15) & ((1 << n) - 1)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn masks_narrow_at_exactly_64_symbols() {
+        // REGRESSION for the GuardMask64 boundary: bit 63 is the
+        // *highest* bit that still fits the narrowed form. A 64-symbol
+        // chart must narrow every conjunction guard — including the
+        // ones whose masks carry bit 63 — and agree with the raw
+        // (u128) evaluation everywhere.
+        let m = wide_monitor(64);
+        let narrowed = m.compiled_with(&CompileOptions::optimized());
+        let (mut n64, mut wide, mut top_bit_narrowed) = (0usize, 0usize, false);
+        for g in &narrowed.guards {
+            match g {
+                GuardKind::Mask64(gm) => {
+                    n64 += 1;
+                    if (gm.pos | gm.neg) & (1 << 63) != 0 {
+                        top_bit_narrowed = true;
+                    }
+                }
+                GuardKind::Mask(_) => wide += 1,
+                GuardKind::Program(..) => {}
+            }
+        }
+        assert!(n64 > 0 && wide == 0, "{n64} narrowed / {wide} wide: all must narrow");
+        assert!(top_bit_narrowed, "no narrowed mask carries bit 63");
+
+        let trace = wide_trace(64, 200);
+        let raw = m.compiled_with(&CompileOptions::raw());
+        for c in [&narrowed, &raw] {
+            let mut exec = c.executor();
+            let mut hits = Vec::new();
+            exec.feed(&trace, &mut hits);
+            assert_eq!(exec.finish(hits), m.scan(trace.iter().copied()));
+        }
+    }
+
+    #[test]
+    fn masks_stay_wide_at_65_symbols() {
+        // One symbol past the boundary: guards whose masks mention
+        // bit 64 must refuse to narrow (truncating them to u64 would
+        // silently drop the constraint) while verdicts stay identical
+        // to the raw compile.
+        let m = wide_monitor(65);
+        let compiled = m.compiled_with(&CompileOptions::optimized());
+        let mut wide_with_top = 0usize;
+        for g in &compiled.guards {
+            match g {
+                GuardKind::Mask(gm) => {
+                    if (gm.pos | gm.neg) >> 64 != 0 {
+                        wide_with_top += 1;
+                    }
+                }
+                // a guard not mentioning e64 may still narrow — but
+                // its masks must then be silent above bit 63
+                GuardKind::Mask64(_) | GuardKind::Program(..) => {}
+            }
+        }
+        assert!(wide_with_top > 0, "bit-64 guards vanished from the wide path");
+
+        let trace = wide_trace(65, 200);
+        let raw = m.compiled_with(&CompileOptions::raw());
+        for c in [&compiled, &raw] {
+            let mut exec = c.executor();
+            let mut hits = Vec::new();
+            exec.feed(&trace, &mut hits);
+            assert_eq!(exec.finish(hits), m.scan(trace.iter().copied()));
+        }
+        assert!(
+            !m.scan(trace.iter().copied()).matches.is_empty(),
+            "boundary trace never completes the scenario — the agreement above is vacuous"
+        );
+    }
 }

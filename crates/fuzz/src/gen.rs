@@ -1,0 +1,441 @@
+//! Seeded structured generators for CESC specification source text.
+//!
+//! Everything here is deterministic in the seed: the same
+//! [`SpecGen::new`] seed produces byte-identical documents, which is
+//! what lets a failing campaign case be replayed from its `(seed,
+//! index)` coordinates alone.
+//!
+//! Generated documents are *mostly* valid by construction — positive
+//! and negative occurrences within a tick are kept disjoint, arrows
+//! point strictly forward and name real occurrences — but the
+//! generator deliberately keeps a tail of awkward shapes (empty ticks,
+//! guards that may contradict a negation, unconstrained charts) so the
+//! parser/synthesizer error paths stay exercised. Hostile inputs for
+//! the panic-freedom sweeps come from [`SpecGen::hostile_bytes`] and
+//! [`SpecGen::mutate_source`].
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated chart: its name and declared clock.
+#[derive(Debug, Clone)]
+pub struct GeneratedChart {
+    /// The chart name.
+    pub name: String,
+    /// The chart's declared clock.
+    pub clock: String,
+}
+
+/// A generated specification document plus the structure metadata the
+/// oracles need to drive it.
+#[derive(Debug, Clone)]
+pub struct GeneratedDoc {
+    /// The full textual CESC source.
+    pub source: String,
+    /// The basic charts, in document order.
+    pub charts: Vec<GeneratedChart>,
+    /// Name of the generated `multiclock` spec, if any.
+    pub multiclock: Option<String>,
+    /// Name of the generated `implies(...)` composition, if any.
+    pub assert: Option<String>,
+}
+
+/// The seeded source generator.
+#[derive(Debug, Clone)]
+pub struct SpecGen {
+    rng: StdRng,
+    serial: u64,
+}
+
+impl SpecGen {
+    /// A generator whose whole output stream is a pure function of
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        SpecGen {
+            rng: StdRng::seed_from_u64(seed),
+            serial: 0,
+        }
+    }
+
+    /// Direct access to the underlying RNG (the trace generators share
+    /// the stream so a case is reproducible from one seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Generates one specification document.
+    pub fn document(&mut self) -> GeneratedDoc {
+        self.serial += 1;
+        let serial = self.serial;
+        let n_charts = self.rng.random_range(1..=3usize);
+        let with_mc = n_charts >= 2 && self.rng.random_bool(0.3);
+
+        let mut source = String::new();
+        let mut charts = Vec::with_capacity(n_charts);
+        // per-chart positive occurrences as (tick, event-name), for
+        // cross-domain arrows
+        let mut chart_positives: Vec<Vec<(usize, String)>> = Vec::with_capacity(n_charts);
+
+        for ci in 0..n_charts {
+            // multiclock members need disjoint clocks and (to keep
+            // cross-arrow endpoints unambiguous) disjoint event pools
+            let (clock, pool) = if with_mc && ci < 2 {
+                (format!("mclk{ci}"), format!("m{ci}_e"))
+            } else {
+                ("clk".to_owned(), "e".to_owned())
+            };
+            let name = format!("g{serial}_c{ci}");
+            let positives = self.chart(&mut source, &name, &clock, &pool);
+            chart_positives.push(positives);
+            charts.push(GeneratedChart { name, clock });
+        }
+
+        let multiclock = if with_mc {
+            let name = format!("g{serial}_mc");
+            self.multiclock(&mut source, &name, &charts[..2], &chart_positives[..2]);
+            Some(name)
+        } else {
+            None
+        };
+
+        // an implies(...) composition over two same-clock charts
+        let same_clock: Vec<&GeneratedChart> =
+            charts.iter().filter(|c| c.clock == "clk").collect();
+        let assert = if same_clock.len() >= 2 && self.rng.random_bool(0.3) {
+            let name = format!("g{serial}_a");
+            let a = same_clock[0].name.clone();
+            let b = same_clock[1].name.clone();
+            if self.rng.random_bool(0.2) {
+                let _ = writeln!(source, "cesc {name} {{ implies(seq({a}, {a}), {b}) }}");
+            } else {
+                let _ = writeln!(source, "cesc {name} {{ implies({a}, {b}) }}");
+            }
+            Some(name)
+        } else {
+            None
+        };
+
+        GeneratedDoc {
+            source,
+            charts,
+            multiclock,
+            assert,
+        }
+    }
+
+    /// Appends one chart to `source`; returns its positive
+    /// occurrences as `(tick, event-name)`.
+    fn chart(
+        &mut self,
+        source: &mut String,
+        name: &str,
+        clock: &str,
+        pool: &str,
+    ) -> Vec<(usize, String)> {
+        let n_events = self.rng.random_range(2..=7usize);
+        let n_ticks = self.rng.random_range(1..=4usize);
+        let events: Vec<String> = (0..n_events).map(|i| format!("{pool}{i}")).collect();
+        let n_props = self.rng.random_range(0..=2usize);
+        let props: Vec<String> = (0..n_props).map(|i| format!("{pool}p{i}")).collect();
+
+        let _ = writeln!(source, "scesc {name} on {clock} {{");
+        let _ = writeln!(source, "    instances {{ M, S }}");
+        let _ = writeln!(source, "    events {{ {} }}", events.join(", "));
+        if !props.is_empty() {
+            let _ = writeln!(source, "    props {{ {} }}", props.join(", "));
+        }
+
+        let mut positives: Vec<(usize, String)> = Vec::new();
+        for t in 0..n_ticks {
+            let mut pos: Vec<String> = Vec::new();
+            let mut neg: Vec<String> = Vec::new();
+            for e in &events {
+                let roll = self.rng.random_range(0..100u32);
+                if roll < 45 {
+                    pos.push(e.clone());
+                } else if roll < 60 {
+                    neg.push(format!("!{e}"));
+                }
+            }
+            // occasional guard on a positive occurrence, drawn from the
+            // declared prop pool (event names would be a kind clash)
+            if !pos.is_empty() && !props.is_empty() && self.rng.random_bool(0.3) {
+                let gi = self.rng.random_range(0..pos.len());
+                let gp = &props[self.rng.random_range(0..props.len())];
+                let guard = if self.rng.random_bool(0.25) {
+                    format!("!{gp}")
+                } else {
+                    gp.clone()
+                };
+                pos[gi] = format!("{} if {guard}", pos[gi]);
+            }
+            for p in &pos {
+                let bare = p.split_whitespace().next().unwrap().to_owned();
+                positives.push((t, bare));
+            }
+            if pos.is_empty() && neg.is_empty() {
+                let _ = writeln!(source, "    tick;");
+                continue;
+            }
+            // split occurrences across the two instances
+            let mut m_occ: Vec<String> = Vec::new();
+            let mut s_occ: Vec<String> = Vec::new();
+            for (i, occ) in pos.iter().chain(neg.iter()).enumerate() {
+                if i % 2 == 0 {
+                    m_occ.push(occ.clone());
+                } else {
+                    s_occ.push(occ.clone());
+                }
+            }
+            let mut line = String::from("    tick { ");
+            if !m_occ.is_empty() {
+                let _ = write!(line, "M: {}", m_occ.join(", "));
+            }
+            if !s_occ.is_empty() {
+                if !m_occ.is_empty() {
+                    line.push_str("; ");
+                }
+                let _ = write!(line, "S: {}", s_occ.join(", "));
+            }
+            line.push_str(" }");
+            let _ = writeln!(source, "{line}");
+        }
+
+        // forward arrows between real occurrences
+        let n_arrows = self.rng.random_range(0..=3usize);
+        let mut emitted: Vec<(usize, String, usize, String)> = Vec::new();
+        for _ in 0..n_arrows {
+            if positives.len() < 2 {
+                break;
+            }
+            let (t1, e1) = positives[self.rng.random_range(0..positives.len())].clone();
+            let (t2, e2) = positives[self.rng.random_range(0..positives.len())].clone();
+            if t1 >= t2 {
+                continue;
+            }
+            let key = (t1, e1.clone(), t2, e2.clone());
+            if emitted.contains(&key) {
+                continue;
+            }
+            let _ = writeln!(source, "    cause {e1}@{t1} -> {e2}@{t2};");
+            emitted.push(key);
+        }
+        let _ = writeln!(source, "}}");
+        positives
+    }
+
+    /// Appends a `multiclock` item grouping the first two charts, with
+    /// cross-domain arrows between events that occur exactly once.
+    fn multiclock(
+        &mut self,
+        source: &mut String,
+        name: &str,
+        members: &[GeneratedChart],
+        positives: &[Vec<(usize, String)>],
+    ) {
+        let _ = writeln!(source, "multiclock {name} {{");
+        let _ = writeln!(
+            source,
+            "    charts {{ {}, {} }}",
+            members[0].name, members[1].name
+        );
+        let unique = |occ: &[(usize, String)]| -> Vec<String> {
+            let mut names: Vec<String> = Vec::new();
+            for (_, e) in occ {
+                if occ.iter().filter(|(_, o)| o == e).count() == 1 && !names.contains(e) {
+                    names.push(e.clone());
+                }
+            }
+            names
+        };
+        let from = unique(&positives[0]);
+        let to = unique(&positives[1]);
+        if !from.is_empty() && !to.is_empty() {
+            for _ in 0..self.rng.random_range(0..=2usize) {
+                let a = &from[self.rng.random_range(0..from.len())];
+                let b = &to[self.rng.random_range(0..to.len())];
+                let _ = writeln!(source, "    cause {a} -> {b};");
+            }
+        }
+        let _ = writeln!(source, "}}");
+    }
+
+    /// A chart over exactly `n` declared symbols whose guard masks
+    /// reference the first and last of them — `wide_doc(64)` puts bit
+    /// 63 in every mask (the [`u64`] narrowing boundary), `wide_doc(65)`
+    /// puts bit 64 there (which must refuse to narrow).
+    pub fn wide_doc(n: usize) -> String {
+        assert!((2..=128).contains(&n), "alphabet budget is 128 symbols");
+        let events: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+        let last = &events[n - 1];
+        format!(
+            "scesc wide{n} on clk {{\n    instances {{ M }}\n    events {{ {} }}\n    \
+             tick {{ M: e0, {last} }}\n    tick {{ M: {last}, !e0 }}\n    \
+             cause e0@0 -> {last}@1;\n}}\n",
+            events.join(", ")
+        )
+    }
+
+    /// `max_len` arbitrary bytes — the fully hostile end of the parser
+    /// sweeps. Interior NULs, invalid UTF-8 and control characters
+    /// included.
+    pub fn hostile_bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.rng.random_range(0..=max_len);
+        (0..len).map(|_| self.rng.random_range(0..=255u32) as u8).collect()
+    }
+
+    /// Mutates valid source text: byte flips, truncations, line
+    /// deletions/duplications and keyword splices. The result is
+    /// usually *almost* a specification — the inputs most likely to
+    /// reach deep parser states before failing.
+    pub fn mutate_source(&mut self, src: &str) -> Vec<u8> {
+        let mut bytes = src.as_bytes().to_vec();
+        let rounds = self.rng.random_range(1..=4usize);
+        for _ in 0..rounds {
+            if bytes.is_empty() {
+                break;
+            }
+            match self.rng.random_range(0..5u32) {
+                0 => {
+                    // flip one byte
+                    let i = self.rng.random_range(0..bytes.len());
+                    bytes[i] = self.rng.random_range(0..=255u32) as u8;
+                }
+                1 => {
+                    // truncate
+                    let i = self.rng.random_range(0..bytes.len());
+                    bytes.truncate(i);
+                }
+                2 => {
+                    // delete a line
+                    let text = String::from_utf8_lossy(&bytes).into_owned();
+                    let lines: Vec<&str> = text.lines().collect();
+                    if lines.len() > 1 {
+                        let del = self.rng.random_range(0..lines.len());
+                        bytes = lines
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != del)
+                            .map(|(_, l)| *l)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                            .into_bytes();
+                    }
+                }
+                3 => {
+                    // duplicate a span
+                    let i = self.rng.random_range(0..bytes.len());
+                    let j = self.rng.random_range(i..bytes.len());
+                    let span: Vec<u8> = bytes[i..=j.min(i + 32)].to_vec();
+                    let at = self.rng.random_range(0..=bytes.len());
+                    bytes.splice(at..at, span);
+                }
+                _ => {
+                    // splice a keyword fragment somewhere surprising
+                    const FRAGS: &[&str] = &[
+                        "scesc", "tick {", "cause", "@", "->", "}}", "implies(", "multiclock",
+                        "events {", "if", "!", "charts", "on", ";;", "\0",
+                    ];
+                    let frag = FRAGS[self.rng.random_range(0..FRAGS.len())];
+                    let at = self.rng.random_range(0..=bytes.len());
+                    bytes.splice(at..at, frag.bytes());
+                }
+            }
+        }
+        bytes
+    }
+
+    /// A guard-expression string for the expression-parser sweep:
+    /// sometimes well-formed, sometimes a shuffled token soup.
+    pub fn expr_input(&mut self) -> String {
+        if self.rng.random_bool(0.5) {
+            // plausibly well-formed, by nested construction
+            self.expr_tree(3)
+        } else {
+            const TOKS: &[&str] = &[
+                "e0", "e1", "p2", "!", "&", "|", "(", ")", "true", "false", "Chk_evt", "(e0)",
+                ",", "@", "if", "", " ",
+            ];
+            let n = self.rng.random_range(0..16usize);
+            (0..n)
+                .map(|_| TOKS[self.rng.random_range(0..TOKS.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    }
+
+    fn expr_tree(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.random_bool(0.4) {
+            return match self.rng.random_range(0..4u32) {
+                0 => "true".to_owned(),
+                1 => "false".to_owned(),
+                2 => format!("e{}", self.rng.random_range(0..6u32)),
+                _ => format!("Chk_evt(e{})", self.rng.random_range(0..6u32)),
+            };
+        }
+        match self.rng.random_range(0..3u32) {
+            0 => format!("!{}", self.expr_tree(depth - 1)),
+            1 => format!(
+                "({} & {})",
+                self.expr_tree(depth - 1),
+                self.expr_tree(depth - 1)
+            ),
+            _ => format!(
+                "({} | {})",
+                self.expr_tree(depth - 1),
+                self.expr_tree(depth - 1)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SpecGen::new(42);
+        let mut b = SpecGen::new(42);
+        for _ in 0..20 {
+            assert_eq!(a.document().source, b.document().source);
+        }
+    }
+
+    #[test]
+    fn most_documents_parse() {
+        let mut g = SpecGen::new(7);
+        let mut ok = 0usize;
+        const N: usize = 200;
+        for _ in 0..N {
+            if parse_document(&g.document().source).is_ok() {
+                ok += 1;
+            }
+        }
+        // the generator intentionally keeps some invalid tail, but the
+        // differential campaign needs a high valid yield to be useful
+        assert!(ok * 10 >= N * 7, "only {ok}/{N} generated documents parsed");
+    }
+
+    #[test]
+    fn wide_docs_parse_with_exact_alphabet() {
+        for n in [2, 63, 64, 65, 128] {
+            let doc = parse_document(&SpecGen::wide_doc(n)).unwrap();
+            assert_eq!(doc.alphabet.len(), n, "wide_doc({n})");
+        }
+    }
+
+    #[test]
+    fn hostile_and_mutated_inputs_are_deterministic() {
+        let mut a = SpecGen::new(9);
+        let mut b = SpecGen::new(9);
+        let src = a.document().source;
+        let _ = b.document();
+        assert_eq!(a.hostile_bytes(64), b.hostile_bytes(64));
+        assert_eq!(a.mutate_source(&src), b.mutate_source(&src));
+        assert_eq!(a.expr_input(), b.expr_input());
+    }
+}

@@ -1,0 +1,433 @@
+//! Differential verdict oracles: four independent implementations of
+//! the same verdict function, cross-checked on every generated case.
+//!
+//! For a single-clock chart the four legs are
+//!
+//! 1. the **baseline engine** — the raw compilation of the synthesized
+//!    monitor, scanned in one batch;
+//! 2. the **optimized engine** — the pass-pipeline monitor compiled
+//!    with the optimizing options, fed in arbitrary chunks;
+//! 3. the **sharded fleet** — `cesc-par`'s worker threads over an
+//!    arbitrary shard count and the same chunking;
+//! 4. the **RTL interpreter** — the emitted Verilog evaluated
+//!    cycle-accurately against the engine by `cesc-rtl`.
+//!
+//! Any disagreement is a [`Discrepancy`] carrying enough context to
+//! replay and minimize the case. Assert compositions are checked
+//! serial-vs-sharded, and multiclock specs serial-vs-sharded over an
+//! interleaved global run.
+
+use cesc_core::{CompiledMonitor, ScanReport};
+use cesc_expr::Valuation;
+use cesc_hdl::VerilogOptions;
+use cesc_par::{plan_shards, scan_sharded, scan_sharded_global, Fleet, ParOptions};
+use cesc_rtl::{cosim_scan, report_agrees};
+use cesc_spec::{SpecSet, TargetRef};
+use cesc_trace::{ClockDomain, ClockSet, GlobalRun, Trace};
+
+/// Scans a compiled monitor over `trace` fed in `chunk`-sized pieces.
+fn scan_chunked(monitor: &CompiledMonitor, trace: &[Valuation], chunk: usize) -> ScanReport {
+    let mut exec = monitor.executor();
+    let mut hits = Vec::new();
+    for c in trace.chunks(chunk.max(1)) {
+        exec.feed(c, &mut hits);
+    }
+    exec.finish(hits)
+}
+
+/// One single-clock differential case: a document, a stimulus trace
+/// and the execution geometry.
+#[derive(Debug, Clone)]
+pub struct CaseInput {
+    /// The specification source text.
+    pub source: String,
+    /// The stimulus trace.
+    pub trace: Trace,
+    /// Chunk size for the optimized-engine and fleet legs.
+    pub chunk: usize,
+    /// Shard count for the fleet leg.
+    pub jobs: usize,
+}
+
+/// Where two implementations disagreed.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    /// Which pair of legs diverged (e.g. `"optimized-engine"`).
+    pub stage: String,
+    /// The chart / spec / assert the verdicts were about.
+    pub target: String,
+    /// Human-readable detail of the two verdicts.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.stage, self.target, self.detail)
+    }
+}
+
+/// What a case that did not diverge looked like.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// The document was rejected by parse/synthesis (a legitimate
+    /// outcome for generated input — errors are fine, panics are not).
+    pub rejected: bool,
+    /// Charts whose four legs all agreed.
+    pub charts_checked: usize,
+    /// Assert compositions checked serial-vs-sharded.
+    pub asserts_checked: usize,
+    /// Total matches observed across agreeing charts (a campaign-level
+    /// sanity signal that stimuli actually complete scenarios).
+    pub matches: u64,
+}
+
+/// Runs the four-way differential on one case.
+///
+/// # Errors
+///
+/// Returns the first [`Discrepancy`] between any two legs.
+pub fn run_case(input: &CaseInput) -> Result<CaseReport, Box<Discrepancy>> {
+    let mut report = CaseReport::default();
+    let set = match SpecSet::load(&input.source) {
+        Ok(s) => s,
+        Err(_) => {
+            report.rejected = true;
+            return Ok(report);
+        }
+    };
+    let trace = input.trace.as_slice();
+    let chunk = input.chunk.max(1);
+
+    // compile every chart once; charts the pipeline rejects
+    // (unsatisfiable grids etc.) are skipped, not failures
+    let mut compiled_idx = Vec::new();
+    for idx in 0..set.document().charts.len() {
+        if set.chart_spec(idx).is_ok() {
+            compiled_idx.push(idx);
+        }
+    }
+
+    // leg 1 for every chart: the baseline engine
+    let baselines: Vec<_> = compiled_idx
+        .iter()
+        .map(|&idx| {
+            let spec = set.chart_spec(idx).expect("compiled above");
+            (idx, scan_chunked(spec.baseline(), trace, trace.len()))
+        })
+        .collect();
+
+    // leg 2: optimized engine, chunk-fed
+    for &(idx, ref base) in &baselines {
+        let spec = set.chart_spec(idx).expect("compiled above");
+        let name = set.target_name(TargetRef::Chart(idx)).to_owned();
+        let opt = scan_chunked(spec.compiled(), trace, chunk);
+        if opt.matches != base.matches || opt.ticks != base.ticks || opt.underflows != base.underflows
+        {
+            return Err(Box::new(Discrepancy {
+                stage: "optimized-engine".into(),
+                target: name,
+                detail: format!(
+                    "baseline matches {:?} (ticks {}, underflows {}) vs optimized {:?} ({}, {})",
+                    base.matches, base.ticks, base.underflows, opt.matches, opt.ticks,
+                    opt.underflows
+                ),
+            }));
+        }
+    }
+
+    // leg 3: the sharded fleet (charts + asserts in one fleet)
+    let mut fleet = Fleet::new();
+    for &(idx, _) in &baselines {
+        let spec = set.chart_spec(idx).expect("compiled above");
+        fleet.add_compiled(spec.compiled().clone());
+    }
+    let mut assert_names = Vec::new();
+    for idx in 0..set.document().compositions.len() {
+        if let Ok(a) = set.assert_spec(idx) {
+            assert_names.push(a.name().to_owned());
+            fleet.add_assert(cesc_par::AssertSpec::new(
+                a.name(),
+                a.clock(),
+                a.antecedent().clone(),
+                a.consequent().clone(),
+            ));
+        }
+    }
+    if !fleet.is_empty() {
+        let opts = ParOptions::default();
+        let sharded = scan_sharded(&fleet, &plan_shards(&fleet, input.jobs), &opts, trace, chunk);
+        let serial = scan_sharded(&fleet, &plan_shards(&fleet, 1), &opts, trace, chunk);
+        for (i, &(idx, ref base)) in baselines.iter().enumerate() {
+            let name = set.target_name(TargetRef::Chart(idx)).to_owned();
+            let got = sharded.singles[i].log.all().unwrap_or(&[]);
+            if got != base.matches.as_slice() || sharded.singles[i].ticks != base.ticks {
+                return Err(Box::new(Discrepancy {
+                    stage: "sharded-fleet".into(),
+                    target: name,
+                    detail: format!(
+                        "baseline matches {:?} vs fleet({} jobs) {:?}",
+                        base.matches, input.jobs, got
+                    ),
+                }));
+            }
+        }
+        for (i, name) in assert_names.iter().enumerate() {
+            let (a, b) = (&serial.asserts[i], &sharded.asserts[i]);
+            if a.verdict != b.verdict
+                || a.fulfilled != b.fulfilled
+                || a.violation_count != b.violation_count
+                || a.outstanding != b.outstanding
+            {
+                return Err(Box::new(Discrepancy {
+                    stage: "sharded-assert".into(),
+                    target: name.clone(),
+                    detail: format!(
+                        "serial {:?}/{}+{} vs sharded({} jobs) {:?}/{}+{}",
+                        a.verdict, a.fulfilled, a.violation_count, input.jobs, b.verdict,
+                        b.fulfilled, b.violation_count
+                    ),
+                }));
+            }
+            report.asserts_checked += 1;
+        }
+    }
+
+    // leg 4: the RTL interpreter against the baseline verdicts
+    for &(idx, ref base) in &baselines {
+        let spec = set.chart_spec(idx).expect("compiled above");
+        let name = set.target_name(TargetRef::Chart(idx)).to_owned();
+        match cosim_scan(
+            spec.monitor(),
+            set.alphabet(),
+            &VerilogOptions::default(),
+            input.trace.iter(),
+        ) {
+            Err(d) => {
+                return Err(Box::new(Discrepancy {
+                    stage: "rtl-cosim".into(),
+                    target: name,
+                    detail: d.to_string(),
+                }));
+            }
+            Ok(r) => {
+                if !report_agrees(&r, base) {
+                    return Err(Box::new(Discrepancy {
+                        stage: "rtl-verdict".into(),
+                        target: name,
+                        detail: format!(
+                            "engine matches {:?} vs RTL {:?}",
+                            base.matches, r.matches
+                        ),
+                    }));
+                }
+            }
+        }
+        report.charts_checked += 1;
+        report.matches += base.matches.len() as u64;
+    }
+    Ok(report)
+}
+
+/// One multiclock differential case: per-clock traces interleaved on a
+/// generated schedule, checked serial-vs-sharded.
+#[derive(Debug, Clone)]
+pub struct MultiCaseInput {
+    /// The specification source text (must contain a multiclock spec).
+    pub source: String,
+    /// `(clock name, period, phase, trace)` per domain.
+    pub domains: Vec<(String, u64, u64, Trace)>,
+    /// Chunk size for the fleet leg.
+    pub chunk: usize,
+    /// Shard count for the fleet leg.
+    pub jobs: usize,
+}
+
+/// Runs the serial-vs-sharded differential on every multiclock spec
+/// of the document.
+///
+/// # Errors
+///
+/// Returns the first [`Discrepancy`] between the two legs.
+pub fn run_multiclock_case(input: &MultiCaseInput) -> Result<CaseReport, Box<Discrepancy>> {
+    let mut report = CaseReport::default();
+    let set = match SpecSet::load(&input.source) {
+        Ok(s) => s,
+        Err(_) => {
+            report.rejected = true;
+            return Ok(report);
+        }
+    };
+    let mut clocks = ClockSet::new();
+    let mut traces = Vec::new();
+    for (name, period, phase, trace) in &input.domains {
+        let id = clocks.add(ClockDomain::new(name, *period, *phase));
+        traces.push((id, trace.clone()));
+    }
+    let run = match GlobalRun::interleave(&clocks, &traces) {
+        Ok(r) => r,
+        Err(_) => {
+            // inconsistent schedule/length combination — a skip, the
+            // campaign's length calculator should make this rare
+            report.rejected = true;
+            return Ok(report);
+        }
+    };
+
+    for idx in 0..set.document().multiclock.len() {
+        let Ok(spec) = set.multi_spec(idx) else { continue };
+        let name = set.target_name(TargetRef::Multi(idx)).to_owned();
+        let serial = spec.monitor().scan(&clocks, &run);
+
+        let mut fleet = Fleet::new();
+        fleet.add_compiled_multiclock(spec.compiled().clone());
+        let sharded = scan_sharded_global(
+            &fleet,
+            &plan_shards(&fleet, input.jobs),
+            &clocks,
+            &ParOptions::default(),
+            run.as_slice(),
+            input.chunk.max(1),
+        );
+        let got = sharded.multis[0].log.all().unwrap_or(&[]);
+        if got != serial.as_slice() {
+            return Err(Box::new(Discrepancy {
+                stage: "sharded-multiclock".into(),
+                target: name,
+                detail: format!(
+                    "serial matches {:?} vs fleet({} jobs) {:?}",
+                    serial, input.jobs, got
+                ),
+            }));
+        }
+        report.charts_checked += 1;
+        report.matches += serial.len() as u64;
+    }
+    Ok(report)
+}
+
+/// Panic-freedom wrappers: the parsers and the VCD reader must reject
+/// hostile input with an error, never a panic. Each returns the panic
+/// payload if one escaped.
+pub mod total {
+    use cesc_expr::{Alphabet, NameResolution, SymbolKind};
+    use cesc_trace::{GlobalVcdStream, VcdClockSpec, VcdStream};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn payload(e: Box<dyn std::any::Any + Send>) -> String {
+        e.downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| e.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned())
+    }
+
+    /// Drives the chart parser over arbitrary bytes (lossily decoded —
+    /// the CLI path reads files as UTF-8, but the parser itself must
+    /// be total on any `&str`).
+    pub fn chart_parser(bytes: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(bytes);
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ = cesc_chart::parse_document(&text);
+        }))
+        .map_err(payload)
+    }
+
+    /// Drives the guard-expression parser over arbitrary text.
+    pub fn expr_parser(text: &str) -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut ab = Alphabet::new();
+            let _ = cesc_expr::parse_expr(text, &mut ab, NameResolution::Intern(SymbolKind::Event));
+        }))
+        .map_err(payload)
+    }
+
+    /// Drives the streaming VCD reader (header parse + full drain)
+    /// over arbitrary bytes.
+    pub fn vcd_reader(bytes: &[u8]) -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut ab = Alphabet::new();
+            for i in 0..4 {
+                ab.event(&format!("e{i}"));
+            }
+            if let Ok(mut s) = VcdStream::from_reader(bytes, &ab, "clk") {
+                let mut buf = Vec::new();
+                while matches!(s.next_chunk(&mut buf, 64), Ok(n) if n > 0) {}
+            }
+        }))
+        .map_err(payload)
+    }
+
+    /// Drives the multi-clock VCD reader over arbitrary bytes.
+    pub fn global_vcd_reader(bytes: &[u8]) -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut ab = Alphabet::new();
+            for i in 0..4 {
+                ab.event(&format!("e{i}"));
+            }
+            let specs = [VcdClockSpec::new("clk1"), VcdClockSpec::new("clk2")];
+            if let Ok(mut s) = GlobalVcdStream::from_reader(bytes, &ab, &specs) {
+                let mut buf = Vec::new();
+                while matches!(s.next_chunk(&mut buf, 64), Ok(n) if n > 0) {}
+            }
+        }))
+        .map_err(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_protocols::bus_library_src;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bus_library_agrees_on_stimulus() {
+        let set = SpecSet::load(&bus_library_src()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xB05);
+        let trace = crate::traces::stimulus_trace(&mut rng, &set, 120);
+        let report = run_case(&CaseInput {
+            source: bus_library_src(),
+            trace,
+            chunk: 7,
+            jobs: 3,
+        })
+        .expect("bus library legs agree");
+        assert!(!report.rejected);
+        assert_eq!(report.charts_checked, 9);
+    }
+
+    #[test]
+    fn hostile_bytes_never_panic_the_parsers() {
+        let mut g = crate::gen::SpecGen::new(0xFEED);
+        for _ in 0..50 {
+            let bytes = g.hostile_bytes(256);
+            total::chart_parser(&bytes).unwrap();
+            total::vcd_reader(&bytes).unwrap();
+            total::global_vcd_reader(&bytes).unwrap();
+            let e = g.expr_input();
+            total::expr_parser(&e).unwrap();
+        }
+    }
+
+    #[test]
+    fn multiclock_case_runs_clean() {
+        // the Fig 2 read protocol through the multiclock differential
+        let src = cesc_protocols::readproto::MULTI_CLOCK_SRC;
+        let set = SpecSet::load(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = crate::traces::stimulus_trace(&mut rng, &set, 12);
+        let t2 = crate::traces::stimulus_trace(&mut rng, &set, 12);
+        let report = run_multiclock_case(&MultiCaseInput {
+            source: src.to_owned(),
+            domains: vec![
+                ("clk1".into(), 1, 0, t1),
+                ("clk2".into(), 1, 0, t2),
+            ],
+            chunk: 3,
+            jobs: 2,
+        })
+        .expect("multiclock legs agree");
+        assert!(!report.rejected);
+        assert_eq!(report.charts_checked, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Random trace, chunking and VCD-stream generation over generated
+//! alphabets.
+//!
+//! Purely uniform valuations almost never complete a scenario, so the
+//! differential campaign would spend its budget in the monitors' reset
+//! states. [`stimulus_trace`] therefore splices each chart's minimal
+//! witness window (when one exists) between random segments — the same
+//! trick the co-simulation property suite uses — so accept paths,
+//! scoreboard traffic and reject paths are all exercised.
+
+use cesc_expr::Valuation;
+use cesc_semantics::witness_window;
+use cesc_spec::SpecSet;
+use cesc_trace::{write_vcd, Trace, VcdWriteOptions};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A uniformly random trace over the first `symbols` alphabet bits.
+pub fn random_trace(rng: &mut StdRng, symbols: usize, len: usize) -> Trace {
+    let mask: u128 = if symbols >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << symbols) - 1
+    };
+    Trace::from_elements((0..len).map(|_| {
+        let bits = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        Valuation::from_bits(bits & mask)
+    }))
+}
+
+/// A stimulus trace for `set`: witness windows of its charts spliced
+/// between sparse random segments, then lightly perturbed.
+pub fn stimulus_trace(rng: &mut StdRng, set: &SpecSet, len: usize) -> Trace {
+    let symbols = set.alphabet().len();
+    let windows: Vec<Vec<Valuation>> = set
+        .document()
+        .charts
+        .iter()
+        .filter_map(|c| witness_window(c).ok())
+        .collect();
+    let mut t = Trace::with_capacity(len);
+    while t.len() < len {
+        if !windows.is_empty() && rng.random_bool(0.6) {
+            let w = &windows[rng.random_range(0..windows.len())];
+            for &v in w {
+                // occasional single-bit damage turns an accept into a
+                // near-miss — the interesting reject paths
+                if symbols > 0 && rng.random_bool(0.08) {
+                    let bit = rng.random_range(0..symbols) as u32;
+                    t.push(Valuation::from_bits(v.bits() ^ (1u128 << bit)));
+                } else {
+                    t.push(v);
+                }
+            }
+        } else {
+            let gap = rng.random_range(1..=4usize);
+            for _ in 0..gap {
+                if rng.random_bool(0.3) {
+                    let dense = random_trace(rng, symbols, 1);
+                    t.push(dense[0]);
+                } else {
+                    t.push(Valuation::empty());
+                }
+            }
+        }
+    }
+    Trace::from_elements(t.iter().take(len))
+}
+
+/// A chunk size for feeding the optimized/fleet paths: mostly small
+/// (so chunk boundaries land mid-scenario), occasionally the whole
+/// trace.
+pub fn chunking(rng: &mut StdRng, trace_len: usize) -> usize {
+    if rng.random_bool(0.2) {
+        trace_len.max(1)
+    } else {
+        rng.random_range(1..=trace_len.max(1).min(17))
+    }
+}
+
+/// A shard count for the fleet leg.
+pub fn jobs(rng: &mut StdRng) -> usize {
+    rng.random_range(1..=4usize)
+}
+
+/// A well-formed VCD dump of a random trace over `set`'s alphabet,
+/// with the given clock name — the seed input for the mutated-VCD
+/// sweep.
+pub fn valid_vcd(rng: &mut StdRng, set: &SpecSet, clock: &str, len: usize) -> String {
+    let trace = random_trace(rng, set.alphabet().len(), len);
+    let opts = VcdWriteOptions {
+        clock_name: clock.to_owned(),
+        ..VcdWriteOptions::default()
+    };
+    write_vcd(&trace, set.alphabet(), &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_trace_respects_symbol_mask() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = random_trace(&mut rng, 5, 100);
+        assert_eq!(t.len(), 100);
+        for v in t.iter() {
+            assert_eq!(v.bits() >> 5, 0);
+        }
+    }
+
+    #[test]
+    fn stimulus_trace_has_requested_length() {
+        let set = SpecSet::load(
+            "scesc hs on clk { instances { M, S } events { req, ack } \
+             tick { M: req } tick { S: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = stimulus_trace(&mut rng, &set, 64);
+        assert_eq!(t.len(), 64);
+        // the witness splicing must actually complete scenarios
+        let m = set.chart_spec(0).unwrap();
+        assert!(
+            !m.monitor().scan_batch(t.as_slice()).matches.is_empty(),
+            "stimulus never completed the scenario"
+        );
+    }
+
+    #[test]
+    fn chunking_is_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 2, 50] {
+            for _ in 0..50 {
+                let c = chunking(&mut rng, len);
+                assert!(c >= 1 && c <= len.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! AMBA APB scenarios — the two-phase (setup → access) peripheral bus,
+//! in the event-per-wire abstraction: `psel`/`penable` drive the state
+//! machine, `pready` completes the access phase, and
+//! `prdata_ok`/`pwdata_ok` stand for the payload checks.
+//!
+//! * [`read_doc`] — setup cycle (`psel`, `penable` absent) then a
+//!   zero-wait access cycle completed by `pready`;
+//! * [`write_doc`] — the same two phases with `pwrite` and the write
+//!   payload asserted throughout;
+//! * [`read_wait_doc`] — a slave wait state: the access phase extends
+//!   one cycle with `pready` explicitly absent.
+
+use cesc_chart::{parse_document, Document};
+use cesc_expr::{Alphabet, Valuation};
+
+/// The APB read transfer, as a parsed document.
+pub fn read_doc() -> Document {
+    parse_document(READ_SRC).expect("built-in APB read chart is well-formed")
+}
+
+/// Concrete textual source of the read chart. The setup cycle requires
+/// `penable` *absent* — asserting it early is the classic APB bug.
+pub const READ_SRC: &str = r#"
+scesc apb_read on pclk {
+    instances { Master, Slave }
+    events { psel, penable, pready, prdata_ok }
+    tick { Master: psel, !penable }
+    tick { Master: psel, penable; Slave: pready, prdata_ok }
+    cause psel@0 -> pready;
+}
+"#;
+
+/// The APB write transfer, as a parsed document.
+pub fn write_doc() -> Document {
+    parse_document(WRITE_SRC).expect("built-in APB write chart is well-formed")
+}
+
+/// Concrete textual source of the write chart.
+pub const WRITE_SRC: &str = r#"
+scesc apb_write on pclk {
+    instances { Master, Slave }
+    events { psel, penable, pwrite, pwdata_ok, pready }
+    tick { Master: psel, pwrite, pwdata_ok, !penable }
+    tick { Master: psel, pwrite, pwdata_ok, penable; Slave: pready }
+    cause psel@0 -> pready;
+}
+"#;
+
+/// A read with one slave wait state in the access phase.
+pub fn read_wait_doc() -> Document {
+    parse_document(READ_WAIT_SRC).expect("built-in APB wait-state chart is well-formed")
+}
+
+/// Concrete textual source of the wait-state read chart.
+pub const READ_WAIT_SRC: &str = r#"
+scesc apb_read_wait on pclk {
+    instances { Master, Slave }
+    events { psel, penable, pready, prdata_ok }
+    tick { Master: psel, !penable }
+    tick { Master: psel, penable; Slave: !pready }
+    tick { Master: psel, penable; Slave: pready, prdata_ok }
+    cause psel@0 -> pready;
+}
+"#;
+
+/// The canonical compliant waveform of one read transfer.
+pub fn read_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("APB symbol interned");
+    vec![
+        Valuation::of([ev("psel")]),
+        Valuation::of([ev("psel"), ev("penable"), ev("pready"), ev("prdata_ok")]),
+    ]
+}
+
+/// The canonical compliant waveform of one write transfer.
+pub fn write_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("APB symbol interned");
+    vec![
+        Valuation::of([ev("psel"), ev("pwrite"), ev("pwdata_ok")]),
+        Valuation::of([
+            ev("psel"),
+            ev("pwrite"),
+            ev("pwdata_ok"),
+            ev("penable"),
+            ev("pready"),
+        ]),
+    ]
+}
+
+/// The canonical compliant waveform of one wait-state read.
+pub fn read_wait_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("APB symbol interned");
+    vec![
+        Valuation::of([ev("psel")]),
+        Valuation::of([ev("psel"), ev("penable")]),
+        Valuation::of([ev("psel"), ev("penable"), ev("pready"), ev("prdata_ok")]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{inject, Fault};
+    use crate::traffic::{transaction_stream, TrafficConfig};
+    use cesc_core::{synthesize, SynthOptions};
+    use cesc_semantics::window_matches;
+
+    #[test]
+    fn read_chart_shape() {
+        let doc = read_doc();
+        let c = doc.chart("apb_read").unwrap();
+        assert_eq!(c.tick_count(), 2);
+        assert_eq!(c.arrows().len(), 1);
+        assert!(window_matches(c, &read_window(&doc.alphabet)));
+    }
+
+    #[test]
+    fn early_penable_is_rejected() {
+        let doc = read_doc();
+        let m = synthesize(doc.chart("apb_read").unwrap(), &SynthOptions::default()).unwrap();
+        let mut w = read_window(&doc.alphabet);
+        assert_eq!(m.scan(w.clone()).matches, vec![1]);
+        // penable during setup violates the chart's `!penable`
+        let penable = doc.alphabet.lookup("penable").unwrap();
+        w[0].insert(penable);
+        assert!(!m.scan(w).detected());
+    }
+
+    #[test]
+    fn write_traffic_is_compliant() {
+        let doc = write_doc();
+        let w = write_window(&doc.alphabet);
+        let cfg = TrafficConfig {
+            transactions: 5,
+            gap: 1,
+            ..Default::default()
+        };
+        let t = transaction_stream(&doc.alphabet, &w, &cfg);
+        let m = synthesize(doc.chart("apb_write").unwrap(), &SynthOptions::default()).unwrap();
+        assert_eq!(m.scan(&t).matches.len(), 5);
+    }
+
+    #[test]
+    fn wait_state_window_matches_and_fault_is_caught() {
+        let doc = read_wait_doc();
+        let c = doc.chart("apb_read_wait").unwrap();
+        let m = synthesize(c, &SynthOptions::default()).unwrap();
+        let w = read_wait_window(&doc.alphabet);
+        assert!(window_matches(c, &w));
+        let t = cesc_trace::Trace::from_elements(w);
+        assert!(m.scan(&t).detected());
+
+        // dropping the completing pready leaves the access phase open
+        let pready = doc.alphabet.lookup("pready").unwrap();
+        let mutated = inject(
+            &t,
+            Fault::DropEvent {
+                event: pready,
+                occurrence: 0,
+            },
+        );
+        assert!(!m.scan(&mutated).detected());
+    }
+}

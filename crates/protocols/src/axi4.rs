@@ -1,0 +1,183 @@
+//! AMBA AXI4-Lite scenarios — single-beat read and write transactions
+//! over the five AXI4-Lite channels, reduced to the event-per-wire
+//! abstraction the charts use (a `*valid`/`*ready` pair occurring in
+//! the same tick is a completed handshake; `rdata_ok`/`bresp_okay`
+//! stand for the data/response payload checks a DUT scoreboard would
+//! perform).
+//!
+//! * [`read_doc`] — AR handshake followed by the R-channel beat, with
+//!   the address/data causality arrow;
+//! * [`write_doc`] — combined AW+W handshake followed by the B-channel
+//!   response, with both request arrows feeding the response;
+//! * [`read_wait_doc`] — a slave wait state on the R channel: `rvalid`
+//!   is explicitly absent for one cycle while the master holds
+//!   `rready` high.
+
+use cesc_chart::{parse_document, Document};
+use cesc_expr::{Alphabet, Valuation};
+
+/// The AXI4-Lite single-beat read transaction, as a parsed document.
+pub fn read_doc() -> Document {
+    parse_document(READ_SRC).expect("built-in AXI4-Lite read chart is well-formed")
+}
+
+/// Concrete textual source of the read chart.
+pub const READ_SRC: &str = r#"
+scesc axi4_lite_read on aclk {
+    instances { Master, Slave }
+    events { arvalid, arready, rvalid, rready, rdata_ok }
+    tick { Master: arvalid; Slave: arready }
+    tick { Slave: rvalid, rdata_ok; Master: rready }
+    cause arvalid -> rvalid;
+}
+"#;
+
+/// The AXI4-Lite single-beat write transaction, as a parsed document.
+pub fn write_doc() -> Document {
+    parse_document(WRITE_SRC).expect("built-in AXI4-Lite write chart is well-formed")
+}
+
+/// Concrete textual source of the write chart. AXI4-Lite permits the
+/// AW and W handshakes in the same cycle; the B response follows, and
+/// both request channels must causally precede it.
+pub const WRITE_SRC: &str = r#"
+scesc axi4_lite_write on aclk {
+    instances { Master, Slave }
+    events { awvalid, awready, wvalid, wready, bvalid, bready, bresp_okay }
+    tick { Master: awvalid, wvalid; Slave: awready, wready }
+    tick { Slave: bvalid, bresp_okay; Master: bready }
+    cause awvalid -> bvalid;
+    cause wvalid -> bvalid;
+}
+"#;
+
+/// A read with one slave wait state on the R channel.
+pub fn read_wait_doc() -> Document {
+    parse_document(READ_WAIT_SRC).expect("built-in AXI4-Lite wait-state chart is well-formed")
+}
+
+/// Concrete textual source of the wait-state read chart.
+pub const READ_WAIT_SRC: &str = r#"
+scesc axi4_lite_read_wait on aclk {
+    instances { Master, Slave }
+    events { arvalid, arready, rvalid, rready, rdata_ok }
+    tick { Master: arvalid; Slave: arready }
+    tick { Master: rready; Slave: !rvalid }
+    tick { Master: rready; Slave: rvalid, rdata_ok }
+    cause arvalid@0 -> rvalid@2;
+}
+"#;
+
+/// The canonical compliant waveform of one read transaction.
+pub fn read_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("AXI4-Lite symbol interned");
+    vec![
+        Valuation::of([ev("arvalid"), ev("arready")]),
+        Valuation::of([ev("rvalid"), ev("rdata_ok"), ev("rready")]),
+    ]
+}
+
+/// The canonical compliant waveform of one write transaction.
+pub fn write_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("AXI4-Lite symbol interned");
+    vec![
+        Valuation::of([ev("awvalid"), ev("wvalid"), ev("awready"), ev("wready")]),
+        Valuation::of([ev("bvalid"), ev("bresp_okay"), ev("bready")]),
+    ]
+}
+
+/// The canonical compliant waveform of one wait-state read.
+pub fn read_wait_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("AXI4-Lite symbol interned");
+    vec![
+        Valuation::of([ev("arvalid"), ev("arready")]),
+        Valuation::of([ev("rready")]),
+        Valuation::of([ev("rready"), ev("rvalid"), ev("rdata_ok")]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{fault_set, inject};
+    use crate::traffic::{transaction_stream, TrafficConfig};
+    use cesc_core::{synthesize, SynthOptions};
+    use cesc_semantics::window_matches;
+
+    #[test]
+    fn read_chart_shape() {
+        let doc = read_doc();
+        let c = doc.chart("axi4_lite_read").unwrap();
+        assert_eq!(c.tick_count(), 2);
+        assert_eq!(c.instances(), ["Master", "Slave"]);
+        assert_eq!(c.arrows().len(), 1);
+        assert!(window_matches(c, &read_window(&doc.alphabet)));
+    }
+
+    #[test]
+    fn write_chart_detects_transaction() {
+        let doc = write_doc();
+        let c = doc.chart("axi4_lite_write").unwrap();
+        let m = synthesize(c, &SynthOptions::default()).unwrap();
+        assert_eq!(m.state_count(), c.tick_count() + 1);
+        let report = m.scan(write_window(&doc.alphabet));
+        assert_eq!(report.matches, vec![1]);
+        assert_eq!(report.underflows, 0);
+    }
+
+    #[test]
+    fn wait_state_absence_is_enforced() {
+        let doc = read_wait_doc();
+        let c = doc.chart("axi4_lite_read_wait").unwrap();
+        let m = synthesize(c, &SynthOptions::default()).unwrap();
+        let w = read_wait_window(&doc.alphabet);
+        assert!(window_matches(c, &w));
+        assert_eq!(m.scan(w.clone()).matches, vec![2]);
+
+        // answering in the wait cycle violates the explicit `!rvalid`
+        let rvalid = doc.alphabet.lookup("rvalid").unwrap();
+        let mut early = w;
+        early[1].insert(rvalid);
+        assert!(!m.scan(early).detected());
+    }
+
+    #[test]
+    fn traffic_stream_is_compliant() {
+        let doc = read_doc();
+        let w = read_window(&doc.alphabet);
+        let cfg = TrafficConfig {
+            transactions: 6,
+            gap: 2,
+            ..Default::default()
+        };
+        let t = transaction_stream(&doc.alphabet, &w, &cfg);
+        let m = synthesize(doc.chart("axi4_lite_read").unwrap(), &SynthOptions::default())
+            .unwrap();
+        assert_eq!(m.scan(&t).matches.len(), 6);
+    }
+
+    #[test]
+    fn dropped_response_is_caught() {
+        let doc = read_doc();
+        let w = read_window(&doc.alphabet);
+        let cfg = TrafficConfig {
+            transactions: 1,
+            gap: 0,
+            ..Default::default()
+        };
+        let t = transaction_stream(&doc.alphabet, &w, &cfg);
+        let rvalid = doc.alphabet.lookup("rvalid").unwrap();
+        let m = synthesize(doc.chart("axi4_lite_read").unwrap(), &SynthOptions::default())
+            .unwrap();
+        let drops: Vec<_> = fault_set(&t, &[rvalid])
+            .into_iter()
+            .filter(|f| matches!(f, crate::faults::Fault::DropEvent { .. }))
+            .collect();
+        assert!(!drops.is_empty());
+        for f in drops {
+            let mutated = inject(&t, f);
+            assert_ne!(mutated, t);
+            assert!(!m.scan(&mutated).detected(), "fault {f:?} went undetected");
+        }
+    }
+}

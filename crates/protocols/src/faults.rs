@@ -117,6 +117,19 @@ pub fn fault_set(trace: &Trace, events: &[SymbolId]) -> Vec<Fault> {
     faults
 }
 
+/// Every *effective* single-fault mutation of a compliant trace,
+/// paired with the fault that produced it — [`fault_set`] with the
+/// out-of-range no-ops filtered out, so callers can assert every
+/// returned variant actually perturbed the traffic. This is the
+/// mutation sweep the bus fuzz campaigns replay through `cesc check`.
+pub fn fault_variants(trace: &Trace, events: &[SymbolId]) -> Vec<(Fault, Trace)> {
+    fault_set(trace, events)
+        .into_iter()
+        .map(|f| (f, inject(trace, f)))
+        .filter(|(_, mutated)| mutated != trace)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +200,14 @@ mod tests {
         assert_eq!(inject(&t, Fault::DropEvent { event: a, occurrence: 9 }), t);
         assert_eq!(inject(&t, Fault::SpuriousEvent { event: a, tick: 99 }), t);
         assert_eq!(inject(&t, Fault::SwapTicks { a: 0, b: 99 }), t);
+    }
+
+    #[test]
+    fn fault_variants_are_all_effective() {
+        let (_, a, b, t) = setup();
+        for (f, mutated) in fault_variants(&t, &[a, b]) {
+            assert_ne!(mutated, t, "{f:?} should have perturbed the trace");
+        }
     }
 
     #[test]

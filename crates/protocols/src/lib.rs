@@ -1,10 +1,14 @@
-//! # cesc-protocols — OCP and AMBA case studies, traffic and faults
+//! # cesc-protocols — bus-protocol case studies, traffic and faults
 //!
-//! The paper's §6 evaluation substrate, rebuilt:
+//! The paper's §6 evaluation substrate, rebuilt and extended:
 //!
 //! * [`ocp`] — OCP-IP simple read (Figure 6) and pipelined 4-beat burst
 //!   read (Figure 7) charts with their canonical waveforms;
 //! * [`amba`] — the AMBA AHB CLI transaction of Figure 8;
+//! * [`axi4`] — AMBA AXI4-Lite single-beat read/write with wait
+//!   states;
+//! * [`apb`] — AMBA APB setup/access transfers with wait states;
+//! * [`wishbone`] — Wishbone classic single and block cycles;
 //! * [`readproto`] — the single- and multi-clock read protocols of
 //!   Figures 1 and 2;
 //! * [`traffic`] — compliant transaction streams (count / gap / noise
@@ -30,7 +34,130 @@
 #![warn(missing_debug_implementations)]
 
 pub mod amba;
+pub mod apb;
+pub mod axi4;
 pub mod faults;
 pub mod ocp;
 pub mod readproto;
 pub mod traffic;
+pub mod wishbone;
+
+use cesc_expr::{Alphabet, Valuation};
+
+/// One named bus scenario from the AXI4-Lite / APB / Wishbone
+/// libraries: the chart name, its declared clock, its textual source,
+/// and the canonical compliant window builder — the registry the fuzz
+/// campaigns and fleet benches sweep over.
+#[derive(Debug, Clone, Copy)]
+pub struct BusScenario {
+    /// The chart's name (the `--chart` target).
+    pub chart: &'static str,
+    /// The chart's declared clock.
+    pub clock: &'static str,
+    /// The chart's textual CESC source.
+    pub src: &'static str,
+    /// Builds the canonical compliant waveform against any alphabet
+    /// that interned the chart's events.
+    pub window: fn(&Alphabet) -> Vec<Valuation>,
+}
+
+/// Every scenario of the three bus libraries, in document order of
+/// [`bus_library_src`].
+pub fn bus_scenarios() -> Vec<BusScenario> {
+    vec![
+        BusScenario {
+            chart: "axi4_lite_read",
+            clock: "aclk",
+            src: axi4::READ_SRC,
+            window: axi4::read_window,
+        },
+        BusScenario {
+            chart: "axi4_lite_write",
+            clock: "aclk",
+            src: axi4::WRITE_SRC,
+            window: axi4::write_window,
+        },
+        BusScenario {
+            chart: "axi4_lite_read_wait",
+            clock: "aclk",
+            src: axi4::READ_WAIT_SRC,
+            window: axi4::read_wait_window,
+        },
+        BusScenario {
+            chart: "apb_read",
+            clock: "pclk",
+            src: apb::READ_SRC,
+            window: apb::read_window,
+        },
+        BusScenario {
+            chart: "apb_write",
+            clock: "pclk",
+            src: apb::WRITE_SRC,
+            window: apb::write_window,
+        },
+        BusScenario {
+            chart: "apb_read_wait",
+            clock: "pclk",
+            src: apb::READ_WAIT_SRC,
+            window: apb::read_wait_window,
+        },
+        BusScenario {
+            chart: "wb_read",
+            clock: "wb_clk",
+            src: wishbone::READ_SRC,
+            window: wishbone::read_window,
+        },
+        BusScenario {
+            chart: "wb_write",
+            clock: "wb_clk",
+            src: wishbone::WRITE_SRC,
+            window: wishbone::write_window,
+        },
+        BusScenario {
+            chart: "wb_block_read",
+            clock: "wb_clk",
+            src: wishbone::BLOCK_READ_SRC,
+            window: wishbone::block_read_window,
+        },
+    ]
+}
+
+/// The three bus libraries concatenated into one multi-chart document
+/// — what `cesc check --all-charts` and the SpecSet coverage tests
+/// load. Charts on the same bus share their event symbols; the
+/// combined alphabet stays well under the 128-symbol budget.
+pub fn bus_library_src() -> String {
+    bus_scenarios()
+        .iter()
+        .map(|s| s.src)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, SynthOptions};
+    use cesc_semantics::window_matches;
+
+    #[test]
+    fn bus_library_parses_as_one_document() {
+        let doc = parse_document(&bus_library_src()).unwrap();
+        assert_eq!(doc.charts.len(), bus_scenarios().len());
+        assert!(doc.alphabet.len() <= 128);
+    }
+
+    #[test]
+    fn every_scenario_window_is_compliant_in_the_combined_doc() {
+        let doc = parse_document(&bus_library_src()).unwrap();
+        for s in bus_scenarios() {
+            let chart = doc.chart(s.chart).unwrap();
+            assert_eq!(chart.clock(), s.clock, "{}", s.chart);
+            let w = (s.window)(&doc.alphabet);
+            assert!(window_matches(chart, &w), "{} window rejected", s.chart);
+            let m = synthesize(chart, &SynthOptions::default()).unwrap();
+            assert!(m.scan(w).detected(), "{} monitor missed its window", s.chart);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Wishbone (classic cycle) scenarios — `cyc`/`stb` frame the bus
+//! cycle, the slave terminates each beat with `ack`, and
+//! `dat_ok`/`dat_valid` stand for the data payload checks.
+//!
+//! * [`read_doc`] — a classic single read with one slave wait cycle
+//!   (`ack` explicitly absent) before the acknowledged beat;
+//! * [`write_doc`] — the same shape with `we` and the write data held
+//!   through the cycle;
+//! * [`block_read_doc`] — a 2-beat block read: `stb` held for two
+//!   acknowledged beats, with a per-beat causality arrow.
+
+use cesc_chart::{parse_document, Document};
+use cesc_expr::{Alphabet, Valuation};
+
+/// The Wishbone classic single read, as a parsed document.
+pub fn read_doc() -> Document {
+    parse_document(READ_SRC).expect("built-in Wishbone read chart is well-formed")
+}
+
+/// Concrete textual source of the read chart.
+pub const READ_SRC: &str = r#"
+scesc wb_read on wb_clk {
+    instances { Master, Slave }
+    events { cyc, stb, ack, dat_ok }
+    tick { Master: cyc, stb; Slave: !ack }
+    tick { Master: cyc, stb; Slave: ack, dat_ok }
+    cause stb@0 -> ack;
+}
+"#;
+
+/// The Wishbone classic single write, as a parsed document.
+pub fn write_doc() -> Document {
+    parse_document(WRITE_SRC).expect("built-in Wishbone write chart is well-formed")
+}
+
+/// Concrete textual source of the write chart.
+pub const WRITE_SRC: &str = r#"
+scesc wb_write on wb_clk {
+    instances { Master, Slave }
+    events { cyc, stb, we, dat_valid, ack }
+    tick { Master: cyc, stb, we, dat_valid; Slave: !ack }
+    tick { Master: cyc, stb, we, dat_valid; Slave: ack }
+    cause stb@0 -> ack;
+}
+"#;
+
+/// The 2-beat block read, as a parsed document.
+pub fn block_read_doc() -> Document {
+    parse_document(BLOCK_READ_SRC).expect("built-in Wishbone block read chart is well-formed")
+}
+
+/// Concrete textual source of the block read chart. Each beat is
+/// acknowledged in its own cycle; the arrow ties the opening strobe to
+/// the final acknowledge so a truncated block is caught.
+pub const BLOCK_READ_SRC: &str = r#"
+scesc wb_block_read on wb_clk {
+    instances { Master, Slave }
+    events { cyc, stb, ack, dat_ok }
+    tick { Master: cyc, stb; Slave: ack, dat_ok }
+    tick { Master: cyc, stb; Slave: ack, dat_ok }
+    cause stb@0 -> ack@1;
+}
+"#;
+
+/// The canonical compliant waveform of one single read.
+pub fn read_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("Wishbone symbol interned");
+    vec![
+        Valuation::of([ev("cyc"), ev("stb")]),
+        Valuation::of([ev("cyc"), ev("stb"), ev("ack"), ev("dat_ok")]),
+    ]
+}
+
+/// The canonical compliant waveform of one single write.
+pub fn write_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("Wishbone symbol interned");
+    let req = Valuation::of([ev("cyc"), ev("stb"), ev("we"), ev("dat_valid")]);
+    vec![req, req.with(ev("ack"))]
+}
+
+/// The canonical compliant waveform of one 2-beat block read.
+pub fn block_read_window(alphabet: &Alphabet) -> Vec<Valuation> {
+    let ev = |n: &str| alphabet.lookup(n).expect("Wishbone symbol interned");
+    let beat = Valuation::of([ev("cyc"), ev("stb"), ev("ack"), ev("dat_ok")]);
+    vec![beat, beat]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{inject, Fault};
+    use crate::traffic::{transaction_stream, TrafficConfig};
+    use cesc_core::{synthesize, SynthOptions};
+    use cesc_semantics::window_matches;
+
+    #[test]
+    fn read_chart_shape() {
+        let doc = read_doc();
+        let c = doc.chart("wb_read").unwrap();
+        assert_eq!(c.tick_count(), 2);
+        assert_eq!(c.instances(), ["Master", "Slave"]);
+        assert!(window_matches(c, &read_window(&doc.alphabet)));
+    }
+
+    #[test]
+    fn premature_ack_is_rejected() {
+        let doc = read_doc();
+        let m = synthesize(doc.chart("wb_read").unwrap(), &SynthOptions::default()).unwrap();
+        let mut w = read_window(&doc.alphabet);
+        assert_eq!(m.scan(w.clone()).matches, vec![1]);
+        // acking in the wait cycle violates the `!ack` constraint
+        let ack = doc.alphabet.lookup("ack").unwrap();
+        w[0].insert(ack);
+        assert!(!m.scan(w).detected());
+    }
+
+    #[test]
+    fn write_traffic_is_compliant() {
+        let doc = write_doc();
+        let w = write_window(&doc.alphabet);
+        let cfg = TrafficConfig {
+            transactions: 4,
+            gap: 3,
+            ..Default::default()
+        };
+        let t = transaction_stream(&doc.alphabet, &w, &cfg);
+        let m = synthesize(doc.chart("wb_write").unwrap(), &SynthOptions::default()).unwrap();
+        assert_eq!(m.scan(&t).matches.len(), 4);
+    }
+
+    #[test]
+    fn truncated_block_is_caught() {
+        let doc = block_read_doc();
+        let c = doc.chart("wb_block_read").unwrap();
+        let m = synthesize(c, &SynthOptions::default()).unwrap();
+        let w = block_read_window(&doc.alphabet);
+        assert!(window_matches(c, &w));
+        let t = cesc_trace::Trace::from_elements(w);
+        assert!(m.scan(&t).detected());
+
+        // dropping the second-beat ack truncates the block
+        let ack = doc.alphabet.lookup("ack").unwrap();
+        let mutated = inject(
+            &t,
+            Fault::DropEvent {
+                event: ack,
+                occurrence: 1,
+            },
+        );
+        assert!(!m.scan(&mutated).detected());
+    }
+}

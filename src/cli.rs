@@ -1089,13 +1089,15 @@ fn render_json(
 
 /// The usage banner printed on bad invocations.
 pub fn usage() -> &'static str {
-    "cesc <render|synth|check> <spec.cesc> [options]\n\
+    "cesc <render|synth|check> <spec.cesc> [options] | cesc fuzz [options]\n\
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
             [--force] [--no-opt] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]\n\
+     fuzz   [--cases N] [--seed N] [--trace-len N] [--sweep-cases N]\n\
+            [--corpus-out DIR]\n\
      \n\
      synth emits one chart (--chart, default first) to stdout, or — with\n\
      --all-charts --out-dir DIR — one file per chart (and, for verilog,\n\
@@ -1120,5 +1122,80 @@ pub fn usage() -> &'static str {
      --cosim       differentially execute the emitted RTL (cesc-rtl\n\
                    interpreter, lowered from the optimized monitor) against\n\
                    the unoptimized engine over the dump; any match_pulse\n\
-                   disagreement exits with status 2\n"
+                   disagreement exits with status 2\n\
+     \n\
+     fuzz runs a deterministic differential campaign (baseline engine vs\n\
+     optimized engine vs sharded fleet vs RTL interpreter on generated\n\
+     specs and traces) plus panic-freedom sweeps over the chart parser,\n\
+     expression parser and VCD readers. Any disagreement or panic is\n\
+     minimized and exits with status 2.\n\
+     --cases N       differential case budget (default 300)\n\
+     --seed N        master seed, decimal or 0x-hex (default 0xCE5CF022)\n\
+     --trace-len N   stimulus trace length per case (default 96)\n\
+     --sweep-cases N parser/VCD sweep budget (default: same as --cases)\n\
+     --corpus-out D  write minimized failures into directory D\n"
+}
+
+/// Options for the `cesc fuzz` subcommand.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Master seed (`--seed`).
+    pub seed: u64,
+    /// Differential case budget (`--cases`).
+    pub cases: usize,
+    /// Stimulus length per case (`--trace-len`).
+    pub trace_len: usize,
+    /// Parser/VCD sweep budget (`--sweep-cases`, defaults to `cases`).
+    pub sweep_cases: Option<usize>,
+    /// Directory minimized failures are written to (`--corpus-out`).
+    pub corpus_out: Option<String>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        let d = cesc_fuzz::CampaignConfig::default();
+        FuzzOptions {
+            seed: d.seed,
+            cases: d.cases,
+            trace_len: d.trace_len,
+            sweep_cases: None,
+            corpus_out: None,
+        }
+    }
+}
+
+/// Runs the bounded deterministic fuzz campaign: the four-way
+/// differential plus the parser and VCD panic-freedom sweeps.
+/// `failed` is set when any leg disagreed or any parser panicked.
+pub fn fuzz(opts: &FuzzOptions) -> CheckOutcome {
+    use std::fmt::Write as _;
+    let cfg = cesc_fuzz::CampaignConfig {
+        seed: opts.seed,
+        cases: opts.cases,
+        trace_len: opts.trace_len.max(1),
+        corpus_out: opts.corpus_out.clone().map(std::path::PathBuf::from),
+    };
+    let sweep_cfg = cesc_fuzz::CampaignConfig {
+        cases: opts.sweep_cases.unwrap_or(opts.cases),
+        ..cfg.clone()
+    };
+
+    let diff = cesc_fuzz::run_differential(&cfg);
+    let parser = cesc_fuzz::run_parser_sweep(&sweep_cfg);
+    let vcd = cesc_fuzz::run_vcd_sweep(&sweep_cfg);
+
+    let mut output = String::new();
+    let _ = write!(output, "{diff}");
+    let _ = write!(output, "chart/expr parser {parser}");
+    let _ = write!(output, "vcd reader {vcd}");
+    let failed = !diff.is_green() || !parser.panics.is_empty() || !vcd.panics.is_empty();
+    if failed {
+        if let Some(dir) = &opts.corpus_out {
+            let _ = writeln!(output, "minimized reproducers written to {dir}");
+        }
+        let _ = writeln!(output, "FUZZ: FAIL (seed {:#x})", opts.seed);
+    } else {
+        let _ = writeln!(output, "FUZZ: OK (seed {:#x})", opts.seed);
+    }
+    CheckOutcome { output, failed }
 }

@@ -22,7 +22,8 @@
 //! | [`rtl`] | `cesc-rtl` | cycle-accurate RTL interpreter + engine co-simulation |
 //! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
 //! | [`par`] | `cesc-par` | sharded parallel monitor-fleet executor |
-//! | [`protocols`] | `cesc-protocols` | OCP & AMBA case studies, traffic, faults |
+//! | [`protocols`] | `cesc-protocols` | OCP, AMBA, AXI4-Lite, APB & Wishbone libraries, traffic, faults |
+//! | [`fuzz`] | `cesc-fuzz` | differential fuzzing: generators, oracles, regression corpus |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ mod json;
 pub use cesc_chart as chart;
 pub use cesc_core as core;
 pub use cesc_expr as expr;
+pub use cesc_fuzz as fuzz;
 pub use cesc_hdl as hdl;
 pub use cesc_par as par;
 pub use cesc_protocols as protocols;

@@ -5,6 +5,7 @@
 //! cesc render spec.cesc                        # ASCII chart + WaveDrom JSON
 //! cesc synth  spec.cesc --format verilog       # RTL monitor module
 //! cesc check  spec.cesc --all-charts --vcd dump.vcd --jobs 4 --json
+//! cesc fuzz   --cases 1000 --seed 0xCE5CF022    # differential campaign
 //! ```
 //!
 //! Exit status: `0` on success, `1` on usage/pipeline errors, `2` when
@@ -24,6 +25,11 @@ fn run() -> Result<(String, bool), cli::CliError> {
     let Some(command) = it.next() else {
         return Err(cli::CliError::Usage(cli::usage().to_owned()));
     };
+    if command == "fuzz" {
+        // fuzz generates its own specs — no spec path, flags only
+        let outcome = cli::fuzz(&parse_fuzz_flags(&mut it)?);
+        return Ok((outcome.output, outcome.failed));
+    }
     let Some(spec_path) = it.next() else {
         return Err(cli::CliError::Usage(cli::usage().to_owned()));
     };
@@ -161,6 +167,52 @@ fn run() -> Result<(String, bool), cli::CliError> {
             cli::usage()
         ))),
     }
+}
+
+fn parse_fuzz_flags<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<cli::FuzzOptions, cli::CliError> {
+    let mut opts = cli::FuzzOptions::default();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--cases" => {
+                opts.cases = parse_count(&expect_value(it, "--cases")?, "--cases")?;
+            }
+            "--trace-len" => {
+                opts.trace_len = parse_count(&expect_value(it, "--trace-len")?, "--trace-len")?;
+            }
+            "--sweep-cases" => {
+                opts.sweep_cases =
+                    Some(parse_count(&expect_value(it, "--sweep-cases")?, "--sweep-cases")?);
+            }
+            "--seed" => {
+                let raw = expect_value(it, "--seed")?;
+                let parsed = raw
+                    .strip_prefix("0x")
+                    .map_or_else(|| raw.parse::<u64>(), |h| u64::from_str_radix(h, 16));
+                opts.seed = parsed.map_err(|_| {
+                    cli::CliError::Usage(format!("--seed {raw}: expected decimal or 0x-hex u64"))
+                })?;
+            }
+            "--corpus-out" => {
+                opts.corpus_out = Some(expect_value(it, "--corpus-out")?);
+            }
+            other => {
+                return Err(cli::CliError::Usage(format!(
+                    "unknown fuzz option `{other}`\n{}",
+                    cli::usage()
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_count(raw: &str, flag: &str) -> Result<usize, cli::CliError> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| cli::CliError::Usage(format!("{flag} {raw}: expected a positive integer")))
 }
 
 fn expect_value<'a>(

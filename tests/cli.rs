@@ -673,3 +673,78 @@ fn no_opt_check_matches_optimized_verdicts() {
     .unwrap();
     assert_eq!(optimized, raw);
 }
+
+#[test]
+fn bus_library_unknown_target_lists_every_chart() {
+    // the combined AXI4-Lite/APB/Wishbone document: a typo'd --chart
+    // must enumerate all nine charts so the user can pick the real one
+    let src = cesc::protocols::bus_library_src();
+    let err = check_fleet(
+        &src,
+        &["axi4_lite_raed".to_owned()],
+        false,
+        b"".as_slice(),
+        None,
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    for chart in [
+        "axi4_lite_read",
+        "axi4_lite_write",
+        "axi4_lite_read_wait",
+        "apb_read",
+        "apb_write",
+        "apb_read_wait",
+        "wb_read",
+        "wb_write",
+        "wb_block_read",
+    ] {
+        assert!(msg.contains(chart), "missing `{chart}` in: {msg}");
+    }
+}
+
+#[test]
+fn bus_library_clock_override_rejects_cross_bus_selection() {
+    // axi4 charts sample aclk, APB pclk, Wishbone wb_clk: renaming the
+    // sampled clock across buses is ambiguous and must be refused with
+    // the clash spelled out
+    let src = cesc::protocols::bus_library_src();
+    let err = check_fleet(
+        &src,
+        &["axi4_lite_read".to_owned(), "apb_read".to_owned(), "wb_read".to_owned()],
+        false,
+        b"".as_slice(),
+        Some("clk"),
+        &CheckOptions::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("different declared clocks"), "{msg}");
+    for clock in ["aclk", "pclk", "wb_clk"] {
+        assert!(msg.contains(clock), "missing `{clock}` in: {msg}");
+    }
+
+    // a single-bus selection with the override is fine: the three
+    // Wishbone charts share wb_clk, renamed to the dump's `clk`
+    let set = cesc::spec::SpecSet::load(&src).unwrap();
+    let scenario = cesc::protocols::bus_scenarios()
+        .into_iter()
+        .find(|s| s.chart == "wb_read")
+        .unwrap();
+    let window = (scenario.window)(set.alphabet());
+    let trace: cesc::trace::Trace = window.into_iter().collect();
+    let vcd = write_vcd(&trace, set.alphabet(), &VcdWriteOptions::default());
+    let outcome = check_fleet(
+        &src,
+        &["wb_read".to_owned(), "wb_write".to_owned(), "wb_block_read".to_owned()],
+        false,
+        vcd.as_bytes(),
+        Some("clk"),
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    assert!(outcome.output.contains("chart `wb_read` (clock wb_clk)"), "{}", outcome.output);
+    assert!(outcome.output.contains("DETECTED"), "{}", outcome.output);
+}

@@ -376,3 +376,91 @@ fn saturation_drain_limit_is_pinned() {
     let report = cosim_scan(&m, &ab, &opts, trace.clone()).expect("within width: exact");
     assert!(report_agrees(&report, &m.scan(trace)));
 }
+
+#[test]
+fn saturation_drain_boundary_is_exact() {
+    // The precise contract of the residual gap pinned above: N adds
+    // followed by a delete stream diverge **iff N exceeds the
+    // saturation value**, and the first divergence lands exactly where
+    // the RTL counter (pinned at sat) runs dry while the engine's
+    // unbounded count is still positive.
+    //
+    // Every delete is a Forward transition into the accepting state,
+    // and the accepting state takes one cycle to fall back to the
+    // loop, so effective deletes land every other tick: the k-th
+    // delete executes at tick N + 2(k-1). The RTL survives exactly
+    // `sat` deletes, so the first diverging Chk_evt read is delete
+    // sat+1 at tick N + 2*sat.
+    let mut ab = Alphabet::new();
+    let a = ab.event("a");
+    let add = ab.event("add");
+    let del = ab.event("del");
+    let m = Monitor::from_parts(
+        "drain",
+        "clk",
+        vec![
+            vec![
+                Transition {
+                    guard: Expr::sym(add),
+                    actions: vec![Action::AddEvt(vec![a])],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+                Transition {
+                    guard: Expr::sym(del) & Expr::chk(a),
+                    actions: vec![Action::DelEvt(vec![a])],
+                    target: StateId::from_index(1),
+                    kind: TransitionKind::Forward,
+                },
+                Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                },
+            ],
+            vec![Transition {
+                guard: Expr::t(),
+                actions: vec![],
+                target: StateId::from_index(0),
+                kind: TransitionKind::Backward,
+            }],
+        ],
+        StateId::from_index(0),
+        StateId::from_index(1),
+        vec![Expr::chk(a)],
+        vec![a],
+    );
+    let add_v = Valuation::of([add]);
+    let del_v = Valuation::of([del]);
+
+    for (width, sat) in [(2u32, 3u64), (3, 7)] {
+        let opts = VerilogOptions {
+            counter_width: width,
+            saturating: true,
+            ..Default::default()
+        };
+        for n in 1..=(sat + 3) {
+            // enough deletes to reach (and pass) the would-be boundary
+            let mut trace = vec![add_v; n as usize];
+            trace.extend(std::iter::repeat_n(del_v, 2 * sat as usize + 4));
+            let result = cosim_scan(&m, &ab, &opts, trace.iter().copied());
+            if n <= sat {
+                let report = result.unwrap_or_else(|d| {
+                    panic!("width {width}: {n} adds within saturation diverged: {d}")
+                });
+                assert!(report_agrees(&report, &m.scan(trace.iter().copied())));
+            } else {
+                let Err(err) = result else {
+                    panic!("width {width}: {n} adds > {sat} must diverge");
+                };
+                assert_eq!(
+                    err.tick,
+                    n + 2 * sat,
+                    "width {width}, {n} adds: wrong first-divergence tick"
+                );
+                assert!(err.engine_pulse && !err.rtl_pulse, "{err}");
+            }
+        }
+    }
+}
