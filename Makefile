@@ -2,17 +2,19 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint build test doc bench clean
 
-verify: ## release build + examples + full test suite + clean rustdoc + benches compile + parallel equivalence + RTL co-sim + spec pipeline + fuzz campaign
+verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign
 	$(CARGO) build --release
 	$(CARGO) build --examples
 	$(CARGO) test -q
 	$(CARGO) doc --no-deps
+	$(MAKE) verify-clippy
 	$(MAKE) verify-bench
 	$(MAKE) verify-par
 	$(MAKE) verify-rtl
 	$(MAKE) verify-spec
+	$(MAKE) verify-lint
 	$(MAKE) verify-fuzz
 
 verify-spec: ## optimized == unoptimized: cesc-spec unit suite + the opt-equivalence property suite + the opt bench compiles
@@ -32,6 +34,17 @@ verify-fuzz: ## differential fuzzing gate: cesc-fuzz unit suite, corpus replay, 
 	$(CARGO) test -q --test corpus_replay
 	$(CARGO) test -q --test fuzz_campaign
 	$(CARGO) run --release --quiet -- fuzz --cases 1000 --sweep-cases 1000 --seed 0xCE5CF022
+
+verify-clippy: ## zero-warning clippy across the whole workspace, tests and benches included
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+verify-lint: ## static-analysis gate: the lint soundness property suite, then `cesc lint --deny` over the example specs and the generated bus-protocol library
+	$(CARGO) test -q -p cesc-lint
+	$(CARGO) test -q --test lint_soundness
+	$(CARGO) build --release --quiet
+	for f in examples/specs/*.cesc; do ./target/release/cesc lint $$f --deny || exit 1; done
+	$(CARGO) run --release --quiet --example bus_library_spec > target/bus_library.cesc
+	./target/release/cesc lint target/bus_library.cesc --deny
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run

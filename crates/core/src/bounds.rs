@@ -1,0 +1,764 @@
+//! Interval abstract interpretation of scoreboard counters.
+//!
+//! The dynamic scoreboard gives every tracked event an unbounded
+//! occurrence count; emitted RTL gives it a *fixed-width* counter. The
+//! gap between the two is a soundness question the paper's flow never
+//! answers statically: can a chart's bookkeeping exceed the hardware
+//! ceiling (saturation), drop below zero (underflow), or gate the
+//! accept state behind a `Chk_evt` that can never hold (vacuity)?
+//!
+//! [`infer_bounds`] answers all three with one fixpoint. The abstract
+//! domain is an interval `[lo, hi]` (`hi = ∞` allowed) per scoreboard
+//! event, one environment per monitor state. The transfer function
+//! walks each state's transition arms in priority order:
+//!
+//! 1. arms whose *effective* guard (own guard ∧ negations of all
+//!    higher-priority guards) is unsatisfiable are dead — skipped;
+//! 2. the source environment is **refined** by the guard's `Chk_evt`
+//!    constraints: if the effective guard implies `Chk(e)` the count of
+//!    `e` is at least 1 on entry; if it implies `¬Chk(e)` the count is
+//!    exactly 0. An empty meet proves the arm infeasible from this
+//!    abstract state;
+//! 3. the arm's actions apply in order — `Add_evt` shifts the interval
+//!    up, `Del_evt` shifts it down saturating at zero (exactly the
+//!    engine's floor) — and the result joins into the target state.
+//!
+//! Joins are widened after [`BoundsOptions::widen_after`] growing
+//! updates of a state (`hi → ∞`, `lo → 0`), which bounds every chain
+//! and guarantees termination on arbitrary monitors, including the
+//! hand-built and fuzz-generated ones [`crate::Monitor::from_parts`]
+//! admits.
+//!
+//! Soundness invariant (pinned by `tests/lint_soundness.rs`): every
+//! concretely reachable configuration `(state, counts)` is contained
+//! in the fixpoint environment of its state, so the per-event join
+//! over all states is a true upper bound on any count the engine can
+//! ever exhibit — and a counter wide enough for that bound can never
+//! saturate, making the saturating RTL counter bank exactly
+//! equivalent to the unbounded scoreboard.
+
+use cesc_expr::{sat, Expr, SymbolId};
+
+use crate::monitor::{Monitor, StateId};
+use crate::scoreboard::Action;
+
+/// An interval `[lo, hi]` of possible occurrence counts; `hi == None`
+/// means unbounded (`∞`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bound {
+    /// Least possible count.
+    pub lo: u64,
+    /// Greatest possible count, or `None` for unbounded.
+    pub hi: Option<u64>,
+}
+
+impl Bound {
+    /// The exact interval `[n, n]`.
+    pub fn exact(n: u64) -> Self {
+        Bound { lo: n, hi: Some(n) }
+    }
+
+    /// Whether the interval contains no count (`hi < lo`).
+    pub fn is_empty(self) -> bool {
+        self.hi.is_some_and(|h| h < self.lo)
+    }
+
+    /// Whether the upper bound is finite.
+    pub fn is_finite(self) -> bool {
+        self.hi.is_some()
+    }
+
+    /// Least upper bound of two intervals.
+    fn join(self, other: Bound) -> Bound {
+        Bound {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Classical interval widening of `self` toward `joined` (which
+    /// must already include `self`): a growing upper bound jumps to
+    /// `∞`, a shrinking lower bound drops to `0`.
+    fn widen(self, joined: Bound) -> Bound {
+        Bound {
+            lo: if joined.lo < self.lo { 0 } else { self.lo },
+            hi: match (self.hi, joined.hi) {
+                (Some(a), Some(b)) if b > a => None,
+                (Some(a), Some(_)) => Some(a),
+                _ => None,
+            },
+        }
+    }
+
+    /// Meet with `[1, ∞]` — the guard implies `Chk(e)`.
+    fn require_present(self) -> Bound {
+        Bound {
+            lo: self.lo.max(1),
+            hi: self.hi,
+        }
+    }
+
+    /// Meet with `[0, 0]` — the guard implies `¬Chk(e)`.
+    fn require_absent(self) -> Bound {
+        Bound {
+            lo: self.lo,
+            hi: Some(0),
+        }
+    }
+
+    /// Effect of one `Add_evt`.
+    fn add_one(self) -> Bound {
+        Bound {
+            lo: self.lo.saturating_add(1),
+            hi: self.hi.map(|h| h.saturating_add(1)),
+        }
+    }
+
+    /// Effect of one `Del_evt` — saturating at zero, exactly as the
+    /// engine's scoreboard floors the count.
+    fn del_one(self) -> Bound {
+        Bound {
+            lo: self.lo.saturating_sub(1),
+            hi: self.hi.map(|h| h.saturating_sub(1)),
+        }
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.hi {
+            Some(h) if h == self.lo => write!(f, "{h}"),
+            Some(h) => write!(f, "[{}, {h}]", self.lo),
+            None => write!(f, "[{}, ∞]", self.lo),
+        }
+    }
+}
+
+/// Smallest counter width (bits) that represents counts up to `max`
+/// without saturating: `2^w - 1 ≥ max`, clamped to `1..=64`.
+pub fn width_for(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// Knobs for [`infer_bounds`].
+#[derive(Debug, Clone)]
+pub struct BoundsOptions {
+    /// Refine source intervals with the `Chk_evt` constraints a
+    /// transition's effective guard implies (step 2 above). Sound for
+    /// a monitor that owns its scoreboard outright; **must be off**
+    /// for the local monitor of a multi-clock composition, where
+    /// another clock domain may add or delete the same events between
+    /// local ticks and `Chk(e)`/`¬Chk(e)` say nothing about the local
+    /// action history.
+    pub chk_refinement: bool,
+    /// Number of growing joins tolerated per state before widening
+    /// kicks in. Higher values prove tighter bounds on monitors with
+    /// short re-entrant paths; any value terminates.
+    pub widen_after: u32,
+}
+
+impl Default for BoundsOptions {
+    fn default() -> Self {
+        BoundsOptions {
+            chk_refinement: true,
+            widen_after: 4,
+        }
+    }
+}
+
+/// A `Del_evt` arm that can fire with a provably-zero count — the
+/// deletion is guaranteed to underflow whenever the arm is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnderflowSite {
+    /// Source state of the arm.
+    pub state: StateId,
+    /// Priority index of the arm within the state.
+    pub arm: usize,
+    /// The event whose count is provably zero at the deletion.
+    pub event: SymbolId,
+}
+
+/// Result of [`infer_bounds`]: per-event count intervals, feasible
+/// reachability, infeasible arms and guaranteed-underflow sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsReport {
+    events: Vec<SymbolId>,
+    bounds: Vec<Bound>,
+    feasible: Vec<bool>,
+    infeasible_arms: Vec<(StateId, usize)>,
+    underflows: Vec<UnderflowSite>,
+    final_feasible: bool,
+}
+
+impl BoundsReport {
+    /// The scoreboard events analyzed, in
+    /// [`Monitor::scoreboard_events`] order.
+    pub fn events(&self) -> &[SymbolId] {
+        &self.events
+    }
+
+    /// The global interval of event `e` (join over every feasible
+    /// state), or `None` for an event the monitor never touches.
+    pub fn bound_for(&self, e: SymbolId) -> Option<Bound> {
+        self.events
+            .iter()
+            .position(|&x| x == e)
+            .map(|i| self.bounds[i])
+    }
+
+    /// `(event, interval)` pairs in analysis order.
+    pub fn bounds(&self) -> impl Iterator<Item = (SymbolId, Bound)> + '_ {
+        self.events.iter().copied().zip(self.bounds.iter().copied())
+    }
+
+    /// Whether every event's upper bound is finite.
+    pub fn all_finite(&self) -> bool {
+        self.bounds.iter().all(|b| b.is_finite())
+    }
+
+    /// The largest finite upper bound over all events, or `None` if
+    /// any event is unbounded. A monitor with no scoreboard traffic
+    /// reports `Some(0)`.
+    pub fn max_count(&self) -> Option<u64> {
+        self.bounds
+            .iter()
+            .try_fold(0u64, |acc, b| b.hi.map(|h| acc.max(h)))
+    }
+
+    /// Smallest RTL counter width that provably never saturates, or
+    /// `None` when some count is unbounded (no finite width suffices).
+    pub fn counter_width(&self) -> Option<u32> {
+        self.max_count().map(width_for)
+    }
+
+    /// Whether state `s` is reachable through feasible transitions.
+    pub fn is_feasible(&self, s: StateId) -> bool {
+        self.feasible.get(s.index()).copied().unwrap_or(false)
+    }
+
+    /// States unreachable under the refined (feasibility-aware)
+    /// transition relation.
+    pub fn infeasible_states(&self) -> Vec<StateId> {
+        self.feasible
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| !f)
+            .map(|(i, _)| StateId::from_index(i))
+            .collect()
+    }
+
+    /// Arms of feasible states that can never fire: dead by effective
+    /// guard, or contradicted by the fixpoint intervals (e.g. a
+    /// `Chk(e)` guard where `e`'s count is provably zero).
+    pub fn infeasible_arms(&self) -> &[(StateId, usize)] {
+        &self.infeasible_arms
+    }
+
+    /// `Del_evt` arms guaranteed to underflow (count provably zero at
+    /// the deletion).
+    pub fn underflow_sites(&self) -> &[UnderflowSite] {
+        &self.underflows
+    }
+
+    /// Whether the accept state is feasibly reachable — `false` means
+    /// the chart is vacuous: no trace can ever complete a match.
+    pub fn final_feasible(&self) -> bool {
+        self.final_feasible
+    }
+}
+
+/// Per-arm facts that do not change across the fixpoint: deadness of
+/// the effective guard and the `Chk_evt` constraints it implies.
+struct ArmFacts {
+    dead: bool,
+    /// `(event index, must_be_present)` refinements.
+    chk: Vec<(usize, bool)>,
+}
+
+/// Runs the interval fixpoint over `monitor` and reports per-event
+/// count bounds, feasibility and underflow sites.
+///
+/// # Examples
+///
+/// ```
+/// use cesc_chart::parse_document;
+/// use cesc_core::{infer_bounds, synthesize, BoundsOptions, SynthOptions};
+///
+/// let doc = parse_document(
+///     "scesc hs on clk { instances { M } events { req, ack } \
+///      tick { M: req } tick { M: ack } cause req -> ack; }",
+/// ).unwrap();
+/// let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+/// let report = infer_bounds(&m, &BoundsOptions::default());
+/// let req = doc.alphabet.lookup("req").unwrap();
+/// // repeated requests re-Add without a balancing Del: unbounded
+/// assert!(!report.bound_for(req).unwrap().is_finite());
+/// assert!(report.final_feasible());
+/// ```
+pub fn infer_bounds(monitor: &Monitor, opts: &BoundsOptions) -> BoundsReport {
+    let events = monitor.scoreboard_events();
+    let n_states = monitor.state_count();
+    let slot = |e: SymbolId| events.iter().position(|&x| x == e);
+
+    // per-arm static facts, computed once
+    let facts: Vec<Vec<ArmFacts>> = (0..n_states)
+        .map(|s| {
+            let sid = StateId::from_index(s);
+            let ts = monitor.transitions_from(sid);
+            (0..ts.len())
+                .map(|i| {
+                    let eff = monitor.effective_guard(sid, i);
+                    if !sat::is_satisfiable(&eff) {
+                        return ArmFacts {
+                            dead: true,
+                            chk: Vec::new(),
+                        };
+                    }
+                    let mut chk = Vec::new();
+                    if opts.chk_refinement {
+                        for e in eff.chk_targets().iter() {
+                            let Some(k) = slot(e) else { continue };
+                            if sat::implies(&eff, &Expr::chk(e)) {
+                                chk.push((k, true));
+                            } else if sat::implies(&eff, &Expr::Not(Box::new(Expr::chk(e)))) {
+                                chk.push((k, false));
+                            }
+                        }
+                    }
+                    ArmFacts { dead: false, chk }
+                })
+                .collect()
+        })
+        .collect();
+
+    // environment: per-state interval vector; None = not yet reached
+    let mut envs: Vec<Option<Vec<Bound>>> = vec![None; n_states];
+    let mut updates: Vec<u32> = vec![0; n_states];
+    envs[monitor.initial().index()] = Some(vec![Bound::exact(0); events.len()]);
+
+    let mut worklist: Vec<usize> = vec![monitor.initial().index()];
+    while let Some(s) = worklist.pop() {
+        let Some(env) = envs[s].clone() else { continue };
+        let sid = StateId::from_index(s);
+        for (i, t) in monitor.transitions_from(sid).iter().enumerate() {
+            let f = &facts[s][i];
+            if f.dead {
+                continue;
+            }
+            let Some(mut out) = refine(&env, &f.chk) else {
+                continue;
+            };
+            apply_actions(&mut out, &t.actions, &slot);
+            let target = t.target.index();
+            let merged = match &envs[target] {
+                None => out,
+                Some(old) => {
+                    let joined: Vec<Bound> =
+                        old.iter().zip(&out).map(|(&a, &b)| a.join(b)).collect();
+                    if joined == *old {
+                        continue;
+                    }
+                    if updates[target] >= opts.widen_after {
+                        old.iter().zip(&joined).map(|(&a, &b)| a.widen(b)).collect()
+                    } else {
+                        joined
+                    }
+                }
+            };
+            if envs[target].as_ref() != Some(&merged) {
+                envs[target] = Some(merged);
+                updates[target] += 1;
+                worklist.push(target);
+            }
+        }
+    }
+
+    // harvest: global bounds, feasibility, infeasible arms, underflows
+    let feasible: Vec<bool> = envs.iter().map(Option::is_some).collect();
+    let mut bounds = vec![Bound::exact(0); events.len()];
+    let mut first = true;
+    for env in envs.iter().flatten() {
+        if first {
+            bounds.copy_from_slice(env);
+            first = false;
+        } else {
+            for (b, &e) in bounds.iter_mut().zip(env) {
+                *b = b.join(e);
+            }
+        }
+    }
+
+    let mut infeasible_arms = Vec::new();
+    let mut underflows = Vec::new();
+    for (s, env) in envs.iter().enumerate() {
+        let Some(env) = env else { continue };
+        let sid = StateId::from_index(s);
+        for (i, t) in monitor.transitions_from(sid).iter().enumerate() {
+            let f = &facts[s][i];
+            let refined = if f.dead {
+                None
+            } else {
+                refine(env, &f.chk)
+            };
+            let Some(mut refined) = refined else {
+                infeasible_arms.push((sid, i));
+                continue;
+            };
+            // walk the action list tracking provable underflows
+            for a in &t.actions {
+                match a {
+                    Action::AddEvt(es) => {
+                        for &e in es {
+                            if let Some(k) = slot(e) {
+                                refined[k] = refined[k].add_one();
+                            }
+                        }
+                    }
+                    Action::DelEvt(es) => {
+                        for &e in es {
+                            if let Some(k) = slot(e) {
+                                if refined[k].hi == Some(0) {
+                                    underflows.push(UnderflowSite {
+                                        state: sid,
+                                        arm: i,
+                                        event: e,
+                                    });
+                                }
+                                refined[k] = refined[k].del_one();
+                            }
+                        }
+                    }
+                    Action::Null => {}
+                }
+            }
+        }
+    }
+
+    let final_feasible = feasible[monitor.final_state().index()];
+    BoundsReport {
+        events,
+        bounds,
+        feasible,
+        infeasible_arms,
+        underflows,
+        final_feasible,
+    }
+}
+
+/// Meets `env` with an arm's `Chk_evt` constraints; `None` when some
+/// meet is empty (the arm cannot fire from this abstract state).
+fn refine(env: &[Bound], chk: &[(usize, bool)]) -> Option<Vec<Bound>> {
+    let mut out = env.to_vec();
+    for &(k, present) in chk {
+        out[k] = if present {
+            out[k].require_present()
+        } else {
+            out[k].require_absent()
+        };
+        if out[k].is_empty() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Applies a transition's actions to the abstract environment, in the
+/// same order the engine applies them.
+fn apply_actions(env: &mut [Bound], actions: &[Action], slot: &impl Fn(SymbolId) -> Option<usize>) {
+    for a in actions {
+        match a {
+            Action::AddEvt(es) => {
+                for &e in es {
+                    if let Some(k) = slot(e) {
+                        env[k] = env[k].add_one();
+                    }
+                }
+            }
+            Action::DelEvt(es) => {
+                for &e in es {
+                    if let Some(k) = slot(e) {
+                        env[k] = env[k].del_one();
+                    }
+                }
+            }
+            Action::Null => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{Transition, TransitionKind};
+    use crate::{synthesize, SynthOptions};
+    use cesc_chart::parse_document;
+    use cesc_expr::Alphabet;
+
+    fn chart(src: &str) -> (Monitor, Alphabet) {
+        let doc = parse_document(src).unwrap();
+        let m = synthesize(&doc.charts[0], &SynthOptions::default()).unwrap();
+        (m, doc.alphabet)
+    }
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+        assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bound_ops() {
+        let b = Bound::exact(3);
+        assert_eq!(b.add_one(), Bound::exact(4));
+        assert_eq!(Bound::exact(0).del_one(), Bound::exact(0));
+        assert_eq!(
+            Bound { lo: 1, hi: None }.del_one(),
+            Bound { lo: 0, hi: None }
+        );
+        assert!(Bound::exact(0).require_present().is_empty());
+        assert_eq!(Bound::exact(2).join(Bound::exact(5)), Bound { lo: 2, hi: Some(5) });
+        let w = Bound::exact(2).widen(Bound { lo: 2, hi: Some(5) });
+        assert_eq!(w, Bound { lo: 2, hi: None });
+    }
+
+    #[test]
+    fn chart_without_causality_has_no_counters() {
+        let (m, _) = chart(
+            "scesc p on clk { instances { M } events { a } tick { M: a } }",
+        );
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        assert!(r.events().is_empty());
+        assert_eq!(r.max_count(), Some(0));
+        assert_eq!(r.counter_width(), Some(1));
+        assert!(r.final_feasible());
+    }
+
+    #[test]
+    fn causality_chart_is_unbounded_by_default_synthesis() {
+        // repeated `req` slides re-Add without a balancing Del, and a
+        // completed match leaves its record behind: no finite bound
+        let (m, ab) = chart(
+            "scesc hs on clk { instances { M } events { req, ack } \
+             tick { M: req } tick { M: ack } cause req -> ack; }",
+        );
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        let req = ab.lookup("req").unwrap();
+        assert!(!r.bound_for(req).unwrap().is_finite());
+        assert_eq!(r.counter_width(), None);
+        assert!(r.final_feasible());
+        assert!(r.underflow_sites().is_empty());
+    }
+
+    #[test]
+    fn fresh_add_guard_bounds_at_one() {
+        // ¬Chk(req) on the Add arm enforces one outstanding record, and
+        // the Chk refinement proves it: count(req) ∈ [0, 1]
+        let doc = parse_document(
+            "scesc hs on clk { instances { M } events { req, ack } \
+             tick { M: req } tick { M: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let opts = SynthOptions {
+            fresh_add_guard: true,
+            ..SynthOptions::default()
+        };
+        let m = synthesize(&doc.charts[0], &opts).unwrap();
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        let req = doc.alphabet.lookup("req").unwrap();
+        assert_eq!(r.bound_for(req).unwrap(), Bound { lo: 0, hi: Some(1) });
+        assert_eq!(r.counter_width(), Some(1));
+        assert!(r.final_feasible());
+    }
+
+    #[test]
+    fn refinement_off_loses_the_fresh_add_bound() {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M } events { req, ack } \
+             tick { M: req } tick { M: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let opts = SynthOptions {
+            fresh_add_guard: true,
+            ..SynthOptions::default()
+        };
+        let m = synthesize(&doc.charts[0], &opts).unwrap();
+        let r = infer_bounds(
+            &m,
+            &BoundsOptions {
+                chk_refinement: false,
+                ..BoundsOptions::default()
+            },
+        );
+        let req = doc.alphabet.lookup("req").unwrap();
+        assert!(!r.bound_for(req).unwrap().is_finite());
+    }
+
+    /// s0 --a/Del(e)--> s0 with no Add anywhere: the Del provably
+    /// underflows, and a Chk(e)-guarded arm is infeasible.
+    #[test]
+    fn underflow_and_infeasible_chk() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let e = ab.event("e");
+        let m = Monitor::from_parts(
+            "uf",
+            "clk",
+            vec![
+                vec![
+                    Transition {
+                        guard: Expr::and([Expr::sym(a), Expr::chk(e)]),
+                        actions: vec![],
+                        target: StateId::from_index(1),
+                        kind: TransitionKind::Forward,
+                    },
+                    Transition {
+                        guard: Expr::sym(a),
+                        actions: vec![Action::DelEvt(vec![e])],
+                        target: StateId::from_index(0),
+                        kind: TransitionKind::Backward,
+                    },
+                    Transition {
+                        guard: Expr::t(),
+                        actions: vec![],
+                        target: StateId::from_index(0),
+                        kind: TransitionKind::Backward,
+                    },
+                ],
+                vec![Transition {
+                    guard: Expr::t(),
+                    actions: vec![],
+                    target: StateId::from_index(0),
+                    kind: TransitionKind::Backward,
+                }],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(1),
+            vec![Expr::sym(a)],
+            vec![],
+        );
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        // the Chk(e)-guarded accept arm can never fire: vacuous
+        assert!(!r.final_feasible());
+        assert!(r
+            .infeasible_arms()
+            .contains(&(StateId::from_index(0), 0)));
+        // the Del fires with count provably zero
+        assert_eq!(r.underflow_sites().len(), 1);
+        assert_eq!(r.underflow_sites()[0].event, e);
+        assert_eq!(r.bound_for(e).unwrap(), Bound::exact(0));
+    }
+
+    /// Unbalanced add loop widens to ∞ instead of iterating forever.
+    #[test]
+    fn widening_terminates_add_loop() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let e = ab.event("e");
+        let m = Monitor::from_parts(
+            "loopy",
+            "clk",
+            vec![vec![Transition {
+                guard: Expr::t(),
+                actions: vec![Action::AddEvt(vec![e])],
+                target: StateId::from_index(0),
+                kind: TransitionKind::Backward,
+            }]],
+            StateId::from_index(0),
+            StateId::from_index(0),
+            vec![Expr::sym(a)],
+            vec![e],
+        );
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        assert_eq!(r.bound_for(e).unwrap().hi, None);
+        assert_eq!(r.counter_width(), None);
+    }
+
+    /// A bounded ping-pong: Add on the way up, Del on the way back —
+    /// the fixpoint proves count ≤ 1 without any Chk refinement.
+    #[test]
+    fn balanced_add_del_is_bounded() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let e = ab.event("e");
+        let fwd = |target, actions| Transition {
+            guard: Expr::sym(a),
+            actions,
+            target: StateId::from_index(target),
+            kind: TransitionKind::Forward,
+        };
+        let fall = |target, actions| Transition {
+            guard: Expr::t(),
+            actions,
+            target: StateId::from_index(target),
+            kind: TransitionKind::Backward,
+        };
+        let m = Monitor::from_parts(
+            "pingpong",
+            "clk",
+            vec![
+                vec![
+                    fwd(1, vec![Action::AddEvt(vec![e])]),
+                    fall(0, vec![]),
+                ],
+                vec![
+                    fwd(2, vec![]),
+                    fall(0, vec![Action::DelEvt(vec![e])]),
+                ],
+                vec![fall(0, vec![Action::DelEvt(vec![e])])],
+            ],
+            StateId::from_index(0),
+            StateId::from_index(2),
+            vec![Expr::sym(a), Expr::sym(a)],
+            vec![e],
+        );
+        let r = infer_bounds(
+            &m,
+            &BoundsOptions {
+                chk_refinement: false,
+                ..BoundsOptions::default()
+            },
+        );
+        assert_eq!(r.bound_for(e).unwrap(), Bound { lo: 0, hi: Some(1) });
+        assert_eq!(r.counter_width(), Some(1));
+        assert!(r.underflow_sites().is_empty());
+    }
+
+    /// Soundness spot-check: dynamic max counts never exceed the
+    /// static bound on the protocol-shaped hs chart.
+    #[test]
+    fn dynamic_counts_respect_bound() {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M } events { req, ack } \
+             tick { M: req } tick { M: ack } cause req -> ack; }",
+        )
+        .unwrap();
+        let opts = SynthOptions {
+            fresh_add_guard: true,
+            ..SynthOptions::default()
+        };
+        let m = synthesize(&doc.charts[0], &opts).unwrap();
+        let r = infer_bounds(&m, &BoundsOptions::default());
+        let req = doc.alphabet.lookup("req").unwrap();
+        let bound = r.bound_for(req).unwrap().hi.unwrap();
+        let mut exec = crate::MonitorExec::new(&m);
+        use cesc_expr::Valuation;
+        let vals = [
+            Valuation::of([req]),
+            Valuation::empty(),
+            Valuation::of([req]),
+            Valuation::of([doc.alphabet.lookup("ack").unwrap()]),
+            Valuation::of([req]),
+        ];
+        for v in vals.iter().cycle().take(50).copied() {
+            exec.step(v);
+            assert!(u64::from(exec.scoreboard().count(req)) <= bound);
+        }
+    }
+}

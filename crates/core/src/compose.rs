@@ -410,16 +410,14 @@ pub fn scan_composition(
                 unreachable!("compile is deterministic");
             };
             let mut hits = Vec::new();
-            let mut t = 0u64;
             let mut seen = 0u64;
-            for v in trace {
+            for (t, v) in trace.into_iter().enumerate() {
                 let verdict = chk.step(v);
                 if chk.fulfilled() > seen {
                     seen = chk.fulfilled();
-                    hits.push(t);
+                    hits.push(t as u64);
                 }
                 let _ = verdict;
-                t += 1;
             }
             Ok(hits)
         }

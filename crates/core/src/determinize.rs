@@ -440,7 +440,7 @@ mod tests {
             Expr::t(),
         ];
         let mut det = Determinized::build(&pattern).unwrap();
-        let mut raw = vec![0u8; 24];
+        let mut raw = [0u8; 24];
         raw[13] = 8;
         raw[14] = 4;
         raw[18] = 8;

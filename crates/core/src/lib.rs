@@ -70,6 +70,7 @@
 
 pub mod analysis;
 mod batch;
+pub mod bounds;
 mod checker;
 mod compose;
 mod determinize;
@@ -83,6 +84,7 @@ mod scoreboard;
 mod synth;
 
 pub use analysis::{analyze, MonitorStats};
+pub use bounds::{infer_bounds, width_for, Bound, BoundsOptions, BoundsReport, UnderflowSite};
 pub use batch::{BatchExec, CompileOptions, CompiledMonitor, MonitorBank, BATCH_CHUNK};
 pub use opt::{optimize, OptReport};
 pub use checker::{Checker, ImplicationChecker, Verdict, Violation};

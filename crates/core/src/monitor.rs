@@ -240,6 +240,31 @@ impl Monitor {
         events
     }
 
+    /// Events the monitor itself *writes* — targets of an `Add_evt` or
+    /// `Del_evt` action on any transition (deduplicated, in first-seen
+    /// order). A strict subset of [`Monitor::scoreboard_events`], which
+    /// also includes `Chk_evt`-only targets. The bounds analysis uses
+    /// this to decide event ownership across the local monitors of a
+    /// multi-clock composition: an event written by two locals has no
+    /// per-local bound.
+    pub fn written_events(&self) -> Vec<SymbolId> {
+        let mut out: Vec<SymbolId> = Vec::new();
+        for ts in &self.transitions {
+            for t in ts {
+                for a in &t.actions {
+                    if let Action::AddEvt(es) | Action::DelEvt(es) = a {
+                        for &e in es {
+                            if !out.contains(&e) {
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// The *effective* guard of transition `idx` from `state`: its own
     /// guard conjoined with the negations of all higher-priority guards
     /// — the closed-form labels the paper prints (e.g. Fig 6's

@@ -277,7 +277,7 @@ mod tests {
         assert_eq!(report.pruned_transitions, 1);
         assert_eq!(report.pruned_states, 0);
         assert_eq!(opt.transition_count(), 2);
-        let trace = vec![Valuation::of([a]), Valuation::empty(), Valuation::of([a])];
+        let trace = [Valuation::of([a]), Valuation::empty(), Valuation::of([a])];
         let before = m.scan(trace.iter().copied());
         let after = opt.scan(trace.iter().copied());
         assert_eq!(before.matches, after.matches);
@@ -309,7 +309,7 @@ mod tests {
         assert_eq!(report.pruned_states, 1);
         assert_eq!(opt.state_count(), 2);
         assert_eq!(opt.final_state(), StateId::from_index(1));
-        let trace = vec![Valuation::of([a]), Valuation::empty()];
+        let trace = [Valuation::of([a]), Valuation::empty()];
         assert_eq!(
             m.scan(trace.iter().copied()).matches,
             opt.scan(trace.iter().copied()).matches
@@ -344,7 +344,7 @@ mod tests {
         assert_eq!(report.pruned_transitions, 1, "{report}");
         assert_eq!(report.pruned_states, 1, "{report}");
         assert_eq!(opt.state_count(), 2);
-        assert_eq!(analyze(&opt).is_clean(), true);
+        assert!(analyze(&opt).is_clean());
     }
 
     #[test]
@@ -368,7 +368,7 @@ mod tests {
         assert_eq!(opt.state_count(), 2);
         assert_eq!(report.pruned_states, 0);
         assert!(opt.transitions_from(StateId::from_index(1)).is_empty());
-        let trace = vec![Valuation::of([a]); 4];
+        let trace = [Valuation::of([a]); 4];
         assert_eq!(
             m.scan(trace.iter().copied()).matches,
             opt.scan(trace.iter().copied()).matches

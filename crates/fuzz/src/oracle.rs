@@ -12,12 +12,18 @@
 //! 4. the **RTL interpreter** — the emitted Verilog evaluated
 //!    cycle-accurately against the engine by `cesc-rtl`.
 //!
+//! A fifth leg cross-checks the *static* counter-bounds analysis
+//! (`cesc_core::infer_bounds`, the basis of `cesc lint` and RTL width
+//! inference) against the counts the monitor actually reaches: any
+//! observed count above its inferred upper bound is a soundness
+//! counterexample and fails the case like a verdict disagreement.
+//!
 //! Any disagreement is a [`Discrepancy`] carrying enough context to
 //! replay and minimize the case. Assert compositions are checked
 //! serial-vs-sharded, and multiclock specs serial-vs-sharded over an
 //! interleaved global run.
 
-use cesc_core::{CompiledMonitor, ScanReport};
+use cesc_core::{CompiledMonitor, MonitorExec, ScanReport};
 use cesc_expr::Valuation;
 use cesc_hdl::VerilogOptions;
 use cesc_par::{plan_shards, scan_sharded, scan_sharded_global, Fleet, ParOptions};
@@ -81,7 +87,8 @@ pub struct CaseReport {
     pub matches: u64,
 }
 
-/// Runs the four-way differential on one case.
+/// Runs the four-way differential plus the bound-soundness leg on
+/// one case.
 ///
 /// # Errors
 ///
@@ -225,7 +232,62 @@ pub fn run_case(input: &CaseInput) -> Result<CaseReport, Box<Discrepancy>> {
         report.charts_checked += 1;
         report.matches += base.matches.len() as u64;
     }
+
+    // leg 5: bound soundness — the static interval analysis
+    // (`cesc_core::infer_bounds`, the basis of `cesc lint` and the
+    // inferred RTL counter widths) must cover every count the
+    // synthesized monitor actually reaches on the stimulus
+    for &(idx, _) in &baselines {
+        let spec = set.chart_spec(idx).expect("compiled above");
+        let name = set.target_name(TargetRef::Chart(idx)).to_owned();
+        if let Some(d) = bound_soundness(&name, spec, set.alphabet(), trace) {
+            return Err(Box::new(d));
+        }
+    }
     Ok(report)
+}
+
+/// Steps the *synthesized* monitor (the form the bounds were inferred
+/// on) over `trace`, recording the maximum scoreboard count of every
+/// tracked event, and reports a discrepancy when any observed count
+/// exceeds its static upper bound — a counterexample to the abstract
+/// interpretation's soundness.
+fn bound_soundness(
+    target: &str,
+    spec: &cesc_spec::ChartSpec,
+    ab: &cesc_expr::Alphabet,
+    trace: &[Valuation],
+) -> Option<Discrepancy> {
+    let monitor = spec.synthesized();
+    let bounds = spec.bounds();
+    let events = monitor.scoreboard_events();
+    let mut maxima = vec![0u32; events.len()];
+    let mut exec = MonitorExec::new(monitor);
+    for &v in trace {
+        exec.step(v);
+        for (slot, &e) in events.iter().enumerate() {
+            maxima[slot] = maxima[slot].max(exec.scoreboard().count(e));
+        }
+    }
+    for (slot, &e) in events.iter().enumerate() {
+        let Some(bound) = bounds.bound_for(e) else {
+            continue;
+        };
+        if let Some(hi) = bound.hi {
+            if u64::from(maxima[slot]) > hi {
+                return Some(Discrepancy {
+                    stage: "bound-soundness".into(),
+                    target: target.to_owned(),
+                    detail: format!(
+                        "static bound of `{}` is {bound} but the monitor reached count {}",
+                        ab.name(e),
+                        maxima[slot]
+                    ),
+                });
+            }
+        }
+    }
+    None
 }
 
 /// One multiclock differential case: per-clock traces interleaved on a

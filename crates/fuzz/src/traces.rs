@@ -74,7 +74,7 @@ pub fn chunking(rng: &mut StdRng, trace_len: usize) -> usize {
     if rng.random_bool(0.2) {
         trace_len.max(1)
     } else {
-        rng.random_range(1..=trace_len.max(1).min(17))
+        rng.random_range(1..=trace_len.clamp(1, 17))
     }
 }
 

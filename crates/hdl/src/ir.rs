@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use cesc_core::{Action, Monitor, StateId};
+use cesc_core::{infer_bounds, Action, BoundsOptions, Monitor, StateId};
 use cesc_expr::{Alphabet, Expr, SymbolId};
 
 use crate::names::NameMap;
@@ -248,14 +248,29 @@ fn action_deltas(actions: &[Action]) -> HashMap<SymbolId, i64> {
     deltas
 }
 
+/// The counter width the lowering will use: the explicit override
+/// when given, otherwise the smallest width the monitor's
+/// counter-bounds analysis proves can never saturate, otherwise
+/// [`crate::DEFAULT_COUNTER_WIDTH`] for unbounded charts.
+pub fn resolve_counter_width(monitor: &Monitor, opts: &VerilogOptions) -> u32 {
+    opts.counter_width
+        .unwrap_or_else(|| {
+            infer_bounds(monitor, &BoundsOptions::default())
+                .counter_width()
+                .unwrap_or(crate::DEFAULT_COUNTER_WIDTH)
+        })
+        .clamp(1, 64)
+}
+
 /// Lowers a synthesized [`Monitor`] into the structured RTL IR.
 ///
 /// The module observes [`Monitor::observed_symbols`] as input ports and
 /// keeps one counter per [`Monitor::scoreboard_events`] entry, so every
 /// guard atom and counter update resolves inside the module. The state
 /// register width is clamped to ≥ 1 bit (a degenerate 1-state monitor
-/// would otherwise need a 0-bit register), and `opts.counter_width` is
-/// clamped to `1..=64` — the interpreter models counters in `u64`, and
+/// would otherwise need a 0-bit register), and the counter width —
+/// explicit or bounds-inferred, see [`resolve_counter_width`] — is
+/// clamped to `1..=64`: the interpreter models counters in `u64`, and
 /// a register wider than 64 bits could not be executed bit-for-bit.
 pub fn lower_monitor(monitor: &Monitor, alphabet: &Alphabet, opts: &VerilogOptions) -> RtlModule {
     let names = NameMap::new(alphabet, &[opts.reset_name.as_str()]);
@@ -324,7 +339,7 @@ pub fn lower_monitor(monitor: &Monitor, alphabet: &Alphabet, opts: &VerilogOptio
         chart: monitor.name().to_owned(),
         clock: monitor.clock().to_owned(),
         reset: opts.reset_name.clone(),
-        counter_width: opts.counter_width.clamp(1, 64),
+        counter_width: resolve_counter_width(monitor, opts),
         saturating: opts.saturating,
         state_width,
         initial: monitor.initial().index() as u32,
@@ -558,7 +573,7 @@ mod tests {
             &m,
             &doc.alphabet,
             &VerilogOptions {
-                counter_width: 3,
+                counter_width: Some(3),
                 ..Default::default()
             },
         );
@@ -570,7 +585,7 @@ mod tests {
             &m,
             &doc.alphabet,
             &VerilogOptions {
-                counter_width: 200,
+                counter_width: Some(200),
                 ..Default::default()
             },
         );
@@ -580,7 +595,7 @@ mod tests {
             &m,
             &doc.alphabet,
             &VerilogOptions {
-                counter_width: 0,
+                counter_width: Some(0),
                 ..Default::default()
             },
         );

@@ -47,8 +47,11 @@ mod sva;
 mod testbench;
 mod verilog;
 
-pub use ir::{lower_monitor, render_verilog, RtlArm, RtlCounter, RtlInput, RtlModule, RtlUpdate};
+pub use ir::{
+    lower_monitor, render_verilog, resolve_counter_width, RtlArm, RtlCounter, RtlInput, RtlModule,
+    RtlUpdate,
+};
 pub use names::{sanitize, NameMap};
 pub use sva::{emit_sva_cover, emit_sva_implication, sva_loses_scoreboard, SvaOptions};
 pub use testbench::{emit_testbench, TestbenchOptions};
-pub use verilog::{emit_verilog, expr_to_verilog, VerilogOptions};
+pub use verilog::{emit_verilog, expr_to_verilog, VerilogOptions, DEFAULT_COUNTER_WIDTH};

@@ -27,7 +27,16 @@ pub struct VerilogOptions {
     /// Module name prefix (`<prefix>_<monitor name>`).
     pub module_prefix: String,
     /// Bit width of the scoreboard counters (clamped to `1..=64`).
-    pub counter_width: u32,
+    ///
+    /// `None` (the default) infers the width from the monitor's
+    /// counter-bounds analysis ([`cesc_core::infer_bounds`]): when
+    /// every count has a finite upper bound `B`, the smallest width
+    /// with `2^w - 1 ≥ B` is used — the saturating counters then
+    /// provably never saturate, so the narrowed RTL stays exactly
+    /// equivalent to the unbounded engine scoreboard. When some count
+    /// is unbounded no width is safe; the lowering falls back to
+    /// [`DEFAULT_COUNTER_WIDTH`] (and `cesc lint` flags the chart).
+    pub counter_width: Option<u32>,
     /// Active-low asynchronous reset name.
     pub reset_name: String,
     /// Counter increments saturate at `2^counter_width - 1` (default)
@@ -38,11 +47,15 @@ pub struct VerilogOptions {
     pub saturating: bool,
 }
 
+/// Counter width used when no explicit width is given and the bounds
+/// analysis cannot prove a finite ceiling.
+pub const DEFAULT_COUNTER_WIDTH: u32 = 8;
+
 impl Default for VerilogOptions {
     fn default() -> Self {
         VerilogOptions {
             module_prefix: "cesc_monitor".to_owned(),
-            counter_width: 8,
+            counter_width: None,
             reset_name: "rst_n".to_owned(),
             saturating: true,
         }
@@ -171,7 +184,7 @@ mod tests {
         let (doc, m) = fig6_monitor();
         let opts = VerilogOptions {
             module_prefix: "chk".to_owned(),
-            counter_width: 4,
+            counter_width: Some(4),
             reset_name: "resetn".to_owned(),
             saturating: true,
         };

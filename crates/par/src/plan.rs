@@ -168,7 +168,7 @@ pub fn plan_shards(fleet: &Fleet, jobs: usize) -> ShardPlan {
     let mut items = cost_items(fleet);
     // LPT: heaviest first; ties broken by insertion order for
     // determinism (sort is stable)
-    items.sort_by(|a, b| b.cost.cmp(&a.cost));
+    items.sort_by_key(|item| std::cmp::Reverse(item.cost));
 
     let mut shards: Vec<Vec<FleetItem>> = vec![Vec::new(); jobs];
     let mut loads = vec![0u64; jobs];

@@ -126,12 +126,29 @@ pub fn bus_scenarios() -> Vec<BusScenario> {
 /// — what `cesc check --all-charts` and the SpecSet coverage tests
 /// load. Charts on the same bus share their event symbols; the
 /// combined alphabet stays well under the 128-symbol budget.
+///
+/// The document carries a `// lint: allow(unbounded-counter)`
+/// annotation: every bus chart re-`Add`s its request event on slides
+/// and exits its accept state without a `Del`, so the request counts
+/// are genuinely unbounded under default synthesis. That is a *true*
+/// L010 finding — it is exactly the saturate-then-drain divergence the
+/// RTL co-simulation oracle reproduces on pathological traffic — and
+/// it is accepted here because the engine scoreboard is unbounded and
+/// the emitted RTL counters saturate (never wrap), keeping `Chk_evt`
+/// conservative.
 pub fn bus_library_src() -> String {
-    bus_scenarios()
+    let charts = bus_scenarios()
         .iter()
         .map(|s| s.src)
         .collect::<Vec<_>>()
-        .join("\n")
+        .join("\n");
+    format!(
+        "// Bus protocol library: AXI4-Lite, APB, Wishbone.\n\
+         // lint: allow(unbounded-counter) — request counts grow without bound under\n\
+         // default synthesis (re-Add on slide, no Del on accept); saturating RTL\n\
+         // counters keep Chk_evt conservative, so the charts ship as-is.\n\
+         {charts}"
+    )
 }
 
 #[cfg(test)]

@@ -265,7 +265,7 @@ mod tests {
         let mut ab = cesc_expr::Alphabet::new();
         let m = accumulator(&mut ab);
         let opts = VerilogOptions {
-            counter_width: 2,
+            counter_width: Some(2),
             saturating: false,
             ..Default::default()
         };
@@ -296,7 +296,7 @@ mod tests {
         let mut ab = cesc_expr::Alphabet::new();
         let m = accumulator(&mut ab);
         let opts = VerilogOptions {
-            counter_width: 2,
+            counter_width: Some(2),
             saturating: true,
             ..Default::default()
         };

@@ -180,7 +180,7 @@ impl<'m> RtlInterp<'m> {
             } else {
                 let mag = (-delta) as u64;
                 // the rendered `(sb > m) ? sb - m : 0` ternary
-                *c = if *c > mag { *c - mag } else { 0 };
+                *c = (*c).saturating_sub(mag);
             }
         }
         self.state = next;
@@ -292,7 +292,7 @@ mod tests {
             &m,
             &ab,
             &VerilogOptions {
-                counter_width: 2, // wraps at 4 adds
+                counter_width: Some(2), // wraps at 4 adds
                 saturating: false,
                 ..Default::default()
             },
@@ -307,7 +307,7 @@ mod tests {
             &m,
             &ab,
             &VerilogOptions {
-                counter_width: 2,
+                counter_width: Some(2),
                 saturating: true,
                 ..Default::default()
             },

@@ -522,7 +522,6 @@ mod tests {
         let ack = doc.alphabet.lookup("ack").unwrap();
 
         let mut sim = Simulation::new();
-        let clocks_owned;
         sim.add_clock(ClockDomain::new("clk", 1, 0));
         sim.add_transactor(Box::new(PeriodicTransactor::new(
             "clk",
@@ -530,7 +529,7 @@ mod tests {
             1,
             0,
         )));
-        clocks_owned = sim.clocks().clone();
+        let clocks_owned = sim.clocks().clone();
         let mut harness = OnlineHarness::new();
         let idx = harness.attach(&clocks_owned, &m);
         sim.run_with(9, |clocks, step| harness.observe(clocks, step));

@@ -37,9 +37,11 @@ use std::fmt;
 
 use cesc_chart::{parse_document, Cesc, Document, Scesc};
 use cesc_core::{
-    compile, optimize, synthesize, synthesize_multiclock, Compiled, CompileOptions,
-    CompiledMonitor, CompiledMultiClock, Monitor, MultiClockMonitor, SynthOptions,
+    compile, infer_bounds, optimize, synthesize, synthesize_multiclock, Bound, BoundsOptions,
+    BoundsReport, Compiled, CompileOptions, CompiledMonitor, CompiledMultiClock, Monitor,
+    MultiClockMonitor, SynthOptions,
 };
+use cesc_expr::SymbolId;
 
 mod clock;
 
@@ -187,9 +189,11 @@ impl fmt::Display for PassReport {
 #[derive(Debug, Clone)]
 pub struct ChartSpec {
     monitor: Monitor,
+    synthesized: Monitor,
     compiled: CompiledMonitor,
     baseline: CompiledMonitor,
     report: Option<PassReport>,
+    bounds: BoundsReport,
 }
 
 impl ChartSpec {
@@ -217,14 +221,33 @@ impl ChartSpec {
     pub fn report(&self) -> Option<&PassReport> {
         self.report.as_ref()
     }
+
+    /// The monitor exactly as synthesized, before any optimization
+    /// pass. Static analyses (`cesc-lint`) run on this form so their
+    /// findings are identical with and without `--no-opt` — the
+    /// optimizer renumbers states and drops arms, which would
+    /// otherwise shift every finding's location.
+    pub fn synthesized(&self) -> &Monitor {
+        &self.synthesized
+    }
+
+    /// The counter-bounds analysis of the synthesized monitor
+    /// (computed once at build time; sound for the optimized form
+    /// too, since passes only remove behaviors).
+    pub fn bounds(&self) -> &BoundsReport {
+        &self.bounds
+    }
 }
 
 /// Compiled artifact bundle of one `multiclock` spec.
 #[derive(Debug, Clone)]
 pub struct MultiSpec {
     monitor: MultiClockMonitor,
+    synthesized: MultiClockMonitor,
     compiled: CompiledMultiClock,
     report: Option<PassReport>,
+    local_bounds: Vec<BoundsReport>,
+    coupled_events: Vec<SymbolId>,
 }
 
 impl MultiSpec {
@@ -243,6 +266,47 @@ impl MultiSpec {
     pub fn report(&self) -> Option<&PassReport> {
         self.report.as_ref()
     }
+
+    /// The multi-clock monitor exactly as synthesized, before any
+    /// optimization pass — the form static analyses run on.
+    pub fn synthesized(&self) -> &MultiClockMonitor {
+        &self.synthesized
+    }
+
+    /// Per-local counter-bounds analyses (computed on the synthesized
+    /// locals, with `Chk_evt` refinement off: through the shared
+    /// scoreboard another domain may change a count between local
+    /// ticks, so `Chk` guards prove nothing about local history).
+    pub fn local_bounds(&self) -> &[BoundsReport] {
+        &self.local_bounds
+    }
+
+    /// Events written (`Add_evt`/`Del_evt`) by more than one local
+    /// monitor. A coupled event has no per-local bound — interleaved
+    /// writers make any single-automaton fixpoint unsound — so its
+    /// effective bound is unbounded.
+    pub fn coupled_events(&self) -> &[SymbolId] {
+        &self.coupled_events
+    }
+
+    /// The sound shared-scoreboard bound of event `e`: the writing
+    /// local's inferred interval when exactly one local writes `e`,
+    /// `[0, ∞]` when several do, `[0, 0]` when none does (`Chk`-only
+    /// traffic never changes a count), `None` when no local touches
+    /// `e` at all.
+    pub fn shared_bound(&self, e: SymbolId) -> Option<Bound> {
+        if self.coupled_events.contains(&e) {
+            return Some(Bound { lo: 0, hi: None });
+        }
+        let mut touched = false;
+        for (local, bounds) in self.synthesized.locals().iter().zip(&self.local_bounds) {
+            if local.written_events().contains(&e) {
+                return bounds.bound_for(e);
+            }
+            touched |= bounds.bound_for(e).is_some();
+        }
+        touched.then(|| Bound::exact(0))
+    }
 }
 
 /// Compiled artifact bundle of one `implies(...)` assertion: the two
@@ -254,6 +318,8 @@ pub struct AssertSpec {
     clock: String,
     antecedent: Monitor,
     consequent: Monitor,
+    antecedent_bounds: BoundsReport,
+    consequent_bounds: BoundsReport,
 }
 
 impl AssertSpec {
@@ -275,6 +341,16 @@ impl AssertSpec {
     /// The consequent monitor.
     pub fn consequent(&self) -> &Monitor {
         &self.consequent
+    }
+
+    /// Counter-bounds analysis of the antecedent monitor.
+    pub fn antecedent_bounds(&self) -> &BoundsReport {
+        &self.antecedent_bounds
+    }
+
+    /// Counter-bounds analysis of the consequent monitor.
+    pub fn consequent_bounds(&self) -> &BoundsReport {
+        &self.consequent_bounds
     }
 }
 
@@ -496,22 +572,27 @@ impl SpecSet {
         let monitor =
             synthesize(chart, &self.options.synth).map_err(|e| SpecError::Compile(e.to_string()))?;
         let baseline = monitor.compiled_with(&CompileOptions::raw());
+        let bounds = infer_bounds(&monitor, &BoundsOptions::default());
         Ok(if self.options.optimize {
             let (opt, _) = optimize(&monitor);
             let compiled = opt.compiled_with(&CompileOptions::optimized());
             let report = PassReport::measure(&baseline, &compiled);
             ChartSpec {
                 monitor: opt,
+                synthesized: monitor,
                 compiled,
                 baseline,
                 report: Some(report),
+                bounds,
             }
         } else {
             ChartSpec {
-                monitor,
+                monitor: monitor.clone(),
+                synthesized: monitor,
                 compiled: baseline.clone(),
                 baseline,
                 report: None,
+                bounds,
             }
         })
     }
@@ -534,6 +615,30 @@ impl SpecSet {
         let spec = &self.doc.multiclock[idx];
         let monitor = synthesize_multiclock(spec, &self.options.synth)
             .map_err(|e| SpecError::Compile(e.to_string()))?;
+        // per-local bounds run with Chk refinement off (shared
+        // scoreboard: other domains may write between local ticks)
+        let local_opts = BoundsOptions {
+            chk_refinement: false,
+            ..BoundsOptions::default()
+        };
+        let local_bounds: Vec<BoundsReport> = monitor
+            .locals()
+            .iter()
+            .map(|m| infer_bounds(m, &local_opts))
+            .collect();
+        let mut coupled_events: Vec<SymbolId> = Vec::new();
+        let mut seen: Vec<SymbolId> = Vec::new();
+        for local in monitor.locals() {
+            for e in local.written_events() {
+                if seen.contains(&e) {
+                    if !coupled_events.contains(&e) {
+                        coupled_events.push(e);
+                    }
+                } else {
+                    seen.push(e);
+                }
+            }
+        }
         Ok(if self.options.optimize {
             let baseline = CompiledMultiClock::with_options(&monitor, &CompileOptions::raw());
             let locals: Vec<Monitor> = monitor
@@ -546,15 +651,21 @@ impl SpecSet {
             let report = PassReport::measure_multi(&baseline, &compiled);
             MultiSpec {
                 monitor: opt,
+                synthesized: monitor,
                 compiled,
                 report: Some(report),
+                local_bounds,
+                coupled_events,
             }
         } else {
             let compiled = CompiledMultiClock::with_options(&monitor, &CompileOptions::raw());
             MultiSpec {
-                monitor,
+                monitor: monitor.clone(),
+                synthesized: monitor,
                 compiled,
                 report: None,
+                local_bounds,
+                coupled_events,
             }
         })
     }
@@ -595,6 +706,9 @@ impl SpecSet {
         let Compiled::Implication(checker) = compiled else {
             unreachable!("assert_capable guarantees an implication compilation");
         };
+        let bounds_opts = BoundsOptions::default();
+        let antecedent_bounds = infer_bounds(checker.antecedent(), &bounds_opts);
+        let consequent_bounds = infer_bounds(checker.consequent(), &bounds_opts);
         let (antecedent, consequent) = if self.options.optimize {
             (
                 optimize(checker.antecedent()).0,
@@ -608,6 +722,8 @@ impl SpecSet {
             clock: clock.clone(),
             antecedent,
             consequent,
+            antecedent_bounds,
+            consequent_bounds,
         })
     }
 }

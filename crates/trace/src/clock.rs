@@ -76,7 +76,7 @@ impl ClockDomain {
     /// Whether this clock ticks at global time `t`.
     #[inline]
     pub fn ticks_at(&self, t: u64) -> bool {
-        t >= self.phase && (t - self.phase) % self.period == 0
+        t >= self.phase && (t - self.phase).is_multiple_of(self.period)
     }
 
     /// The global time of this clock's `n`-th tick (zero-based).

@@ -1,0 +1,9 @@
+//! Prints the combined AXI4-Lite / APB / Wishbone library document
+//! ([`cesc::protocols::bus_library_src`]) on stdout, so shell tooling
+//! can drive the `cesc` CLI over the library that otherwise only
+//! exists as Rust constants — `make verify-lint` pipes it into
+//! `cesc lint --deny`.
+
+fn main() {
+    print!("{}", cesc::protocols::bus_library_src());
+}

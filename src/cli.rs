@@ -10,6 +10,8 @@
 //!             [--force] [--no-opt] [--all-charts --out-dir DIR]
 //! cesc check  <spec.cesc> (--chart NAME)... | --all-charts  --vcd FILE
 //!             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]
+//! cesc lint   <spec.cesc> [--chart NAME]... [--json] [--deny] [--allow RULE]...
+//!             [--counter-width N] [--no-opt]
 //! ```
 //!
 //! Every route goes through **one** compilation front door:
@@ -164,11 +166,16 @@ fn witness_trace(chart: &Scesc) -> Vec<cesc_expr::Valuation> {
 
 /// Renders one chart in `format` (the shared body of [`synth`] and
 /// [`synth_all`]), consuming the spec set's cached compiled artifact.
+/// `counter_width` is the `--counter-width` override: `Some(w)` forces
+/// every RTL scoreboard counter to `w` bits, `None` infers the width
+/// from the counter-bounds analysis (see
+/// [`cesc_hdl::resolve_counter_width`]).
 fn synth_one(
     specs: &SpecSet,
     idx: usize,
     format: SynthFormat,
     force: bool,
+    counter_width: Option<u32>,
 ) -> Result<String, CliError> {
     let doc = specs.document();
     let chart = &doc.charts[idx];
@@ -189,6 +196,10 @@ fn synth_one(
         return Ok(emit_sva_cover(chart, &doc.alphabet, &SvaOptions::default()));
     }
     let monitor = spec.monitor();
+    let vopts = VerilogOptions {
+        counter_width,
+        ..VerilogOptions::default()
+    };
     Ok(match format {
         SynthFormat::Summary => {
             let stats = analyze(monitor);
@@ -204,6 +215,7 @@ fn synth_one(
                 stats.del_slots,
                 stats.is_clean()
             );
+            out.push_str(&bounds_summary(spec.bounds(), &doc.alphabet));
             match spec.report() {
                 Some(report) => out.push_str(&format!("opt: {report}\n")),
                 None => out.push_str("opt: disabled (--no-opt)\n"),
@@ -211,7 +223,7 @@ fn synth_one(
             out
         }
         SynthFormat::Dot => to_dot(monitor, &doc.alphabet),
-        SynthFormat::Verilog => emit_verilog(monitor, &doc.alphabet, &VerilogOptions::default()),
+        SynthFormat::Verilog => emit_verilog(monitor, &doc.alphabet, &vopts),
         SynthFormat::Sva => unreachable!("handled above"),
         SynthFormat::Testbench => {
             let trace = witness_trace(chart);
@@ -221,10 +233,35 @@ fn synth_one(
                 &doc.alphabet,
                 &trace,
                 expected,
-                &TestbenchOptions::default(),
+                &TestbenchOptions {
+                    verilog: vopts,
+                    ..TestbenchOptions::default()
+                },
             )
         }
     })
+}
+
+/// The `bounds:` line of the synth summary: the inferred per-event
+/// count intervals (from [`cesc_spec::ChartSpec::bounds`], computed on
+/// the monitor as synthesized) plus the RTL counter width they imply.
+fn bounds_summary(bounds: &cesc_core::BoundsReport, ab: &cesc_expr::Alphabet) -> String {
+    let intervals: Vec<String> = bounds
+        .bounds()
+        .map(|(e, b)| format!("{} in {b}", ab.name(e)))
+        .collect();
+    if intervals.is_empty() {
+        return "bounds: no scoreboard counters; counter width 1\n".to_owned();
+    }
+    match bounds.counter_width() {
+        Some(w) => format!("bounds: {}; counter width {w}\n", intervals.join(", ")),
+        None => format!(
+            "bounds: {}; unbounded — RTL counters fall back to {} bits and may saturate \
+             (see `cesc lint`)\n",
+            intervals.join(", "),
+            cesc_hdl::DEFAULT_COUNTER_WIDTH
+        ),
+    }
 }
 
 /// `cesc synth`: synthesize the monitor and emit the chosen artifact
@@ -240,21 +277,25 @@ pub fn synth(
     format: SynthFormat,
     force: bool,
 ) -> Result<String, CliError> {
-    synth_with(source, chart, format, force, true)
+    synth_with(source, chart, format, force, true, None)
 }
 
 /// [`synth`] with an explicit optimization switch (`optimize: false`
-/// is the `--no-opt` flag: emit the monitor exactly as synthesized).
+/// is the `--no-opt` flag: emit the monitor exactly as synthesized)
+/// and counter-width override (`counter_width: Some(w)` is the
+/// `--counter-width` flag; `None` infers the width from the bounds
+/// analysis).
 pub fn synth_with(
     source: &str,
     chart: Option<&str>,
     format: SynthFormat,
     force: bool,
     optimize: bool,
+    counter_width: Option<u32>,
 ) -> Result<String, CliError> {
     let specs = load(source, optimize)?;
     let idx = specs.chart_index(chart).map_err(lift)?;
-    synth_one(&specs, idx, format, force)
+    synth_one(&specs, idx, format, force, counter_width)
 }
 
 /// `cesc synth --all-charts --out-dir DIR`: emit one artifact file per
@@ -267,16 +308,18 @@ pub fn synth_all(
     out_dir: &Path,
     force: bool,
 ) -> Result<String, CliError> {
-    synth_all_with(source, format, out_dir, force, true)
+    synth_all_with(source, format, out_dir, force, true, None)
 }
 
-/// [`synth_all`] with an explicit optimization switch.
+/// [`synth_all`] with an explicit optimization switch and
+/// counter-width override (see [`synth_with`]).
 pub fn synth_all_with(
     source: &str,
     format: SynthFormat,
     out_dir: &Path,
     force: bool,
     optimize: bool,
+    counter_width: Option<u32>,
 ) -> Result<String, CliError> {
     let specs = load(source, optimize)?;
     let doc = specs.document();
@@ -322,7 +365,7 @@ pub fn synth_all_with(
             );
             continue;
         }
-        let content = synth_one(&specs, idx, format, force)?;
+        let content = synth_one(&specs, idx, format, force, counter_width)?;
         let path = out_dir.join(format!("{}.{}", stem_for(chart.name()), format.extension()));
         write(&path, &content)?;
         let _ = writeln!(listing, "wrote {} (chart `{}`)", path.display(), chart.name());
@@ -339,7 +382,11 @@ pub fn synth_all_with(
         let mm = specs.multi_spec(idx).map_err(lift)?;
         let mut content = String::new();
         for local in mm.monitor().locals() {
-            content.push_str(&emit_verilog(local, &doc.alphabet, &VerilogOptions::default()));
+            let vopts = VerilogOptions {
+                counter_width,
+                ..VerilogOptions::default()
+            };
+            content.push_str(&emit_verilog(local, &doc.alphabet, &vopts));
             content.push('\n');
         }
         let path = out_dir.join(format!("{}.{}", stem_for(spec.name()), format.extension()));
@@ -825,9 +872,9 @@ pub fn check_cosim(
             b.clear();
         }
         for step in &chunk {
-            for slot in 0..bufs.len() {
+            for (slot, buf) in bufs.iter_mut().enumerate() {
                 if let Some(v) = step.tick_of(ClockId::from_index(slot)) {
-                    bufs[slot].push(v);
+                    buf.push(v);
                 }
             }
         }
@@ -976,12 +1023,13 @@ fn json_opt(report: Option<&cesc_spec::PassReport>) -> String {
     match report {
         Some(r) => format!(
             ",\"opt\":{{\"states\":{},\"transitions\":{},\"guard_ops\":{},\"slots\":{},\
-             \"step_cost\":{}}}",
+             \"step_cost\":[{},{}]}}",
             json::pair(r.states),
             json::pair(r.transitions),
             json::pair(r.guard_ops),
             json::pair(r.slots),
-            format!("[{},{}]", r.step_cost.0, r.step_cost.1),
+            r.step_cost.0,
+            r.step_cost.1,
         ),
         None => String::new(),
     }
@@ -1089,13 +1137,15 @@ fn render_json(
 
 /// The usage banner printed on bad invocations.
 pub fn usage() -> &'static str {
-    "cesc <render|synth|check> <spec.cesc> [options] | cesc fuzz [options]\n\
+    "cesc <render|synth|check|lint> <spec.cesc> [options] | cesc fuzz [options]\n\
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
-            [--force] [--no-opt] [--all-charts --out-dir DIR]\n\
+            [--force] [--no-opt] [--counter-width N] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]\n\
+     lint   <spec> [--chart NAME]... [--json] [--deny] [--allow RULE]...\n\
+            [--counter-width N] [--no-opt]\n\
      fuzz   [--cases N] [--seed N] [--trace-len N] [--sweep-cases N]\n\
             [--corpus-out DIR]\n\
      \n\
@@ -1123,6 +1173,21 @@ pub fn usage() -> &'static str {
                    interpreter, lowered from the optimized monitor) against\n\
                    the unoptimized engine over the dump; any match_pulse\n\
                    disagreement exits with status 2\n\
+     \n\
+     lint statically analyses the synthesized monitors: counter-bound\n\
+     inference (interval abstract interpretation with widening), vacuity\n\
+     and dead-state/arm reachability, guaranteed Del_evt underflow, and\n\
+     guard-overlap shadowing. Findings carry stable ids (L001 vacuity,\n\
+     L002 dead-state, L003 dead-arm, L010 unbounded-counter, L011\n\
+     saturation-risk, L020 underflow, L030 shadowing). Default: every\n\
+     checkable target; --chart selects (repeatable).\n\
+     --json            machine-readable report (schema cesc-lint/1)\n\
+     --deny            exit 2 when any non-allowed error/warning remains\n\
+     --allow RULE      silence a rule by id or name (repeatable); specs may\n\
+                       also annotate `// lint: allow(rule, ...)` in source\n\
+     --counter-width N flag finite bounds exceeding the 2^N-1 counter\n\
+                       ceiling as saturation-risk (synth: force RTL\n\
+                       counter width; default infers from bounds)\n\
      \n\
      fuzz runs a deterministic differential campaign (baseline engine vs\n\
      optimized engine vs sharded fleet vs RTL interpreter on generated\n\
@@ -1165,7 +1230,8 @@ impl Default for FuzzOptions {
 }
 
 /// Runs the bounded deterministic fuzz campaign: the four-way
-/// differential plus the parser and VCD panic-freedom sweeps.
+/// differential (plus its bound-soundness leg) and the parser and VCD
+/// panic-freedom sweeps.
 /// `failed` is set when any leg disagreed or any parser panicked.
 pub fn fuzz(opts: &FuzzOptions) -> CheckOutcome {
     use std::fmt::Write as _;
@@ -1198,4 +1264,176 @@ pub fn fuzz(opts: &FuzzOptions) -> CheckOutcome {
         let _ = writeln!(output, "FUZZ: OK (seed {:#x})", opts.seed);
     }
     CheckOutcome { output, failed }
+}
+
+/// Options for the `cesc lint` subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct LintCliOptions {
+    /// Emit the machine-readable JSON report ([`LINT_JSON_SCHEMA`])
+    /// instead of text — the `--json` flag.
+    pub json: bool,
+    /// Gate on findings: [`CheckOutcome::failed`] is set (the binary
+    /// exits with status 2) when any error- or warning-severity
+    /// finding is not silenced by an allow — the `--deny` flag.
+    pub deny: bool,
+    /// Skip the optimization pass pipeline — the `--no-opt` flag.
+    /// Lint findings are computed on the monitors *as synthesized*
+    /// either way, so the report is identical; the flag only matches
+    /// `check --no-opt` runs for artifact-cache parity.
+    pub no_opt: bool,
+    /// Rules to allow, by id or name (repeatable `--allow RULE`);
+    /// merged with in-source `// lint: allow(...)` annotations.
+    pub allow: Vec<String>,
+    /// Explicit RTL counter width (`--counter-width N`): finite bounds
+    /// exceeding `2^N - 1` raise `saturation-risk` (L011) findings.
+    pub counter_width: Option<u32>,
+}
+
+/// Identifier of the JSON report layout emitted by [`lint`] under
+/// [`LintCliOptions::json`] (the report's `schema` field).
+///
+/// Layout (one object):
+///
+/// ```json
+/// {
+///   "schema": "cesc-lint/1",
+///   "targets": 3,              // checkable targets analyzed
+///   "errors": 1,               // findings per severity (allowed included)
+///   "warnings": 2,
+///   "notes": 1,
+///   "denied": 3,               // non-allowed errors + warnings (the --deny gate)
+///   "failed": true,            // true iff --deny was given and denied > 0
+///   "findings": [
+///     { "rule": "L010",                  // stable catalog id
+///       "name": "unbounded-counter",     // rule name (what --allow takes)
+///       "severity": "warning",           // "note" | "warning" | "error"
+///       "target": "hs",                  // chart / multi local / assert side
+///       "location": "event req",         // state (s1), arm (s1#2), event, or ""
+///       "message": "count of `req` has no finite bound — ...",
+///       "allowed": false }               // silenced by --allow or annotation
+///   ]
+/// }
+/// ```
+///
+/// Findings appear in target order, then rule-catalog order — the same
+/// order as the text report — and are computed on the monitors as
+/// synthesized, so the document is identical with and without
+/// `--no-opt`.
+pub const LINT_JSON_SCHEMA: &str = "cesc-lint/1";
+
+/// `cesc lint`: run the static monitor analyses (counter bounds,
+/// vacuity, underflow, determinism — the `cesc-lint` crate) over the
+/// selected targets and render the findings.
+///
+/// `names` selects targets by name (repeated `--chart`, deduplicated);
+/// empty selects every checkable target, like `check --all-charts`.
+/// In-source `// lint: allow(rule)` annotations are collected from
+/// `source` and merged with [`LintCliOptions::allow`]; unknown rule
+/// names in either are a hard error so typos fail loudly.
+pub fn lint(
+    source: &str,
+    names: &[String],
+    opts: &LintCliOptions,
+) -> Result<CheckOutcome, CliError> {
+    let specs = load(source, !opts.no_opt)?;
+    let mut targets: Vec<TargetRef> = Vec::new();
+    if names.is_empty() {
+        targets = specs.checkable_targets();
+        if targets.is_empty() {
+            return Err(CliError::Pipeline(
+                "document contains no lintable targets".to_owned(),
+            ));
+        }
+    }
+    for name in names {
+        let t = specs.resolve(name).map_err(lift)?;
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+
+    let mut allow = opts.allow.clone();
+    allow.extend(cesc_lint::allows_in_source(source));
+    let lint_opts = cesc_lint::LintOptions {
+        allow,
+        ceiling_width: opts.counter_width,
+    };
+    let report = cesc_lint::lint_targets(&specs, &targets, &lint_opts).map_err(lift)?;
+    let denied = report.denied().len();
+    let failed = opts.deny && denied > 0;
+    let output = if opts.json {
+        render_lint_json(&report, targets.len(), denied, failed)
+    } else {
+        render_lint_text(&report, targets.len(), denied, opts.deny)
+    };
+    Ok(CheckOutcome { output, failed })
+}
+
+fn render_lint_text(
+    report: &cesc_lint::LintReport,
+    targets: usize,
+    denied: usize,
+    deny: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{f}");
+    }
+    let (errors, warnings, notes) = report.tally();
+    let _ = writeln!(
+        out,
+        "lint: {} finding(s) over {} target(s) — {} error(s), {} warning(s), {} note(s); \
+         {} denied",
+        report.findings.len(),
+        targets,
+        errors,
+        warnings,
+        notes,
+        denied
+    );
+    if deny && denied > 0 {
+        let _ = writeln!(out, "LINT: FAIL (--deny: {denied} finding(s))");
+    } else {
+        let _ = writeln!(out, "LINT: OK");
+    }
+    out
+}
+
+fn render_lint_json(
+    report: &cesc_lint::LintReport,
+    targets: usize,
+    denied: usize,
+    failed: bool,
+) -> String {
+    let items: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":{},\"name\":{},\"severity\":{},\"target\":{},\"location\":{},\
+                 \"message\":{},\"allowed\":{}}}",
+                json::string(f.rule.id()),
+                json::string(f.rule.name()),
+                json::string(&f.severity.to_string()),
+                json::string(&f.target),
+                json::string(&f.location),
+                json::string(&f.message),
+                f.allowed
+            )
+        })
+        .collect();
+    let (errors, warnings, notes) = report.tally();
+    format!(
+        "{{\"schema\":{},\"targets\":{},\"errors\":{},\"warnings\":{},\"notes\":{},\
+         \"denied\":{},\"failed\":{},\"findings\":[{}]}}\n",
+        json::string(LINT_JSON_SCHEMA),
+        targets,
+        errors,
+        warnings,
+        notes,
+        denied,
+        failed,
+        items.join(",")
+    )
 }

@@ -18,6 +18,7 @@
 //! | [`semantics`] | `cesc-semantics` | `[[C]]` run-window membership oracle |
 //! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
 //! | [`spec`] | `cesc-spec` | unified spec-compilation front door, optimization pass pipeline |
+//! | [`lint`] | `cesc-lint` | static analysis: counter bounds, vacuity, underflow, shadowing |
 //! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters over the structured RTL IR |
 //! | [`rtl`] | `cesc-rtl` | cycle-accurate RTL interpreter + engine co-simulation |
 //! | [`sim`] | `cesc-sim` | GALS kernel, online harness, Fig 4 flow |
@@ -61,6 +62,7 @@ pub use cesc_core as core;
 pub use cesc_expr as expr;
 pub use cesc_fuzz as fuzz;
 pub use cesc_hdl as hdl;
+pub use cesc_lint as lint;
 pub use cesc_par as par;
 pub use cesc_protocols as protocols;
 pub use cesc_rtl as rtl;

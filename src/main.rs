@@ -5,12 +5,13 @@
 //! cesc render spec.cesc                        # ASCII chart + WaveDrom JSON
 //! cesc synth  spec.cesc --format verilog       # RTL monitor module
 //! cesc check  spec.cesc --all-charts --vcd dump.vcd --jobs 4 --json
+//! cesc lint   spec.cesc --deny --json          # static analysis gate
 //! cesc fuzz   --cases 1000 --seed 0xCE5CF022    # differential campaign
 //! ```
 //!
 //! Exit status: `0` on success, `1` on usage/pipeline errors, `2` when
-//! `check` finds a violated `implies(...)` assertion — the CI-gate
-//! contract.
+//! `check` finds a violated `implies(...)` assertion or `lint --deny`
+//! finds a non-allowed error/warning — the CI-gate contract.
 
 use std::process::ExitCode;
 
@@ -44,6 +45,9 @@ fn run() -> Result<(String, bool), cli::CliError> {
     let mut out_dir: Option<String> = None;
     let mut force = false;
     let mut cosim = false;
+    let mut deny = false;
+    let mut allow: Vec<String> = Vec::new();
+    let mut counter_width: Option<u32> = None;
     let mut check_opts = cli::CheckOptions::default();
     while let Some(flag) = it.next() {
         match flag {
@@ -73,6 +77,23 @@ fn run() -> Result<(String, bool), cli::CliError> {
             }
             "--cosim" => {
                 cosim = true;
+            }
+            "--deny" => {
+                deny = true;
+            }
+            "--allow" => {
+                allow.push(expect_value(&mut it, "--allow")?);
+            }
+            "--counter-width" => {
+                let raw = expect_value(&mut it, "--counter-width")?;
+                counter_width =
+                    Some(raw.parse::<u32>().ok().filter(|&w| (1..=64).contains(&w)).ok_or_else(
+                        || {
+                            cli::CliError::Usage(format!(
+                                "--counter-width {raw}: expected an integer in 1..=64"
+                            ))
+                        },
+                    )?);
             }
             "--jobs" => {
                 let raw = expect_value(&mut it, "--jobs")?;
@@ -114,6 +135,7 @@ fn run() -> Result<(String, bool), cli::CliError> {
                     std::path::Path::new(&out_dir),
                     force,
                     !check_opts.no_opt,
+                    counter_width,
                 )?,
                 false,
             ))
@@ -125,9 +147,24 @@ fn run() -> Result<(String, bool), cli::CliError> {
                 format,
                 force,
                 !check_opts.no_opt,
+                counter_width,
             )?,
             false,
         )),
+        "lint" => {
+            let outcome = cli::lint(
+                &source,
+                &charts,
+                &cli::LintCliOptions {
+                    json: check_opts.json,
+                    deny,
+                    no_opt: check_opts.no_opt,
+                    allow,
+                    counter_width,
+                },
+            )?;
+            Ok((outcome.output, outcome.failed))
+        }
         "check" => {
             if charts.is_empty() && !all_charts {
                 return Err(cli::CliError::Usage(

@@ -609,7 +609,7 @@ fn synth_summary_reports_the_pass_pipeline() {
     assert!(summary.contains("opt: states"), "{summary}");
     assert!(summary.contains("scoreboard slots"), "{summary}");
     // --no-opt: same monitor, explicit marker instead of a report
-    let raw = cesc::cli::synth_with(SPEC, Some("hs"), SynthFormat::Summary, false, false)
+    let raw = cesc::cli::synth_with(SPEC, Some("hs"), SynthFormat::Summary, false, false, None)
         .unwrap();
     assert!(raw.contains("opt: disabled (--no-opt)"), "{raw}");
     assert!(raw.contains("analysis:"), "{raw}");

@@ -289,7 +289,7 @@ fn wrapping_counters_regress_past_the_width() {
 
     for width in [2u32, 8] {
         let wrap = VerilogOptions {
-            counter_width: width,
+            counter_width: Some(width),
             saturating: false,
             ..Default::default()
         };
@@ -298,7 +298,7 @@ fn wrapping_counters_regress_past_the_width() {
         assert!(err.engine_pulse && !err.rtl_pulse, "width {width}: {err}");
 
         let sat = VerilogOptions {
-            counter_width: width,
+            counter_width: Some(width),
             saturating: true,
             ..Default::default()
         };
@@ -355,7 +355,7 @@ fn saturation_drain_limit_is_pinned() {
         vec![a],
     );
     let opts = VerilogOptions {
-        counter_width: 2, // saturates at 3
+        counter_width: Some(2), // saturates at 3
         saturating: true,
         ..Default::default()
     };
@@ -436,7 +436,7 @@ fn saturation_drain_boundary_is_exact() {
 
     for (width, sat) in [(2u32, 3u64), (3, 7)] {
         let opts = VerilogOptions {
-            counter_width: width,
+            counter_width: Some(width),
             saturating: true,
             ..Default::default()
         };
