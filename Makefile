@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint verify-obs build test doc bench clean
 
-verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign
+verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign + observability gate
 	$(CARGO) build --release
 	$(CARGO) build --examples
 	$(CARGO) test -q
@@ -16,6 +16,7 @@ verify: ## release build + examples + full test suite + clean rustdoc + clippy -
 	$(MAKE) verify-spec
 	$(MAKE) verify-lint
 	$(MAKE) verify-fuzz
+	$(MAKE) verify-obs
 
 verify-spec: ## optimized == unoptimized: cesc-spec unit suite + the opt-equivalence property suite + the opt bench compiles
 	$(CARGO) test -q -p cesc-spec
@@ -45,6 +46,17 @@ verify-lint: ## static-analysis gate: the lint soundness property suite, then `c
 	for f in examples/specs/*.cesc; do ./target/release/cesc lint $$f --deny || exit 1; done
 	$(CARGO) run --release --quiet --example bus_library_spec > target/bus_library.cesc
 	./target/release/cesc lint target/bus_library.cesc --deny
+
+verify-obs: ## observability gate: cesc-obs unit suite + the cross-layer serial==sharded counter properties + a release `check --jobs 4 --stats-json` smoke over a generated 120k-step dump
+	$(CARGO) test -q -p cesc-obs
+	$(CARGO) test -q --test obs_stats
+	$(CARGO) build --release --quiet
+	$(CARGO) run --release --quiet --example fleet_obs_dump
+	./target/release/cesc check target/obs_smoke.cesc --all-charts --vcd target/obs_smoke.vcd \
+		--jobs 4 --stats --stats-json target/obs_smoke.json
+	grep -q '"schema":"cesc-obs/1"' target/obs_smoke.json
+	grep -q '"name":"execute"' target/obs_smoke.json
+	grep -q '"utilization":' target/obs_smoke.json
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run

@@ -137,6 +137,24 @@ fn bench(c: &mut Criterion) {
         },
     );
     g.finish();
+
+    // one-line JSON trajectory record (shared shape, see cesc_bench)
+    let step_s = cesc_bench::time_per_pass(3, || {
+        black_box(monitor.scan(&trace).matches.len());
+    });
+    let batch_s = cesc_bench::time_per_pass(10, || {
+        black_box(monitor.scan_batch(trace.as_slice()).matches.len());
+    });
+    cesc_bench::emit_record(
+        "bank_throughput",
+        "ocp_burst_read",
+        trace.len(),
+        batch_s,
+        &[
+            ("stepwise_melem_per_s", cesc_bench::melem_per_s(trace.len(), step_s)),
+            ("speedup", step_s / batch_s),
+        ],
+    );
 }
 
 criterion_group!(name = group; config = quick(); targets = bench);

@@ -88,6 +88,24 @@ fn bench(c: &mut Criterion) {
         },
     );
     g.finish();
+
+    // one-line JSON trajectory record (shared shape, see cesc_bench)
+    let step_s = cesc_bench::time_per_pass(3, || {
+        black_box(monitor.scan(&clocks, &run).len());
+    });
+    let batch_s = cesc_bench::time_per_pass(5, || {
+        black_box(monitor.scan_batch(&clocks, &run).len());
+    });
+    cesc_bench::emit_record(
+        "multiclock_throughput",
+        "fig2_read_coupled",
+        run.len(),
+        batch_s,
+        &[
+            ("stepwise_melem_per_s", cesc_bench::melem_per_s(run.len(), step_s)),
+            ("speedup", step_s / batch_s),
+        ],
+    );
 }
 
 criterion_group!(name = group; config = quick(); targets = bench);

@@ -95,29 +95,23 @@ fn bench(c: &mut Criterion) {
     g.finish();
 
     // one-line JSON trajectory record (stable keys, machine-parsable)
-    let elems = trace.len() as f64;
-    let time_per_pass = |bank: &mut MonitorBank| {
-        // warm up once, then time a fixed pass count
-        bank.reset();
-        bank.scan_batch(trace.as_slice());
-        const PASSES: u32 = 20;
-        let start = std::time::Instant::now();
-        for _ in 0..PASSES {
-            bank.reset();
-            bank.scan_batch(black_box(trace.as_slice()));
-        }
-        start.elapsed().as_secs_f64() / f64::from(PASSES)
-    };
-    let raw_s = time_per_pass(&mut raw_bank);
-    let opt_s = time_per_pass(&mut opt_bank);
-    println!(
-        "{{\"bench\":\"opt_throughput\",\"workload\":\"ocp_fleet_3_monitors\",\
-         \"elements\":{},\"raw_elems_per_s\":{:.0},\"opt_elems_per_s\":{:.0},\
-         \"speedup\":{:.3}}}",
+    let raw_s = cesc_bench::time_per_pass(20, || {
+        raw_bank.reset();
+        raw_bank.scan_batch(black_box(trace.as_slice()));
+    });
+    let opt_s = cesc_bench::time_per_pass(20, || {
+        opt_bank.reset();
+        opt_bank.scan_batch(black_box(trace.as_slice()));
+    });
+    cesc_bench::emit_record(
+        "opt_throughput",
+        "ocp_fleet_3_monitors",
         trace.len(),
-        elems / raw_s,
-        elems / opt_s,
-        raw_s / opt_s
+        opt_s,
+        &[
+            ("raw_melem_per_s", cesc_bench::melem_per_s(trace.len(), raw_s)),
+            ("speedup", raw_s / opt_s),
+        ],
     );
 }
 

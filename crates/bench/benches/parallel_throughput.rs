@@ -124,6 +124,27 @@ fn bench(c: &mut Criterion) {
         );
     }
     g.finish();
+
+    // one-line JSON trajectory record (shared shape, see cesc_bench)
+    let serial_s = cesc_bench::time_per_pass(5, || {
+        bank.reset();
+        bank.feed(black_box(trace.as_slice()));
+    });
+    let plan4 = plan_shards(&fleet, 4);
+    let fleet_s = cesc_bench::time_per_pass(5, || {
+        let report = scan_sharded(&fleet, &plan4, &opts, black_box(trace.as_slice()), BATCH_CHUNK);
+        black_box(report.singles.len());
+    });
+    cesc_bench::emit_record(
+        "parallel_throughput",
+        "fleet_16_monitors_4_jobs",
+        trace.len(),
+        fleet_s,
+        &[
+            ("serial_melem_per_s", cesc_bench::melem_per_s(trace.len(), serial_s)),
+            ("speedup", serial_s / fleet_s),
+        ],
+    );
 }
 
 criterion_group!(name = group; config = quick(); targets = bench);

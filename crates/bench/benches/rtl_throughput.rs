@@ -91,6 +91,30 @@ fn bench_workload(c: &mut Criterion, label: &str, doc: &cesc_chart::Document, ch
         },
     );
     g.finish();
+
+    // one-line JSON trajectory record (shared shape, see cesc_bench)
+    let engine_s = cesc_bench::time_per_pass(5, || {
+        let mut exec = compiled.executor();
+        let mut hits = Vec::new();
+        exec.feed(black_box(trace.as_slice()), &mut hits);
+        black_box(hits.len());
+    });
+    let rtl_s = cesc_bench::time_per_pass(3, || {
+        let mut rtl = RtlInterp::new(&module);
+        let mut hits = Vec::new();
+        rtl.feed(black_box(trace.as_slice()), &mut hits);
+        black_box(hits.len());
+    });
+    cesc_bench::emit_record(
+        "rtl_throughput",
+        label,
+        trace.len(),
+        rtl_s,
+        &[
+            ("engine_melem_per_s", cesc_bench::melem_per_s(trace.len(), engine_s)),
+            ("engine_speedup", rtl_s / engine_s),
+        ],
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -64,3 +64,57 @@ pub fn adversarial_pattern_and_trace(len: usize) -> (Alphabet, Vec<Expr>, Trace)
 pub fn synth(chart: &Scesc) -> Monitor {
     synthesize(chart, &SynthOptions::default()).expect("bench chart synthesizable")
 }
+
+/// Mean seconds per pass of `pass` (one full sweep over the bench
+/// workload): one untimed warm-up call, then `passes` timed calls.
+pub fn time_per_pass(passes: u32, mut pass: impl FnMut()) -> f64 {
+    pass();
+    let start = std::time::Instant::now();
+    for _ in 0..passes.max(1) {
+        pass();
+    }
+    start.elapsed().as_secs_f64() / f64::from(passes.max(1))
+}
+
+/// Millions of trace elements per second for a pass over `elements`
+/// elements taking `secs_per_pass` seconds.
+pub fn melem_per_s(elements: usize, secs_per_pass: f64) -> f64 {
+    if secs_per_pass <= 0.0 {
+        return 0.0;
+    }
+    elements as f64 / secs_per_pass / 1e6
+}
+
+/// Prints the one-line machine-readable throughput record every
+/// `*_throughput` bench emits, so the recorded bench output shares one
+/// grep-able shape:
+///
+/// ```json
+/// {"bench":"bank_throughput","workload":"ocp_burst_read",
+///  "elements":65000,"melem_per_s":12.416,"speedup":3.102}
+/// ```
+///
+/// `secs_per_pass` is the primary configuration's pass time over
+/// `elements` (see [`time_per_pass`]); `extra` appends additional
+/// numeric fields (comparison rates, speedups) after the shared keys,
+/// each rendered with three decimals.
+pub fn emit_record(
+    bench: &str,
+    workload: &str,
+    elements: usize,
+    secs_per_pass: f64,
+    extra: &[(&str, f64)],
+) {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "{{\"bench\":\"{bench}\",\"workload\":\"{workload}\",\"elements\":{elements},\
+         \"melem_per_s\":{:.3}",
+        melem_per_s(elements, secs_per_pass)
+    );
+    for (k, v) in extra {
+        let v = if v.is_finite() { *v } else { 0.0 };
+        let _ = write!(line, ",\"{k}\":{v:.3}");
+    }
+    line.push('}');
+    println!("{line}");
+}

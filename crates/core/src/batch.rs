@@ -934,6 +934,12 @@ pub struct MonitorBank {
     /// (monitors whose clock is absent from the set appear in no group
     /// and see no ticks).
     pub(crate) clock_groups: Vec<(cesc_trace::ClockId, Vec<usize>)>,
+    /// When set, [`MonitorBank::feed`] / `feed_global` accumulate
+    /// per-member execution nanoseconds (one `Instant` pair per member
+    /// per chunk — off by default so the hot path stays timer-free).
+    pub(crate) timing: bool,
+    pub(crate) member_ns: Vec<u64>,
+    pub(crate) multi_member_ns: Vec<u64>,
 }
 
 impl MonitorBank {
@@ -953,8 +959,36 @@ impl MonitorBank {
         self.boards.push(BatchBoard::sized(compiled.count_slots()));
         self.monitors.push(compiled);
         self.hits.push(Vec::new());
+        self.member_ns.push(0);
         self.bound_clocks = None; // new member: feed_global must rebind
         self.monitors.len() - 1
+    }
+
+    /// Turns per-member execution timing on or off (off by default).
+    /// While on, each `feed`/`feed_global` chunk costs one clock read
+    /// pair per member, accumulated into
+    /// [`MonitorBank::member_exec_ns`].
+    pub fn set_member_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// Accumulated execution nanoseconds of single-clock member `idx`
+    /// (zero unless [`MonitorBank::set_member_timing`] was on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn member_exec_ns(&self, idx: usize) -> u64 {
+        self.member_ns[idx]
+    }
+
+    /// Accumulated execution nanoseconds of multi-clock member `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn multiclock_exec_ns(&self, idx: usize) -> u64 {
+        self.multi_member_ns[idx]
     }
 
     /// Number of attached single-clock monitors (multi-clock members
@@ -1003,18 +1037,24 @@ impl MonitorBank {
     /// Feeds one shared chunk to every monitor (each visits the chunk
     /// once, tables staying hot per monitor).
     pub fn feed(&mut self, chunk: &[Valuation]) {
-        for (((m, st), board), hits) in self
+        let timing = self.timing;
+        for (idx, (((m, st), board), hits)) in self
             .monitors
             .iter()
             .zip(&mut self.states)
             .zip(&mut self.boards)
             .zip(&mut self.hits)
+            .enumerate()
         {
+            let started = timing.then(std::time::Instant::now);
             for &v in chunk {
                 let tick = st.ticks;
                 if st.step(m, v, board) {
                     hits.push(tick);
                 }
+            }
+            if let Some(t0) = started {
+                self.member_ns[idx] += t0.elapsed().as_nanos() as u64;
             }
         }
     }

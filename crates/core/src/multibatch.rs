@@ -434,6 +434,7 @@ impl crate::MonitorBank {
         let state = compiled.state();
         self.multis.push((compiled, state));
         self.multi_hits.push(Vec::new());
+        self.multi_member_ns.push(0);
         self.bound_clocks = None; // new member: feed_global must rebind
         self.multis.len() - 1
     }
@@ -504,6 +505,7 @@ impl crate::MonitorBank {
                 }
             }
             for &idx in members {
+                let started = self.timing.then(std::time::Instant::now);
                 let (m, st) = (&self.monitors[idx], &mut self.states[idx]);
                 let (board, hits) = (&mut self.boards[idx], &mut self.hits[idx]);
                 for (&v, &t) in self.proj_vals.iter().zip(&self.proj_times) {
@@ -511,10 +513,23 @@ impl crate::MonitorBank {
                         hits.push(t);
                     }
                 }
+                if let Some(t0) = started {
+                    self.member_ns[idx] += t0.elapsed().as_nanos() as u64;
+                }
             }
         }
-        for ((cm, st), hits) in self.multis.iter_mut().zip(&mut self.multi_hits) {
+        let timing = self.timing;
+        for (idx, ((cm, st), hits)) in self
+            .multis
+            .iter_mut()
+            .zip(&mut self.multi_hits)
+            .enumerate()
+        {
+            let started = timing.then(std::time::Instant::now);
             cm.feed(st, steps, hits);
+            if let Some(t0) = started {
+                self.multi_member_ns[idx] += t0.elapsed().as_nanos() as u64;
+            }
         }
     }
 }

@@ -32,6 +32,10 @@ pub struct CampaignConfig {
     /// Directory to write minimized failure entries into (`None`
     /// keeps them only in the report).
     pub corpus_out: Option<std::path::PathBuf>,
+    /// Observability registry: per-stage spans (`fuzz.differential`,
+    /// `fuzz.parser-sweep`, `fuzz.vcd-sweep`) and the `fuzz.*` tallies
+    /// accumulate here. Disabled (no-op) by default.
+    pub obs: cesc_obs::Obs,
 }
 
 impl Default for CampaignConfig {
@@ -41,6 +45,7 @@ impl Default for CampaignConfig {
             cases: 300,
             trace_len: 96,
             corpus_out: None,
+            obs: cesc_obs::Obs::disabled(),
         }
     }
 }
@@ -112,6 +117,7 @@ impl fmt::Display for CampaignReport {
 /// documents (the bulk), the exact-64/65-symbol `GuardMask64`
 /// boundary charts, and the AXI4-Lite/APB/Wishbone bus libraries.
 pub fn run_differential(cfg: &CampaignConfig) -> CampaignReport {
+    let _span = cfg.obs.span("fuzz.differential");
     let mut g = SpecGen::new(cfg.seed);
     let mut report = CampaignReport::default();
     let bus_src = cesc_protocols::bus_library_src();
@@ -175,6 +181,12 @@ pub fn run_differential(cfg: &CampaignConfig) -> CampaignReport {
             let _ = crate::corpus::write_entry(dir, &fl.entry);
         }
     }
+    cfg.obs.counter(cesc_obs::key::FUZZ_CASES).add(report.cases as u64);
+    cfg.obs.counter(cesc_obs::key::FUZZ_REJECTED).add(report.rejected as u64);
+    cfg.obs
+        .counter(cesc_obs::key::FUZZ_DISCREPANCIES)
+        .add(report.failures.len() as u64);
+    cfg.obs.counter(cesc_obs::key::FUZZ_MATCHES).add(report.matches);
     report
 }
 
@@ -348,6 +360,7 @@ impl fmt::Display for SweepReport {
 /// hostile bytes, mutated valid documents, and token-soup guard
 /// expressions.
 pub fn run_parser_sweep(cfg: &CampaignConfig) -> SweepReport {
+    let _span = cfg.obs.span("fuzz.parser-sweep");
     let mut g = SpecGen::new(cfg.seed ^ 0x09A5_CA11);
     let mut report = SweepReport::default();
     for case in 0..cfg.cases {
@@ -371,12 +384,14 @@ pub fn run_parser_sweep(cfg: &CampaignConfig) -> SweepReport {
             report.panics.push(format!("expr parser on {e:?}: {p}"));
         }
     }
+    cfg.obs.counter(cesc_obs::key::FUZZ_CASES).add(report.cases as u64);
     report
 }
 
 /// Panic-freedom sweep over the streaming VCD readers: raw hostile
 /// bytes and mutated well-formed dumps.
 pub fn run_vcd_sweep(cfg: &CampaignConfig) -> SweepReport {
+    let _span = cfg.obs.span("fuzz.vcd-sweep");
     let mut g = SpecGen::new(cfg.seed ^ 0x7CD_5EED);
     let mut report = SweepReport::default();
     let seed_set = SpecSet::load(
@@ -400,6 +415,7 @@ pub fn run_vcd_sweep(cfg: &CampaignConfig) -> SweepReport {
             report.panics.push(format!("global vcd reader: {p}"));
         }
     }
+    cfg.obs.counter(cesc_obs::key::FUZZ_CASES).add(report.cases as u64);
     report
 }
 

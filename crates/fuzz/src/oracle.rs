@@ -18,6 +18,13 @@
 //! observed count above its inferred upper bound is a soundness
 //! counterexample and fails the case like a verdict disagreement.
 //!
+//! A sixth leg covers the `cesc-obs` instrumentation itself: the
+//! baseline and optimized fleets each run under their own enabled
+//! registry, and the semantic counters they report (`engine.ticks`,
+//! `engine.matches`, `engine.underflows`) must be identical — a
+//! counter drifting from the verdicts the other legs agreed on is a
+//! bug in the metrics plumbing, and fails the case the same way.
+//!
 //! Any disagreement is a [`Discrepancy`] carrying enough context to
 //! replay and minimize the case. Assert compositions are checked
 //! serial-vs-sharded, and multiclock specs serial-vs-sharded over an
@@ -244,7 +251,73 @@ pub fn run_case(input: &CaseInput) -> Result<CaseReport, Box<Discrepancy>> {
             return Err(Box::new(d));
         }
     }
+
+    // leg 6: obs counter equivalence — the baseline fleet (serial)
+    // and the optimized fleet (sharded, arbitrary chunking) each run
+    // under their own enabled registry; the semantic counters both
+    // report must agree, so the instrumentation is held to the same
+    // differential standard as the verdicts
+    if let Some(d) = obs_counter_equivalence(&set, &baselines, trace, chunk, input.jobs) {
+        return Err(Box::new(d));
+    }
     Ok(report)
+}
+
+/// Leg 6 body: compares the `engine.*` counters recorded by a serial
+/// baseline-fleet run against a sharded optimized-fleet run over the
+/// same stimulus.
+fn obs_counter_equivalence(
+    set: &SpecSet,
+    baselines: &[(usize, ScanReport)],
+    trace: &[Valuation],
+    chunk: usize,
+    jobs: usize,
+) -> Option<Discrepancy> {
+    if baselines.is_empty() {
+        return None;
+    }
+    let mut base_fleet = Fleet::new();
+    let mut opt_fleet = Fleet::new();
+    for &(idx, _) in baselines {
+        let spec = set.chart_spec(idx).expect("compiled above");
+        base_fleet.add_compiled(spec.baseline().clone());
+        opt_fleet.add_compiled(spec.compiled().clone());
+    }
+    let obs_base = cesc_obs::Obs::enabled();
+    let obs_opt = cesc_obs::Obs::enabled();
+    let base_opts = ParOptions {
+        obs: obs_base.clone(),
+        ..ParOptions::default()
+    };
+    let opt_opts = ParOptions {
+        obs: obs_opt.clone(),
+        ..ParOptions::default()
+    };
+    scan_sharded(
+        &base_fleet,
+        &plan_shards(&base_fleet, 1),
+        &base_opts,
+        trace,
+        trace.len().max(1),
+    );
+    scan_sharded(&opt_fleet, &plan_shards(&opt_fleet, jobs), &opt_opts, trace, chunk);
+    let base_report = obs_base.report("fuzz");
+    let opt_report = obs_opt.report("fuzz");
+    for key in [
+        cesc_obs::key::ENGINE_TICKS,
+        cesc_obs::key::ENGINE_MATCHES,
+        cesc_obs::key::ENGINE_UNDERFLOWS,
+    ] {
+        let (b, o) = (base_report.counter(key), opt_report.counter(key));
+        if b != o {
+            return Some(Discrepancy {
+                stage: "obs-counters".into(),
+                target: "<fleet>".into(),
+                detail: format!("baseline registry {key}={b} vs optimized({jobs} jobs)={o}"),
+            });
+        }
+    }
+    None
 }
 
 /// Steps the *synthesized* monitor (the form the bounds were inferred

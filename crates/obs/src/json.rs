@@ -1,0 +1,57 @@
+//! Minimal JSON emission helpers shared by the report renderers.
+//!
+//! Hand-rolled like `cesc-check`'s and `cesc-lint`'s emitters — the
+//! workspace has no serde, and the report shapes are small enough
+//! that explicit `format!` assembly stays readable and auditable.
+
+/// Escapes `s` as the *contents* of a JSON string literal and wraps
+/// it in quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float with enough precision for throughput/utilization
+/// fields while staying valid JSON (no NaN/inf — those clamp to 0).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("n\nr\rt\t"), "\"n\\nr\\rt\\t\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_finite_json() {
+        assert_eq!(float(0.75), "0.7500");
+        assert_eq!(float(f64::NAN), "0.0");
+        assert_eq!(float(f64::INFINITY), "0.0");
+    }
+}

@@ -1,0 +1,156 @@
+//! [`Heartbeat`]: the `--progress` stderr ticker for long runs.
+//!
+//! A background thread wakes on an interval, reads the shared tick
+//! counter (and optionally the [`CountingReader`](crate::CountingReader)
+//! byte cell plus the input's total size, for percent + ETA) and
+//! prints one line to stderr. The line itself comes from the pure
+//! [`format_progress`] so rendering is testable without threads or
+//! timers; the thread is stopped-and-joined on drop so a finished run
+//! never leaves a stray ticker printing over the final report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::Counter;
+
+/// Renders one progress line: ticks so far, throughput, and — when
+/// the input size is known — percent complete and a remaining-time
+/// estimate extrapolated from bytes consumed.
+pub fn format_progress(
+    ticks: u64,
+    elapsed: Duration,
+    bytes: u64,
+    total_bytes: Option<u64>,
+) -> String {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { ticks as f64 / secs } else { 0.0 };
+    let mut out = format!("progress: {ticks} ticks | {:.2} Mticks/s", rate / 1e6);
+    if let Some(total) = total_bytes {
+        if total > 0 {
+            let done = bytes.min(total);
+            let pct = done as f64 * 100.0 / total as f64;
+            out.push_str(&format!(" | {pct:.0}%"));
+            if done > 0 && done < total && secs > 0.0 {
+                let eta = secs * (total - done) as f64 / done as f64;
+                if eta >= 90.0 {
+                    out.push_str(&format!(" | ETA {:.0}m{:02.0}s", (eta / 60.0).floor(), eta % 60.0));
+                } else {
+                    out.push_str(&format!(" | ETA {eta:.0}s"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A join-on-drop stderr progress ticker.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts the ticker: every `interval`, print the current
+    /// progress line. `ticks` is the live counter to report;
+    /// `bytes` optionally pairs the consumed-bytes cell with the
+    /// input's total size for percent/ETA.
+    pub fn start(
+        interval: Duration,
+        ticks: Counter,
+        bytes: Option<(Arc<AtomicU64>, u64)>,
+    ) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let (lock, cvar) = &*shared;
+            let mut stopped = lock.lock().expect("heartbeat lock poisoned");
+            while !*stopped {
+                let (guard, timeout) = cvar
+                    .wait_timeout(stopped, interval)
+                    .expect("heartbeat lock poisoned");
+                stopped = guard;
+                if *stopped || !timeout.timed_out() {
+                    continue;
+                }
+                let (consumed, total) = match &bytes {
+                    Some((cell, total)) => (cell.load(Ordering::Relaxed), Some(*total)),
+                    None => (0, None),
+                };
+                eprintln!(
+                    "{}",
+                    format_progress(ticks.get(), started.elapsed(), consumed, total)
+                );
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the ticker and joins its thread (also done on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("heartbeat lock poisoned") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn format_without_size() {
+        let line = format_progress(2_000_000, Duration::from_secs(1), 0, None);
+        assert_eq!(line, "progress: 2000000 ticks | 2.00 Mticks/s");
+    }
+
+    #[test]
+    fn format_with_size_and_eta() {
+        let line = format_progress(500_000, Duration::from_secs(2), 250, Some(1000));
+        assert_eq!(line, "progress: 500000 ticks | 0.25 Mticks/s | 25% | ETA 6s");
+        let long = format_progress(1, Duration::from_secs(100), 100, Some(1000));
+        assert!(long.ends_with("| 10% | ETA 15m00s"), "{long}");
+    }
+
+    #[test]
+    fn format_clamps_and_omits_degenerate_eta() {
+        // bytes past the total: clamp to 100%, no ETA
+        let done = format_progress(10, Duration::from_secs(1), 2000, Some(1000));
+        assert!(done.ends_with("| 100%"), "{done}");
+        // nothing consumed yet: percent but no ETA
+        let fresh = format_progress(0, Duration::from_secs(1), 0, Some(1000));
+        assert!(fresh.ends_with("| 0%"), "{fresh}");
+        // zero elapsed: no rate blowup
+        let zero = format_progress(10, Duration::ZERO, 0, None);
+        assert!(zero.contains("0.00 Mticks/s"), "{zero}");
+    }
+
+    #[test]
+    fn heartbeat_stops_promptly() {
+        let obs = Obs::enabled();
+        let hb = Heartbeat::start(Duration::from_secs(60), obs.counter("t"), None);
+        let t0 = Instant::now();
+        hb.stop();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

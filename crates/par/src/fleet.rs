@@ -28,12 +28,14 @@
 //! (pinned by the workspace `batch_equivalence` property suite).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cesc_core::{
     CompiledMonitor, CompiledMultiClock, ImplicationChecker, Monitor, MonitorBank,
     MultiClockMonitor, Verdict, Violation,
 };
 use cesc_expr::Valuation;
+use cesc_obs::{key, Counter, Histogram, Obs, ShardStats};
 use cesc_trace::{ClockId, ClockSet, GlobalStep};
 use crossbeam::channel;
 
@@ -166,6 +168,13 @@ pub struct ParOptions {
     pub keep_all_hits: bool,
     /// Head/tail entries each [`MatchLog`] retains.
     pub edge: usize,
+    /// Observability registry. When enabled, [`run_sharded`] records
+    /// per-shard execution stats (steps, chunks, busy vs queue-wait
+    /// time), per-member execution time, the fed-chunk size histogram
+    /// and the merged semantic counters (`engine.ticks`,
+    /// `engine.matches`, `engine.underflows`). Disabled (the default)
+    /// the hot path stays timer-free.
+    pub obs: Obs,
 }
 
 impl Default for ParOptions {
@@ -174,6 +183,7 @@ impl Default for ParOptions {
             channel_depth: 8,
             keep_all_hits: true,
             edge: 5,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -188,6 +198,9 @@ pub struct SingleReport {
     pub ticks: u64,
     /// `Del_evt` scoreboard underflows.
     pub underflows: u64,
+    /// Execution nanoseconds this member consumed on its shard (zero
+    /// unless [`ParOptions::obs`] was enabled).
+    pub exec_ns: u64,
 }
 
 /// Final state of one multi-clock fleet member.
@@ -197,6 +210,9 @@ pub struct MultiReport {
     pub log: MatchLog,
     /// Shared-scoreboard `Del_evt` underflows.
     pub underflows: u64,
+    /// Execution nanoseconds this member consumed on its shard (zero
+    /// unless [`ParOptions::obs`] was enabled).
+    pub exec_ns: u64,
 }
 
 /// How many violation records each assert member retains
@@ -223,6 +239,9 @@ pub struct AssertReport {
     pub violation_count: u64,
     /// Ticks the checker consumed.
     pub ticks: u64,
+    /// Execution nanoseconds this checker consumed on its shard (zero
+    /// unless [`ParOptions::obs`] was enabled).
+    pub exec_ns: u64,
 }
 
 /// Merged per-member results of a sharded run, indexed exactly as the
@@ -258,10 +277,20 @@ enum Msg {
 #[derive(Debug)]
 pub struct FleetFeeder {
     txs: Vec<channel::Sender<Msg>>,
+    /// Live-updated feed metrics (`fleet.steps` / `fleet.chunks` /
+    /// the `chunk.steps` histogram) — no-ops when the run's registry
+    /// is disabled. The steps counter updates as chunks are broadcast,
+    /// which is what the `--progress` heartbeat watches.
+    steps: Counter,
+    chunks: Counter,
+    chunk_sizes: Histogram,
 }
 
 impl FleetFeeder {
-    fn broadcast(&self, msg: Msg) {
+    fn broadcast(&self, len: usize, msg: Msg) {
+        self.steps.add(len as u64);
+        self.chunks.incr();
+        self.chunk_sizes.record(len as u64);
         for tx in &self.txs {
             tx.send(msg.clone()).expect("shard worker alive");
         }
@@ -273,7 +302,7 @@ impl FleetFeeder {
     /// every element; multi-clock members ignore locally-fed chunks.
     pub fn feed(&self, chunk: &[Valuation]) {
         if !chunk.is_empty() {
-            self.broadcast(Msg::Local(Arc::new(chunk.to_vec())));
+            self.broadcast(chunk.len(), Msg::Local(Arc::new(chunk.to_vec())));
         }
     }
 
@@ -282,7 +311,7 @@ impl FleetFeeder {
     /// started with a clock set.
     pub fn feed_global(&self, chunk: &[GlobalStep]) {
         if !chunk.is_empty() {
-            self.broadcast(Msg::Global(Arc::new(chunk.to_vec())));
+            self.broadcast(chunk.len(), Msg::Global(Arc::new(chunk.to_vec())));
         }
     }
 }
@@ -299,6 +328,9 @@ struct ShardWorker {
     multi_logs: Vec<MatchLog>,
     asserts: Vec<AssertRunner>,
     clocks: Option<ClockSet>,
+    /// Per-member execution timing (mirrors `bank.set_member_timing`
+    /// for the assert runners). On only when the run is observed.
+    timing: bool,
 }
 
 struct AssertRunner {
@@ -312,6 +344,7 @@ struct AssertRunner {
     /// of the checker chunk by chunk so its log stays empty.
     kept_violations: Vec<Violation>,
     ticks: u64,
+    exec_ns: u64,
 }
 
 impl AssertRunner {
@@ -344,7 +377,9 @@ impl ShardWorker {
             multi_logs: Vec::new(),
             asserts: Vec::new(),
             clocks: clocks.cloned(),
+            timing: opts.obs.is_enabled(),
         };
+        w.bank.set_member_timing(w.timing);
         for item in items {
             match *item {
                 FleetItem::Single(i) => {
@@ -370,6 +405,7 @@ impl ShardWorker {
                         ),
                         kept_violations: Vec::new(),
                         ticks: 0,
+                        exec_ns: 0,
                     });
                 }
             }
@@ -382,11 +418,15 @@ impl ShardWorker {
             Msg::Local(chunk) => {
                 self.bank.feed(&chunk);
                 for a in &mut self.asserts {
+                    let started = self.timing.then(Instant::now);
                     for &v in chunk.iter() {
                         a.checker.step(v);
                         a.ticks += 1;
                     }
                     a.drain_violations();
+                    if let Some(t0) = started {
+                        a.exec_ns += t0.elapsed().as_nanos() as u64;
+                    }
                 }
             }
             Msg::Global(chunk) => {
@@ -403,6 +443,7 @@ impl ShardWorker {
                     // no ticks — mirroring MonitorBank::feed_global's
                     // treatment of unresolvable single-clock members
                     let Some(id) = id else { continue };
+                    let started = self.timing.then(Instant::now);
                     for step in chunk.iter() {
                         if let Some(v) = step.tick_of(id) {
                             a.checker.step(v);
@@ -410,6 +451,9 @@ impl ShardWorker {
                         }
                     }
                     a.drain_violations();
+                    if let Some(t0) = started {
+                        a.exec_ns += t0.elapsed().as_nanos() as u64;
+                    }
                 }
             }
         }
@@ -428,13 +472,15 @@ impl ShardWorker {
             .iter()
             .zip(self.single_logs)
             .zip(bank_reports)
-            .map(|((&fleet_idx, log), report)| {
+            .enumerate()
+            .map(|(slot, ((&fleet_idx, log), report))| {
                 (
                     fleet_idx,
                     SingleReport {
                         log,
                         ticks: report.ticks,
                         underflows: report.underflows,
+                        exec_ns: self.bank.member_exec_ns(slot),
                     },
                 )
             })
@@ -450,6 +496,7 @@ impl ShardWorker {
                     MultiReport {
                         log,
                         underflows: self.bank.multiclock_underflows(slot),
+                        exec_ns: self.bank.multiclock_exec_ns(slot),
                     },
                 )
             })
@@ -469,6 +516,7 @@ impl ShardWorker {
                         violation_count: a.checker.violation_count(),
                         violations: a.kept_violations,
                         ticks: a.ticks,
+                        exec_ns: a.exec_ns,
                     },
                 )
             })
@@ -527,18 +575,49 @@ pub fn run_sharded<R>(
     std::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(plan.jobs());
         let mut workers = Vec::with_capacity(plan.jobs());
-        for shard in plan.shards() {
+        for (shard_idx, shard) in plan.shards().iter().enumerate() {
             let (tx, rx) = channel::bounded::<Msg>(depth);
             txs.push(tx);
             workers.push(scope.spawn(move || {
                 let mut worker = ShardWorker::build(fleet, shard, clocks, opts);
-                while let Ok(msg) = rx.recv() {
-                    worker.consume(msg);
+                if opts.obs.is_enabled() {
+                    // observed run: account each worker's wall time as
+                    // queue-wait (blocked on recv) vs busy (executing),
+                    // the planner-imbalance signal
+                    let mut stats = ShardStats {
+                        shard: shard_idx,
+                        members: shard.len(),
+                        ..ShardStats::default()
+                    };
+                    loop {
+                        let waited = Instant::now();
+                        let Ok(msg) = rx.recv() else { break };
+                        stats.wait_ns += waited.elapsed().as_nanos() as u64;
+                        let steps = match &msg {
+                            Msg::Local(chunk) => chunk.len(),
+                            Msg::Global(chunk) => chunk.len(),
+                        } as u64;
+                        let ran = Instant::now();
+                        worker.consume(msg);
+                        stats.busy_ns += ran.elapsed().as_nanos() as u64;
+                        stats.chunks += 1;
+                        stats.steps += steps;
+                    }
+                    opts.obs.record_shard(stats);
+                } else {
+                    while let Ok(msg) = rx.recv() {
+                        worker.consume(msg);
+                    }
                 }
                 worker.finish()
             }));
         }
-        let feeder = FleetFeeder { txs };
+        let feeder = FleetFeeder {
+            txs,
+            steps: opts.obs.counter(key::FLEET_STEPS),
+            chunks: opts.obs.counter(key::FLEET_CHUNKS),
+            chunk_sizes: opts.obs.histogram("chunk.steps"),
+        };
         let driven = drive(&feeder);
         drop(feeder); // close every channel: workers drain and return
 
@@ -574,8 +653,36 @@ pub fn run_sharded<R>(
             .into_iter()
             .map(|r| r.expect("plan covers every assert member"))
             .collect();
+        record_semantics(&opts.obs, &report);
         (report, driven)
     })
+}
+
+/// Folds a merged report's semantic totals into the run's registry —
+/// the counters the serial-vs-sharded equivalence property pins.
+fn record_semantics(obs: &Obs, report: &FleetReport) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let mut ticks = 0u64;
+    let mut matches = 0u64;
+    let mut underflows = 0u64;
+    for s in &report.singles {
+        ticks += s.ticks;
+        matches += s.log.count();
+        underflows += s.underflows;
+    }
+    for m in &report.multis {
+        matches += m.log.count();
+        underflows += m.underflows;
+    }
+    for a in &report.asserts {
+        ticks += a.ticks;
+        matches += a.fulfilled;
+    }
+    obs.counter(key::ENGINE_TICKS).add(ticks);
+    obs.counter(key::ENGINE_MATCHES).add(matches);
+    obs.counter(key::ENGINE_UNDERFLOWS).add(underflows);
 }
 
 fn plan_depth(opts: &ParOptions) -> usize {

@@ -89,6 +89,10 @@ pub struct SpecOptions {
     pub optimize: bool,
     /// Synthesis options forwarded to the `Tr` algorithm.
     pub synth: SynthOptions,
+    /// Observability registry: the `parse` span and per-target
+    /// `compile`/`optimize` spans accumulate here. Disabled (no-op)
+    /// by default.
+    pub obs: cesc_obs::Obs,
 }
 
 impl SpecOptions {
@@ -97,6 +101,7 @@ impl SpecOptions {
         SpecOptions {
             optimize: true,
             synth: SynthOptions::default(),
+            obs: cesc_obs::Obs::disabled(),
         }
     }
 }
@@ -417,7 +422,10 @@ impl SpecSet {
 
     /// Parses and validates `source` under explicit options.
     pub fn load_with(source: &str, options: SpecOptions) -> Result<Self, SpecError> {
-        let doc = parse_document(source).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let doc = options
+            .obs
+            .time("parse", || parse_document(source))
+            .map_err(|e| SpecError::Parse(e.to_string()))?;
         Ok(Self::from_document(doc, options))
     }
 
@@ -493,6 +501,7 @@ impl SpecSet {
     /// names list every available target of all three kinds; a
     /// composition that is not an implication is rejected.
     pub fn resolve(&self, name: &str) -> Result<TargetRef, SpecError> {
+        let _span = self.options.obs.span("resolve");
         if let Some(i) = self.doc.charts.iter().position(|c| c.name() == name) {
             return Ok(TargetRef::Chart(i));
         }
@@ -568,12 +577,18 @@ impl SpecSet {
     }
 
     fn build_chart(&self, idx: usize) -> Result<ChartSpec, SpecError> {
+        let obs = &self.options.obs;
         let chart = &self.doc.charts[idx];
-        let monitor =
-            synthesize(chart, &self.options.synth).map_err(|e| SpecError::Compile(e.to_string()))?;
-        let baseline = monitor.compiled_with(&CompileOptions::raw());
-        let bounds = infer_bounds(&monitor, &BoundsOptions::default());
+        let (monitor, baseline, bounds) = {
+            let _span = obs.span("compile");
+            let monitor = synthesize(chart, &self.options.synth)
+                .map_err(|e| SpecError::Compile(e.to_string()))?;
+            let baseline = monitor.compiled_with(&CompileOptions::raw());
+            let bounds = infer_bounds(&monitor, &BoundsOptions::default());
+            (monitor, baseline, bounds)
+        };
         Ok(if self.options.optimize {
+            let _span = obs.span("optimize");
             let (opt, _) = optimize(&monitor);
             let compiled = opt.compiled_with(&CompileOptions::optimized());
             let report = PassReport::measure(&baseline, &compiled);
@@ -612,7 +627,9 @@ impl SpecSet {
     }
 
     fn build_multi(&self, idx: usize) -> Result<MultiSpec, SpecError> {
+        let obs = &self.options.obs;
         let spec = &self.doc.multiclock[idx];
+        let compile_span = obs.span("compile");
         let monitor = synthesize_multiclock(spec, &self.options.synth)
             .map_err(|e| SpecError::Compile(e.to_string()))?;
         // per-local bounds run with Chk refinement off (shared
@@ -641,6 +658,8 @@ impl SpecSet {
         }
         Ok(if self.options.optimize {
             let baseline = CompiledMultiClock::with_options(&monitor, &CompileOptions::raw());
+            drop(compile_span);
+            let _span = obs.span("optimize");
             let locals: Vec<Monitor> = monitor
                 .locals()
                 .iter()
@@ -701,6 +720,8 @@ impl SpecSet {
                 clocks.join(", ")
             )));
         };
+        let obs = &self.options.obs;
+        let compile_span = obs.span("compile");
         let compiled = compile(cesc, &self.options.synth)
             .map_err(|e| SpecError::Compile(format!("assert `{name}`: {e}")))?;
         let Compiled::Implication(checker) = compiled else {
@@ -709,7 +730,9 @@ impl SpecSet {
         let bounds_opts = BoundsOptions::default();
         let antecedent_bounds = infer_bounds(checker.antecedent(), &bounds_opts);
         let consequent_bounds = infer_bounds(checker.consequent(), &bounds_opts);
+        drop(compile_span);
         let (antecedent, consequent) = if self.options.optimize {
+            let _span = obs.span("optimize");
             (
                 optimize(checker.antecedent()).0,
                 optimize(checker.consequent()).0,

@@ -46,6 +46,7 @@ use cesc_hdl::{
     emit_sva_cover, emit_testbench, emit_verilog, lower_monitor, sva_loses_scoreboard,
     SvaOptions, TestbenchOptions, VerilogOptions,
 };
+use cesc_obs::{key, Obs};
 use cesc_par::{plan_shards, run_sharded, AssertSpec, Fleet, MatchLog, ParOptions};
 use cesc_rtl::CoSim;
 use cesc_spec::{SpecError, SpecOptions, SpecSet, TargetRef};
@@ -86,14 +87,70 @@ fn lift(e: SpecError) -> CliError {
 /// Loads the unified spec set — the single parse→validate→compile
 /// front door every subcommand uses.
 fn load(source: &str, optimize: bool) -> Result<SpecSet, CliError> {
+    load_obs(source, optimize, Obs::disabled())
+}
+
+/// [`load`] with an observability registry: the spec layer records its
+/// `parse`/`resolve`/`compile`/`optimize` span timings into `obs`.
+fn load_obs(source: &str, optimize: bool, obs: Obs) -> Result<SpecSet, CliError> {
     SpecSet::load_with(
         source,
         SpecOptions {
             optimize,
+            obs,
             ..SpecOptions::new()
         },
     )
     .map_err(lift)
+}
+
+/// Observability switches shared by every subcommand: the `--stats`,
+/// `--stats-json FILE` and `--progress` flags plus the [`Obs`] registry
+/// the run records into.
+///
+/// The default is a *disabled* registry: every counter/span call in the
+/// pipeline is a no-op branch on `None`, so an uninstrumented run pays
+/// nothing. The binary enables the registry when any stats flag is
+/// given; [`finish_stats`] renders the report afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct StatsOptions {
+    /// Print the human-readable run report to **stderr** after the
+    /// command (the `--stats` flag; stderr so it composes with
+    /// `--json` on stdout).
+    pub text: bool,
+    /// Write the machine-readable [`cesc_obs::OBS_JSON_SCHEMA`] report
+    /// to this file (the `--stats-json FILE` flag).
+    pub json_path: Option<std::path::PathBuf>,
+    /// The registry pipeline stages record into. Disabled by default.
+    pub obs: Obs,
+}
+
+impl StatsOptions {
+    /// Whether any rendering was requested (the registry may still be
+    /// enabled without rendering, e.g. for `--progress`).
+    pub fn wants_report(&self) -> bool {
+        self.text || self.json_path.is_some()
+    }
+}
+
+/// Renders the run report after a command completed: text to stderr
+/// under [`StatsOptions::text`], the [`cesc_obs::OBS_JSON_SCHEMA`]
+/// document to [`StatsOptions::json_path`]. A disabled registry (no
+/// stats flags) is a no-op.
+pub fn finish_stats(stats: &StatsOptions, command: &str) -> Result<(), CliError> {
+    if !stats.obs.is_enabled() || !stats.wants_report() {
+        return Ok(());
+    }
+    let report = stats.obs.report(command);
+    if stats.text {
+        eprint!("{}", report.render_text());
+    }
+    if let Some(path) = &stats.json_path {
+        std::fs::write(path, report.render_json()).map_err(|e| {
+            CliError::Pipeline(format!("cannot write `{}`: {e}", path.display()))
+        })?;
+    }
+    Ok(())
 }
 
 /// `cesc render`: ASCII chart art plus WaveDrom JSON.
@@ -277,14 +334,15 @@ pub fn synth(
     format: SynthFormat,
     force: bool,
 ) -> Result<String, CliError> {
-    synth_with(source, chart, format, force, true, None)
+    synth_with(source, chart, format, force, true, None, &StatsOptions::default())
 }
 
 /// [`synth`] with an explicit optimization switch (`optimize: false`
-/// is the `--no-opt` flag: emit the monitor exactly as synthesized)
-/// and counter-width override (`counter_width: Some(w)` is the
+/// is the `--no-opt` flag: emit the monitor exactly as synthesized),
+/// counter-width override (`counter_width: Some(w)` is the
 /// `--counter-width` flag; `None` infers the width from the bounds
-/// analysis).
+/// analysis) and stats registry (`--stats`: the compile-pipeline span
+/// timings land in `stats.obs`).
 pub fn synth_with(
     source: &str,
     chart: Option<&str>,
@@ -292,10 +350,15 @@ pub fn synth_with(
     force: bool,
     optimize: bool,
     counter_width: Option<u32>,
+    stats: &StatsOptions,
 ) -> Result<String, CliError> {
-    let specs = load(source, optimize)?;
+    let specs = load_obs(source, optimize, stats.obs.clone())?;
     let idx = specs.chart_index(chart).map_err(lift)?;
-    synth_one(&specs, idx, format, force, counter_width)
+    let out = {
+        let _span = stats.obs.span("emit");
+        synth_one(&specs, idx, format, force, counter_width)?
+    };
+    Ok(out)
 }
 
 /// `cesc synth --all-charts --out-dir DIR`: emit one artifact file per
@@ -308,11 +371,11 @@ pub fn synth_all(
     out_dir: &Path,
     force: bool,
 ) -> Result<String, CliError> {
-    synth_all_with(source, format, out_dir, force, true, None)
+    synth_all_with(source, format, out_dir, force, true, None, &StatsOptions::default())
 }
 
-/// [`synth_all`] with an explicit optimization switch and
-/// counter-width override (see [`synth_with`]).
+/// [`synth_all`] with an explicit optimization switch, counter-width
+/// override and stats registry (see [`synth_with`]).
 pub fn synth_all_with(
     source: &str,
     format: SynthFormat,
@@ -320,8 +383,10 @@ pub fn synth_all_with(
     force: bool,
     optimize: bool,
     counter_width: Option<u32>,
+    stats: &StatsOptions,
 ) -> Result<String, CliError> {
-    let specs = load(source, optimize)?;
+    let specs = load_obs(source, optimize, stats.obs.clone())?;
+    let _emit_span = stats.obs.span("emit");
     let doc = specs.document();
     if doc.charts.is_empty() && doc.multiclock.is_empty() {
         return Err(CliError::Pipeline(
@@ -418,6 +483,11 @@ pub struct CheckOptions {
     /// Skip the optimization pass pipeline and run the monitors
     /// exactly as synthesized — the `--no-opt` flag.
     pub no_opt: bool,
+    /// Observability switches (`--stats`/`--stats-json`/`--progress`).
+    /// [`check_fleet`] records into an internal registry even when this
+    /// one is disabled, so the JSON report's timing fields are always
+    /// real; the flags only control whether a run report is rendered.
+    pub stats: StatsOptions,
 }
 
 impl Default for CheckOptions {
@@ -427,6 +497,7 @@ impl Default for CheckOptions {
             jobs: 1,
             json: false,
             no_opt: false,
+            stats: StatsOptions::default(),
         }
     }
 }
@@ -581,8 +652,10 @@ pub struct CheckOutcome {
 ///
 /// ```json
 /// {
-///   "schema": "cesc-check/2",
+///   "schema": "cesc-check/3",
 ///   "global_steps": 120000,      // VCD instants at which any clock ticked
+///   "ticks": 180000,             // per-clock samples fed across all clocks
+///   "wall_ms": 412,              // wall-clock time of the whole check
 ///   "jobs": 4,                   // shard workers used
 ///   "failed": false,             // true iff any assert target failed
 ///   "targets": [
@@ -594,6 +667,7 @@ pub struct CheckOutcome {
 ///       "all": [0, 2, 96, 98],   // only with --all-matches
 ///       "ticks": 60000,          // cycles the monitor consumed
 ///       "underflows": 0,         // Del_evt scoreboard underflows
+///       "exec_ms": 12.416,       // time this monitor spent stepping
 ///       "opt": {                 // pass-pipeline report (absent with --no-opt)
 ///         "states": [3, 3],      // each entry is [before, after]
 ///         "transitions": [9, 7],
@@ -602,7 +676,7 @@ pub struct CheckOutcome {
 ///         "step_cost": [7, 5] } },
 ///     { "kind": "multiclock", "name": "pair", "clocks": ["clk1", "clk2"],
 ///       "verdict": "detected", "matches": 3, "first": [5], "last": [5],
-///       "underflows": 0, "opt": { ... } },
+///       "underflows": 0, "exec_ms": 4.002, "opt": { ... } },
 ///     { "kind": "assert", "name": "gate", "clocks": ["clk"],
 ///       "verdict": "failed",     // idle | tracking | passed | failed
 ///       "fulfilled": 9,          // obligations fulfilled
@@ -610,16 +684,21 @@ pub struct CheckOutcome {
 ///       "ticks": 60000,
 ///       "violation_count": 3,
 ///       "violations": [          // first 100, local tick indices
-///         { "antecedent_at": 4, "failed_at": 7, "progress": 1 } ] }
+///         { "antecedent_at": 4, "failed_at": 7, "progress": 1 } ],
+///       "exec_ms": 1.250 }
 ///   ]
 /// }
 /// ```
 ///
 /// Detection `first`/`last`/`all` entries are VCD times for every
 /// target kind; assertion `*_at` fields are tick indices local to the
-/// assertion's clock. (`cesc-check/2` added the per-target `opt`
-/// object to `cesc-check/1`.)
-pub const CHECK_JSON_SCHEMA: &str = "cesc-check/2";
+/// assertion's clock. `exec_ms` is the per-monitor stepping time
+/// measured inside the shard workers (fractional milliseconds, three
+/// decimals); `wall_ms` covers parse through render. (`cesc-check/3`
+/// added `ticks`, `wall_ms` and per-target `exec_ms` to
+/// `cesc-check/2`, which added the per-target `opt` object to
+/// `cesc-check/1`; every `/2` field is unchanged.)
+pub const CHECK_JSON_SCHEMA: &str = "cesc-check/3";
 
 /// Violations listed per assert target in the JSON report; the total
 /// is always in `violation_count`.
@@ -665,7 +744,12 @@ pub fn check_fleet(
     clock_override: Option<&str>,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, CliError> {
-    let specs = load(source, !opts.no_opt)?;
+    // the fleet route always records into a live registry — when the
+    // user passed no stats flag this is a private throwaway, so the
+    // JSON report's ticks/wall_ms/exec_ms are real either way
+    let obs = opts.stats.obs.or_enabled();
+    let wall = std::time::Instant::now();
+    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
 
     // -- resolve the target selection (dedupe, validate) -------------
     let mut targets: Vec<TargetRef> = Vec::new();
@@ -715,20 +799,26 @@ pub fn check_fleet(
         });
     }
 
-    // -- assemble the sampled clocks ---------------------------------
+    // -- assemble the sampled clocks and shard layout ----------------
+    let plan_span = obs.span("plan");
     let plan = specs.clock_plan(&targets, clock_override).map_err(lift)?;
     let clock_specs = plan.vcd_specs();
     let clock_set = plan.clock_set();
+    let shard_plan = plan_shards(&fleet, opts.jobs.max(1));
+    drop(plan_span);
 
     // -- stream the dump through the sharded fleet -------------------
     let mut stream = GlobalVcdStream::from_reader(vcd, specs.alphabet(), &clock_specs)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let shard_plan = plan_shards(&fleet, opts.jobs.max(1));
     let par_opts = ParOptions {
         keep_all_hits: opts.all_matches,
         edge: MATCH_EDGE,
+        obs: obs.clone(),
         ..Default::default()
     };
+    let tick_counter = obs.counter(key::FLEET_TICKS);
+    let mut ticks = 0u64;
+    let exec_span = obs.span("execute");
     let (report, driven) =
         run_sharded(&fleet, &shard_plan, Some(&clock_set), &par_opts, |feeder| {
             let mut chunk = Vec::new();
@@ -741,17 +831,25 @@ pub fn check_fleet(
                     return Ok(steps);
                 }
                 steps += n as u64;
+                let chunk_ticks: u64 = chunk.iter().map(|s| s.ticks.len() as u64).sum();
+                ticks += chunk_ticks;
+                tick_counter.add(chunk_ticks);
                 feeder.feed_global(&chunk);
             }
         });
+    drop(exec_span);
     let steps: u64 = driven?;
     let failed = report.any_failed();
 
     // -- render ------------------------------------------------------
-    let output = if opts.json {
-        render_json(&specs, &slots, &report, steps, shard_plan.jobs(), failed)
-    } else {
-        render_text(&specs, &slots, &report, steps, shard_plan.jobs())
+    let wall_ms = u64::try_from(wall.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let output = {
+        let _span = obs.span("render");
+        if opts.json {
+            render_json(&specs, &slots, &report, steps, ticks, wall_ms, shard_plan.jobs(), failed)
+        } else {
+            render_text(&specs, &slots, &report, steps, shard_plan.jobs())
+        }
     };
     Ok(CheckOutcome { output, failed })
 }
@@ -785,7 +883,8 @@ pub fn check_cosim(
     clock_override: Option<&str>,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, CliError> {
-    let specs = load(source, !opts.no_opt)?;
+    let obs = &opts.stats.obs;
+    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
     let doc = specs.document();
 
     // -- resolve the selection (basic charts only) -------------------
@@ -855,6 +954,7 @@ pub fn check_cosim(
     let mut divergences: Vec<Option<cesc_rtl::Divergence>> = vec![None; sims.len()];
 
     // -- stream the dump through every co-simulation pair ------------
+    let cosim_span = obs.span("cosim");
     let mut stream = GlobalVcdStream::from_reader(vcd, &doc.alphabet, &clock_specs)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut chunk = Vec::new();
@@ -886,6 +986,11 @@ pub fn check_cosim(
             }
         }
     }
+    drop(cosim_span);
+    obs.counter(key::COSIM_TICKS).add(sims.iter().map(CoSim::ticks).sum());
+    obs.counter(key::COSIM_MATCHES).add(sims.iter().map(CoSim::matches).sum());
+    obs.counter(key::COSIM_DIVERGENCES)
+        .add(divergences.iter().filter(|d| d.is_some()).count() as u64);
 
     // -- render ------------------------------------------------------
     use std::fmt::Write as _;
@@ -1035,11 +1140,20 @@ fn json_opt(report: Option<&cesc_spec::PassReport>) -> String {
     }
 }
 
+/// The per-target `exec_ms` JSON field: per-monitor stepping time in
+/// fractional milliseconds (three decimals).
+fn json_exec_ms(exec_ns: u64) -> String {
+    format!(",\"exec_ms\":{:.3}", exec_ns as f64 / 1e6)
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the schema fields
 fn render_json(
     specs: &SpecSet,
     slots: &[Slot],
     report: &cesc_par::FleetReport,
     steps: u64,
+    ticks: u64,
+    wall_ms: u64,
     jobs: usize,
     failed: bool,
 ) -> String {
@@ -1058,13 +1172,14 @@ fn render_json(
                 );
                 items.push(format!(
                     "{{\"kind\":\"chart\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
-                     \"ticks\":{},\"underflows\":{}{}}}",
+                     \"ticks\":{},\"underflows\":{}{}{}}}",
                     json::string(c.name()),
                     json::strings(&[c.clock()]),
                     json::string(if r.log.detected() { "detected" } else { "not observed" }),
                     json::log(&r.log),
                     r.ticks,
                     r.underflows,
+                    json_exec_ms(r.exec_ns),
                     opt
                 ));
             }
@@ -1080,12 +1195,13 @@ fn render_json(
                 );
                 items.push(format!(
                     "{{\"kind\":\"multiclock\",\"name\":{},\"clocks\":{},\"verdict\":{},{},\
-                     \"underflows\":{}{}}}",
+                     \"underflows\":{}{}{}}}",
                     json::string(m.name()),
                     json::strings(&clocks),
                     json::string(if r.log.detected() { "detected" } else { "not observed" }),
                     json::log(&r.log),
                     r.underflows,
+                    json_exec_ms(r.exec_ns),
                     opt
                 ));
             }
@@ -1112,7 +1228,7 @@ fn render_json(
                 items.push(format!(
                     "{{\"kind\":\"assert\",\"name\":{},\"clocks\":{},\"verdict\":{},\
                      \"fulfilled\":{},\"outstanding\":{},\"ticks\":{},\
-                     \"violation_count\":{},\"violations\":[{}]}}",
+                     \"violation_count\":{},\"violations\":[{}]{}}}",
                     json::string(spec.name()),
                     json::strings(&[spec.clock()]),
                     json::string(verdict),
@@ -1120,15 +1236,19 @@ fn render_json(
                     r.outstanding,
                     r.ticks,
                     r.violation_count,
-                    violations.join(",")
+                    violations.join(","),
+                    json_exec_ms(r.exec_ns)
                 ));
             }
         }
     }
     format!(
-        "{{\"schema\":{},\"global_steps\":{},\"jobs\":{},\"failed\":{},\"targets\":[{}]}}\n",
+        "{{\"schema\":{},\"global_steps\":{},\"ticks\":{},\"wall_ms\":{},\"jobs\":{},\
+         \"failed\":{},\"targets\":[{}]}}\n",
         json::string(CHECK_JSON_SCHEMA),
         steps,
+        ticks,
+        wall_ms,
         jobs,
         failed,
         items.join(",")
@@ -1144,10 +1264,11 @@ pub fn usage() -> &'static str {
             [--force] [--no-opt] [--counter-width N] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]\n\
+            [--stats] [--stats-json FILE] [--progress]\n\
      lint   <spec> [--chart NAME]... [--json] [--deny] [--allow RULE]...\n\
-            [--counter-width N] [--no-opt]\n\
+            [--counter-width N] [--no-opt] [--stats] [--stats-json FILE]\n\
      fuzz   [--cases N] [--seed N] [--trace-len N] [--sweep-cases N]\n\
-            [--corpus-out DIR]\n\
+            [--corpus-out DIR] [--stats] [--stats-json FILE]\n\
      \n\
      synth emits one chart (--chart, default first) to stdout, or — with\n\
      --all-charts --out-dir DIR — one file per chart (and, for verilog,\n\
@@ -1162,7 +1283,7 @@ pub fn usage() -> &'static str {
      --chart may repeat (duplicates are deduplicated); --all-charts checks\n\
      every chart, spec and implication in one pass over the dump.\n\
      --jobs N      shard the monitor fleet across N worker threads\n\
-     --json        machine-readable report (schema cesc-check/2)\n\
+     --json        machine-readable report (schema cesc-check/3)\n\
      --all-matches list every match tick; default summarises (count + first/last 5)\n\
      --clock NAME  rename the sampled clock signal (single-clock charts only;\n\
                    default: each chart's declared clock)\n\
@@ -1198,7 +1319,14 @@ pub fn usage() -> &'static str {
      --seed N        master seed, decimal or 0x-hex (default 0xCE5CF022)\n\
      --trace-len N   stimulus trace length per case (default 96)\n\
      --sweep-cases N parser/VCD sweep budget (default: same as --cases)\n\
-     --corpus-out D  write minimized failures into directory D\n"
+     --corpus-out D  write minimized failures into directory D\n\
+     \n\
+     observability (synth, check, lint, fuzz):\n\
+     --stats           print a run report (pipeline span timings, counters,\n\
+                       per-shard utilization) to stderr after the command\n\
+     --stats-json FILE write the run report as JSON (schema cesc-obs/1)\n\
+     --progress        (check only) heartbeat on stderr while streaming the\n\
+                       dump: steps, Msteps/s, % of file, ETA\n"
 }
 
 /// Options for the `cesc fuzz` subcommand.
@@ -1214,6 +1342,9 @@ pub struct FuzzOptions {
     pub sweep_cases: Option<usize>,
     /// Directory minimized failures are written to (`--corpus-out`).
     pub corpus_out: Option<String>,
+    /// Observability switches (`--stats`/`--stats-json`): the campaign
+    /// records case tallies and per-leg span timings into `stats.obs`.
+    pub stats: StatsOptions,
 }
 
 impl Default for FuzzOptions {
@@ -1225,6 +1356,7 @@ impl Default for FuzzOptions {
             trace_len: d.trace_len,
             sweep_cases: None,
             corpus_out: None,
+            stats: StatsOptions::default(),
         }
     }
 }
@@ -1240,6 +1372,7 @@ pub fn fuzz(opts: &FuzzOptions) -> CheckOutcome {
         cases: opts.cases,
         trace_len: opts.trace_len.max(1),
         corpus_out: opts.corpus_out.clone().map(std::path::PathBuf::from),
+        obs: opts.stats.obs.clone(),
     };
     let sweep_cfg = cesc_fuzz::CampaignConfig {
         cases: opts.sweep_cases.unwrap_or(opts.cases),
@@ -1287,6 +1420,9 @@ pub struct LintCliOptions {
     /// Explicit RTL counter width (`--counter-width N`): finite bounds
     /// exceeding `2^N - 1` raise `saturation-risk` (L011) findings.
     pub counter_width: Option<u32>,
+    /// Observability switches (`--stats`/`--stats-json`): the analysis
+    /// records its `lint` span and finding tallies into `stats.obs`.
+    pub stats: StatsOptions,
 }
 
 /// Identifier of the JSON report layout emitted by [`lint`] under
@@ -1335,7 +1471,8 @@ pub fn lint(
     names: &[String],
     opts: &LintCliOptions,
 ) -> Result<CheckOutcome, CliError> {
-    let specs = load(source, !opts.no_opt)?;
+    let obs = &opts.stats.obs;
+    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
     let mut targets: Vec<TargetRef> = Vec::new();
     if names.is_empty() {
         targets = specs.checkable_targets();
@@ -1358,8 +1495,13 @@ pub fn lint(
         allow,
         ceiling_width: opts.counter_width,
     };
-    let report = cesc_lint::lint_targets(&specs, &targets, &lint_opts).map_err(lift)?;
+    let report = {
+        let _span = obs.span("lint");
+        cesc_lint::lint_targets(&specs, &targets, &lint_opts).map_err(lift)?
+    };
     let denied = report.denied().len();
+    obs.counter(key::LINT_FINDINGS).add(report.findings.len() as u64);
+    obs.counter(key::LINT_DENIED).add(denied as u64);
     let failed = opts.deny && denied > 0;
     let output = if opts.json {
         render_lint_json(&report, targets.len(), denied, failed)

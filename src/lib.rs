@@ -17,6 +17,7 @@
 //! | [`chart`] | `cesc-chart` | the CESC language: AST, parser, renderer |
 //! | [`semantics`] | `cesc-semantics` | `[[C]]` run-window membership oracle |
 //! | [`core`] | `cesc-core` | **the `Tr` synthesis algorithm**, monitors, scoreboard |
+//! | [`obs`] | `cesc-obs` | observability: metrics registry, span timings, run reports |
 //! | [`spec`] | `cesc-spec` | unified spec-compilation front door, optimization pass pipeline |
 //! | [`lint`] | `cesc-lint` | static analysis: counter bounds, vacuity, underflow, shadowing |
 //! | [`hdl`] | `cesc-hdl` | Verilog / SVA emitters over the structured RTL IR |
@@ -63,6 +64,7 @@ pub use cesc_expr as expr;
 pub use cesc_fuzz as fuzz;
 pub use cesc_hdl as hdl;
 pub use cesc_lint as lint;
+pub use cesc_obs as obs;
 pub use cesc_par as par;
 pub use cesc_protocols as protocols;
 pub use cesc_rtl as rtl;

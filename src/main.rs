@@ -28,7 +28,12 @@ fn run() -> Result<(String, bool), cli::CliError> {
     };
     if command == "fuzz" {
         // fuzz generates its own specs — no spec path, flags only
-        let outcome = cli::fuzz(&parse_fuzz_flags(&mut it)?);
+        let mut opts = parse_fuzz_flags(&mut it)?;
+        if opts.stats.wants_report() {
+            opts.stats.obs = cesc::obs::Obs::enabled();
+        }
+        let outcome = cli::fuzz(&opts);
+        cli::finish_stats(&opts.stats, "fuzz")?;
         return Ok((outcome.output, outcome.failed));
     }
     let Some(spec_path) = it.next() else {
@@ -48,6 +53,8 @@ fn run() -> Result<(String, bool), cli::CliError> {
     let mut deny = false;
     let mut allow: Vec<String> = Vec::new();
     let mut counter_width: Option<u32> = None;
+    let mut progress = false;
+    let mut stats = cli::StatsOptions::default();
     let mut check_opts = cli::CheckOptions::default();
     while let Some(flag) = it.next() {
         match flag {
@@ -107,6 +114,16 @@ fn run() -> Result<(String, bool), cli::CliError> {
             "--all-matches" => {
                 check_opts.all_matches = true;
             }
+            "--stats" => {
+                stats.text = true;
+            }
+            "--stats-json" => {
+                stats.json_path =
+                    Some(std::path::PathBuf::from(expect_value(&mut it, "--stats-json")?));
+            }
+            "--progress" => {
+                progress = true;
+            }
             other => {
                 return Err(cli::CliError::Usage(format!(
                     "unknown option `{other}`\n{}",
@@ -115,6 +132,19 @@ fn run() -> Result<(String, bool), cli::CliError> {
             }
         }
     }
+
+    // --stats/--stats-json/--progress all need a live registry; the
+    // default (no flags) keeps the whole pipeline on the disabled
+    // no-op path
+    if stats.wants_report() || progress {
+        stats.obs = cesc::obs::Obs::enabled();
+    }
+    if progress && command != "check" {
+        return Err(cli::CliError::Usage(
+            "--progress only applies to check (it reports dump-streaming rates)".to_owned(),
+        ));
+    }
+    check_opts.stats = stats.clone();
 
     match command {
         // render/synth operate on one chart: a silently-dropped second
@@ -128,29 +158,31 @@ fn run() -> Result<(String, bool), cli::CliError> {
             let out_dir = out_dir.ok_or_else(|| {
                 cli::CliError::Usage("synth --all-charts requires --out-dir DIR".to_owned())
             })?;
-            Ok((
-                cli::synth_all_with(
-                    &source,
-                    format,
-                    std::path::Path::new(&out_dir),
-                    force,
-                    !check_opts.no_opt,
-                    counter_width,
-                )?,
-                false,
-            ))
+            let out = cli::synth_all_with(
+                &source,
+                format,
+                std::path::Path::new(&out_dir),
+                force,
+                !check_opts.no_opt,
+                counter_width,
+                &stats,
+            )?;
+            cli::finish_stats(&stats, "synth")?;
+            Ok((out, false))
         }
-        "synth" => Ok((
-            cli::synth_with(
+        "synth" => {
+            let out = cli::synth_with(
                 &source,
                 charts.first().map(String::as_str),
                 format,
                 force,
                 !check_opts.no_opt,
                 counter_width,
-            )?,
-            false,
-        )),
+                &stats,
+            )?;
+            cli::finish_stats(&stats, "synth")?;
+            Ok((out, false))
+        }
         "lint" => {
             let outcome = cli::lint(
                 &source,
@@ -161,8 +193,10 @@ fn run() -> Result<(String, bool), cli::CliError> {
                     no_opt: check_opts.no_opt,
                     allow,
                     counter_width,
+                    stats: stats.clone(),
                 },
             )?;
+            cli::finish_stats(&stats, "lint")?;
             Ok((outcome.output, outcome.failed))
         }
         "check" => {
@@ -179,6 +213,7 @@ fn run() -> Result<(String, bool), cli::CliError> {
             let file = std::fs::File::open(&vcd_path).map_err(|e| {
                 cli::CliError::Pipeline(format!("cannot read `{vcd_path}`: {e}"))
             })?;
+            let total_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
             let reader = std::io::BufReader::new(file);
             let outcome = if cosim {
                 if check_opts.json {
@@ -193,10 +228,29 @@ fn run() -> Result<(String, bool), cli::CliError> {
                             .to_owned(),
                     ));
                 }
+                if progress {
+                    return Err(cli::CliError::Usage(
+                        "--cosim has no streaming heartbeat; drop --progress".to_owned(),
+                    ));
+                }
                 cli::check_cosim(&source, &charts, all_charts, reader, clock.as_deref(), &check_opts)?
+            } else if progress {
+                // count dump bytes as they are consumed and report
+                // steps/rate/%/ETA on stderr once a second while the
+                // fleet streams; the heartbeat thread stops (joins) when
+                // this branch's guard drops
+                let counting = cesc::obs::CountingReader::new(reader);
+                let bytes = (total_bytes > 0).then(|| (counting.cell(), total_bytes));
+                let _heartbeat = cesc::obs::Heartbeat::start(
+                    std::time::Duration::from_secs(1),
+                    check_opts.stats.obs.counter(cesc::obs::key::FLEET_STEPS),
+                    bytes,
+                );
+                cli::check_fleet(&source, &charts, all_charts, counting, clock.as_deref(), &check_opts)?
             } else {
                 cli::check_fleet(&source, &charts, all_charts, reader, clock.as_deref(), &check_opts)?
             };
+            cli::finish_stats(&stats, "check")?;
             Ok((outcome.output, outcome.failed))
         }
         other => Err(cli::CliError::Usage(format!(
@@ -233,6 +287,13 @@ fn parse_fuzz_flags<'a>(
             }
             "--corpus-out" => {
                 opts.corpus_out = Some(expect_value(it, "--corpus-out")?);
+            }
+            "--stats" => {
+                opts.stats.text = true;
+            }
+            "--stats-json" => {
+                opts.stats.json_path =
+                    Some(std::path::PathBuf::from(expect_value(it, "--stats-json")?));
             }
             other => {
                 return Err(cli::CliError::Usage(format!(

@@ -412,7 +412,10 @@ fn fleet_json_report_is_machine_readable() {
     };
     let outcome = check_fleet(FLEET_SPEC, &[], true, vcd.as_bytes(), None, &opts).unwrap();
     let out = &outcome.output;
-    assert!(out.starts_with("{\"schema\":\"cesc-check/2\""), "{out}");
+    assert!(out.starts_with("{\"schema\":\"cesc-check/3\""), "{out}");
+    assert!(out.contains("\"ticks\":"), "{out}");
+    assert!(out.contains("\"wall_ms\":"), "{out}");
+    assert!(out.contains("\"exec_ms\":"), "{out}");
     assert!(out.contains("\"jobs\":2"), "{out}");
     assert!(out.contains("\"failed\":true"), "{out}");
     assert!(out.contains("\"kind\":\"chart\""), "{out}");
@@ -609,8 +612,16 @@ fn synth_summary_reports_the_pass_pipeline() {
     assert!(summary.contains("opt: states"), "{summary}");
     assert!(summary.contains("scoreboard slots"), "{summary}");
     // --no-opt: same monitor, explicit marker instead of a report
-    let raw = cesc::cli::synth_with(SPEC, Some("hs"), SynthFormat::Summary, false, false, None)
-        .unwrap();
+    let raw = cesc::cli::synth_with(
+        SPEC,
+        Some("hs"),
+        SynthFormat::Summary,
+        false,
+        false,
+        None,
+        &cesc::cli::StatsOptions::default(),
+    )
+    .unwrap();
     assert!(raw.contains("opt: disabled (--no-opt)"), "{raw}");
     assert!(raw.contains("analysis:"), "{raw}");
 }
@@ -646,7 +657,23 @@ fn fleet_json_opt_report_follows_the_no_opt_flag() {
         out.push_str(rest);
         out
     };
-    assert_eq!(strip(&outcome.output), raw.output);
+    // timing fields (cesc-check/3) are run-dependent — zero them out
+    let scrub = |s: &str, key: &str| {
+        let pat = format!("\"{key}\":");
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(i) = rest.find(&pat) {
+            out.push_str(&rest[..i + pat.len()]);
+            out.push('0');
+            let tail = &rest[i + pat.len()..];
+            let end = tail.find([',', '}']).expect("number terminated");
+            rest = &tail[end..];
+        }
+        out.push_str(rest);
+        out
+    };
+    let normalize = |s: &str| scrub(&scrub(&strip(s), "wall_ms"), "exec_ms");
+    assert_eq!(normalize(&outcome.output), normalize(&raw.output));
 }
 
 #[test]

@@ -153,7 +153,10 @@ fn fleet_mode_checks_all_charts_over_100k_tick_dump_with_4_jobs() {
     };
     let outcome = check_fleet(FLEET_SPEC, &[], true, reader, None, &opts).unwrap();
     let out = &outcome.output;
-    assert!(out.contains("\"schema\":\"cesc-check/2\""), "{out}");
+    assert!(out.contains("\"schema\":\"cesc-check/3\""), "{out}");
+    // clk1 ticks at even times, clk2 at odd — one tick per global step
+    assert!(out.contains(&format!("\"ticks\":{}", 2 * PER_DOMAIN)), "{out}");
+    assert!(out.contains("\"exec_ms\":"), "{out}");
     assert!(out.contains(&format!("\"global_steps\":{}", 2 * PER_DOMAIN)), "{out}");
     assert!(out.contains("\"jobs\":4"), "{out}");
     assert!(out.contains("\"failed\":false"), "{out}");
