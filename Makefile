@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint verify-obs build test doc bench clean
+.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint verify-prove verify-obs build test doc bench bench-json clean
 
 verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign + observability gate
 	$(CARGO) build --release
@@ -15,6 +15,7 @@ verify: ## release build + examples + full test suite + clean rustdoc + clippy -
 	$(MAKE) verify-rtl
 	$(MAKE) verify-spec
 	$(MAKE) verify-lint
+	$(MAKE) verify-prove
 	$(MAKE) verify-fuzz
 	$(MAKE) verify-obs
 
@@ -46,6 +47,16 @@ verify-lint: ## static-analysis gate: the lint soundness property suite, then `c
 	for f in examples/specs/*.cesc; do ./target/release/cesc lint $$f --deny || exit 1; done
 	$(CARGO) run --release --quiet --example bus_library_spec > target/bus_library.cesc
 	./target/release/cesc lint target/bus_library.cesc --deny
+
+verify-prove: ## semantic static-analysis gate: guard-SAT / product-reachability / prover property suites, then `cesc prove` over every example spec carrying implies(...) asserts and the generated bus-protocol library (every assert must be discharged), + the prove bench compiles
+	$(CARGO) test -q --test prove_properties
+	$(CARGO) build --release --quiet
+	for f in examples/specs/*.cesc; do \
+		if grep -q 'implies(' $$f; then ./target/release/cesc prove $$f || exit 1; fi; \
+	done
+	$(CARGO) run --release --quiet --example bus_library_spec > target/bus_library.cesc
+	./target/release/cesc prove target/bus_library.cesc
+	$(CARGO) bench -p cesc-bench --bench prove_throughput --no-run
 
 verify-obs: ## observability gate: cesc-obs unit suite + the cross-layer serial==sharded counter properties + a release `check --jobs 4 --stats-json` smoke over a generated 120k-step dump
 	$(CARGO) test -q -p cesc-obs
@@ -79,6 +90,10 @@ doc:
 
 bench: ## regenerate the evaluation numbers (criterion shim prints to stdout)
 	$(CARGO) bench -p cesc-bench
+
+bench-json: ## run every bench and collect the one-line JSON trajectory records into BENCH_results.json (a JSON array)
+	$(CARGO) bench -p cesc-bench | tee target/bench_raw.txt
+	grep '^{"bench"' target/bench_raw.txt | sed -e '$$!s/$$/,/' -e '1s/^/[/' -e '$$s/$$/]/' > BENCH_results.json
 
 clean:
 	$(CARGO) clean

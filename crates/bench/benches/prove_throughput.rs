@@ -1,0 +1,112 @@
+//! Experiment P1: semantic static-analysis throughput — the guard-SAT
+//! engine and the product-automaton prover over the AXI4-Lite / APB /
+//! Wishbone bus library.
+//!
+//! Workload A (`guard_sat`): a fresh [`cesc_core::GuardSat`] classifies
+//! every arm of every synthesized bus monitor in both `Chk_evt`
+//! semantics (pinned-false and free) — the query pattern `cesc lint`'s
+//! L100/L102 pass issues.
+//!
+//! Workload B (`prove`): the three library `implies(...)` asserts are
+//! discharged from scratch with [`cesc_core::prove_implication`] —
+//! product construction, reachability, obligation scan and (on refuted
+//! asserts) counterexample replay, exactly what `cesc prove` runs.
+//!
+//! Besides the Criterion groups, the bench prints one machine-readable
+//! JSON trajectory record (`{"bench":"prove_throughput",...}`) with
+//! arms/s, proofs/s and the SAT-query volume per full proof pass.
+
+use cesc_bench::quick;
+use cesc_core::{prove_implication, GuardSat, StateId};
+use cesc_protocols::bus_library_src;
+use cesc_spec::{SpecSet, TargetRef};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let src = bus_library_src();
+    let set = SpecSet::load(&src).expect("bus library loads");
+    let charts: Vec<_> = (0..set.document().charts.len())
+        .map(|i| set.chart_spec(i).expect("bus chart compiles").synthesized().clone())
+        .collect();
+    let asserts: Vec<_> = set
+        .checkable_targets()
+        .into_iter()
+        .filter_map(|t| match t {
+            TargetRef::Assert(i) => Some(set.assert_spec(i).expect("assert compiles")),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(asserts.len(), 3, "one implies(...) assert per bus");
+
+    // workload A: classify every arm of every monitor, both semantics
+    let arm_count: usize = charts
+        .iter()
+        .map(|m| (0..m.state_count()).map(|s| m.transitions_from(StateId::from_index(s)).len()).sum::<usize>())
+        .sum();
+    let classify_all = |charts: &[cesc_core::Monitor]| {
+        let mut verdicts = 0usize;
+        for m in charts {
+            let compiled = m.compiled();
+            let mut sat = GuardSat::single(&compiled);
+            for s in 0..m.state_count() {
+                for i in 0..m.transitions_from(StateId::from_index(s)).len() {
+                    black_box(sat.arm_verdict(0, s, i, true));
+                    black_box(sat.arm_verdict(0, s, i, false));
+                    verdicts += 2;
+                }
+            }
+        }
+        verdicts
+    };
+
+    // workload B: full proofs from scratch, all three asserts
+    let prove_all = |asserts: &[&cesc_spec::AssertSpec]| {
+        let mut states = 0usize;
+        let mut queries = 0u64;
+        for spec in asserts {
+            let report = prove_implication(spec.name(), spec.antecedent(), spec.consequent());
+            assert!(report.proved(), "{} must stay PROVED", spec.name());
+            states += report.product_states;
+            queries += report.stats.queries;
+        }
+        (states, queries)
+    };
+    let (product_states, sat_queries) = prove_all(&asserts);
+
+    let mut g = c.benchmark_group("prove_throughput/bus_library");
+    g.throughput(Throughput::Elements(arm_count as u64 * 2));
+    g.bench_with_input(BenchmarkId::from_parameter("guard_sat"), &charts, |b, ms| {
+        b.iter(|| classify_all(black_box(ms)))
+    });
+    g.finish();
+    let mut g = c.benchmark_group("prove_throughput/asserts");
+    g.throughput(Throughput::Elements(asserts.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("prove"), &asserts, |b, sp| {
+        b.iter(|| prove_all(black_box(sp)))
+    });
+    g.finish();
+
+    // one-line JSON trajectory record (stable keys, machine-parsable)
+    let sat_s = cesc_bench::time_per_pass(20, || {
+        classify_all(black_box(&charts));
+    });
+    let prove_s = cesc_bench::time_per_pass(20, || {
+        prove_all(black_box(&asserts));
+    });
+    cesc_bench::emit_record(
+        "prove_throughput",
+        "bus_library_3_asserts",
+        asserts.len(),
+        prove_s,
+        &[
+            ("arms_per_s", cesc_bench::melem_per_s(arm_count * 2, sat_s) * 1e6),
+            ("proofs_per_s", asserts.len() as f64 / prove_s),
+            ("product_states", product_states as f64),
+            ("sat_queries_per_pass", sat_queries as f64),
+        ],
+    );
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

@@ -51,11 +51,11 @@ pub const BATCH_CHUNK: usize = 4096;
 /// exactly 64 bytes — one cache line — with no extra flag test on the
 /// hot path.
 #[derive(Debug, Clone, Copy, Default)]
-struct GuardMask {
-    pos: u128,
-    neg: u128,
-    chk_pos: u128,
-    chk_neg: u128,
+pub(crate) struct GuardMask {
+    pub(crate) pos: u128,
+    pub(crate) neg: u128,
+    pub(crate) chk_pos: u128,
+    pub(crate) chk_neg: u128,
 }
 
 impl GuardMask {
@@ -179,7 +179,7 @@ impl Default for CompileOptions {
 /// One instruction of a postfix guard program (the general-guard slow
 /// path; still allocation-free at evaluation time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum GuardOp {
+pub(crate) enum GuardOp {
     /// Push the truth of a trace symbol.
     Sym(u32),
     /// Push the scoreboard presence of an event.
@@ -231,11 +231,11 @@ enum PackedAction {
 /// scoreboard above 63 are unconstrained by construction — the masks
 /// never mention them — so truncating the inputs is exact.
 #[derive(Debug, Clone, Copy, Default)]
-struct GuardMask64 {
-    pos: u64,
-    neg: u64,
-    chk_pos: u64,
-    chk_neg: u64,
+pub(crate) struct GuardMask64 {
+    pub(crate) pos: u64,
+    pub(crate) neg: u64,
+    pub(crate) chk_pos: u64,
+    pub(crate) chk_neg: u64,
 }
 
 impl GuardMask64 {
@@ -267,7 +267,7 @@ impl GuardMask {
 /// are stored inline so the common case costs one load and a handful
 /// of register tests, no further indirection.
 #[derive(Debug, Clone, Copy)]
-enum GuardKind {
+pub(crate) enum GuardKind {
     /// Bitmask conjunction over the full 128-bit symbol space.
     Mask(GuardMask),
     /// Bitmask conjunction narrowed to the observed alphabet
@@ -305,6 +305,14 @@ pub struct CompiledMonitor {
     /// Count-table size (see [`CompileOptions::narrow_slots`] for the
     /// two sizing regimes).
     slots: usize,
+    /// Global-symbol mask backing the scoreboard slot space; slot `k`
+    /// is the `k`-th set bit when `dense_slots`, identity otherwise.
+    /// Kept so the static-analysis layer (`sat.rs`) can map `Chk`
+    /// operands back to global symbols regardless of compile options.
+    sb_mask: u128,
+    /// Whether `Chk` operands and mask `chk_*` bits live in the dense
+    /// slot space ([`CompileOptions::narrow_slots`]).
+    dense_slots: bool,
     /// Symbols this monitor reads from or writes to the scoreboard
     /// (`Chk_evt` targets plus `Add_evt`/`Del_evt` targets), always in
     /// the *global* symbol space regardless of slot narrowing. Two
@@ -505,8 +513,68 @@ impl CompiledMonitor {
             initial: monitor.initial().index() as u32,
             final_state: monitor.final_state().index() as u32,
             slots,
+            sb_mask,
+            dense_slots: opts.narrow_slots,
             touched,
         }
+    }
+
+    /// Transition-array range of state `s` (priority order preserved).
+    pub(crate) fn state_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.state_off[s] as usize..self.state_off[s + 1] as usize
+    }
+
+    /// Flat guard table, indexed like `targets`.
+    pub(crate) fn guard_kinds(&self) -> &[GuardKind] {
+        &self.guards
+    }
+
+    /// The shared postfix op pool [`GuardKind::Program`] ranges index.
+    pub(crate) fn guard_ops(&self) -> &[GuardOp] {
+        &self.ops
+    }
+
+    /// Target state index of flat transition `t`.
+    pub(crate) fn target_of(&self, t: usize) -> usize {
+        self.targets[t] as usize
+    }
+
+    /// Initial state index.
+    pub(crate) fn initial_index(&self) -> usize {
+        self.initial as usize
+    }
+
+    /// Final state index.
+    pub(crate) fn final_index(&self) -> usize {
+        self.final_state as usize
+    }
+
+    /// Global symbol index of scoreboard slot `slot` (identity unless
+    /// the monitor was compiled with [`CompileOptions::narrow_slots`]).
+    pub(crate) fn slot_symbol(&self, slot: u32) -> u32 {
+        if !self.dense_slots {
+            return slot;
+        }
+        let mut rest = self.sb_mask;
+        for _ in 0..slot {
+            rest &= rest - 1;
+        }
+        rest.trailing_zeros()
+    }
+
+    /// Expands a slot-space `chk` bitmask back to the global symbol
+    /// space (identity unless slots were narrowed).
+    pub(crate) fn expand_chk_mask(&self, dense: u128) -> u128 {
+        if !self.dense_slots {
+            return dense;
+        }
+        let mut out = 0u128;
+        let mut rest = dense;
+        while rest != 0 {
+            out |= 1u128 << self.slot_symbol(rest.trailing_zeros());
+            rest &= rest - 1;
+        }
+        out
     }
 
     /// Number of count slots a scoreboard for this monitor needs.

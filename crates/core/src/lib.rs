@@ -32,6 +32,11 @@
 //!   state renumbering at the automaton level, guard-program
 //!   deduplication and scoreboard-slot narrowing at the table level
 //!   (consumed through the `cesc-spec` front door);
+//! * [`GuardSat`] / [`product_reachability`] / [`prove_implication`] —
+//!   the semantic static-analysis layer: guard satisfiability over the
+//!   compiled guard tables, SAT-pruned product reachability, and the
+//!   exact `implies(...)` prover behind `cesc prove` and the lint
+//!   `L1xx` findings;
 //! * [`engine`] — paper-literal dense δ tables, lazy δ, the exact
 //!   subset-construction reference, and the naive re-scan baseline;
 //! * [`to_dot`] — Graphviz export of the synthesized automata.
@@ -80,6 +85,8 @@ mod monitor;
 mod multibatch;
 mod multiclock;
 pub mod opt;
+pub mod product;
+pub mod sat;
 mod scoreboard;
 mod synth;
 
@@ -87,6 +94,11 @@ pub use analysis::{analyze, MonitorStats};
 pub use bounds::{infer_bounds, width_for, Bound, BoundsOptions, BoundsReport, UnderflowSite};
 pub use batch::{BatchExec, CompileOptions, CompiledMonitor, MonitorBank, BATCH_CHUNK};
 pub use opt::{optimize, OptReport};
+pub use product::{
+    product_reachability, prove_implication, reachable_states, Counterexample, ProductReport,
+    ProofOutcome, ProofReport,
+};
+pub use sat::{ArmLit, GuardSat, GuardVerdict, GuardWitness, SatStats};
 pub use checker::{Checker, ImplicationChecker, Verdict, Violation};
 pub use determinize::Determinized;
 pub use compose::{compile, flatten_chart, scan_composition, Compiled, CompiledExec, CompileError};

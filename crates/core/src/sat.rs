@@ -1,0 +1,613 @@
+//! Guard satisfiability over compiled guard programs.
+//!
+//! `cesc-lint`'s PR 7 findings reason about guards syntactically (via
+//! `cesc-expr`'s literal-set checks) and numerically (interval
+//! bounds). This module reasons about them *semantically*, directly on
+//! the artifacts the engine executes: the [`crate::CompiledMonitor`]
+//! guard tables — bitmask conjunctions and postfix programs. The
+//! engine answers SAT / UNSAT / valid for single guards and, more
+//! generally, for conjunctions of guard literals spanning one or two
+//! monitors (the shape every client needs):
+//!
+//! * *arm satisfiability* — can transition arm `i` of state `s` ever
+//!   fire? (lint `L100`);
+//! * *effective-guard satisfiability* — arm `i` with every
+//!   higher-priority arm negated, the exact condition under which the
+//!   priority scan picks it;
+//! * *joint queries across a monitor pair* — the transition constraint
+//!   of a product automaton ([`crate::product`]).
+//!
+//! The solver enumerates over each query's *support* — the symbols the
+//! involved guards actually mention, typically ≤ 10 even in a 64-symbol
+//! alphabet — with three-valued (Kleene) evaluation and
+//! branch-and-prune: a branch dies as soon as any constraint evaluates
+//! definitely wrong under the partial assignment, so the common
+//! all-mask queries resolve without branching at all. Verdicts are
+//! memoized in a cofactor-style cache keyed by guard identity (mask
+//! bits, or program pool range — guard CSE shares cache entries), so
+//! repeated product-construction queries over the same slide-back
+//! guards cost one lookup.
+//!
+//! SAT answers come with a concrete witness event-set
+//! ([`GuardWitness`]), chosen minimal-by-construction (the solver
+//! tries `false` before `true`), which downstream consumers turn into
+//! counterexample trace elements.
+
+use std::collections::HashMap;
+
+use cesc_expr::Valuation;
+
+use crate::batch::{CompiledMonitor, GuardKind, GuardOp};
+
+/// Query counters of a [`GuardSat`] engine, for reports and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Satisfiability queries answered (including cache hits).
+    pub queries: u64,
+    /// Queries answered from the verdict cache.
+    pub cache_hits: u64,
+}
+
+/// A satisfying event-set for a guard query: the trace valuation and
+/// the scoreboard presence set under which every queried literal
+/// holds. Symbols are in the *global* alphabet space regardless of the
+/// monitors' compile options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardWitness {
+    /// Events present on the trace tick.
+    pub valuation: Valuation,
+    /// Events present on the scoreboard (empty under pinned-`Chk`
+    /// queries).
+    pub scoreboard: Valuation,
+}
+
+/// Three-way satisfiability verdict for a single guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// No event-set satisfies the guard.
+    Unsat,
+    /// Satisfiable but not valid.
+    Sat,
+    /// Every event-set satisfies the guard.
+    Valid,
+}
+
+/// One literal of a satisfiability query: transition arm `arm` of
+/// state `state` in monitor `monitor` (an index into the engine's
+/// monitor list), required to hold (`positive`) or fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmLit {
+    /// Index into the engine's monitor list (`0` for single-monitor
+    /// engines, `0`/`1` for pairs).
+    pub monitor: usize,
+    /// State index.
+    pub state: usize,
+    /// Arm index within the state's priority-ordered transition list.
+    pub arm: usize,
+    /// Required polarity.
+    pub positive: bool,
+}
+
+impl ArmLit {
+    /// A positive literal: the arm's guard must hold.
+    pub fn pos(monitor: usize, state: usize, arm: usize) -> Self {
+        ArmLit { monitor, state, arm, positive: true }
+    }
+
+    /// A negative literal: the arm's guard must fail.
+    pub fn neg(monitor: usize, state: usize, arm: usize) -> Self {
+        ArmLit { monitor, state, arm, positive: false }
+    }
+}
+
+/// Canonical guard identity, the cache key. Mask guards are identified
+/// by their (global-space) bits; program guards by their op-pool range,
+/// so CSE-deduplicated programs share one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum GuardKey {
+    Mask { pos: u128, neg: u128, chk_pos: u128, chk_neg: u128 },
+    Prog { monitor: u8, start: u32, len: u32 },
+}
+
+/// One constraint of a query under solving: a guard plus the required
+/// truth value. `Mask` `chk` bits are pre-expanded to global space.
+#[derive(Debug, Clone, Copy)]
+enum Cst {
+    Mask { pos: u128, neg: u128, chk_pos: u128, chk_neg: u128, want: bool },
+    Prog { mi: usize, start: usize, len: usize, want: bool },
+}
+
+impl Cst {
+    fn want(&self) -> bool {
+        match *self {
+            Cst::Mask { want, .. } | Cst::Prog { want, .. } => want,
+        }
+    }
+}
+
+/// Partial assignment over the global symbol space: separately-tracked
+/// true/false sets for trace symbols and scoreboard presence (a bit in
+/// neither set is unassigned).
+#[derive(Debug, Clone, Copy, Default)]
+struct Assign {
+    sym_t: u128,
+    sym_f: u128,
+    chk_t: u128,
+    chk_f: u128,
+}
+
+/// The variable a search node branches on.
+#[derive(Debug, Clone, Copy)]
+enum Var {
+    Sym(u32),
+    Chk(u32),
+}
+
+/// A memoization key: the queried arm literals plus the `pin_chk`
+/// regime; the value is the witness bit-pair when satisfiable.
+type SatCacheKey = (Vec<(GuardKey, bool)>, bool);
+
+/// Guard satisfiability engine over one or two compiled monitors.
+///
+/// Build with [`GuardSat::single`] or [`GuardSat::pair`], then query
+/// with [`GuardSat::satisfy`] (general conjunctions of arm literals)
+/// or the [`GuardSat::arm_verdict`] / [`GuardSat::effective_witness`]
+/// conveniences. All methods take `&mut self` because verdicts are
+/// memoized.
+///
+/// `pin_chk` on every query selects the evaluation regime: `true`
+/// pins every `Chk_evt` atom to `false` — the exact semantics of
+/// [`crate::ImplicationChecker`], which runs both sides
+/// scoreboard-free — while `false` leaves scoreboard presence free,
+/// the sound over-approximation of full engine dynamics (the
+/// scoreboard can hold anything some prefix produces).
+#[derive(Debug)]
+pub struct GuardSat<'m> {
+    monitors: Vec<&'m CompiledMonitor>,
+    cache: HashMap<SatCacheKey, Option<(u128, u128)>>,
+    queries: u64,
+    cache_hits: u64,
+    stack: Vec<Option<bool>>,
+}
+
+impl<'m> GuardSat<'m> {
+    /// An engine over one monitor (monitor index `0` in queries).
+    pub fn single(m: &'m CompiledMonitor) -> Self {
+        GuardSat {
+            monitors: vec![m],
+            cache: HashMap::new(),
+            queries: 0,
+            cache_hits: 0,
+            stack: Vec::with_capacity(8),
+        }
+    }
+
+    /// An engine over a monitor pair (indices `0` and `1`), sharing
+    /// one cache — the product constructor's configuration.
+    pub fn pair(a: &'m CompiledMonitor, b: &'m CompiledMonitor) -> Self {
+        GuardSat {
+            monitors: vec![a, b],
+            cache: HashMap::new(),
+            queries: 0,
+            cache_hits: 0,
+            stack: Vec::with_capacity(8),
+        }
+    }
+
+    /// Query counters so far.
+    pub fn stats(&self) -> SatStats {
+        SatStats { queries: self.queries, cache_hits: self.cache_hits }
+    }
+
+    /// Satisfiability of the conjunction of `lits`: `Some(witness)`
+    /// with a concrete event-set if satisfiable, `None` if not.
+    /// `pin_chk` pins every `Chk_evt` atom false (checker semantics);
+    /// otherwise scoreboard presence is left free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's monitor/state/arm index is out of range.
+    pub fn satisfy(&mut self, lits: &[ArmLit], pin_chk: bool) -> Option<GuardWitness> {
+        self.queries += 1;
+        let mut key: Vec<(GuardKey, bool)> =
+            lits.iter().map(|l| (self.key_of(l), l.positive)).collect();
+        key.sort_unstable();
+        key.dedup();
+        // a guard required both true and false can never be satisfied
+        if key.windows(2).any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1) {
+            return None;
+        }
+        if let Some(&hit) = self.cache.get(&(key.clone(), pin_chk)) {
+            self.cache_hits += 1;
+            return hit.map(witness_of);
+        }
+        let csts: Vec<Cst> = key.iter().map(|&(k, want)| self.cst_of(k, want)).collect();
+        let res = self.solve(&csts, Assign::default(), pin_chk);
+        self.cache.insert((key, pin_chk), res);
+        res.map(witness_of)
+    }
+
+    /// SAT / UNSAT / valid verdict for one arm's guard.
+    pub fn arm_verdict(
+        &mut self,
+        monitor: usize,
+        state: usize,
+        arm: usize,
+        pin_chk: bool,
+    ) -> GuardVerdict {
+        if self.satisfy(&[ArmLit::pos(monitor, state, arm)], pin_chk).is_none() {
+            GuardVerdict::Unsat
+        } else if self.satisfy(&[ArmLit::neg(monitor, state, arm)], pin_chk).is_none() {
+            GuardVerdict::Valid
+        } else {
+            GuardVerdict::Sat
+        }
+    }
+
+    /// A witness for one arm's guard alone, if satisfiable.
+    pub fn arm_witness(
+        &mut self,
+        monitor: usize,
+        state: usize,
+        arm: usize,
+        pin_chk: bool,
+    ) -> Option<GuardWitness> {
+        self.satisfy(&[ArmLit::pos(monitor, state, arm)], pin_chk)
+    }
+
+    /// A witness under which the priority scan at `state` picks
+    /// exactly arm `arm`: the arm's guard holds and every
+    /// higher-priority arm's guard fails.
+    pub fn effective_witness(
+        &mut self,
+        monitor: usize,
+        state: usize,
+        arm: usize,
+        pin_chk: bool,
+    ) -> Option<GuardWitness> {
+        let mut lits: Vec<ArmLit> =
+            (0..arm).map(|i| ArmLit::neg(monitor, state, i)).collect();
+        lits.push(ArmLit::pos(monitor, state, arm));
+        self.satisfy(&lits, pin_chk)
+    }
+
+    fn key_of(&self, l: &ArmLit) -> GuardKey {
+        let m = self.monitors[l.monitor];
+        let t = m.state_range(l.state).start + l.arm;
+        assert!(t < m.state_range(l.state).end, "arm index out of range");
+        match m.guard_kinds()[t] {
+            GuardKind::Mask(g) => GuardKey::Mask {
+                pos: g.pos,
+                neg: g.neg,
+                chk_pos: m.expand_chk_mask(g.chk_pos),
+                chk_neg: m.expand_chk_mask(g.chk_neg),
+            },
+            GuardKind::Mask64(g) => GuardKey::Mask {
+                pos: u128::from(g.pos),
+                neg: u128::from(g.neg),
+                chk_pos: m.expand_chk_mask(u128::from(g.chk_pos)),
+                chk_neg: m.expand_chk_mask(u128::from(g.chk_neg)),
+            },
+            GuardKind::Program(start, len) => GuardKey::Prog {
+                monitor: l.monitor as u8,
+                start,
+                len,
+            },
+        }
+    }
+
+    fn cst_of(&self, key: GuardKey, want: bool) -> Cst {
+        match key {
+            GuardKey::Mask { pos, neg, chk_pos, chk_neg } => {
+                Cst::Mask { pos, neg, chk_pos, chk_neg, want }
+            }
+            GuardKey::Prog { monitor, start, len } => Cst::Prog {
+                mi: monitor as usize,
+                start: start as usize,
+                len: len as usize,
+                want,
+            },
+        }
+    }
+
+    /// Three-valued truth of one constraint's guard under `a`.
+    fn eval3(&mut self, c: &Cst, a: Assign, pin_chk: bool) -> Option<bool> {
+        match *c {
+            Cst::Mask { pos, neg, chk_pos, chk_neg, .. } => {
+                // conflicting literal sets encode constant false (the
+                // `mark_false` convention) — no assignment helps
+                if pos & neg != 0 || chk_pos & chk_neg != 0 {
+                    return Some(false);
+                }
+                let (chk_t, chk_f) = if pin_chk { (0, !0u128) } else { (a.chk_t, a.chk_f) };
+                if pos & a.sym_f != 0
+                    || neg & a.sym_t != 0
+                    || chk_pos & chk_f != 0
+                    || chk_neg & chk_t != 0
+                {
+                    Some(false)
+                } else if pos & a.sym_t == pos
+                    && neg & a.sym_f == neg
+                    && chk_pos & chk_t == chk_pos
+                    && chk_neg & chk_f == chk_neg
+                {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Cst::Prog { mi, start, len, .. } => {
+                let m = self.monitors[mi];
+                let mut stack = std::mem::take(&mut self.stack);
+                stack.clear();
+                for op in &m.guard_ops()[start..start + len] {
+                    match *op {
+                        GuardOp::Sym(i) => stack.push(lookup(a.sym_t, a.sym_f, i)),
+                        GuardOp::Chk(slot) => {
+                            let g = m.slot_symbol(slot);
+                            stack.push(if pin_chk {
+                                Some(false)
+                            } else {
+                                lookup(a.chk_t, a.chk_f, g)
+                            });
+                        }
+                        GuardOp::Const(b) => stack.push(Some(b)),
+                        GuardOp::Not => {
+                            let top = stack.last_mut().expect("well-formed program");
+                            *top = top.map(|b| !b);
+                        }
+                        GuardOp::And(n) => {
+                            let at = stack.len() - n as usize;
+                            let r = kleene_all(&stack[at..]);
+                            stack.truncate(at);
+                            stack.push(r);
+                        }
+                        GuardOp::Or(n) => {
+                            let at = stack.len() - n as usize;
+                            let r = kleene_any(&stack[at..]);
+                            stack.truncate(at);
+                            stack.push(r);
+                        }
+                    }
+                }
+                let out = stack.pop().expect("program leaves one value");
+                self.stack = stack;
+                out
+            }
+        }
+    }
+
+    /// An unassigned support variable of an undecided constraint.
+    fn pick_var(&self, c: &Cst, a: Assign, pin_chk: bool) -> Option<Var> {
+        match *c {
+            Cst::Mask { pos, neg, chk_pos, chk_neg, .. } => {
+                let open_sym = (pos | neg) & !(a.sym_t | a.sym_f);
+                if open_sym != 0 {
+                    return Some(Var::Sym(open_sym.trailing_zeros()));
+                }
+                if !pin_chk {
+                    let open_chk = (chk_pos | chk_neg) & !(a.chk_t | a.chk_f);
+                    if open_chk != 0 {
+                        return Some(Var::Chk(open_chk.trailing_zeros()));
+                    }
+                }
+                None
+            }
+            Cst::Prog { mi, start, len, .. } => {
+                let m = self.monitors[mi];
+                for op in &m.guard_ops()[start..start + len] {
+                    match *op {
+                        GuardOp::Sym(i) if lookup(a.sym_t, a.sym_f, i).is_none() => {
+                            return Some(Var::Sym(i));
+                        }
+                        GuardOp::Chk(slot) if !pin_chk => {
+                            let g = m.slot_symbol(slot);
+                            if lookup(a.chk_t, a.chk_f, g).is_none() {
+                                return Some(Var::Chk(g));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Branch-and-prune search over the query's support. Returns the
+    /// `(valuation bits, scoreboard bits)` of a satisfying total
+    /// extension (unassigned variables default to `false`), or `None`.
+    fn solve(&mut self, csts: &[Cst], a: Assign, pin_chk: bool) -> Option<(u128, u128)> {
+        let mut branch: Option<Var> = None;
+        for c in csts {
+            match self.eval3(c, a, pin_chk) {
+                Some(v) if v == c.want() => {}
+                Some(_) => return None,
+                None => {
+                    if branch.is_none() {
+                        branch = self.pick_var(c, a, pin_chk);
+                        debug_assert!(branch.is_some(), "undecided constraint with no open var");
+                    }
+                }
+            }
+        }
+        let Some(var) = branch else {
+            // every constraint definitely holds; three-valued
+            // evaluation is monotone, so any extension — in
+            // particular all-false — stays satisfying
+            return Some((a.sym_t, a.chk_t));
+        };
+        // `false` first, so witnesses stay sparse
+        for val in [false, true] {
+            let mut next = a;
+            match (var, val) {
+                (Var::Sym(i), true) => next.sym_t |= 1u128 << i,
+                (Var::Sym(i), false) => next.sym_f |= 1u128 << i,
+                (Var::Chk(i), true) => next.chk_t |= 1u128 << i,
+                (Var::Chk(i), false) => next.chk_f |= 1u128 << i,
+            }
+            if let Some(w) = self.solve(csts, next, pin_chk) {
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+fn witness_of((v, sb): (u128, u128)) -> GuardWitness {
+    GuardWitness {
+        valuation: Valuation::from_bits(v),
+        scoreboard: Valuation::from_bits(sb),
+    }
+}
+
+fn lookup(t: u128, f: u128, bit: u32) -> Option<bool> {
+    if t >> bit & 1 == 1 {
+        Some(true)
+    } else if f >> bit & 1 == 1 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn kleene_all(vals: &[Option<bool>]) -> Option<bool> {
+    if vals.contains(&Some(false)) {
+        Some(false)
+    } else if vals.iter().all(|v| *v == Some(true)) {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+fn kleene_any(vals: &[Option<bool>]) -> Option<bool> {
+    if vals.contains(&Some(true)) {
+        Some(true)
+    } else if vals.iter().all(|v| *v == Some(false)) {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{Monitor, StateId, Transition, TransitionKind};
+    use cesc_expr::{Alphabet, Expr};
+
+    /// A one-state monitor whose arms carry the given guards.
+    fn guard_monitor(guards: Vec<Expr>) -> Monitor {
+        let arms = guards
+            .into_iter()
+            .map(|guard| Transition {
+                guard,
+                actions: vec![],
+                target: StateId::from_index(0),
+                kind: TransitionKind::Backward,
+            })
+            .collect();
+        Monitor {
+            name: "g".into(),
+            clock: "clk".into(),
+            transitions: vec![arms],
+            initial: StateId::from_index(0),
+            final_state: StateId::from_index(0),
+            pattern: vec![],
+            tracked_events: vec![],
+        }
+    }
+
+    #[test]
+    fn literal_conjunction_verdicts() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        let m = guard_monitor(vec![
+            Expr::and(vec![Expr::sym(a), Expr::Not(Box::new(Expr::sym(b)))]),
+            Expr::and(vec![Expr::sym(a), Expr::Not(Box::new(Expr::sym(a)))]),
+            Expr::t(),
+        ])
+        .compiled();
+        let mut sat = GuardSat::single(&m);
+        assert_eq!(sat.arm_verdict(0, 0, 0, true), GuardVerdict::Sat);
+        assert_eq!(sat.arm_verdict(0, 0, 1, true), GuardVerdict::Unsat);
+        assert_eq!(sat.arm_verdict(0, 0, 2, true), GuardVerdict::Valid);
+        let w = sat.arm_witness(0, 0, 0, true).unwrap();
+        assert!(w.valuation.contains(a) && !w.valuation.contains(b));
+    }
+
+    #[test]
+    fn program_guards_and_effective_shadowing() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let b = ab.event("b");
+        // arm 0: a | b; arm 1: b — every b-valuation also fires arm 0,
+        // so arm 1's effective guard is unsatisfiable
+        let m = guard_monitor(vec![
+            Expr::or(vec![Expr::sym(a), Expr::sym(b)]),
+            Expr::sym(b),
+        ])
+        .compiled();
+        let mut sat = GuardSat::single(&m);
+        assert_eq!(sat.arm_verdict(0, 0, 0, true), GuardVerdict::Sat);
+        assert!(sat.effective_witness(0, 0, 0, true).is_some());
+        assert!(sat.effective_witness(0, 0, 1, true).is_none());
+    }
+
+    #[test]
+    fn pinned_chk_flips_satisfiability() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let e = ab.event("e");
+        let m = guard_monitor(vec![Expr::and(vec![Expr::sym(a), Expr::chk(e)])]).compiled();
+        let mut sat = GuardSat::single(&m);
+        // with Chk pinned false (checker semantics) the guard is dead
+        assert_eq!(sat.arm_verdict(0, 0, 0, true), GuardVerdict::Unsat);
+        // with scoreboard presence free it is satisfiable, and the
+        // witness names the scoreboard event
+        let w = sat.arm_witness(0, 0, 0, false).unwrap();
+        assert!(w.valuation.contains(a) && w.scoreboard.contains(e));
+    }
+
+    #[test]
+    fn cache_hits_accumulate() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = guard_monitor(vec![Expr::sym(a)]).compiled();
+        let mut sat = GuardSat::single(&m);
+        assert!(sat.arm_witness(0, 0, 0, true).is_some());
+        assert!(sat.arm_witness(0, 0, 0, true).is_some());
+        let stats = sat.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn contradictory_literals_short_circuit() {
+        let mut ab = Alphabet::new();
+        let a = ab.event("a");
+        let m = guard_monitor(vec![Expr::sym(a)]).compiled();
+        let mut sat = GuardSat::single(&m);
+        let lits = [ArmLit::pos(0, 0, 0), ArmLit::neg(0, 0, 0)];
+        assert!(sat.satisfy(&lits, true).is_none());
+    }
+
+    #[test]
+    fn narrowed_slots_map_chk_back_to_global_symbols() {
+        let mut ab = Alphabet::new();
+        let _pad0 = ab.event("pad0");
+        let _pad1 = ab.event("pad1");
+        let e = ab.event("e");
+        // `chk(e)` with e at global index 2; narrowed compile stores it
+        // in slot 0 — the witness must still name the global symbol
+        let m = guard_monitor(vec![Expr::and(vec![Expr::chk(e), Expr::chk(e)])]);
+        for opts in [crate::CompileOptions::raw(), crate::CompileOptions::optimized()] {
+            let c = m.compiled_with(&opts);
+            let mut sat = GuardSat::single(&c);
+            let w = sat.arm_witness(0, 0, 0, false).unwrap();
+            assert!(w.scoreboard.contains(e), "opts {opts:?}");
+        }
+    }
+}

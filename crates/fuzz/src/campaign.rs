@@ -73,6 +73,8 @@ pub struct CampaignReport {
     pub charts_checked: usize,
     /// Assert compositions checked serial-vs-sharded.
     pub asserts_checked: usize,
+    /// Asserts whose static proof agreed with the dynamic checker.
+    pub proofs_checked: usize,
     /// Multiclock specs checked serial-vs-sharded.
     pub multis_checked: usize,
     /// Total scenario completions observed (sanity: stimuli reach
@@ -94,12 +96,13 @@ impl fmt::Display for CampaignReport {
         writeln!(
             f,
             "differential: {} cases ({} rejected), {} charts + {} asserts + {} multiclock \
-             targets agreed, {} matches observed",
+             targets agreed, {} proofs cross-checked, {} matches observed",
             self.cases,
             self.rejected,
             self.charts_checked,
             self.asserts_checked,
             self.multis_checked,
+            self.proofs_checked,
             self.matches
         )?;
         for fl in &self.failures {
@@ -157,6 +160,7 @@ pub fn run_differential(cfg: &CampaignConfig) -> CampaignReport {
                 }
                 report.charts_checked += r.charts_checked;
                 report.asserts_checked += r.asserts_checked;
+                report.proofs_checked += r.proofs_checked;
                 report.matches += r.matches;
             }
             Err(d) => record_failure(cfg, &mut report, case, *d, input),

@@ -6,8 +6,12 @@
 //! * `.cesc` — specification source. If the file starts with the
 //!   `cesc-fuzz differential case` header, it embeds a trace and
 //!   execution geometry and is replayed through the full four-way
-//!   differential oracle (which must agree); otherwise it is driven
-//!   through the chart parser, which must return without panicking.
+//!   differential oracle (which must agree); if it starts with the
+//!   `cesc-prove counterexample` header, it names a statically-refuted
+//!   `implies(...)` assert and replaying re-runs the prover, which
+//!   must refute it again with an engine-confirmed counterexample;
+//!   otherwise it is driven through the chart parser, which must
+//!   return without panicking.
 //! * `.expr` — guard expressions, one per line, through the
 //!   expression parser.
 //! * `.vcd` / `.bin` — bytes through both streaming VCD readers (and
@@ -34,11 +38,17 @@ use crate::oracle::{self, total, CaseInput};
 /// The header line marking a self-contained differential entry.
 pub const DIFFERENTIAL_HEADER: &str = "// cesc-fuzz differential case";
 
+/// The header line marking a statically-refuted assert reproducer
+/// (written by `cesc prove --corpus-out`).
+pub const PROVE_HEADER: &str = "// cesc-prove counterexample";
+
 /// What kind of pipeline input a corpus entry replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorpusKind {
     /// A full `(spec × trace × chunking × jobs)` differential case.
     Differential,
+    /// A spec whose named `implies(...)` assert the prover refutes.
+    Prove,
     /// Hostile chart-parser input.
     ChartParser,
     /// Hostile expression-parser input.
@@ -50,7 +60,7 @@ pub enum CorpusKind {
 impl CorpusKind {
     fn extension(self) -> &'static str {
         match self {
-            CorpusKind::Differential | CorpusKind::ChartParser => "cesc",
+            CorpusKind::Differential | CorpusKind::Prove | CorpusKind::ChartParser => "cesc",
             CorpusKind::ExprParser => "expr",
             CorpusKind::Vcd => "vcd",
         }
@@ -137,6 +147,57 @@ pub fn decode_differential(text: &str) -> Option<CaseInput> {
     })
 }
 
+/// Builds a prove-counterexample corpus entry: the full spec source
+/// prefixed with the [`PROVE_HEADER`] and the refuted assert's name.
+/// Header lines are ordinary `//` comments, so the payload stays a
+/// valid `.cesc` document.
+pub fn prove_entry(source: &str, assert_name: &str) -> CorpusEntry {
+    let mut text = String::new();
+    text.push_str(PROVE_HEADER);
+    text.push('\n');
+    text.push_str(&format!("// assert: {assert_name}\n"));
+    text.push_str(source);
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    CorpusEntry {
+        name: format!("prove-{assert_name}"),
+        kind: CorpusKind::Prove,
+        bytes: text.into_bytes(),
+    }
+}
+
+/// Replays a prove-counterexample entry: re-runs the prover on the
+/// embedded spec and demands the named assert is refuted again, with a
+/// counterexample the dynamic engine confirms.
+///
+/// # Errors
+///
+/// Returns a description when the header is malformed, the spec no
+/// longer loads, the assert is now proved, or the counterexample
+/// fails to replay.
+pub fn replay_prove(text: &str) -> Result<(), String> {
+    let name = text
+        .lines()
+        .find_map(|l| l.strip_prefix("// assert: "))
+        .map(str::trim)
+        .ok_or_else(|| "prove entry is missing its `// assert: NAME` line".to_owned())?;
+    let specs = cesc_spec::SpecSet::load(text).map_err(|e| format!("spec no longer loads: {e}"))?;
+    let idx = match specs.resolve(name) {
+        Ok(cesc_spec::TargetRef::Assert(i)) => i,
+        Ok(_) => return Err(format!("`{name}` is no longer an implies(...) assert")),
+        Err(e) => return Err(format!("assert `{name}`: {e}")),
+    };
+    let report = specs.proof(idx).map_err(|e| format!("prover failed on `{name}`: {e}"))?;
+    let cx = report
+        .counterexample()
+        .ok_or_else(|| format!("assert `{name}` is now PROVED — stale reproducer"))?;
+    if !cx.confirmed {
+        return Err(format!("counterexample for `{name}` no longer replays in the engine"));
+    }
+    Ok(())
+}
+
 /// Writes `entry` into `dir` (created if missing); returns the path.
 ///
 /// # Errors
@@ -156,6 +217,8 @@ pub struct ReplaySummary {
     pub files: usize,
     /// Differential entries (oracle agreed on each).
     pub differential: usize,
+    /// Prove-counterexample entries (prover refuted each again).
+    pub prove: usize,
     /// Hostile chart-parser entries.
     pub parser: usize,
     /// Expression entries (individual lines).
@@ -177,7 +240,11 @@ pub fn replay_file(path: &Path, summary: &mut ReplaySummary) -> Result<(), Strin
     match path.extension().and_then(|e| e.to_str()) {
         Some("cesc") => {
             let text = String::from_utf8_lossy(&bytes).into_owned();
-            if let Some(input) = decode_differential(&text) {
+            if text.starts_with(PROVE_HEADER) {
+                replay_prove(&text).map_err(|e| format!("{name}: {e}"))?;
+                summary.prove += 1;
+                Ok(())
+            } else if let Some(input) = decode_differential(&text) {
                 match oracle::run_case(&input) {
                     Ok(_) => {
                         summary.differential += 1;

@@ -25,6 +25,14 @@
 //! counter drifting from the verdicts the other legs agreed on is a
 //! bug in the metrics plumbing, and fails the case the same way.
 //!
+//! A seventh leg cross-checks the *static prover*
+//! (`cesc_core::prove_implication`, the engine behind `cesc prove`)
+//! against the dynamic checker: an assert the prover discharged as
+//! PROVED must never record a violation on the case's stimulus, and a
+//! REFUTED assert's counterexample must have replayed through the
+//! engine as a real violation. Either mismatch is a prover soundness
+//! bug and fails the case.
+//!
 //! Any disagreement is a [`Discrepancy`] carrying enough context to
 //! replay and minimize the case. Assert compositions are checked
 //! serial-vs-sharded, and multiclock specs serial-vs-sharded over an
@@ -89,6 +97,9 @@ pub struct CaseReport {
     pub charts_checked: usize,
     /// Assert compositions checked serial-vs-sharded.
     pub asserts_checked: usize,
+    /// Asserts whose static proof agreed with the dynamic checker
+    /// (PROVED never violated; REFUTED counterexample replayed).
+    pub proofs_checked: usize,
     /// Total matches observed across agreeing charts (a campaign-level
     /// sanity signal that stimuli actually complete scenarios).
     pub matches: u64,
@@ -156,9 +167,11 @@ pub fn run_case(input: &CaseInput) -> Result<CaseReport, Box<Discrepancy>> {
         fleet.add_compiled(spec.compiled().clone());
     }
     let mut assert_names = Vec::new();
+    let mut assert_idx = Vec::new();
     for idx in 0..set.document().compositions.len() {
         if let Ok(a) = set.assert_spec(idx) {
             assert_names.push(a.name().to_owned());
+            assert_idx.push(idx);
             fleet.add_assert(cesc_par::AssertSpec::new(
                 a.name(),
                 a.clock(),
@@ -203,6 +216,37 @@ pub fn run_case(input: &CaseInput) -> Result<CaseReport, Box<Discrepancy>> {
                 }));
             }
             report.asserts_checked += 1;
+        }
+
+        // leg 7: the static prover against the dynamic checker — a
+        // PROVED assert must never be violated by any stimulus, and a
+        // REFUTED assert ships an engine-confirmed counterexample
+        for (i, &comp) in assert_idx.iter().enumerate() {
+            let Ok(proof) = set.proof(comp) else { continue };
+            match proof.counterexample() {
+                None if serial.asserts[i].violation_count > 0 => {
+                    return Err(Box::new(Discrepancy {
+                        stage: "prover-soundness".into(),
+                        target: assert_names[i].clone(),
+                        detail: format!(
+                            "statically PROVED but the stimulus produced {} violation(s)",
+                            serial.asserts[i].violation_count
+                        ),
+                    }));
+                }
+                Some(cx) if !cx.confirmed => {
+                    return Err(Box::new(Discrepancy {
+                        stage: "prover-replay".into(),
+                        target: assert_names[i].clone(),
+                        detail: format!(
+                            "{}-tick counterexample did not replay as an engine violation",
+                            cx.trace.len()
+                        ),
+                    }));
+                }
+                _ => {}
+            }
+            report.proofs_checked += 1;
         }
     }
 

@@ -13,12 +13,25 @@
 //! | L010 | `unbounded-counter` | warning  | a scoreboard count grows without bound — any fixed-width RTL counter can saturate and diverge from the engine |
 //! | L011 | `saturation-risk`   | warning  | a finite bound exceeds an explicitly configured counter ceiling |
 //! | L020 | `underflow`         | error    | a `Del_evt` fires with a provably-zero count whenever its arm is taken |
-//! | L030 | `shadowing`         | note     | two satisfiable arms overlap with different outcomes; priority order silently decides |
+//! | L030 | `shadowing`         | note     | two satisfiable same-kind arms overlap with different outcomes; priority order silently decides |
+//! | L100 | `unsatisfiable-guard` | note   | an arm's own guard is semantically unsatisfiable — upgrades L003's syntactic dead-arm |
+//! | L101 | `contradictory-overlap` | note | a forward and a backward arm of one state are jointly satisfiable — the match/slide-back choice is ambiguous, priority decides |
+//! | L102 | `semantic-unreachable` | warning | a state is unreachable once unsatisfiable effective guards are pruned — strictly sharper than graph reachability |
+//! | L110 | `violated-assert`   | warning  | the product prover refuted an `implies(...)` assert: a concrete trace violates it |
+//!
+//! The `L0xx` rules reason syntactically and numerically (PR 7's
+//! interval bounds); the `L1xx` rules are *semantic*, driven by the
+//! [`cesc_core::GuardSat`] satisfiability engine, SAT-pruned
+//! reachability and the [`cesc_core::prove_implication`] product
+//! prover over the same compiled guard tables the engine executes.
 //!
 //! Findings are computed on the monitors **as synthesized** (the
-//! [`cesc_spec::ChartSpec::synthesized`] form), so the report is identical with
-//! and without the optimizer pipeline — a property
-//! `tests/lint_soundness.rs` pins.
+//! [`cesc_spec::ChartSpec::synthesized`] /
+//! [`cesc_spec::AssertSpec::synthesized_antecedent`] forms), so the
+//! report is identical with and without the optimizer pipeline — a
+//! property `tests/lint_soundness.rs` pins. [`annotate_positions`]
+//! additionally stamps each finding with the `(line, column)` of its
+//! target's declaration in the source text.
 //!
 //! Intentional findings are silenced either with
 //! [`LintOptions::allow`] (the CLI's repeatable `--allow RULE`) or
@@ -37,8 +50,10 @@
 
 use std::fmt;
 
-use cesc_core::{BoundsReport, Monitor};
-use cesc_expr::{sat, Alphabet, Expr, SymbolId};
+use cesc_core::{
+    reachable_states, ArmLit, BoundsReport, GuardSat, GuardVerdict, Monitor, StateId,
+};
+use cesc_expr::{sat, Alphabet, Expr, SymbolId, Valuation};
 use cesc_spec::{SpecError, SpecSet, TargetRef};
 
 /// A lint rule — the catalog above.
@@ -58,6 +73,14 @@ pub enum Rule {
     Underflow,
     /// L030: overlapping satisfiable guards resolved only by priority.
     Shadowing,
+    /// L100: an arm's own guard is semantically unsatisfiable.
+    UnsatGuard,
+    /// L101: a forward and a backward arm are jointly satisfiable.
+    ContradictoryOverlap,
+    /// L102: a state is unreachable under SAT-pruned edges.
+    SemanticUnreachable,
+    /// L110: an `implies(...)` assert is statically violated.
+    ViolatedAssert,
 }
 
 impl Rule {
@@ -71,6 +94,10 @@ impl Rule {
             Rule::SaturationRisk => "L011",
             Rule::Underflow => "L020",
             Rule::Shadowing => "L030",
+            Rule::UnsatGuard => "L100",
+            Rule::ContradictoryOverlap => "L101",
+            Rule::SemanticUnreachable => "L102",
+            Rule::ViolatedAssert => "L110",
         }
     }
 
@@ -85,11 +112,15 @@ impl Rule {
             Rule::SaturationRisk => "saturation-risk",
             Rule::Underflow => "underflow",
             Rule::Shadowing => "shadowing",
+            Rule::UnsatGuard => "unsatisfiable-guard",
+            Rule::ContradictoryOverlap => "contradictory-overlap",
+            Rule::SemanticUnreachable => "semantic-unreachable",
+            Rule::ViolatedAssert => "violated-assert",
         }
     }
 
     /// Every rule in catalog order.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::Vacuity,
             Rule::DeadState,
@@ -98,6 +129,10 @@ impl Rule {
             Rule::SaturationRisk,
             Rule::Underflow,
             Rule::Shadowing,
+            Rule::UnsatGuard,
+            Rule::ContradictoryOverlap,
+            Rule::SemanticUnreachable,
+            Rule::ViolatedAssert,
         ]
     }
 
@@ -112,8 +147,14 @@ impl Rule {
     pub fn severity(self) -> Severity {
         match self {
             Rule::Vacuity | Rule::Underflow => Severity::Error,
-            Rule::DeadState | Rule::UnboundedCounter | Rule::SaturationRisk => Severity::Warning,
-            Rule::DeadArm | Rule::Shadowing => Severity::Note,
+            Rule::DeadState
+            | Rule::UnboundedCounter
+            | Rule::SaturationRisk
+            | Rule::SemanticUnreachable
+            | Rule::ViolatedAssert => Severity::Warning,
+            Rule::DeadArm | Rule::Shadowing | Rule::UnsatGuard | Rule::ContradictoryOverlap => {
+                Severity::Note
+            }
         }
     }
 }
@@ -156,6 +197,10 @@ pub struct Finding {
     pub message: String,
     /// Silenced by an allow (still reported, never denied).
     pub allowed: bool,
+    /// 1-based `(line, column)` of the target's declaration in the
+    /// source text, stamped by [`annotate_positions`]; `None` when the
+    /// report was built without source text.
+    pub position: Option<(usize, usize)>,
 }
 
 impl fmt::Display for Finding {
@@ -168,6 +213,9 @@ impl fmt::Display for Finding {
             self.rule.name(),
             self.target
         )?;
+        if let Some((line, col)) = self.position {
+            write!(f, ":{line}:{col}")?;
+        }
         if !self.location.is_empty() {
             write!(f, " at {}", self.location)?;
         }
@@ -337,12 +385,12 @@ pub fn lint_targets(
             }
             TargetRef::Assert(i) => {
                 let spec = specs.assert_spec(i)?;
-                // lint the *synthesized* sides: assert monitors in the
-                // cache are post-optimize, but their bounds were taken
-                // pre-optimize; re-derive both sides raw for analysis
+                // lint the *synthesized* sides, matching the bounds
+                // (taken pre-optimize) and keeping the report identical
+                // with and without the pipeline
                 lint_monitor(
                     &format!("{}.antecedent", spec.name()),
-                    spec.antecedent(),
+                    spec.synthesized_antecedent(),
                     spec.antecedent_bounds(),
                     ab,
                     opts,
@@ -350,12 +398,32 @@ pub fn lint_targets(
                 );
                 lint_monitor(
                     &format!("{}.consequent", spec.name()),
-                    spec.consequent(),
+                    spec.synthesized_consequent(),
                     spec.consequent_bounds(),
                     ab,
                     opts,
                     &mut findings,
                 );
+                let proof = specs.proof(i)?;
+                if let Some(cx) = proof.counterexample() {
+                    // only semantic-stable quantities in the message
+                    // (the optimizer must not change the report): the
+                    // verdict and the shortest-trace length
+                    let name = spec.name();
+                    push(
+                        &mut findings,
+                        opts,
+                        Rule::ViolatedAssert,
+                        name,
+                        String::new(),
+                        format!(
+                            "statically violated: a {}-tick trace completes the antecedent \
+                             and then blocks the consequent; `cesc prove --chart {name}` \
+                             prints the counterexample",
+                            cx.trace.len()
+                        ),
+                    );
+                }
             }
         }
     }
@@ -371,10 +439,12 @@ fn lint_monitor(
     opts: &LintOptions,
     out: &mut Vec<Finding>,
 ) {
-    reachability_findings(target, monitor, bounds, opts, out);
+    let sem = analyze_semantics(monitor, bounds);
+    reachability_findings(target, monitor, bounds, &sem, opts, out);
     bound_findings(target, bounds.bounds(), ab, opts, out);
     underflow_findings(target, bounds, ab, opts, out);
     shadowing_findings(target, monitor, bounds, ab, opts, out);
+    semantic_findings(target, &sem, ab, opts, out);
 }
 
 /// Appends the findings of one local monitor of a multi-clock spec:
@@ -389,7 +459,8 @@ fn lint_local(
     opts: &LintOptions,
     out: &mut Vec<Finding>,
 ) {
-    reachability_findings(target, local, bounds, opts, out);
+    let sem = analyze_semantics(local, bounds);
+    reachability_findings(target, local, bounds, &sem, opts, out);
     let written = local.written_events();
     // report each written event once, under the writing local, with
     // the coupling-aware shared bound
@@ -404,6 +475,142 @@ fn lint_local(
         underflow_findings(target, bounds, ab, opts, out);
     }
     shadowing_findings(target, local, bounds, ab, opts, out);
+    semantic_findings(target, &sem, ab, opts, out);
+}
+
+/// Per-monitor semantic facts, computed once on the raw compile of the
+/// synthesized monitor and shared by the `L1xx` rules and the
+/// `L003`-suppression logic. All queries run with scoreboard presence
+/// *free* (`pin_chk = false`), the sound over-approximation of engine
+/// dynamics: an UNSAT or unreachable verdict here holds under any
+/// scoreboard history.
+struct Semantics {
+    /// Arms whose own guard is unsatisfiable (L100).
+    unsat_arms: Vec<(StateId, usize)>,
+    /// Kind-differing arm pairs jointly satisfiable, with a witness
+    /// event-set (L101).
+    overlaps: Vec<(StateId, usize, usize, Valuation)>,
+    /// Bounds-feasible states unreachable under SAT-pruned edges
+    /// (L102).
+    unreachable: Vec<StateId>,
+}
+
+fn analyze_semantics(monitor: &Monitor, bounds: &BoundsReport) -> Semantics {
+    let compiled = monitor.compiled();
+    let mut engine = GuardSat::single(&compiled);
+    let mut unsat_arms = Vec::new();
+    let mut overlaps = Vec::new();
+    for s in 0..monitor.state_count() {
+        let sid = StateId::from_index(s);
+        let ts = monitor.transitions_from(sid);
+        for i in 0..ts.len() {
+            if engine.arm_verdict(0, s, i, false) == GuardVerdict::Unsat {
+                unsat_arms.push((sid, i));
+            }
+        }
+        if !bounds.is_feasible(sid) {
+            continue;
+        }
+        for i in 0..ts.len() {
+            for j in i + 1..ts.len() {
+                // same filters as the syntactic shadowing rule, plus:
+                // only kind-differing pairs (the match/slide-back
+                // ambiguity), and guards the SAT engine proved dead
+                // carry no overlap
+                if ts[i].kind == ts[j].kind
+                    || matches!(ts[j].guard, Expr::Const(true))
+                    || (ts[i].target == ts[j].target && ts[i].actions == ts[j].actions)
+                    || bounds.infeasible_arms().contains(&(sid, i))
+                    || bounds.infeasible_arms().contains(&(sid, j))
+                    || unsat_arms.contains(&(sid, i))
+                    || unsat_arms.contains(&(sid, j))
+                {
+                    continue;
+                }
+                if let Some(w) =
+                    engine.satisfy(&[ArmLit::pos(0, s, i), ArmLit::pos(0, s, j)], false)
+                {
+                    overlaps.push((sid, i, j, w.valuation));
+                }
+            }
+        }
+    }
+    let reach = reachable_states(&compiled, false);
+    let unreachable = (0..monitor.state_count())
+        .filter(|&s| !reach[s] && bounds.is_feasible(StateId::from_index(s)))
+        .map(StateId::from_index)
+        .collect();
+    Semantics {
+        unsat_arms,
+        overlaps,
+        unreachable,
+    }
+}
+
+/// Appends the semantic `L100`/`L101`/`L102` findings.
+fn semantic_findings(
+    target: &str,
+    sem: &Semantics,
+    ab: &Alphabet,
+    opts: &LintOptions,
+    out: &mut Vec<Finding>,
+) {
+    for &(s, arm) in &sem.unsat_arms {
+        push(
+            out,
+            opts,
+            Rule::UnsatGuard,
+            target,
+            format!("{s}#{arm}"),
+            format!(
+                "guard of arm {arm} of {s} is unsatisfiable — no event-set can ever fire \
+                 this transition"
+            ),
+        );
+    }
+    for &(s, i, j, w) in &sem.overlaps {
+        push(
+            out,
+            opts,
+            Rule::ContradictoryOverlap,
+            target,
+            format!("{s}#{i}/{j}"),
+            format!(
+                "forward and backward arms {i} and {j} of {s} are jointly satisfiable \
+                 (e.g. on {{{}}}); the match/slide-back choice is ambiguous and priority \
+                 order silently picks arm {i}",
+                event_set(w, ab)
+            ),
+        );
+    }
+    for &s in &sem.unreachable {
+        push(
+            out,
+            opts,
+            Rule::SemanticUnreachable,
+            target,
+            s.to_string(),
+            format!(
+                "state {s} is unreachable under satisfiable effective guards — every \
+                 path to it crosses a transition that can never fire"
+            ),
+        );
+    }
+}
+
+/// Renders a witness valuation as a comma-separated event list.
+fn event_set(v: Valuation, ab: &Alphabet) -> String {
+    let mut names: Vec<&str> = Vec::new();
+    let mut bits = v.bits();
+    while bits != 0 {
+        names.push(ab.name(SymbolId::from_index(bits.trailing_zeros() as usize)));
+        bits &= bits - 1;
+    }
+    if names.is_empty() {
+        "no events".to_owned()
+    } else {
+        names.join(", ")
+    }
 }
 
 fn push(
@@ -421,13 +628,66 @@ fn push(
         location,
         message,
         allowed: opts.is_allowed(rule),
+        position: None,
     });
+}
+
+/// Stamps each finding with the 1-based `(line, column)` of its
+/// target's declaration in `source` (the file the [`SpecSet`] was
+/// loaded from). Compound targets resolve to their top-level
+/// declaration: `pair/beat` points at `multiclock pair`,
+/// `gate.antecedent` at `cesc gate`. Findings whose target has no
+/// declaration in `source` keep `position: None`.
+pub fn annotate_positions(report: &mut LintReport, source: &str) {
+    let decls = decl_positions(source);
+    for f in &mut report.findings {
+        let head = f.target.split(['/', '.']).next().unwrap_or("");
+        f.position = decls
+            .iter()
+            .find(|(name, _, _)| name == head)
+            .map(|&(_, line, col)| (line, col));
+    }
+}
+
+/// Scans source text for `scesc NAME`, `multiclock NAME` and `cesc
+/// NAME` declaration headers (comments stripped), returning each name
+/// with the 1-based line and column of the name token.
+fn decl_positions(source: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let code = raw.split("//").next().unwrap_or("");
+        // word list with byte-offset spans
+        let mut words: Vec<(usize, usize)> = Vec::new();
+        let mut open = false;
+        for (i, ch) in code.char_indices() {
+            if ch.is_whitespace() || ch == '{' {
+                open = false;
+            } else if open {
+                words.last_mut().expect("open word").1 = i + ch.len_utf8();
+            } else {
+                open = true;
+                words.push((i, i + ch.len_utf8()));
+            }
+        }
+        for w in 0..words.len().saturating_sub(1) {
+            let kw = &code[words[w].0..words[w].1];
+            if kw == "scesc" || kw == "multiclock" || kw == "cesc" {
+                let (ns, ne) = words[w + 1];
+                let name = &code[ns..ne];
+                if !name.is_empty() {
+                    out.push((name.to_owned(), ln + 1, ns + 1));
+                }
+            }
+        }
+    }
+    out
 }
 
 fn reachability_findings(
     target: &str,
     monitor: &Monitor,
     bounds: &BoundsReport,
+    sem: &Semantics,
     opts: &LintOptions,
     out: &mut Vec<Finding>,
 ) {
@@ -459,6 +719,9 @@ fn reachability_findings(
         );
     }
     for &(s, arm) in bounds.infeasible_arms() {
+        if sem.unsat_arms.contains(&(s, arm)) {
+            continue; // upgraded to L100: the guard itself is unsat
+        }
         push(
             out,
             opts,
@@ -564,6 +827,12 @@ fn shadowing_findings(
                 // the trailing total fallback is the *designed*
                 // default of every synthesized state, not an ambiguity
                 if matches!(ts[j].guard, Expr::Const(true)) {
+                    continue;
+                }
+                // kind-differing pairs belong to the semantic L101
+                // rule, which also proves syntactically-compatible but
+                // semantically-disjoint pairs harmless
+                if ts[i].kind != ts[j].kind {
                     continue;
                 }
                 if ts[i].target == ts[j].target && ts[i].actions == ts[j].actions {
@@ -694,6 +963,80 @@ mod tests {
             allows_in_source(src),
             vec!["unbounded-counter", "shadowing", "L020"]
         );
+    }
+
+    #[test]
+    fn refuted_assert_raises_violated_assert_with_position() {
+        let src = format!(
+            "{HS}\n\
+             scesc req on clk {{ instances {{ M }} events {{ req, ack }} tick {{ M: req }} }}\n\
+             scesc rsp on clk {{ instances {{ M }} events {{ req, ack }} tick {{ M: ack }} }}\n\
+             cesc gate {{ implies(req, rsp) }}"
+        );
+        let specs = SpecSet::load(&src).unwrap();
+        let mut report = lint(&specs, &LintOptions::default()).unwrap();
+        annotate_positions(&mut report, &src);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::ViolatedAssert)
+            .expect("implies(req, rsp) is refutable");
+        assert_eq!(f.target, "gate");
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.position, Some((4, 6)), "points at `cesc gate`");
+        assert!(f.message.contains("2-tick trace"), "{}", f.message);
+        // the L110 warning gates --deny, and `--allow violated-assert`
+        // silences it
+        assert!(report.denied().iter().any(|f| f.rule == Rule::ViolatedAssert));
+        let opts = LintOptions {
+            allow: vec!["violated-assert".to_owned()],
+            ..LintOptions::default()
+        };
+        let report = lint(&specs, &opts).unwrap();
+        assert!(!report.denied().iter().any(|f| f.rule == Rule::ViolatedAssert));
+    }
+
+    #[test]
+    fn contradictory_overlap_upgrades_kind_differing_shadowing() {
+        let specs = SpecSet::load(HS).unwrap();
+        let report = lint(&specs, &LintOptions::default()).unwrap();
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::ContradictoryOverlap)
+            .expect("hs has a forward/backward overlap");
+        assert!(f.message.contains("jointly satisfiable"), "{}", f.message);
+        assert!(
+            f.message.contains("req") || f.message.contains("ack"),
+            "witness event-set in message: {}",
+            f.message
+        );
+        // ...and no plain L030 remains for kind-differing pairs
+        assert!(
+            !report.findings.iter().any(|f| f.rule == Rule::Shadowing),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn positions_resolve_compound_targets() {
+        let src = "scesc ping on ca { instances { M } events { req, ack } \
+                   tick { M: req } tick { M: ack } cause req -> ack; }\n\
+                   scesc pong on cb { instances { S } events { go } tick { S: go } }\n\
+                   multiclock pair { charts { ping, pong } }";
+        let specs = SpecSet::load(src).unwrap();
+        let mut report = lint(&specs, &LintOptions::default()).unwrap();
+        annotate_positions(&mut report, src);
+        for f in &report.findings {
+            assert!(f.position.is_some(), "unannotated finding: {f}");
+        }
+        let local = report
+            .findings
+            .iter()
+            .find(|f| f.target.starts_with("pair/"))
+            .expect("multiclock local finding");
+        assert_eq!(local.position, Some((3, 12)), "points at `multiclock pair`");
     }
 
     #[test]

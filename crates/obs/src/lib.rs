@@ -14,7 +14,8 @@
 //!   so instrumented code compiled into release binaries costs nothing
 //!   measurable when nobody asked for stats;
 //! * **span timing** for the pipeline stages (`parse` → `resolve` →
-//!   `compile` → `optimize` → `plan` → `execute`/`cosim`/`fuzz.*`),
+//!   `compile` → `optimize` → `prove` → `plan` →
+//!   `execute`/`cosim`/`fuzz.*`),
 //!   recorded manually ([`Obs::time`], [`Obs::span`]) because the
 //!   stages are few and the registry should not dictate control flow;
 //! * a **[`RunReport`]** snapshot rendered as human text (`--stats`)
@@ -90,6 +91,16 @@ pub mod key {
     pub const LINT_FINDINGS: &str = "lint.findings";
     /// Lint findings gating `--deny`.
     pub const LINT_DENIED: &str = "lint.denied";
+    /// `implies(...)` asserts the static prover examined.
+    pub const PROVE_ASSERTS: &str = "prove.asserts";
+    /// Asserts proved (vacuously or not).
+    pub const PROVE_PROVED: &str = "prove.proved";
+    /// Asserts refuted with an engine-confirmed counterexample.
+    pub const PROVE_REFUTED: &str = "prove.refuted";
+    /// Product states explored across all proof searches.
+    pub const PROVE_PRODUCT_STATES: &str = "prove.product_states";
+    /// Guard-SAT queries issued by the prover (cache hits included).
+    pub const PROVE_SAT_QUERIES: &str = "prove.sat_queries";
 }
 
 /// Histogram buckets: values bucketed by bit length (`⌊log2⌋ + 1`),

@@ -122,10 +122,23 @@ pub fn bus_scenarios() -> Vec<BusScenario> {
     ]
 }
 
+/// The library's `implies(...)` asserts: each wait-state / multi-beat
+/// variant implies its single-beat base scenario, per bus. All three
+/// antecedents carry `cause` arrows, so under the scoreboard-free
+/// implication-checker semantics the antecedent can never complete and
+/// `cesc prove` discharges each assert as PROVED (vacuous) — the
+/// asserts exist to keep the prover, the fleet checker and the lint
+/// semantic layer exercised on realistic compositions.
+pub const BUS_ASSERTS_SRC: &str = "\
+cesc axi4_lite_wait_gate { implies(axi4_lite_read_wait, axi4_lite_read) }\n\
+cesc apb_wait_gate { implies(apb_read_wait, apb_read) }\n\
+cesc wb_block_gate { implies(wb_block_read, wb_read) }\n";
+
 /// The three bus libraries concatenated into one multi-chart document
 /// — what `cesc check --all-charts` and the SpecSet coverage tests
-/// load. Charts on the same bus share their event symbols; the
-/// combined alphabet stays well under the 128-symbol budget.
+/// load — followed by the [`BUS_ASSERTS_SRC`] `implies(...)` asserts.
+/// Charts on the same bus share their event symbols; the combined
+/// alphabet stays well under the 128-symbol budget.
 ///
 /// The document carries a `// lint: allow(unbounded-counter)`
 /// annotation: every bus chart re-`Add`s its request event on slides
@@ -147,7 +160,7 @@ pub fn bus_library_src() -> String {
          // lint: allow(unbounded-counter) — request counts grow without bound under\n\
          // default synthesis (re-Add on slide, no Del on accept); saturating RTL\n\
          // counters keep Chk_evt conservative, so the charts ship as-is.\n\
-         {charts}"
+         {charts}\n{BUS_ASSERTS_SRC}"
     )
 }
 
@@ -162,6 +175,7 @@ mod tests {
     fn bus_library_parses_as_one_document() {
         let doc = parse_document(&bus_library_src()).unwrap();
         assert_eq!(doc.charts.len(), bus_scenarios().len());
+        assert_eq!(doc.compositions.len(), 3, "one implies(...) assert per bus");
         assert!(doc.alphabet.len() <= 128);
     }
 

@@ -37,9 +37,9 @@ use std::fmt;
 
 use cesc_chart::{parse_document, Cesc, Document, Scesc};
 use cesc_core::{
-    compile, infer_bounds, optimize, synthesize, synthesize_multiclock, Bound, BoundsOptions,
-    BoundsReport, Compiled, CompileOptions, CompiledMonitor, CompiledMultiClock, Monitor,
-    MultiClockMonitor, SynthOptions,
+    compile, infer_bounds, optimize, prove_implication, synthesize, synthesize_multiclock, Bound,
+    BoundsOptions, BoundsReport, Compiled, CompileOptions, CompiledMonitor, CompiledMultiClock,
+    Monitor, MultiClockMonitor, ProofReport, SynthOptions,
 };
 use cesc_expr::SymbolId;
 
@@ -323,6 +323,8 @@ pub struct AssertSpec {
     clock: String,
     antecedent: Monitor,
     consequent: Monitor,
+    synthesized_antecedent: Monitor,
+    synthesized_consequent: Monitor,
     antecedent_bounds: BoundsReport,
     consequent_bounds: BoundsReport,
 }
@@ -346,6 +348,19 @@ impl AssertSpec {
     /// The consequent monitor.
     pub fn consequent(&self) -> &Monitor {
         &self.consequent
+    }
+
+    /// The antecedent exactly as synthesized, before any optimization
+    /// pass — the form static analyses run on, so their findings are
+    /// identical with and without `--no-opt`.
+    pub fn synthesized_antecedent(&self) -> &Monitor {
+        &self.synthesized_antecedent
+    }
+
+    /// The consequent exactly as synthesized, before any optimization
+    /// pass — the form static analyses run on.
+    pub fn synthesized_consequent(&self) -> &Monitor {
+        &self.synthesized_consequent
     }
 
     /// Counter-bounds analysis of the antecedent monitor.
@@ -396,6 +411,7 @@ pub struct SpecSet {
     charts: Vec<OnceCell<ChartSpec>>,
     multis: Vec<OnceCell<MultiSpec>>,
     asserts: Vec<OnceCell<AssertSpec>>,
+    proofs: Vec<OnceCell<ProofReport>>,
 }
 
 /// Renders a target-name list, or `(none)`.
@@ -435,12 +451,14 @@ impl SpecSet {
         let charts = (0..doc.charts.len()).map(|_| OnceCell::new()).collect();
         let multis = (0..doc.multiclock.len()).map(|_| OnceCell::new()).collect();
         let asserts = (0..doc.compositions.len()).map(|_| OnceCell::new()).collect();
+        let proofs = (0..doc.compositions.len()).map(|_| OnceCell::new()).collect();
         SpecSet {
             doc,
             options,
             charts,
             multis,
             asserts,
+            proofs,
         }
     }
 
@@ -731,6 +749,8 @@ impl SpecSet {
         let antecedent_bounds = infer_bounds(checker.antecedent(), &bounds_opts);
         let consequent_bounds = infer_bounds(checker.consequent(), &bounds_opts);
         drop(compile_span);
+        let synthesized_antecedent = checker.antecedent().clone();
+        let synthesized_consequent = checker.consequent().clone();
         let (antecedent, consequent) = if self.options.optimize {
             let _span = obs.span("optimize");
             (
@@ -745,9 +765,33 @@ impl SpecSet {
             clock: clock.clone(),
             antecedent,
             consequent,
+            synthesized_antecedent,
+            synthesized_consequent,
             antecedent_bounds,
             consequent_bounds,
         })
+    }
+
+    /// The static proof verdict of assert composition `idx` — PROVED
+    /// or a concrete, engine-replayed counterexample — produced by the
+    /// [`cesc_core::prove_implication`] product prover on first use
+    /// and cached. The verdict is *semantic*: the optimization passes
+    /// preserve step behavior, so the same report serves the optimized
+    /// and `--no-opt` forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn proof(&self, idx: usize) -> Result<&ProofReport, SpecError> {
+        if self.proofs[idx].get().is_none() {
+            let spec = self.assert_spec(idx)?;
+            let report = {
+                let _span = self.options.obs.span("prove");
+                prove_implication(spec.name(), spec.antecedent(), spec.consequent())
+            };
+            let _ = self.proofs[idx].set(report);
+        }
+        Ok(self.proofs[idx].get().expect("just built"))
     }
 }
 
@@ -860,6 +904,29 @@ mod tests {
         assert!(analyze(assert_spec.antecedent()).is_clean());
         // the non-assert composition rejects
         let err = specs.assert_spec(1).unwrap_err();
+        assert!(err.to_string().contains("not an implies"), "{}", err);
+    }
+
+    #[test]
+    fn proof_is_cached_and_semantic() {
+        let specs = SpecSet::load(DOC).unwrap();
+        let a = specs.proof(0).unwrap() as *const _;
+        let b = specs.proof(0).unwrap() as *const _;
+        assert_eq!(a, b, "proved once, cached");
+        let report = specs.proof(0).unwrap();
+        // same verdict without the optimization pipeline: the proof is
+        // a property of the step semantics, which the passes preserve
+        let raw = SpecSet::load_with(
+            DOC,
+            SpecOptions {
+                optimize: false,
+                ..SpecOptions::new()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.proved(), raw.proof(0).unwrap().proved());
+        // the non-assert composition rejects, same as assert_spec
+        let err = specs.proof(1).unwrap_err();
         assert!(err.to_string().contains("not an implies"), "{}", err);
     }
 

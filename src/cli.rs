@@ -12,6 +12,8 @@
 //!             [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]
 //! cesc lint   <spec.cesc> [--chart NAME]... [--json] [--deny] [--allow RULE]...
 //!             [--counter-width N] [--no-opt]
+//! cesc prove  <spec.cesc> [--chart NAME]... [--json] [--no-opt]
+//!             [--corpus-out DIR]
 //! ```
 //!
 //! Every route goes through **one** compilation front door:
@@ -1257,7 +1259,7 @@ fn render_json(
 
 /// The usage banner printed on bad invocations.
 pub fn usage() -> &'static str {
-    "cesc <render|synth|check|lint> <spec.cesc> [options] | cesc fuzz [options]\n\
+    "cesc <render|synth|check|lint|prove> <spec.cesc> [options] | cesc fuzz [options]\n\
      \n\
      render <spec> [--chart NAME]\n\
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
@@ -1267,6 +1269,8 @@ pub fn usage() -> &'static str {
             [--stats] [--stats-json FILE] [--progress]\n\
      lint   <spec> [--chart NAME]... [--json] [--deny] [--allow RULE]...\n\
             [--counter-width N] [--no-opt] [--stats] [--stats-json FILE]\n\
+     prove  <spec> [--chart NAME]... [--json] [--no-opt] [--corpus-out DIR]\n\
+            [--stats] [--stats-json FILE]\n\
      fuzz   [--cases N] [--seed N] [--trace-len N] [--sweep-cases N]\n\
             [--corpus-out DIR] [--stats] [--stats-json FILE]\n\
      \n\
@@ -1297,18 +1301,30 @@ pub fn usage() -> &'static str {
      \n\
      lint statically analyses the synthesized monitors: counter-bound\n\
      inference (interval abstract interpretation with widening), vacuity\n\
-     and dead-state/arm reachability, guaranteed Del_evt underflow, and\n\
-     guard-overlap shadowing. Findings carry stable ids (L001 vacuity,\n\
-     L002 dead-state, L003 dead-arm, L010 unbounded-counter, L011\n\
-     saturation-risk, L020 underflow, L030 shadowing). Default: every\n\
+     and dead-state/arm reachability, guaranteed Del_evt underflow,\n\
+     guard-overlap shadowing, and the semantic guard-SAT layer. Findings\n\
+     carry stable ids (L001 vacuity, L002 dead-state, L003 dead-arm,\n\
+     L010 unbounded-counter, L011 saturation-risk, L020 underflow, L030\n\
+     shadowing, L100 unsatisfiable-guard, L101 contradictory-overlap,\n\
+     L102 semantic-unreachable, L110 violated-assert). Default: every\n\
      checkable target; --chart selects (repeatable).\n\
-     --json            machine-readable report (schema cesc-lint/1)\n\
+     --json            machine-readable report (schema cesc-lint/2)\n\
      --deny            exit 2 when any non-allowed error/warning remains\n\
      --allow RULE      silence a rule by id or name (repeatable); specs may\n\
                        also annotate `// lint: allow(rule, ...)` in source\n\
      --counter-width N flag finite bounds exceeding the 2^N-1 counter\n\
                        ceiling as saturation-risk (synth: force RTL\n\
                        counter width; default infers from bounds)\n\
+     \n\
+     prove statically verifies implies(...) asserts with the SAT-pruned\n\
+     product-automaton prover: PROVED means no trace of any length can\n\
+     complete the antecedent and then block the consequent; REFUTED\n\
+     prints a concrete counterexample trace, replayed through the\n\
+     dynamic engine before being reported. Any refutation exits with\n\
+     status 2. Default: every implies(...) assert; --chart selects.\n\
+     --json            machine-readable report (schema cesc-prove/1)\n\
+     --corpus-out D    write each refuted assert as a self-contained\n\
+                       corpus reproducer into directory D\n\
      \n\
      fuzz runs a deterministic differential campaign (baseline engine vs\n\
      optimized engine vs sharded fleet vs RTL interpreter on generated\n\
@@ -1432,7 +1448,7 @@ pub struct LintCliOptions {
 ///
 /// ```json
 /// {
-///   "schema": "cesc-lint/1",
+///   "schema": "cesc-lint/2",
 ///   "targets": 3,              // checkable targets analyzed
 ///   "errors": 1,               // findings per severity (allowed included)
 ///   "warnings": 2,
@@ -1445,6 +1461,8 @@ pub struct LintCliOptions {
 ///       "severity": "warning",           // "note" | "warning" | "error"
 ///       "target": "hs",                  // chart / multi local / assert side
 ///       "location": "event req",         // state (s1), arm (s1#2), event, or ""
+///       "line": 2,                       // 1-based declaration position of the
+///       "column": 7,                     // target in the source, or null
 ///       "message": "count of `req` has no finite bound — ...",
 ///       "allowed": false }               // silenced by --allow or annotation
 ///   ]
@@ -1454,8 +1472,10 @@ pub struct LintCliOptions {
 /// Findings appear in target order, then rule-catalog order — the same
 /// order as the text report — and are computed on the monitors as
 /// synthesized, so the document is identical with and without
-/// `--no-opt`.
-pub const LINT_JSON_SCHEMA: &str = "cesc-lint/1";
+/// `--no-opt`. (`cesc-lint/2` added the per-finding `line`/`column`
+/// fields — `null` when the target's declaration cannot be located —
+/// to `cesc-lint/1`; every `/1` field is unchanged.)
+pub const LINT_JSON_SCHEMA: &str = "cesc-lint/2";
 
 /// `cesc lint`: run the static monitor analyses (counter bounds,
 /// vacuity, underflow, determinism — the `cesc-lint` crate) over the
@@ -1495,10 +1515,11 @@ pub fn lint(
         allow,
         ceiling_width: opts.counter_width,
     };
-    let report = {
+    let mut report = {
         let _span = obs.span("lint");
         cesc_lint::lint_targets(&specs, &targets, &lint_opts).map_err(lift)?
     };
+    cesc_lint::annotate_positions(&mut report, source);
     let denied = report.denied().len();
     obs.counter(key::LINT_FINDINGS).add(report.findings.len() as u64);
     obs.counter(key::LINT_DENIED).add(denied as u64);
@@ -1542,6 +1563,286 @@ fn render_lint_text(
     out
 }
 
+/// Options for the `cesc prove` subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct ProveCliOptions {
+    /// Emit the machine-readable JSON report ([`PROVE_JSON_SCHEMA`])
+    /// instead of text — the `--json` flag.
+    pub json: bool,
+    /// Skip the optimization pass pipeline — the `--no-opt` flag. The
+    /// prover always runs on the monitors *as synthesized*, so the
+    /// verdicts are identical; the flag only matches `check --no-opt`
+    /// runs for artifact-cache parity.
+    pub no_opt: bool,
+    /// Directory refuted asserts are written to as self-contained
+    /// corpus reproducers (`--corpus-out DIR`).
+    pub corpus_out: Option<String>,
+    /// Observability switches (`--stats`/`--stats-json`): the prover
+    /// records its `prove` span and verdict tallies into `stats.obs`.
+    pub stats: StatsOptions,
+}
+
+/// Identifier of the JSON report layout emitted by [`prove`] under
+/// [`ProveCliOptions::json`] (the report's `schema` field).
+///
+/// Layout (one object):
+///
+/// ```json
+/// {
+///   "schema": "cesc-prove/1",
+///   "asserts": 2,                // implies(...) asserts examined
+///   "proved": 1,
+///   "refuted": 1,
+///   "failed": true,              // true iff any assert was refuted
+///   "results": [
+///     { "name": "gate", "clock": "clk",
+///       "verdict": "refuted",    // "proved" | "refuted"
+///       "vacuous": false,        // proved because the antecedent is dead
+///       "product_states": 12,    // product states the search explored
+///       "sat_queries": 40,       // guard-SAT queries (cache misses + hits)
+///       "cache_hits": 22,
+///       "counterexample": {      // null when proved
+///         "ticks": 2,
+///         "trace": [["req"], []],      // event names per tick
+///         "antecedent_at": 0,          // replay tick the antecedent completed
+///         "failed_at": 1,              // replay tick the consequent blocked
+///         "progress": 0 } }            // consequent ticks matched before that
+///   ]
+/// }
+/// ```
+///
+/// Every counterexample is replayed through the dynamic
+/// [`cesc_core::ImplicationChecker`] before being reported, so the
+/// `antecedent_at`/`failed_at`/`progress` numbers are engine-observed,
+/// not inferred.
+pub const PROVE_JSON_SCHEMA: &str = "cesc-prove/1";
+
+/// `cesc prove`: statically verify every selected `implies(...)`
+/// assert with the product-automaton prover and render PROVED /
+/// REFUTED verdicts, counterexample traces included.
+///
+/// `names` selects asserts by name (repeated `--chart`, deduplicated);
+/// empty selects every implies(...) composition in the document.
+/// [`CheckOutcome::failed`] is set (the binary exits with status 2)
+/// when any assert is refuted — the same CI-gate contract as `check`.
+pub fn prove(
+    source: &str,
+    names: &[String],
+    opts: &ProveCliOptions,
+) -> Result<CheckOutcome, CliError> {
+    let obs = &opts.stats.obs;
+    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
+    let mut targets: Vec<usize> = Vec::new();
+    if names.is_empty() {
+        targets = specs
+            .checkable_targets()
+            .into_iter()
+            .filter_map(|t| match t {
+                TargetRef::Assert(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            return Err(CliError::Pipeline(
+                "document contains no implies(...) asserts to prove".to_owned(),
+            ));
+        }
+    }
+    for name in names {
+        match specs.resolve(name).map_err(lift)? {
+            TargetRef::Assert(i) => {
+                if !targets.contains(&i) {
+                    targets.push(i);
+                }
+            }
+            _ => {
+                return Err(CliError::Pipeline(format!(
+                    "prove verifies implies(...) asserts; `{name}` is a chart or \
+                     multiclock spec — use `cesc check` or `cesc lint` on it"
+                )))
+            }
+        }
+    }
+
+    let mut reports = Vec::with_capacity(targets.len());
+    for &i in &targets {
+        let spec = specs.assert_spec(i).map_err(lift)?;
+        let report = specs.proof(i).map_err(lift)?;
+        obs.counter(key::PROVE_ASSERTS).add(1);
+        if report.proved() {
+            obs.counter(key::PROVE_PROVED).add(1);
+        } else {
+            obs.counter(key::PROVE_REFUTED).add(1);
+        }
+        obs.counter(key::PROVE_PRODUCT_STATES).add(report.product_states as u64);
+        obs.counter(key::PROVE_SAT_QUERIES).add(report.stats.queries);
+        reports.push((spec, report));
+    }
+
+    if let Some(dir) = &opts.corpus_out {
+        let dir = Path::new(dir);
+        for (spec, report) in &reports {
+            if report.counterexample().is_some() {
+                let entry = cesc_fuzz::corpus::prove_entry(source, spec.name());
+                cesc_fuzz::corpus::write_entry(dir, &entry).map_err(|e| {
+                    CliError::Pipeline(format!("cannot write corpus entry: {e}"))
+                })?;
+            }
+        }
+    }
+
+    let refuted = reports.iter().filter(|(_, r)| !r.proved()).count();
+    let failed = refuted > 0;
+    let ab = specs.alphabet();
+    let output = if opts.json {
+        render_prove_json(&reports, refuted, ab)
+    } else {
+        render_prove_text(&reports, refuted, opts.corpus_out.as_deref(), ab)
+    };
+    Ok(CheckOutcome { output, failed })
+}
+
+/// Renders one tick's event set as `{a, b}` (or `{}`), the trace
+/// vocabulary both prove report formats share.
+fn prove_events(v: cesc_expr::Valuation, ab: &cesc_expr::Alphabet) -> Vec<&str> {
+    let mut names = Vec::new();
+    let mut bits = v.bits();
+    while bits != 0 {
+        let idx = bits.trailing_zeros() as usize;
+        names.push(ab.name(cesc_expr::SymbolId::from_index(idx)));
+        bits &= bits - 1;
+    }
+    names
+}
+
+fn render_prove_text(
+    reports: &[(&cesc_spec::AssertSpec, &cesc_core::ProofReport)],
+    refuted: usize,
+    corpus_out: Option<&str>,
+    ab: &cesc_expr::Alphabet,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (spec, report) in reports {
+        match &report.outcome {
+            cesc_core::ProofOutcome::Proved { vacuous } => {
+                let _ = writeln!(
+                    out,
+                    "assert `{}` on {}: PROVED{} ({} product state(s), {} SAT quer{})",
+                    spec.name(),
+                    spec.clock(),
+                    if *vacuous {
+                        " (vacuous — the antecedent can never complete)"
+                    } else {
+                        ""
+                    },
+                    report.product_states,
+                    report.stats.queries,
+                    if report.stats.queries == 1 { "y" } else { "ies" },
+                );
+            }
+            cesc_core::ProofOutcome::Refuted(cx) => {
+                let _ = writeln!(
+                    out,
+                    "assert `{}` on {}: REFUTED — {}-tick counterexample:",
+                    spec.name(),
+                    spec.clock(),
+                    cx.trace.len()
+                );
+                for (t, v) in cx.trace.iter().enumerate() {
+                    let names = prove_events(*v, ab);
+                    let _ = writeln!(
+                        out,
+                        "  tick {t}: {}",
+                        if names.is_empty() {
+                            "(no events)".to_owned()
+                        } else {
+                            format!("{{{}}}", names.join(", "))
+                        }
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "  replayed through the engine: antecedent completed at tick {}, \
+                     consequent blocked at tick {} after {} matching tick(s)",
+                    cx.violation.antecedent_at, cx.violation.failed_at, cx.violation.progress
+                );
+            }
+        }
+    }
+    if refuted > 0 {
+        if let Some(dir) = corpus_out {
+            let _ = writeln!(out, "counterexample reproducers written to {dir}");
+        }
+        let _ = writeln!(out, "PROVE: FAIL ({refuted} of {} assert(s) refuted)", reports.len());
+    } else {
+        let _ = writeln!(out, "PROVE: OK ({} assert(s) proved)", reports.len());
+    }
+    out
+}
+
+fn render_prove_json(
+    reports: &[(&cesc_spec::AssertSpec, &cesc_core::ProofReport)],
+    refuted: usize,
+    ab: &cesc_expr::Alphabet,
+) -> String {
+    let items: Vec<String> = reports
+        .iter()
+        .map(|(spec, report)| {
+            let (verdict, vacuous) = match &report.outcome {
+                cesc_core::ProofOutcome::Proved { vacuous } => ("proved", *vacuous),
+                cesc_core::ProofOutcome::Refuted(_) => ("refuted", false),
+            };
+            let cx = match report.counterexample() {
+                None => "null".to_owned(),
+                Some(cx) => {
+                    let trace: Vec<String> = cx
+                        .trace
+                        .iter()
+                        .map(|v| {
+                            let names: Vec<String> =
+                                prove_events(*v, ab).into_iter().map(json::string).collect();
+                            format!("[{}]", names.join(","))
+                        })
+                        .collect();
+                    format!(
+                        "{{\"ticks\":{},\"trace\":[{}],\"antecedent_at\":{},\
+                         \"failed_at\":{},\"progress\":{}}}",
+                        cx.trace.len(),
+                        trace.join(","),
+                        cx.violation.antecedent_at,
+                        cx.violation.failed_at,
+                        cx.violation.progress
+                    )
+                }
+            };
+            format!(
+                "{{\"name\":{},\"clock\":{},\"verdict\":{},\"vacuous\":{},\
+                 \"product_states\":{},\"sat_queries\":{},\"cache_hits\":{},\
+                 \"counterexample\":{}}}",
+                json::string(spec.name()),
+                json::string(spec.clock()),
+                json::string(verdict),
+                vacuous,
+                report.product_states,
+                report.stats.queries,
+                report.stats.cache_hits,
+                cx
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":{},\"asserts\":{},\"proved\":{},\"refuted\":{},\"failed\":{},\
+         \"results\":[{}]}}\n",
+        json::string(PROVE_JSON_SCHEMA),
+        reports.len(),
+        reports.len() - refuted,
+        refuted,
+        refuted > 0,
+        items.join(",")
+    )
+}
+
 fn render_lint_json(
     report: &cesc_lint::LintReport,
     targets: usize,
@@ -1552,14 +1853,20 @@ fn render_lint_json(
         .findings
         .iter()
         .map(|f| {
+            let (line, column) = match f.position {
+                Some((l, c)) => (l.to_string(), c.to_string()),
+                None => ("null".to_owned(), "null".to_owned()),
+            };
             format!(
                 "{{\"rule\":{},\"name\":{},\"severity\":{},\"target\":{},\"location\":{},\
-                 \"message\":{},\"allowed\":{}}}",
+                 \"line\":{},\"column\":{},\"message\":{},\"allowed\":{}}}",
                 json::string(f.rule.id()),
                 json::string(f.rule.name()),
                 json::string(&f.severity.to_string()),
                 json::string(&f.target),
                 json::string(&f.location),
+                line,
+                column,
                 json::string(&f.message),
                 f.allowed
             )

@@ -6,12 +6,14 @@
 //! cesc synth  spec.cesc --format verilog       # RTL monitor module
 //! cesc check  spec.cesc --all-charts --vcd dump.vcd --jobs 4 --json
 //! cesc lint   spec.cesc --deny --json          # static analysis gate
+//! cesc prove  spec.cesc --json                 # static implies(...) prover
 //! cesc fuzz   --cases 1000 --seed 0xCE5CF022    # differential campaign
 //! ```
 //!
 //! Exit status: `0` on success, `1` on usage/pipeline errors, `2` when
-//! `check` finds a violated `implies(...)` assertion or `lint --deny`
-//! finds a non-allowed error/warning — the CI-gate contract.
+//! `check` finds a violated `implies(...)` assertion, `lint --deny`
+//! finds a non-allowed error/warning, or `prove` statically refutes an
+//! assertion — the CI-gate contract.
 
 use std::process::ExitCode;
 
@@ -48,6 +50,7 @@ fn run() -> Result<(String, bool), cli::CliError> {
     let mut vcd_path: Option<String> = None;
     let mut clock: Option<String> = None;
     let mut out_dir: Option<String> = None;
+    let mut corpus_out: Option<String> = None;
     let mut force = false;
     let mut cosim = false;
     let mut deny = false;
@@ -75,6 +78,9 @@ fn run() -> Result<(String, bool), cli::CliError> {
             }
             "--out-dir" => {
                 out_dir = Some(expect_value(&mut it, "--out-dir")?);
+            }
+            "--corpus-out" => {
+                corpus_out = Some(expect_value(&mut it, "--corpus-out")?);
             }
             "--force" => {
                 force = true;
@@ -197,6 +203,20 @@ fn run() -> Result<(String, bool), cli::CliError> {
                 },
             )?;
             cli::finish_stats(&stats, "lint")?;
+            Ok((outcome.output, outcome.failed))
+        }
+        "prove" => {
+            let outcome = cli::prove(
+                &source,
+                &charts,
+                &cli::ProveCliOptions {
+                    json: check_opts.json,
+                    no_opt: check_opts.no_opt,
+                    corpus_out,
+                    stats: stats.clone(),
+                },
+            )?;
+            cli::finish_stats(&stats, "prove")?;
             Ok((outcome.output, outcome.failed))
         }
         "check" => {

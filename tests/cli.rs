@@ -731,6 +731,143 @@ fn bus_library_unknown_target_lists_every_chart() {
     }
 }
 
+/// A refutable gate next to a vacuously-provable one: `gate`'s
+/// antecedent (`ping`) completes on a bare req tick but nothing forces
+/// the consequent's p, while `hs_gate`'s antecedent (`hs`) carries a
+/// `cause` arrow and can never complete under the scoreboard-free
+/// checker semantics.
+const PROVE_SPEC: &str = r#"
+scesc hs on clk {
+    instances { M, S }
+    events { req, ack }
+    tick { M: req }
+    tick { S: ack }
+    cause req -> ack;
+}
+scesc ping on clk { instances { M } events { req } tick { M: req } }
+scesc rsp on clk { instances { S } events { p } tick { S: p } }
+cesc gate { implies(ping, rsp) }
+cesc hs_gate { implies(hs, rsp) }
+cesc boring { seq(ping, ping) }
+"#;
+
+#[test]
+fn prove_text_reports_both_verdicts() {
+    use cesc::cli::{prove, ProveCliOptions};
+    let outcome = prove(PROVE_SPEC, &[], &ProveCliOptions::default()).unwrap();
+    assert!(outcome.failed, "{}", outcome.output);
+    let out = &outcome.output;
+    assert!(out.contains("assert `gate` on clk: REFUTED"), "{out}");
+    assert!(out.contains("tick 0: {req}"), "{out}");
+    assert!(out.contains("replayed through the engine"), "{out}");
+    assert!(out.contains("assert `hs_gate` on clk: PROVED (vacuous"), "{out}");
+    assert!(out.contains("PROVE: FAIL (1 of 2 assert(s) refuted)"), "{out}");
+
+    // selecting only the provable assert succeeds with the OK footer
+    let outcome = prove(PROVE_SPEC, &["hs_gate".to_owned()], &ProveCliOptions::default()).unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    assert!(outcome.output.contains("PROVE: OK (1 assert(s) proved)"), "{}", outcome.output);
+}
+
+#[test]
+fn prove_json_is_machine_readable() {
+    use cesc::cli::{prove, ProveCliOptions};
+    let opts = ProveCliOptions {
+        json: true,
+        ..Default::default()
+    };
+    let outcome = prove(PROVE_SPEC, &[], &opts).unwrap();
+    let out = &outcome.output;
+    assert!(out.starts_with("{\"schema\":\"cesc-prove/1\""), "{out}");
+    assert!(out.contains("\"asserts\":2"), "{out}");
+    assert!(out.contains("\"proved\":1"), "{out}");
+    assert!(out.contains("\"refuted\":1"), "{out}");
+    assert!(out.contains("\"failed\":true"), "{out}");
+    assert!(out.contains("\"name\":\"gate\""), "{out}");
+    assert!(out.contains("\"verdict\":\"refuted\""), "{out}");
+    assert!(out.contains("\"counterexample\":{\"ticks\":"), "{out}");
+    assert!(out.contains("\"trace\":[[\"req\"],[]]"), "{out}");
+    assert!(out.contains("\"antecedent_at\":0"), "{out}");
+    assert!(out.contains("\"name\":\"hs_gate\""), "{out}");
+    assert!(out.contains("\"verdict\":\"proved\""), "{out}");
+    assert!(out.contains("\"vacuous\":true"), "{out}");
+    assert!(out.contains("\"counterexample\":null"), "{out}");
+    assert!(out.contains("\"product_states\":"), "{out}");
+    assert!(out.contains("\"sat_queries\":"), "{out}");
+}
+
+#[test]
+fn prove_corpus_out_writes_replayable_reproducers() {
+    use cesc::cli::{prove, ProveCliOptions};
+    use cesc::fuzz::corpus::{replay_file, ReplaySummary, PROVE_HEADER};
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("prove-corpus-out");
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = ProveCliOptions {
+        corpus_out: Some(dir.display().to_string()),
+        ..Default::default()
+    };
+    let outcome = prove(PROVE_SPEC, &[], &opts).unwrap();
+    assert!(outcome.output.contains("reproducers written"), "{}", outcome.output);
+    // only the refuted assert gets a file, and it replays
+    let path = dir.join("prove-gate.cesc");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with(PROVE_HEADER), "{text}");
+    assert!(text.contains("// assert: gate"), "{text}");
+    assert!(!dir.join("prove-hs_gate.cesc").exists());
+    let mut summary = ReplaySummary::default();
+    replay_file(&path, &mut summary).unwrap();
+    assert_eq!(summary.prove, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prove_rejects_bad_targets() {
+    use cesc::cli::{prove, ProveCliOptions};
+    let opts = ProveCliOptions::default();
+    // a seq(...) composition is not provable
+    let err = prove(PROVE_SPEC, &["boring".to_owned()], &opts).unwrap_err();
+    assert!(err.to_string().contains("not an implies"), "{err}");
+    // a basic chart is not provable either
+    let err = prove(PROVE_SPEC, &["ping".to_owned()], &opts).unwrap_err();
+    assert!(err.to_string().contains("implies"), "{err}");
+    assert!(err.to_string().contains("cesc check"), "{err}");
+    // unknown names list what exists
+    let err = prove(PROVE_SPEC, &["ghost".to_owned()], &opts).unwrap_err();
+    assert!(err.to_string().contains("gate"), "{err}");
+    // a document without implies(...) asserts has nothing to prove
+    let err = prove(SPEC, &[], &opts).unwrap_err();
+    assert!(err.to_string().contains("no implies"), "{err}");
+}
+
+#[test]
+fn prove_discharges_the_bus_library() {
+    use cesc::cli::{prove, ProveCliOptions};
+    let src = cesc::protocols::bus_library_src();
+    let outcome = prove(&src, &[], &ProveCliOptions::default()).unwrap();
+    assert!(!outcome.failed, "{}", outcome.output);
+    assert!(outcome.output.contains("PROVE: OK (3 assert(s) proved)"), "{}", outcome.output);
+}
+
+#[test]
+fn lint_json_carries_source_positions() {
+    use cesc::cli::{lint, LintCliOptions};
+    // `gate`'s antecedent completes while the consequent is
+    // unsatisfiable in lockstep — L110 fires, anchored to the assert
+    let opts = LintCliOptions {
+        json: true,
+        ..Default::default()
+    };
+    let outcome = lint(PROVE_SPEC, &[], &opts).unwrap();
+    let out = &outcome.output;
+    assert!(out.starts_with("{\"schema\":\"cesc-lint/2\""), "{out}");
+    assert!(out.contains("\"line\":"), "{out}");
+    assert!(out.contains("\"column\":"), "{out}");
+    // at least one finding is anchored to a real position
+    let anchored = out.contains("\"line\":1")
+        || (out.contains("\"line\":") && !out.contains("\"line\":null"));
+    assert!(anchored, "{out}");
+}
+
 #[test]
 fn bus_library_clock_override_rejects_cross_bus_selection() {
     // axi4 charts sample aclk, APB pclk, Wishbone wb_clk: renaming the

@@ -16,8 +16,9 @@ fn corpus_replays_clean() {
     let summary = replay_dir(&corpus_dir()).expect("corpus replay found a regression");
     // the hand-seeded entries guarantee a floor on each replay family;
     // minimized campaign failures only add to these
-    assert!(summary.files >= 10, "corpus went missing: {summary:?}");
+    assert!(summary.files >= 12, "corpus went missing: {summary:?}");
     assert!(summary.differential >= 3, "{summary:?}");
+    assert!(summary.prove >= 2, "{summary:?}");
     assert!(summary.parser >= 3, "{summary:?}");
     assert!(summary.exprs >= 10, "{summary:?}");
     assert!(summary.vcd >= 3, "{summary:?}");

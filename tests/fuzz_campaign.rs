@@ -32,6 +32,28 @@ fn smoke_differential_campaign_is_green() {
     assert!(report.multis_checked > 0, "generated multiclock specs never ran: {report}");
 }
 
+/// Acceptance gate for the semantic layer: a fixed-seed 1,000-case
+/// differential campaign with the prover cross-check leg enabled — on
+/// every generated `implies(...)` assert the static verdict must agree
+/// with the dynamic checker (PROVED ⇒ no violation on the generated
+/// trace; REFUTED ⇒ the counterexample replays).
+#[test]
+fn thousand_case_campaign_cross_checks_the_prover() {
+    let cfg = CampaignConfig {
+        seed: 0xCE5C_F0A9,
+        cases: 1000,
+        ..Default::default()
+    };
+    let report = run_differential(&cfg);
+    assert!(report.is_green(), "{report}");
+    assert_eq!(report.cases, 1000);
+    assert!(
+        report.proofs_checked >= 200,
+        "prover leg barely ran ({} proofs): {report}",
+        report.proofs_checked
+    );
+}
+
 #[test]
 fn smoke_panic_freedom_sweeps_are_clean() {
     let cfg = CampaignConfig {
