@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify verify-bench verify-par verify-rtl verify-spec verify-fuzz verify-clippy verify-lint verify-prove verify-obs build test doc bench bench-json clean
+.PHONY: verify verify-bench verify-par verify-simd verify-rtl verify-spec verify-fuzz verify-clippy verify-lint verify-prove verify-obs build test doc bench bench-json clean
 
-verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign + observability gate
+verify: ## release build + examples + full test suite + clean rustdoc + clippy -D warnings + benches compile + parallel equivalence + bit-sliced engine gate + RTL co-sim + spec pipeline + static-analysis gate + fuzz campaign + observability gate
 	$(CARGO) build --release
 	$(CARGO) build --examples
 	$(CARGO) test -q
@@ -12,6 +12,7 @@ verify: ## release build + examples + full test suite + clean rustdoc + clippy -
 	$(MAKE) verify-clippy
 	$(MAKE) verify-bench
 	$(MAKE) verify-par
+	$(MAKE) verify-simd
 	$(MAKE) verify-rtl
 	$(MAKE) verify-spec
 	$(MAKE) verify-lint
@@ -71,6 +72,13 @@ verify-obs: ## observability gate: cesc-obs unit suite + the cross-layer serial=
 
 verify-bench: ## compile every bench without running it, so bench bit-rot fails tier-1 locally
 	$(CARGO) bench -p cesc-bench --no-run
+
+verify-simd: ## bit-sliced engine gate: sliced==scalar property suite + the zero-alloc streaming discipline, then the simd and parallel benches with their JSON floors checked (sparse >= 2x and OCP burst >= 1.3x over scan_batch, fleet speedup >= 1.0)
+	$(CARGO) test -q --test simd_equivalence
+	$(CARGO) test -q --test alloc_discipline
+	$(CARGO) bench -p cesc-bench --bench simd_throughput | grep '^{"bench"' > target/simd_records.jsonl
+	$(CARGO) bench -p cesc-bench --bench parallel_throughput | grep '^{"bench"' >> target/simd_records.jsonl
+	awk -f scripts/simd_floors.awk target/simd_records.jsonl
 
 verify-par: ## parallel==serial: cesc-par unit tests + the sharded equivalence/CLI/streaming suites (multi-shard execution forced by every test) + the parallel bench compiles
 	$(CARGO) test -q -p cesc-par

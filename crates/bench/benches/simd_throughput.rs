@@ -1,0 +1,143 @@
+//! Experiment S1: the bit-sliced 64-tick engine
+//! ([`cesc_core::CompileOptions::bit_slice`]) against the scalar batch
+//! engine (`Monitor::scan_batch`) and the step-wise reference
+//! (`Monitor::scan`).
+//!
+//! Two workloads bracket the deployment envelope:
+//!
+//! - **ocp_burst_read** — the OCP pipelined burst read (the heaviest
+//!   scoreboard chart) over compliant transaction traffic with a
+//!   realistic inter-transaction idle gap. Scoreboard states fall back
+//!   to exact scalar stepping; the win comes from whole-word skipping
+//!   of the idle stretches between transactions.
+//! - **sparse_guard_hit** — a two-step request/acknowledge chart over
+//!   bulk traffic where the pattern fires once every 256 ticks. Almost
+//!   every 64-tick word is fully quiescent, so the sliced engine pays
+//!   one word evaluation + one popcount where the scalar engines pay
+//!   64 full guard dispatches.
+//!
+//! Verdict equivalence across all three legs is asserted inline before
+//! anything is timed (and property-pinned in
+//! `tests/simd_equivalence.rs` plus a cesc-fuzz oracle leg). Besides
+//! the Criterion groups, the bench prints one machine-readable JSON
+//! trajectory record per workload with the measured speedups — the
+//! acceptance floors are `speedup_vs_batch ≥ 2` on sparse_guard_hit
+//! and `≥ 1.3` on ocp_burst_read (checked by `make verify-simd`).
+
+use cesc_bench::quick;
+use cesc_core::{synthesize, CompileOptions, Monitor, SynthOptions};
+use cesc_expr::Valuation;
+use cesc_protocols::ocp;
+use cesc_protocols::traffic::{transaction_stream, TrafficConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Times the three legs on one (monitor, trace) workload, asserts
+/// verdict equivalence, registers the Criterion group and emits the
+/// JSON record.
+fn run_workload(c: &mut Criterion, name: &str, monitor: &Monitor, trace: &[Valuation]) {
+    let sliced = monitor.compiled_with(&CompileOptions::optimized());
+
+    // cross-check all three legs before timing anything
+    let reference = monitor.scan(trace.iter().copied());
+    assert_eq!(monitor.scan_batch(trace), reference, "{name}: batch leg diverged");
+    let mut exec = sliced.executor();
+    let mut hits = Vec::new();
+    exec.feed(trace, &mut hits);
+    assert_eq!(&hits, &reference.matches, "{name}: sliced leg diverged");
+    assert_eq!(exec.ticks(), reference.ticks, "{name}: sliced tick count diverged");
+    assert!(!reference.matches.is_empty(), "{name}: workload must actually match");
+
+    let group_name = format!("simd_throughput/{name}");
+    let mut g = c.benchmark_group(&group_name);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("stepwise"), &trace, |b, t| {
+        b.iter(|| monitor.scan(t.iter().copied()).matches.len())
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("scan_batch"), &trace, |b, t| {
+        b.iter(|| monitor.scan_batch(black_box(t)).matches.len())
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("bit_sliced"), &trace, |b, t| {
+        b.iter(|| {
+            let mut exec = sliced.executor();
+            let mut hits = Vec::new();
+            exec.feed(black_box(t), &mut hits);
+            hits.len()
+        })
+    });
+    g.finish();
+
+    // one-line JSON trajectory record (shared shape, see cesc_bench)
+    let step_s = cesc_bench::time_per_pass(10, || {
+        black_box(monitor.scan(trace.iter().copied()).matches.len());
+    });
+    let batch_s = cesc_bench::time_per_pass(10, || {
+        black_box(monitor.scan_batch(black_box(trace)).matches.len());
+    });
+    let sliced_s = cesc_bench::time_per_pass(10, || {
+        let mut exec = sliced.executor();
+        let mut hits = Vec::new();
+        exec.feed(black_box(trace), &mut hits);
+        black_box(hits.len());
+    });
+    cesc_bench::emit_record(
+        "simd_throughput",
+        name,
+        trace.len(),
+        sliced_s,
+        &[
+            ("batch_melem_per_s", cesc_bench::melem_per_s(trace.len(), batch_s)),
+            ("stepwise_melem_per_s", cesc_bench::melem_per_s(trace.len(), step_s)),
+            ("speedup_vs_batch", batch_s / sliced_s),
+            ("speedup_vs_stepwise", step_s / sliced_s),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // workload 1: OCP pipelined burst read over compliant traffic
+    // with a realistic idle gap between transactions
+    let doc = cesc_chart::parse_document(ocp::BURST_READ_SRC).expect("burst read parses");
+    let monitor =
+        synthesize(&doc.charts[0], &SynthOptions::default()).expect("burst read synthesizes");
+    let window = ocp::burst_read_window(&doc.alphabet);
+    let trace = transaction_stream(
+        &doc.alphabet,
+        &window,
+        &TrafficConfig {
+            transactions: 2_000,
+            gap: 96,
+            ..Default::default()
+        },
+    );
+    run_workload(c, "ocp_burst_read", &monitor, trace.as_slice());
+
+    // workload 2: sparse guard hits — one two-step match per 256
+    // ticks of otherwise quiescent bulk traffic
+    let sparse_doc = cesc_chart::parse_document(
+        r#"
+        scesc sparse on clk {
+            instances { A, B }
+            events { req, ack }
+            tick { A: req }
+            tick { B: ack }
+        }
+    "#,
+    )
+    .expect("sparse chart parses");
+    let req = sparse_doc.alphabet.lookup("req").expect("req");
+    let ack = sparse_doc.alphabet.lookup("ack").expect("ack");
+    let sparse_monitor =
+        synthesize(&sparse_doc.charts[0], &SynthOptions::default()).expect("sparse synthesizes");
+    let sparse_trace: Vec<Valuation> = (0..512_000)
+        .map(|i| match i % 256 {
+            100 => Valuation::of([req]),
+            101 => Valuation::of([ack]),
+            _ => Valuation::default(),
+        })
+        .collect();
+    run_workload(c, "sparse_guard_hit", &sparse_monitor, &sparse_trace);
+}
+
+criterion_group!(name = group; config = quick(); targets = bench);
+criterion_main!(group);

@@ -148,6 +148,16 @@ pub struct CompileOptions {
     /// tests — the measurable hot-path win of the pass pipeline on
     /// monitors the automaton passes cannot shrink.
     pub narrow_masks: bool,
+    /// Precompute the bit-slicing tables ([`crate::simd`]) so
+    /// [`BatchExec::feed`] / [`MonitorBank::feed`] evaluate 64 ticks
+    /// per machine word: chunks are transposed into per-symbol bit
+    /// columns, every [`CompileOptions::narrow_masks`] conjunction
+    /// guard becomes whole-word AND/AND-NOT ops, and quiescent
+    /// stretches are skipped with one `popcount` per word. Verdicts
+    /// are bit-identical to the scalar path (the `simd_equivalence`
+    /// suite and a cesc-fuzz leg pin it); states with program or
+    /// wide-mask guards transparently fall back to scalar stepping.
+    pub bit_slice: bool,
 }
 
 impl CompileOptions {
@@ -157,6 +167,7 @@ impl CompileOptions {
             dedupe_programs: true,
             narrow_slots: true,
             narrow_masks: true,
+            bit_slice: true,
         }
     }
 
@@ -166,6 +177,7 @@ impl CompileOptions {
             dedupe_programs: false,
             narrow_slots: false,
             narrow_masks: false,
+            bit_slice: false,
         }
     }
 }
@@ -320,6 +332,9 @@ pub struct CompiledMonitor {
     /// through a shared scoreboard — `CompiledMultiClock` uses this to
     /// pick its clock-major fast path.
     touched: u128,
+    /// Bit-slicing tables, precomputed when
+    /// [`CompileOptions::bit_slice`] is on (see [`crate::simd`]).
+    slice: Option<crate::simd::SlicePlan>,
 }
 
 /// Bitmask (global symbol space) of every symbol with scoreboard
@@ -500,7 +515,7 @@ impl CompiledMonitor {
             0
         };
 
-        CompiledMonitor {
+        let mut compiled = CompiledMonitor {
             name: monitor.name().to_owned(),
             clock: monitor.clock().to_owned(),
             state_off,
@@ -516,7 +531,12 @@ impl CompiledMonitor {
             sb_mask,
             dense_slots: opts.narrow_slots,
             touched,
+            slice: None,
+        };
+        if opts.bit_slice {
+            compiled.slice = Some(crate::simd::SlicePlan::build(&compiled, monitor));
         }
+        compiled
     }
 
     /// Transition-array range of state `s` (priority order preserved).
@@ -580,6 +600,43 @@ impl CompiledMonitor {
     /// Number of count slots a scoreboard for this monitor needs.
     pub(crate) fn count_slots(&self) -> usize {
         self.slots
+    }
+
+    /// Action-array range of flat transition `t`.
+    pub(crate) fn action_range(&self, t: usize) -> std::ops::Range<usize> {
+        self.action_off[t] as usize..self.action_off[t + 1] as usize
+    }
+
+    /// The precomputed bit-slicing tables, if compiled with
+    /// [`CompileOptions::bit_slice`].
+    pub(crate) fn slice_plan(&self) -> Option<&crate::simd::SlicePlan> {
+        self.slice.as_ref()
+    }
+
+    /// Maps a *global-symbol* scoreboard bitmask into this monitor's
+    /// slot space (identity unless slots were narrowed); bits outside
+    /// the monitor's scoreboard footprint are dropped.
+    pub(crate) fn densify_chk(&self, global: u128) -> u128 {
+        let masked = global & self.sb_mask;
+        if self.dense_slots {
+            densify(masked, self.sb_mask)
+        } else {
+            masked
+        }
+    }
+
+    /// Whether this monitor carries bit-slicing tables
+    /// ([`CompileOptions::bit_slice`]) — i.e. its executors take the
+    /// 64-ticks-per-word path for conjunction-guard states.
+    pub fn bit_sliced(&self) -> bool {
+        self.slice.is_some()
+    }
+
+    /// How many states the bit-sliced engine can word-evaluate (zero
+    /// when compiled without [`CompileOptions::bit_slice`]); the rest
+    /// scalar-step. A diagnostics signal for `cesc check --stats`.
+    pub fn sliceable_states(&self) -> usize {
+        self.slice.as_ref().map_or(0, crate::simd::SlicePlan::sliceable_states)
     }
 
     /// Size of the count table a scoreboard for this monitor
@@ -668,6 +725,9 @@ impl CompiledMonitor {
             monitor: self,
             state: ExecState::new(self),
             board: BatchBoard::sized(self.count_slots()),
+            scratch: crate::simd::SliceScratch::default(),
+            words: 0,
+            dense_words: 0,
         }
     }
 }
@@ -684,7 +744,7 @@ pub(crate) struct BatchBoard {
     /// Per-symbol occurrence counts.
     counts: Vec<u32>,
     /// Bit `i` set iff `counts[i] > 0`.
-    sb_bits: u128,
+    pub(crate) sb_bits: u128,
     underflows: u64,
 }
 
@@ -714,8 +774,8 @@ impl BatchBoard {
 /// one board).
 #[derive(Debug, Clone)]
 pub(crate) struct ExecState {
-    state: u32,
-    ticks: u64,
+    pub(crate) state: u32,
+    pub(crate) ticks: u64,
     /// Reused evaluation stack for program guards.
     stack: Vec<bool>,
 }
@@ -762,6 +822,27 @@ impl ExecState {
     /// final state was entered.
     #[inline(always)]
     pub(crate) fn step(&mut self, m: &CompiledMonitor, v: Valuation, board: &mut BatchBoard) -> bool {
+        match self.try_step(m, v, board) {
+            Some((hit, _)) => hit,
+            None => panic!(
+                "monitor `{}` has no enabled transition from s{} — transition relation not total",
+                m.name, self.state
+            ),
+        }
+    }
+
+    /// [`ExecState::step`] without the totality panic: returns `None`
+    /// (leaving state, ticks and board untouched) when no transition
+    /// is enabled — the form speculative window execution needs. On
+    /// success returns `(entered final state, executed any scoreboard
+    /// action)`.
+    #[inline(always)]
+    pub(crate) fn try_step(
+        &mut self,
+        m: &CompiledMonitor,
+        v: Valuation,
+        board: &mut BatchBoard,
+    ) -> Option<(bool, bool)> {
         let bits = v.bits();
         let lo = m.state_off[self.state as usize] as usize;
         let hi = m.state_off[self.state as usize + 1] as usize;
@@ -779,13 +860,12 @@ impl ExecState {
                 break;
             }
         }
-        assert!(
-            taken != usize::MAX,
-            "monitor `{}` has no enabled transition from s{} — transition relation not total",
-            m.name,
-            self.state
-        );
-        for a in &m.actions[m.action_off[taken] as usize..m.action_off[taken + 1] as usize] {
+        if taken == usize::MAX {
+            return None;
+        }
+        let action_range = m.action_off[taken] as usize..m.action_off[taken + 1] as usize;
+        let acted = !action_range.is_empty();
+        for a in &m.actions[action_range] {
             match *a {
                 PackedAction::Add(i) => {
                     let c = &mut board.counts[i as usize];
@@ -807,7 +887,7 @@ impl ExecState {
         }
         self.state = m.targets[taken];
         self.ticks += 1;
-        self.state == m.final_state
+        Some((self.state == m.final_state, acted))
     }
 
     pub(crate) fn reset(&mut self, m: &CompiledMonitor) {
@@ -854,6 +934,11 @@ pub struct BatchExec<'m> {
     monitor: &'m CompiledMonitor,
     state: ExecState,
     board: BatchBoard,
+    /// Transpose scratch for the bit-sliced path, reused across every
+    /// chunk this executor is fed.
+    scratch: crate::simd::SliceScratch,
+    words: u64,
+    dense_words: u64,
 }
 
 impl BatchExec<'_> {
@@ -865,14 +950,69 @@ impl BatchExec<'_> {
     }
 
     /// Consumes a chunk of valuations, appending the absolute tick
-    /// index of every detection to `hits`.
+    /// index of every detection to `hits`. Takes the bit-sliced
+    /// 64-ticks-per-word path when the monitor was compiled with
+    /// [`CompileOptions::bit_slice`]; verdicts are identical either
+    /// way.
     pub fn feed(&mut self, chunk: &[Valuation], hits: &mut Vec<u64>) {
-        for &v in chunk {
-            let tick = self.state.ticks;
-            if self.state.step(self.monitor, v, &mut self.board) {
-                hits.push(tick);
+        if let Some(plan) = self.monitor.slice_plan() {
+            let (w, d) = crate::simd::feed_sliced(
+                self.monitor,
+                plan,
+                &mut self.state,
+                &mut self.board,
+                &mut self.scratch,
+                chunk,
+                |tick| hits.push(tick),
+            );
+            self.words += w;
+            self.dense_words += d;
+        } else {
+            for &v in chunk {
+                let tick = self.state.ticks;
+                if self.state.step(self.monitor, v, &mut self.board) {
+                    hits.push(tick);
+                }
             }
         }
+    }
+
+    /// Word evaluations the bit-sliced path performed (zero without
+    /// [`CompileOptions::bit_slice`]) — the `engine.words` signal.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Word evaluations that contained at least one non-quiet tick and
+    /// so paid a scalar fallback — the `engine.dense_words` signal.
+    /// `dense_words / words` measures how dense the trace is from the
+    /// sliced engine's point of view.
+    pub fn dense_words(&self) -> u64 {
+        self.dense_words
+    }
+
+    /// Adopts a clean speculative window run produced by
+    /// [`CompiledMonitor::speculate_window`]: appends its hits at the
+    /// current tick base, advances the tick counter by the window
+    /// length and jumps to its end state. Sound because a clean run is
+    /// scoreboard-oblivious — it executed no actions and read no
+    /// counter that can be non-zero — so the board is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is not clean or does not start at the
+    /// executor's current state.
+    pub fn adopt_run(&mut self, run: &crate::simd::WindowRun, hits: &mut Vec<u64>) {
+        assert!(run.clean, "only clean window runs can be adopted");
+        assert_eq!(
+            self.state.state, run.start_state,
+            "window run starts at a different state than the executor is in"
+        );
+        for &h in &run.rel_hits {
+            hits.push(self.state.ticks + h);
+        }
+        self.state.ticks += run.steps;
+        self.state.state = run.end_state;
     }
 
     /// Ticks consumed so far.
@@ -895,6 +1035,8 @@ impl BatchExec<'_> {
     pub fn reset(&mut self) {
         self.state.reset(self.monitor);
         self.board.reset();
+        self.words = 0;
+        self.dense_words = 0;
     }
 
     /// Closes the stream, producing a [`ScanReport`] consistent with
@@ -1008,6 +1150,11 @@ pub struct MonitorBank {
     pub(crate) timing: bool,
     pub(crate) member_ns: Vec<u64>,
     pub(crate) multi_member_ns: Vec<u64>,
+    /// Transpose scratch shared by every bit-sliced member, reused
+    /// across chunks (no per-chunk allocation).
+    pub(crate) scratch: crate::simd::SliceScratch,
+    pub(crate) words: u64,
+    pub(crate) dense_words: u64,
 }
 
 impl MonitorBank {
@@ -1059,6 +1206,18 @@ impl MonitorBank {
         self.multi_member_ns[idx]
     }
 
+    /// Word evaluations the bank's bit-sliced members performed across
+    /// every feed so far — the `engine.words` observability signal.
+    pub fn engine_words(&self) -> u64 {
+        self.words
+    }
+
+    /// Word evaluations that paid at least one scalar fallback — the
+    /// `engine.dense_words` observability signal.
+    pub fn engine_dense_words(&self) -> u64 {
+        self.dense_words
+    }
+
     /// Number of attached single-clock monitors (multi-clock members
     /// are counted by [`MonitorBank::multiclock_len`]).
     pub fn len(&self) -> usize {
@@ -1094,16 +1253,32 @@ impl MonitorBank {
             .zip(&mut self.boards)
             .enumerate()
         {
-            for (off, &v) in chunk.iter().enumerate() {
-                if st.step(m, v, board) {
-                    on_hit(idx, off);
+            if let Some(plan) = m.slice_plan() {
+                let base = st.ticks;
+                let (w, d) = crate::simd::feed_sliced(
+                    m,
+                    plan,
+                    st,
+                    board,
+                    &mut self.scratch,
+                    chunk,
+                    |tick| on_hit(idx, (tick - base) as usize),
+                );
+                self.words += w;
+                self.dense_words += d;
+            } else {
+                for (off, &v) in chunk.iter().enumerate() {
+                    if st.step(m, v, board) {
+                        on_hit(idx, off);
+                    }
                 }
             }
         }
     }
 
     /// Feeds one shared chunk to every monitor (each visits the chunk
-    /// once, tables staying hot per monitor).
+    /// once, tables staying hot per monitor). Members compiled with
+    /// [`CompileOptions::bit_slice`] take the 64-ticks-per-word path.
     pub fn feed(&mut self, chunk: &[Valuation]) {
         let timing = self.timing;
         for (idx, (((m, st), board), hits)) in self
@@ -1115,10 +1290,24 @@ impl MonitorBank {
             .enumerate()
         {
             let started = timing.then(std::time::Instant::now);
-            for &v in chunk {
-                let tick = st.ticks;
-                if st.step(m, v, board) {
-                    hits.push(tick);
+            if let Some(plan) = m.slice_plan() {
+                let (w, d) = crate::simd::feed_sliced(
+                    m,
+                    plan,
+                    st,
+                    board,
+                    &mut self.scratch,
+                    chunk,
+                    |tick| hits.push(tick),
+                );
+                self.words += w;
+                self.dense_words += d;
+            } else {
+                for &v in chunk {
+                    let tick = st.ticks;
+                    if st.step(m, v, board) {
+                        hits.push(tick);
+                    }
                 }
             }
             if let Some(t0) = started {
@@ -1206,6 +1395,8 @@ impl MonitorBank {
         for h in &mut self.multi_hits {
             h.clear();
         }
+        self.words = 0;
+        self.dense_words = 0;
     }
 }
 

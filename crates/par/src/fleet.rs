@@ -26,7 +26,16 @@
 //! per-shard results merge once, at join time. Verdicts are
 //! bit-identical to a serial [`MonitorBank`] run over the same chunks
 //! (pinned by the workspace `batch_equivalence` property suite).
+//!
+//! **Single-shard plans skip all of it.** With `--jobs 1` or a
+//! one-shard plan there is nobody to overlap with, so the broadcast
+//! machinery — chunk copy, `Arc`, channel hop, worker thread — would
+//! be pure overhead (measured at ~15% on chunked streams). The feeder
+//! instead runs the one worker *inline on the caller thread*
+//! ([`FeedMode::Direct`]): `feed` borrows the chunk straight into the
+//! bank, no allocation, no thread, identical results.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -254,6 +263,12 @@ pub struct FleetReport {
     pub multis: Vec<MultiReport>,
     /// One report per assertion checker.
     pub asserts: Vec<AssertReport>,
+    /// 64-tick word evaluations the bit-sliced engine performed,
+    /// summed over shards (zero when no member compiled with
+    /// `bit_slice`).
+    pub engine_words: u64,
+    /// Word evaluations that contained at least one scalar fallback.
+    pub engine_dense_words: u64,
 }
 
 impl FleetReport {
@@ -272,14 +287,43 @@ enum Msg {
     Global(Arc<Vec<GlobalStep>>),
 }
 
-/// The producer half of a sharded run: broadcasts decoded chunks to
-/// every shard. Handed to `drive` by [`run_sharded`].
+/// How chunks reach the shard worker(s) — see the module docs.
+enum FeedMode {
+    /// Multi-shard: reference-counted chunks over one bounded channel
+    /// per shard.
+    Broadcast(Vec<channel::Sender<Msg>>),
+    /// Single-shard fast path: the one worker runs inline on the
+    /// caller thread — chunks are borrowed, never copied, and there is
+    /// no channel hop. `wait_ns` of the recorded [`ShardStats`] stays
+    /// zero (there is no queue to wait on).
+    Direct(Box<RefCell<DirectWorker>>),
+}
+
+impl std::fmt::Debug for FeedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedMode::Broadcast(txs) => write!(f, "Broadcast({} shard(s))", txs.len()),
+            FeedMode::Direct(_) => write!(f, "Direct"),
+        }
+    }
+}
+
+/// The inline worker of a [`FeedMode::Direct`] run, plus its stats
+/// accumulator when the run is observed.
+struct DirectWorker {
+    worker: ShardWorker,
+    stats: Option<ShardStats>,
+}
+
+/// The producer half of a sharded run: hands decoded chunks to the
+/// shard worker(s) — broadcast over channels for multi-shard plans,
+/// inline for single-shard ones. Handed to `drive` by [`run_sharded`].
 #[derive(Debug)]
 pub struct FleetFeeder {
-    txs: Vec<channel::Sender<Msg>>,
+    mode: FeedMode,
     /// Live-updated feed metrics (`fleet.steps` / `fleet.chunks` /
     /// the `chunk.steps` histogram) — no-ops when the run's registry
-    /// is disabled. The steps counter updates as chunks are broadcast,
+    /// is disabled. The steps counter updates as chunks are fed,
     /// which is what the `--progress` heartbeat watches.
     steps: Counter,
     chunks: Counter,
@@ -287,31 +331,66 @@ pub struct FleetFeeder {
 }
 
 impl FleetFeeder {
-    fn broadcast(&self, len: usize, msg: Msg) {
+    fn record_feed(&self, len: usize) {
         self.steps.add(len as u64);
         self.chunks.incr();
         self.chunk_sizes.record(len as u64);
-        for tx in &self.txs {
+    }
+
+    fn broadcast(&self, msg: Msg) {
+        let FeedMode::Broadcast(txs) = &self.mode else {
+            unreachable!("direct mode handled by the caller")
+        };
+        for tx in txs {
             tx.send(msg.clone()).expect("shard worker alive");
         }
     }
 
-    /// Broadcasts one chunk of same-clock valuations; every
-    /// single-clock monitor sees each element as one tick (the sharded
-    /// form of [`MonitorBank::feed`]). Assertion checkers step on
-    /// every element; multi-clock members ignore locally-fed chunks.
-    pub fn feed(&self, chunk: &[Valuation]) {
-        if !chunk.is_empty() {
-            self.broadcast(chunk.len(), Msg::Local(Arc::new(chunk.to_vec())));
+    /// Runs `consume` on the inline worker, timing it when observed.
+    fn direct(cell: &RefCell<DirectWorker>, len: usize, consume: impl FnOnce(&mut ShardWorker)) {
+        let dw = &mut *cell.borrow_mut();
+        match &mut dw.stats {
+            Some(stats) => {
+                let ran = Instant::now();
+                consume(&mut dw.worker);
+                stats.busy_ns += ran.elapsed().as_nanos() as u64;
+                stats.chunks += 1;
+                stats.steps += len as u64;
+            }
+            None => consume(&mut dw.worker),
         }
     }
 
-    /// Broadcasts one chunk of global steps (the sharded form of
+    /// Feeds one chunk of same-clock valuations; every single-clock
+    /// monitor sees each element as one tick (the sharded form of
+    /// [`MonitorBank::feed`]). Assertion checkers step on every
+    /// element; multi-clock members ignore locally-fed chunks.
+    pub fn feed(&self, chunk: &[Valuation]) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.record_feed(chunk.len());
+        match &self.mode {
+            FeedMode::Direct(cell) => {
+                Self::direct(cell, chunk.len(), |w| w.consume_local(chunk));
+            }
+            FeedMode::Broadcast(_) => self.broadcast(Msg::Local(Arc::new(chunk.to_vec()))),
+        }
+    }
+
+    /// Feeds one chunk of global steps (the sharded form of
     /// [`MonitorBank::feed_global`]); requires the run to have been
     /// started with a clock set.
     pub fn feed_global(&self, chunk: &[GlobalStep]) {
-        if !chunk.is_empty() {
-            self.broadcast(chunk.len(), Msg::Global(Arc::new(chunk.to_vec())));
+        if chunk.is_empty() {
+            return;
+        }
+        self.record_feed(chunk.len());
+        match &self.mode {
+            FeedMode::Direct(cell) => {
+                Self::direct(cell, chunk.len(), |w| w.consume_global(chunk));
+            }
+            FeedMode::Broadcast(_) => self.broadcast(Msg::Global(Arc::new(chunk.to_vec()))),
         }
     }
 }
@@ -365,6 +444,8 @@ struct ShardResult {
     singles: Vec<(usize, SingleReport)>,
     multis: Vec<(usize, MultiReport)>,
     asserts: Vec<(usize, AssertReport)>,
+    words: u64,
+    dense_words: u64,
 }
 
 impl ShardWorker {
@@ -413,52 +494,61 @@ impl ShardWorker {
         w
     }
 
-    fn consume(&mut self, msg: Msg) {
+    fn consume(&mut self, msg: &Msg) {
         match msg {
-            Msg::Local(chunk) => {
-                self.bank.feed(&chunk);
-                for a in &mut self.asserts {
-                    let started = self.timing.then(Instant::now);
-                    for &v in chunk.iter() {
-                        a.checker.step(v);
-                        a.ticks += 1;
-                    }
-                    a.drain_violations();
-                    if let Some(t0) = started {
-                        a.exec_ns += t0.elapsed().as_nanos() as u64;
-                    }
-                }
+            Msg::Local(chunk) => self.consume_local(chunk),
+            Msg::Global(chunk) => self.consume_global(chunk),
+        }
+    }
+
+    fn consume_local(&mut self, chunk: &[Valuation]) {
+        self.bank.feed(chunk);
+        for a in &mut self.asserts {
+            let started = self.timing.then(Instant::now);
+            for &v in chunk {
+                a.checker.step(v);
+                a.ticks += 1;
             }
-            Msg::Global(chunk) => {
-                let clocks = self
-                    .clocks
-                    .as_ref()
-                    .expect("feed_global requires run_sharded to be given a ClockSet");
-                self.bank.feed_global(clocks, &chunk);
-                for a in &mut self.asserts {
-                    let id = *a
-                        .clock_id
-                        .get_or_insert_with(|| clocks.lookup(&a.clock));
-                    // an assert whose clock is absent from the set sees
-                    // no ticks — mirroring MonitorBank::feed_global's
-                    // treatment of unresolvable single-clock members
-                    let Some(id) = id else { continue };
-                    let started = self.timing.then(Instant::now);
-                    for step in chunk.iter() {
-                        if let Some(v) = step.tick_of(id) {
-                            a.checker.step(v);
-                            a.ticks += 1;
-                        }
-                    }
-                    a.drain_violations();
-                    if let Some(t0) = started {
-                        a.exec_ns += t0.elapsed().as_nanos() as u64;
-                    }
-                }
+            a.drain_violations();
+            if let Some(t0) = started {
+                a.exec_ns += t0.elapsed().as_nanos() as u64;
             }
         }
-        // fold this chunk's hits into the bounded tallies so shard
-        // residency never grows with the match count
+        self.drain_logs();
+    }
+
+    fn consume_global(&mut self, chunk: &[GlobalStep]) {
+        let clocks = self
+            .clocks
+            .as_ref()
+            .expect("feed_global requires run_sharded to be given a ClockSet");
+        self.bank.feed_global(clocks, chunk);
+        for a in &mut self.asserts {
+            let id = *a
+                .clock_id
+                .get_or_insert_with(|| clocks.lookup(&a.clock));
+            // an assert whose clock is absent from the set sees
+            // no ticks — mirroring MonitorBank::feed_global's
+            // treatment of unresolvable single-clock members
+            let Some(id) = id else { continue };
+            let started = self.timing.then(Instant::now);
+            for step in chunk {
+                if let Some(v) = step.tick_of(id) {
+                    a.checker.step(v);
+                    a.ticks += 1;
+                }
+            }
+            a.drain_violations();
+            if let Some(t0) = started {
+                a.exec_ns += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        self.drain_logs();
+    }
+
+    /// Folds this chunk's hits into the bounded tallies so shard
+    /// residency never grows with the match count.
+    fn drain_logs(&mut self) {
         let logs = &mut self.single_logs;
         self.bank.drain_hits(|slot, hits| logs[slot].absorb(hits));
         let logs = &mut self.multi_logs;
@@ -466,6 +556,8 @@ impl ShardWorker {
     }
 
     fn finish(mut self) -> ShardResult {
+        let words = self.bank.engine_words();
+        let dense_words = self.bank.engine_dense_words();
         let bank_reports = self.bank.reports();
         let singles = self
             .single_map
@@ -525,6 +617,8 @@ impl ShardWorker {
             singles,
             multis,
             asserts,
+            words,
+            dense_words,
         }
     }
 }
@@ -571,6 +665,60 @@ pub fn run_sharded<R>(
     opts: &ParOptions,
     drive: impl FnOnce(&FleetFeeder) -> R,
 ) -> (FleetReport, R) {
+    let (report, driven) = if plan.shards().len() <= 1 {
+        run_direct(fleet, plan, clocks, opts, drive)
+    } else {
+        run_broadcast(fleet, plan, clocks, opts, drive)
+    };
+    record_semantics(&opts.obs, &report);
+    (report, driven)
+}
+
+/// The single-shard fast path: no threads, no channels, no chunk
+/// copies — the one worker consumes borrowed chunks inline on the
+/// caller thread. Results and stats match the broadcast path except
+/// that `wait_ns` is structurally zero.
+fn run_direct<R>(
+    fleet: &Fleet,
+    plan: &ShardPlan,
+    clocks: Option<&ClockSet>,
+    opts: &ParOptions,
+    drive: impl FnOnce(&FleetFeeder) -> R,
+) -> (FleetReport, R) {
+    let items: &[FleetItem] = plan.shards().first().map_or(&[], Vec::as_slice);
+    let feeder = FleetFeeder {
+        mode: FeedMode::Direct(Box::new(RefCell::new(DirectWorker {
+            worker: ShardWorker::build(fleet, items, clocks, opts),
+            stats: opts.obs.is_enabled().then(|| ShardStats {
+                shard: 0,
+                members: items.len(),
+                ..ShardStats::default()
+            }),
+        }))),
+        steps: opts.obs.counter(key::FLEET_STEPS),
+        chunks: opts.obs.counter(key::FLEET_CHUNKS),
+        chunk_sizes: opts.obs.histogram("chunk.steps"),
+    };
+    let driven = drive(&feeder);
+    let FeedMode::Direct(cell) = feeder.mode else {
+        unreachable!("run_direct builds a direct feeder")
+    };
+    let dw = cell.into_inner();
+    if let Some(stats) = dw.stats {
+        opts.obs.record_shard(stats);
+    }
+    (merge_results(fleet, [dw.worker.finish()]), driven)
+}
+
+/// The multi-shard path: one worker thread per shard, fed
+/// reference-counted chunks over bounded channels.
+fn run_broadcast<R>(
+    fleet: &Fleet,
+    plan: &ShardPlan,
+    clocks: Option<&ClockSet>,
+    opts: &ParOptions,
+    drive: impl FnOnce(&FleetFeeder) -> R,
+) -> (FleetReport, R) {
     let depth = plan_depth(opts);
     std::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(plan.jobs());
@@ -598,7 +746,7 @@ pub fn run_sharded<R>(
                             Msg::Global(chunk) => chunk.len(),
                         } as u64;
                         let ran = Instant::now();
-                        worker.consume(msg);
+                        worker.consume(&msg);
                         stats.busy_ns += ran.elapsed().as_nanos() as u64;
                         stats.chunks += 1;
                         stats.steps += steps;
@@ -606,56 +754,64 @@ pub fn run_sharded<R>(
                     opts.obs.record_shard(stats);
                 } else {
                     while let Ok(msg) = rx.recv() {
-                        worker.consume(msg);
+                        worker.consume(&msg);
                     }
                 }
                 worker.finish()
             }));
         }
         let feeder = FleetFeeder {
-            txs,
+            mode: FeedMode::Broadcast(txs),
             steps: opts.obs.counter(key::FLEET_STEPS),
             chunks: opts.obs.counter(key::FLEET_CHUNKS),
             chunk_sizes: opts.obs.histogram("chunk.steps"),
         };
         let driven = drive(&feeder);
         drop(feeder); // close every channel: workers drain and return
+        let results: Vec<ShardResult> = workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        (merge_results(fleet, results), driven)
+    })
+}
 
-        let mut report = FleetReport {
-            singles: Vec::with_capacity(fleet.single_len()),
-            multis: Vec::with_capacity(fleet.multiclock_len()),
-            asserts: Vec::with_capacity(fleet.assert_len()),
-        };
-        let mut singles: Vec<Option<SingleReport>> = vec![None; fleet.single_len()];
-        let mut multis: Vec<Option<MultiReport>> = vec![None; fleet.multiclock_len()];
-        let mut asserts: Vec<Option<AssertReport>> = vec![None; fleet.assert_len()];
-        for worker in workers {
-            let result = worker.join().expect("shard worker panicked");
-            for (i, r) in result.singles {
-                singles[i] = Some(r);
-            }
-            for (i, r) in result.multis {
-                multis[i] = Some(r);
-            }
-            for (i, r) in result.asserts {
-                asserts[i] = Some(r);
-            }
+/// Merges per-shard results into the fleet-indexed report.
+fn merge_results(fleet: &Fleet, results: impl IntoIterator<Item = ShardResult>) -> FleetReport {
+    let mut singles: Vec<Option<SingleReport>> = vec![None; fleet.single_len()];
+    let mut multis: Vec<Option<MultiReport>> = vec![None; fleet.multiclock_len()];
+    let mut asserts: Vec<Option<AssertReport>> = vec![None; fleet.assert_len()];
+    let mut words = 0u64;
+    let mut dense_words = 0u64;
+    for result in results {
+        words += result.words;
+        dense_words += result.dense_words;
+        for (i, r) in result.singles {
+            singles[i] = Some(r);
         }
-        report.singles = singles
+        for (i, r) in result.multis {
+            multis[i] = Some(r);
+        }
+        for (i, r) in result.asserts {
+            asserts[i] = Some(r);
+        }
+    }
+    FleetReport {
+        singles: singles
             .into_iter()
             .map(|r| r.expect("plan covers every single-clock member"))
-            .collect();
-        report.multis = multis
+            .collect(),
+        multis: multis
             .into_iter()
             .map(|r| r.expect("plan covers every multi-clock member"))
-            .collect();
-        report.asserts = asserts
+            .collect(),
+        asserts: asserts
             .into_iter()
             .map(|r| r.expect("plan covers every assert member"))
-            .collect();
-        record_semantics(&opts.obs, &report);
-        (report, driven)
-    })
+            .collect(),
+        engine_words: words,
+        engine_dense_words: dense_words,
+    }
 }
 
 /// Folds a merged report's semantic totals into the run's registry —
@@ -683,6 +839,8 @@ fn record_semantics(obs: &Obs, report: &FleetReport) {
     obs.counter(key::ENGINE_TICKS).add(ticks);
     obs.counter(key::ENGINE_MATCHES).add(matches);
     obs.counter(key::ENGINE_UNDERFLOWS).add(underflows);
+    obs.counter(key::ENGINE_WORDS).add(report.engine_words);
+    obs.counter(key::ENGINE_DENSE_WORDS).add(report.engine_dense_words);
 }
 
 fn plan_depth(opts: &ParOptions) -> usize {

@@ -19,6 +19,11 @@
 //!   reference-counted messages over bounded channels, zero
 //!   cross-shard locking on the hot path, per-shard results merged at
 //!   join into a [`FleetReport`];
+//! * [`scan_segmented`] — trace-segment speculative parallelism for
+//!   the *single-big-monitor* case fleet sharding cannot touch: the
+//!   dump is cut into windows, every window runs speculatively from
+//!   every reachable state, and clean runs are stitched at the joins
+//!   (unclean ones replay exactly), bit-identical to serial;
 //! * [`MatchLog`] — bounded match tallies, so a bulk-traffic run's
 //!   residency stays constant unless the caller asks for every hit.
 //!
@@ -57,6 +62,7 @@
 
 mod fleet;
 mod plan;
+mod segment;
 mod tally;
 
 pub use fleet::{
@@ -64,6 +70,7 @@ pub use fleet::{
     FleetReport, MultiReport, ParOptions, SingleReport, ASSERT_VIOLATION_KEEP,
 };
 pub use plan::{plan_shards, FleetItem, ShardPlan};
+pub use segment::{scan_segmented, SegmentOptions, SegmentReport};
 pub use tally::MatchLog;
 
 #[cfg(test)]
@@ -315,6 +322,33 @@ mod tests {
             16,
         );
         assert_eq!(report.singles[0].log.count(), 1);
+    }
+
+    #[test]
+    fn direct_single_shard_path_matches_and_records_stats() {
+        // jobs=1 plans one shard, which takes the inline no-broadcast
+        // path — same verdicts, and the observed run still records one
+        // ShardStats entry (wait_ns structurally zero: no queue)
+        let d = doc();
+        let pulse = synthesize(d.chart("pulse").unwrap(), &SynthOptions::default()).unwrap();
+        let trace = vec![Valuation::of([ev(&d, "req")]); 500];
+        let mut fleet = Fleet::new();
+        fleet.add(&pulse);
+        let plan = plan_shards(&fleet, 1);
+        assert_eq!(plan.jobs(), 1);
+        let obs = cesc_obs::Obs::enabled();
+        let opts = ParOptions {
+            obs: obs.clone(),
+            ..Default::default()
+        };
+        let report = scan_sharded(&fleet, &plan, &opts, &trace, 64);
+        assert_eq!(report.singles[0].log.count(), 500);
+        let run = obs.report("check");
+        assert_eq!(run.counter(cesc_obs::key::FLEET_STEPS), 500);
+        assert_eq!(run.counter(cesc_obs::key::ENGINE_TICKS), 500);
+        assert_eq!(run.shards.len(), 1);
+        assert_eq!(run.shards[0].steps, 500);
+        assert_eq!(run.shards[0].wait_ns, 0);
     }
 
     #[test]

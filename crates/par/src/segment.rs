@@ -1,0 +1,313 @@
+//! Trace-segment speculative parallelism for a single big monitor.
+//!
+//! Fleet sharding ([`crate::run_sharded`]) parallelizes across
+//! monitors; it cannot speed up one expensive monitor over one long
+//! dump. This module splits the *trace* instead: the dump is cut into
+//! fixed-size windows, every window is run speculatively from every
+//! reachable start state
+//! ([`cesc_core::CompiledMonitor::speculate_window`] — the state count
+//! is small post-optimization), and the runs are stitched serially at
+//! the joins:
+//!
+//! ```text
+//!   trace   ─┬─ window 0 ──┬─ window 1 ──┬─ window 2 ──┬─ …
+//!            │ from s_init │ from s0..sN │ from s0..sN │   (parallel)
+//!            ▼             ▼             ▼
+//!   stitch:  carry state → clean run? adopt : replay    (serial)
+//! ```
+//!
+//! A speculative run is adoptable ([`cesc_core::WindowRun::clean`])
+//! only when the empty-scoreboard evaluation provably matches the real
+//! one under *any* incoming scoreboard: the run executed no scoreboard
+//! actions and never scanned a guard reading a counter the
+//! [`cesc_core::infer_bounds`] interval analysis says may be non-zero
+//! (the `may_chk` argument). Windows whose carry-state run is unclean
+//! are replayed exactly through the serial engine, so the stitched
+//! verdict — hits, end state, tick count, underflows, including any
+//! "transition relation not total" panic — is bit-identical to a
+//! serial [`cesc_core::BatchExec::feed`] over the whole trace.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cesc_core::{CompiledMonitor, ScanReport, WindowRun};
+use cesc_expr::Valuation;
+use cesc_obs::{key, Obs};
+
+/// Knobs for [`scan_segmented`].
+#[derive(Debug, Clone)]
+pub struct SegmentOptions {
+    /// Worker threads the speculative window runs fan out across.
+    /// `1` skips speculation entirely and feeds the serial engine.
+    pub jobs: usize,
+    /// Ticks per window. Clamped to at least 1; a window at least as
+    /// long as the trace degenerates to the serial scan.
+    pub window: usize,
+    /// Observability registry: `segment.windows`, `segment.adopted`,
+    /// `segment.replayed` and `segment.speculative_steps` accumulate
+    /// here. Disabled (no-op) by default.
+    pub obs: Obs,
+}
+
+impl Default for SegmentOptions {
+    fn default() -> Self {
+        SegmentOptions {
+            jobs: 1,
+            window: 1 << 16,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// What a segmented scan produced: the serial-identical verdict plus
+/// the stitch accounting.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// The scan verdict — bit-identical to the serial engine's.
+    pub report: ScanReport,
+    /// Windows the trace was split into.
+    pub windows: usize,
+    /// Windows stitched by adopting a clean speculative run.
+    pub adopted: usize,
+    /// Windows replayed exactly from the carry state.
+    pub replayed: usize,
+    /// Ticks executed speculatively across all window × state runs
+    /// (adopted or not — the wasted work is the price of speculation).
+    pub speculative_steps: u64,
+}
+
+/// Runs `trace` through `compiled` with trace-segment speculative
+/// parallelism — verdicts bit-identical to a serial
+/// [`cesc_core::BatchExec::feed`] over the whole trace.
+///
+/// `may_chk` is the global-symbol bitmask of scoreboard events whose
+/// count may ever be non-zero; pass the events [`cesc_core::infer_bounds`]
+/// could not prove `[0, 0]`, or
+/// [`cesc_core::CompiledMonitor::touched_symbols`] as the conservative
+/// fallback (sound, just adopts fewer windows).
+///
+/// # Panics
+///
+/// Panics exactly where the serial engine would: a window replay hits
+/// the same "transition relation not total" panic on the same tick.
+pub fn scan_segmented(
+    compiled: &CompiledMonitor,
+    may_chk: u128,
+    trace: &[Valuation],
+    opts: &SegmentOptions,
+) -> SegmentReport {
+    let window = opts.window.max(1);
+    let windows: Vec<&[Valuation]> = trace.chunks(window).collect();
+    let n_windows = windows.len();
+    let jobs = opts.jobs.max(1);
+
+    let mut exec = compiled.executor();
+    let mut hits = Vec::new();
+    let mut adopted = 0usize;
+    let mut replayed = 0usize;
+    let mut speculative_steps = 0u64;
+
+    if jobs == 1 || n_windows <= 1 {
+        // nothing to overlap: the serial engine, counted as replays
+        for w in &windows {
+            exec.feed(w, &mut hits);
+        }
+        replayed = n_windows;
+    } else {
+        // -- fan out: window 0 only continues the initial state; every
+        // later window speculates from every state --------------------
+        let states = compiled.state_count();
+        let tasks: Vec<(usize, usize)> = (0..n_windows)
+            .flat_map(|wi| {
+                let from: Vec<usize> = if wi == 0 {
+                    vec![exec.state_index()]
+                } else {
+                    (0..states).collect()
+                };
+                from.into_iter().map(move |s| (wi, s))
+            })
+            .collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(tasks.len());
+        let mut done: Vec<Vec<(usize, WindowRun)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(wi, s)) = tasks.get(i) else { break };
+                            local.push((i, compiled.speculate_window(s, windows[wi], may_chk)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("segment worker panicked"))
+                .collect()
+        });
+        let mut runs: Vec<Option<WindowRun>> = vec![None; tasks.len()];
+        for (i, run) in done.drain(..).flatten() {
+            speculative_steps += run.steps();
+            runs[i] = Some(run);
+        }
+        // task index of (window wi, start state s): window 0
+        // contributed exactly one task, later windows `states` each
+        let task_of =
+            |wi: usize, s: usize| if wi == 0 { 0 } else { 1 + (wi - 1) * states + s };
+
+        // -- stitch: adopt the carry state's clean run, else replay ---
+        for (wi, w) in windows.iter().enumerate() {
+            let carry = exec.state_index();
+            let run = if wi == 0 && carry != tasks[0].1 {
+                None // unreachable today; guards a future carry change
+            } else {
+                runs[task_of(wi, carry)].as_ref().filter(|r| r.clean())
+            };
+            match run {
+                Some(r) => {
+                    exec.adopt_run(r, &mut hits);
+                    adopted += 1;
+                }
+                None => {
+                    exec.feed(w, &mut hits);
+                    replayed += 1;
+                }
+            }
+        }
+    }
+
+    opts.obs.counter(key::SEGMENT_WINDOWS).add(n_windows as u64);
+    opts.obs.counter(key::SEGMENT_ADOPTED).add(adopted as u64);
+    opts.obs.counter(key::SEGMENT_REPLAYED).add(replayed as u64);
+    opts.obs.counter(key::SEGMENT_SPECULATIVE_STEPS).add(speculative_steps);
+    opts.obs.counter(key::ENGINE_WORDS).add(exec.words());
+    opts.obs.counter(key::ENGINE_DENSE_WORDS).add(exec.dense_words());
+    opts.obs.counter(key::ENGINE_TICKS).add(exec.ticks());
+    opts.obs.counter(key::ENGINE_UNDERFLOWS).add(exec.underflows());
+
+    SegmentReport {
+        report: exec.finish(hits),
+        windows: n_windows,
+        adopted,
+        replayed,
+        speculative_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cesc_chart::parse_document;
+    use cesc_core::{synthesize, CompileOptions, SynthOptions};
+
+    fn handshake() -> (cesc_core::Monitor, cesc_chart::Document) {
+        let doc = parse_document(
+            "scesc hs on clk { instances { M, S } events { req, ack } \
+             tick { M: req } tick { S: ack } }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("hs").unwrap(), &SynthOptions::default()).unwrap();
+        (m, doc)
+    }
+
+    #[test]
+    fn segmented_matches_serial_and_adopts() {
+        let (m, doc) = handshake();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let ack = doc.alphabet.lookup("ack").unwrap();
+        let trace: Vec<Valuation> = (0..4000)
+            .map(|i| match i % 37 {
+                5 => Valuation::of([req]),
+                6 => Valuation::of([ack]),
+                _ => Valuation::empty(),
+            })
+            .collect();
+        let compiled = m.compiled_with(&CompileOptions::optimized());
+        let reference = m.scan_batch(&trace);
+        let may = compiled.touched_symbols();
+        for jobs in [1, 2, 3, 8] {
+            for window in [100, 64, 4096, 5000] {
+                let opts = SegmentOptions {
+                    jobs,
+                    window,
+                    obs: Obs::disabled(),
+                };
+                let got = scan_segmented(&compiled, may, &trace, &opts);
+                assert_eq!(got.report, reference, "jobs={jobs} window={window}");
+                assert_eq!(got.windows, trace.len().div_ceil(window));
+                assert_eq!(got.adopted + got.replayed, got.windows);
+                if jobs > 1 && window < trace.len() {
+                    // a scoreboard-free chart speculates cleanly
+                    assert!(got.adopted > 0, "jobs={jobs} window={window}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoreboard_windows_replay_exactly() {
+        // causality arrows force scoreboard traffic: runs touching it
+        // are unclean, the stitch replays them, verdicts still match
+        let doc = parse_document(
+            "scesc c on clk { instances { A, B } events { e1, e3 } \
+             tick { A: e1 } tick { B: e3 } cause e1 -> e3; }",
+        )
+        .unwrap();
+        let m = synthesize(doc.chart("c").unwrap(), &SynthOptions::default()).unwrap();
+        let e1 = doc.alphabet.lookup("e1").unwrap();
+        let e3 = doc.alphabet.lookup("e3").unwrap();
+        let trace: Vec<Valuation> = (0..900)
+            .map(|i| match i % 9 {
+                2 => Valuation::of([e1]),
+                4 => Valuation::of([e3]),
+                _ => Valuation::empty(),
+            })
+            .collect();
+        let compiled = m.compiled_with(&CompileOptions::optimized());
+        let reference = m.scan_batch(&trace);
+        let may = compiled.touched_symbols();
+        for jobs in [2, 4] {
+            let opts = SegmentOptions {
+                jobs,
+                window: 50,
+                obs: Obs::disabled(),
+            };
+            let got = scan_segmented(&compiled, may, &trace, &opts);
+            assert_eq!(got.report, reference, "jobs={jobs}");
+            assert!(got.replayed > 0);
+        }
+    }
+
+    #[test]
+    fn segment_counters_accumulate() {
+        let (m, doc) = handshake();
+        let req = doc.alphabet.lookup("req").unwrap();
+        let trace: Vec<Valuation> = (0..256)
+            .map(|i| {
+                if i % 64 == 0 {
+                    Valuation::of([req])
+                } else {
+                    Valuation::empty()
+                }
+            })
+            .collect();
+        let compiled = m.compiled_with(&CompileOptions::optimized());
+        let obs = Obs::enabled();
+        let opts = SegmentOptions {
+            jobs: 2,
+            window: 64,
+            obs: obs.clone(),
+        };
+        scan_segmented(&compiled, compiled.touched_symbols(), &trace, &opts);
+        let report = obs.report("segment");
+        assert_eq!(report.counter(key::SEGMENT_WINDOWS), 4);
+        assert_eq!(
+            report.counter(key::SEGMENT_ADOPTED) + report.counter(key::SEGMENT_REPLAYED),
+            4
+        );
+        assert!(report.counter(key::SEGMENT_SPECULATIVE_STEPS) > 0);
+        assert_eq!(report.counter(key::ENGINE_TICKS), 256);
+    }
+}

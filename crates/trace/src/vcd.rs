@@ -695,6 +695,12 @@ pub struct GlobalVcdStream<R> {
     /// emitted when the timestamp advances (or input ends).
     pending: Vec<bool>,
     any_pending: bool,
+    /// Recycled tick vectors: [`GlobalVcdStream::next_chunk`] reclaims
+    /// the caller's previous chunk's `ticks` allocations here and
+    /// [`GlobalVcdStream::flush_at`] reuses them, so steady-state
+    /// streaming allocates nothing per step (pinned by the workspace
+    /// counting-allocator test).
+    spare: Vec<Vec<(ClockId, Valuation)>>,
     cur_time: u64,
     done: bool,
 }
@@ -755,28 +761,31 @@ impl<R: BufRead> GlobalVcdStream<R> {
             levels: vec![false; clocks.len()],
             pending: vec![false; clocks.len()],
             any_pending: false,
+            spare: Vec::new(),
             cur_time: 0,
             done: false,
         })
     }
 
-    /// Emits the clocks that rose at instant `time` as one step.
+    /// Emits the clocks that rose at instant `time` as one step,
+    /// reusing a recycled tick vector when one is available.
     fn flush_at(&mut self, time: u64, buf: &mut Vec<GlobalStep>) {
         if !self.any_pending {
             return;
         }
-        let ticks = self
-            .pending
-            .iter()
-            .enumerate()
-            .filter(|&(_, &p)| p)
-            .map(|(i, _)| {
-                (
-                    ClockId::from_index(i),
-                    Valuation::from_bits(self.current.bits() & self.masks[i]),
-                )
-            })
-            .collect();
+        let mut ticks = self.spare.pop().unwrap_or_default();
+        ticks.extend(
+            self.pending
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p)
+                .map(|(i, _)| {
+                    (
+                        ClockId::from_index(i),
+                        Valuation::from_bits(self.current.bits() & self.masks[i]),
+                    )
+                }),
+        );
         buf.push(GlobalStep { time, ticks });
         self.pending.iter_mut().for_each(|p| *p = false);
         self.any_pending = false;
@@ -797,7 +806,10 @@ impl<R: BufRead> GlobalVcdStream<R> {
         buf: &mut Vec<GlobalStep>,
         max: usize,
     ) -> Result<usize, VcdReadError> {
-        buf.clear();
+        for mut step in buf.drain(..) {
+            step.ticks.clear();
+            self.spare.push(step.ticks);
+        }
         if self.done || max == 0 {
             return Ok(0);
         }

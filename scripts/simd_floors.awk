@@ -1,0 +1,48 @@
+# Acceptance floors for the bit-sliced engine (the `make verify-simd`
+# gate). Input: the one-line JSON trajectory records printed by
+# `cargo bench` (cesc_bench::emit_record), one record per line.
+#
+# Floors:
+#   simd_throughput / sparse_guard_hit   speedup_vs_batch >= 2.0
+#   simd_throughput / ocp_burst_read     speedup_vs_batch >= 1.3
+#   parallel_throughput                  speedup          >= 1.0
+
+function field(name,    a) {
+    if (match($0, "\"" name "\":-?[0-9.eE+-]+")) {
+        split(substr($0, RSTART, RLENGTH), a, ":")
+        return a[2] + 0
+    }
+    return -1
+}
+
+function floor_check(label, value, floor) {
+    if (value < floor) {
+        printf "FAIL %s %.3f < %.1f\n", label, value, floor
+        bad = 1
+    } else {
+        printf "ok   %s %.3f >= %.1f\n", label, value, floor
+    }
+}
+
+/"bench":"simd_throughput"/ && /"workload":"sparse_guard_hit"/ {
+    seen_sparse = 1
+    floor_check("sparse_guard_hit speedup_vs_batch", field("speedup_vs_batch"), 2.0)
+}
+
+/"bench":"simd_throughput"/ && /"workload":"ocp_burst_read"/ {
+    seen_ocp = 1
+    floor_check("ocp_burst_read speedup_vs_batch", field("speedup_vs_batch"), 1.3)
+}
+
+/"bench":"parallel_throughput"/ {
+    seen_par = 1
+    floor_check("parallel_throughput speedup", field("speedup"), 1.0)
+}
+
+END {
+    if (!seen_sparse || !seen_ocp || !seen_par) {
+        print "FAIL missing bench record(s)"
+        bad = 1
+    }
+    exit bad
+}

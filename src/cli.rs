@@ -106,6 +106,21 @@ fn load_obs(source: &str, optimize: bool, obs: Obs) -> Result<SpecSet, CliError>
     .map_err(lift)
 }
 
+/// The `check` routes' loader: `--no-opt` and `--no-simd` both reach
+/// the compile front door here.
+fn load_check(source: &str, opts: &CheckOptions, obs: Obs) -> Result<SpecSet, CliError> {
+    SpecSet::load_with(
+        source,
+        SpecOptions {
+            optimize: !opts.no_opt,
+            simd: !opts.no_simd,
+            obs,
+            ..SpecOptions::new()
+        },
+    )
+    .map_err(lift)
+}
+
 /// Observability switches shared by every subcommand: the `--stats`,
 /// `--stats-json FILE` and `--progress` flags plus the [`Obs`] registry
 /// the run records into.
@@ -485,6 +500,14 @@ pub struct CheckOptions {
     /// Skip the optimization pass pipeline and run the monitors
     /// exactly as synthesized — the `--no-opt` flag.
     pub no_opt: bool,
+    /// Skip the bit-sliced 64-tick engine and run optimized monitors
+    /// tick by tick — the `--no-simd` escape hatch (`--no-opt` implies
+    /// scalar execution already).
+    pub no_simd: bool,
+    /// Split the dump into this many windows and run them with
+    /// trace-segment speculative parallelism — the `--segments N`
+    /// flag ([`check_segmented`]; `0` streams normally).
+    pub segments: usize,
     /// Observability switches (`--stats`/`--stats-json`/`--progress`).
     /// [`check_fleet`] records into an internal registry even when this
     /// one is disabled, so the JSON report's timing fields are always
@@ -499,6 +522,8 @@ impl Default for CheckOptions {
             jobs: 1,
             json: false,
             no_opt: false,
+            no_simd: false,
+            segments: 0,
             stats: StatsOptions::default(),
         }
     }
@@ -535,7 +560,7 @@ pub fn check(
     clock: &str,
     opts: &CheckOptions,
 ) -> Result<String, CliError> {
-    let specs = load(source, !opts.no_opt)?;
+    let specs = load_check(source, opts, Obs::disabled())?;
     match specs.resolve(chart_name) {
         Ok(TargetRef::Chart(idx)) => check_single(&specs, idx, vcd, clock, opts),
         Ok(TargetRef::Multi(idx)) => check_multiclock(&specs, idx, vcd, opts),
@@ -632,6 +657,102 @@ fn check_multiclock(
         tally.count(),
         tally.render(),
         state.underflows()
+    ))
+}
+
+/// `cesc check --segments N`: trace-segment speculative parallelism
+/// for **one basic chart** — the single-big-monitor case `--jobs`
+/// fleet sharding cannot speed up.
+///
+/// The dump is decoded into a resident trace (unlike the streaming
+/// routes — random window access is what buys the parallelism), cut
+/// into `N` windows, and run through
+/// [`cesc_par::scan_segmented`]: every window executes speculatively
+/// from every reachable monitor state across [`CheckOptions::jobs`]
+/// worker threads, clean runs are adopted at the stitch joins and the
+/// rest replay exactly, so the verdict is bit-identical to the serial
+/// scan. The per-event *may-be-non-zero* scoreboard mask that bounds
+/// adoption comes from the chart's counter-bounds analysis
+/// ([`cesc_spec::ChartSpec::bounds`]).
+pub fn check_segmented(
+    source: &str,
+    chart_name: &str,
+    vcd: impl BufRead,
+    clock_override: Option<&str>,
+    opts: &CheckOptions,
+) -> Result<String, CliError> {
+    let obs = &opts.stats.obs;
+    let specs = load_check(source, opts, obs.clone())?;
+    let idx = match specs.resolve(chart_name).map_err(lift)? {
+        TargetRef::Chart(i) => i,
+        TargetRef::Multi(_) | TargetRef::Assert(_) => {
+            return Err(CliError::Pipeline(format!(
+                "--segments parallelizes one basic chart's monitor over the trace; \
+                 `{chart_name}` is not a basic chart"
+            )))
+        }
+    };
+    let chart = &specs.document().charts[idx];
+    let spec = specs.chart_spec(idx).map_err(lift)?;
+    let clock = clock_override.unwrap_or(chart.clock());
+    let mut stream = VcdStream::from_reader(vcd, specs.alphabet(), clock)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+
+    // window speculation needs random access: buffer the decoded trace
+    // (one Valuation per sampled cycle — far smaller than the VCD text)
+    let decode_span = obs.span("decode");
+    let mut trace: Vec<cesc_expr::Valuation> = Vec::new();
+    let mut chunk = Vec::new();
+    loop {
+        let n = stream
+            .next_chunk(&mut chunk, BATCH_CHUNK)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if n == 0 {
+            break;
+        }
+        trace.extend_from_slice(&chunk);
+    }
+    drop(decode_span);
+
+    // may-be-non-zero scoreboard events: everything the monitor
+    // touches, minus what the interval analysis proved stays [0, 0]
+    let compiled = spec.compiled();
+    let mut may = compiled.touched_symbols();
+    for (e, b) in spec.bounds().bounds() {
+        if b.hi == Some(0) {
+            may &= !(1u128 << e.index());
+        }
+    }
+
+    let segments = opts.segments.max(1);
+    let seg_opts = cesc_par::SegmentOptions {
+        jobs: opts.jobs.max(1),
+        window: trace.len().div_ceil(segments).max(1),
+        obs: obs.clone(),
+    };
+    let exec_span = obs.span("execute");
+    let got = cesc_par::scan_segmented(compiled, may, &trace, &seg_opts);
+    drop(exec_span);
+
+    let mut tally = tally(opts);
+    tally.absorb(&got.report.matches);
+    let verdict = if tally.detected() { "DETECTED" } else { "NOT OBSERVED" };
+    Ok(format!(
+        "chart `{}` over {} sampled cycles: {} — {} occurrence(s) at ticks {}, \
+         scoreboard underflows {}\n\
+         segments: {} window(s) across {} worker(s): {} adopted, {} replayed, \
+         {} speculative tick(s)\n",
+        chart.name(),
+        got.report.ticks,
+        verdict,
+        tally.count(),
+        tally.render(),
+        got.report.underflows,
+        got.windows,
+        seg_opts.jobs,
+        got.adopted,
+        got.replayed,
+        got.speculative_steps,
     ))
 }
 
@@ -751,7 +872,7 @@ pub fn check_fleet(
     // JSON report's ticks/wall_ms/exec_ms are real either way
     let obs = opts.stats.obs.or_enabled();
     let wall = std::time::Instant::now();
-    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
+    let specs = load_check(source, opts, obs.clone())?;
 
     // -- resolve the target selection (dedupe, validate) -------------
     let mut targets: Vec<TargetRef> = Vec::new();
@@ -886,7 +1007,7 @@ pub fn check_cosim(
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, CliError> {
     let obs = &opts.stats.obs;
-    let specs = load_obs(source, !opts.no_opt, obs.clone())?;
+    let specs = load_check(source, opts, obs.clone())?;
     let doc = specs.document();
 
     // -- resolve the selection (basic charts only) -------------------
@@ -1265,7 +1386,8 @@ pub fn usage() -> &'static str {
      synth  <spec> [--chart NAME] [--format summary|dot|verilog|sva|testbench]\n\
             [--force] [--no-opt] [--counter-width N] [--all-charts --out-dir DIR]\n\
      check  <spec> (--chart NAME)... | --all-charts  --vcd FILE\n\
-            [--clock NAME] [--jobs N] [--json] [--all-matches] [--cosim] [--no-opt]\n\
+            [--clock NAME] [--jobs N] [--segments N] [--json] [--all-matches]\n\
+            [--cosim] [--no-opt] [--no-simd]\n\
             [--stats] [--stats-json FILE] [--progress]\n\
      lint   <spec> [--chart NAME]... [--json] [--deny] [--allow RULE]...\n\
             [--counter-width N] [--no-opt] [--stats] [--stats-json FILE]\n\
@@ -1287,6 +1409,10 @@ pub fn usage() -> &'static str {
      --chart may repeat (duplicates are deduplicated); --all-charts checks\n\
      every chart, spec and implication in one pass over the dump.\n\
      --jobs N      shard the monitor fleet across N worker threads\n\
+     --segments N  split the dump into N windows and run ONE basic chart's\n\
+                   monitor with trace-segment speculative parallelism across\n\
+                   --jobs threads (buffers the decoded trace; verdicts are\n\
+                   bit-identical to the streaming scan)\n\
      --json        machine-readable report (schema cesc-check/3)\n\
      --all-matches list every match tick; default summarises (count + first/last 5)\n\
      --clock NAME  rename the sampled clock signal (single-clock charts only;\n\
@@ -1294,6 +1420,9 @@ pub fn usage() -> &'static str {
      --no-opt      skip the monitor optimization pass pipeline (dead-state/\n\
                    dead-transition pruning, guard CSE, scoreboard narrowing);\n\
                    monitors run exactly as synthesized\n\
+     --no-simd     run optimized monitors tick by tick instead of through the\n\
+                   bit-sliced 64-ticks-per-word engine (the default engine;\n\
+                   verdicts are identical either way)\n\
      --cosim       differentially execute the emitted RTL (cesc-rtl\n\
                    interpreter, lowered from the optimized monitor) against\n\
                    the unoptimized engine over the dump; any match_pulse\n\

@@ -1,0 +1,167 @@
+//! Steady-state allocation discipline, pinned by a counting global
+//! allocator: after a one-chunk warmup, (a) `VcdStream::next_chunk`,
+//! (b) `GlobalVcdStream::next_chunk` and (c) the bit-sliced
+//! `BatchExec::feed` hot loop must perform **zero** heap allocations
+//! per chunk. This is the contract behind the streaming `cesc check`
+//! path: decode buffers, recycled `GlobalStep::ticks` vectors and the
+//! slice scratch are all reused, so throughput does not degrade into
+//! allocator traffic on 100k+-tick dumps.
+//!
+//! Everything runs inside ONE `#[test]` — the counter is process-wide
+//! and the harness runs separate tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cesc::core::{synthesize, CompileOptions, SynthOptions};
+use cesc::expr::Valuation;
+use cesc::prelude::parse_document;
+use cesc::trace::{
+    write_vcd, write_vcd_global, ClockDomain, ClockSet, GlobalRun, GlobalStep, GlobalVcdStream,
+    Trace, VcdClockSpec, VcdStream, VcdWriteOptions,
+};
+
+/// Counts every `alloc`/`realloc` handed to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+const SPEC: &str = r#"
+scesc flow on clk {
+    instances { A, B }
+    events { req, ack }
+    tick { A: req }
+    tick { B: ack }
+}
+"#;
+
+const CHUNK: usize = 256;
+const CHUNKS: usize = 8;
+
+#[test]
+fn streaming_hot_loops_allocate_nothing_after_warmup() {
+    let doc = parse_document(SPEC).unwrap();
+    let req = doc.alphabet.lookup("req").unwrap();
+    let ack = doc.alphabet.lookup("ack").unwrap();
+    let elements: Vec<Valuation> = (0..CHUNK * CHUNKS)
+        .map(|i| {
+            if i % 2 == 0 {
+                Valuation::of([req])
+            } else {
+                Valuation::of([ack])
+            }
+        })
+        .collect();
+
+    // (a) single-clock VCD streaming: the parser reuses its line
+    // buffer and the caller's chunk buffer.
+    let text = write_vcd(
+        &Trace::from_elements(elements.clone()),
+        &doc.alphabet,
+        &VcdWriteOptions::default(),
+    );
+    let mut stream = VcdStream::from_reader(Cursor::new(&text), &doc.alphabet, "clk").unwrap();
+    let mut buf: Vec<Valuation> = Vec::with_capacity(CHUNK);
+    let mut decoded = stream.next_chunk(&mut buf, CHUNK).unwrap(); // warmup
+    let steady = allocs_during(|| loop {
+        let n = stream.next_chunk(&mut buf, CHUNK).unwrap();
+        if n == 0 {
+            break;
+        }
+        decoded += n;
+    });
+    assert_eq!(decoded, CHUNK * CHUNKS, "whole dump decoded");
+    assert_eq!(steady, 0, "VcdStream::next_chunk allocated in steady state");
+
+    // (b) multi-clock VCD streaming: `GlobalStep::ticks` vectors are
+    // recycled through the stream's spare pool across chunks.
+    let mut clocks = ClockSet::new();
+    let c1 = clocks.add(ClockDomain::new("clk1", 2, 0));
+    let c2 = clocks.add(ClockDomain::new("clk2", 2, 1));
+    let per_domain = CHUNK * CHUNKS / 2;
+    let run = GlobalRun::interleave(
+        &clocks,
+        &[
+            (c1, Trace::from_elements(vec![Valuation::of([req]); per_domain])),
+            (c2, Trace::from_elements(vec![Valuation::of([ack]); per_domain])),
+        ],
+    )
+    .unwrap();
+    let owners = [Valuation::of([req]), Valuation::of([ack])];
+    let text = write_vcd_global(
+        &run,
+        &clocks,
+        &doc.alphabet,
+        &owners,
+        &VcdWriteOptions::default(),
+    );
+    let specs = [
+        VcdClockSpec::masked("clk1", owners[0]),
+        VcdClockSpec::masked("clk2", owners[1]),
+    ];
+    let mut stream =
+        GlobalVcdStream::from_reader(Cursor::new(&text), &doc.alphabet, &specs).unwrap();
+    let mut gbuf: Vec<GlobalStep> = Vec::with_capacity(CHUNK);
+    // warmup: two chunks, so the spare pool has absorbed one full
+    // recycle cycle (the pool vector itself grows on the first drain)
+    let mut decoded = stream.next_chunk(&mut gbuf, CHUNK).unwrap();
+    decoded += stream.next_chunk(&mut gbuf, CHUNK).unwrap();
+    let steady = allocs_during(|| loop {
+        let n = stream.next_chunk(&mut gbuf, CHUNK).unwrap();
+        if n == 0 {
+            break;
+        }
+        decoded += n;
+    });
+    assert_eq!(decoded, CHUNK * CHUNKS, "whole dump decoded");
+    assert_eq!(steady, 0, "GlobalVcdStream::next_chunk allocated in steady state");
+
+    // (c) the bit-sliced execution hot loop: transpose scratch and the
+    // word cache live in the executor; only hit recording may touch
+    // the (pre-sized) hits vector.
+    let monitor = synthesize(doc.chart("flow").unwrap(), &SynthOptions::default()).unwrap();
+    let compiled = monitor.compiled_with(&CompileOptions::optimized());
+    let mut exec = compiled.executor();
+    let mut hits: Vec<u64> = Vec::with_capacity(elements.len());
+    exec.feed(&elements[..CHUNK], &mut hits); // warmup
+    let steady = allocs_during(|| {
+        for chunk in elements[CHUNK..].chunks(CHUNK) {
+            exec.feed(chunk, &mut hits);
+        }
+    });
+    assert_eq!(steady, 0, "bit-sliced BatchExec::feed allocated in steady state");
+    assert!(exec.words() > 0, "the bit-sliced path must actually run");
+    let report = exec.finish(hits);
+    assert_eq!(
+        report,
+        monitor.scan(Trace::from_elements(elements)),
+        "zero-alloc run still matches the step-wise verdict"
+    );
+}
